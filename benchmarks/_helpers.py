@@ -1,0 +1,75 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one row (or one algorithm cell) of the
+paper's tables.  Timing comes from pytest-benchmark; the binding-quality
+results (``L/M`` and the improvement over PCC) are attached to each
+benchmark's ``extra_info`` so they appear in ``--benchmark-json`` dumps
+and the saved ``.benchmarks`` data.
+
+Slow cells (B-ITER on the 96-op DCT-DIT-2) run with
+``benchmark.pedantic(rounds=1)`` — the paper's own numbers are
+single-run CPU times as well.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.pcc import pcc_bind
+from repro.core.driver import bind, bind_initial
+from repro.datapath.parse import parse_datapath
+from repro.kernels.registry import load_kernel
+
+# Cache kernels once per session: building them is cheap but the
+# benchmark harness asks for the same ones hundreds of times.
+_KERNEL_CACHE = {}
+
+
+def kernel(name):
+    if name not in _KERNEL_CACHE:
+        _KERNEL_CACHE[name] = load_kernel(name)
+    return _KERNEL_CACHE[name]
+
+
+def bench_pcc(benchmark, kernel_name, spec, num_buses=2, move_latency=1):
+    dfg = kernel(kernel_name)
+    dp = parse_datapath(spec, num_buses=num_buses, move_latency=move_latency)
+    result = benchmark.pedantic(
+        lambda: pcc_bind(dfg, dp), rounds=1, iterations=1
+    )
+    benchmark.extra_info["L"] = result.latency
+    benchmark.extra_info["M"] = result.num_transfers
+    benchmark.extra_info["cell"] = f"{kernel_name} {spec}"
+    return result
+
+
+def bench_b_init(benchmark, kernel_name, spec, num_buses=2, move_latency=1):
+    dfg = kernel(kernel_name)
+    dp = parse_datapath(spec, num_buses=num_buses, move_latency=move_latency)
+    result = benchmark.pedantic(
+        lambda: bind_initial(dfg, dp), rounds=1, iterations=1
+    )
+    benchmark.extra_info["L"] = result.latency
+    benchmark.extra_info["M"] = result.num_transfers
+    benchmark.extra_info["cell"] = f"{kernel_name} {spec}"
+    return result
+
+
+def bench_b_iter(benchmark, kernel_name, spec, num_buses=2, move_latency=1):
+    dfg = kernel(kernel_name)
+    dp = parse_datapath(spec, num_buses=num_buses, move_latency=move_latency)
+    result = benchmark.pedantic(
+        lambda: bind(dfg, dp), rounds=1, iterations=1
+    )
+    benchmark.extra_info["L"] = result.latency
+    benchmark.extra_info["M"] = result.num_transfers
+    benchmark.extra_info["cell"] = f"{kernel_name} {spec}"
+    return result
+
+
+def assert_row_shape(pcc_result, init_result, iter_result):
+    """The reproduction's headline invariants for one table row:
+    B-ITER can only match or beat its B-INIT starting points, and it
+    never loses to PCC (the paper's Table 1 property)."""
+    assert iter_result.latency <= init_result.latency
+    assert iter_result.latency <= pcc_result.latency

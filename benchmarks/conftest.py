@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+The benchmarks only make sense with ``--benchmark-only`` (as in the
+project's canonical invocation ``pytest benchmarks/ --benchmark-only``);
+they are excluded from the default ``pytest tests/`` run by living in a
+separate tree.
+"""
+
+import sys
+from pathlib import Path
+
+# Make the sibling _helpers module importable regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,46 @@
+"""Ablation A5 (paper Section 3.1.2): the transfer-penalty weight gamma.
+
+The paper: "better results are obtained when the data transfer penalty
+is given just a slightly larger priority over the serialization
+penalties" — alpha = beta = 1.0, gamma = 1.1.  This ablation sweeps
+gamma across {0.5, 1.0, 1.1, 2.0, 4.0} over several kernels and records
+the average latency per setting.
+"""
+
+import pytest
+
+from _helpers import kernel
+from repro.core.cost import CostParams
+from repro.core.driver import bind_initial
+from repro.datapath.parse import parse_datapath
+
+GAMMAS = (0.5, 1.0, 1.1, 2.0, 4.0)
+CASES = [
+    ("dct-dif", "|2,1|1,1|"),
+    ("dct-dit", "|2,1|2,1|1,1|"),
+    ("ewf", "|1,1|1,1|1,1|"),
+    ("fft", "|2,1|2,1|1,2|"),
+]
+
+
+@pytest.mark.parametrize("gamma", GAMMAS)
+@pytest.mark.benchmark(group="ablation-gamma")
+def test_gamma_sweep(benchmark, gamma):
+    params = CostParams(gamma=gamma)
+
+    def run_all():
+        out = {}
+        for kernel_name, spec in CASES:
+            dfg = kernel(kernel_name)
+            dp = parse_datapath(spec, num_buses=2)
+            result = bind_initial(dfg, dp, params=params)
+            out[f"{kernel_name} {spec}"] = (result.latency, result.num_transfers)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    total_latency = sum(l for l, _ in results.values())
+    total_moves = sum(m for _, m in results.values())
+    benchmark.extra_info["gamma"] = gamma
+    benchmark.extra_info["total_L"] = total_latency
+    benchmark.extra_info["total_M"] = total_moves
+    benchmark.extra_info["cells"] = {k: f"{l}/{m}" for k, (l, m) in results.items()}

@@ -1,0 +1,80 @@
+"""Ablation A6: B-ITER multi-start and the share-aware transfer cost.
+
+Two reproduction-level design choices not spelled out in the paper:
+
+* ``iter_starts`` — seeding B-ITER from every distinct B-INIT sweep
+  candidate versus only the best one (the minimal reading of "the best
+  binding solution is then passed to the iterative improvement phase").
+  Multi-start is what closes the last one-cycle gaps to PCC, at a
+  several-fold time cost.
+* ``share_aware`` — whether a predecessor whose value already has a
+  committed transfer into the candidate cluster costs zero in
+  ``trcost`` (transfers are physically shared per destination).
+"""
+
+import pytest
+
+from _helpers import kernel
+from repro.core.cost import CostParams
+from repro.core.driver import bind, bind_initial
+from repro.datapath.parse import parse_datapath
+
+CASES = [
+    ("dct-dit", "|2,1|2,1|1,1|"),
+    ("ewf", "|2,2|2,1|1,1|"),
+    ("fft", "|1,1|1,1|1,1|1,1|"),
+]
+
+
+@pytest.mark.parametrize("kernel_name,spec", CASES)
+@pytest.mark.parametrize("starts", [1, None])
+@pytest.mark.benchmark(group="ablation-multistart")
+def test_iter_starts(benchmark, kernel_name, spec, starts):
+    dfg = kernel(kernel_name)
+    dp = parse_datapath(spec, num_buses=2)
+    result = benchmark.pedantic(
+        lambda: bind(dfg, dp, iter_starts=starts), rounds=1, iterations=1
+    )
+    label = "all" if starts is None else str(starts)
+    benchmark.extra_info["cell"] = f"{kernel_name} {spec} starts={label}"
+    benchmark.extra_info["L"] = result.latency
+    benchmark.extra_info["M"] = result.num_transfers
+
+
+@pytest.mark.parametrize("kernel_name,spec", CASES)
+@pytest.mark.benchmark(group="ablation-multistart-shape")
+def test_multistart_never_worse(benchmark, kernel_name, spec):
+    dfg = kernel(kernel_name)
+    dp = parse_datapath(spec, num_buses=2)
+
+    def run_both():
+        return bind(dfg, dp, iter_starts=1), bind(dfg, dp)
+
+    single, multi = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    benchmark.extra_info["L_single"] = single.latency
+    benchmark.extra_info["L_multi"] = multi.latency
+    assert (multi.latency, multi.num_transfers) <= (
+        single.latency,
+        single.num_transfers,
+    )
+
+
+@pytest.mark.parametrize("share_aware", [True, False])
+@pytest.mark.benchmark(group="ablation-share-aware")
+def test_share_aware_trcost(benchmark, share_aware):
+    params = CostParams(share_aware=share_aware)
+
+    def run_all():
+        total_latency = total_moves = 0
+        for kernel_name, spec in CASES:
+            dfg = kernel(kernel_name)
+            dp = parse_datapath(spec, num_buses=2)
+            result = bind_initial(dfg, dp, params=params)
+            total_latency += result.latency
+            total_moves += result.num_transfers
+        return total_latency, total_moves
+
+    latency, moves = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    benchmark.extra_info["share_aware"] = share_aware
+    benchmark.extra_info["total_L"] = latency
+    benchmark.extra_info["total_M"] = moves

@@ -1,0 +1,42 @@
+"""Ablation A3 (paper Section 3.1.4): reversed binding order.
+
+The paper: "for some DFGs, especially the ones with smaller number of
+inputs and larger number of outputs, starting the binding process from
+the output nodes may be beneficial."  This ablation compares
+forward-only, reverse-only, and the driver's both-directions sweep on
+the output-heavy kernels (the DCTs) and a regular one (EWF).
+"""
+
+import pytest
+
+from _helpers import kernel
+from repro.core.driver import bind_initial
+from repro.datapath.parse import parse_datapath
+
+CASES = [
+    ("dct-dit-2", "|1,1|1,1|1,1|"),
+    ("dct-lee", "|2,2|2,1|"),
+    ("ewf", "|2,1|1,1|"),
+]
+
+
+@pytest.mark.parametrize("kernel_name,spec", CASES)
+@pytest.mark.benchmark(group="ablation-reverse")
+def test_direction_sweep(benchmark, kernel_name, spec):
+    dfg = kernel(kernel_name)
+    dp = parse_datapath(spec, num_buses=2)
+
+    def run_all():
+        forward = bind_initial(dfg, dp, directions=(False,))
+        reverse = bind_initial(dfg, dp, directions=(True,))
+        both = bind_initial(dfg, dp)
+        return forward, reverse, both
+
+    forward, reverse, both = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    benchmark.extra_info["cell"] = f"{kernel_name} {spec}"
+    benchmark.extra_info["L_forward"] = forward.latency
+    benchmark.extra_info["L_reverse"] = reverse.latency
+    benchmark.extra_info["L_both"] = both.latency
+    # The combined sweep dominates each single direction.
+    assert both.latency <= forward.latency
+    assert both.latency <= reverse.latency

@@ -1,0 +1,61 @@
+"""Ablation A7: the footnote-4 "more powerful variant" (tabu search).
+
+Compares plain steepest-descent B-ITER against the tabu walk (bounded
+sideways steps + visited-set memory) from the same initial bindings:
+does paying extra evaluations buy further cycles?
+"""
+
+import pytest
+
+from _helpers import kernel
+from repro.core.driver import bind_initial
+from repro.core.iterative import iterative_improvement
+from repro.core.tabu import tabu_improvement
+from repro.datapath.parse import parse_datapath
+
+CASES = [
+    ("dct-dif", "|2,1|2,1|"),
+    ("fft", "|1,1|1,1|1,1|"),
+    ("ewf", "|1,1|1,1|1,1|"),
+]
+
+
+@pytest.mark.parametrize("kernel_name,spec", CASES)
+@pytest.mark.parametrize("variant", ["plain", "tabu"])
+@pytest.mark.benchmark(group="ablation-tabu")
+def test_improvement_variant(benchmark, kernel_name, spec, variant):
+    dfg = kernel(kernel_name)
+    dp = parse_datapath(spec, num_buses=2)
+    init = bind_initial(dfg, dp)
+
+    if variant == "plain":
+        run = lambda: iterative_improvement(dfg, dp, init.binding)
+    else:
+        run = lambda: tabu_improvement(dfg, dp, init.binding)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cell"] = f"{kernel_name} {spec} {variant}"
+    benchmark.extra_info["L"] = result.schedule.latency
+    benchmark.extra_info["M"] = result.schedule.num_transfers
+    benchmark.extra_info["evaluations"] = result.evaluations
+
+
+@pytest.mark.parametrize("kernel_name,spec", CASES)
+@pytest.mark.benchmark(group="ablation-tabu-shape")
+def test_tabu_never_worse(benchmark, kernel_name, spec):
+    dfg = kernel(kernel_name)
+    dp = parse_datapath(spec, num_buses=2)
+    init = bind_initial(dfg, dp)
+
+    def run_both():
+        return (
+            iterative_improvement(dfg, dp, init.binding),
+            tabu_improvement(dfg, dp, init.binding),
+        )
+
+    plain, tabu = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    benchmark.extra_info["L_plain"] = plain.schedule.latency
+    benchmark.extra_info["L_tabu"] = tabu.schedule.latency
+    assert (tabu.schedule.latency, tabu.schedule.num_transfers) <= (
+        plain.schedule.latency,
+        plain.schedule.num_transfers,
+    )

@@ -1,0 +1,45 @@
+"""Benchmarks on the extra (non-paper) kernels.
+
+Demonstrates the binder generalizing beyond the paper's seven kernels:
+every extra kernel on a standard 3-cluster machine, B-INIT and B-ITER,
+with latency checked against the instance-independent lower bound.
+"""
+
+import pytest
+
+from repro.core.driver import bind, bind_initial
+from repro.datapath.parse import parse_datapath
+from repro.kernels.extra import EXTRA_KERNELS
+from repro.schedule.bounds import latency_lower_bound
+
+SPEC = "|2,1|2,1|1,1|"
+
+
+@pytest.mark.parametrize("name", sorted(EXTRA_KERNELS))
+@pytest.mark.benchmark(group="extra-kernels-b-init")
+def test_b_init(benchmark, name):
+    dfg = EXTRA_KERNELS[name]()
+    dp = parse_datapath(SPEC, num_buses=2)
+    result = benchmark.pedantic(
+        lambda: bind_initial(dfg, dp), rounds=1, iterations=1
+    )
+    lb = latency_lower_bound(dfg, dp)
+    benchmark.extra_info["L"] = result.latency
+    benchmark.extra_info["M"] = result.num_transfers
+    benchmark.extra_info["lower_bound"] = lb
+    assert result.latency >= lb
+
+
+@pytest.mark.parametrize("name", sorted(EXTRA_KERNELS))
+@pytest.mark.benchmark(group="extra-kernels-b-iter")
+def test_b_iter(benchmark, name):
+    dfg = EXTRA_KERNELS[name]()
+    dp = parse_datapath(SPEC, num_buses=2)
+    result = benchmark.pedantic(
+        lambda: bind(dfg, dp, iter_starts=4), rounds=1, iterations=1
+    )
+    lb = latency_lower_bound(dfg, dp)
+    benchmark.extra_info["L"] = result.latency
+    benchmark.extra_info["M"] = result.num_transfers
+    benchmark.extra_info["gap"] = result.latency - lb
+    assert result.latency >= lb

@@ -1,0 +1,52 @@
+"""Extension experiment E1: the algorithm comparison on random DFGs.
+
+The paper's Table 1 uses seven hand-picked kernels; this benchmark asks
+whether the B-INIT/B-ITER vs. PCC ranking generalizes to a population
+of random layered DFGs with a DSP-like shape.  Aggregate outcome (wins,
+ties, losses, improvements) lands in ``extra_info``.
+"""
+
+import pytest
+
+from repro.analysis.random_study import StudyConfig, run_random_study
+from repro.analysis.summary import summarize
+
+
+@pytest.mark.benchmark(group="random-study")
+def test_random_population_shape(benchmark):
+    config = StudyConfig(num_graphs=15, num_ops=30, run_iter=True)
+    rows = benchmark.pedantic(
+        lambda: run_random_study(config), rounds=1, iterations=1
+    )
+    s = summarize(rows)
+    benchmark.extra_info["headline"] = s.headline()
+    benchmark.extra_info["iter_wins"] = s.iter_wins
+    benchmark.extra_info["iter_ties"] = s.iter_ties
+    benchmark.extra_info["iter_losses"] = s.iter_losses
+    benchmark.extra_info["mean_improvement"] = round(
+        s.mean_iter_improvement, 2
+    )
+    # Generalization of the headline property, with one cycle of noise
+    # allowed across the population.
+    assert s.iter_losses <= 2
+    assert s.mean_iter_improvement >= -1.0
+
+
+@pytest.mark.parametrize("mul_fraction", [0.1, 0.5])
+@pytest.mark.benchmark(group="random-study-mix")
+def test_operation_mix_sensitivity(benchmark, mul_fraction):
+    """How the comparison shifts with the ALU/MUL mix."""
+    config = StudyConfig(
+        num_graphs=8,
+        num_ops=24,
+        mul_fraction=mul_fraction,
+        run_iter=True,
+    )
+    rows = benchmark.pedantic(
+        lambda: run_random_study(config), rounds=1, iterations=1
+    )
+    s = summarize(rows)
+    benchmark.extra_info["mul_fraction"] = mul_fraction
+    benchmark.extra_info["iter_wins"] = s.iter_wins
+    benchmark.extra_info["iter_losses"] = s.iter_losses
+    assert s.iter_losses <= 2

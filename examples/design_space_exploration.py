@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Design-space exploration for an application-specific VLIW datapath.
+
+The paper's conclusion motivates exactly this use case: the binder is
+fast and architecture-flexible enough to sit inside a DSE loop that
+searches for the cheapest clustered datapath meeting a latency target.
+
+This example uses `repro.explore` to enumerate candidate 1-3 cluster
+machines under an FU budget, bind the selected kernels onto each with
+B-INIT (the fast inner loop), score areas with the port-cost-aware area
+model, and print the Pareto-optimal (area, latency) designs.
+
+Run:  python examples/design_space_exploration.py [kernel ...]
+      (default: dct-dit + fft, the multi-kernel case)
+"""
+
+import os
+import sys
+
+from repro.explore import AreaModel, enumerate_datapaths, explore, pareto_front
+from repro.kernels import load_kernel
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["dct-dit", "fft"]
+    max_clusters = int(os.environ.get("DSE_MAX_CLUSTERS", "3"))
+    max_fus = int(os.environ.get("DSE_MAX_FUS", "10"))
+    kernels = {name: load_kernel(name) for name in names}
+    candidates = enumerate_datapaths(
+        max_clusters=max_clusters,
+        max_alus_per_cluster=3,
+        max_muls_per_cluster=2,
+        max_total_fus=max_fus,
+        num_buses=2,
+    )
+    print(
+        f"exploring {len(candidates)} candidate datapaths for "
+        f"{', '.join(kernels)}\n"
+    )
+
+    points = explore(kernels, candidates, area_model=AreaModel())
+    print(f"{'datapath':22s} {'area':>7s} {'worst L':>8s} {'moves':>6s}")
+    for p in points[:20]:
+        print(
+            f"{p.datapath_spec:22s} {p.area:7.1f} {p.latency:8d} "
+            f"{p.total_transfers:6d}"
+        )
+    if len(points) > 20:
+        print(f"... ({len(points) - 20} more evaluated)")
+
+    print("\nPareto-optimal (area, latency) designs:")
+    for p in pareto_front(points):
+        cells = ", ".join(
+            f"{k}: L={l} M={m}" for k, (l, m) in p.per_kernel.items()
+        )
+        print(f"  {p.datapath_spec:22s} area={p.area:7.1f}  {cells}")
+
+
+if __name__ == "__main__":
+    main()

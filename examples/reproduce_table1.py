@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Table 1.
+
+Runs PCC, B-INIT, and B-ITER on every (kernel, datapath) cell of the
+paper's main benchmark table (N_B = 2, lat(move) = 1) and prints it in
+the paper's layout: `L/M` pairs, latency-improvement percentages over
+PCC, and wall-clock times.
+
+Run:  python examples/reproduce_table1.py [kernel ...]
+      (no arguments = all seven kernels; DCT-DIT-2 is the slow one)
+"""
+
+import sys
+
+from repro.analysis import render_table1, run_table1
+
+
+def main() -> None:
+    kernels = sys.argv[1:] or None
+    rows = run_table1(kernels=kernels)
+    print(render_table1(rows))
+
+    improvements = [r.iter_improvement for r in rows if r.iter_improvement is not None]
+    wins = sum(1 for x in improvements if x > 0)
+    ties = sum(1 for x in improvements if x == 0)
+    print(
+        f"\nB-ITER vs PCC over {len(improvements)} cells: "
+        f"{wins} wins, {ties} ties, {len(improvements) - wins - ties} losses; "
+        f"max improvement {max(improvements):.0f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro — reproduction of "High-Quality Operation Binding for Clustered
+VLIW Datapaths" (Lapinskii, Jacome, de Veciana, DAC 2001).
+
+The library binds the operations of a basic block's dataflow graph to the
+clusters of a clustered VLIW datapath, minimizing schedule latency first
+and inter-cluster data transfers second.  Quickstart::
+
+    from repro import bind, parse_datapath
+    from repro.kernels import load_kernel
+
+    dfg = load_kernel("ewf")                       # 34-op elliptic wave filter
+    dp = parse_datapath("|2,1|1,1|", num_buses=2)  # 2 clusters, 2 buses
+    result = bind(dfg, dp)                         # B-INIT sweep + B-ITER
+    print(f"L={result.latency} M={result.num_transfers}")
+
+Subpackages:
+
+* :mod:`repro.core` — the paper's binding algorithms (B-INIT, B-ITER, driver);
+* :mod:`repro.dfg` — dataflow graphs, timing, transfer insertion, tracing;
+* :mod:`repro.datapath` — the clustered machine model and the paper's configs;
+* :mod:`repro.schedule` — the resource-constrained list scheduler;
+* :mod:`repro.baselines` — PCC, simulated annealing, min-cut, UAS, references;
+* :mod:`repro.kernels` — EWF, ARF, FFT, and the DCT kernel family;
+* :mod:`repro.analysis` — experiment grids and the paper's table renderers.
+"""
+
+from .core import (
+    Binding,
+    BindingError,
+    BindResult,
+    CostParams,
+    bind,
+    bind_initial,
+    initial_binding,
+    iterative_improvement,
+    validate_binding,
+)
+from .datapath import Cluster, Datapath, parse_datapath
+from .dfg import (
+    Dfg,
+    Operation,
+    bind_dfg,
+    compute_timing,
+    critical_path_length,
+    default_registry,
+)
+from .schedule import Schedule, list_schedule, render_gantt, validate_schedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bind",
+    "bind_initial",
+    "initial_binding",
+    "iterative_improvement",
+    "Binding",
+    "BindingError",
+    "BindResult",
+    "CostParams",
+    "validate_binding",
+    "Dfg",
+    "Operation",
+    "bind_dfg",
+    "compute_timing",
+    "critical_path_length",
+    "default_registry",
+    "Cluster",
+    "Datapath",
+    "parse_datapath",
+    "Schedule",
+    "list_schedule",
+    "validate_schedule",
+    "render_gantt",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Experiment grids, metrics, and the paper's table renderers."""
+
+from .experiments import TABLE1_KERNEL_ORDER, run_cell, run_table1, run_table2
+from .metrics import AlgoCell, ExperimentRow, improvement_percent
+from .pressure import PressureReport, centralized_pressure, register_pressure
+from .energy import EnergyModel, EnergyReport, estimate_energy
+from .random_study import StudyConfig, run_random_study
+from .report import rows_to_dicts, save_rows, to_csv, to_json, to_markdown
+from .summary import ShapeSummary, summarize
+from .tables import render_rows, render_table1, render_table2
+
+__all__ = [
+    "PressureReport",
+    "register_pressure",
+    "centralized_pressure",
+    "run_cell",
+    "run_table1",
+    "run_table2",
+    "TABLE1_KERNEL_ORDER",
+    "AlgoCell",
+    "ExperimentRow",
+    "improvement_percent",
+    "render_rows",
+    "render_table1",
+    "render_table2",
+    "rows_to_dicts",
+    "save_rows",
+    "to_csv",
+    "to_json",
+    "to_markdown",
+    "ShapeSummary",
+    "summarize",
+    "StudyConfig",
+    "run_random_study",
+    "EnergyModel",
+    "EnergyReport",
+    "estimate_energy",
+]

@@ -1,0 +1,114 @@
+"""Experiment grids regenerating the paper's Tables 1 and 2.
+
+Each cell runs PCC (the baseline), B-INIT (the driver's initial-binding
+sweep), and B-ITER (initial + iterative improvement) on one (kernel,
+datapath) pair and records ``L/M`` plus wall-clock seconds — the same
+columns the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..baselines.pcc import pcc_bind
+from ..core.driver import bind, bind_initial
+from ..datapath.library import (
+    TABLE1_CONFIGS,
+    TABLE2_DATAPATH_SPEC,
+    TABLE2_SWEEP,
+)
+from ..datapath.model import Datapath
+from ..datapath.parse import parse_datapath
+from ..dfg.graph import Dfg
+from ..kernels.registry import load_kernel
+from .metrics import AlgoCell, ExperimentRow
+
+__all__ = [
+    "run_cell",
+    "run_table1",
+    "run_table2",
+    "TABLE1_KERNEL_ORDER",
+]
+
+#: Kernel order of the paper's Table 1.
+TABLE1_KERNEL_ORDER: Tuple[str, ...] = (
+    "dct-dif",
+    "dct-lee",
+    "dct-dit",
+    "dct-dit-2",
+    "fft",
+    "ewf",
+    "arf",
+)
+
+
+def run_cell(
+    dfg: Dfg,
+    datapath: Datapath,
+    kernel_name: str,
+    run_iter: bool = True,
+) -> ExperimentRow:
+    """Run PCC, B-INIT, and optionally B-ITER on one cell."""
+    pcc = pcc_bind(dfg, datapath)
+    pcc_cell = AlgoCell(pcc.latency, pcc.num_transfers, pcc.seconds)
+
+    init = bind_initial(dfg, datapath)
+    init_cell = AlgoCell(init.latency, init.num_transfers, init.init_seconds)
+
+    iter_cell: Optional[AlgoCell] = None
+    if run_iter:
+        full = bind(dfg, datapath)
+        iter_cell = AlgoCell(
+            full.latency,
+            full.num_transfers,
+            full.init_seconds + full.iter_seconds,
+        )
+
+    return ExperimentRow(
+        kernel=kernel_name,
+        datapath_spec=datapath.spec(),
+        num_buses=datapath.num_buses,
+        move_latency=datapath.move_latency,
+        pcc=pcc_cell,
+        b_init=init_cell,
+        b_iter=iter_cell,
+    )
+
+
+def run_table1(
+    kernels: Optional[Sequence[str]] = None,
+    run_iter: bool = True,
+) -> List[ExperimentRow]:
+    """Regenerate Table 1: every kernel on its datapath configurations.
+
+    Args:
+        kernels: subset of kernels to run (default: all seven, in the
+            paper's order).
+        run_iter: include the B-ITER column (the expensive one).
+
+    Returns:
+        The rows, grouped by kernel in the requested order.
+    """
+    rows: List[ExperimentRow] = []
+    for kernel in kernels or TABLE1_KERNEL_ORDER:
+        dfg = load_kernel(kernel)
+        for spec in TABLE1_CONFIGS[kernel]:
+            dp = parse_datapath(spec, num_buses=2)
+            rows.append(run_cell(dfg, dp, kernel, run_iter=run_iter))
+    return rows
+
+
+def run_table2(run_iter: bool = True) -> List[ExperimentRow]:
+    """Regenerate Table 2: the FFT bus-parameter sweep.
+
+    The FFT kernel on the 5-cluster ``|2,2|2,1|2,2|3,1|1,1|`` machine,
+    for every ``(N_B, lat(move))`` in the paper's sweep.
+    """
+    dfg = load_kernel("fft")
+    rows: List[ExperimentRow] = []
+    for num_buses, move_latency in TABLE2_SWEEP:
+        dp = parse_datapath(
+            TABLE2_DATAPATH_SPEC, num_buses=num_buses, move_latency=move_latency
+        )
+        rows.append(run_cell(dfg, dp, "fft", run_iter=run_iter))
+    return rows

@@ -1,0 +1,69 @@
+"""Result records and derived metrics for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["AlgoCell", "ExperimentRow", "improvement_percent"]
+
+
+def improvement_percent(baseline_latency: int, latency: int) -> float:
+    """The paper's ``delta L%``: latency improvement over the baseline.
+
+    Positive when ``latency`` beats ``baseline_latency``; the paper's
+    occasional negative cells (B-INIT losing to PCC) come out negative
+    here too.
+    """
+    if baseline_latency <= 0:
+        raise ValueError("baseline latency must be positive")
+    return 100.0 * (baseline_latency - latency) / baseline_latency
+
+
+@dataclass(frozen=True)
+class AlgoCell:
+    """One algorithm's result on one (kernel, datapath) cell."""
+
+    latency: int
+    transfers: int
+    seconds: float
+
+    @property
+    def lm(self) -> str:
+        """The paper's ``L/M`` cell notation."""
+        return f"{self.latency}/{self.transfers}"
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One row of a Table 1 / Table 2 style comparison.
+
+    Attributes:
+        kernel: kernel name.
+        datapath_spec: the paper-style cluster spec.
+        num_buses: ``N_B``.
+        move_latency: ``lat(move)``.
+        pcc: the PCC baseline cell.
+        b_init: the B-INIT cell.
+        b_iter: the B-ITER cell (None when the row skips B-ITER).
+    """
+
+    kernel: str
+    datapath_spec: str
+    num_buses: int
+    move_latency: int
+    pcc: AlgoCell
+    b_init: AlgoCell
+    b_iter: Optional[AlgoCell] = None
+
+    @property
+    def init_improvement(self) -> float:
+        """``delta L%`` of B-INIT over PCC."""
+        return improvement_percent(self.pcc.latency, self.b_init.latency)
+
+    @property
+    def iter_improvement(self) -> Optional[float]:
+        """``delta L%`` of B-ITER over PCC."""
+        if self.b_iter is None:
+            return None
+        return improvement_percent(self.pcc.latency, self.b_iter.latency)

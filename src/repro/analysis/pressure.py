@@ -1,0 +1,133 @@
+"""Register-pressure analysis of bound, scheduled basic blocks.
+
+The paper binds *before* register allocation and justifies unbounded
+register files by arguing that clustering "distributes operations, which
+generally decreases register demand on each local register file"
+(Section 2).  This module makes that claim checkable: given a schedule,
+it computes the per-cluster register pressure — the maximum number of
+simultaneously live values each local register file must hold — so users
+(and our test suite) can verify that clustered bindings indeed lower
+per-file pressure relative to the centralized equivalent.
+
+Liveness model:
+
+* a regular operation's value becomes live when the operation finishes;
+* a value consumed only locally dies after its last local consumer
+  *starts* (VLIW register reads happen at issue);
+* a value feeding a transfer stays live in the producing cluster until
+  the transfer starts; the transferred copy becomes live in the
+  destination cluster when the transfer finishes and dies at its last
+  consumer's start;
+* block outputs (values with no consumers) stay live through the end of
+  the schedule — they must survive into the next block;
+* live-in operands are not modelled (they belong to the previous
+  block's pressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from ..schedule.schedule import Schedule
+
+__all__ = ["PressureReport", "register_pressure", "centralized_pressure"]
+
+
+@dataclass(frozen=True)
+class PressureReport:
+    """Per-cluster register-pressure summary for one schedule.
+
+    Attributes:
+        per_cluster: maximum live-value count per cluster index.
+        per_cluster_profile: live-value count per cluster per cycle.
+        peak: the largest per-cluster maximum.
+        total_values: number of values tracked (regular ops + transfer
+            copies).
+    """
+
+    per_cluster: Mapping[int, int]
+    per_cluster_profile: Mapping[int, Tuple[int, ...]]
+    peak: int
+    total_values: int
+
+
+def _live_intervals(schedule: Schedule) -> List[Tuple[int, int, int]]:
+    """Yield ``(cluster, birth_cycle, death_cycle)`` per stored value.
+
+    Death is exclusive: a value live in cycles ``[birth, death)``.
+    """
+    graph = schedule.bound.graph
+    placement = schedule.bound.placement
+    latency = schedule.latency
+    intervals: List[Tuple[int, int, int]] = []
+
+    for op in graph.operations():
+        name = op.name
+        cluster = placement[name]
+        birth = schedule.finish(name)
+        consumers = graph.successors(name)
+        if not consumers:
+            death = latency  # block output: survives to the end
+        else:
+            death = max(schedule.start[c] for c in consumers)
+            # A value read in the cycle it dies still occupies the file
+            # during that read.
+            death = max(death, birth)
+        if op.is_transfer:
+            # the moved copy lives in the destination cluster
+            intervals.append((cluster, birth, max(death, birth)))
+        else:
+            intervals.append((cluster, birth, max(death, birth)))
+    return intervals
+
+
+def register_pressure(schedule: Schedule) -> PressureReport:
+    """Compute per-cluster register pressure for a schedule.
+
+    Returns:
+        A :class:`PressureReport`.  Cycle granularity: a value born and
+        dying in the same cycle still counts for that cycle (it must be
+        written somewhere before being read).
+    """
+    latency = max(schedule.latency, 1)
+    clusters = range(schedule.datapath.num_clusters)
+    profiles: Dict[int, List[int]] = {c: [0] * (latency + 1) for c in clusters}
+
+    intervals = _live_intervals(schedule)
+    for cluster, birth, death in intervals:
+        for cycle in range(birth, max(death, birth) + 1):
+            if cycle <= latency:
+                profiles[cluster][cycle] += 1
+
+    per_cluster = {c: max(profiles[c]) if profiles[c] else 0 for c in clusters}
+    return PressureReport(
+        per_cluster=per_cluster,
+        per_cluster_profile={c: tuple(profiles[c]) for c in clusters},
+        peak=max(per_cluster.values(), default=0),
+        total_values=len(intervals),
+    )
+
+
+def centralized_pressure(schedule: Schedule) -> int:
+    """Pressure of the equivalent centralized machine: all values in
+    one register file (transfer copies excluded — a centralized machine
+    has no transfers)."""
+    graph = schedule.bound.graph
+    latency = max(schedule.latency, 1)
+    profile = [0] * (latency + 1)
+    for op in graph.regular_operations():
+        birth = schedule.finish(op.name)
+        consumers = [
+            c for c in graph.successors(op.name)
+            if not graph.operation(c).is_transfer
+        ]
+        all_consumers = graph.successors(op.name)
+        if not all_consumers:
+            death = latency
+        else:
+            death = max(schedule.start[c] for c in all_consumers)
+        for cycle in range(birth, max(death, birth) + 1):
+            if cycle <= latency:
+                profile[cycle] += 1
+    return max(profile, default=0)

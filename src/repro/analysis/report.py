@@ -1,0 +1,126 @@
+"""Machine-readable export of experiment results.
+
+`render_table1`/`render_table2` print the paper's human layout; this
+module serializes the same :class:`~repro.analysis.metrics.ExperimentRow`
+lists to CSV, JSON, and Markdown so results can be archived, diffed
+across runs, or dropped into a writeup.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from .metrics import ExperimentRow
+
+__all__ = ["rows_to_dicts", "to_csv", "to_json", "to_markdown", "save_rows"]
+
+_COLUMNS = (
+    "kernel",
+    "datapath",
+    "num_buses",
+    "move_latency",
+    "pcc_L",
+    "pcc_M",
+    "pcc_seconds",
+    "init_L",
+    "init_M",
+    "init_seconds",
+    "init_dL_percent",
+    "iter_L",
+    "iter_M",
+    "iter_seconds",
+    "iter_dL_percent",
+)
+
+
+def rows_to_dicts(rows: Sequence[ExperimentRow]) -> List[Dict[str, Any]]:
+    """Flatten rows into one dict per row (columns as in ``_COLUMNS``)."""
+    out: List[Dict[str, Any]] = []
+    for row in rows:
+        record: Dict[str, Any] = {
+            "kernel": row.kernel,
+            "datapath": row.datapath_spec,
+            "num_buses": row.num_buses,
+            "move_latency": row.move_latency,
+            "pcc_L": row.pcc.latency,
+            "pcc_M": row.pcc.transfers,
+            "pcc_seconds": round(row.pcc.seconds, 4),
+            "init_L": row.b_init.latency,
+            "init_M": row.b_init.transfers,
+            "init_seconds": round(row.b_init.seconds, 4),
+            "init_dL_percent": round(row.init_improvement, 1),
+        }
+        if row.b_iter is not None:
+            record.update(
+                iter_L=row.b_iter.latency,
+                iter_M=row.b_iter.transfers,
+                iter_seconds=round(row.b_iter.seconds, 4),
+                iter_dL_percent=round(row.iter_improvement or 0.0, 1),
+            )
+        else:
+            record.update(
+                iter_L=None, iter_M=None, iter_seconds=None,
+                iter_dL_percent=None,
+            )
+        out.append(record)
+    return out
+
+
+def to_csv(rows: Sequence[ExperimentRow]) -> str:
+    """Render rows as CSV text (header + one line per row)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_COLUMNS)
+    writer.writeheader()
+    writer.writerows(rows_to_dicts(rows))
+    return buffer.getvalue()
+
+
+def to_json(rows: Sequence[ExperimentRow], indent: int = 2) -> str:
+    """Render rows as a JSON array."""
+    return json.dumps(rows_to_dicts(rows), indent=indent) + "\n"
+
+
+def to_markdown(rows: Sequence[ExperimentRow]) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    header = (
+        "| kernel | datapath | PCC L/M | B-INIT L/M | dL% | B-ITER L/M | dL% |"
+    )
+    sep = "|---|---|---|---|---|---|---|"
+    lines = [header, sep]
+    for row in rows:
+        iter_lm = row.b_iter.lm if row.b_iter else "-"
+        iter_d = (
+            f"{row.iter_improvement:.1f}" if row.iter_improvement is not None
+            else "-"
+        )
+        spec = row.datapath_spec.replace("|", "\\|")
+        lines.append(
+            f"| {row.kernel} | {spec} | {row.pcc.lm} | {row.b_init.lm} "
+            f"| {row.init_improvement:.1f} | {iter_lm} | {iter_d} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def save_rows(
+    rows: Sequence[ExperimentRow],
+    path: Union[str, Path],
+    fmt: Optional[str] = None,
+) -> None:
+    """Write rows to ``path``; the format defaults to the file suffix.
+
+    Supported formats/suffixes: ``csv``, ``json``, ``md``.
+    """
+    path = Path(path)
+    fmt = fmt or path.suffix.lstrip(".").lower()
+    renderers = {"csv": to_csv, "json": to_json, "md": to_markdown}
+    try:
+        renderer = renderers[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unsupported format {fmt!r}; use one of {sorted(renderers)}"
+        ) from None
+    path.write_text(renderer(rows))

@@ -1,0 +1,113 @@
+"""Aggregate statistics over experiment rows.
+
+Condenses a Table-1-style grid into the headline numbers reviewers ask
+for: win/tie/loss counts, average and maximum latency improvements,
+transfer-count comparisons, and runtime ratios.  Used by the
+reproduction examples and asserted by the shape tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .metrics import ExperimentRow
+
+__all__ = ["ShapeSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class ShapeSummary:
+    """Headline comparison of B-INIT/B-ITER against PCC over a grid.
+
+    Attributes:
+        cells: number of rows aggregated.
+        iter_wins / iter_ties / iter_losses: B-ITER latency outcomes.
+        init_wins / init_ties / init_losses: B-INIT latency outcomes.
+        max_iter_improvement / mean_iter_improvement: ΔL% stats (B-ITER).
+        mean_speedup_init_vs_pcc: geometric mean of PCC time / B-INIT
+            time (how much faster the initial phase is).
+        transfers_pcc / transfers_iter: summed transfer counts.
+    """
+
+    cells: int
+    iter_wins: int
+    iter_ties: int
+    iter_losses: int
+    init_wins: int
+    init_ties: int
+    init_losses: int
+    max_iter_improvement: float
+    mean_iter_improvement: float
+    mean_speedup_init_vs_pcc: float
+    transfers_pcc: int
+    transfers_iter: int
+
+    def headline(self) -> str:
+        """One-paragraph summary in the paper's style."""
+        return (
+            f"Over {self.cells} (kernel, datapath) cells: B-ITER beats PCC "
+            f"in {self.iter_wins}, ties {self.iter_ties}, loses "
+            f"{self.iter_losses}; max latency improvement "
+            f"{self.max_iter_improvement:.0f}% "
+            f"(mean {self.mean_iter_improvement:.1f}%). B-INIT alone wins "
+            f"{self.init_wins}/ties {self.init_ties}/loses "
+            f"{self.init_losses} while running "
+            f"{self.mean_speedup_init_vs_pcc:.1f}x faster than PCC "
+            f"(geometric mean)."
+        )
+
+
+def summarize(rows: Sequence[ExperimentRow]) -> ShapeSummary:
+    """Aggregate a grid of experiment rows.
+
+    Rows without a B-ITER cell contribute to the B-INIT statistics only.
+
+    Raises:
+        ValueError: on an empty row list.
+    """
+    if not rows:
+        raise ValueError("cannot summarize zero rows")
+    iter_rows = [r for r in rows if r.b_iter is not None]
+
+    def outcomes(latencies):
+        wins = sum(1 for pcc, x in latencies if x < pcc)
+        ties = sum(1 for pcc, x in latencies if x == pcc)
+        return wins, ties, len(latencies) - wins - ties
+
+    iter_wins, iter_ties, iter_losses = outcomes(
+        [(r.pcc.latency, r.b_iter.latency) for r in iter_rows]
+    )
+    init_wins, init_ties, init_losses = outcomes(
+        [(r.pcc.latency, r.b_init.latency) for r in rows]
+    )
+
+    improvements = [r.iter_improvement for r in iter_rows]
+    speedups = [
+        r.pcc.seconds / r.b_init.seconds
+        for r in rows
+        if r.b_init.seconds > 0 and r.pcc.seconds > 0
+    ]
+    geomean = (
+        math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        if speedups
+        else 1.0
+    )
+
+    return ShapeSummary(
+        cells=len(rows),
+        iter_wins=iter_wins,
+        iter_ties=iter_ties,
+        iter_losses=iter_losses,
+        init_wins=init_wins,
+        init_ties=init_ties,
+        init_losses=init_losses,
+        max_iter_improvement=max(improvements) if improvements else 0.0,
+        mean_iter_improvement=(
+            sum(improvements) / len(improvements) if improvements else 0.0
+        ),
+        mean_speedup_init_vs_pcc=geomean,
+        transfers_pcc=sum(r.pcc.transfers for r in rows),
+        transfers_iter=sum(r.b_iter.transfers for r in iter_rows),
+    )

@@ -1,0 +1,83 @@
+"""Plain-text rendering of experiment rows in the paper's table layout."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..kernels.registry import KERNEL_STATS
+from .metrics import ExperimentRow
+
+__all__ = ["render_table1", "render_table2", "render_rows"]
+
+_HEADER = (
+    f"{'DATAPATH':22s} | {'PCC L/M':>8s} {'sec':>7s} | "
+    f"{'INIT L/M':>8s} {'dL%':>6s} {'sec':>7s} | "
+    f"{'ITER L/M':>8s} {'dL%':>6s} {'sec':>7s}"
+)
+
+
+def _format_row(row: ExperimentRow, label: Optional[str] = None) -> str:
+    label = label if label is not None else row.datapath_spec
+    parts = [
+        f"{label:22s} | {row.pcc.lm:>8s} {row.pcc.seconds:7.3f} | "
+        f"{row.b_init.lm:>8s} {row.init_improvement:6.1f} "
+        f"{row.b_init.seconds:7.3f}"
+    ]
+    if row.b_iter is not None:
+        parts.append(
+            f" | {row.b_iter.lm:>8s} {row.iter_improvement:6.1f} "
+            f"{row.b_iter.seconds:7.3f}"
+        )
+    else:
+        parts.append(f" | {'-':>8s} {'-':>6s} {'-':>7s}")
+    return "".join(parts)
+
+
+def render_rows(rows: Sequence[ExperimentRow], title: str = "") -> str:
+    """Render a flat list of rows with a shared header."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(_HEADER)
+    lines.append("-" * len(_HEADER))
+    lines.extend(_format_row(r) for r in rows)
+    return "\n".join(lines)
+
+
+def render_table1(rows: Sequence[ExperimentRow]) -> str:
+    """Render rows grouped per kernel, with the paper's sub-headers."""
+    by_kernel: Dict[str, List[ExperimentRow]] = {}
+    order: List[str] = []
+    for row in rows:
+        if row.kernel not in by_kernel:
+            order.append(row.kernel)
+        by_kernel.setdefault(row.kernel, []).append(row)
+
+    lines: List[str] = [
+        "Table 1: benchmark results for N_B = 2 and lat(move) = 1",
+        _HEADER,
+        "=" * len(_HEADER),
+    ]
+    for kernel in order:
+        nv, ncc, lcp = KERNEL_STATS[kernel]
+        lines.append(
+            f"-- {kernel.upper()}: N_V = {nv}, N_CC = {ncc}, L_CP = {lcp} --"
+        )
+        lines.extend(_format_row(r) for r in by_kernel[kernel])
+    return "\n".join(lines)
+
+
+def render_table2(rows: Sequence[ExperimentRow]) -> str:
+    """Render the FFT bus sweep with ``N_B``/``lat(move)`` row labels."""
+    lines: List[str] = []
+    if rows:
+        lines.append(
+            f"Table 2: FFT on datapath {rows[0].datapath_spec} for several "
+            "values of N_B and lat(move)"
+        )
+    lines.append(_HEADER.replace("DATAPATH", "N_B  lat(move)", 1))
+    lines.append("-" * len(_HEADER))
+    for row in rows:
+        label = f"N_B={row.num_buses} lat(move)={row.move_latency}"
+        lines.append(_format_row(row, label=label))
+    return "\n".join(lines)

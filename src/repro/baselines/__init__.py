@@ -1,0 +1,37 @@
+"""Baseline binding algorithms: PCC and the other Section 4 approaches."""
+
+from .annealing import AnnealingResult, annealing_bind
+from .branch_and_bound import BnBResult, branch_and_bound_bind
+from .centralized import (
+    centralized_equivalent,
+    centralized_latency,
+    clustering_overhead,
+)
+from .exhaustive import ExhaustiveResult, exhaustive_bind, search_space_size
+from .mincut import MinCutResult, mincut_bind
+from .pcc import PccResult, form_partial_components, pcc_bind
+from .random_binding import RandomSearchResult, random_bind, random_search
+from .uas import UasResult, uas_bind
+
+__all__ = [
+    "pcc_bind",
+    "PccResult",
+    "form_partial_components",
+    "annealing_bind",
+    "AnnealingResult",
+    "mincut_bind",
+    "MinCutResult",
+    "uas_bind",
+    "UasResult",
+    "random_bind",
+    "random_search",
+    "RandomSearchResult",
+    "exhaustive_bind",
+    "ExhaustiveResult",
+    "search_space_size",
+    "branch_and_bound_bind",
+    "BnBResult",
+    "centralized_equivalent",
+    "centralized_latency",
+    "clustering_overhead",
+]

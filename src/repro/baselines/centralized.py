@@ -1,0 +1,81 @@
+"""Centralized-datapath reference point.
+
+The paper's introduction frames clustering as a trade: restricted
+connectivity (cheap register files) in exchange for data transfers and
+their latency cost.  This module quantifies the other side of that
+trade: the latency of the *equivalent centralized machine* — one
+cluster holding every FU, no transfers ever — which is the best any
+binding on the clustered machine could hope to approach.
+
+``clustering_overhead`` is then ``L_clustered / L_centralized``; the
+paper's algorithms exist to keep that ratio near 1 while the hardware
+keeps the superlinear register-file port cost near the clustered point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.binding import Binding
+from ..datapath.model import Cluster, Datapath
+from ..dfg.graph import Dfg
+from ..dfg.ops import FuType
+from ..dfg.transform import bind_dfg
+from ..schedule.list_scheduler import list_schedule
+from ..schedule.schedule import Schedule
+
+__all__ = [
+    "centralized_equivalent",
+    "centralized_latency",
+    "clustering_overhead",
+]
+
+
+def centralized_equivalent(datapath: Datapath) -> Datapath:
+    """The one-cluster machine with the same total FU complement.
+
+    The bus is kept (it is never used: a single cluster needs no
+    transfers) so the timing registry carries over unchanged.
+    """
+    totals: Dict[FuType, int] = {}
+    for cluster in datapath.clusters:
+        for futype, count in cluster.fu_counts.items():
+            totals[futype] = totals.get(futype, 0) + count
+    return Datapath(
+        [Cluster(0, totals)],
+        num_buses=datapath.num_buses,
+        registry=datapath.registry,
+        name=f"centralized({datapath.name})",
+    )
+
+
+def centralized_latency(dfg: Dfg, datapath: Datapath) -> Schedule:
+    """Schedule ``dfg`` on the centralized equivalent of ``datapath``.
+
+    Returns the schedule (its ``latency`` is the reference ``L``; its
+    transfer count is zero by construction).
+    """
+    central = centralized_equivalent(datapath)
+    binding = Binding({op.name: 0 for op in dfg.regular_operations()})
+    return list_schedule(bind_dfg(dfg, binding), central)
+
+
+def clustering_overhead(dfg: Dfg, datapath: Datapath, latency: int) -> float:
+    """``L_clustered / L_centralized`` for an achieved clustered latency.
+
+    1.0 means clustering cost nothing on this block; the paper's
+    algorithms typically land within ~10-30% on 2-3 cluster machines.
+
+    Raises:
+        ValueError: if ``latency`` is below the centralized reference
+            (impossible for a valid clustered schedule).
+    """
+    reference = centralized_latency(dfg, datapath).latency
+    if reference == 0:
+        return 1.0
+    if latency < reference:
+        raise ValueError(
+            f"clustered latency {latency} below the centralized reference "
+            f"{reference}: the clustered schedule cannot be valid"
+        )
+    return latency / reference

@@ -1,0 +1,72 @@
+"""Random-binding Monte-Carlo reference point.
+
+Not a published algorithm — a sanity floor.  Any serious binder must
+beat the best of N random bindings; the analysis scripts use this to put
+the Table 1 numbers in perspective.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.binding import Binding
+from ..datapath.model import Datapath
+from ..dfg.graph import Dfg
+from ..dfg.transform import bind_dfg
+from ..schedule.list_scheduler import list_schedule
+from ..schedule.schedule import Schedule
+from .annealing import random_binding_seeded
+
+__all__ = ["RandomSearchResult", "random_bind", "random_search"]
+
+
+@dataclass(frozen=True)
+class RandomSearchResult:
+    """Best-of-N random bindings."""
+
+    binding: Binding
+    schedule: Schedule
+    samples: int
+    seconds: float
+
+    @property
+    def latency(self) -> int:
+        return self.schedule.latency
+
+    @property
+    def num_transfers(self) -> int:
+        return self.schedule.num_transfers
+
+
+def random_bind(dfg: Dfg, datapath: Datapath, seed: int = 0) -> Binding:
+    """One uniformly random valid binding."""
+    return random_binding_seeded(dfg, datapath, random.Random(seed))
+
+
+def random_search(
+    dfg: Dfg, datapath: Datapath, samples: int = 100, seed: int = 0
+) -> RandomSearchResult:
+    """Best ``(L, M)`` binding out of ``samples`` random draws."""
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    datapath.check_bindable(dfg)
+    t0 = time.perf_counter()
+    rng = random.Random(seed)
+    best: Optional[Tuple[Tuple[int, int], Binding, Schedule]] = None
+    for _ in range(samples):
+        binding = random_binding_seeded(dfg, datapath, rng)
+        schedule = list_schedule(bind_dfg(dfg, binding), datapath)
+        key = (schedule.latency, schedule.num_transfers)
+        if best is None or key < best[0]:
+            best = (key, binding, schedule)
+    assert best is not None
+    _, binding, schedule = best
+    return RandomSearchResult(
+        binding=binding,
+        schedule=schedule,
+        samples=samples,
+        seconds=time.perf_counter() - t0,
+    )

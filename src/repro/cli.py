@@ -1,0 +1,279 @@
+"""Command-line interface: ``repro-bind`` / ``python -m repro``.
+
+Subcommands:
+
+* ``bind`` — bind a kernel (or a DFG JSON file) to a datapath and print
+  the resulting latency, transfer count, and optionally a Gantt chart or
+  DOT dump;
+* ``kernels`` — list the built-in kernels and their characteristics;
+* ``table1`` / ``table2`` — regenerate the paper's tables (optionally
+  exporting CSV/JSON/Markdown via ``--out``);
+* ``pressure`` — per-cluster register-pressure report for a binding;
+* ``dse`` — design-space exploration: Pareto-optimal datapaths for a
+  set of kernels under an FU budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.experiments import run_table1, run_table2
+from .analysis.tables import render_table1, render_table2
+from .baselines.pcc import pcc_bind
+from .core.driver import bind, bind_initial
+from .datapath.parse import parse_datapath
+from .dfg.dot import to_dot
+from .dfg.serialize import load_dfg
+from .dfg.transform import bind_dfg
+from .kernels.registry import KERNELS, kernel_summary, load_kernel
+from .schedule.gantt import render_gantt
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bind",
+        description=(
+            "Operation binding for clustered VLIW datapaths "
+            "(DAC 2001 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_bind = sub.add_parser("bind", help="bind a kernel to a datapath")
+    p_bind.add_argument(
+        "kernel",
+        help="kernel name (see 'kernels') or a path to a DFG JSON file",
+    )
+    p_bind.add_argument(
+        "--datapath",
+        "-d",
+        default="|1,1|1,1|",
+        help="cluster spec, e.g. '|2,1|1,1|' (default: %(default)s)",
+    )
+    p_bind.add_argument("--buses", type=int, default=2, help="N_B (default 2)")
+    p_bind.add_argument(
+        "--move-latency", type=int, default=1, help="lat(move) (default 1)"
+    )
+    p_bind.add_argument(
+        "--algorithm",
+        "-a",
+        choices=("b-iter", "b-init", "pcc"),
+        default="b-iter",
+        help="binding algorithm (default: %(default)s)",
+    )
+    p_bind.add_argument(
+        "--gantt", action="store_true", help="print the schedule Gantt chart"
+    )
+    p_bind.add_argument(
+        "--asm", action="store_true", help="print the VLIW instruction stream"
+    )
+    p_bind.add_argument(
+        "--dot", metavar="FILE", help="write the bound DFG as Graphviz DOT"
+    )
+    p_bind.add_argument(
+        "--svg", metavar="FILE", help="write the schedule as an SVG chart"
+    )
+
+    p_kernels = sub.add_parser("kernels", help="list built-in kernels")
+    p_kernels.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="include structural statistics (inputs, outputs, width)",
+    )
+
+    p_t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    p_t1.add_argument(
+        "--kernel", action="append", help="restrict to specific kernel(s)"
+    )
+    p_t1.add_argument(
+        "--no-iter", action="store_true", help="skip the B-ITER column"
+    )
+    p_t1.add_argument(
+        "--out", metavar="FILE", help="also export rows (.csv/.json/.md)"
+    )
+
+    p_t2 = sub.add_parser("table2", help="regenerate the paper's Table 2")
+    p_t2.add_argument(
+        "--no-iter", action="store_true", help="skip the B-ITER column"
+    )
+    p_t2.add_argument(
+        "--out", metavar="FILE", help="also export rows (.csv/.json/.md)"
+    )
+
+    p_pr = sub.add_parser(
+        "pressure", help="register-pressure report for a bound kernel"
+    )
+    p_pr.add_argument("kernel", help="kernel name or DFG JSON path")
+    p_pr.add_argument("--datapath", "-d", default="|2,1|2,1|1,1|")
+    p_pr.add_argument("--buses", type=int, default=2)
+
+    p_dse = sub.add_parser(
+        "dse", help="explore clustered datapaths for a kernel set"
+    )
+    p_dse.add_argument("kernels", nargs="+", help="kernel names")
+    p_dse.add_argument("--max-clusters", type=int, default=3)
+    p_dse.add_argument("--max-fus", type=int, default=10)
+    p_dse.add_argument("--buses", type=int, default=2)
+    return parser
+
+
+def _load(name_or_path: str):
+    if name_or_path.lower() in KERNELS:
+        return load_kernel(name_or_path)
+    return load_dfg(name_or_path)
+
+
+def _cmd_bind(args: argparse.Namespace) -> int:
+    dfg = _load(args.kernel)
+    dp = parse_datapath(
+        args.datapath, num_buses=args.buses, move_latency=args.move_latency
+    )
+    if args.algorithm == "pcc":
+        result = pcc_bind(dfg, dp)
+        binding, schedule = result.binding, result.schedule
+        seconds = result.seconds
+    elif args.algorithm == "b-init":
+        result = bind_initial(dfg, dp)
+        binding, schedule = result.binding, result.schedule
+        seconds = result.init_seconds
+    else:
+        result = bind(dfg, dp)
+        binding, schedule = result.binding, result.schedule
+        seconds = result.init_seconds + result.iter_seconds
+    print(
+        f"{dfg.name} on {dp.spec()} (N_B={dp.num_buses}, "
+        f"lat(move)={dp.move_latency}) via {args.algorithm}:"
+    )
+    print(
+        f"  L = {schedule.latency}, M = {schedule.num_transfers}, "
+        f"time = {seconds:.3f}s"
+    )
+    for cluster in range(dp.num_clusters):
+        members = binding.cluster_members(cluster)
+        print(f"  cluster {cluster}: {len(members)} ops")
+    if args.gantt:
+        print(render_gantt(schedule))
+    if args.asm:
+        from .codegen import emit_vliw
+
+        program = emit_vliw(schedule)
+        print(program.assembly())
+        print(f"; slot utilization: {program.utilization():.0%}")
+    if args.dot:
+        bound = bind_dfg(dfg, binding)
+        with open(args.dot, "w") as f:
+            f.write(to_dot(bound.graph, bound.placement, title=dfg.name))
+        print(f"  wrote {args.dot}")
+    if args.svg:
+        from .schedule.svg import save_svg
+
+        save_svg(schedule, args.svg, title=f"{dfg.name} on {dp.spec()}")
+        print(f"  wrote {args.svg}")
+    return 0
+
+
+def _cmd_kernels(verbose: bool = False) -> int:
+    header = (
+        f"{'kernel':12s} {'N_V':>4s} {'N_CC':>5s} {'L_CP':>5s} "
+        f"{'ALU':>4s} {'MUL':>4s}"
+    )
+    if verbose:
+        header += f" {'in':>4s} {'out':>4s} {'width':>6s} {'fanout':>7s}"
+    print(header)
+    for name in KERNELS:
+        info = kernel_summary(name)
+        line = (
+            f"{name:12s} {info.num_operations:4d} {info.num_components:5d} "
+            f"{info.critical_path:5d} {info.num_alu_ops:4d} "
+            f"{info.num_mul_ops:4d}"
+        )
+        if verbose:
+            from .dfg.ops import default_registry
+            from .dfg.stats import dfg_stats
+
+            stats = dfg_stats(load_kernel(name), default_registry())
+            line += (
+                f" {stats.num_inputs:4d} {stats.num_outputs:4d} "
+                f"{stats.avg_width:6.1f} {stats.max_fanout:7d}"
+            )
+        print(line)
+    return 0
+
+
+def _cmd_pressure(args: argparse.Namespace) -> int:
+    from .analysis.pressure import centralized_pressure, register_pressure
+
+    dfg = _load(args.kernel)
+    dp = parse_datapath(args.datapath, num_buses=args.buses)
+    result = bind(dfg, dp, iter_starts=1)
+    report = register_pressure(result.schedule)
+    print(
+        f"{dfg.name} on {dp.spec()}: L = {result.latency}, "
+        f"M = {result.num_transfers}"
+    )
+    for cluster in range(dp.num_clusters):
+        print(f"  cluster {cluster}: peak pressure {report.per_cluster[cluster]}")
+    print(f"  centralized equivalent would need {centralized_pressure(result.schedule)}")
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from .explore import enumerate_datapaths, explore, pareto_front
+
+    kernels = {name: load_kernel(name) for name in args.kernels}
+    candidates = enumerate_datapaths(
+        max_clusters=args.max_clusters,
+        max_total_fus=args.max_fus,
+        num_buses=args.buses,
+    )
+    points = explore(kernels, candidates)
+    print(
+        f"evaluated {len(points)} feasible datapaths "
+        f"({len(candidates)} candidates)"
+    )
+    print("Pareto-optimal (area, latency):")
+    for p in pareto_front(points):
+        print(f"  {p.datapath_spec:22s} area={p.area:7.1f}  L={p.latency}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "bind":
+        return _cmd_bind(args)
+    if args.command == "kernels":
+        return _cmd_kernels(verbose=args.verbose)
+    if args.command == "table1":
+        rows = run_table1(kernels=args.kernel, run_iter=not args.no_iter)
+        print(render_table1(rows))
+        if args.out:
+            from .analysis.report import save_rows
+
+            save_rows(rows, args.out)
+            print(f"wrote {args.out}")
+        return 0
+    if args.command == "table2":
+        rows = run_table2(run_iter=not args.no_iter)
+        print(render_table2(rows))
+        if args.out:
+            from .analysis.report import save_rows
+
+            save_rows(rows, args.out)
+            print(f"wrote {args.out}")
+        return 0
+    if args.command == "pressure":
+        return _cmd_pressure(args)
+    if args.command == "dse":
+        return _cmd_dse(args)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Symbolic VLIW code emission from schedules."""
+
+from .vliw import InstructionWord, Slot, VliwProgram, emit_vliw
+
+__all__ = ["emit_vliw", "VliwProgram", "InstructionWord", "Slot"]

@@ -1,0 +1,62 @@
+"""The paper's contribution: B-INIT, B-ITER, and the driver."""
+
+from .binding import Binding, BindingError, validate_binding
+from .cost import CostBreakdown, CostParams, buscost, fucost, icost, trcost
+from .driver import BindResult, bind, bind_initial, default_lpr_values
+from .initial import InitialBindingResult, initial_binding
+from .iterative import (
+    IterativeResult,
+    boundary_operations,
+    candidate_moves,
+    iterative_improvement,
+)
+from .loadprofile import Profile, ProfileSet, Window, operation_window, transfer_window
+from .pressure_aware import pressure_aware_improvement, pressure_quality
+from .tabu import tabu_improvement
+from .ordering import (
+    make_ordering,
+    mobility_order,
+    paper_order,
+    random_order,
+    reverse_order,
+)
+from .quality import QualityVector, make_quality, quality_qm, quality_qu
+
+__all__ = [
+    "Binding",
+    "BindingError",
+    "validate_binding",
+    "CostParams",
+    "CostBreakdown",
+    "icost",
+    "trcost",
+    "fucost",
+    "buscost",
+    "initial_binding",
+    "InitialBindingResult",
+    "iterative_improvement",
+    "IterativeResult",
+    "boundary_operations",
+    "candidate_moves",
+    "bind",
+    "bind_initial",
+    "BindResult",
+    "default_lpr_values",
+    "Window",
+    "Profile",
+    "ProfileSet",
+    "operation_window",
+    "transfer_window",
+    "paper_order",
+    "reverse_order",
+    "mobility_order",
+    "random_order",
+    "make_ordering",
+    "QualityVector",
+    "quality_qu",
+    "quality_qm",
+    "make_quality",
+    "pressure_aware_improvement",
+    "pressure_quality",
+    "tabu_improvement",
+]

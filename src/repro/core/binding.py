@@ -1,0 +1,129 @@
+"""Binding of DFG operations to datapath clusters.
+
+A binding is the function ``bn(v)`` of the paper: for every regular
+operation of the original DFG it selects a cluster from the operation's
+target set ``TS(v)``.  Transfer operations are not part of a binding —
+they are *derived* from it (see :mod:`repro.dfg.transform`); each transfer
+conceptually executes on the bus and delivers its value into a destination
+cluster's register file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+from ..datapath.model import Datapath
+from ..dfg.graph import Dfg
+
+__all__ = ["Binding", "BindingError", "validate_binding"]
+
+
+class BindingError(ValueError):
+    """Raised when a binding violates the datapath's target sets."""
+
+
+class Binding(Mapping[str, int]):
+    """Immutable mapping from operation name to cluster index.
+
+    Supports mapping semantics plus convenience constructors for
+    perturbation (:meth:`rebind`) used by the iterative-improvement phase.
+    """
+
+    __slots__ = ("_bn",)
+
+    def __init__(self, assignments: Mapping[str, int]) -> None:
+        self._bn: Dict[str, int] = dict(assignments)
+
+    def __getitem__(self, name: str) -> int:
+        return self._bn[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._bn)
+
+    def __len__(self) -> int:
+        return len(self._bn)
+
+    def __repr__(self) -> str:
+        return f"Binding({self._bn!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Binding):
+            return self._bn == other._bn
+        if isinstance(other, Mapping):
+            return self._bn == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._bn.items()))
+
+    def rebind(self, *moves: Tuple[str, int]) -> "Binding":
+        """Return a new binding with the given ``(name, cluster)`` changes."""
+        bn = dict(self._bn)
+        for name, cluster in moves:
+            if name not in bn:
+                raise KeyError(f"cannot rebind unknown operation {name!r}")
+            bn[name] = cluster
+        return Binding(bn)
+
+    def cluster_members(self, cluster: int) -> Tuple[str, ...]:
+        """Names of all operations bound to ``cluster``."""
+        return tuple(n for n, c in self._bn.items() if c == cluster)
+
+    def used_clusters(self) -> Tuple[int, ...]:
+        """Sorted indices of clusters with at least one operation."""
+        return tuple(sorted(set(self._bn.values())))
+
+    def cut_edges(self, dfg: Dfg) -> Tuple[Tuple[str, str], ...]:
+        """Edges of ``dfg`` whose endpoints sit in different clusters."""
+        return tuple(
+            (u, v)
+            for u, v in dfg.edges()
+            if u in self._bn and v in self._bn and self._bn[u] != self._bn[v]
+        )
+
+    def num_required_transfers(self, dfg: Dfg) -> int:
+        """Number of transfers the bound DFG will contain.
+
+        One transfer moves a value from its producer's cluster to one
+        destination cluster, shared by all consumers in that cluster — so
+        the count is over distinct ``(producer, destination)`` pairs, not
+        over cut edges.
+        """
+        pairs = {
+            (u, self._bn[v])
+            for u, v in dfg.edges()
+            if u in self._bn and v in self._bn and self._bn[u] != self._bn[v]
+        }
+        return len(pairs)
+
+
+def validate_binding(binding: Binding, dfg: Dfg, datapath: Datapath) -> None:
+    """Check that ``binding`` is complete and respects target sets.
+
+    Raises:
+        BindingError: if a regular operation is unbound, a non-existent
+            operation is bound, or an operation sits in a cluster lacking
+            an FU of the required type.
+    """
+    regular = {op.name for op in dfg.regular_operations()}
+    bound = set(binding)
+    missing = regular - bound
+    if missing:
+        raise BindingError(f"unbound operations: {sorted(missing)[:5]}")
+    extra = bound - regular
+    if extra:
+        raise BindingError(
+            f"binding mentions operations not in the DFG (or transfers): "
+            f"{sorted(extra)[:5]}"
+        )
+    for name, cluster in binding.items():
+        if not 0 <= cluster < datapath.num_clusters:
+            raise BindingError(
+                f"{name!r} bound to non-existent cluster {cluster}"
+            )
+        optype = dfg.operation(name).optype
+        if not datapath.supports_op(cluster, optype):
+            raise BindingError(
+                f"{name!r} ({optype}) bound to cluster {cluster}, which has "
+                f"no {datapath.futype_of(optype)} units"
+            )

@@ -1,0 +1,265 @@
+"""The incremental binding cost function (paper Section 3.1.2).
+
+The cost of binding operation ``v`` to cluster ``c`` combines three delay
+penalties, each weighted by the timing quantity it trades against::
+
+    icost(v, c) = fucost(v, c) * alpha * dii(v)
+                + buscost(v, c) * beta * dii(move)
+                + trcost(v, c) * gamma * lat(move)
+
+with ``alpha = beta = 1.0`` and ``gamma = 1.1`` — the transfer penalty is
+given *slightly* larger priority than the serialization penalties, which
+the authors found to work best.
+
+* ``trcost`` — predicted data transfers: a direct-data-dependency part
+  (operands already bound elsewhere) plus a common-consumer look-ahead
+  part (an unbound consumer that will need a transfer no matter where it
+  goes, Figure 3).
+* ``fucost`` — FU serialization: levels where the candidate cluster's
+  normalized load profile would exceed both 1 and the equivalent
+  centralized datapath's profile.
+* ``buscost`` — bus serialization: levels where the bus profile,
+  including the transfers this binding would add, exceeds capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, List, Mapping, Set, Tuple
+
+from ..datapath.model import Datapath
+from ..dfg.graph import Dfg
+from .loadprofile import ProfileSet, Window, operation_window, transfer_window
+
+__all__ = ["CostParams", "CostBreakdown", "icost", "trcost", "fucost", "buscost"]
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Weights and options of the cost function.
+
+    Attributes:
+        alpha: weight of the FU-serialization penalty (paper: 1.0).
+        beta: weight of the bus-serialization penalty (paper: 1.0).
+        gamma: weight of the data-transfer penalty (paper: 1.1 — slightly
+            above the serialization weights).
+        share_aware: when True, a predecessor whose value has already been
+            transferred to the candidate cluster (for a previously bound
+            consumer) costs nothing — the transfer is shared.
+    """
+
+    alpha: float = 1.0
+    beta: float = 1.0
+    gamma: float = 1.1
+    share_aware: bool = True
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """``icost`` and its three components, for inspection and tests."""
+
+    total: float
+    fucost: int
+    buscost: int
+    trcost: int
+    new_transfers: Tuple[Tuple[str, int], ...] = ()
+
+
+def trcost(
+    dfg: Dfg,
+    v: str,
+    c: int,
+    bn: Mapping[str, int],
+    committed_transfers: AbstractSet[Tuple[str, int]] = frozenset(),
+    reverse: bool = False,
+    share_aware: bool = True,
+) -> Tuple[int, List[str]]:
+    """Data-transfer penalty ``trcost(v, c)`` (Figure 3).
+
+    Forward mode (producers of ``v`` already bound):
+
+    * direct-data-dependency: +1 per predecessor bound to a different
+      cluster (unless ``share_aware`` and that value already has a
+      committed transfer into ``c``);
+    * common-consumer: +1 per successor ``u`` of ``v`` that has some
+      *other* bound predecessor ``z`` with ``bn(z) != c`` — such a
+      consumer forces a transfer regardless of where it binds.
+
+    Reverse mode is the mirror image (consumers of ``v`` already bound):
+    the direct part counts distinct consumer clusters differing from
+    ``c`` (one shared transfer serves all consumers in one cluster), the
+    look-ahead part counts predecessors that already have another bound
+    consumer elsewhere.
+
+    Returns:
+        ``(penalty, producers)`` where ``producers`` lists, in forward
+        mode, the predecessors whose values need *new* transfers into
+        ``c`` (used to update the bus profile on commit); in reverse
+        mode, it lists ``v`` once per distinct destination cluster.
+    """
+    penalty = 0
+    producers: List[str] = []
+    if not reverse:
+        for u in dfg.predecessors(v):
+            if u in bn and bn[u] != c:
+                if share_aware and (u, c) in committed_transfers:
+                    continue
+                penalty += 1
+                producers.append(u)
+        for u in dfg.successors(v):
+            for z in dfg.predecessors(u):
+                if z != v and z in bn and bn[z] != c:
+                    penalty += 1
+                    break
+    else:
+        dest_clusters = sorted(
+            {bn[u] for u in dfg.successors(v) if u in bn and bn[u] != c}
+        )
+        for dest in dest_clusters:
+            if share_aware and (v, dest) in committed_transfers:
+                continue
+            penalty += 1
+            producers.append(v)
+        for u in dfg.predecessors(v):
+            for z in dfg.successors(u):
+                if z != v and z in bn and bn[z] != c:
+                    penalty += 1
+                    break
+    return penalty, producers
+
+
+def fucost(profiles: ProfileSet, v: str, c: int) -> int:
+    """FU serialization penalty: overload levels after tentatively adding ``v``.
+
+    The penalty counts the profile levels ``tau`` at which the candidate
+    cluster's normalized load would exceed ``max(load_DP(t, tau), 1)`` —
+    i.e. the cluster is overloaded both in absolute terms and relative to
+    the equivalent centralized machine.
+    """
+    dp = profiles.datapath
+    reg = dp.registry
+    op = profiles.dfg.operation(v)
+    futype = reg.futype(op.optype)
+    n_cluster = dp.fu_count(c, futype)
+    window = operation_window(profiles.timing, v, reg.dii(op.optype))
+    raw = profiles.cluster_profile(c, futype)
+
+    penalty = 0
+    for tau in range(profiles.length):
+        contribution = window.height if window.start <= tau <= window.end else 0.0
+        load_cl = (raw.value(tau) + contribution) / n_cluster
+        threshold = max(profiles.load_dp(futype, tau), 1.0)
+        if load_cl > threshold + 1e-9:
+            penalty += 1
+    return penalty
+
+
+def buscost(
+    profiles: ProfileSet,
+    v: str,
+    new_transfer_windows: List[Window],
+) -> int:
+    """Bus serialization penalty: overloaded levels with the new transfers.
+
+    ``new_transfer_windows`` are the windows of the transfers this
+    candidate binding would add (computed by the caller via
+    :func:`~repro.core.loadprofile.transfer_window`); the penalty counts
+    levels where the resulting normalized bus load exceeds 1.
+    """
+    nb = profiles.datapath.num_buses
+    raw = profiles.bus_profile()
+    penalty = 0
+    for tau in range(profiles.length):
+        extra = sum(
+            w.height for w in new_transfer_windows if w.start <= tau <= w.end
+        )
+        if (raw.value(tau) + extra) / nb > 1.0 + 1e-9:
+            penalty += 1
+    return penalty
+
+
+def icost(
+    dfg: Dfg,
+    datapath: Datapath,
+    profiles: ProfileSet,
+    v: str,
+    c: int,
+    bn: Mapping[str, int],
+    committed_transfers: AbstractSet[Tuple[str, int]] = frozenset(),
+    reverse: bool = False,
+    params: CostParams = CostParams(),
+) -> CostBreakdown:
+    """Full incremental cost of binding ``v`` to ``c`` (Equation 1).
+
+    Returns a :class:`CostBreakdown`; ``new_transfers`` records the
+    ``(producer, destination cluster)`` pairs this binding introduces, so
+    the caller can commit their bus-profile windows and share later
+    transfers.
+    """
+    reg = datapath.registry
+    tr_penalty, producers = trcost(
+        dfg,
+        v,
+        c,
+        bn,
+        committed_transfers,
+        reverse=reverse,
+        share_aware=params.share_aware,
+    )
+
+    windows: List[Window] = []
+    new_transfers: List[Tuple[str, int]] = []
+    if not reverse:
+        for u in producers:
+            windows.append(
+                transfer_window(
+                    profiles.timing,
+                    producer=u,
+                    consumer=v,
+                    producer_latency=reg.latency(dfg.operation(u).optype),
+                    move_latency=reg.move_latency,
+                    move_dii=reg.move_dii,
+                    reverse=False,
+                )
+            )
+            new_transfers.append((u, c))
+    else:
+        # In reverse mode the new transfers carry v's own value out to the
+        # clusters of already-bound consumers.
+        dest_clusters = sorted(
+            {bn[u] for u in dfg.successors(v) if u in bn and bn[u] != c}
+        )
+        for dest in dest_clusters:
+            if params.share_aware and (v, dest) in committed_transfers:
+                continue
+            consumers = [
+                u for u in dfg.successors(v) if u in bn and bn[u] == dest
+            ]
+            windows.append(
+                transfer_window(
+                    profiles.timing,
+                    producer=v,
+                    consumer=consumers[0],
+                    producer_latency=reg.latency(dfg.operation(v).optype),
+                    move_latency=reg.move_latency,
+                    move_dii=reg.move_dii,
+                    reverse=True,
+                )
+            )
+            new_transfers.append((v, dest))
+
+    fu_penalty = fucost(profiles, v, c)
+    bus_penalty = buscost(profiles, v, windows)
+
+    total = (
+        fu_penalty * params.alpha * reg.dii(dfg.operation(v).optype)
+        + bus_penalty * params.beta * reg.move_dii
+        + tr_penalty * params.gamma * reg.move_latency
+    )
+    return CostBreakdown(
+        total=total,
+        fucost=fu_penalty,
+        buscost=bus_penalty,
+        trcost=tr_penalty,
+        new_transfers=tuple(new_transfers),
+    )

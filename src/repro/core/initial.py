@@ -1,0 +1,184 @@
+"""B-INIT: the greedy initial binding phase (paper Section 3.1).
+
+The algorithm visits operations in the three-component lexicographic
+order of :mod:`repro.core.ordering` and, for each operation, evaluates the
+incremental cost :func:`repro.core.cost.icost` of every cluster in the
+operation's target set, committing the cheapest.  Committing updates the
+cluster load profile and, when transfers are implied, the bus profile and
+the shared-transfer set.
+
+Despite its low complexity — one cost sweep per operation — this phase
+already delivers solutions competitive with PCC (paper Table 1); the
+driver (:mod:`repro.core.driver`) runs it repeatedly over the ``L_PR``
+stretch and binding-direction knobs and keeps the best result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..datapath.model import Datapath
+from ..dfg.graph import Dfg
+from .binding import Binding, validate_binding
+from .cost import CostBreakdown, CostParams, icost
+from .loadprofile import ProfileSet, transfer_window
+from .ordering import OrderingFn, paper_order, reverse_order
+
+__all__ = ["InitialBindingResult", "initial_binding"]
+
+
+@dataclass(frozen=True)
+class InitialBindingResult:
+    """Outcome of one B-INIT run.
+
+    Attributes:
+        binding: the complete operation-to-cluster assignment.
+        lpr: the load-profile latency the run used.
+        reverse: whether the run bound from the outputs backwards.
+        order: the operation visit order that was used.
+        cost_log: per-operation chosen-cluster cost breakdowns, in visit
+            order (useful for debugging and for the paper-figure tests).
+    """
+
+    binding: Binding
+    lpr: int
+    reverse: bool
+    order: Tuple[str, ...]
+    cost_log: Tuple[Tuple[str, int, CostBreakdown], ...] = ()
+
+
+def initial_binding(
+    dfg: Dfg,
+    datapath: Datapath,
+    lpr: Optional[int] = None,
+    reverse: bool = False,
+    params: CostParams = CostParams(),
+    ordering: Optional[OrderingFn] = None,
+    keep_log: bool = False,
+) -> InitialBindingResult:
+    """Run the greedy initial binding.
+
+    Args:
+        dfg: the original DFG (no transfers).
+        datapath: the clustered machine.
+        lpr: load-profile latency ``L_PR``; defaults to the critical-path
+            length ``L_CP`` (Section 3.1.3 motivates stretching it).
+        reverse: bind from the output nodes backwards (Section 3.1.4).
+        params: cost-function weights (alpha/beta/gamma).
+        ordering: override the visit order; defaults to the paper's order
+            for the chosen direction.  Custom orderings are used by the
+            ablation benchmarks.
+        keep_log: record per-operation cost breakdowns in the result.
+
+    Returns:
+        An :class:`InitialBindingResult` whose binding is complete and
+        valid for ``datapath``.
+
+    Raises:
+        ValueError: if some operation has an empty target set.
+    """
+    datapath.check_bindable(dfg)
+    profiles = ProfileSet(dfg, datapath, lpr=lpr)
+    if ordering is None:
+        ordering = reverse_order if reverse else paper_order
+    order = ordering(dfg, profiles.timing, datapath.registry)
+    if set(order) != {op.name for op in dfg.regular_operations()}:
+        raise ValueError("ordering must enumerate every regular operation once")
+
+    bn: Dict[str, int] = {}
+    committed_transfers: Set[Tuple[str, int]] = set()
+    log: List[Tuple[str, int, CostBreakdown]] = []
+    reg = datapath.registry
+
+    for v in order:
+        optype = dfg.operation(v).optype
+        candidates = datapath.target_set(optype)
+        best_cluster: Optional[int] = None
+        best_key: Optional[Tuple[float, int, float, int]] = None
+        best_breakdown: Optional[CostBreakdown] = None
+        for c in candidates:
+            breakdown = icost(
+                dfg,
+                datapath,
+                profiles,
+                v,
+                c,
+                bn,
+                committed_transfers,
+                reverse=reverse,
+                params=params,
+            )
+            # Tie-breaks beyond the paper's cost: fewer predicted
+            # transfers, lighter current cluster load, lower index —
+            # all chosen to keep results deterministic.
+            futype = reg.futype(optype)
+            load_now = sum(profiles.cluster_profile(c, futype).levels)
+            load_now /= max(1, datapath.fu_count(c, futype))
+            key = (breakdown.total, breakdown.trcost, load_now, c)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_cluster = c
+                best_breakdown = breakdown
+        assert best_cluster is not None and best_breakdown is not None
+        bn[v] = best_cluster
+        profiles.commit_operation(v, best_cluster)
+        _commit_transfers(
+            dfg, datapath, profiles, committed_transfers, bn, v,
+            best_breakdown, reverse,
+        )
+        if keep_log:
+            log.append((v, best_cluster, best_breakdown))
+
+    binding = Binding(bn)
+    validate_binding(binding, dfg, datapath)
+    return InitialBindingResult(
+        binding=binding,
+        lpr=profiles.lpr,
+        reverse=reverse,
+        order=tuple(order),
+        cost_log=tuple(log),
+    )
+
+
+def _commit_transfers(
+    dfg: Dfg,
+    datapath: Datapath,
+    profiles: ProfileSet,
+    committed: Set[Tuple[str, int]],
+    bn: Dict[str, int],
+    v: str,
+    breakdown: CostBreakdown,
+    reverse: bool,
+) -> None:
+    """Record the transfers implied by the just-committed binding of ``v``.
+
+    Forward mode: each new transfer carries a predecessor's value into
+    ``v``'s cluster, so ``v`` itself anchors the window.  Reverse mode:
+    each new transfer carries ``v``'s value out to a destination cluster;
+    the earliest-deadline bound consumer in that cluster anchors it.
+    """
+    reg = datapath.registry
+    for producer, dest in breakdown.new_transfers:
+        committed.add((producer, dest))
+        if not reverse:
+            anchor = v
+        else:
+            in_dest = [
+                u
+                for u in dfg.successors(producer)
+                if u in bn and bn[u] == dest
+            ]
+            anchor = min(
+                in_dest, key=lambda u: profiles.timing.alap[u], default=v
+            )
+        window = transfer_window(
+            profiles.timing,
+            producer=producer,
+            consumer=anchor,
+            producer_latency=reg.latency(dfg.operation(producer).optype),
+            move_latency=reg.move_latency,
+            move_dii=reg.move_dii,
+            reverse=reverse,
+        )
+        profiles.commit_transfer(window)

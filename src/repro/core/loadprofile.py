@@ -1,0 +1,217 @@
+"""Force-directed-style load profiles (paper Section 3.1.2, Figure 4).
+
+The FU-serialization penalty compares the load a candidate binding places
+on one cluster against the load the *equivalent centralized datapath*
+would carry.  Load is distributed over each operation's time frame, as in
+force-directed scheduling [Paulin & Knight 1987]:
+
+* operation ``v`` contributes ``1 / (mu(v) + 1)`` at every profile level
+  ``tau`` in ``[asap(v), alap(v) + dii(v) - 1]`` — the ``dii`` term
+  extends the occupancy of unpipelined/partially pipelined resources;
+* the centralized profile for FU type ``t`` sums the loads of *all*
+  operations executed by ``t`` and normalizes by ``N(t)``;
+* a cluster profile sums only operations *bound* to that cluster and
+  normalizes by ``N(c, t)``.
+
+Profiles are computed for a given *load-profile latency* ``L_PR``; the
+level ordering always refers to the original (unbound) DFG, so profiles do
+not change shape as binding proceeds — only cluster membership does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..datapath.model import Datapath
+from ..dfg.graph import Dfg
+from ..dfg.ops import BUS, FuType
+from ..dfg.timing import TimingInfo, compute_timing
+
+__all__ = ["Window", "Profile", "ProfileSet", "operation_window", "transfer_window"]
+
+
+@dataclass(frozen=True)
+class Window:
+    """A rectangular load contribution: ``height`` over ``[start, end]``.
+
+    ``end`` is inclusive; an empty window is represented by ``end < start``
+    and contributes nothing.
+    """
+
+    start: int
+    end: int
+    height: float
+
+    @property
+    def width(self) -> int:
+        return max(0, self.end - self.start + 1)
+
+
+def operation_window(timing: TimingInfo, name: str, dii: int) -> Window:
+    """Load window of a regular operation for the stored ``L_PR``.
+
+    The paper's definition: zero outside ``[asap(v), alap(v)+dii(v)-1]``,
+    ``1/(mu(v)+1)`` inside.
+    """
+    asap = timing.asap[name]
+    alap = timing.alap[name]
+    mobility = alap - asap
+    return Window(start=asap, end=alap + dii - 1, height=1.0 / (mobility + 1))
+
+
+def transfer_window(
+    timing: TimingInfo,
+    producer: str,
+    consumer: str,
+    producer_latency: int,
+    move_latency: int,
+    move_dii: int,
+    reverse: bool = False,
+) -> Window:
+    """Approximate load window of the transfer on edge ``producer->consumer``.
+
+    Section 3.1.2 ("bus serialization penalty"): transfers are placed "on
+    the side" of the original DFG's level structure.
+
+    * Forward binding (producer already bound): the window opens right
+      after the producer completes; the transfer's mobility is the
+      consumer's mobility decreased by ``lat(move)``, clamped at 0.
+    * Reverse binding (consumer already bound): symmetric — the window
+      closes right before the consumer can latest start; the mobility is
+      the producer's mobility decreased by ``lat(move)``, clamped at 0.
+    """
+    if not reverse:
+        start = timing.asap[producer] + producer_latency
+        mobility = max(0, timing.mobility(consumer) - move_latency)
+    else:
+        latest_start = max(0, timing.alap[consumer] - move_latency)
+        mobility = max(0, timing.mobility(producer) - move_latency)
+        start = max(0, latest_start - mobility)
+    return Window(
+        start=start, end=start + mobility + move_dii - 1, height=1.0 / (mobility + 1)
+    )
+
+
+class Profile:
+    """A dense per-level accumulator of (unnormalized) load."""
+
+    __slots__ = ("levels",)
+
+    def __init__(self, length: int) -> None:
+        self.levels: List[float] = [0.0] * length
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def add(self, window: Window, sign: float = 1.0) -> None:
+        """Accumulate ``window`` (clipped to the profile length)."""
+        lo = max(0, window.start)
+        hi = min(len(self.levels) - 1, window.end)
+        for tau in range(lo, hi + 1):
+            self.levels[tau] += sign * window.height
+
+    def value(self, tau: int) -> float:
+        if 0 <= tau < len(self.levels):
+            return self.levels[tau]
+        return 0.0
+
+    def copy(self) -> "Profile":
+        p = Profile(0)
+        p.levels = list(self.levels)
+        return p
+
+
+class ProfileSet:
+    """All load profiles used during one initial-binding run.
+
+    Holds, for one DFG / datapath / ``L_PR``:
+
+    * ``timing`` — ASAP/ALAP levels of the original DFG at ``L_PR``;
+    * the normalized centralized profile ``load_DP(t, tau)`` per FU type
+      (fixed for the whole run);
+    * one unnormalized cluster profile per ``(cluster, FU type)`` with
+      units, updated as operations are committed;
+    * one unnormalized bus profile, updated as transfers are committed.
+    """
+
+    def __init__(self, dfg: Dfg, datapath: Datapath, lpr: Optional[int] = None) -> None:
+        self.dfg = dfg
+        self.datapath = datapath
+        reg = datapath.registry
+        self.timing = compute_timing(dfg, reg, target_latency=lpr)
+        self.lpr = self.timing.target_latency
+        # Profiles must cover windows extended past L_PR by dii - 1.
+        max_dii = max((reg.dii(op.optype) for op in dfg.operations()), default=1)
+        length = self.lpr + max(max_dii, reg.move_dii)
+
+        self._centralized: Dict[FuType, Profile] = {}
+        for op in dfg.regular_operations():
+            futype = reg.futype(op.optype)
+            prof = self._centralized.setdefault(futype, Profile(length))
+            prof.add(operation_window(self.timing, op.name, reg.dii(op.optype)))
+
+        self._cluster: Dict[Tuple[int, FuType], Profile] = {}
+        for c in datapath.clusters:
+            for futype, count in c.fu_counts.items():
+                if count > 0:
+                    self._cluster[(c.index, futype)] = Profile(length)
+        self._bus = Profile(length)
+        self.length = length
+
+    # ------------------------------------------------------------------
+    # Normalized lookups (the quantities the paper's formulas use)
+    # ------------------------------------------------------------------
+    def load_dp(self, futype: FuType, tau: int) -> float:
+        """``load_DP(t, tau)``: normalized centralized load."""
+        prof = self._centralized.get(futype)
+        if prof is None:
+            return 0.0
+        return prof.value(tau) / self.datapath.total_fu_count(futype)
+
+    def load_cl(self, cluster: int, futype: FuType, tau: int) -> float:
+        """``load_CL(c, t, tau)``: normalized load of one cluster."""
+        prof = self._cluster.get((cluster, futype))
+        if prof is None:
+            return 0.0
+        return prof.value(tau) / self.datapath.fu_count(cluster, futype)
+
+    def load_bus(self, tau: int) -> float:
+        """``load_BUS(tau)``: normalized bus load."""
+        return self._bus.value(tau) / self.datapath.num_buses
+
+    # ------------------------------------------------------------------
+    # Updates as binding proceeds
+    # ------------------------------------------------------------------
+    def commit_operation(self, name: str, cluster: int) -> None:
+        """Add a newly bound operation to its cluster's profile."""
+        reg = self.datapath.registry
+        op = self.dfg.operation(name)
+        futype = reg.futype(op.optype)
+        prof = self._cluster.get((cluster, futype))
+        if prof is None:
+            raise ValueError(
+                f"cluster {cluster} has no {futype} units for {name!r}"
+            )
+        prof.add(operation_window(self.timing, name, reg.dii(op.optype)))
+
+    def uncommit_operation(self, name: str, cluster: int) -> None:
+        """Remove a previously committed operation (used by perturbation)."""
+        reg = self.datapath.registry
+        op = self.dfg.operation(name)
+        futype = reg.futype(op.optype)
+        self._cluster[(cluster, futype)].add(
+            operation_window(self.timing, name, reg.dii(op.optype)), sign=-1.0
+        )
+
+    def commit_transfer(self, window: Window) -> None:
+        """Add a committed transfer's load to the bus profile."""
+        self._bus.add(window)
+
+    def cluster_profile(self, cluster: int, futype: FuType) -> Profile:
+        """Raw (unnormalized) cluster profile, for inspection/tests."""
+        return self._cluster[(cluster, futype)]
+
+    def bus_profile(self) -> Profile:
+        """Raw (unnormalized) bus profile, for inspection/tests."""
+        return self._bus

@@ -1,0 +1,114 @@
+"""Binding-order ranking functions (paper Section 3.1.1, Figure 2).
+
+The initial binding visits operations in a fixed order determined by a
+three-component lexicographic ranking:
+
+1. ``alap(v)`` ascending — operations at earlier levels first, which makes
+   the traversal level-oriented (enabling load estimation without
+   scheduling) while still starting with the critical path;
+2. mobility ascending — within a level, the least flexible first;
+3. consumer count descending — operations whose result feeds more
+   consumers are more constraining, so they bind earlier.
+
+The reversed order (Section 3.1.4) is the mirror image — useful for DFGs
+with few inputs and many outputs: it ranks by the mirrored ALAP level
+(i.e. by ``asap(v) + lat(v)`` descending), then mobility, then *producer*
+count descending.
+
+Two deliberately weaker orderings (pure mobility, seeded random) are
+provided for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List
+
+from ..dfg.graph import Dfg
+from ..dfg.ops import OpTypeRegistry
+from ..dfg.timing import TimingInfo
+
+__all__ = [
+    "OrderingFn",
+    "paper_order",
+    "reverse_order",
+    "mobility_order",
+    "random_order",
+    "make_ordering",
+]
+
+#: An ordering function maps (dfg, timing, registry) to a binding sequence.
+OrderingFn = Callable[[Dfg, TimingInfo, OpTypeRegistry], List[str]]
+
+
+def paper_order(dfg: Dfg, timing: TimingInfo, registry: OpTypeRegistry) -> List[str]:
+    """The paper's forward order: (alap, mobility, -consumers)."""
+    names = [op.name for op in dfg.regular_operations()]
+    index = {n: i for i, n in enumerate(dfg)}
+    return sorted(
+        names,
+        key=lambda n: (
+            timing.alap[n],
+            timing.mobility(n),
+            -dfg.out_degree(n),
+            index[n],
+        ),
+    )
+
+
+def reverse_order(dfg: Dfg, timing: TimingInfo, registry: OpTypeRegistry) -> List[str]:
+    """Mirror-image order, binding from the output nodes (Section 3.1.4)."""
+    names = [op.name for op in dfg.regular_operations()]
+    index = {n: i for i, n in enumerate(dfg)}
+
+    def finish_level(n: str) -> int:
+        return timing.asap[n] + registry.latency(dfg.operation(n).optype)
+
+    return sorted(
+        names,
+        key=lambda n: (
+            -finish_level(n),
+            timing.mobility(n),
+            -dfg.in_degree(n),
+            index[n],
+        ),
+    )
+
+
+def mobility_order(dfg: Dfg, timing: TimingInfo, registry: OpTypeRegistry) -> List[str]:
+    """Ablation baseline: rank purely by mobility (critical path first).
+
+    This is the "simplest" ordering the paper discusses and rejects: it
+    traverses the DFG vertically along critical paths, which defeats
+    level-based load estimation.
+    """
+    names = [op.name for op in dfg.regular_operations()]
+    index = {n: i for i, n in enumerate(dfg)}
+    return sorted(
+        names, key=lambda n: (timing.mobility(n), timing.asap[n], index[n])
+    )
+
+
+def random_order(seed: int = 0) -> OrderingFn:
+    """Ablation baseline: a seeded random topological-ish order."""
+
+    def order(dfg: Dfg, timing: TimingInfo, registry: OpTypeRegistry) -> List[str]:
+        names = [op.name for op in dfg.regular_operations()]
+        rng = random.Random(seed)
+        rng.shuffle(names)
+        return names
+
+    return order
+
+
+def make_ordering(name: str, seed: int = 0) -> OrderingFn:
+    """Look up an ordering by name: paper|reverse|mobility|random."""
+    if name == "paper":
+        return paper_order
+    if name == "reverse":
+        return reverse_order
+    if name == "mobility":
+        return mobility_order
+    if name == "random":
+        return random_order(seed)
+    raise ValueError(f"unknown ordering {name!r}")

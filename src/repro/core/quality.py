@@ -1,0 +1,64 @@
+"""Binding quality functions Q_U and Q_M (paper Section 3.2, Figure 6).
+
+Both quality functions are vectors compared lexicographically (smaller is
+better):
+
+* ``Q_U = (L, U_0, U_1, ...)`` — schedule latency followed by the number
+  of *regular* operations completing at step ``L``, ``L-1``, ... .  This
+  captures improvement *potential*: a binding that clears operations off
+  the last schedule steps is closer to a latency reduction even when ``L``
+  itself has not moved yet, which is what lets the hill-climbing
+  perturbations make gradual progress (the naive latency-only function
+  stalls on plateaus).
+* ``Q_M = (L, N_MV)`` — latency then number of data transfers.  Q_M is
+  worse at escaping latency plateaus but good at trimming transfers, so
+  B-ITER runs Q_U to convergence first and then Q_M (paper: "we first use
+  Q_U to achieve the minimum latency and then use Q_M to minimize N_MV").
+
+Vectors are plain tuples, so Python's tuple comparison provides the exact
+lexicographic semantics, including the footnote-5 "compare until first
+mismatch" short-circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from ..schedule.schedule import Schedule
+
+__all__ = ["QualityVector", "quality_qu", "quality_qm", "make_quality"]
+
+#: A lexicographically comparable quality vector; smaller is better.
+QualityVector = Tuple[int, ...]
+
+
+def quality_qu(schedule: Schedule, depth: int | None = None) -> QualityVector:
+    """``Q_U``: latency followed by completion counts from the last step.
+
+    Args:
+        schedule: a schedule of the bound DFG.
+        depth: number of ``U_i`` components to include; defaults to all
+            ``L`` of them.  The components count regular operations
+            completing at steps ``L``, ``L-1``, ...
+
+    Returns:
+        ``(L, U_0, U_1, ..., U_{depth-1})``.
+    """
+    profile = schedule.completion_profile()
+    if depth is not None:
+        profile = profile[:depth]
+    return (schedule.latency, *profile)
+
+
+def quality_qm(schedule: Schedule) -> QualityVector:
+    """``Q_M = (L, N_MV)``: latency then number of data transfers."""
+    return (schedule.latency, schedule.num_transfers)
+
+
+def make_quality(name: str) -> Callable[[Schedule], QualityVector]:
+    """Look up a quality function by name (``"qu"`` or ``"qm"``)."""
+    if name == "qu":
+        return quality_qu
+    if name == "qm":
+        return quality_qm
+    raise ValueError(f"unknown quality function {name!r}; use 'qu' or 'qm'")

@@ -1,0 +1,25 @@
+"""Clustered VLIW datapath model, spec parsing, and the paper's configs."""
+
+from .library import (
+    TABLE1_CONFIGS,
+    TABLE2_DATAPATH_SPEC,
+    TABLE2_SWEEP,
+    all_specs,
+    table1_datapaths,
+    table2_datapaths,
+)
+from .model import Cluster, Datapath
+from .parse import parse_cluster_spec, parse_datapath
+
+__all__ = [
+    "Cluster",
+    "Datapath",
+    "parse_datapath",
+    "parse_cluster_spec",
+    "TABLE1_CONFIGS",
+    "TABLE2_DATAPATH_SPEC",
+    "TABLE2_SWEEP",
+    "table1_datapaths",
+    "table2_datapaths",
+    "all_specs",
+]

@@ -1,0 +1,110 @@
+"""The datapath configurations used in the paper's evaluation.
+
+Table 1 evaluates every kernel on a hand-picked set of homogeneous and
+non-homogeneous 2–4 cluster datapaths (``N_B = 2``, ``lat(move) = 1``);
+Table 2 sweeps bus parameters for the FFT kernel on a 5-cluster machine.
+This module records those configurations verbatim so the benchmark harness
+and the tests can refer to them by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .model import Datapath
+from .parse import parse_datapath
+
+__all__ = [
+    "TABLE1_CONFIGS",
+    "TABLE2_DATAPATH_SPEC",
+    "TABLE2_SWEEP",
+    "table1_datapaths",
+    "table2_datapaths",
+    "all_specs",
+]
+
+#: Datapath specs per kernel, in the order Table 1 lists them.
+TABLE1_CONFIGS: Dict[str, Tuple[str, ...]] = {
+    "dct-dif": (
+        "|1,1|1,1|",
+        "|2,1|2,1|",
+        "|2,1|1,1|",
+        "|1,1|1,1|1,1|",
+    ),
+    "dct-lee": (
+        "|1,1|1,1|",
+        "|2,1|2,1|",
+        "|2,1|1,1|",
+        "|2,2|2,1|",
+        "|1,1|1,1|1,1|",
+    ),
+    "dct-dit": (
+        "|1,1|1,1|",
+        "|2,1|2,1|",
+        "|1,1|1,1|1,1|",
+        "|2,1|2,1|1,1|",
+        "|3,1|2,2|1,3|",
+        "|1,1|1,1|1,1|1,1|",
+    ),
+    "dct-dit-2": (
+        "|1,1|1,1|",
+        "|2,1|2,1|",
+        "|1,1|1,1|1,1|",
+        "|3,1|2,2|1,3|",
+        "|1,1|1,1|1,1|1,1|",
+    ),
+    "fft": (
+        "|1,1|1,1|",
+        "|2,1|2,1|",
+        "|1,1|1,1|1,1|",
+        "|2,1|2,1|1,2|",
+        "|3,2|3,1|1,3|",
+        "|1,1|1,1|1,1|1,1|",
+    ),
+    "ewf": (
+        "|1,1|1,1|",
+        "|2,1|2,1|",
+        "|2,1|1,1|",
+        "|1,1|1,1|1,1|",
+        "|2,2|2,1|1,1|",
+    ),
+    "arf": (
+        "|1,1|1,1|",
+        "|1,2|1,2|",
+    ),
+}
+
+#: The 5-cluster machine Table 2 runs the FFT kernel on.
+TABLE2_DATAPATH_SPEC = "|2,2|2,1|2,2|3,1|1,1|"
+
+#: ``(N_B, lat(move))`` points of the Table 2 sweep, in row order.
+TABLE2_SWEEP: Tuple[Tuple[int, int], ...] = ((1, 1), (2, 1), (1, 2), (2, 2))
+
+
+def table1_datapaths(kernel: str) -> List[Datapath]:
+    """Datapaths for one kernel's Table 1 block (``N_B=2, lat(move)=1``)."""
+    try:
+        specs = TABLE1_CONFIGS[kernel]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {kernel!r}; known: {sorted(TABLE1_CONFIGS)}"
+        ) from None
+    return [parse_datapath(s, num_buses=2) for s in specs]
+
+
+def table2_datapaths() -> List[Datapath]:
+    """The four ``(N_B, lat(move))`` variants of the Table 2 machine."""
+    return [
+        parse_datapath(TABLE2_DATAPATH_SPEC, num_buses=nb, move_latency=lm)
+        for nb, lm in TABLE2_SWEEP
+    ]
+
+
+def all_specs() -> Tuple[str, ...]:
+    """Every distinct datapath spec appearing in the evaluation."""
+    seen: Dict[str, None] = {}
+    for specs in TABLE1_CONFIGS.values():
+        for s in specs:
+            seen.setdefault(s, None)
+    seen.setdefault(TABLE2_DATAPATH_SPEC, None)
+    return tuple(seen)

@@ -1,0 +1,216 @@
+"""Clustered VLIW datapath model (paper Section 2).
+
+A datapath is a collection of clusters connected by a bus:
+
+* each cluster has a local register file and ``N(c, t)`` functional units
+  of each FU type ``t``;
+* the bus performs up to ``N_B`` simultaneous inter-cluster transfers and
+  is modelled as a resource of type :data:`~repro.dfg.ops.BUS` executing
+  the :data:`~repro.dfg.ops.MOVE` operation type;
+* register files are unbounded — the paper argues binding happens before
+  register allocation and clustering lowers per-file register pressure, so
+  spills are assumed rare and handled later.
+
+The paper writes configurations as ``|i,j|i,j|...`` where ``i`` is the
+number of ALUs and ``j`` the number of multipliers per cluster; see
+:mod:`repro.datapath.parse` for that notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..dfg.graph import Dfg
+from ..dfg.ops import ALU, BUS, MOVE, MUL, FuType, OpType, OpTypeRegistry, default_registry
+
+__all__ = ["Cluster", "Datapath"]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One cluster: a register file plus functional units.
+
+    Attributes:
+        index: position of the cluster in the datapath (0-based).
+        fu_counts: ``N(c, t)`` — number of FUs per FU type.  Types absent
+            from the mapping have zero units.
+    """
+
+    index: int
+    fu_counts: Mapping[FuType, int]
+
+    def __post_init__(self) -> None:
+        for futype, count in self.fu_counts.items():
+            if count < 0:
+                raise ValueError(
+                    f"cluster {self.index}: negative FU count {count} for {futype}"
+                )
+        if not any(self.fu_counts.values()):
+            raise ValueError(f"cluster {self.index} has no functional units")
+
+    def fu_count(self, futype: FuType) -> int:
+        """``N(c, t)`` for this cluster."""
+        return self.fu_counts.get(futype, 0)
+
+    def supports(self, futype: FuType) -> bool:
+        """Whether this cluster has at least one FU of type ``futype``."""
+        return self.fu_count(futype) > 0
+
+    @property
+    def total_fus(self) -> int:
+        return sum(self.fu_counts.values())
+
+    def spec(self) -> str:
+        """Paper-style ``i,j`` spec (ALUs, multipliers)."""
+        return f"{self.fu_count(ALU)},{self.fu_count(MUL)}"
+
+    def __str__(self) -> str:
+        return f"[{self.spec()}]"
+
+
+class Datapath:
+    """A clustered VLIW datapath: clusters, a bus, and operation timings.
+
+    Args:
+        clusters: the cluster list; indices must be 0..len-1 in order.
+        num_buses: ``N_B`` — simultaneous inter-cluster transfers.
+        registry: operation-type timing registry; defaults to the paper's
+            all-unit-latency setup.
+        name: optional label used in tables and reprs.
+    """
+
+    def __init__(
+        self,
+        clusters: Iterable[Cluster],
+        num_buses: int = 2,
+        registry: Optional[OpTypeRegistry] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.clusters: Tuple[Cluster, ...] = tuple(clusters)
+        if not self.clusters:
+            raise ValueError("a datapath needs at least one cluster")
+        for i, c in enumerate(self.clusters):
+            if c.index != i:
+                raise ValueError(
+                    f"cluster at position {i} has index {c.index}; "
+                    "indices must be consecutive from 0"
+                )
+        if num_buses < 1:
+            raise ValueError(f"num_buses must be >= 1, got {num_buses}")
+        self.num_buses = num_buses
+        self.registry = registry if registry is not None else default_registry()
+        self.name = name or self.spec()
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+    def cluster(self, index: int) -> Cluster:
+        return self.clusters[index]
+
+    def fu_count(self, cluster: int, futype: FuType) -> int:
+        """``N(c, t)``."""
+        if futype == BUS:
+            return self.num_buses
+        return self.clusters[cluster].fu_count(futype)
+
+    def total_fu_count(self, futype: FuType) -> int:
+        """``N(t) = sum_c N(c, t)`` (``N_B`` for the bus)."""
+        if futype == BUS:
+            return self.num_buses
+        return sum(c.fu_count(futype) for c in self.clusters)
+
+    def fu_types(self) -> Tuple[FuType, ...]:
+        """All non-bus FU types present in at least one cluster."""
+        seen: Dict[FuType, None] = {}
+        for c in self.clusters:
+            for futype, count in c.fu_counts.items():
+                if count > 0:
+                    seen.setdefault(futype, None)
+        return tuple(seen)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether all clusters have identical FU complements."""
+        first = self.clusters[0]
+        types = set(self.fu_types())
+        return all(
+            all(c.fu_count(t) == first.fu_count(t) for t in types)
+            for c in self.clusters[1:]
+        )
+
+    # ------------------------------------------------------------------
+    # Binding support
+    # ------------------------------------------------------------------
+    def futype_of(self, optype: OpType) -> FuType:
+        """``futype(optype)`` via the attached registry."""
+        return self.registry.futype(optype)
+
+    def supports_op(self, cluster: int, optype: OpType) -> bool:
+        """Whether operation type ``optype`` can be bound to ``cluster``."""
+        return self.clusters[cluster].supports(self.futype_of(optype))
+
+    def target_set(self, optype: OpType) -> Tuple[int, ...]:
+        """``TS(v)``: indices of clusters that can execute ``optype``."""
+        futype = self.futype_of(optype)
+        return tuple(
+            c.index for c in self.clusters if c.supports(futype)
+        )
+
+    def check_bindable(self, dfg: Dfg) -> None:
+        """Raise ValueError if some operation has an empty target set."""
+        for op in dfg.regular_operations():
+            if not self.target_set(op.optype):
+                raise ValueError(
+                    f"operation {op.name!r} of type {op.optype} has no "
+                    f"supporting cluster in datapath {self.name!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Derived timing shortcuts
+    # ------------------------------------------------------------------
+    @property
+    def move_latency(self) -> int:
+        """``lat(move)``."""
+        return self.registry.latency(MOVE)
+
+    @property
+    def move_dii(self) -> int:
+        """``dii(move)``."""
+        return self.registry.dii(MOVE)
+
+    # ------------------------------------------------------------------
+    # Variants / display
+    # ------------------------------------------------------------------
+    def with_bus(
+        self,
+        num_buses: Optional[int] = None,
+        move_latency: Optional[int] = None,
+    ) -> "Datapath":
+        """Copy with a different bus width and/or transfer latency.
+
+        This is the knob Table 2 sweeps (``N_B`` and ``lat(move)``).
+        """
+        registry = self.registry
+        if move_latency is not None:
+            registry = registry.with_overrides(move_latency=move_latency)
+        return Datapath(
+            clusters=self.clusters,
+            num_buses=num_buses if num_buses is not None else self.num_buses,
+            registry=registry,
+            name=self.name,
+        )
+
+    def spec(self) -> str:
+        """Paper-style spec string, e.g. ``|2,1|1,1|``."""
+        return "|" + "|".join(c.spec() for c in self.clusters) + "|"
+
+    def __repr__(self) -> str:
+        return (
+            f"Datapath({self.spec()}, N_B={self.num_buses}, "
+            f"lat(move)={self.move_latency})"
+        )

@@ -1,0 +1,66 @@
+"""Parser for the paper's cluster-spec notation.
+
+Tables 1 and 2 describe datapaths as ``|i,j|i,j|...`` where each ``i,j``
+pair is the number of ALUs and multipliers in one cluster, e.g.
+``|2,1|1,1|`` is a two-cluster machine with (2 ALUs, 1 MUL) and
+(1 ALU, 1 MUL).  :func:`parse_datapath` accepts this notation (outer bars
+optional, whitespace ignored) and builds a :class:`~repro.datapath.model.Datapath`.
+
+For datapaths with FU types beyond ALU/MUL, build
+:class:`~repro.datapath.model.Cluster` objects directly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from ..dfg.ops import ALU, MUL, OpTypeRegistry
+from .model import Cluster, Datapath
+
+__all__ = ["parse_datapath", "parse_cluster_spec"]
+
+_PAIR_RE = re.compile(r"^\s*(\d+)\s*,\s*(\d+)\s*$")
+
+
+def parse_cluster_spec(spec: str, index: int) -> Cluster:
+    """Parse one ``i,j`` pair into a :class:`Cluster`."""
+    m = _PAIR_RE.match(spec)
+    if not m:
+        raise ValueError(
+            f"malformed cluster spec {spec!r}: expected 'ALUs,MULs' like '2,1'"
+        )
+    alus, muls = int(m.group(1)), int(m.group(2))
+    return Cluster(index=index, fu_counts={ALU: alus, MUL: muls})
+
+
+def parse_datapath(
+    spec: str,
+    num_buses: int = 2,
+    registry: Optional[OpTypeRegistry] = None,
+    move_latency: Optional[int] = None,
+    name: Optional[str] = None,
+) -> Datapath:
+    """Build a datapath from a spec like ``"|2,1|1,1|"``.
+
+    Args:
+        spec: cluster list in the paper's bar notation; leading/trailing
+            bars and whitespace are optional (``"2,1|1,1"`` also works).
+        num_buses: ``N_B``; the paper's Table 1 uses 2.
+        registry: optional custom timing registry.
+        move_latency: convenience override for ``lat(move)``; applied on
+            top of ``registry`` (or the default registry).
+        name: optional datapath label; defaults to the normalized spec.
+
+    Returns:
+        The parsed :class:`Datapath`.
+    """
+    body = spec.strip().strip("|")
+    if not body:
+        raise ValueError(f"empty datapath spec {spec!r}")
+    parts = [p for p in body.split("|")]
+    clusters = [parse_cluster_spec(p, i) for i, p in enumerate(parts)]
+    dp = Datapath(clusters, num_buses=num_buses, registry=registry, name=name)
+    if move_latency is not None:
+        dp = dp.with_bus(move_latency=move_latency)
+    return dp

@@ -1,0 +1,75 @@
+"""Dataflow-graph substrate: graphs, timing, transforms, generators, I/O."""
+
+from .graph import CycleError, Dfg, Operation
+from .ops import (
+    ADD,
+    ALU,
+    AND,
+    BUS,
+    CMP,
+    MAC,
+    MOVE,
+    MUL,
+    MULT,
+    NEG,
+    OR,
+    SHIFT,
+    SUB,
+    XOR,
+    FuType,
+    OpType,
+    OpTypeInfo,
+    OpTypeRegistry,
+    default_registry,
+)
+from .serialize import dfg_from_dict, dfg_to_dict, load_dfg, save_dfg
+from .stats import DfgStats, dfg_stats
+from .timing import TimingInfo, compute_timing, critical_path, critical_path_length
+from .trace import Sym, Tracer
+from .transform import BoundDfg, bind_dfg, transfer_name
+from .unroll import unroll, unroll_chained
+from .validate import ValidationError, validate_dfg
+
+__all__ = [
+    "Dfg",
+    "Operation",
+    "CycleError",
+    "FuType",
+    "OpType",
+    "OpTypeInfo",
+    "OpTypeRegistry",
+    "default_registry",
+    "ALU",
+    "MUL",
+    "BUS",
+    "ADD",
+    "SUB",
+    "NEG",
+    "CMP",
+    "SHIFT",
+    "AND",
+    "OR",
+    "XOR",
+    "MULT",
+    "MAC",
+    "MOVE",
+    "TimingInfo",
+    "compute_timing",
+    "critical_path",
+    "critical_path_length",
+    "BoundDfg",
+    "bind_dfg",
+    "transfer_name",
+    "Sym",
+    "Tracer",
+    "ValidationError",
+    "validate_dfg",
+    "unroll",
+    "unroll_chained",
+    "DfgStats",
+    "dfg_stats",
+    "dfg_to_dict",
+    "dfg_from_dict",
+    "save_dfg",
+    "load_dfg",
+]

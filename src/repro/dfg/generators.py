@@ -1,0 +1,163 @@
+"""Random DFG generators for property-based testing and stress runs.
+
+The generators produce graphs with controlled size, operation mix, and
+shape (layered DAGs resembling DSP basic blocks, chains, butterflies,
+trees).  They are used by the hypothesis test-suite and the scalability
+benchmarks; the paper's actual kernels live in :mod:`repro.kernels`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .graph import Dfg
+from .ops import ADD, MULT, OpType, SUB
+
+__all__ = [
+    "random_layered_dfg",
+    "random_dag",
+    "chain_dfg",
+    "butterfly_dfg",
+    "reduction_tree_dfg",
+]
+
+
+def random_layered_dfg(
+    num_ops: int,
+    seed: int = 0,
+    width: int = 6,
+    mul_fraction: float = 0.3,
+    max_fanin: int = 2,
+) -> Dfg:
+    """A layered DAG shaped like a DSP basic block.
+
+    Operations are arranged in layers of at most ``width`` nodes; each
+    non-first-layer operation draws 1..``max_fanin`` operands from the
+    previous few layers, which yields realistic reconvergence and keeps
+    critical paths proportional to the layer count.
+    """
+    if num_ops < 1:
+        raise ValueError("num_ops must be >= 1")
+    rng = random.Random(seed)
+    dfg = Dfg(f"random{seed}")
+    layers: List[List[str]] = []
+    created = 0
+    while created < num_ops:
+        layer_size = min(rng.randint(1, width), num_ops - created)
+        layer: List[str] = []
+        for _ in range(layer_size):
+            created += 1
+            name = f"v{created}"
+            optype: OpType = MULT if rng.random() < mul_fraction else (
+                ADD if rng.random() < 0.7 else SUB
+            )
+            dfg.add_op(name, optype)
+            if layers:
+                pool = [n for lyr in layers[-3:] for n in lyr]
+                fanin = rng.randint(1, min(max_fanin, len(pool)))
+                for p in rng.sample(pool, fanin):
+                    dfg.add_edge(p, name)
+            layer.append(name)
+        layers.append(layer)
+    return dfg
+
+
+def random_dag(
+    num_ops: int,
+    edge_probability: float = 0.15,
+    seed: int = 0,
+    mul_fraction: float = 0.3,
+) -> Dfg:
+    """An Erdős–Rényi-style random DAG (edges only forward in index order)."""
+    rng = random.Random(seed)
+    dfg = Dfg(f"gnp{seed}")
+    names = [f"v{i + 1}" for i in range(num_ops)]
+    for name in names:
+        optype = MULT if rng.random() < mul_fraction else ADD
+        dfg.add_op(name, optype)
+    for i in range(num_ops):
+        for j in range(i + 1, num_ops):
+            if dfg.in_degree(names[j]) >= 2:
+                continue
+            if rng.random() < edge_probability:
+                dfg.add_edge(names[i], names[j])
+    return dfg
+
+
+def chain_dfg(length: int, optype: OpType = ADD) -> Dfg:
+    """A pure dependency chain — zero exploitable parallelism."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    dfg = Dfg(f"chain{length}")
+    prev: Optional[str] = None
+    for i in range(length):
+        name = f"v{i + 1}"
+        dfg.add_op(name, optype)
+        if prev is not None:
+            dfg.add_edge(prev, name)
+        prev = name
+    return dfg
+
+
+def butterfly_dfg(stages: int, width: int = 8) -> Dfg:
+    """FFT-like butterfly network: ``stages`` layers of paired add/sub.
+
+    ``width`` must be a power of two.  Each stage pairs lanes at stride
+    ``width >> (stage+1)`` and produces a sum and a difference per pair —
+    the canonical radix-2 dataflow shape.
+    """
+    if width < 2 or width & (width - 1):
+        raise ValueError("width must be a power of two >= 2")
+    dfg = Dfg(f"butterfly{stages}x{width}")
+    counter = [0]
+
+    def new_op(optype: OpType, preds: Sequence[Optional[str]]) -> str:
+        counter[0] += 1
+        name = f"v{counter[0]}"
+        dfg.add_op(name, optype)
+        for p in preds:
+            if p is not None:
+                dfg.add_edge(p, name)
+        return name
+
+    lanes: List[Optional[str]] = [None] * width
+    for stage in range(stages):
+        stride = max(1, width >> (stage % (width.bit_length() - 1) + 1))
+        nxt: List[Optional[str]] = list(lanes)
+        for lo in range(width):
+            hi = lo + stride
+            if hi >= width or (lo // stride) % 2 == 1:
+                continue
+            a, b = lanes[lo], lanes[hi]
+            nxt[lo] = new_op(ADD, [a, b])
+            nxt[hi] = new_op(SUB, [a, b])
+        lanes = nxt
+    return dfg
+
+
+def reduction_tree_dfg(leaves: int, optype: OpType = ADD) -> Dfg:
+    """A balanced reduction tree over ``leaves`` live-in values."""
+    if leaves < 2:
+        raise ValueError("leaves must be >= 2")
+    dfg = Dfg(f"tree{leaves}")
+    counter = [0]
+
+    def new_op(preds: Sequence[Optional[str]]) -> str:
+        counter[0] += 1
+        name = f"v{counter[0]}"
+        dfg.add_op(name, optype)
+        for p in preds:
+            if p is not None:
+                dfg.add_edge(p, name)
+        return name
+
+    level: List[Optional[str]] = [None] * leaves
+    while len(level) > 1:
+        nxt: List[Optional[str]] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(new_op([level[i], level[i + 1]]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return dfg

@@ -1,0 +1,373 @@
+"""Dataflow-graph (DFG) representation of a basic block.
+
+The paper models a basic block as a directed acyclic graph ``DAG = (V, E)``
+where vertices are operations and edges are data dependencies (Section 2).
+A DFG appears in two forms:
+
+* the **original** DFG, containing only *regular* operations; and
+* the **bound** DFG, which additionally contains the inter-cluster data
+  transfer (move) operations implied by a binding (see
+  :mod:`repro.dfg.transform`).
+
+This module provides a small, self-contained DAG class tuned for the access
+patterns of the binding algorithms: O(1) predecessor/successor lookup,
+deterministic iteration order (insertion order), cheap copies, and a
+topological-order cache.  It deliberately does not depend on ``networkx`` —
+the core library has no third-party dependencies — but exposes
+``to_networkx`` for interoperability in tests and analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .ops import MOVE, OpType
+
+__all__ = ["Operation", "Dfg", "CycleError"]
+
+
+class CycleError(ValueError):
+    """Raised when a DFG is found to contain a dependency cycle."""
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One vertex of the DFG.
+
+    Attributes:
+        name: unique identifier within its DFG (e.g. ``"v12"`` or ``"t3"``).
+        optype: the operation type (``optype(v)`` in the paper).
+        is_transfer: True for inter-cluster data-transfer operations that
+            were inserted by binding; such operations always have
+            ``optype == MOVE``.
+        source: for a transfer, the name of the producing regular operation
+            whose value it carries; ``None`` for regular operations.
+    """
+
+    name: str
+    optype: OpType
+    is_transfer: bool = False
+    source: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.is_transfer and self.optype != MOVE:
+            raise ValueError(
+                f"transfer operation {self.name!r} must have optype MOVE, "
+                f"got {self.optype!r}"
+            )
+        if not self.is_transfer and self.source is not None:
+            raise ValueError(
+                f"regular operation {self.name!r} cannot carry a transfer source"
+            )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Dfg:
+    """A directed acyclic graph of operations.
+
+    Node identity is by name.  Iteration over nodes and over adjacency
+    lists follows insertion order, which makes every algorithm in this
+    library deterministic for a given input.
+    """
+
+    def __init__(self, name: str = "dfg") -> None:
+        self.name = name
+        self._ops: Dict[str, Operation] = {}
+        self._succs: Dict[str, List[str]] = {}
+        self._preds: Dict[str, List[str]] = {}
+        self._topo_cache: Optional[Tuple[str, ...]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_operation(self, op: Operation) -> Operation:
+        """Insert ``op``; raises ValueError if the name already exists."""
+        if op.name in self._ops:
+            raise ValueError(f"duplicate operation name {op.name!r}")
+        self._ops[op.name] = op
+        self._succs[op.name] = []
+        self._preds[op.name] = []
+        self._topo_cache = None
+        return op
+
+    def add_op(
+        self,
+        name: str,
+        optype: OpType,
+        *,
+        is_transfer: bool = False,
+        source: Optional[str] = None,
+    ) -> Operation:
+        """Convenience wrapper around :meth:`add_operation`."""
+        return self.add_operation(
+            Operation(name=name, optype=optype, is_transfer=is_transfer, source=source)
+        )
+
+    def add_edge(self, producer: str, consumer: str) -> None:
+        """Add data dependency ``producer -> consumer``.
+
+        Parallel edges are collapsed (an operand used twice is still one
+        dependency for scheduling purposes); self-loops are rejected.
+        """
+        if producer not in self._ops:
+            raise KeyError(f"unknown producer {producer!r}")
+        if consumer not in self._ops:
+            raise KeyError(f"unknown consumer {consumer!r}")
+        if producer == consumer:
+            raise CycleError(f"self-dependency on {producer!r}")
+        if consumer in self._succs[producer]:
+            return
+        self._succs[producer].append(consumer)
+        self._preds[consumer].append(producer)
+        self._topo_cache = None
+
+    def remove_operation(self, name: str) -> None:
+        """Remove an operation and all incident edges."""
+        if name not in self._ops:
+            raise KeyError(f"unknown operation {name!r}")
+        for s in self._succs[name]:
+            self._preds[s].remove(name)
+        for p in self._preds[name]:
+            self._succs[p].remove(name)
+        del self._ops[name], self._succs[name], self._preds[name]
+        self._topo_cache = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._ops
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._ops)
+
+    @property
+    def num_operations(self) -> int:
+        """``N_V``: the total number of operations (regular + transfers)."""
+        return len(self._ops)
+
+    @property
+    def num_regular(self) -> int:
+        """Number of non-transfer operations."""
+        return sum(1 for op in self._ops.values() if not op.is_transfer)
+
+    @property
+    def num_transfers(self) -> int:
+        """``N_MV``: number of data-transfer operations in a bound DFG."""
+        return sum(1 for op in self._ops.values() if op.is_transfer)
+
+    def operation(self, name: str) -> Operation:
+        """Look up an operation by name."""
+        try:
+            return self._ops[name]
+        except KeyError:
+            raise KeyError(f"unknown operation {name!r} in DFG {self.name!r}") from None
+
+    def operations(self) -> Tuple[Operation, ...]:
+        """All operations, in insertion order."""
+        return tuple(self._ops.values())
+
+    def regular_operations(self) -> Tuple[Operation, ...]:
+        """All non-transfer operations, in insertion order."""
+        return tuple(op for op in self._ops.values() if not op.is_transfer)
+
+    def transfer_operations(self) -> Tuple[Operation, ...]:
+        """All transfer operations, in insertion order."""
+        return tuple(op for op in self._ops.values() if op.is_transfer)
+
+    def successors(self, name: str) -> Tuple[str, ...]:
+        """``succ(v)``: names of direct consumers of ``name``'s result."""
+        return tuple(self._succs[name])
+
+    def predecessors(self, name: str) -> Tuple[str, ...]:
+        """``pred(v)``: names of direct producers of ``name``'s operands."""
+        return tuple(self._preds[name])
+
+    def in_degree(self, name: str) -> int:
+        return len(self._preds[name])
+
+    def out_degree(self, name: str) -> int:
+        return len(self._succs[name])
+
+    def edges(self) -> Iterator[Tuple[str, str]]:
+        """Iterate over all ``(producer, consumer)`` edges."""
+        for u, succs in self._succs.items():
+            for v in succs:
+                yield (u, v)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._succs.values())
+
+    def inputs(self) -> Tuple[str, ...]:
+        """Operations with no predecessors (primary inputs of the block)."""
+        return tuple(n for n in self._ops if not self._preds[n])
+
+    def outputs(self) -> Tuple[str, ...]:
+        """Operations with no successors (results leaving the block)."""
+        return tuple(n for n in self._ops if not self._succs[n])
+
+    # ------------------------------------------------------------------
+    # Graph algorithms
+    # ------------------------------------------------------------------
+    def topological_order(self) -> Tuple[str, ...]:
+        """Kahn topological order (cached; insertion order breaks ties).
+
+        Raises:
+            CycleError: if the graph has a dependency cycle.
+        """
+        if self._topo_cache is not None:
+            return self._topo_cache
+        indeg = {n: len(self._preds[n]) for n in self._ops}
+        ready = [n for n in self._ops if indeg[n] == 0]
+        order: List[str] = []
+        head = 0
+        while head < len(ready):
+            n = ready[head]
+            head += 1
+            order.append(n)
+            for s in self._succs[n]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(s)
+        if len(order) != len(self._ops):
+            stuck = sorted(n for n, d in indeg.items() if d > 0)
+            raise CycleError(f"dependency cycle involving {stuck[:5]}")
+        self._topo_cache = tuple(order)
+        return self._topo_cache
+
+    def connected_components(self) -> Tuple[Tuple[str, ...], ...]:
+        """Weakly connected components, each as a tuple of names.
+
+        The paper reports ``N_CC`` per kernel; e.g. the 8-point DCT-DIF
+        graph splits into two components (even/odd coefficient halves).
+        """
+        seen: Set[str] = set()
+        components: List[Tuple[str, ...]] = []
+        for start in self._ops:
+            if start in seen:
+                continue
+            stack = [start]
+            comp: List[str] = []
+            seen.add(start)
+            while stack:
+                n = stack.pop()
+                comp.append(n)
+                for m in self._succs[n]:
+                    if m not in seen:
+                        seen.add(m)
+                        stack.append(m)
+                for m in self._preds[n]:
+                    if m not in seen:
+                        seen.add(m)
+                        stack.append(m)
+            components.append(tuple(comp))
+        return tuple(components)
+
+    @property
+    def num_components(self) -> int:
+        """``N_CC``: number of weakly connected components."""
+        return len(self.connected_components())
+
+    def descendants(self, name: str) -> Set[str]:
+        """All operations reachable from ``name`` (excluding itself)."""
+        out: Set[str] = set()
+        stack = list(self._succs[name])
+        while stack:
+            n = stack.pop()
+            if n in out:
+                continue
+            out.add(n)
+            stack.extend(self._succs[n])
+        return out
+
+    def ancestors(self, name: str) -> Set[str]:
+        """All operations that reach ``name`` (excluding itself)."""
+        out: Set[str] = set()
+        stack = list(self._preds[name])
+        while stack:
+            n = stack.pop()
+            if n in out:
+                continue
+            out.add(n)
+            stack.extend(self._preds[n])
+        return out
+
+    # ------------------------------------------------------------------
+    # Copies / interop
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "Dfg":
+        """Return an independent copy (operations are shared, frozen)."""
+        g = Dfg(name or self.name)
+        g._ops = dict(self._ops)
+        g._succs = {n: list(s) for n, s in self._succs.items()}
+        g._preds = {n: list(p) for n, p in self._preds.items()}
+        g._topo_cache = self._topo_cache
+        return g
+
+    def without_transfers(self, name: Optional[str] = None) -> "Dfg":
+        """Return the original DFG: transfers removed, edges reconnected.
+
+        Each transfer ``t`` carrying the value of producer ``p`` to a set of
+        consumers is replaced by direct edges ``p -> consumer``.  Chained
+        transfers (multi-hop moves) are collapsed transitively.
+        """
+        g = Dfg(name or self.name)
+        for op in self._ops.values():
+            if not op.is_transfer:
+                g.add_operation(op)
+
+        def resolve_producer(n: str) -> str:
+            # Walk back through chained transfers to the regular producer.
+            while self._ops[n].is_transfer:
+                preds = self._preds[n]
+                if len(preds) != 1:
+                    raise ValueError(
+                        f"transfer {n!r} must have exactly one producer, "
+                        f"found {len(preds)}"
+                    )
+                n = preds[0]
+            return n
+
+        for u, v in self.edges():
+            if self._ops[v].is_transfer:
+                continue
+            src = resolve_producer(u)
+            g.add_edge(src, v)
+        return g
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` (for tests / analysis only)."""
+        import networkx as nx
+
+        g = nx.DiGraph(name=self.name)
+        for op in self._ops.values():
+            g.add_node(
+                op.name,
+                optype=op.optype.name,
+                is_transfer=op.is_transfer,
+                source=op.source,
+            )
+        g.add_edges_from(self.edges())
+        return g
+
+    def __repr__(self) -> str:
+        return (
+            f"Dfg({self.name!r}, ops={self.num_operations}, "
+            f"edges={self.num_edges}, transfers={self.num_transfers})"
+        )

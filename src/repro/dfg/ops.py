@@ -1,0 +1,264 @@
+"""Operation and functional-unit type definitions.
+
+The paper's model (Section 2) associates every *operation type* with exactly
+one *functional-unit type*: ``futype(p)`` partitions the set of operation
+types ``OT`` over the set of FU types ``FT``.  The inter-cluster data
+transfer is itself an operation type (``MOVE``) whose functional-unit type is
+the bus (``BUS``).
+
+This module defines the registry that records, for each operation type:
+
+* the FU type that executes it,
+* its latency ``lat(p)`` in clock cycles, and
+* the data-introduction interval ``dii(p)`` of the executing resource
+  (the number of cycles after which the resource can accept a new
+  operation; ``dii == lat`` models an unpipelined resource, ``dii == 1`` a
+  fully pipelined one).
+
+The defaults follow the paper's experimental setup: two FU classes (ALU and
+multiplier), all operations single-cycle, fully pipelined.  Both latencies
+and ``dii`` can be overridden per :class:`OpTypeRegistry` instance, which is
+how Table 2's ``lat(move) = 2`` sweep is expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+__all__ = [
+    "FuType",
+    "OpType",
+    "OpTypeInfo",
+    "OpTypeRegistry",
+    "ALU",
+    "MUL",
+    "BUS",
+    "ADD",
+    "SUB",
+    "NEG",
+    "CMP",
+    "SHIFT",
+    "AND",
+    "OR",
+    "XOR",
+    "MULT",
+    "MAC",
+    "MOVE",
+    "default_registry",
+]
+
+
+@dataclass(frozen=True)
+class FuType:
+    """A functional-unit type (e.g. ALU, multiplier, or the bus)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"FuType({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class OpType:
+    """An operation type (e.g. addition), executed by one FU type."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"OpType({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# Canonical FU types used throughout the reproduction.  Clusters in the
+# paper's tables are written ``[i, j]`` = *i* ALUs and *j* multipliers.
+ALU = FuType("ALU")
+MUL = FuType("MUL")
+BUS = FuType("BUS")
+
+# Canonical operation types.  The paper's kernels only use additive and
+# multiplicative operations; the extra ALU ops make the model usable for
+# richer basic blocks without touching the algorithms.
+ADD = OpType("add")
+SUB = OpType("sub")
+NEG = OpType("neg")
+CMP = OpType("cmp")
+SHIFT = OpType("shift")
+AND = OpType("and")
+OR = OpType("or")
+XOR = OpType("xor")
+MULT = OpType("mul")
+MAC = OpType("mac")
+MOVE = OpType("move")
+
+
+@dataclass(frozen=True)
+class OpTypeInfo:
+    """Execution characteristics of one operation type.
+
+    Attributes:
+        optype: the operation type described.
+        futype: the FU type that executes it (``futype(p)`` in the paper).
+        latency: ``lat(p)``, cycles until the result is available.
+        dii: data-introduction interval of the executing resource.
+    """
+
+    optype: OpType
+    futype: FuType
+    latency: int = 1
+    dii: int = 1
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError(f"latency must be >= 1, got {self.latency}")
+        if self.dii < 1:
+            raise ValueError(f"dii must be >= 1, got {self.dii}")
+        if self.dii > self.latency:
+            raise ValueError(
+                f"dii ({self.dii}) cannot exceed latency ({self.latency}): "
+                "a resource is free at the latest when its result is ready"
+            )
+
+
+class OpTypeRegistry:
+    """Mapping of operation types to their execution characteristics.
+
+    A registry instance is attached to a :class:`~repro.datapath.model.Datapath`
+    and consulted by the binding algorithms and the scheduler for
+    ``lat()``/``dii()``/``futype()`` lookups.  Registries are cheap to copy
+    and override, which supports parameter sweeps such as Table 2's
+    ``lat(move)`` variation::
+
+        reg = default_registry().with_overrides(move_latency=2)
+    """
+
+    def __init__(self, infos: Optional[Iterable[OpTypeInfo]] = None) -> None:
+        self._infos: Dict[OpType, OpTypeInfo] = {}
+        for info in infos or ():
+            self.register(info)
+
+    def register(self, info: OpTypeInfo) -> None:
+        """Add or replace the entry for ``info.optype``."""
+        self._infos[info.optype] = info
+
+    def __contains__(self, optype: OpType) -> bool:
+        return optype in self._infos
+
+    def __iter__(self) -> Iterator[OpTypeInfo]:
+        return iter(self._infos.values())
+
+    def __len__(self) -> int:
+        return len(self._infos)
+
+    def info(self, optype: OpType) -> OpTypeInfo:
+        """Return the :class:`OpTypeInfo` for ``optype``.
+
+        Raises:
+            KeyError: if the operation type was never registered.
+        """
+        try:
+            return self._infos[optype]
+        except KeyError:
+            raise KeyError(
+                f"operation type {optype!r} is not registered; "
+                f"known types: {sorted(t.name for t in self._infos)}"
+            ) from None
+
+    def futype(self, optype: OpType) -> FuType:
+        """``futype(p)``: the FU type executing operation type ``p``."""
+        return self.info(optype).futype
+
+    def latency(self, optype: OpType) -> int:
+        """``lat(p)`` in clock cycles."""
+        return self.info(optype).latency
+
+    def dii(self, optype: OpType) -> int:
+        """``dii(p)``: the data-introduction interval of ``futype(p)``."""
+        return self.info(optype).dii
+
+    @property
+    def move_latency(self) -> int:
+        """``lat(move)``: latency of an inter-cluster transfer."""
+        return self.latency(MOVE)
+
+    @property
+    def move_dii(self) -> int:
+        """``dii(move)``: issue interval of the bus."""
+        return self.dii(MOVE)
+
+    def fu_types(self) -> Tuple[FuType, ...]:
+        """All FU types referenced by registered operation types."""
+        seen: Dict[FuType, None] = {}
+        for info in self._infos.values():
+            seen.setdefault(info.futype, None)
+        return tuple(seen)
+
+    def optypes_for(self, futype: FuType) -> Tuple[OpType, ...]:
+        """All operation types executed on FUs of type ``futype``."""
+        return tuple(
+            info.optype for info in self._infos.values() if info.futype == futype
+        )
+
+    def copy(self) -> "OpTypeRegistry":
+        """Return an independent copy of this registry."""
+        return OpTypeRegistry(self._infos.values())
+
+    def with_overrides(
+        self,
+        *,
+        move_latency: Optional[int] = None,
+        move_dii: Optional[int] = None,
+        latencies: Optional[Dict[OpType, int]] = None,
+        diis: Optional[Dict[OpType, int]] = None,
+    ) -> "OpTypeRegistry":
+        """Return a copy with selected latencies / diis replaced.
+
+        ``move_latency``/``move_dii`` are conveniences for the common sweep
+        over transfer cost; ``latencies``/``diis`` override arbitrary types.
+        When a latency is raised above the current ``dii`` the ``dii`` is
+        kept; when it is lowered below the ``dii``, the ``dii`` is clamped
+        down to the new latency (a resource cannot stay busy past its
+        result).
+        """
+        new = self.copy()
+        lat_overrides = dict(latencies or {})
+        dii_overrides = dict(diis or {})
+        if move_latency is not None:
+            lat_overrides[MOVE] = move_latency
+        if move_dii is not None:
+            dii_overrides[MOVE] = move_dii
+        for optype, lat in lat_overrides.items():
+            info = new.info(optype)
+            new_dii = dii_overrides.pop(optype, min(info.dii, lat))
+            new.register(replace(info, latency=lat, dii=new_dii))
+        for optype, dii in dii_overrides.items():
+            info = new.info(optype)
+            new.register(replace(info, dii=dii))
+        return new
+
+
+def default_registry(
+    *,
+    move_latency: int = 1,
+    alu_latency: int = 1,
+    mul_latency: int = 1,
+) -> OpTypeRegistry:
+    """Build the registry used throughout the paper's evaluation.
+
+    All operations take one cycle and every resource is fully pipelined
+    (``dii = 1``), matching the setup of Table 1.  ``move_latency`` sets
+    ``lat(move)`` for Table 2 style sweeps.
+    """
+    alu_ops = (ADD, SUB, NEG, CMP, SHIFT, AND, OR, XOR)
+    infos = [
+        OpTypeInfo(op, ALU, latency=alu_latency, dii=1) for op in alu_ops
+    ]
+    infos.append(OpTypeInfo(MULT, MUL, latency=mul_latency, dii=1))
+    infos.append(OpTypeInfo(MAC, MUL, latency=mul_latency, dii=1))
+    infos.append(OpTypeInfo(MOVE, BUS, latency=move_latency, dii=1))
+    return OpTypeRegistry(infos)

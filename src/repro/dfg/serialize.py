@@ -1,0 +1,77 @@
+"""JSON serialization of DFGs and bindings.
+
+Round-trippable, versioned, dependency-free.  The format is plain::
+
+    {
+      "format": "repro-dfg/1",
+      "name": "ewf",
+      "operations": [{"name": "v1", "optype": "add"}, ...],
+      "edges": [["v1", "v2"], ...]
+    }
+
+Transfers survive the round trip (``is_transfer`` / ``source`` keys are
+emitted only when set), so bound DFGs can be archived too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+from .graph import Dfg
+from .ops import OpType
+
+__all__ = ["dfg_to_dict", "dfg_from_dict", "save_dfg", "load_dfg", "FORMAT"]
+
+FORMAT = "repro-dfg/1"
+
+
+def dfg_to_dict(dfg: Dfg) -> Dict[str, Any]:
+    """Serialize a DFG to a JSON-compatible dict."""
+    operations = []
+    for op in dfg.operations():
+        entry: Dict[str, Any] = {"name": op.name, "optype": op.optype.name}
+        if op.is_transfer:
+            entry["is_transfer"] = True
+        if op.source is not None:
+            entry["source"] = op.source
+        operations.append(entry)
+    return {
+        "format": FORMAT,
+        "name": dfg.name,
+        "operations": operations,
+        "edges": [list(e) for e in dfg.edges()],
+    }
+
+
+def dfg_from_dict(data: Mapping[str, Any]) -> Dfg:
+    """Deserialize a DFG from :func:`dfg_to_dict` output.
+
+    Raises:
+        ValueError: on a missing/unknown format marker or malformed body.
+    """
+    fmt = data.get("format")
+    if fmt != FORMAT:
+        raise ValueError(f"unsupported DFG format {fmt!r}; expected {FORMAT!r}")
+    dfg = Dfg(str(data.get("name", "dfg")))
+    for entry in data["operations"]:
+        dfg.add_op(
+            entry["name"],
+            OpType(entry["optype"]),
+            is_transfer=bool(entry.get("is_transfer", False)),
+            source=entry.get("source"),
+        )
+    for u, v in data["edges"]:
+        dfg.add_edge(u, v)
+    return dfg
+
+
+def save_dfg(dfg: Dfg, path: Union[str, Path]) -> None:
+    """Write a DFG to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(dfg_to_dict(dfg), indent=2) + "\n")
+
+
+def load_dfg(path: Union[str, Path]) -> Dfg:
+    """Read a DFG previously written by :func:`save_dfg`."""
+    return dfg_from_dict(json.loads(Path(path).read_text()))

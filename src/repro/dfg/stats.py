@@ -1,0 +1,81 @@
+"""Descriptive statistics of DFGs.
+
+Summarizes the structural properties that drive binding difficulty:
+operation mix, depth profile, fan-out, width (parallelism per level),
+and input/output counts — the quantities the paper's table sub-headers
+report plus the ones its Section 3.1.4 heuristics key on (few inputs /
+many outputs favours reversed binding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from .graph import Dfg
+from .ops import FuType, OpTypeRegistry
+from .timing import compute_timing
+
+__all__ = ["DfgStats", "dfg_stats"]
+
+
+@dataclass(frozen=True)
+class DfgStats:
+    """Structural summary of one DFG.
+
+    Attributes:
+        num_operations / num_edges / num_components: global counts.
+        critical_path: ``L_CP`` with the given registry.
+        ops_per_futype: operation counts per executing FU type.
+        num_inputs / num_outputs: source/sink operation counts.
+        max_fanout: largest consumer count of any value.
+        avg_width: operations per critical-path level (the available
+            parallelism if resources were infinite).
+        width_profile: operations whose ASAP level equals each step.
+    """
+
+    num_operations: int
+    num_edges: int
+    num_components: int
+    critical_path: int
+    ops_per_futype: Mapping[FuType, int]
+    num_inputs: int
+    num_outputs: int
+    max_fanout: int
+    avg_width: float
+    width_profile: Tuple[int, ...]
+
+
+def dfg_stats(dfg: Dfg, registry: OpTypeRegistry) -> DfgStats:
+    """Compute a :class:`DfgStats` for ``dfg``."""
+    per_type: Dict[FuType, int] = {}
+    for op in dfg.regular_operations():
+        futype = registry.futype(op.optype)
+        per_type[futype] = per_type.get(futype, 0) + 1
+
+    if len(dfg):
+        timing = compute_timing(dfg, registry)
+        lcp = timing.critical_path_length
+        profile: List[int] = [0] * max(1, lcp)
+        for name in dfg:
+            profile[timing.asap[name]] += 1
+        max_fanout = max(dfg.out_degree(n) for n in dfg)
+        avg_width = dfg.num_operations / max(1, lcp)
+    else:
+        lcp = 0
+        profile = []
+        max_fanout = 0
+        avg_width = 0.0
+
+    return DfgStats(
+        num_operations=dfg.num_operations,
+        num_edges=dfg.num_edges,
+        num_components=dfg.num_components,
+        critical_path=lcp,
+        ops_per_futype=per_type,
+        num_inputs=len(dfg.inputs()),
+        num_outputs=len(dfg.outputs()),
+        max_fanout=max_fanout,
+        avg_width=avg_width,
+        width_profile=tuple(profile),
+    )

@@ -1,0 +1,141 @@
+"""ASAP/ALAP scheduling levels, mobility, and critical-path length.
+
+These are the resource-unconstrained timing quantities the paper builds on
+(Section 3.1.1, footnote 2):
+
+* ``asap(v)`` — earliest start step of ``v`` (longest path from any input);
+* ``alap(v)`` — latest start step of ``v`` such that the block still
+  finishes within a target latency ``L_TG``;
+* mobility ``mu(v) = alap(v) - asap(v)``;
+* critical-path length ``L_CP`` — the unconstrained schedule latency.
+
+All quantities respect per-operation latencies ``lat(v)`` from the
+:class:`~repro.dfg.ops.OpTypeRegistry`.  Steps are 0-based: an operation
+starting at step ``s`` finishes at the end of step ``s + lat(v) - 1``, so a
+chain of ``k`` unit-latency operations has ``L_CP = k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from .graph import Dfg
+from .ops import OpTypeRegistry
+
+__all__ = ["TimingInfo", "compute_timing", "critical_path_length", "critical_path"]
+
+
+@dataclass(frozen=True)
+class TimingInfo:
+    """Resource-unconstrained timing of one DFG for a target latency.
+
+    Attributes:
+        asap: earliest start step per operation (0-based).
+        alap: latest start step per operation for the target latency.
+        target_latency: the ``L_TG``/``L_PR`` the ALAP values refer to.
+        critical_path_length: ``L_CP`` of the DFG.
+    """
+
+    asap: Mapping[str, int]
+    alap: Mapping[str, int]
+    target_latency: int
+    critical_path_length: int
+
+    def mobility(self, name: str) -> int:
+        """``mu(v) = alap(v) - asap(v)`` for the stored target latency."""
+        return self.alap[name] - self.asap[name]
+
+    def time_frame(self, name: str) -> Tuple[int, int]:
+        """Inclusive ``(asap, alap)`` start-step window of ``name``."""
+        return (self.asap[name], self.alap[name])
+
+
+def compute_timing(
+    dfg: Dfg,
+    registry: OpTypeRegistry,
+    target_latency: Optional[int] = None,
+) -> TimingInfo:
+    """Compute ASAP/ALAP levels for every operation in ``dfg``.
+
+    Args:
+        dfg: the graph (original or bound; transfers are treated like any
+            other operation, using ``lat(move)``).
+        registry: latency lookup for operation types.
+        target_latency: ``L_TG``.  Defaults to the critical-path length, in
+            which case critical operations get zero mobility.  Values below
+            ``L_CP`` are rejected: they would produce negative mobility.
+
+    Returns:
+        A :class:`TimingInfo` with 0-based start steps.
+    """
+    order = dfg.topological_order()
+    lat: Dict[str, int] = {
+        n: registry.latency(dfg.operation(n).optype) for n in order
+    }
+
+    asap: Dict[str, int] = {}
+    for n in order:
+        start = 0
+        for p in dfg.predecessors(n):
+            start = max(start, asap[p] + lat[p])
+        asap[n] = start
+
+    lcp = max((asap[n] + lat[n] for n in order), default=0)
+    if target_latency is None:
+        target_latency = lcp
+    if target_latency < lcp:
+        raise ValueError(
+            f"target latency {target_latency} is below the critical path "
+            f"length {lcp}"
+        )
+
+    alap: Dict[str, int] = {}
+    for n in reversed(order):
+        latest = target_latency - lat[n]
+        for s in dfg.successors(n):
+            latest = min(latest, alap[s] - lat[n])
+        alap[n] = latest
+
+    return TimingInfo(
+        asap=asap,
+        alap=alap,
+        target_latency=target_latency,
+        critical_path_length=lcp,
+    )
+
+
+def critical_path_length(dfg: Dfg, registry: OpTypeRegistry) -> int:
+    """``L_CP``: the unconstrained schedule latency of ``dfg``."""
+    return compute_timing(dfg, registry).critical_path_length
+
+
+def critical_path(dfg: Dfg, registry: OpTypeRegistry) -> Tuple[str, ...]:
+    """One longest dependency chain, as a tuple of operation names.
+
+    Ties are broken by insertion order, so the result is deterministic.
+    """
+    timing = compute_timing(dfg, registry)
+    lat = {n: registry.latency(dfg.operation(n).optype) for n in dfg}
+    # An operation is critical iff its mobility is zero; walk critical
+    # operations forward along edges that preserve criticality.
+    zero = [n for n in dfg.topological_order() if timing.mobility(n) == 0]
+    if not zero:
+        return ()
+    start = min(zero, key=lambda n: (timing.asap[n], list(dfg).index(n)))
+    path = [start]
+    current = start
+    while True:
+        nxt = None
+        for s in dfg.successors(current):
+            if (
+                timing.mobility(s) == 0
+                and timing.asap[s] == timing.asap[current] + lat[current]
+            ):
+                nxt = s
+                break
+        if nxt is None:
+            break
+        path.append(nxt)
+        current = nxt
+    return tuple(path)

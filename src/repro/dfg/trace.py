@@ -1,0 +1,126 @@
+"""Symbolic tracing: build DFGs by executing plain Python kernel code.
+
+The paper's kernels (EWF, ARF, FFT, the DCT family) are basic blocks of
+real DSP algorithms.  Rather than hard-coding edge lists, this module
+records the expression DAG of ordinary arithmetic written against
+:class:`Sym` values::
+
+    tr = Tracer("demo")
+    a, b, c = tr.inputs("a", "b", "c")
+    d = a + b          # recorded as an 'add' operation
+    e = d * c          # recorded as a 'mul' operation
+    tr.outputs(e)
+    dfg = tr.build()
+
+Conventions matching the paper's dataflow model:
+
+* primary inputs are *not* operations — they are live-in registers, so a
+  ``Sym`` returned by :meth:`Tracer.inputs` creates no DFG node;
+* constants likewise create no node; multiplying by a constant is a MUL
+  operation with one live-in operand;
+* common subexpressions are shared only when the kernel code shares them
+  explicitly (we trace the code as written, as a compiler front end
+  would, without value numbering).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple, Union
+
+from .graph import Dfg
+from .ops import ADD, MULT, NEG, OpType, SUB
+
+__all__ = ["Sym", "Tracer"]
+
+Number = Union[int, float]
+
+
+class Sym:
+    """A symbolic value: either a live-in, a constant, or an op result."""
+
+    __slots__ = ("tracer", "node", "label")
+
+    def __init__(self, tracer: "Tracer", node: Optional[str], label: str) -> None:
+        self.tracer = tracer
+        self.node = node  # DFG node producing this value; None for live-ins
+        self.label = label
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other: "SymOrNumber") -> "Sym":
+        return self.tracer.op(ADD, self, other)
+
+    def __radd__(self, other: "SymOrNumber") -> "Sym":
+        return self.tracer.op(ADD, other, self)
+
+    def __sub__(self, other: "SymOrNumber") -> "Sym":
+        return self.tracer.op(SUB, self, other)
+
+    def __rsub__(self, other: "SymOrNumber") -> "Sym":
+        return self.tracer.op(SUB, other, self)
+
+    def __mul__(self, other: "SymOrNumber") -> "Sym":
+        return self.tracer.op(MULT, self, other)
+
+    def __rmul__(self, other: "SymOrNumber") -> "Sym":
+        return self.tracer.op(MULT, other, self)
+
+    def __neg__(self) -> "Sym":
+        return self.tracer.op(NEG, self)
+
+    def __repr__(self) -> str:
+        return f"Sym({self.label})"
+
+
+SymOrNumber = Union[Sym, Number]
+
+
+class Tracer:
+    """Records arithmetic over :class:`Sym` values as a DFG."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._dfg = Dfg(name)
+        self._counter = itertools.count(1)
+        self._built = False
+
+    def input(self, label: Optional[str] = None) -> Sym:
+        """Declare one live-in value (creates no DFG node)."""
+        return Sym(self, None, label or f"in{next(self._counter)}")
+
+    def inputs(self, *labels: str) -> Tuple[Sym, ...]:
+        """Declare several live-in values."""
+        return tuple(self.input(lbl) for lbl in labels)
+
+    def const(self, value: Number, label: Optional[str] = None) -> Sym:
+        """Declare a compile-time constant (creates no DFG node)."""
+        return Sym(self, None, label or f"c({value})")
+
+    def op(self, optype: OpType, *operands: SymOrNumber) -> Sym:
+        """Record one operation consuming ``operands``."""
+        if self._built:
+            raise RuntimeError("tracer already built; create a new Tracer")
+        name = f"v{self._dfg.num_operations + 1}"
+        self._dfg.add_op(name, optype)
+        for operand in operands:
+            if isinstance(operand, Sym):
+                if operand.tracer is not self:
+                    raise ValueError("cannot mix Syms from different tracers")
+                if operand.node is not None:
+                    self._dfg.add_edge(operand.node, name)
+            # plain numbers are constants: no node, no edge
+        return Sym(self, name, f"{optype.name}:{name}")
+
+    def outputs(self, *values: Sym) -> None:
+        """Mark block outputs (documentational; DFG sinks already are)."""
+        for value in values:
+            if value.node is None:
+                raise ValueError(
+                    f"output {value.label!r} is a live-in/constant, not an "
+                    "operation result"
+                )
+
+    def build(self) -> Dfg:
+        """Finalize and return the recorded DFG."""
+        self._built = True
+        return self._dfg

@@ -1,0 +1,113 @@
+"""Construction of the bound DFG: inserting inter-cluster transfers.
+
+Figure 1 of the paper shows the transformation this module implements:
+given the original DFG and a binding ``bn(v)``, every value that is
+produced in one cluster and consumed in another must flow through an
+explicit data-transfer (move) operation on the bus.  The bound DFG is the
+original DFG with those transfer operations spliced onto the cut edges.
+
+Transfer sharing: a producer ``u`` whose value is consumed by several
+operations bound to the same destination cluster needs only *one* transfer
+to that cluster — the value lands in the destination register file once
+and is read locally by each consumer.  The number of transfers is
+therefore the number of distinct ``(producer, destination cluster)`` pairs
+among cut edges, which is what the paper's ``M`` column counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from .graph import Dfg
+from .ops import MOVE
+
+__all__ = ["BoundDfg", "bind_dfg", "transfer_name"]
+
+
+def transfer_name(producer: str, dest_cluster: int) -> str:
+    """Canonical name of the transfer carrying ``producer`` to a cluster."""
+    return f"t.{producer}.c{dest_cluster}"
+
+
+@dataclass(frozen=True)
+class BoundDfg:
+    """The result of binding: the rewritten graph plus placement maps.
+
+    Attributes:
+        graph: original DFG + transfer operations on cut edges.
+        placement: cluster of every operation in ``graph``.  Regular
+            operations keep their binding; a transfer is placed in its
+            *destination* cluster (that is where its result becomes
+            available, matching ``lat(move)`` = "cycles to produce the
+            result at the specified location").
+        transfer_sources: for each transfer name, the ``(producer name,
+            source cluster)`` pair it reads from.
+    """
+
+    graph: Dfg
+    placement: Mapping[str, int]
+    transfer_sources: Mapping[str, Tuple[str, int]]
+
+    @property
+    def num_transfers(self) -> int:
+        """``N_MV``: the paper's ``M`` metric."""
+        return self.graph.num_transfers
+
+
+def bind_dfg(dfg: Dfg, binding: Mapping[str, int]) -> BoundDfg:
+    """Rewrite ``dfg`` according to ``binding`` (Figure 1 of the paper).
+
+    Args:
+        dfg: the original DFG (must contain no transfers).
+        binding: cluster index for every operation of ``dfg``.
+
+    Returns:
+        A :class:`BoundDfg`.  The rewritten graph contains one MOVE
+        operation per distinct ``(producer, destination cluster)`` cut
+        pair; each cut edge ``u -> v`` is replaced by ``u -> t -> v``.
+
+    Raises:
+        ValueError: if ``dfg`` already contains transfers, or an operation
+            lacks a binding.
+    """
+    if dfg.num_transfers:
+        raise ValueError(
+            "bind_dfg expects the original DFG; it already contains "
+            f"{dfg.num_transfers} transfer operations"
+        )
+    for name in dfg:
+        if name not in binding:
+            raise ValueError(f"operation {name!r} has no cluster assignment")
+
+    bound = Dfg(name=f"{dfg.name}+bound")
+    placement: Dict[str, int] = {}
+    transfer_sources: Dict[str, Tuple[str, int]] = {}
+
+    for op in dfg.operations():
+        bound.add_operation(op)
+        placement[op.name] = binding[op.name]
+
+    # Insert transfers in a deterministic order: producers in insertion
+    # order, destination clusters ascending.
+    for u in dfg:
+        src_cluster = binding[u]
+        dest_clusters = sorted(
+            {binding[v] for v in dfg.successors(u) if binding[v] != src_cluster}
+        )
+        for dest in dest_clusters:
+            t = transfer_name(u, dest)
+            bound.add_op(t, MOVE, is_transfer=True, source=u)
+            bound.add_edge(u, t)
+            placement[t] = dest
+            transfer_sources[t] = (u, src_cluster)
+
+    for u, v in dfg.edges():
+        if binding[u] == binding[v]:
+            bound.add_edge(u, v)
+        else:
+            bound.add_edge(transfer_name(u, binding[v]), v)
+
+    return BoundDfg(
+        graph=bound, placement=placement, transfer_sources=transfer_sources
+    )

@@ -1,0 +1,117 @@
+"""DFG unrolling utilities.
+
+The paper evaluates DCT-DIT-2, "an unrolled version of DCT-DIT" — two
+iterations of the kernel flattened into one basic block.  This module
+provides that transformation generically:
+
+* :func:`unroll` — ``k`` independent copies (iterations with no
+  loop-carried dependencies, e.g. block transforms over disjoint data);
+* :func:`unroll_chained` — ``k`` copies with loop-carried dependencies:
+  a ``carry_map`` connects outputs of iteration ``i`` to the live-in
+  positions of iteration ``i+1`` (e.g. filter state flowing between
+  samples).
+
+Unrolling widens the DFG (more exploitable ILP) without deepening it —
+unless carries serialize iterations — which is exactly why the paper
+uses it to stress output-heavy binding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from .graph import Dfg
+
+__all__ = ["unroll", "unroll_chained"]
+
+
+def _copy_iteration(dst: Dfg, src: Dfg, prefix: str) -> Dict[str, str]:
+    """Copy every operation/edge of ``src`` into ``dst`` under a prefix.
+
+    Returns the old-name -> new-name map.
+    """
+    mapping: Dict[str, str] = {}
+    for op in src.operations():
+        new_name = f"{prefix}{op.name}"
+        dst.add_op(
+            new_name, op.optype, is_transfer=op.is_transfer,
+            source=f"{prefix}{op.source}" if op.source else None,
+        )
+        mapping[op.name] = new_name
+    for u, v in src.edges():
+        dst.add_edge(mapping[u], mapping[v])
+    return mapping
+
+
+def unroll(dfg: Dfg, factor: int, name: Optional[str] = None) -> Dfg:
+    """Flatten ``factor`` independent iterations into one DFG.
+
+    The result has ``factor * len(dfg)`` operations and
+    ``factor * N_CC`` connected components; the critical path is
+    unchanged.  This is the DCT-DIT -> DCT-DIT-2 transformation.
+
+    Args:
+        dfg: the single-iteration body.
+        factor: number of copies (>= 1).
+        name: name of the result; defaults to ``"<dfg.name>-x<factor>"``.
+    """
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    out = Dfg(name or f"{dfg.name}-x{factor}")
+    for i in range(factor):
+        _copy_iteration(out, dfg, prefix=f"i{i}." if factor > 1 else "")
+    return out
+
+
+def unroll_chained(
+    dfg: Dfg,
+    factor: int,
+    carry_map: Mapping[str, Sequence[str]],
+    name: Optional[str] = None,
+) -> Dfg:
+    """Unroll with loop-carried dependencies.
+
+    ``carry_map`` maps an *output* operation of one iteration to the
+    operations of the next iteration that consume its value (i.e. the
+    live-ins it replaces).  Each listed consumer gains one operand edge
+    from the previous iteration's producer; consumers must stay within
+    the 2-operand limit, which is checked.
+
+    Example — a 1-tap IIR state carried between samples::
+
+        unroll_chained(body, 4, {"y": ["acc"]})
+
+    Args:
+        dfg: the single-iteration body.
+        factor: number of iterations (>= 1).
+        carry_map: producer -> consumers-in-next-iteration.
+        name: name of the result.
+
+    Raises:
+        KeyError: if a carry endpoint does not exist in the body.
+        ValueError: if a carry would give a consumer more than two
+            operands.
+    """
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    for producer, consumers in carry_map.items():
+        if producer not in dfg:
+            raise KeyError(f"carry producer {producer!r} not in DFG")
+        for consumer in consumers:
+            if consumer not in dfg:
+                raise KeyError(f"carry consumer {consumer!r} not in DFG")
+            if dfg.in_degree(consumer) >= 2:
+                raise ValueError(
+                    f"carry into {consumer!r} would exceed two operands"
+                )
+
+    out = Dfg(name or f"{dfg.name}-x{factor}-chained")
+    prev: Optional[Dict[str, str]] = None
+    for i in range(factor):
+        mapping = _copy_iteration(out, dfg, prefix=f"i{i}.")
+        if prev is not None:
+            for producer, consumers in carry_map.items():
+                for consumer in consumers:
+                    out.add_edge(prev[producer], mapping[consumer])
+        prev = mapping
+    return out

@@ -1,0 +1,73 @@
+"""Structural validation of DFGs.
+
+Checks the invariants the rest of the library relies on: acyclicity,
+operand-arity sanity, transfer well-formedness.  Called by the kernel
+registry on every kernel and by the property tests on every generated
+graph.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import CycleError, Dfg
+from .ops import MOVE, OpTypeRegistry
+
+__all__ = ["ValidationError", "validate_dfg"]
+
+
+class ValidationError(ValueError):
+    """Raised when a DFG violates a structural invariant."""
+
+
+def validate_dfg(
+    dfg: Dfg,
+    registry: OpTypeRegistry | None = None,
+    max_operands: int = 2,
+) -> None:
+    """Validate a DFG's structure.
+
+    Checks:
+
+    1. acyclicity (via topological sort);
+    2. every operation type is registered (when a registry is given);
+    3. regular operations have at most ``max_operands`` predecessors —
+       the paper's FUs read up to two operands;
+    4. transfers have exactly one producer, at least one consumer, a
+       recorded source that matches their single producer chain, and
+       optype MOVE;
+    5. regular operations never have optype MOVE.
+
+    Raises:
+        ValidationError: describing the first violation found.
+    """
+    try:
+        dfg.topological_order()
+    except CycleError as exc:
+        raise ValidationError(str(exc)) from exc
+
+    problems: List[str] = []
+    for op in dfg.operations():
+        preds = dfg.predecessors(op.name)
+        if registry is not None and op.optype not in registry:
+            problems.append(f"{op.name}: unregistered optype {op.optype}")
+        if op.is_transfer:
+            if op.optype != MOVE:
+                problems.append(f"{op.name}: transfer with optype {op.optype}")
+            if len(preds) != 1:
+                problems.append(
+                    f"{op.name}: transfer has {len(preds)} producers, needs 1"
+                )
+            if not dfg.successors(op.name):
+                problems.append(f"{op.name}: transfer with no consumer")
+            if op.source is None:
+                problems.append(f"{op.name}: transfer without recorded source")
+        else:
+            if op.optype == MOVE:
+                problems.append(f"{op.name}: regular operation with optype move")
+            if len(preds) > max_operands:
+                problems.append(
+                    f"{op.name}: {len(preds)} operands exceeds max {max_operands}"
+                )
+    if problems:
+        raise ValidationError("; ".join(problems[:8]))

@@ -1,0 +1,18 @@
+"""Design-space exploration built on the binder (the paper's ongoing-work
+use case)."""
+
+from .dse import (
+    AreaModel,
+    DesignPoint,
+    enumerate_datapaths,
+    explore,
+    pareto_front,
+)
+
+__all__ = [
+    "AreaModel",
+    "DesignPoint",
+    "enumerate_datapaths",
+    "explore",
+    "pareto_front",
+]

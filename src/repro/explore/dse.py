@@ -1,0 +1,199 @@
+"""Design-space exploration of clustered VLIW datapaths.
+
+The paper's conclusion positions the binder as the inner loop of "a
+design space exploration framework for application-specific VLIW
+processors" (their ongoing work, published as Jacome et al., ICCAD
+2000).  This module implements that framework on top of the binder:
+
+1. :func:`enumerate_datapaths` generates candidate clustered machines
+   under FU-budget constraints;
+2. :func:`explore` binds one or more kernels onto every candidate
+   (B-INIT by default — the binder is in the inner loop, so speed
+   matters) and scores each with an :class:`AreaModel`;
+3. :func:`pareto_front` filters the (area, latency) Pareto-optimal
+   designs.
+
+The area model charges each FU its relative cost plus a superlinear
+register-file port term — the cost that motivates clustering in the
+first place (Rixner et al., HPCA 1999, cited as [13]).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.driver import bind, bind_initial
+from ..datapath.model import Cluster, Datapath
+from ..dfg.graph import Dfg
+from ..dfg.ops import ALU, MUL, FuType
+
+__all__ = [
+    "AreaModel",
+    "DesignPoint",
+    "enumerate_datapaths",
+    "explore",
+    "pareto_front",
+]
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Relative-area model for clustered datapaths.
+
+    Attributes:
+        fu_cost: area per FU type (default: ALU = 1, MUL = 3).
+        ports_per_fu: register-file ports each FU needs (2 read + 1
+            write by default, matching the paper's datapath model).
+        port_exponent: register-file area grows as
+            ``ports ** port_exponent`` per cluster — superlinear port
+            cost is the motivation for clustering.
+        port_weight: scale factor of the register-file term.
+        bus_cost: area per bus.
+    """
+
+    fu_cost: Mapping[FuType, float] = field(
+        default_factory=lambda: {ALU: 1.0, MUL: 3.0}
+    )
+    ports_per_fu: int = 3
+    port_exponent: float = 2.0
+    port_weight: float = 0.25
+    bus_cost: float = 2.0
+
+    def area(self, datapath: Datapath) -> float:
+        """Total relative area of ``datapath``."""
+        total = self.bus_cost * datapath.num_buses
+        for cluster in datapath.clusters:
+            ports = self.ports_per_fu * cluster.total_fus
+            total += self.port_weight * ports**self.port_exponent
+            for futype, count in cluster.fu_counts.items():
+                total += count * self.fu_cost.get(futype, 1.0)
+        return total
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated datapath candidate.
+
+    ``latency`` is the worst (max) latency across the kernels explored;
+    ``per_kernel`` holds each kernel's ``(L, M)``.
+    """
+
+    datapath_spec: str
+    num_buses: int
+    area: float
+    latency: int
+    total_transfers: int
+    per_kernel: Mapping[str, Tuple[int, int]]
+
+
+def enumerate_datapaths(
+    max_clusters: int = 3,
+    max_alus_per_cluster: int = 3,
+    max_muls_per_cluster: int = 2,
+    max_total_fus: int = 10,
+    num_buses: int = 2,
+) -> List[Datapath]:
+    """Generate candidate clustered machines under a budget.
+
+    Cluster shapes are enumerated as (ALUs, MULs) pairs with at least
+    one FU each; machines are multisets of shapes (order within the
+    datapath is irrelevant, so only non-increasing sequences are kept),
+    capped at ``max_total_fus`` total units.
+    """
+    shapes = [
+        (a, m)
+        for a in range(0, max_alus_per_cluster + 1)
+        for m in range(0, max_muls_per_cluster + 1)
+        if a + m >= 1
+    ]
+    machines: List[Datapath] = []
+    for k in range(1, max_clusters + 1):
+        for combo in itertools.combinations_with_replacement(shapes, k):
+            total = sum(a + m for a, m in combo)
+            if total > max_total_fus:
+                continue
+            clusters = [
+                Cluster(i, {ALU: a, MUL: m})
+                for i, (a, m) in enumerate(
+                    sorted(combo, reverse=True)
+                )
+            ]
+            machines.append(Datapath(clusters, num_buses=num_buses))
+    # Deduplicate by spec (sorting above makes permutations identical).
+    unique: Dict[str, Datapath] = {}
+    for dp in machines:
+        unique.setdefault(dp.spec(), dp)
+    return list(unique.values())
+
+
+def explore(
+    kernels: Mapping[str, Dfg],
+    candidates: Sequence[Datapath],
+    area_model: Optional[AreaModel] = None,
+    improve: bool = False,
+) -> List[DesignPoint]:
+    """Bind every kernel onto every candidate machine and score it.
+
+    Args:
+        kernels: name -> DFG of the application's hot blocks.
+        candidates: machines to evaluate (see
+            :func:`enumerate_datapaths`).
+        area_model: area scoring; defaults to :class:`AreaModel()`.
+        improve: run full B-ITER per point (slow); the default B-INIT
+            matches the paper's "flexibility and efficiency ... make it
+            a very good candidate for use within a design space
+            exploration framework".
+
+    Returns:
+        One :class:`DesignPoint` per *feasible* candidate (machines
+        missing an FU type some kernel needs are skipped), sorted by
+        area.
+    """
+    model = area_model or AreaModel()
+    points: List[DesignPoint] = []
+    for dp in candidates:
+        per_kernel: Dict[str, Tuple[int, int]] = {}
+        feasible = True
+        for name, dfg in kernels.items():
+            try:
+                dp.check_bindable(dfg)
+            except ValueError:
+                feasible = False
+                break
+            if improve:
+                result = bind(dfg, dp, iter_starts=1)
+            else:
+                result = bind_initial(dfg, dp)
+            per_kernel[name] = (result.latency, result.num_transfers)
+        if not feasible:
+            continue
+        points.append(
+            DesignPoint(
+                datapath_spec=dp.spec(),
+                num_buses=dp.num_buses,
+                area=model.area(dp),
+                latency=max(l for l, _ in per_kernel.values()),
+                total_transfers=sum(m for _, m in per_kernel.values()),
+                per_kernel=per_kernel,
+            )
+        )
+    points.sort(key=lambda p: (p.area, p.latency))
+    return points
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Filter to the (area, latency) Pareto frontier (minimize both).
+
+    Ties on area keep only the lowest-latency point; a point enters the
+    frontier only if it strictly improves latency over every cheaper
+    point.
+    """
+    frontier: List[DesignPoint] = []
+    best_latency: Optional[int] = None
+    for point in sorted(points, key=lambda p: (p.area, p.latency)):
+        if best_latency is None or point.latency < best_latency:
+            frontier.append(point)
+            best_latency = point.latency
+    return frontier

@@ -1,0 +1,45 @@
+"""The paper's benchmark kernels: EWF, ARF, FFT, and the DCT family."""
+
+from .arf import ARF_STATS, build_arf
+from .dct_dif import DCT_DIF_STATS, build_dct_dif
+from .dct_dit import DCT_DIT2_STATS, DCT_DIT_STATS, build_dct_dit, build_dct_dit2
+from .dct_lee import DCT_LEE_STATS, build_dct_lee
+from .ewf import EWF_STATS, build_ewf
+from .extra import (
+    EXTRA_KERNELS,
+    build_dot_product,
+    build_fft8,
+    build_fir,
+    build_iir_biquad,
+    build_matmul,
+)
+from .fft import FFT_STATS, build_fft
+from .registry import KERNEL_STATS, KERNELS, KernelInfo, kernel_summary, load_kernel
+
+__all__ = [
+    "load_kernel",
+    "kernel_summary",
+    "KernelInfo",
+    "KERNELS",
+    "KERNEL_STATS",
+    "build_ewf",
+    "build_arf",
+    "build_fft",
+    "build_dct_dif",
+    "build_dct_lee",
+    "build_dct_dit",
+    "build_dct_dit2",
+    "EWF_STATS",
+    "ARF_STATS",
+    "FFT_STATS",
+    "DCT_DIF_STATS",
+    "DCT_LEE_STATS",
+    "DCT_DIT_STATS",
+    "DCT_DIT2_STATS",
+    "EXTRA_KERNELS",
+    "build_fir",
+    "build_iir_biquad",
+    "build_dot_product",
+    "build_matmul",
+    "build_fft8",
+]

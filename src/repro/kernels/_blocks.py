@@ -1,0 +1,66 @@
+"""Shared dataflow building blocks for the benchmark kernels.
+
+The fast-DCT kernels share a 4-point DCT core and rotation/butterfly
+idioms; factoring them here keeps each kernel module a readable
+transcription of its algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..dfg.trace import Sym, Tracer
+
+__all__ = ["butterfly", "rotation_shared", "rotation_full", "dct4"]
+
+
+def butterfly(a: Sym, b: Sym) -> Tuple[Sym, Sym]:
+    """The radix-2 butterfly: ``(a + b, a - b)``."""
+    return a + b, a - b
+
+
+def rotation_shared(
+    tr: Tracer, a: Sym, b: Sym, c: float, s: float
+) -> Tuple[Sym, Sym]:
+    """Planar rotation computed with shared products (2 MUL + 2 ALU).
+
+    Computes ``(c*a + s*b, c*a - s*b)`` — the shared-product form used
+    when the algorithm needs both the rotated value and its reflection.
+    """
+    p = tr.const(c) * a
+    q = tr.const(s) * b
+    return p + q, p - q
+
+
+def rotation_full(
+    tr: Tracer, a: Sym, b: Sym, c: float, s: float
+) -> Tuple[Sym, Sym]:
+    """Full planar rotation (4 MUL + 2 ALU).
+
+    Computes ``(c*a + s*b, s*a - c*b)`` with independent products, as a
+    direct transcription of the rotation matrix.
+    """
+    out1 = tr.const(c) * a + tr.const(s) * b
+    out2 = tr.const(s) * a - tr.const(c) * b
+    return out1, out2
+
+
+def dct4(
+    tr: Tracer, s0: Sym, s1: Sym, s2: Sym, s3: Sym
+) -> Tuple[Sym, Sym, Sym, Sym]:
+    """A 4-point DCT core (13 operations, depth 4).
+
+    Returns ``(Y0, Y1, Y2, Y3)`` — the four coefficients.  Structure:
+    one add/sub stage, the DC/Nyquist pair with a scaling multiply, and a
+    Lee-style shared-multiplier rotation for the middle pair.
+    """
+    t0, t2 = butterfly(s0, s3)
+    t1, t3 = butterfly(s1, s2)
+    y0 = t0 + t1
+    y2 = tr.const(0.7071) * (t0 - t1)
+    m = tr.const(0.4142) * t3
+    w1 = t2 + m
+    w2 = t2 - m
+    y1 = tr.const(0.5412) * w1
+    y3 = tr.const(1.3066) * w2
+    return y0, y1, y2, y3

@@ -1,0 +1,63 @@
+"""ARF — the Auto-Regression Filter benchmark.
+
+Another classic HLS basic block: a lattice auto-regression filter stage.
+Two banks of coefficient multiplications feed a tree of additions that is
+re-multiplied at every level — the multiply/add alternation is what gives
+the kernel its multiplier-heavy profile.
+
+Matches the paper's reported characteristics exactly:
+``N_V = 28`` (16 multiplications + 12 additions), ``N_CC = 1``,
+``L_CP = 8`` with unit latencies.
+"""
+
+from __future__ import annotations
+
+from ..dfg.graph import Dfg
+from ..dfg.trace import Tracer
+
+__all__ = ["build_arf", "ARF_STATS"]
+
+#: Expected (N_V, N_CC, L_CP) — asserted by the kernel registry tests.
+ARF_STATS = (28, 1, 8)
+
+
+def build_arf() -> Dfg:
+    """Construct the ARF dataflow graph (28 ops, depth 8)."""
+    tr = Tracer("arf")
+    x = tr.inputs("x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8")
+    c = [tr.const(0.1 * (i + 1), f"c{i + 1}") for i in range(8)]
+    g = [tr.const(0.05 * (i + 1), f"g{i + 1}") for i in range(8)]
+
+    # Level 1: coefficient products on the eight input samples.     (d1)
+    m = [c[i] * x[i] for i in range(8)]
+    # Level 2: pairwise sums.                                       (d2)
+    a1 = m[0] + m[1]
+    a2 = m[2] + m[3]
+    a3 = m[4] + m[5]
+    a4 = m[6] + m[7]
+    # Level 3: lattice reflection products.                         (d3)
+    m9 = g[0] * a1
+    m10 = g[1] * a2
+    m11 = g[2] * a3
+    m12 = g[3] * a4
+    # Level 4: section sums.                                        (d4)
+    a5 = m9 + m10
+    a6 = m11 + m12
+    # Level 5: second reflection.                                   (d5)
+    m13 = g[4] * a5
+    m14 = g[5] * a6
+    # Level 6: cross-coupled sums.                                  (d6)
+    a7 = m13 + a6
+    a8 = m14 + a5
+    # Level 7: output scaling.                                      (d7)
+    m15 = g[6] * a7
+    m16 = g[7] * a8
+    # Level 8: output taps.                                         (d8)
+    y1 = m15 + m16
+    y2 = m15 + a7
+    y3 = m16 + a8
+    # Auxiliary energy tap (shallow).                               (d5)
+    e = a5 + a6
+
+    tr.outputs(y1, y2, y3, e)
+    return tr.build()

@@ -1,0 +1,57 @@
+"""DCT-DIF — 8-point fast DCT, decimation-in-frequency form.
+
+A decimation-in-frequency DCT starts with a rank of input butterflies
+``s_i = x_i + x_{7-i}`` / ``d_i = x_i - x_{7-i}``; the sums feed a 4-point
+DCT producing the even-indexed coefficients and the differences feed a
+deeper rotation network producing the odd-indexed ones (the Loeffler-style
+odd section: adds, two shared-product rotations, a recombination rank,
+sqrt(2) scalings, and final adds).
+
+Because the even and odd sections never share an *operation* (only the
+live-in samples), the DFG splits into exactly two weakly connected
+components — the paper's ``N_CC = 2``.
+
+Matches the paper's reported characteristics exactly:
+``N_V = 41``, ``N_CC = 2``, ``L_CP = 7`` (the odd section).
+"""
+
+from __future__ import annotations
+
+from ..dfg.graph import Dfg
+from ..dfg.trace import Tracer
+from ._blocks import butterfly, dct4, rotation_shared
+
+__all__ = ["build_dct_dif", "DCT_DIF_STATS"]
+
+#: Expected (N_V, N_CC, L_CP) — asserted by the kernel registry tests.
+DCT_DIF_STATS = (41, 2, 7)
+
+
+def build_dct_dif() -> Dfg:
+    """Construct the DCT-DIF dataflow graph (41 ops, depth 7)."""
+    tr = Tracer("dct-dif")
+    x = tr.inputs("x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7")
+
+    # Input rank: sums and differences of mirrored samples.   (8 ops, d1)
+    s = [x[i] + x[7 - i] for i in range(4)]
+    d = [x[i] - x[7 - i] for i in range(4)]
+
+    # Even section: 4-point DCT of the sums, with the DC-term
+    # normalization multiply.                                (13 ops, d5)
+    e0, x2a, x4a, x6a = dct4(tr, s[0], s[1], s[2], s[3])
+    x0 = tr.const(0.3536) * e0
+    tr.outputs(x0, x2a, x4a, x6a)
+
+    # Odd section (Loeffler-style).                          (20 ops, d7)
+    g1, g4 = butterfly(d[0], d[3])                            # d2
+    g2, g3 = butterfly(d[1], d[2])                            # d2
+    h1, h4 = rotation_shared(tr, g4, g1, 0.9808, 0.1951)      # d3..d4
+    h2, h3 = rotation_shared(tr, g3, g2, 0.8315, 0.5556)      # d3..d4
+    w1, w2 = butterfly(h1, h2)                                # d5
+    w3, w4 = butterfly(h4, h3)                                # d5
+    m1 = tr.const(0.7071) * w2                                # d6
+    m2 = tr.const(0.7071) * w3                                # d6
+    x5 = m1 + w4                                              # d7
+    x3 = m2 - w1                                              # d7
+    tr.outputs(x5, x3, w1, w4)
+    return tr.build()

@@ -1,0 +1,76 @@
+"""DCT-DIT — 8-point fast DCT, decimation-in-time form, plus its
+2x-unrolled variant DCT-DIT-2.
+
+Decimation in time splits the *input* samples by parity: the even-indexed
+samples go through a 4-point DCT, the odd-indexed samples through a
+rotation network, and a final rank of output butterflies recombines the
+two halves.  That final rank is what joins the halves into a single
+connected component (``N_CC = 1``), in contrast to the DIF/Lee variants.
+
+DCT-DIT-2 is the unrolled version used in the paper: two independent
+8-sample blocks in one basic block (two components, 96 operations) —
+exactly the kind of wide, output-heavy DFG the reversed binding order and
+the ``Q_U`` quality function are designed for.
+
+Matches the paper's reported characteristics exactly:
+DCT-DIT ``N_V = 48``, ``N_CC = 1``, ``L_CP = 7``;
+DCT-DIT-2 ``N_V = 96``, ``N_CC = 2``, ``L_CP = 7``.
+"""
+
+from __future__ import annotations
+
+from ..dfg.graph import Dfg
+from ..dfg.trace import Tracer
+from ._blocks import butterfly, dct4, rotation_full
+
+__all__ = ["build_dct_dit", "build_dct_dit2", "DCT_DIT_STATS", "DCT_DIT2_STATS"]
+
+#: Expected (N_V, N_CC, L_CP) — asserted by the kernel registry tests.
+DCT_DIT_STATS = (48, 1, 7)
+DCT_DIT2_STATS = (96, 2, 7)
+
+
+def _trace_dct_dit(tr: Tracer, prefix: str) -> None:
+    """Record one 8-point DIT DCT block (48 ops, depth 7)."""
+    x = tr.inputs(*(f"{prefix}x{i}" for i in range(8)))
+
+    # Even half: 4-point DCT of the even-indexed samples, with
+    # normalization multiplies on the DC and Nyquist terms. (14 ops, d5)
+    a0, a1, a2, a3 = dct4(tr, x[0], x[2], x[4], x[6])
+    a0 = tr.const(0.3536) * a0
+    a2 = tr.const(0.3536) * a2
+
+    # Odd half: two full rotations, butterflies, sqrt(2) scalings,
+    # recombination, and the odd output rank.              (26 ops, d6)
+    r1, r1b = rotation_full(tr, x[1], x[7], 0.9808, 0.1951)   # d1..d2
+    r2, r2b = rotation_full(tr, x[3], x[5], 0.8315, 0.5556)   # d1..d2
+    b1, b2 = butterfly(r1, r2)                                # d3
+    b3, b4 = butterfly(r1b, r2b)                              # d3
+    m1 = tr.const(0.7071) * b2                                # d4
+    m2 = tr.const(0.7071) * b3                                # d4
+    q1, q2 = butterfly(b1, m1)                                # d5
+    q3, q4 = butterfly(b4, m2)                                # d5
+    c0, c3 = butterfly(q1, q3)                                # d6
+    c1, c2 = butterfly(q2, q4)                                # d6
+
+    # Output rank: even/odd recombination butterflies.      (8 ops, d7)
+    outs = []
+    for a, c in zip((a0, a1, a2, a3), (c0, c1, c2, c3)):
+        hi, lo = butterfly(a, c)
+        outs.extend((hi, lo))
+    tr.outputs(*outs)
+
+
+def build_dct_dit() -> Dfg:
+    """Construct the DCT-DIT dataflow graph (48 ops, depth 7)."""
+    tr = Tracer("dct-dit")
+    _trace_dct_dit(tr, "")
+    return tr.build()
+
+
+def build_dct_dit2() -> Dfg:
+    """Construct DCT-DIT-2: two unrolled DIT blocks (96 ops, 2 components)."""
+    tr = Tracer("dct-dit-2")
+    _trace_dct_dit(tr, "a.")
+    _trace_dct_dit(tr, "b.")
+    return tr.build()

@@ -1,0 +1,61 @@
+"""DCT-LEE — 8-point fast DCT, Lee's recursive decomposition.
+
+Lee's algorithm halves an N-point DCT into two N/2-point DCTs: one over
+the mirrored sums, and one over the mirrored differences *pre-scaled* by
+``1/(2 cos)`` factors, whose outputs are recombined by a chain of
+2x-and-subtract steps.  That recombination chain is strictly sequential,
+which is why this variant has the deepest critical path of the DCT family
+(``L_CP = 9``) despite a similar operation count.
+
+As with DCT-DIF, the even and odd halves share no operations, so the DFG
+has two weakly connected components.
+
+Matches the paper's reported characteristics exactly:
+``N_V = 49``, ``N_CC = 2``, ``L_CP = 9``.
+"""
+
+from __future__ import annotations
+
+from ..dfg.graph import Dfg
+from ..dfg.trace import Tracer
+from ._blocks import dct4
+
+__all__ = ["build_dct_lee", "DCT_LEE_STATS"]
+
+#: Expected (N_V, N_CC, L_CP) — asserted by the kernel registry tests.
+DCT_LEE_STATS = (49, 2, 9)
+
+#: Lee pre-scale factors 1 / (2 cos((2i+1) pi / 16)).
+_LEE_SCALE = (0.5098, 0.6013, 0.8999, 2.5629)
+
+
+def build_dct_lee() -> Dfg:
+    """Construct the DCT-LEE dataflow graph (49 ops, depth 9)."""
+    tr = Tracer("dct-lee")
+    x = tr.inputs("x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7")
+
+    # Input rank.                                            (8 ops, d1)
+    s = [x[i] + x[7 - i] for i in range(4)]
+    d = [x[i] - x[7 - i] for i in range(4)]
+
+    # Even half: 4-point DCT of the sums + output scalings. (17 ops, d6)
+    e0, e1, e2, e3 = dct4(tr, s[0], s[1], s[2], s[3])
+    x0 = tr.const(0.3536) * e0
+    x2 = tr.const(0.3536) * e1
+    x4 = tr.const(0.3536) * e2
+    x6 = tr.const(0.3536) * e3
+    tr.outputs(x0, x2, x4, x6)
+
+    # Odd half: pre-scaled 4-point DCT, an in-half recombination of the
+    # middle coefficient, and Lee's sequential 2x-and-subtract chain.
+    #                                                       (26 ops, d9)
+    m = [tr.const(_LEE_SCALE[i]) * d[i] for i in range(4)]   # d2
+    y0, y1, y2, y3 = dct4(tr, m[0], m[1], m[2], m[3])        # d4..d6
+    z = tr.const(2.0) * y0                                   # d5
+    y2r = z - y2                                             # d6
+    x1 = tr.const(0.3536) * y0                               # d5
+    x3 = tr.const(2.0) * y1 - x1                             # d7, d8
+    x5 = tr.const(2.0) * y2r - x3                            # d7, d9
+    x7 = tr.const(2.0) * y3 - x3                             # d7, d9
+    tr.outputs(x1, x3, x5, x7)
+    return tr.build()

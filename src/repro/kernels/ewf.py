@@ -1,0 +1,79 @@
+"""EWF — the fifth-order Elliptic Wave Filter benchmark.
+
+The classic high-level-synthesis benchmark (introduced with the HAL
+system and used by force-directed scheduling and countless successors):
+one sample period of a fifth-order wave digital filter, with the delay
+elements cut so the body is a single basic block.  Live-ins are the
+input sample and seven state registers; the block computes the output
+sample and the next state values.
+
+Matches the paper's reported characteristics exactly:
+``N_V = 34`` (26 additions + 8 multiplications), ``N_CC = 1``,
+``L_CP = 14`` with unit latencies.  The long critical path comes from the
+chain of series adaptors (add -> scale -> add per adaptor) that wave
+digital filters are built from.
+"""
+
+from __future__ import annotations
+
+from ..dfg.graph import Dfg
+from ..dfg.trace import Tracer
+
+__all__ = ["build_ewf", "EWF_STATS"]
+
+#: Expected (N_V, N_CC, L_CP) — asserted by the kernel registry tests.
+EWF_STATS = (34, 1, 14)
+
+
+def build_ewf() -> Dfg:
+    """Construct the EWF dataflow graph (34 ops, depth 14)."""
+    tr = Tracer("ewf")
+    x = tr.input("x")
+    s1, s2, s3, s4, s5, s6, s7 = tr.inputs("s1", "s2", "s3", "s4", "s5", "s6", "s7")
+    k = [tr.const(c, f"k{i}") for i, c in enumerate(
+        (0.2588, 0.4142, 0.7071, 0.8090, 0.3090, 0.9511, 0.5878, 0.1305)
+    )]
+
+    # Spine: four chained series adaptors (add, scale, add), then the
+    # output summation.  Depth grows by 3 per adaptor section.
+    a1 = x + s1                      # d1
+    m1 = k[0] * a1                   # d2
+    a2 = m1 + s2                     # d3
+    a3 = a2 + s3                     # d4
+    m2 = k[1] * a3                   # d5
+    a4 = m2 + a1                     # d6
+    a5 = a4 + a2                     # d7
+    m3 = k[2] * a5                   # d8
+    a6 = m3 + s4                     # d9
+    a7 = a6 + a4                     # d10
+    m4 = k[3] * a7                   # d11
+    a8 = m4 + s5                     # d12
+    a9 = a8 + a6                     # d13
+    y = a9 + x                       # d14 -- filter output
+
+    # State-update network: parallel adaptors computing the next state
+    # values; hangs off intermediate spine values, staying within the
+    # spine's depth.
+    b1 = a2 + s6                     # d4
+    n1 = k[4] * b1                   # d5
+    b2 = n1 + s7                     # d6
+    s1_next = b2 + b1                # d7
+    b4 = a4 + b2                     # d8
+    n2 = k[5] * b4                   # d9
+    s2_next = n2 + a3                # d10
+    s3_next = s2_next + b4           # d11
+    b7 = a6 + s2_next                # d12
+    n3 = k[6] * b7                   # d13
+    s4_next = n3 + s3                # d14
+    b9 = a5 + a3                     # d8
+    b10 = b9 + s4                    # d9
+    n4 = k[7] * b10                  # d10
+    s5_next = n4 + b9                # d11
+    s6_next = s5_next + a7           # d12
+    s7_next = s6_next + a8           # d13
+    y2 = a9 + s2_next                # d14 -- second output tap
+    b15 = s1_next + a4               # d8
+    b16 = b15 + s3_next              # d12
+
+    tr.outputs(y, y2, s1_next, s4_next, s7_next, b16)
+    return tr.build()

@@ -1,0 +1,174 @@
+"""Additional DSP kernels beyond the paper's benchmark set.
+
+The paper evaluates on seven kernels; real users will want more.  These
+extras cover the standard embedded-DSP kernel families — FIR/IIR
+filtering, dot products, matrix multiplication, and a full 8-point FFT —
+all traced from straightforward implementations.  They are not part of
+the Table 1/2 reproduction but are exercised by the extended test-suite
+and available to the DSE example.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..dfg.graph import Dfg
+from ..dfg.trace import Sym, Tracer
+
+__all__ = [
+    "build_fir",
+    "build_iir_biquad",
+    "build_dot_product",
+    "build_matmul",
+    "build_fft8",
+    "EXTRA_KERNELS",
+]
+
+
+def build_fir(taps: int = 16) -> Dfg:
+    """A ``taps``-tap FIR inner loop body: multiply-accumulate chain.
+
+    ``taps`` multiplies feeding a sequential accumulation — the classic
+    latency-bound kernel (the accumulation chain *is* the critical
+    path).
+    """
+    if taps < 2:
+        raise ValueError("taps must be >= 2")
+    tr = Tracer(f"fir{taps}")
+    xs = [tr.input(f"x{i}") for i in range(taps)]
+    acc = tr.const(0.1) * xs[0]
+    for i in range(1, taps):
+        acc = acc + tr.const(0.1 * (i + 1)) * xs[i]
+    tr.outputs(acc)
+    return tr.build()
+
+
+def build_iir_biquad(sections: int = 3) -> Dfg:
+    """A cascade of direct-form-II biquad sections.
+
+    Each section: 5 multiplies, 4 adds, with the section output feeding
+    the next — a mixed serial/parallel shape with state outputs.
+    """
+    if sections < 1:
+        raise ValueError("sections must be >= 1")
+    tr = Tracer(f"biquad{sections}")
+    x = tr.input("x")
+    outputs: List[Sym] = []
+    signal = x
+    for s in range(sections):
+        d1 = tr.input(f"d1_{s}")
+        d2 = tr.input(f"d2_{s}")
+        # w[n] = x - a1*d1 - a2*d2
+        w = signal - tr.const(0.5) * d1 - tr.const(0.25) * d2
+        # y[n] = b0*w + b1*d1 + b2*d2
+        y = tr.const(1.0 + s) * w + tr.const(0.3) * d1 + tr.const(0.2) * d2
+        outputs.append(w)  # new d1 state
+        signal = y
+    tr.outputs(signal, *outputs)
+    return tr.build()
+
+
+def build_dot_product(length: int = 8) -> Dfg:
+    """A dot product with a balanced reduction tree.
+
+    ``length`` multiplies reduced pairwise — the classic
+    parallelism-rich kernel (critical path is logarithmic).
+    """
+    if length < 2 or length & (length - 1):
+        raise ValueError("length must be a power of two >= 2")
+    tr = Tracer(f"dot{length}")
+    products = [
+        tr.input(f"a{i}") * tr.input(f"b{i}") for i in range(length)
+    ]
+    level = products
+    while len(level) > 1:
+        level = [level[i] + level[i + 1] for i in range(0, len(level), 2)]
+    tr.outputs(level[0])
+    return tr.build()
+
+
+def build_matmul(n: int = 3) -> Dfg:
+    """An ``n x n`` matrix-matrix multiply basic block.
+
+    ``n**3`` multiplies and ``n**2 * (n-1)`` adds with tree reductions
+    per output element; wide and shallow — the resource-bound regime
+    where the ``L_PR`` stretch matters most.
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    tr = Tracer(f"matmul{n}")
+    a = [[tr.input(f"a{i}{j}") for j in range(n)] for i in range(n)]
+    b = [[tr.input(f"b{i}{j}") for j in range(n)] for i in range(n)]
+    outs = []
+    for i in range(n):
+        for j in range(n):
+            terms = [a[i][k] * b[k][j] for k in range(n)]
+            while len(terms) > 1:
+                nxt = [
+                    terms[t] + terms[t + 1] for t in range(0, len(terms) - 1, 2)
+                ]
+                if len(terms) % 2:
+                    nxt.append(terms[-1])
+                terms = nxt
+            outs.append(terms[0])
+    tr.outputs(*outs)
+    return tr.build()
+
+
+def build_fft8() -> Dfg:
+    """A complete radix-2 8-point complex FFT (all three ranks).
+
+    Uses 3-multiplication complex products for the non-trivial twiddles
+    and the free W=1 / W=-j butterflies elsewhere — substantially larger
+    than the paper's FFT kernel (which is a 38-op slice).
+    """
+    tr = Tracer("fft8")
+
+    def bf_trivial(a, b):
+        (ar, ai), (br, bi) = a, b
+        return (ar + br, ai + bi), (ar - br, ai - bi)
+
+    def bf_minus_j(a, b):
+        (ar, ai), (br, bi) = a, b
+        return (ar + bi, ai - br), (ar - bi, ai + br)
+
+    def bf_twiddle(a, b, wr, wi):
+        (ar, ai), (br, bi) = a, b
+        k1 = br + bi
+        m1 = tr.const(wr) * k1
+        m2 = tr.const(wr + wi) * bi
+        m3 = tr.const(wi - wr) * br
+        t_re = m1 - m2
+        t_im = m1 + m3
+        return (ar + t_re, ai + t_im), (ar - t_re, ai - t_im)
+
+    x = [(tr.input(f"x{i}r"), tr.input(f"x{i}i")) for i in range(8)]
+    # Rank 1 (stride 4): all W = 1.
+    s = [None] * 8
+    for i in range(4):
+        s[i], s[i + 4] = bf_trivial(x[i], x[i + 4])
+    # Rank 2 (stride 2): W = 1 and W = -j.
+    t = [None] * 8
+    t[0], t[2] = bf_trivial(s[0], s[2])
+    t[1], t[3] = bf_trivial(s[1], s[3])
+    t[4], t[6] = bf_minus_j(s[4], s[6])
+    t[5], t[7] = bf_minus_j(s[5], s[7])
+    # Rank 3 (stride 1): W = 1, W8, -j, W8^3.
+    y = [None] * 8
+    y[0], y[4] = bf_trivial(t[0], t[1])
+    y[2], y[6] = bf_minus_j(t[2], t[3])
+    y[1], y[5] = bf_twiddle(t[4], t[5], 0.7071, -0.7071)
+    y[3], y[7] = bf_twiddle(t[6], t[7], -0.7071, -0.7071)
+    for re, im in y:
+        tr.outputs(re, im)
+    return tr.build()
+
+
+#: Builders for the extra kernels, keyed by name.
+EXTRA_KERNELS = {
+    "fir16": lambda: build_fir(16),
+    "biquad3": lambda: build_iir_biquad(3),
+    "dot8": lambda: build_dot_product(8),
+    "matmul3": lambda: build_matmul(3),
+    "fft8": build_fft8,
+}

@@ -1,0 +1,88 @@
+"""FFT — the radix-2 FFT kernel of the RASTA benchmark (MediaBench).
+
+The paper extracts the main FFT kernel basic block from RASTA: an
+unrolled group of radix-2 complex butterflies spanning two adjacent FFT
+ranks.  We regenerate it by tracing three twiddle-factor butterflies
+feeding a rank of trivial (W = 1) butterflies that cross-couples their
+outputs.
+
+The complex multiply inside each butterfly uses the classic
+*three-multiplication* form (``m1 = wr*(br+bi)`` shared between the real
+and imaginary parts) that DSP codes favour on multiplier-constrained
+machines.  Besides being the cheaper implementation, the shared product
+couples the real and imaginary dataflow — with the schoolbook 4-multiply
+form the kernel would fall apart into separate real/imaginary components,
+contradicting the paper's ``N_CC = 1``.
+
+Matches the paper's ``N_V = 38`` and ``N_CC = 1``.  The paper's table
+header truncates the kernel's ``L_CP``; ours measures 5, consistent with
+the paper's best observed FFT latency of 6 (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..dfg.graph import Dfg
+from ..dfg.trace import Sym, Tracer
+
+__all__ = ["build_fft", "FFT_STATS"]
+
+#: Expected (N_V, N_CC, L_CP) — asserted by the kernel registry tests.
+FFT_STATS = (38, 1, 5)
+
+Complex = Tuple[Sym, Sym]
+
+
+def _butterfly_twiddle(
+    tr: Tracer, a: Complex, b: Complex, wr: float, wi: float
+) -> Tuple[Complex, Complex]:
+    """Radix-2 DIT butterfly, 3-multiplication complex product.
+
+    10 operations, depth 4::
+
+        m1 = wr * (br + bi)         # shared between re and im
+        t_re = m1 - (wr + wi) * bi
+        t_im = m1 + (wi - wr) * br
+        out1 = a + t,  out2 = a - t
+    """
+    ar, ai = a
+    br, bi = b
+    k1 = br + bi
+    m1 = tr.const(wr) * k1
+    m2 = tr.const(wr + wi) * bi
+    m3 = tr.const(wi - wr) * br
+    t_re = m1 - m2
+    t_im = m1 + m3
+    return (ar + t_re, ai + t_im), (ar - t_re, ai - t_im)
+
+
+def _butterfly_trivial(a: Complex, b: Complex) -> Tuple[Complex, Complex]:
+    """Radix-2 butterfly with W = 1 (4 ops, depth 1)."""
+    ar, ai = a
+    br, bi = b
+    return (ar + br, ai + bi), (ar - br, ai - bi)
+
+
+def build_fft() -> Dfg:
+    """Construct the FFT kernel dataflow graph (38 ops, depth 5)."""
+    tr = Tracer("fft")
+
+    def complex_input(prefix: str) -> Complex:
+        return tr.input(f"{prefix}r"), tr.input(f"{prefix}i")
+
+    a1, b1 = complex_input("a1"), complex_input("b1")
+    a2, b2 = complex_input("a2"), complex_input("b2")
+    a3, b3 = complex_input("a3"), complex_input("b3")
+
+    # First rank: three butterflies with non-trivial twiddles.   (30 ops)
+    p1, q1 = _butterfly_twiddle(tr, a1, b1, 0.9239, -0.3827)
+    p2, q2 = _butterfly_twiddle(tr, a2, b2, 0.7071, -0.7071)
+    p3, q3 = _butterfly_twiddle(tr, a3, b3, 0.3827, -0.9239)
+
+    # Second rank: trivial butterflies cross-coupling the groups. (8 ops)
+    u1, u2 = _butterfly_trivial(p1, p2)
+    u3, u4 = _butterfly_trivial(q2, p3)
+
+    tr.outputs(*u1, *u2, *u3, *u4, *q1, *q3)
+    return tr.build()

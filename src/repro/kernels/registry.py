@@ -1,0 +1,100 @@
+"""Kernel registry: the seven benchmark DFGs of the paper's evaluation.
+
+Provides name-based lookup (:func:`load_kernel`), the expected
+``(N_V, N_CC, L_CP)`` characteristics from the paper's table headers
+(:data:`KERNEL_STATS`), and a :func:`kernel_summary` helper used by the
+example scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..dfg.graph import Dfg
+from ..dfg.ops import default_registry
+from ..dfg.timing import critical_path_length
+from ..dfg.validate import validate_dfg
+from .arf import ARF_STATS, build_arf
+from .dct_dif import DCT_DIF_STATS, build_dct_dif
+from .dct_dit import DCT_DIT2_STATS, DCT_DIT_STATS, build_dct_dit, build_dct_dit2
+from .dct_lee import DCT_LEE_STATS, build_dct_lee
+from .ewf import EWF_STATS, build_ewf
+from .fft import FFT_STATS, build_fft
+
+__all__ = ["KERNELS", "KERNEL_STATS", "load_kernel", "kernel_summary", "KernelInfo"]
+
+#: Kernel builders keyed by the names used throughout the paper.
+KERNELS: Dict[str, Callable[[], Dfg]] = {
+    "dct-dif": build_dct_dif,
+    "dct-lee": build_dct_lee,
+    "dct-dit": build_dct_dit,
+    "dct-dit-2": build_dct_dit2,
+    "fft": build_fft,
+    "ewf": build_ewf,
+    "arf": build_arf,
+}
+
+#: Expected (N_V, N_CC, L_CP) per kernel.
+KERNEL_STATS: Dict[str, Tuple[int, int, int]] = {
+    "dct-dif": DCT_DIF_STATS,
+    "dct-lee": DCT_LEE_STATS,
+    "dct-dit": DCT_DIT_STATS,
+    "dct-dit-2": DCT_DIT2_STATS,
+    "fft": FFT_STATS,
+    "ewf": EWF_STATS,
+    "arf": ARF_STATS,
+}
+
+
+@dataclass(frozen=True)
+class KernelInfo:
+    """Measured characteristics of a built kernel DFG."""
+
+    name: str
+    num_operations: int
+    num_components: int
+    critical_path: int
+    num_alu_ops: int
+    num_mul_ops: int
+
+
+def load_kernel(name: str) -> Dfg:
+    """Build (and validate) the named kernel DFG.
+
+    Args:
+        name: one of ``dct-dif``, ``dct-lee``, ``dct-dit``, ``dct-dit-2``,
+            ``fft``, ``ewf``, ``arf`` (case-insensitive).
+
+    Raises:
+        KeyError: for an unknown kernel name.
+    """
+    key = name.lower()
+    try:
+        builder = KERNELS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+        ) from None
+    dfg = builder()
+    validate_dfg(dfg, default_registry())
+    return dfg
+
+
+def kernel_summary(name: str) -> KernelInfo:
+    """Measure a kernel's ``N_V``/``N_CC``/``L_CP`` and operation mix."""
+    dfg = load_kernel(name)
+    reg = default_registry()
+    from ..dfg.ops import MUL
+
+    muls = sum(
+        1 for op in dfg.regular_operations() if reg.futype(op.optype) == MUL
+    )
+    return KernelInfo(
+        name=name.lower(),
+        num_operations=dfg.num_operations,
+        num_components=dfg.num_components,
+        critical_path=critical_path_length(dfg, reg),
+        num_alu_ops=dfg.num_operations - muls,
+        num_mul_ops=muls,
+    )

@@ -1,0 +1,20 @@
+"""Software pipelining: modulo scheduling with cluster-aware binding."""
+
+from .binder import ModuloBindResult, modulo_bind
+from .loop import CarriedEdge, LoopDfg
+from .mii import mii, rec_mii, res_mii
+from .scheduler import BoundLoop, ModuloSchedule, bind_loop, modulo_schedule
+
+__all__ = [
+    "LoopDfg",
+    "CarriedEdge",
+    "res_mii",
+    "rec_mii",
+    "mii",
+    "BoundLoop",
+    "bind_loop",
+    "ModuloSchedule",
+    "modulo_schedule",
+    "ModuloBindResult",
+    "modulo_bind",
+]

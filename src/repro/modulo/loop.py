@@ -1,0 +1,148 @@
+"""Cyclic dataflow graphs for software-pipelined loops.
+
+The paper binds acyclic basic blocks and argues (Section 4) that for
+loops, binding should be applied to the *transformed* body a modulo
+scheduler produces.  This subpackage closes that loop: it models loop
+bodies with loop-carried dependencies and software-pipelines them with a
+cluster-aware modulo scheduler built on the same binder.
+
+A :class:`LoopDfg` wraps an ordinary :class:`~repro.dfg.graph.Dfg` (the
+loop body, acyclic by construction) and adds *carried* edges annotated
+with a dependence distance ``omega >= 1``: the consumer reads the value
+the producer computed ``omega`` iterations earlier.  Intra-iteration
+edges are exactly the body DFG's edges (``omega = 0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..dfg.graph import Dfg
+
+__all__ = ["CarriedEdge", "LoopDfg"]
+
+
+@dataclass(frozen=True)
+class CarriedEdge:
+    """A loop-carried dependency ``producer -> consumer`` at distance
+    ``omega`` iterations."""
+
+    producer: str
+    consumer: str
+    omega: int
+
+    def __post_init__(self) -> None:
+        if self.omega < 1:
+            raise ValueError(
+                f"carried edge {self.producer}->{self.consumer} needs "
+                f"omega >= 1, got {self.omega} (use a body edge for 0)"
+            )
+
+
+class LoopDfg:
+    """A loop body plus its loop-carried dependencies.
+
+    Args:
+        body: the acyclic intra-iteration DFG.
+        carried: loop-carried edges.  Endpoints must exist in the body;
+            carried self-edges (an operation depending on its own
+            previous value — accumulators) are allowed and common.
+    """
+
+    def __init__(
+        self, body: Dfg, carried: Optional[List[CarriedEdge]] = None
+    ) -> None:
+        if body.num_transfers:
+            raise ValueError("loop body must be an original (unbound) DFG")
+        self.body = body
+        self.carried: Tuple[CarriedEdge, ...] = tuple(carried or ())
+        for edge in self.carried:
+            if edge.producer not in body:
+                raise KeyError(f"unknown carried producer {edge.producer!r}")
+            if edge.consumer not in body:
+                raise KeyError(f"unknown carried consumer {edge.consumer!r}")
+
+    @property
+    def name(self) -> str:
+        return self.body.name
+
+    def all_edges(self) -> Iterator[Tuple[str, str, int]]:
+        """Every dependency as ``(producer, consumer, omega)``."""
+        for u, v in self.body.edges():
+            yield (u, v, 0)
+        for edge in self.carried:
+            yield (edge.producer, edge.consumer, edge.omega)
+
+    def recurrence_sets(self) -> List[List[str]]:
+        """Strongly connected components with more than one dependency.
+
+        Tarjan's algorithm over the full (cyclic) dependence graph;
+        returns only non-trivial SCCs (size > 1, or a self-carried
+        operation) — the recurrences that bound the initiation interval.
+        """
+        adjacency: Dict[str, List[str]] = {n: [] for n in self.body}
+        self_loops = set()
+        for u, v, omega in self.all_edges():
+            if u == v:
+                self_loops.add(u)
+            else:
+                adjacency[u].append(v)
+
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Dict[str, bool] = {}
+        stack: List[str] = []
+        counter = [0]
+        out: List[List[str]] = []
+
+        def strongconnect(root: str) -> None:
+            # Iterative Tarjan (explicit stack) to survive deep graphs.
+            work = [(root, 0)]
+            while work:
+                node, pi = work[-1]
+                if pi == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack[node] = True
+                recurse = False
+                for i in range(pi, len(adjacency[node])):
+                    nxt = adjacency[node][i]
+                    if nxt not in index:
+                        work[-1] = (node, i + 1)
+                        work.append((nxt, 0))
+                        recurse = True
+                        break
+                    if on_stack.get(nxt):
+                        low[node] = min(low[node], index[nxt])
+                if recurse:
+                    continue
+                if low[node] == index[node]:
+                    scc = []
+                    while True:
+                        w = stack.pop()
+                        on_stack[w] = False
+                        scc.append(w)
+                        if w == node:
+                            break
+                    if len(scc) > 1:
+                        out.append(sorted(scc))
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+
+        for n in self.body:
+            if n not in index:
+                strongconnect(n)
+        for n in sorted(self_loops):
+            if not any(n in scc for scc in out):
+                out.append([n])
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"LoopDfg({self.body.name!r}, ops={self.body.num_operations}, "
+            f"carried={len(self.carried)})"
+        )

@@ -1,0 +1,98 @@
+"""Minimum initiation interval (MII) bounds for modulo scheduling.
+
+Two classic lower bounds on the initiation interval ``II`` of a
+software-pipelined loop (Rau, MICRO-27):
+
+* **ResMII** — resource-constrained: the most loaded resource class
+  must issue all its operations once per iteration, so
+  ``II >= ceil(work(t) / N(t))`` for every FU type (and the bus, once a
+  binding determines the transfer count);
+* **RecMII** — recurrence-constrained: every dependence cycle ``C``
+  needs ``II >= ceil(sum lat(C) / sum omega(C))``.
+
+``rec_mii`` computes the exact bound by testing candidate IIs with a
+longest-path positive-cycle check on the constraint graph (edge weight
+``lat(u) - II * omega``), which is both simple and exact for the loop
+sizes this library targets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ..datapath.model import Datapath
+from .loop import LoopDfg
+
+__all__ = ["res_mii", "rec_mii", "mii"]
+
+
+def res_mii(loop: LoopDfg, datapath: Datapath) -> int:
+    """Resource-constrained MII over FU types (bus excluded — the
+    transfer count depends on the binding, which does not exist yet)."""
+    reg = datapath.registry
+    work: Dict = {}
+    for op in loop.body.regular_operations():
+        futype = reg.futype(op.optype)
+        work[futype] = work.get(futype, 0) + reg.dii(op.optype)
+    bound = 1
+    for futype, total in work.items():
+        units = datapath.total_fu_count(futype)
+        if units <= 0:
+            raise ValueError(
+                f"datapath {datapath.spec()} has no {futype} units"
+            )
+        bound = max(bound, math.ceil(total / units))
+    return bound
+
+
+def _has_positive_cycle(
+    nodes: List[str],
+    edges: List[Tuple[str, str, int, int]],
+    ii: int,
+) -> bool:
+    """Bellman-Ford-style check for a positive cycle in the constraint
+    graph with weights ``lat(u) - ii * omega``."""
+    dist = {n: 0 for n in nodes}
+    for _ in range(len(nodes)):
+        changed = False
+        for u, v, lat_u, omega in edges:
+            w = lat_u - ii * omega
+            if dist[u] + w > dist[v]:
+                dist[v] = dist[u] + w
+                changed = True
+        if not changed:
+            return False
+    return True  # still relaxing after |V| passes -> positive cycle
+
+
+def rec_mii(loop: LoopDfg, datapath: Datapath, max_ii: int = 4096) -> int:
+    """Exact recurrence-constrained MII.
+
+    Returns the smallest ``II`` for which no dependence cycle demands
+    more; 1 when the loop has no recurrences.
+    """
+    reg = datapath.registry
+    nodes = list(loop.body)
+    edges = [
+        (u, v, reg.latency(loop.body.operation(u).optype), omega)
+        for u, v, omega in loop.all_edges()
+    ]
+    if not any(omega > 0 for _, _, _, omega in edges):
+        return 1
+    lo, hi = 1, max_ii
+    # The bound is monotone: larger II only loosens constraints.
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _has_positive_cycle(nodes, edges, mid):
+            lo = mid + 1
+        else:
+            hi = mid
+    if lo >= max_ii and _has_positive_cycle(nodes, edges, max_ii):
+        raise ValueError(f"no feasible II below {max_ii}; malformed loop?")
+    return lo
+
+
+def mii(loop: LoopDfg, datapath: Datapath) -> int:
+    """``max(ResMII, RecMII)`` — the classic combined lower bound."""
+    return max(res_mii(loop, datapath), rec_mii(loop, datapath))

@@ -1,0 +1,344 @@
+"""Iterative modulo scheduling of a bound loop (Rau-style IMS).
+
+Given a loop, a cluster binding, and a candidate initiation interval
+``II``, this module software-pipelines the loop body: every operation
+gets a start time ``sigma(v)`` such that
+
+* dependences hold across iterations:
+  ``sigma(v) >= sigma(u) + lat(u) - II * omega(u, v)``;
+* the modulo reservation table (MRT) holds: a resource class never has
+  more operations in a ``slot mod II`` than it has units — per-cluster
+  per-FU-type for regular operations, the ``N_B``-slot bus for the
+  transfers the binding implies.
+
+The scheduler is the classic iterative variant: operations are placed
+highest-priority-first in a window of ``II`` slots from their earliest
+start; when no slot fits, the operation is *forced* and conflicting or
+dependence-violated operations are evicted and retried, within a budget.
+Returns ``None`` when the budget is exhausted — the caller then tries
+the next ``II``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from ..core.binding import Binding
+from ..datapath.model import Datapath
+from ..dfg.graph import Dfg
+from ..dfg.ops import BUS, MOVE, FuType
+from ..dfg.transform import transfer_name
+from .loop import LoopDfg
+
+__all__ = ["BoundLoop", "ModuloSchedule", "bind_loop", "modulo_schedule"]
+
+
+@dataclass(frozen=True)
+class BoundLoop:
+    """A loop body rewritten with the transfers a binding implies.
+
+    Attributes:
+        body: the rewritten intra-iteration DFG (with MOVE operations).
+        edges: every dependency ``(producer, consumer, omega)`` including
+            the carried ones, over the rewritten names.
+        placement: cluster per operation (transfers live in their
+            destination cluster, as in the acyclic flow).
+        num_transfers: MOVE operations per iteration.
+    """
+
+    body: Dfg
+    edges: Tuple[Tuple[str, str, int], ...]
+    placement: Mapping[str, int]
+
+    @property
+    def num_transfers(self) -> int:
+        return self.body.num_transfers
+
+
+def bind_loop(loop: LoopDfg, binding: Binding) -> BoundLoop:
+    """Insert inter-cluster transfers on every cut dependency.
+
+    Transfers are shared per (producer, destination cluster) across
+    intra-iteration *and* carried consumers: the value is moved once per
+    iteration and each consumer reads the copy of the iteration it
+    needs.  A carried cut edge ``u -(omega)-> v`` becomes
+    ``u -(0)-> t -(omega)-> v``.
+    """
+    body = Dfg(name=f"{loop.body.name}+bound")
+    placement: Dict[str, int] = {}
+    for op in loop.body.operations():
+        body.add_operation(op)
+        placement[op.name] = binding[op.name]
+
+    edges: List[Tuple[str, str, int]] = []
+    created: Set[str] = set()
+
+    def via_transfer(u: str, v: str, omega: int) -> None:
+        dest = binding[v]
+        t = transfer_name(u, dest)
+        if t not in created:
+            body.add_op(t, MOVE, is_transfer=True, source=u)
+            body.add_edge(u, t)
+            placement[t] = dest
+            created.add(t)
+            edges.append((u, t, 0))
+        edges.append((t, v, omega))
+        if omega == 0:
+            body.add_edge(t, v)
+
+    for u, v in loop.body.edges():
+        if binding[u] == binding[v]:
+            body.add_edge(u, v)
+            edges.append((u, v, 0))
+        else:
+            via_transfer(u, v, 0)
+    for edge in loop.carried:
+        if binding[edge.producer] == binding[edge.consumer]:
+            edges.append((edge.producer, edge.consumer, edge.omega))
+        else:
+            via_transfer(edge.producer, edge.consumer, edge.omega)
+
+    return BoundLoop(body=body, edges=tuple(edges), placement=placement)
+
+
+@dataclass(frozen=True)
+class ModuloSchedule:
+    """A software-pipelined schedule at initiation interval ``ii``.
+
+    Attributes:
+        bound: the bound loop that was scheduled.
+        datapath: the machine.
+        ii: the initiation interval achieved.
+        start: ``sigma(v)`` per operation (absolute cycles; the kernel
+            repeats every ``ii``).
+    """
+
+    bound: BoundLoop
+    datapath: Datapath
+    ii: int
+    start: Mapping[str, int]
+
+    @property
+    def schedule_length(self) -> int:
+        """Span of one iteration's schedule (prologue+kernel length)."""
+        reg = self.datapath.registry
+        if not self.start:
+            return 0
+        finish = max(
+            self.start[n] + reg.latency(self.bound.body.operation(n).optype)
+            for n in self.bound.body
+        )
+        return finish - min(self.start.values())
+
+    @property
+    def num_stages(self) -> int:
+        """Pipeline stages: ``ceil(schedule_length / ii)``."""
+        if not self.start:
+            return 0
+        return -(-self.schedule_length // self.ii)
+
+    def validate(self) -> None:
+        """Re-check dependences and MRT capacity from first principles.
+
+        Raises:
+            ValueError: on the first violated constraint.
+        """
+        reg = self.datapath.registry
+        for u, v, omega in self.bound.edges:
+            lat_u = reg.latency(self.bound.body.operation(u).optype)
+            if self.start[v] < self.start[u] + lat_u - self.ii * omega:
+                raise ValueError(
+                    f"dependence violated: {u}->{v} (omega={omega}): "
+                    f"{self.start[v]} < {self.start[u]} + {lat_u} - "
+                    f"{self.ii}*{omega}"
+                )
+        usage: Dict[Tuple[int, FuType, int], int] = {}
+        for n in self.bound.body:
+            op = self.bound.body.operation(n)
+            futype = reg.futype(op.optype)
+            cluster = -1 if op.is_transfer else self.bound.placement[n]
+            for k in range(reg.dii(op.optype)):
+                slot = (self.start[n] + k) % self.ii
+                key = (cluster, futype, slot)
+                usage[key] = usage.get(key, 0) + 1
+        for (cluster, futype, slot), used in usage.items():
+            capacity = (
+                self.datapath.num_buses
+                if futype == BUS
+                else self.datapath.fu_count(cluster, futype)
+            )
+            if used > capacity:
+                raise ValueError(
+                    f"MRT overflow: {used} ops on ({cluster}, {futype}) "
+                    f"slot {slot} (capacity {capacity})"
+                )
+
+
+def _priorities(bound: BoundLoop, datapath: Datapath, ii: int) -> Dict[str, int]:
+    """Height-based priority: longest (lat - II*omega)-weighted path out
+    of each operation, computed by relaxation (cycles have non-positive
+    weight at a feasible II, so this converges)."""
+    reg = datapath.registry
+    height = {n: 0 for n in bound.body}
+    for _ in range(len(height)):
+        changed = False
+        for u, v, omega in bound.edges:
+            lat_u = reg.latency(bound.body.operation(u).optype)
+            cand = height[v] + lat_u - ii * omega
+            if cand > height[u]:
+                height[u] = cand
+                changed = True
+        if not changed:
+            break
+    return height
+
+
+def modulo_schedule(
+    loop: LoopDfg,
+    datapath: Datapath,
+    binding: Binding,
+    ii: int,
+    budget_factor: int = 16,
+) -> Optional[ModuloSchedule]:
+    """Attempt to modulo-schedule ``loop`` at initiation interval ``ii``.
+
+    Args:
+        loop: the cyclic dataflow.
+        datapath: the machine.
+        binding: cluster per body operation.
+        ii: candidate initiation interval.
+        budget_factor: scheduling attempts allowed per operation before
+            giving up.
+
+    Returns:
+        A validated :class:`ModuloSchedule`, or ``None`` if the budget
+        was exhausted (caller should retry with a larger ``ii``).
+    """
+    if ii < 1:
+        raise ValueError(f"ii must be >= 1, got {ii}")
+    bound = bind_loop(loop, binding)
+    reg = datapath.registry
+    ops = list(bound.body)
+    if not ops:
+        return ModuloSchedule(bound=bound, datapath=datapath, ii=ii, start={})
+    height = _priorities(bound, datapath, ii)
+
+    preds: Dict[str, List[Tuple[str, int, int]]] = {n: [] for n in ops}
+    succs: Dict[str, List[Tuple[str, int, int]]] = {n: [] for n in ops}
+    for u, v, omega in bound.edges:
+        lat_u = reg.latency(bound.body.operation(u).optype)
+        preds[v].append((u, lat_u, omega))
+        succs[u].append((v, lat_u, omega))
+
+    def resource_key(n: str) -> Tuple[int, FuType]:
+        op = bound.body.operation(n)
+        futype = reg.futype(op.optype)
+        cluster = -1 if op.is_transfer else bound.placement[n]
+        return (cluster, futype)
+
+    def capacity(key: Tuple[int, FuType]) -> int:
+        cluster, futype = key
+        if futype == BUS:
+            return datapath.num_buses
+        return datapath.fu_count(cluster, futype)
+
+    sigma: Dict[str, int] = {}
+    mrt: Dict[Tuple[int, FuType, int], List[str]] = {}
+    never_scheduled = {n: True for n in ops}
+    last_slot: Dict[str, int] = {}
+
+    def occupy(n: str, t: int) -> None:
+        sigma[n] = t
+        for k in range(reg.dii(bound.body.operation(n).optype)):
+            key = (*resource_key(n), (t + k) % ii)
+            mrt.setdefault(key, []).append(n)
+
+    def release(n: str) -> None:
+        t = sigma.pop(n)
+        for k in range(reg.dii(bound.body.operation(n).optype)):
+            key = (*resource_key(n), (t + k) % ii)
+            mrt[key].remove(n)
+
+    def slot_free(n: str, t: int) -> bool:
+        for k in range(reg.dii(bound.body.operation(n).optype)):
+            key = (*resource_key(n), (t + k) % ii)
+            if len(mrt.get(key, [])) >= capacity(key[:2]) and n not in mrt.get(key, []):
+                return False
+        return True
+
+    # Max-heap by (height, degree); deterministic tiebreak by name index.
+    order_index = {n: i for i, n in enumerate(ops)}
+    ready = [(-height[n], order_index[n], n) for n in ops]
+    heapq.heapify(ready)
+    in_queue = {n: True for n in ops}
+
+    budget = budget_factor * len(ops)
+    attempts = 0
+    while ready:
+        attempts += 1
+        if attempts > budget:
+            return None
+        _, _, v = heapq.heappop(ready)
+        if not in_queue.get(v):
+            continue
+        in_queue[v] = False
+
+        earliest = 0
+        for u, lat_u, omega in preds[v]:
+            if u in sigma:
+                earliest = max(earliest, sigma[u] + lat_u - ii * omega)
+        if not never_scheduled[v]:
+            # Re-scheduling after an eviction: move forward to escape
+            # the previous conflict.
+            earliest = max(earliest, last_slot[v] + 1)
+        earliest = max(earliest, 0)
+
+        placed = False
+        for t in range(earliest, earliest + ii):
+            if slot_free(v, t):
+                occupy(v, t)
+                placed = True
+                break
+        if not placed:
+            # Force at `earliest`: evict resource conflicts.
+            t = earliest
+            for k in range(reg.dii(bound.body.operation(v).optype)):
+                key = (*resource_key(v), (t + k) % ii)
+                while len(mrt.get(key, [])) >= capacity(key[:2]):
+                    victim = mrt[key][-1]
+                    release(victim)
+                    if not in_queue.get(victim):
+                        in_queue[victim] = True
+                        heapq.heappush(
+                            ready,
+                            (-height[victim], order_index[victim], victim),
+                        )
+            occupy(v, t)
+        never_scheduled[v] = False
+        last_slot[v] = sigma[v]
+
+        # Evict any scheduled neighbour whose dependence broke.
+        for u, lat_u, omega in preds[v]:
+            if u in sigma and sigma[v] < sigma[u] + lat_u - ii * omega:
+                release(u)
+                if not in_queue.get(u):
+                    in_queue[u] = True
+                    heapq.heappush(
+                        ready, (-height[u], order_index[u], u)
+                    )
+        for w, lat_v, omega in succs[v]:
+            if w in sigma and sigma[w] < sigma[v] + lat_v - ii * omega:
+                release(w)
+                if not in_queue.get(w):
+                    in_queue[w] = True
+                    heapq.heappush(
+                        ready, (-height[w], order_index[w], w)
+                    )
+
+    schedule = ModuloSchedule(
+        bound=bound, datapath=datapath, ii=ii, start=dict(sigma)
+    )
+    schedule.validate()
+    return schedule

@@ -1,0 +1,24 @@
+"""Resource-constrained list scheduling of bound DFGs."""
+
+from .bounds import LatencyBounds, latency_bounds, latency_lower_bound
+from .gantt import render_gantt
+from .list_scheduler import ResourcePool, list_schedule
+from .priorities import alap_priority, asap_priority
+from .schedule import Schedule, ScheduleError, validate_schedule
+from .svg import render_svg, save_svg
+
+__all__ = [
+    "Schedule",
+    "ScheduleError",
+    "validate_schedule",
+    "list_schedule",
+    "ResourcePool",
+    "alap_priority",
+    "asap_priority",
+    "render_gantt",
+    "LatencyBounds",
+    "latency_bounds",
+    "latency_lower_bound",
+    "render_svg",
+    "save_svg",
+]

@@ -1,0 +1,85 @@
+"""Lower bounds on schedule latency.
+
+Used in three places:
+
+* the driver sizes its ``L_PR`` stretch range from the resource bound
+  (Section 3.1.3 — stretching matters exactly when resources, not
+  dependences, dictate the schedule);
+* the branch-and-bound binder prunes with these bounds;
+* the analysis layer reports optimality gaps (``L / max(bounds)``)
+  without needing an exact solve.
+
+All bounds are valid for *any* binding on the given datapath, so
+``L >= latency_lower_bound(dfg, dp)`` holds for every schedule this
+library can produce.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..datapath.model import Datapath
+from ..dfg.graph import Dfg
+from ..dfg.ops import FuType
+from ..dfg.timing import critical_path_length
+
+__all__ = ["LatencyBounds", "latency_bounds", "latency_lower_bound"]
+
+
+@dataclass(frozen=True)
+class LatencyBounds:
+    """The individual lower bounds and their maximum.
+
+    Attributes:
+        critical_path: ``L_CP`` — the dependence bound.
+        resource: per-FU-type work bound, max over types of
+            ``ceil(total dii-work of type t / N(t))``.
+        per_type: the resource bound per FU type (for diagnosis).
+        combined: ``max(critical_path, resource)``.
+    """
+
+    critical_path: int
+    resource: int
+    per_type: Mapping[FuType, int]
+    combined: int
+
+
+def latency_bounds(dfg: Dfg, datapath: Datapath) -> LatencyBounds:
+    """Compute all latency lower bounds for ``dfg`` on ``datapath``.
+
+    The resource bound assumes perfect load balance across all clusters
+    (the best any binding could do), so it never excludes a feasible
+    schedule.
+    """
+    reg = datapath.registry
+    lcp = critical_path_length(dfg, reg)
+
+    work: Dict[FuType, int] = {}
+    for op in dfg.regular_operations():
+        futype = reg.futype(op.optype)
+        work[futype] = work.get(futype, 0) + reg.dii(op.optype)
+
+    per_type: Dict[FuType, int] = {}
+    for futype, total in work.items():
+        units = datapath.total_fu_count(futype)
+        if units <= 0:
+            raise ValueError(
+                f"datapath {datapath.spec()} has no {futype} units but the "
+                "DFG needs them"
+            )
+        per_type[futype] = math.ceil(total / units)
+
+    resource = max(per_type.values(), default=0)
+    return LatencyBounds(
+        critical_path=lcp,
+        resource=resource,
+        per_type=per_type,
+        combined=max(lcp, resource),
+    )
+
+
+def latency_lower_bound(dfg: Dfg, datapath: Datapath) -> int:
+    """``max(L_CP, resource bound)`` — the strongest cheap bound."""
+    return latency_bounds(dfg, datapath).combined

@@ -1,0 +1,67 @@
+"""ASCII Gantt-chart rendering of schedules.
+
+Produces a per-resource timeline like::
+
+    cycle        0    1    2    3
+    c0.ALU.0     v1   v4   .    v9
+    c0.MUL.0     v2   v2   .    .
+    bus.0        .    t.v2.c1  .
+
+Useful for debugging bindings and for the example scripts; the format is
+purely informational and carries no API guarantees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..dfg.ops import BUS, FuType
+from .schedule import Schedule
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(schedule: Schedule, max_name_len: int = 12) -> str:
+    """Render ``schedule`` as an ASCII table (rows = resource instances)."""
+    reg = schedule.datapath.registry
+    graph = schedule.bound.graph
+
+    rows: Dict[Tuple[int, FuType, int], List[str]] = {}
+    latency = max(schedule.latency, 1)
+    for c in schedule.datapath.clusters:
+        for futype, count in sorted(c.fu_counts.items(), key=lambda kv: kv[0].name):
+            for unit in range(count):
+                rows[(c.index, futype, unit)] = ["."] * latency
+    for b in range(schedule.datapath.num_buses):
+        rows[(-1, BUS, b)] = ["."] * latency
+
+    for name in graph:
+        s = schedule.start[name]
+        lat = reg.latency(graph.operation(name).optype)
+        key = schedule.instance[name]
+        label = name if len(name) <= max_name_len else name[: max_name_len - 1] + "~"
+        for cycle in range(s, s + lat):
+            rows[key][cycle] = label
+
+    col_width = max(
+        [5] + [len(cell) for cells in rows.values() for cell in cells]
+    ) + 1
+
+    def row_label(key: Tuple[int, FuType, int]) -> str:
+        cluster, futype, unit = key
+        if futype == BUS:
+            return f"bus.{unit}"
+        return f"c{cluster}.{futype.name}.{unit}"
+
+    label_width = max(len(row_label(k)) for k in rows) + 2
+    lines = [
+        "cycle".ljust(label_width)
+        + "".join(str(t).ljust(col_width) for t in range(latency))
+    ]
+    for key in rows:
+        lines.append(
+            row_label(key).ljust(label_width)
+            + "".join(cell.ljust(col_width) for cell in rows[key])
+        )
+    lines.append(f"L = {schedule.latency}, M = {schedule.num_transfers}")
+    return "\n".join(lines)

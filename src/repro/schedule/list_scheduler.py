@@ -1,0 +1,178 @@
+"""Resource-constrained list scheduler for bound DFGs.
+
+The paper evaluates every binding by list scheduling the bound DFG
+(Section 3.2: "we use a list scheduling algorithm for quality
+estimation").  This module implements that scheduler:
+
+* per-cluster, per-FU-type resource pools of ``N(c, t)`` units;
+* a bus pool of ``N_B`` slots executing transfer operations;
+* ``dii`` pipelining — a unit accepts a new operation every ``dii``
+  cycles, independent of latency;
+* cycle-by-cycle greedy issue of ready operations in priority order
+  (ALAP / mobility / consumer count by default).
+
+Because only resource contention and transfer insertion can delay an
+operation beyond its unconstrained level, the resulting latency directly
+reflects binding quality, which is the property the ``Q_U`` quality vector
+relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from ..datapath.model import Datapath
+from ..dfg.ops import BUS, FuType
+from ..dfg.transform import BoundDfg
+from .priorities import PriorityKey, alap_priority
+from .schedule import Schedule
+
+__all__ = ["list_schedule", "ResourcePool"]
+
+
+class ResourcePool:
+    """A pool of identical resource instances with ``dii`` issue spacing.
+
+    Each instance remembers when it can next *issue*; an instance that
+    issued at cycle ``s`` becomes available again at ``s + dii``.  The
+    pool hands out the lowest-numbered free instance, which keeps unit
+    assignments deterministic and compact.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"pool size must be >= 0, got {size}")
+        self.size = size
+        self._next_issue: List[int] = [0] * size
+
+    def available_at(self, cycle: int) -> Optional[int]:
+        """Index of a free instance at ``cycle``, or None if all busy."""
+        for i, t in enumerate(self._next_issue):
+            if t <= cycle:
+                return i
+        return None
+
+    def issue(self, cycle: int, dii: int) -> int:
+        """Claim a free instance at ``cycle``; returns its index."""
+        i = self.available_at(cycle)
+        if i is None:
+            raise RuntimeError(f"no free instance at cycle {cycle}")
+        self._next_issue[i] = cycle + dii
+        return i
+
+
+def list_schedule(
+    bound: BoundDfg,
+    datapath: Datapath,
+    priority: Optional[PriorityKey] = None,
+) -> Schedule:
+    """Schedule a bound DFG on a clustered datapath.
+
+    Args:
+        bound: the binding-rewritten DFG (see :func:`repro.dfg.bind_dfg`).
+        datapath: the machine; FU counts, bus width, and the timing
+            registry all come from here.
+        priority: optional static priority (smaller = sooner).  Defaults
+            to :func:`~repro.schedule.priorities.alap_priority` on the
+            bound graph.
+
+    Returns:
+        A :class:`~repro.schedule.schedule.Schedule`; its ``latency`` is
+        the paper's ``L`` and ``num_transfers`` the paper's ``M``.
+    """
+    graph = bound.graph
+    reg = datapath.registry
+    if priority is None:
+        priority = alap_priority(graph, reg)
+
+    # Resource pools: one per (cluster, futype) that has units, one bus.
+    pools: Dict[Tuple[int, FuType], ResourcePool] = {}
+    for c in datapath.clusters:
+        for futype, count in c.fu_counts.items():
+            if count > 0:
+                pools[(c.index, futype)] = ResourcePool(count)
+    bus_pool = ResourcePool(datapath.num_buses)
+
+    start: Dict[str, int] = {}
+    instance: Dict[str, Tuple[int, FuType, int]] = {}
+
+    # ready_heap holds (priority, name) of operations whose predecessors
+    # have all completed; earliest_start tracks when data is available.
+    remaining_preds = {n: graph.in_degree(n) for n in graph}
+    earliest_start = {n: 0 for n in graph}
+    # Events: operations become ready at their data-ready cycle.
+    ready_at: Dict[int, List[str]] = {}
+    for n in graph:
+        if remaining_preds[n] == 0:
+            ready_at.setdefault(0, []).append(n)
+
+    ready_heap: List[Tuple[Tuple[int, ...], str]] = []
+    unscheduled = len(graph._ops) if hasattr(graph, "_ops") else len(graph)
+    unscheduled = len(graph)
+    cycle = 0
+    max_cycles = _cycle_budget(bound, datapath)
+    while unscheduled > 0:
+        if cycle > max_cycles:
+            raise RuntimeError(
+                f"list scheduler exceeded cycle budget {max_cycles} on "
+                f"{graph.name!r}; resource model is likely infeasible"
+            )
+        for n in ready_at.pop(cycle, ()):
+            heapq.heappush(ready_heap, (priority[n], n))
+
+        deferred: List[Tuple[Tuple[int, ...], str]] = []
+        while ready_heap:
+            prio, n = heapq.heappop(ready_heap)
+            op = graph.operation(n)
+            if op.is_transfer:
+                pool = bus_pool
+                cluster = -1
+                futype = BUS
+            else:
+                cluster = bound.placement[n]
+                futype = reg.futype(op.optype)
+                pool = pools.get((cluster, futype))
+                if pool is None:
+                    raise RuntimeError(
+                        f"{n!r} bound to cluster {cluster} with no "
+                        f"{futype} units"
+                    )
+            unit = pool.available_at(cycle)
+            if unit is None:
+                deferred.append((prio, n))
+                continue
+            pool.issue(cycle, reg.dii(op.optype))
+            start[n] = cycle
+            instance[n] = (cluster, futype, unit)
+            unscheduled -= 1
+            finish = cycle + reg.latency(op.optype)
+            for s in graph.successors(n):
+                remaining_preds[s] -= 1
+                earliest_start[s] = max(earliest_start[s], finish)
+                if remaining_preds[s] == 0:
+                    ready_at.setdefault(earliest_start[s], []).append(s)
+        for item in deferred:
+            heapq.heappush(ready_heap, item)
+        cycle += 1
+
+    latency = max(
+        (start[n] + reg.latency(graph.operation(n).optype) for n in graph),
+        default=0,
+    )
+    return Schedule(
+        bound=bound,
+        datapath=datapath,
+        start=start,
+        instance=instance,
+        latency=latency,
+    )
+
+
+def _cycle_budget(bound: BoundDfg, datapath: Datapath) -> int:
+    """Upper bound on schedule length: serialize everything, plus slack."""
+    reg = datapath.registry
+    total = sum(
+        reg.latency(bound.graph.operation(n).optype) for n in bound.graph
+    )
+    return 2 * total + 64

@@ -1,0 +1,54 @@
+"""Priority functions for list scheduling.
+
+The list scheduler picks among ready operations by a static priority.  We
+use the same lexicographic ranking the binding phase uses for its
+traversal order (paper Section 3.1.1): ALAP level first (urgent operations
+first), then mobility, then consumer count — computed on the *bound* DFG,
+since that is the graph actually being scheduled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from ..dfg.graph import Dfg
+from ..dfg.ops import OpTypeRegistry
+from ..dfg.timing import compute_timing
+
+__all__ = ["PriorityKey", "alap_priority", "asap_priority"]
+
+#: Sort key per operation name; smaller keys schedule first.
+PriorityKey = Mapping[str, Tuple[int, ...]]
+
+
+def alap_priority(dfg: Dfg, registry: OpTypeRegistry) -> PriorityKey:
+    """ALAP-driven priority: (alap, mobility, -consumers, insertion index).
+
+    Operations with the earliest deadline go first; within a deadline the
+    least mobile go first; then those whose result feeds more consumers.
+    The insertion index makes the ordering total and deterministic.
+    """
+    timing = compute_timing(dfg, registry)
+    keys: Dict[str, Tuple[int, ...]] = {}
+    for idx, name in enumerate(dfg):
+        keys[name] = (
+            timing.alap[name],
+            timing.mobility(name),
+            -dfg.out_degree(name),
+            idx,
+        )
+    return keys
+
+
+def asap_priority(dfg: Dfg, registry: OpTypeRegistry) -> PriorityKey:
+    """ASAP-driven priority, used by the reversed-order experiments."""
+    timing = compute_timing(dfg, registry)
+    keys: Dict[str, Tuple[int, ...]] = {}
+    for idx, name in enumerate(dfg):
+        keys[name] = (
+            -timing.asap[name],
+            timing.mobility(name),
+            -dfg.in_degree(name),
+            idx,
+        )
+    return keys

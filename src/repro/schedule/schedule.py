@@ -1,0 +1,174 @@
+"""Schedule representation and validity checking.
+
+A :class:`Schedule` assigns a start cycle and a concrete resource instance
+to every operation of a bound DFG.  The *schedule latency* ``L`` — the
+paper's primary figure of merit — is the number of clock cycles needed to
+complete every operation, i.e. ``max(start(v) + lat(v))`` with 0-based
+start cycles.
+
+:func:`validate_schedule` re-checks a schedule from first principles
+(precedence, target sets, FU counts, bus width, ``dii`` issue spacing); it
+is used by the test suite and by the property-based tests to certify every
+scheduler output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from ..datapath.model import Datapath
+from ..dfg.ops import BUS, FuType
+from ..dfg.transform import BoundDfg
+
+__all__ = ["Schedule", "ScheduleError", "validate_schedule"]
+
+
+class ScheduleError(ValueError):
+    """Raised when a schedule violates precedence or resource limits."""
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete schedule of a bound DFG on a datapath.
+
+    Attributes:
+        bound: the bound DFG that was scheduled.
+        datapath: the machine it was scheduled on.
+        start: 0-based start cycle per operation name.
+        instance: resource instance per operation: ``(cluster, futype,
+            unit_index)``; transfers use ``(-1, BUS, bus_index)``.
+        latency: ``L`` — completion time of the whole block.
+    """
+
+    bound: BoundDfg
+    datapath: Datapath
+    start: Mapping[str, int]
+    instance: Mapping[str, Tuple[int, FuType, int]]
+    latency: int
+
+    @property
+    def num_transfers(self) -> int:
+        """``M``: number of data-transfer operations."""
+        return self.bound.num_transfers
+
+    def finish(self, name: str) -> int:
+        """First cycle at which ``name``'s result is available."""
+        op = self.bound.graph.operation(name)
+        return self.start[name] + self.datapath.registry.latency(op.optype)
+
+    def completion_profile(self) -> List[int]:
+        """``U_i`` counts: regular operations completing at step ``L - i``.
+
+        Element ``i`` of the returned list is the number of *regular*
+        (non-transfer) operations whose completion cycle equals ``L - i``
+        (the paper's Figure 6 quantity, used by the ``Q_U`` vector).  The
+        list has ``L`` entries, covering completion cycles ``L`` down to 1.
+        """
+        counts = [0] * self.latency
+        for op in self.bound.graph.regular_operations():
+            i = self.latency - self.finish(op.name)
+            counts[i] += 1
+        return counts
+
+    def ops_at_cycle(self, cycle: int) -> Tuple[str, ...]:
+        """Operations whose execution occupies ``cycle`` (0-based)."""
+        reg = self.datapath.registry
+        out = []
+        for name, s in self.start.items():
+            lat = reg.latency(self.bound.graph.operation(name).optype)
+            if s <= cycle < s + lat:
+                out.append(name)
+        return tuple(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule(L={self.latency}, M={self.num_transfers}, "
+            f"ops={len(self.start)}, datapath={self.datapath.spec()})"
+        )
+
+
+def validate_schedule(schedule: Schedule) -> None:
+    """Re-verify a schedule from first principles.
+
+    Checks, in order:
+
+    1. every operation of the bound DFG is scheduled exactly once;
+    2. precedence: no consumer starts before each producer finishes;
+    3. placement: every regular operation runs on an FU instance of its
+       cluster/FU type; every transfer runs on the bus;
+    4. resource capacity and ``dii``: two operations on the same resource
+       instance are issued at least ``dii`` cycles apart;
+    5. the recorded latency matches the max completion time.
+
+    Raises:
+        ScheduleError: on the first violated property.
+    """
+    bound, dp = schedule.bound, schedule.datapath
+    reg = dp.registry
+    graph = bound.graph
+
+    scheduled = set(schedule.start)
+    all_ops = set(graph)
+    if scheduled != all_ops:
+        missing = sorted(all_ops - scheduled)[:5]
+        extra = sorted(scheduled - all_ops)[:5]
+        raise ScheduleError(f"missing={missing} extra={extra}")
+
+    for u, v in graph.edges():
+        u_lat = reg.latency(graph.operation(u).optype)
+        if schedule.start[v] < schedule.start[u] + u_lat:
+            raise ScheduleError(
+                f"precedence violated: {v!r} starts at {schedule.start[v]} "
+                f"but {u!r} finishes at {schedule.start[u] + u_lat}"
+            )
+
+    per_instance: Dict[Tuple[int, FuType, int], List[Tuple[int, str]]] = {}
+    for name in graph:
+        op = graph.operation(name)
+        cluster, futype, unit = schedule.instance[name]
+        expected_futype = reg.futype(op.optype)
+        if futype != expected_futype:
+            raise ScheduleError(
+                f"{name!r} assigned to {futype} unit, needs {expected_futype}"
+            )
+        if op.is_transfer:
+            if futype != BUS:
+                raise ScheduleError(f"transfer {name!r} not on the bus")
+            if not 0 <= unit < dp.num_buses:
+                raise ScheduleError(
+                    f"transfer {name!r} on bus slot {unit}, N_B={dp.num_buses}"
+                )
+        else:
+            placed = bound.placement[name]
+            if cluster != placed:
+                raise ScheduleError(
+                    f"{name!r} runs in cluster {cluster}, bound to {placed}"
+                )
+            if not 0 <= unit < dp.fu_count(cluster, futype):
+                raise ScheduleError(
+                    f"{name!r} on unit {unit}, cluster {cluster} has "
+                    f"{dp.fu_count(cluster, futype)} {futype} units"
+                )
+        per_instance.setdefault((cluster, futype, unit), []).append(
+            (schedule.start[name], name)
+        )
+
+    for key, issues in per_instance.items():
+        issues.sort()
+        for (s1, n1), (s2, n2) in zip(issues, issues[1:]):
+            dii = reg.dii(graph.operation(n1).optype)
+            if s2 - s1 < dii:
+                raise ScheduleError(
+                    f"resource {key} issues {n1!r}@{s1} and {n2!r}@{s2}: "
+                    f"violates dii={dii}"
+                )
+
+    real_latency = max(
+        (schedule.start[n] + reg.latency(graph.operation(n).optype) for n in graph),
+        default=0,
+    )
+    if real_latency != schedule.latency:
+        raise ScheduleError(
+            f"recorded latency {schedule.latency} != actual {real_latency}"
+        )

@@ -1,0 +1,122 @@
+"""SVG rendering of schedules (dependency-free).
+
+A graphical companion to the ASCII Gantt chart: one row per resource
+instance (FUs grouped and tinted per cluster, bus rows at the bottom),
+one rectangle per operation spanning its latency, transfers hatched in
+the bus rows.  The output is a standalone ``.svg`` viewable in any
+browser — handy for inspecting bindings and for documentation.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Tuple
+
+from ..dfg.ops import BUS, FuType
+from .schedule import Schedule
+
+__all__ = ["render_svg", "save_svg"]
+
+_CLUSTER_FILLS = (
+    "#aecbfa",
+    "#b5e3c9",
+    "#ffe2a8",
+    "#f5b7b1",
+    "#d7bde2",
+    "#aef0e0",
+)
+_BUS_FILL = "#e6e6e6"
+_CELL_W = 46
+_CELL_H = 26
+_LABEL_W = 110
+_PAD = 10
+
+
+def render_svg(schedule: Schedule, title: str = "") -> str:
+    """Render ``schedule`` as SVG source."""
+    dp = schedule.datapath
+    reg = dp.registry
+    graph = schedule.bound.graph
+
+    rows: List[Tuple[str, Tuple[int, FuType, int], str]] = []
+    for cluster in dp.clusters:
+        fill = _CLUSTER_FILLS[cluster.index % len(_CLUSTER_FILLS)]
+        for futype, count in sorted(
+            cluster.fu_counts.items(), key=lambda kv: kv[0].name
+        ):
+            for unit in range(count):
+                label = f"c{cluster.index}.{futype.name}.{unit}"
+                rows.append((label, (cluster.index, futype, unit), fill))
+    for b in range(dp.num_buses):
+        rows.append((f"bus.{b}", (-1, BUS, b), _BUS_FILL))
+
+    row_index = {key: i for i, (_, key, _) in enumerate(rows)}
+    latency = max(schedule.latency, 1)
+    width = _LABEL_W + latency * _CELL_W + 2 * _PAD
+    height = (len(rows) + 1) * _CELL_H + 2 * _PAD + (24 if title else 0)
+    top = _PAD + (24 if title else 0)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">'
+    ]
+    if title:
+        parts.append(
+            f'<text x="{_PAD}" y="{_PAD + 12}" font-size="14">'
+            f"{html.escape(title)}</text>"
+        )
+
+    # grid: cycle headers and row labels
+    for t in range(latency):
+        x = _LABEL_W + t * _CELL_W + _CELL_W // 2
+        parts.append(
+            f'<text x="{x}" y="{top + 14}" text-anchor="middle" '
+            f'fill="#555">{t}</text>'
+        )
+    for i, (label, _, _) in enumerate(rows):
+        y = top + (i + 1) * _CELL_H + 17
+        parts.append(
+            f'<text x="{_PAD}" y="{y}" fill="#333">{html.escape(label)}</text>'
+        )
+        line_y = top + (i + 1) * _CELL_H
+        parts.append(
+            f'<line x1="{_LABEL_W}" y1="{line_y}" '
+            f'x2="{_LABEL_W + latency * _CELL_W}" y2="{line_y}" '
+            f'stroke="#ddd"/>'
+        )
+
+    # operation rectangles
+    for name in graph:
+        op = graph.operation(name)
+        start = schedule.start[name]
+        span = reg.latency(op.optype)
+        i = row_index[schedule.instance[name]]
+        x = _LABEL_W + start * _CELL_W + 1
+        y = top + (i + 1) * _CELL_H + 2
+        w = span * _CELL_W - 2
+        h = _CELL_H - 4
+        fill = "#c8c8c8" if op.is_transfer else rows[i][2]
+        parts.append(
+            f'<rect x="{x}" y="{y}" width="{w}" height="{h}" rx="3" '
+            f'fill="{fill}" stroke="#666"/>'
+        )
+        text = html.escape(name if len(name) <= 9 else name[:8] + "~")
+        parts.append(
+            f'<text x="{x + w / 2:.0f}" y="{y + h - 7}" '
+            f'text-anchor="middle">{text}</text>'
+        )
+
+    footer_y = top + (len(rows) + 1) * _CELL_H - 6
+    parts.append(
+        f'<text x="{_LABEL_W}" y="{footer_y + _CELL_H}" fill="#333">'
+        f"L = {schedule.latency}, M = {schedule.num_transfers}</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def save_svg(schedule: Schedule, path, title: str = "") -> None:
+    """Write :func:`render_svg` output to ``path``."""
+    from pathlib import Path
+
+    Path(path).write_text(render_svg(schedule, title=title))

@@ -1,0 +1,57 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.analysis.energy import EnergyModel, estimate_energy
+from repro.core.binding import Binding
+from repro.datapath.parse import parse_datapath
+from repro.dfg.transform import bind_dfg
+from repro.schedule.list_scheduler import list_schedule
+
+
+def schedule_for(dfg, binding, two_cluster):
+    return list_schedule(bind_dfg(dfg, binding), two_cluster)
+
+
+class TestEnergy:
+    def test_breakdown_adds_up(self, diamond, two_cluster):
+        s = schedule_for(diamond, {"v1": 0, "v2": 0, "v3": 1, "v4": 0}, two_cluster)
+        report = estimate_energy(s)
+        assert report.total == pytest.approx(
+            report.compute + report.transfers + report.static
+        )
+
+    def test_compute_counts_op_mix(self, diamond, two_cluster):
+        # diamond: 3 ALU ops + 1 MUL; default weights 1.0 / 4.0
+        s = schedule_for(diamond, {n: 0 for n in diamond}, two_cluster)
+        report = estimate_energy(s)
+        assert report.compute == pytest.approx(3 * 1.0 + 4.0)
+        assert report.transfers == 0.0
+
+    def test_transfers_charged(self, diamond, two_cluster):
+        split = schedule_for(
+            diamond, {"v1": 0, "v2": 1, "v3": 1, "v4": 1}, two_cluster
+        )
+        report = estimate_energy(split)
+        assert report.transfers == pytest.approx(2.0 * split.num_transfers)
+
+    def test_static_scales_with_latency(self, chain5, two_cluster):
+        s = schedule_for(chain5, {n: 0 for n in chain5}, two_cluster)
+        report = estimate_energy(s, EnergyModel(static_power=1.0))
+        assert report.static == pytest.approx(s.latency)
+
+    def test_fewer_moves_less_energy_at_equal_latency(self, two_cluster):
+        """The M column as an energy statement: at equal latency, the
+        binding with fewer transfers costs less."""
+        from repro.kernels import load_kernel
+        from repro.core.driver import bind
+
+        dfg = load_kernel("arf")
+        good = bind(dfg, two_cluster, iter_starts=1)
+        from repro.baselines import random_search
+
+        bad = random_search(dfg, two_cluster, samples=5, seed=1)
+        e_good = estimate_energy(good.schedule)
+        e_bad = estimate_energy(bad.schedule)
+        if good.latency <= bad.latency:
+            assert e_good.total <= e_bad.total

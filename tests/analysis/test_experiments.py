@@ -1,0 +1,57 @@
+"""Integration tests for the experiment harness (small slices only —
+the full grids live in benchmarks/)."""
+
+import pytest
+
+from repro.analysis.experiments import run_cell, run_table1, run_table2
+from repro.analysis.tables import render_rows, render_table1, render_table2
+from repro.datapath.parse import parse_datapath
+from repro.kernels import load_kernel
+
+
+class TestRunCell:
+    def test_cell_fields(self):
+        dfg = load_kernel("arf")
+        dp = parse_datapath("|1,1|1,1|", num_buses=2)
+        row = run_cell(dfg, dp, "arf")
+        assert row.kernel == "arf"
+        assert row.datapath_spec == "|1,1|1,1|"
+        assert row.num_buses == 2
+        assert row.move_latency == 1
+        assert row.pcc.latency >= 8  # L_CP of ARF
+        assert row.b_iter is not None
+        assert row.b_iter.latency <= row.b_init.latency
+
+    def test_skip_iter(self):
+        dfg = load_kernel("arf")
+        dp = parse_datapath("|1,1|1,1|", num_buses=2)
+        row = run_cell(dfg, dp, "arf", run_iter=False)
+        assert row.b_iter is None
+
+
+class TestTables:
+    def test_table1_single_kernel(self):
+        rows = run_table1(kernels=["arf"], run_iter=False)
+        assert len(rows) == 2  # ARF has two datapath configs
+        text = render_table1(rows)
+        assert "ARF" in text
+        assert "N_V = 28" in text
+        assert "|1,2|1,2|" in text
+
+    def test_table2_shape(self):
+        rows = run_table2(run_iter=False)
+        assert len(rows) == 4
+        assert [(r.num_buses, r.move_latency) for r in rows] == [
+            (1, 1),
+            (2, 1),
+            (1, 2),
+            (2, 2),
+        ]
+        text = render_table2(rows)
+        assert "N_B=1 lat(move)=2" in text
+
+    def test_render_rows_generic(self):
+        rows = run_table1(kernels=["arf"], run_iter=False)
+        text = render_rows(rows, title="demo")
+        assert text.startswith("demo")
+        assert "PCC L/M" in text

@@ -1,0 +1,55 @@
+"""Unit tests for experiment metrics and rows."""
+
+import pytest
+
+from repro.analysis.metrics import AlgoCell, ExperimentRow, improvement_percent
+
+
+class TestImprovementPercent:
+    def test_positive_improvement(self):
+        # paper example: PCC 16, B-INIT 15 -> 6.25% (table rounds to 6.7
+        # because theirs was 15 vs 16... ours computes exactly)
+        assert improvement_percent(16, 15) == pytest.approx(6.25)
+
+    def test_zero(self):
+        assert improvement_percent(10, 10) == 0.0
+
+    def test_negative_when_worse(self):
+        assert improvement_percent(15, 16) == pytest.approx(-100 / 15)
+
+    def test_rejects_bad_baseline(self):
+        with pytest.raises(ValueError):
+            improvement_percent(0, 5)
+
+
+def make_row(pcc_l=10, init_l=9, iter_l=8):
+    return ExperimentRow(
+        kernel="ewf",
+        datapath_spec="|1,1|1,1|",
+        num_buses=2,
+        move_latency=1,
+        pcc=AlgoCell(pcc_l, 5, 0.1),
+        b_init=AlgoCell(init_l, 4, 0.01),
+        b_iter=AlgoCell(iter_l, 3, 1.0),
+    )
+
+
+class TestExperimentRow:
+    def test_lm_notation(self):
+        assert AlgoCell(12, 7, 0.5).lm == "12/7"
+
+    def test_improvements(self):
+        row = make_row()
+        assert row.init_improvement == pytest.approx(10.0)
+        assert row.iter_improvement == pytest.approx(20.0)
+
+    def test_missing_iter(self):
+        row = ExperimentRow(
+            kernel="ewf",
+            datapath_spec="|1,1|1,1|",
+            num_buses=2,
+            move_latency=1,
+            pcc=AlgoCell(10, 5, 0.1),
+            b_init=AlgoCell(9, 4, 0.01),
+        )
+        assert row.iter_improvement is None

@@ -1,0 +1,59 @@
+"""Unit tests for register-pressure analysis."""
+
+import pytest
+
+from repro.analysis.pressure import centralized_pressure, register_pressure
+from repro.core.driver import bind
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import chain_dfg, random_layered_dfg
+from repro.dfg.transform import bind_dfg
+from repro.kernels import load_kernel
+from repro.schedule.list_scheduler import list_schedule
+
+
+def schedule_of(dfg, binding, spec="|1,1|1,1|", num_buses=2):
+    dp = parse_datapath(spec, num_buses=num_buses)
+    return list_schedule(bind_dfg(dfg, binding), dp)
+
+
+class TestRegisterPressure:
+    def test_chain_pressure_is_small(self, chain5):
+        # A chain keeps at most the current value (plus the final
+        # output) live at any time.
+        s = schedule_of(chain5, {n: 0 for n in chain5})
+        report = register_pressure(s)
+        assert report.per_cluster[0] <= 2
+        assert report.per_cluster[1] == 0
+        assert report.peak == report.per_cluster[0]
+
+    def test_wide_graph_outputs_accumulate(self, wide8):
+        # 8 independent ops, all outputs: by the end all 8 values are
+        # live in their clusters simultaneously.
+        s = schedule_of(wide8, {n: 0 for n in wide8}, spec="|8,1|1,1|")
+        report = register_pressure(s)
+        assert report.per_cluster[0] == 8
+
+    def test_total_values_counts_transfers(self, diamond):
+        s = schedule_of(diamond, {"v1": 0, "v2": 1, "v3": 1, "v4": 1})
+        report = register_pressure(s)
+        assert report.total_values == 4 + s.num_transfers
+
+    def test_profiles_match_maxima(self, diamond):
+        s = schedule_of(diamond, {"v1": 0, "v2": 0, "v3": 1, "v4": 0})
+        report = register_pressure(s)
+        for c, profile in report.per_cluster_profile.items():
+            assert max(profile) == report.per_cluster[c]
+
+    def test_clustering_lowers_per_file_pressure(self):
+        """The paper's Section 2 claim: distributing operations lowers
+        per-register-file demand relative to the centralized machine."""
+        dfg = load_kernel("dct-dit")
+        dp = parse_datapath("|2,1|2,1|1,1|", num_buses=2)
+        result = bind(dfg, dp, iter_starts=1)
+        report = register_pressure(result.schedule)
+        central = centralized_pressure(result.schedule)
+        assert report.peak <= central
+
+    def test_centralized_pressure_positive(self, diamond):
+        s = schedule_of(diamond, {n: 0 for n in diamond})
+        assert centralized_pressure(s) >= 1

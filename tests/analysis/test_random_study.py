@@ -1,0 +1,43 @@
+"""Tests for the random-DFG robustness study."""
+
+import pytest
+
+from repro.analysis.random_study import StudyConfig, run_random_study
+from repro.analysis.summary import summarize
+
+
+class TestRandomStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_random_study(
+            StudyConfig(num_graphs=6, num_ops=18, run_iter=True)
+        )
+
+    def test_population_size(self, rows):
+        assert len(rows) == 6
+        assert [r.kernel for r in rows] == [f"rnd{i}" for i in range(6)]
+
+    def test_b_iter_never_loses_on_random_graphs(self, rows):
+        """The paper's headline property should generalize beyond the
+        hand-picked kernels."""
+        for r in rows:
+            assert r.b_iter.latency <= r.pcc.latency + 1
+
+    def test_summary_aggregation(self, rows):
+        s = summarize(rows)
+        assert s.cells == 6
+        assert s.iter_wins + s.iter_ties + s.iter_losses == 6
+
+    def test_deterministic(self):
+        cfg = StudyConfig(num_graphs=3, num_ops=15, run_iter=False)
+        r1 = run_random_study(cfg)
+        r2 = run_random_study(cfg)
+        assert [(x.pcc.latency, x.b_init.latency) for x in r1] == [
+            (x.pcc.latency, x.b_init.latency) for x in r2
+        ]
+
+    def test_skip_iter(self):
+        rows = run_random_study(
+            StudyConfig(num_graphs=2, num_ops=12, run_iter=False)
+        )
+        assert all(r.b_iter is None for r in rows)

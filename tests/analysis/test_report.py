@@ -1,0 +1,92 @@
+"""Unit tests for experiment-result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.metrics import AlgoCell, ExperimentRow
+from repro.analysis.report import (
+    rows_to_dicts,
+    save_rows,
+    to_csv,
+    to_json,
+    to_markdown,
+)
+
+
+@pytest.fixture
+def rows():
+    return [
+        ExperimentRow(
+            kernel="ewf",
+            datapath_spec="|1,1|1,1|",
+            num_buses=2,
+            move_latency=1,
+            pcc=AlgoCell(17, 5, 0.08),
+            b_init=AlgoCell(18, 9, 0.11),
+            b_iter=AlgoCell(17, 5, 3.2),
+        ),
+        ExperimentRow(
+            kernel="arf",
+            datapath_spec="|1,2|1,2|",
+            num_buses=2,
+            move_latency=1,
+            pcc=AlgoCell(10, 3, 0.06),
+            b_init=AlgoCell(10, 3, 0.06),
+            b_iter=None,
+        ),
+    ]
+
+
+class TestDicts:
+    def test_fields(self, rows):
+        dicts = rows_to_dicts(rows)
+        assert dicts[0]["kernel"] == "ewf"
+        assert dicts[0]["pcc_L"] == 17
+        assert dicts[0]["iter_dL_percent"] == 0.0
+        assert dicts[1]["iter_L"] is None
+
+
+class TestCsv:
+    def test_parses_back(self, rows):
+        text = to_csv(rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 2
+        assert parsed[0]["kernel"] == "ewf"
+        assert parsed[0]["init_L"] == "18"
+
+
+class TestJson:
+    def test_parses_back(self, rows):
+        data = json.loads(to_json(rows))
+        assert len(data) == 2
+        assert data[1]["datapath"] == "|1,2|1,2|"
+
+
+class TestMarkdown:
+    def test_table_shape(self, rows):
+        text = to_markdown(rows)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("| kernel ")
+        assert len(lines) == 4  # header + separator + 2 rows
+        assert "17/5" in lines[2]
+        assert lines[3].rstrip().endswith("| - | - |")
+
+
+class TestSave:
+    @pytest.mark.parametrize("suffix", ["csv", "json", "md"])
+    def test_suffix_dispatch(self, rows, tmp_path, suffix):
+        path = tmp_path / f"out.{suffix}"
+        save_rows(rows, path)
+        assert path.read_text()
+
+    def test_explicit_format(self, rows, tmp_path):
+        path = tmp_path / "out.dat"
+        save_rows(rows, path, fmt="csv")
+        assert "kernel" in path.read_text()
+
+    def test_unknown_format(self, rows, tmp_path):
+        with pytest.raises(ValueError, match="unsupported format"):
+            save_rows(rows, tmp_path / "out.xlsx")

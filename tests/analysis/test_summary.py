@@ -1,0 +1,60 @@
+"""Unit tests for experiment-grid summaries."""
+
+import pytest
+
+from repro.analysis.metrics import AlgoCell, ExperimentRow
+from repro.analysis.summary import summarize
+
+
+def row(pcc_l, init_l, iter_l, pcc_s=0.1, init_s=0.01):
+    return ExperimentRow(
+        kernel="k",
+        datapath_spec="|1,1|1,1|",
+        num_buses=2,
+        move_latency=1,
+        pcc=AlgoCell(pcc_l, 5, pcc_s),
+        b_init=AlgoCell(init_l, 4, init_s),
+        b_iter=AlgoCell(iter_l, 3, 1.0) if iter_l is not None else None,
+    )
+
+
+class TestSummarize:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_outcome_counts(self):
+        rows = [row(10, 11, 9), row(10, 10, 10), row(10, 9, 12)]
+        s = summarize(rows)
+        assert (s.iter_wins, s.iter_ties, s.iter_losses) == (1, 1, 1)
+        assert (s.init_wins, s.init_ties, s.init_losses) == (1, 1, 1)
+        assert s.cells == 3
+
+    def test_improvement_stats(self):
+        rows = [row(10, 10, 8), row(20, 20, 20)]
+        s = summarize(rows)
+        assert s.max_iter_improvement == pytest.approx(20.0)
+        assert s.mean_iter_improvement == pytest.approx(10.0)
+
+    def test_speedup_geomean(self):
+        rows = [row(10, 10, 10, pcc_s=1.0, init_s=0.1)]
+        s = summarize(rows)
+        assert s.mean_speedup_init_vs_pcc == pytest.approx(10.0)
+
+    def test_rows_without_iter(self):
+        rows = [row(10, 9, None), row(10, 10, 8)]
+        s = summarize(rows)
+        assert s.cells == 2
+        assert s.iter_wins == 1
+        assert s.init_wins == 1
+
+    def test_headline_text(self):
+        s = summarize([row(10, 10, 9)])
+        text = s.headline()
+        assert "B-ITER beats PCC in 1" in text
+        assert "faster than PCC" in text
+
+    def test_transfer_totals(self):
+        s = summarize([row(10, 10, 10), row(10, 10, 10)])
+        assert s.transfers_pcc == 10
+        assert s.transfers_iter == 6

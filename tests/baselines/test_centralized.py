@@ -1,0 +1,71 @@
+"""Unit tests for the centralized-datapath reference."""
+
+import pytest
+
+from repro.baselines.centralized import (
+    centralized_equivalent,
+    centralized_latency,
+    clustering_overhead,
+)
+from repro.core.driver import bind
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import chain_dfg, random_layered_dfg
+from repro.dfg.ops import ALU, MUL
+from repro.kernels import load_kernel
+
+
+class TestCentralizedEquivalent:
+    def test_fu_totals_preserved(self, three_cluster):
+        central = centralized_equivalent(three_cluster)
+        assert central.num_clusters == 1
+        assert central.total_fu_count(ALU) == three_cluster.total_fu_count(ALU)
+        assert central.total_fu_count(MUL) == three_cluster.total_fu_count(MUL)
+
+    def test_registry_carries_over(self):
+        dp = parse_datapath("|1,1|1,1|", move_latency=3)
+        central = centralized_equivalent(dp)
+        assert central.move_latency == 3
+
+
+class TestCentralizedLatency:
+    def test_no_transfers(self, diamond, two_cluster):
+        schedule = centralized_latency(diamond, two_cluster)
+        assert schedule.num_transfers == 0
+
+    def test_lower_or_equal_to_clustered(self, two_cluster):
+        for seed in (0, 3):
+            g = random_layered_dfg(24, seed=seed)
+            central = centralized_latency(g, two_cluster).latency
+            clustered = bind(g, two_cluster, iter_starts=1).latency
+            assert central <= clustered
+
+    def test_chain_unaffected_by_centralization(self, chain5, two_cluster):
+        assert centralized_latency(chain5, two_cluster).latency == 5
+
+
+class TestClusteringOverhead:
+    def test_ratio_at_least_one(self, two_cluster):
+        g = random_layered_dfg(24, seed=5)
+        result = bind(g, two_cluster, iter_starts=1)
+        ratio = clustering_overhead(g, two_cluster, result.latency)
+        assert ratio >= 1.0
+
+    def test_rejects_impossible_latency(self, two_cluster):
+        g = random_layered_dfg(24, seed=5)
+        with pytest.raises(ValueError, match="cannot be valid"):
+            clustering_overhead(g, two_cluster, 1)
+
+    def test_paper_kernels_modest_overhead(self):
+        """The algorithms keep the clustering penalty moderate — the
+        point of the whole paper."""
+        dp = parse_datapath("|2,1|2,1|", num_buses=2)
+        for name in ("arf", "ewf", "dct-dif"):
+            dfg = load_kernel(name)
+            result = bind(dfg, dp, iter_starts=1)
+            ratio = clustering_overhead(dfg, dp, result.latency)
+            assert ratio <= 1.5
+
+    def test_empty_graph_ratio_one(self, two_cluster):
+        from repro.dfg.graph import Dfg
+
+        assert clustering_overhead(Dfg("e"), two_cluster, 0) == 1.0

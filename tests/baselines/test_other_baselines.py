@@ -1,0 +1,126 @@
+"""Unit tests for the annealing, min-cut, UAS, random, and exhaustive
+baselines."""
+
+import pytest
+
+from repro.baselines.annealing import annealing_bind
+from repro.baselines.exhaustive import exhaustive_bind, search_space_size
+from repro.baselines.mincut import mincut_bind
+from repro.baselines.random_binding import random_bind, random_search
+from repro.baselines.uas import uas_bind
+from repro.core.binding import validate_binding
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import random_layered_dfg
+from repro.dfg.timing import critical_path_length
+
+
+class TestAnnealing:
+    def test_valid_and_deterministic(self, two_cluster):
+        g = random_layered_dfg(18, seed=1)
+        r1 = annealing_bind(g, two_cluster, seed=42)
+        r2 = annealing_bind(g, two_cluster, seed=42)
+        validate_binding(r1.binding, g, two_cluster)
+        assert r1.binding == r2.binding
+
+    def test_beats_single_random_binding(self, two_cluster):
+        g = random_layered_dfg(18, seed=2)
+        from repro.dfg.transform import bind_dfg
+        from repro.schedule.list_scheduler import list_schedule
+
+        annealed = annealing_bind(g, two_cluster, seed=0)
+        rand = list_schedule(
+            bind_dfg(g, random_bind(g, two_cluster, seed=0)), two_cluster
+        )
+        assert annealed.latency <= rand.latency
+
+    def test_counters(self, two_cluster):
+        g = random_layered_dfg(15, seed=3)
+        r = annealing_bind(g, two_cluster, seed=1)
+        assert r.moves_tried >= r.moves_accepted >= 0
+
+
+class TestMinCut:
+    def test_requires_homogeneous(self, three_cluster, diamond):
+        with pytest.raises(ValueError, match="homogeneous"):
+            mincut_bind(diamond, three_cluster)
+
+    def test_valid_binding(self, two_cluster):
+        g = random_layered_dfg(24, seed=4)
+        r = mincut_bind(g, two_cluster)
+        validate_binding(r.binding, g, two_cluster)
+
+    def test_balance_respected(self, two_cluster):
+        g = random_layered_dfg(24, seed=5)
+        r = mincut_bind(g, two_cluster, balance_tolerance=0.25)
+        counts = [len(r.binding.cluster_members(c)) for c in range(2)]
+        assert abs(counts[0] - counts[1]) <= 0.5 * 24 * 0.25 * 2 + 2
+
+    def test_reports_cut_size(self, chain5, two_cluster):
+        r = mincut_bind(chain5, two_cluster, balance_tolerance=1.0)
+        cut = sum(
+            1 for u, v in chain5.edges() if r.binding[u] != r.binding[v]
+        )
+        assert r.cut_size == cut
+
+
+class TestUas:
+    def test_valid_binding(self, two_cluster):
+        g = random_layered_dfg(24, seed=6)
+        r = uas_bind(g, two_cluster)
+        validate_binding(r.binding, g, two_cluster)
+
+    def test_native_latency_sane(self, two_cluster):
+        g = random_layered_dfg(24, seed=7)
+        r = uas_bind(g, two_cluster)
+        lcp = critical_path_length(g, two_cluster.registry)
+        assert r.native_latency >= lcp
+        assert r.latency >= lcp
+
+    def test_single_cluster_no_transfers(self, chain5):
+        dp = parse_datapath("|2,2|", num_buses=1)
+        r = uas_bind(chain5, dp)
+        assert r.num_transfers == 0
+        assert r.latency == 5
+
+
+class TestRandomSearch:
+    def test_more_samples_no_worse(self, two_cluster):
+        g = random_layered_dfg(16, seed=8)
+        few = random_search(g, two_cluster, samples=3, seed=0)
+        many = random_search(g, two_cluster, samples=40, seed=0)
+        assert (many.latency, many.num_transfers) <= (
+            few.latency,
+            few.num_transfers,
+        )
+
+    def test_invalid_samples(self, diamond, two_cluster):
+        with pytest.raises(ValueError):
+            random_search(diamond, two_cluster, samples=0)
+
+
+class TestExhaustive:
+    def test_space_size(self, diamond, two_cluster):
+        assert search_space_size(diamond, two_cluster) == 2**4
+
+    def test_optimal_on_diamond(self, diamond, two_cluster):
+        r = exhaustive_bind(diamond, two_cluster)
+        # L_CP = 3 and the machine has enough FUs: optimum is 3/0.
+        assert r.latency == 3
+        assert r.num_transfers == 0
+
+    def test_symmetry_reduction_counts(self, diamond, two_cluster):
+        r = exhaustive_bind(diamond, two_cluster)
+        assert r.evaluated == 2**3  # first op pinned on homogeneous dp
+
+    def test_space_cap_enforced(self, two_cluster):
+        g = random_layered_dfg(40, seed=9)
+        with pytest.raises(ValueError, match="exceeds cap"):
+            exhaustive_bind(g, two_cluster, max_space=100)
+
+    def test_beats_or_ties_every_heuristic(self, two_cluster):
+        from repro.core.driver import bind
+
+        g = random_layered_dfg(10, seed=10)
+        optimal = exhaustive_bind(g, two_cluster)
+        ours = bind(g, two_cluster)
+        assert optimal.latency <= ours.latency

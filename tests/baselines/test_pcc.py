@@ -1,0 +1,111 @@
+"""Unit tests for the PCC baseline."""
+
+import pytest
+
+from repro.baselines.pcc import approx_latency, form_partial_components, pcc_bind
+from repro.core.binding import Binding, validate_binding
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import random_layered_dfg
+from repro.dfg.timing import critical_path_length
+
+
+class TestPartialComponents:
+    def test_partition_covers_all_ops(self, diamond):
+        for cap in (1, 2, 10):
+            comps = form_partial_components(diamond, cap)
+            names = sorted(n for comp in comps for n in comp)
+            assert names == sorted(diamond)
+
+    def test_cap_respected(self, two_cluster):
+        g = random_layered_dfg(30, seed=1)
+        for cap in (2, 4, 7):
+            comps = form_partial_components(g, cap)
+            assert max(len(c) for c in comps) <= cap
+
+    def test_cap_one_gives_singletons(self, diamond):
+        comps = form_partial_components(diamond, 1)
+        assert all(len(c) == 1 for c in comps)
+        assert len(comps) == 4
+
+    def test_large_cap_groups_dependence_cones(self, chain5):
+        comps = form_partial_components(chain5, 10)
+        assert len(comps) == 1
+
+    def test_invalid_cap(self, diamond):
+        with pytest.raises(ValueError):
+            form_partial_components(diamond, 0)
+
+
+class TestApproxLatency:
+    def test_chain_exact(self, chain5, two_cluster):
+        b = Binding({n: 0 for n in chain5})
+        assert approx_latency(chain5, two_cluster, b) == 5
+
+    def test_cut_chain_charges_move(self, chain5, two_cluster):
+        b = Binding({"v1": 0, "v2": 0, "v3": 1, "v4": 1, "v5": 1})
+        assert approx_latency(chain5, two_cluster, b) == 6
+
+    def test_fu_contention_modeled(self, wide8):
+        dp = parse_datapath("|1,1|1,1|", num_buses=2)
+        b = Binding({n: 0 for n in wide8})
+        assert approx_latency(wide8, dp, b) == 8
+
+    def test_bus_contention_ignored(self, wide8):
+        # The approximation's known blind spot: it never charges bus
+        # conflicts (this is what Table 2 exploits).
+        from repro.dfg.graph import Dfg
+        from repro.dfg.ops import ADD
+
+        g = Dfg("x")
+        for i in range(4):
+            g.add_op(f"p{i}", ADD)
+            g.add_op(f"c{i}", ADD)
+            g.add_edge(f"p{i}", f"c{i}")
+        b = Binding({f"p{i}": 0 for i in range(4)} | {f"c{i}": 1 for i in range(4)})
+        dp = parse_datapath("|4,1|4,1|", num_buses=1)
+        assert approx_latency(g, dp, b) == 3  # real scheduler would say 6
+
+
+class TestPccBind:
+    def test_valid_binding(self, two_cluster):
+        g = random_layered_dfg(25, seed=2)
+        result = pcc_bind(g, two_cluster)
+        validate_binding(result.binding, g, two_cluster)
+
+    def test_sweep_log_covers_caps(self, diamond, two_cluster):
+        result = pcc_bind(diamond, two_cluster, component_caps=(2, 4))
+        assert len(result.sweep_log) == 2
+        assert result.component_cap in (2, 4)
+
+    def test_result_is_best_of_sweep(self, two_cluster):
+        g = random_layered_dfg(20, seed=3)
+        result = pcc_bind(g, two_cluster)
+        assert (result.latency, result.num_transfers) == min(
+            (l, m) for _, l, m in result.sweep_log
+        )
+
+    def test_improvement_helps_or_ties(self, two_cluster):
+        g = random_layered_dfg(25, seed=4)
+        raw = pcc_bind(g, two_cluster, improve=False)
+        improved = pcc_bind(g, two_cluster, improve=True)
+        assert improved.latency <= raw.latency
+
+    def test_latency_at_least_critical_path(self, two_cluster):
+        g = random_layered_dfg(25, seed=5)
+        result = pcc_bind(g, two_cluster)
+        assert result.latency >= critical_path_length(g, two_cluster.registry)
+
+    def test_heterogeneous_datapath(self, three_cluster):
+        g = random_layered_dfg(25, seed=6)
+        result = pcc_bind(g, three_cluster)
+        validate_binding(result.binding, g, three_cluster)
+
+    def test_mul_only_cluster_component_split(self):
+        # A datapath where one cluster lacks multipliers: components
+        # containing multiplies must avoid it (or split).
+        from repro.kernels import load_kernel
+
+        dfg = load_kernel("arf")
+        dp = parse_datapath("|2,0|1,2|", num_buses=2)
+        result = pcc_bind(dfg, dp)
+        validate_binding(result.binding, dfg, dp)

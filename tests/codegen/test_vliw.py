@@ -1,0 +1,108 @@
+"""Unit tests for VLIW code emission."""
+
+import pytest
+
+from repro.codegen import emit_vliw
+from repro.core.driver import bind
+from repro.datapath.parse import parse_datapath
+from repro.dfg.transform import bind_dfg
+from repro.kernels import load_kernel
+from repro.schedule.list_scheduler import list_schedule
+
+
+@pytest.fixture
+def program(diamond, two_cluster):
+    bound = bind_dfg(diamond, {"v1": 0, "v2": 0, "v3": 1, "v4": 0})
+    schedule = list_schedule(bound, two_cluster)
+    return schedule, emit_vliw(schedule)
+
+
+class TestEmission:
+    def test_one_word_per_cycle(self, program):
+        schedule, prog = program
+        assert prog.num_cycles == schedule.latency
+        assert [w.cycle for w in prog.words] == list(range(schedule.latency))
+
+    def test_every_op_appears_once(self, program):
+        schedule, prog = program
+        comments = [
+            s.comment for w in prog.words for s in w.slots if s.opcode != "nop"
+        ]
+        assert sorted(comments) == sorted(schedule.bound.graph)
+
+    def test_slot_layout_is_constant(self, program):
+        _, prog = program
+        layouts = {tuple(s.resource for s in w.slots) for w in prog.words}
+        assert len(layouts) == 1
+        (layout,) = layouts
+        assert "bus.0" in layout
+        assert "c0.ALU.0" in layout
+
+    def test_transfer_reads_remote_register(self, program):
+        _, prog = program
+        moves = [
+            s for w in prog.words for s in w.slots if s.opcode == "move"
+        ]
+        assert moves
+        for m in moves:
+            # source register lives in another cluster than the dest
+            src_cluster = m.sources[0].split(".")[0]
+            dst_cluster = m.dest.split(".")[0]
+            assert src_cluster != dst_cluster
+
+    def test_registers_are_per_cluster(self, program):
+        _, prog = program
+        for name, register in prog.registers.items():
+            assert register.startswith("c")
+            assert ".r" in register
+
+    def test_dataflow_consistency(self, program):
+        """Every non-move operand register was produced earlier."""
+        schedule, prog = program
+        produced = set()
+        for w in prog.words:
+            reads = []
+            for s in w.slots:
+                if s.opcode == "nop":
+                    continue
+                for src in s.sources:
+                    if ".r" in src:
+                        reads.append(src)
+            for r in reads:
+                assert r in produced, f"read-before-write of {r}"
+            for s in w.slots:
+                if s.dest:
+                    produced.add(s.dest)
+
+    def test_assembly_renders(self, program):
+        _, prog = program
+        text = prog.assembly()
+        assert "nop" in text
+        assert "move" in text
+        assert text.startswith(";")
+
+    def test_utilization_in_unit_range(self, program):
+        _, prog = program
+        assert 0.0 < prog.utilization() <= 1.0
+
+
+class TestKernelEmission:
+    @pytest.mark.parametrize("kernel", ["arf", "ewf"])
+    def test_kernels_emit_cleanly(self, kernel):
+        dfg = load_kernel(kernel)
+        dp = parse_datapath("|2,1|1,1|", num_buses=2)
+        result = bind(dfg, dp, iter_starts=1)
+        prog = emit_vliw(result.schedule)
+        assert prog.num_cycles == result.latency
+        busy = [
+            s for w in prog.words for s in w.slots if s.opcode != "nop"
+        ]
+        assert len(busy) == len(result.schedule.bound.graph)
+
+    def test_register_counts_match_allocation(self):
+        dfg = load_kernel("arf")
+        dp = parse_datapath("|1,1|1,1|", num_buses=2)
+        result = bind(dfg, dp, iter_starts=1)
+        prog = emit_vliw(result.schedule)
+        total = sum(prog.num_registers_per_cluster.values())
+        assert total == len(result.schedule.bound.graph)

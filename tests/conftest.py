@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datapath.model import Cluster, Datapath
+from repro.datapath.parse import parse_datapath
+from repro.dfg.graph import Dfg
+from repro.dfg.ops import ADD, ALU, MUL, MULT, SUB, default_registry
+
+
+@pytest.fixture
+def registry():
+    """The paper's default all-unit-latency registry."""
+    return default_registry()
+
+
+@pytest.fixture
+def two_cluster():
+    """The |1,1|1,1| machine from Table 1, N_B = 2."""
+    return parse_datapath("|1,1|1,1|", num_buses=2)
+
+
+@pytest.fixture
+def three_cluster():
+    """The heterogeneous |2,1|1,1|1,2| machine, N_B = 2."""
+    return parse_datapath("|2,1|1,1|1,2|", num_buses=2)
+
+
+@pytest.fixture
+def diamond():
+    """A 4-op diamond: v1 feeds v2 and v3, both feed v4."""
+    g = Dfg("diamond")
+    g.add_op("v1", ADD)
+    g.add_op("v2", ADD)
+    g.add_op("v3", MULT)
+    g.add_op("v4", ADD)
+    g.add_edge("v1", "v2")
+    g.add_edge("v1", "v3")
+    g.add_edge("v2", "v4")
+    g.add_edge("v3", "v4")
+    return g
+
+
+@pytest.fixture
+def chain5():
+    """A 5-op dependency chain of additions."""
+    g = Dfg("chain5")
+    prev = None
+    for i in range(1, 6):
+        g.add_op(f"v{i}", ADD)
+        if prev:
+            g.add_edge(prev, f"v{i}")
+        prev = f"v{i}"
+    return g
+
+
+@pytest.fixture
+def wide8():
+    """8 independent additions — maximum parallelism, no edges."""
+    g = Dfg("wide8")
+    for i in range(1, 9):
+        g.add_op(f"v{i}", ADD)
+    return g
+
+
+@pytest.fixture
+def figure1_dfg():
+    """The 4-op DFG of the paper's Figure 1 (v1, v2 -> v3 -> v4 shape).
+
+    v1 and v2 are independent producers; v3 consumes both; v4 consumes
+    v3.  Binding v2 and v3 to different clusters forces transfer t1.
+    """
+    g = Dfg("figure1")
+    g.add_op("v1", ADD)
+    g.add_op("v2", ADD)
+    g.add_op("v3", ADD)
+    g.add_op("v4", ADD)
+    g.add_edge("v1", "v3")
+    g.add_edge("v2", "v3")
+    g.add_edge("v3", "v4")
+    return g

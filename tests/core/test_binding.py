@@ -1,0 +1,88 @@
+"""Unit tests for the Binding mapping and its validator."""
+
+import pytest
+
+from repro.core.binding import Binding, BindingError, validate_binding
+from repro.datapath.model import Cluster, Datapath
+from repro.dfg.ops import ALU, MUL
+
+
+class TestBindingMapping:
+    def test_mapping_protocol(self, diamond):
+        b = Binding({n: 0 for n in diamond})
+        assert b["v1"] == 0
+        assert len(b) == 4
+        assert set(b) == set(diamond)
+
+    def test_equality_and_hash(self):
+        b1 = Binding({"a": 0, "b": 1})
+        b2 = Binding({"b": 1, "a": 0})
+        assert b1 == b2
+        assert hash(b1) == hash(b2)
+        assert b1 == {"a": 0, "b": 1}
+        assert b1 != Binding({"a": 1, "b": 1})
+
+    def test_rebind_returns_new(self):
+        b = Binding({"a": 0, "b": 0})
+        b2 = b.rebind(("a", 1))
+        assert b["a"] == 0
+        assert b2["a"] == 1
+        assert b2["b"] == 0
+
+    def test_rebind_multiple(self):
+        b = Binding({"a": 0, "b": 0, "c": 0})
+        b2 = b.rebind(("a", 1), ("c", 2))
+        assert (b2["a"], b2["b"], b2["c"]) == (1, 0, 2)
+
+    def test_rebind_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown operation"):
+            Binding({"a": 0}).rebind(("x", 1))
+
+    def test_cluster_members(self):
+        b = Binding({"a": 0, "b": 1, "c": 0})
+        assert set(b.cluster_members(0)) == {"a", "c"}
+        assert b.cluster_members(2) == ()
+
+    def test_used_clusters(self):
+        assert Binding({"a": 2, "b": 0}).used_clusters() == (0, 2)
+
+    def test_cut_edges(self, diamond):
+        b = Binding({"v1": 0, "v2": 0, "v3": 1, "v4": 0})
+        cut = set(b.cut_edges(diamond))
+        assert cut == {("v1", "v3"), ("v3", "v4")}
+
+    def test_num_required_transfers_shares_destinations(self, diamond):
+        # v1 feeds v2 and v3, both in cluster 1: ONE transfer.
+        b = Binding({"v1": 0, "v2": 1, "v3": 1, "v4": 1})
+        assert b.num_required_transfers(diamond) == 1
+        # different destinations: one each.
+        b2 = Binding({"v1": 0, "v2": 1, "v3": 2, "v4": 0})
+        assert b2.num_required_transfers(diamond) == 4
+
+
+class TestValidateBinding:
+    def test_accepts_valid(self, diamond, two_cluster):
+        validate_binding(
+            Binding({"v1": 0, "v2": 1, "v3": 0, "v4": 1}), diamond, two_cluster
+        )
+
+    def test_rejects_unbound(self, diamond, two_cluster):
+        with pytest.raises(BindingError, match="unbound"):
+            validate_binding(Binding({"v1": 0}), diamond, two_cluster)
+
+    def test_rejects_unknown_op(self, diamond, two_cluster):
+        b = Binding({n: 0 for n in diamond} | {"ghost": 0})
+        with pytest.raises(BindingError, match="not in the DFG"):
+            validate_binding(b, diamond, two_cluster)
+
+    def test_rejects_out_of_range_cluster(self, diamond, two_cluster):
+        b = Binding({"v1": 0, "v2": 0, "v3": 0, "v4": 5})
+        with pytest.raises(BindingError, match="non-existent"):
+            validate_binding(b, diamond, two_cluster)
+
+    def test_rejects_missing_fu_type(self, diamond):
+        dp = Datapath([Cluster(0, {ALU: 1, MUL: 1}), Cluster(1, {ALU: 1})])
+        # v3 is a multiply; cluster 1 has no multiplier.
+        b = Binding({"v1": 0, "v2": 0, "v3": 1, "v4": 0})
+        with pytest.raises(BindingError, match="no MUL units"):
+            validate_binding(b, diamond, dp)

@@ -1,0 +1,210 @@
+"""Unit tests for the icost cost function and its components (Figure 3)."""
+
+import pytest
+
+from repro.core.cost import CostParams, buscost, fucost, icost, trcost
+from repro.core.loadprofile import ProfileSet, Window
+from repro.datapath.parse import parse_datapath
+from repro.dfg.graph import Dfg
+from repro.dfg.ops import ADD
+
+
+@pytest.fixture
+def figure3_dfg():
+    """The DFG of the paper's Figure 3.
+
+    v1 -> v, v2 -> v3, v -> v3: binding v to B with bn(v1) = A yields
+    trcost_dd = 1; with bn(v2) = A, the common consumer v3 yields
+    trcost_cc = 1; total trcost(v, B) = 2.
+    """
+    g = Dfg("figure3")
+    for n in ("v1", "v2", "v", "v3"):
+        g.add_op(n, ADD)
+    g.add_edge("v1", "v")
+    g.add_edge("v2", "v3")
+    g.add_edge("v", "v3")
+    return g
+
+
+A, B = 0, 1
+
+
+class TestTrcostForward:
+    def test_figure3_example(self, figure3_dfg):
+        bn = {"v1": A, "v2": A}
+        penalty, producers = trcost(figure3_dfg, "v", B, bn)
+        assert penalty == 2  # dd(v1) + cc(v3 via v2)
+        assert producers == ["v1"]
+
+    def test_figure3_same_cluster_is_free(self, figure3_dfg):
+        bn = {"v1": A, "v2": A}
+        penalty, producers = trcost(figure3_dfg, "v", A, bn)
+        assert penalty == 0
+        assert producers == []
+
+    def test_unbound_predecessors_ignored(self, figure3_dfg):
+        penalty, _ = trcost(figure3_dfg, "v", B, {})
+        assert penalty == 0
+
+    def test_share_aware_skips_committed_transfer(self, figure3_dfg):
+        bn = {"v1": A, "v2": A}
+        committed = {("v1", B)}
+        penalty, producers = trcost(
+            figure3_dfg, "v", B, bn, committed, share_aware=True
+        )
+        assert penalty == 1  # only the common-consumer part remains
+        assert producers == []
+
+    def test_share_unaware_counts_again(self, figure3_dfg):
+        bn = {"v1": A, "v2": A}
+        committed = {("v1", B)}
+        penalty, producers = trcost(
+            figure3_dfg, "v", B, bn, committed, share_aware=False
+        )
+        assert penalty == 2
+        assert producers == ["v1"]
+
+    def test_one_cc_penalty_per_consumer(self):
+        # v feeds one consumer with TWO bound remote predecessors: the
+        # cc penalty is per consumer, not per remote predecessor.
+        g = Dfg("g")
+        for n in ("z1", "z2", "v", "u"):
+            g.add_op(n, ADD)
+        g.add_edge("z1", "u")
+        g.add_edge("z2", "u")
+        g.add_edge("v", "u")
+        penalty, _ = trcost(g, "v", B, {"z1": A, "z2": A})
+        assert penalty == 1
+
+    def test_dd_counts_each_remote_predecessor(self, diamond):
+        # v4's two producers in two other clusters: two transfers.
+        penalty, producers = trcost(diamond, "v4", 2, {"v2": 0, "v3": 1, "v1": 0})
+        assert penalty == 2
+        assert set(producers) == {"v2", "v3"}
+
+
+class TestTrcostReverse:
+    def test_distinct_consumer_clusters(self, diamond):
+        # v1's consumers v2 (cluster 1) and v3 (cluster 1): ONE transfer.
+        penalty, producers = trcost(
+            diamond, "v1", 0, {"v2": 1, "v3": 1}, reverse=True
+        )
+        assert penalty == 1
+        assert producers == ["v1"]
+
+    def test_two_destinations(self, diamond):
+        penalty, producers = trcost(
+            diamond, "v1", 0, {"v2": 1, "v3": 2}, reverse=True
+        )
+        assert penalty == 2
+
+    def test_common_producer_lookahead(self, diamond):
+        # Binding v2 to cluster 1 while sibling v3 (same producer v1) is
+        # already bound to cluster 0: v1's value must reach two places.
+        penalty, _ = trcost(diamond, "v2", 1, {"v3": 0}, reverse=True)
+        assert penalty == 1
+
+
+class TestFucost:
+    def test_zero_when_cluster_fits(self, wide8, two_cluster):
+        ps = ProfileSet(wide8, two_cluster)
+        assert fucost(ps, "v1", 0) == 0
+
+    def test_penalty_when_overloaded(self, wide8):
+        dp = parse_datapath("|1,1|1,1|", num_buses=2)
+        ps = ProfileSet(wide8, dp)  # L_PR = 1: all ops at level 0
+        ps.commit_operation("v1", 0)
+        # Second op at the same single level on the single ALU: load 2.0
+        # exceeds max(load_DP, 1) = max(8/2, 1)?  load_DP = 8 ops / 2
+        # ALUs = 4.0 at level 0, so the threshold is 4.0.
+        assert fucost(ps, "v2", 0) == 0
+        for n in ("v2", "v3", "v4", "v5", "v6", "v7", "v8"):
+            ps.commit_operation(n, 0)
+        # Now cluster 0 carries all 8 (normalized 8.0 > 4.0): another op
+        # would see the overload.
+        g2 = wide8.copy()
+        g2.add_op("v9", wide8.operation("v1").optype)
+        ps2 = ProfileSet(g2, dp)
+        for n in wide8:
+            ps2.commit_operation(n, 0)
+        assert fucost(ps2, "v9", 0) >= 1
+
+    def test_exempt_when_not_overloaded_absolute(self, chain5, two_cluster):
+        # A chain on a stretched profile never exceeds absolute load 1.
+        ps = ProfileSet(chain5, two_cluster, lpr=10)
+        for n in ("v1", "v2", "v3", "v4"):
+            ps.commit_operation(n, 0)
+        assert fucost(ps, "v5", 0) == 0
+
+
+class TestBuscost:
+    def test_no_penalty_under_capacity(self, diamond, two_cluster):
+        ps = ProfileSet(diamond, two_cluster)
+        assert buscost(ps, "v2", [Window(0, 0, 1.0)]) == 0  # N_B = 2
+
+    def test_penalty_over_capacity(self, diamond):
+        dp = parse_datapath("|1,1|1,1|", num_buses=1)
+        ps = ProfileSet(diamond, dp)
+        ps.commit_transfer(Window(1, 1, 1.0))
+        assert buscost(ps, "v2", [Window(1, 1, 1.0)]) == 1
+
+    def test_disjoint_windows_no_penalty(self, diamond):
+        dp = parse_datapath("|1,1|1,1|", num_buses=1)
+        ps = ProfileSet(diamond, dp)
+        ps.commit_transfer(Window(0, 0, 1.0))
+        assert buscost(ps, "v2", [Window(2, 2, 1.0)]) == 0
+
+
+class TestIcost:
+    def test_weights_match_equation1(self, figure3_dfg, two_cluster):
+        ps = ProfileSet(figure3_dfg, two_cluster)
+        bn = {"v1": A, "v2": A}
+        bd = icost(figure3_dfg, two_cluster, ps, "v", B, bn)
+        # all-unit latencies: icost = fucost + buscost + 1.1 * trcost
+        expected = bd.fucost + bd.buscost + 1.1 * bd.trcost
+        assert bd.total == pytest.approx(expected)
+        assert bd.trcost == 2
+
+    def test_gamma_weighting(self, figure3_dfg, two_cluster):
+        ps = ProfileSet(figure3_dfg, two_cluster)
+        bn = {"v1": A, "v2": A}
+        bd = icost(
+            figure3_dfg,
+            two_cluster,
+            ps,
+            "v",
+            B,
+            bn,
+            params=CostParams(gamma=2.0),
+        )
+        assert bd.total == pytest.approx(bd.fucost + bd.buscost + 2.0 * bd.trcost)
+
+    def test_new_transfers_reported_forward(self, figure3_dfg, two_cluster):
+        ps = ProfileSet(figure3_dfg, two_cluster)
+        bd = icost(figure3_dfg, two_cluster, ps, "v", B, {"v1": A, "v2": A})
+        assert bd.new_transfers == (("v1", B),)
+
+    def test_new_transfers_reported_reverse(self, diamond, two_cluster):
+        ps = ProfileSet(diamond, two_cluster)
+        bd = icost(
+            diamond, two_cluster, ps, "v1", 0, {"v2": 1, "v3": 1}, reverse=True
+        )
+        assert bd.new_transfers == (("v1", 1),)
+
+    def test_dii_weighting_of_fucost(self, two_cluster):
+        # With a dii-2 multiplier, each overload cycle costs 2.
+        from repro.dfg.ops import MULT
+
+        reg = two_cluster.registry.with_overrides(
+            latencies={MULT: 2}, diis={MULT: 2}
+        )
+        dp = two_cluster.with_bus()  # copy
+        dp.registry = reg
+        g = Dfg("g")
+        for i in range(4):
+            g.add_op(f"m{i}", MULT)
+        ps = ProfileSet(g, dp)
+        for i in range(3):
+            ps.commit_operation(f"m{i}", 0)
+        bd = icost(g, dp, ps, "m3", 0, {})
+        assert bd.total == pytest.approx(bd.fucost * 2 + bd.buscost + 0.0)

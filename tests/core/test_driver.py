@@ -1,0 +1,99 @@
+"""Unit tests for the driver (L_PR sweep + direction + B-ITER seeding)."""
+
+import pytest
+
+from repro.core.binding import validate_binding
+from repro.core.driver import bind, bind_initial, default_lpr_values
+from repro.core.quality import quality_qm
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import random_layered_dfg
+from repro.dfg.timing import critical_path_length
+
+
+class TestDefaultLprValues:
+    def test_starts_at_critical_path(self, chain5, two_cluster):
+        values = default_lpr_values(chain5, two_cluster)
+        assert values[0] == 5
+
+    def test_monotonic_and_bounded(self, two_cluster):
+        g = random_layered_dfg(40, seed=1)
+        values = default_lpr_values(g, two_cluster, max_points=8)
+        assert list(values) == sorted(set(values))
+        assert len(values) <= 8
+
+    def test_covers_resource_bound(self, wide8):
+        # 8 ops on a single-ALU machine: resource bound is 8 >> L_CP 1.
+        dp = parse_datapath("|1,1|", num_buses=1)
+        values = default_lpr_values(wide8, dp)
+        assert values[-1] >= 8
+
+
+class TestBindInitial:
+    def test_picks_best_sweep_point(self, two_cluster):
+        g = random_layered_dfg(30, seed=4)
+        result = bind_initial(g, two_cluster)
+        # the winner must be the minimum (L, M) over the logged sweep
+        best_logged = min((l, m) for _, _, l, m in result.sweep_log)
+        assert (result.latency, result.num_transfers) == best_logged
+
+    def test_sweep_log_deduplicates_bindings(self, two_cluster):
+        g = random_layered_dfg(20, seed=8)
+        result = bind_initial(g, two_cluster)
+        assert len(result.sweep_log) >= 1
+
+    def test_explicit_lpr_values(self, chain5, two_cluster):
+        result = bind_initial(chain5, two_cluster, lpr_values=[5, 6])
+        assert result.lpr in (5, 6)
+
+    def test_forward_only(self, diamond, two_cluster):
+        result = bind_initial(diamond, two_cluster, directions=(False,))
+        assert not result.reverse
+
+    def test_timing_recorded(self, diamond, two_cluster):
+        result = bind_initial(diamond, two_cluster)
+        assert result.init_seconds > 0
+        assert result.iter_seconds == 0.0
+        assert result.iter_result is None
+
+
+class TestBind:
+    def test_full_flow_improves_or_ties_initial(self, two_cluster):
+        for seed in (0, 6):
+            g = random_layered_dfg(26, seed=seed)
+            result = bind(g, two_cluster)
+            assert quality_qm(result.schedule) <= quality_qm(
+                result.initial_schedule
+            )
+            validate_binding(result.binding, g, two_cluster)
+
+    def test_improve_false_matches_bind_initial(self, two_cluster):
+        g = random_layered_dfg(22, seed=2)
+        a = bind(g, two_cluster, improve=False)
+        b = bind_initial(g, two_cluster)
+        assert a.binding == b.binding
+        assert a.iter_result is None
+
+    def test_iter_starts_one_is_cheaper(self, two_cluster):
+        g = random_layered_dfg(26, seed=3)
+        single = bind(g, two_cluster, iter_starts=1)
+        full = bind(g, two_cluster)
+        # multi-start can only match or beat the single-start result
+        assert (full.latency, full.num_transfers) <= (
+            single.latency,
+            single.num_transfers,
+        )
+
+    def test_latency_never_below_critical_path(self, two_cluster):
+        g = random_layered_dfg(30, seed=12)
+        result = bind(g, two_cluster)
+        assert result.latency >= critical_path_length(g, two_cluster.registry)
+
+    def test_iter_result_populated(self, diamond, two_cluster):
+        result = bind(diamond, two_cluster)
+        assert result.iter_result is not None
+        assert result.iter_seconds >= 0.0
+
+    def test_result_properties(self, diamond, two_cluster):
+        result = bind(diamond, two_cluster)
+        assert result.latency == result.schedule.latency
+        assert result.num_transfers == result.schedule.num_transfers

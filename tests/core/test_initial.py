@@ -1,0 +1,122 @@
+"""Unit tests for the greedy initial binding (B-INIT)."""
+
+import pytest
+
+from repro.core.binding import validate_binding
+from repro.core.cost import CostParams
+from repro.core.initial import initial_binding
+from repro.core.ordering import make_ordering
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import random_layered_dfg
+from repro.dfg.graph import Dfg
+from repro.dfg.ops import ADD, MULT
+from repro.dfg.transform import bind_dfg
+from repro.schedule.list_scheduler import list_schedule
+
+
+class TestBasics:
+    def test_produces_complete_valid_binding(self, diamond, two_cluster):
+        result = initial_binding(diamond, two_cluster)
+        validate_binding(result.binding, diamond, two_cluster)
+        assert set(result.binding) == set(diamond)
+
+    def test_deterministic(self, two_cluster):
+        g = random_layered_dfg(25, seed=11)
+        r1 = initial_binding(g, two_cluster)
+        r2 = initial_binding(g, two_cluster)
+        assert r1.binding == r2.binding
+
+    def test_respects_target_sets(self, diamond):
+        dp = parse_datapath("|2,0|1,1|", num_buses=2)
+        result = initial_binding(diamond, dp)
+        assert result.binding["v3"] == 1  # only cluster with a multiplier
+
+    def test_unbindable_dfg_raises(self, diamond):
+        dp = parse_datapath("|2,0|", num_buses=1)
+        with pytest.raises(ValueError, match="no\\s+supporting cluster"):
+            initial_binding(diamond, dp)
+
+    def test_lpr_recorded(self, chain5, two_cluster):
+        result = initial_binding(chain5, two_cluster, lpr=9)
+        assert result.lpr == 9
+
+    def test_default_lpr_is_critical_path(self, chain5, two_cluster):
+        assert initial_binding(chain5, two_cluster).lpr == 5
+
+    def test_order_recorded(self, diamond, two_cluster):
+        result = initial_binding(diamond, two_cluster)
+        assert sorted(result.order) == sorted(diamond)
+
+    def test_cost_log_optional(self, diamond, two_cluster):
+        assert initial_binding(diamond, two_cluster).cost_log == ()
+        logged = initial_binding(diamond, two_cluster, keep_log=True)
+        assert len(logged.cost_log) == 4
+        name, cluster, breakdown = logged.cost_log[0]
+        assert name == logged.order[0]
+        assert cluster == logged.binding[name]
+
+
+class TestQualityBehaviour:
+    def test_chain_stays_in_one_cluster(self, chain5, two_cluster):
+        # A pure chain gains nothing from splitting: no transfers.
+        result = initial_binding(chain5, two_cluster)
+        assert len(set(result.binding.values())) == 1
+
+    def test_parallel_work_spreads(self, two_cluster):
+        # Two independent chains of length 4 should use both clusters
+        # when each cluster has one ALU.
+        g = Dfg("two-chains")
+        for c in ("a", "b"):
+            prev = None
+            for i in range(4):
+                n = f"{c}{i}"
+                g.add_op(n, ADD)
+                if prev:
+                    g.add_edge(prev, n)
+                prev = n
+        dp = parse_datapath("|1,1|1,1|", num_buses=2)
+        result = initial_binding(g, dp)
+        clusters_a = {result.binding[f"a{i}"] for i in range(4)}
+        clusters_b = {result.binding[f"b{i}"] for i in range(4)}
+        # each chain stays together...
+        assert len(clusters_a) == 1
+        assert len(clusters_b) == 1
+        # ...and the two chains use different clusters.
+        assert clusters_a != clusters_b
+
+    def test_no_gratuitous_transfers_single_cluster(self, chain5):
+        dp = parse_datapath("|2,2|", num_buses=1)
+        result = initial_binding(chain5, dp)
+        bound = bind_dfg(chain5, result.binding)
+        assert bound.num_transfers == 0
+
+    def test_reverse_direction_valid(self, diamond, two_cluster):
+        result = initial_binding(diamond, two_cluster, reverse=True)
+        validate_binding(result.binding, diamond, two_cluster)
+        assert result.reverse
+
+    def test_custom_ordering(self, diamond, two_cluster):
+        result = initial_binding(
+            diamond, two_cluster, ordering=make_ordering("mobility")
+        )
+        validate_binding(result.binding, diamond, two_cluster)
+
+    def test_bad_ordering_rejected(self, diamond, two_cluster):
+        def broken_order(dfg, timing, registry):
+            return ["v1"]
+
+        with pytest.raises(ValueError, match="every regular operation"):
+            initial_binding(diamond, two_cluster, ordering=broken_order)
+
+
+class TestAgainstSchedule:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reasonable_latency_on_random_graphs(self, seed, two_cluster):
+        from repro.dfg.timing import critical_path_length
+
+        g = random_layered_dfg(30, seed=seed)
+        result = initial_binding(g, two_cluster)
+        schedule = list_schedule(bind_dfg(g, result.binding), two_cluster)
+        lcp = critical_path_length(g, two_cluster.registry)
+        # Sanity bound: within 3x the critical path on a 4-FU machine.
+        assert lcp <= schedule.latency <= 3 * lcp + 8

@@ -1,0 +1,97 @@
+"""Behavioural tests of B-INIT's cost components steering decisions."""
+
+import pytest
+
+from repro.core.cost import CostParams
+from repro.core.driver import bind_initial
+from repro.core.initial import initial_binding
+from repro.datapath.parse import parse_datapath
+from repro.dfg.graph import Dfg
+from repro.dfg.ops import ADD
+from repro.dfg.transform import bind_dfg
+from repro.schedule.list_scheduler import list_schedule
+
+
+def two_producer_consumer_graph(pairs):
+    """``pairs`` producer/consumer chains feeding one final reducer."""
+    g = Dfg("pc")
+    for i in range(pairs):
+        g.add_op(f"p{i}", ADD)
+        g.add_op(f"c{i}", ADD)
+        g.add_edge(f"p{i}", f"c{i}")
+    return g
+
+
+class TestBuscostInfluence:
+    def test_scarce_bus_discourages_scattering(self):
+        """With one slow bus, B-INIT should produce fewer transfers
+        than with an abundant bus at equal FU resources."""
+        g = two_producer_consumer_graph(6)
+        scarce = parse_datapath("|2,1|2,1|", num_buses=1, move_latency=2)
+        rich = parse_datapath("|2,1|2,1|", num_buses=4)
+        r_scarce = bind_initial(g, scarce)
+        r_rich = bind_initial(g, rich)
+        assert r_scarce.num_transfers <= r_rich.num_transfers + 1
+
+    def test_transfers_never_pay_on_one_cluster_worth_of_work(self):
+        # 3 ops, 3 ALUs in cluster 0: no reason to leave it.
+        g = Dfg("tiny")
+        for n in ("a", "b", "c"):
+            g.add_op(n, ADD)
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        dp = parse_datapath("|3,1|1,1|", num_buses=2)
+        result = bind_initial(g, dp)
+        assert result.num_transfers == 0
+
+
+class TestCommonConsumerSteering:
+    def test_siblings_attract(self):
+        """Two producers of a common consumer co-locate (the Figure 3
+        mechanism) when capacity allows."""
+        g = Dfg("sib")
+        for n in ("p1", "p2", "c"):
+            g.add_op(n, ADD)
+        g.add_edge("p1", "c")
+        g.add_edge("p2", "c")
+        dp = parse_datapath("|2,1|2,1|", num_buses=2)
+        result = initial_binding(g, dp)
+        assert result.binding["p1"] == result.binding["p2"]
+        assert result.binding["c"] == result.binding["p1"]
+        schedule = list_schedule(bind_dfg(g, result.binding), dp)
+        assert schedule.num_transfers == 0
+
+
+class TestGammaExtremes:
+    def test_huge_gamma_eliminates_transfers(self):
+        """gamma >> 1 makes transfers prohibitive: B-INIT degenerates to
+        per-component clustering."""
+        g = two_producer_consumer_graph(4)
+        dp = parse_datapath("|1,1|1,1|", num_buses=2)
+        result = initial_binding(g, dp, params=CostParams(gamma=100.0))
+        schedule = list_schedule(bind_dfg(g, result.binding), dp)
+        assert schedule.num_transfers == 0
+
+    def test_zero_gamma_ignores_transfers(self):
+        """gamma = 0 removes the transfer penalty entirely; the binder
+        is then free to scatter (and usually does on parallel work)."""
+        g = two_producer_consumer_graph(4)
+        dp = parse_datapath("|1,1|1,1|", num_buses=2)
+        zero = initial_binding(g, dp, params=CostParams(gamma=0.0))
+        paper = initial_binding(g, dp)
+        s_zero = list_schedule(bind_dfg(g, zero.binding), dp)
+        s_paper = list_schedule(bind_dfg(g, paper.binding), dp)
+        assert s_zero.num_transfers >= s_paper.num_transfers
+
+
+class TestReverseOnOutputHeavy:
+    def test_reverse_direction_participates(self):
+        """On output-heavy kernels the driver's reverse runs produce
+        distinct candidates (the Section 3.1.4 motivation)."""
+        from repro.kernels import load_kernel
+
+        dfg = load_kernel("ewf")
+        dp = parse_datapath("|2,1|1,1|", num_buses=2)
+        forward = bind_initial(dfg, dp, directions=(False,))
+        reverse = bind_initial(dfg, dp, directions=(True,))
+        assert forward.binding != reverse.binding

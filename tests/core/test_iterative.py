@@ -1,0 +1,127 @@
+"""Unit tests for the B-ITER boundary-perturbation phase (Figure 5)."""
+
+import pytest
+
+from repro.core.binding import Binding, validate_binding
+from repro.core.initial import initial_binding
+from repro.core.iterative import (
+    boundary_operations,
+    candidate_moves,
+    iterative_improvement,
+)
+from repro.core.quality import quality_qm, quality_qu
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import random_layered_dfg
+from repro.dfg.transform import bind_dfg
+from repro.schedule.list_scheduler import list_schedule
+
+
+class TestBoundaryOperations:
+    def test_identifies_cut_endpoints(self, diamond):
+        b = Binding({"v1": 0, "v2": 0, "v3": 1, "v4": 0})
+        boundary = set(boundary_operations(diamond, b))
+        assert boundary == {"v1", "v3", "v4"}
+
+    def test_empty_when_single_cluster(self, diamond):
+        b = Binding({n: 0 for n in diamond})
+        assert boundary_operations(diamond, b) == ()
+
+
+class TestCandidateMoves:
+    def test_neighbour_clusters_only(self, diamond, three_cluster):
+        b = Binding({"v1": 0, "v2": 1, "v3": 2, "v4": 0})
+        # v1's consumers live in clusters 1 and 2.
+        assert candidate_moves(diamond, three_cluster, b, "v1") == (1, 2)
+
+    def test_excludes_current_cluster(self, diamond, three_cluster):
+        b = Binding({"v1": 0, "v2": 0, "v3": 1, "v4": 0})
+        assert candidate_moves(diamond, three_cluster, b, "v4") == (1,)
+
+    def test_respects_target_set(self, diamond):
+        dp = parse_datapath("|1,1|1,0|", num_buses=2)
+        # v3 is a multiply; cluster 1 has no MUL, so even though its
+        # neighbours live there it cannot move.
+        b = Binding({"v1": 1, "v2": 1, "v3": 0, "v4": 1})
+        assert candidate_moves(diamond, dp, b, "v3") == ()
+
+
+class TestIterativeImprovement:
+    def test_never_worse_than_start(self, two_cluster):
+        for seed in range(3):
+            g = random_layered_dfg(24, seed=seed)
+            init = initial_binding(g, two_cluster)
+            start = list_schedule(bind_dfg(g, init.binding), two_cluster)
+            result = iterative_improvement(g, two_cluster, init.binding)
+            # latency is the end-to-end guarantee (the Q_M pass may
+            # reshape deeper Q_U components while trimming moves)
+            assert result.schedule.latency <= start.latency
+            qu_only = iterative_improvement(
+                g, two_cluster, init.binding, quality="qu"
+            )
+            assert quality_qu(qu_only.schedule) <= quality_qu(start)
+            validate_binding(result.binding, g, two_cluster)
+
+    def test_fixes_obviously_bad_binding(self, chain5, two_cluster):
+        # A chain alternating clusters is strictly worse than one
+        # cluster; B-ITER must repair it fully.
+        bad = Binding({f"v{i}": (i % 2) for i in range(1, 6)})
+        start = list_schedule(bind_dfg(chain5, bad), two_cluster)
+        result = iterative_improvement(chain5, two_cluster, bad)
+        assert result.schedule.latency == 5
+        assert result.schedule.num_transfers == 0
+        assert result.schedule.latency < start.latency
+
+    def test_qm_pass_reduces_moves_not_latency(self, two_cluster):
+        g = random_layered_dfg(24, seed=5)
+        init = initial_binding(g, two_cluster)
+        qu_only = iterative_improvement(g, two_cluster, init.binding, quality="qu")
+        both = iterative_improvement(g, two_cluster, init.binding, quality="qu+qm")
+        assert both.schedule.latency <= qu_only.schedule.latency
+        if both.schedule.latency == qu_only.schedule.latency:
+            assert both.schedule.num_transfers <= qu_only.schedule.num_transfers
+
+    def test_latency_only_quality_supported(self, diamond, two_cluster):
+        init = initial_binding(diamond, two_cluster)
+        result = iterative_improvement(
+            diamond, two_cluster, init.binding, quality="latency"
+        )
+        validate_binding(result.binding, diamond, two_cluster)
+
+    def test_unknown_quality_rejected(self, diamond, two_cluster):
+        init = initial_binding(diamond, two_cluster)
+        with pytest.raises(ValueError, match="unknown quality"):
+            iterative_improvement(
+                diamond, two_cluster, init.binding, quality="best"
+            )
+
+    def test_max_iterations_respected(self, two_cluster):
+        g = random_layered_dfg(24, seed=2)
+        bad = Binding(
+            {n: (i % 2) for i, n in enumerate(g)}
+        )
+        result = iterative_improvement(g, two_cluster, bad, max_iterations=1)
+        assert result.iterations <= 2  # one per quality pass
+
+    def test_history_monotonic_per_pass(self, two_cluster):
+        g = random_layered_dfg(30, seed=9)
+        bad = Binding({n: (i % 2) for i, n in enumerate(g)})
+        result = iterative_improvement(g, two_cluster, bad, quality="qu")
+        for prev, cur in zip(result.history, result.history[1:]):
+            assert cur < prev
+
+    def test_evaluation_count_reported(self, diamond, two_cluster):
+        init = initial_binding(diamond, two_cluster)
+        result = iterative_improvement(diamond, two_cluster, init.binding)
+        assert result.evaluations >= 1
+
+    def test_pairs_flag(self, two_cluster):
+        g = random_layered_dfg(20, seed=3)
+        init = initial_binding(g, two_cluster)
+        no_pairs = iterative_improvement(
+            g, two_cluster, init.binding, use_pairs=False
+        )
+        with_pairs = iterative_improvement(
+            g, two_cluster, init.binding, use_pairs=True
+        )
+        assert quality_qm(with_pairs.schedule) <= quality_qm(no_pairs.schedule) or \
+            quality_qu(with_pairs.schedule) <= quality_qu(no_pairs.schedule)

@@ -1,0 +1,155 @@
+"""Unit tests for the force-directed load profiles (Figure 4)."""
+
+import pytest
+
+from repro.core.loadprofile import (
+    Profile,
+    ProfileSet,
+    Window,
+    operation_window,
+    transfer_window,
+)
+from repro.datapath.parse import parse_datapath
+from repro.dfg.graph import Dfg
+from repro.dfg.ops import ADD, ALU, MUL, MULT, default_registry
+from repro.dfg.timing import compute_timing
+
+
+class TestWindow:
+    def test_width(self):
+        assert Window(2, 4, 1.0).width == 3
+        assert Window(3, 2, 1.0).width == 0  # empty
+
+
+class TestOperationWindow:
+    def test_zero_mobility_full_height(self, chain5, registry):
+        t = compute_timing(chain5, registry)
+        w = operation_window(t, "v1", dii=1)
+        assert w == Window(0, 0, 1.0)
+
+    def test_mobility_spreads_load(self, chain5, registry):
+        t = compute_timing(chain5, registry, target_latency=7)
+        w = operation_window(t, "v1", dii=1)
+        assert w.start == 0
+        assert w.end == 2
+        assert w.height == pytest.approx(1 / 3)
+
+    def test_window_area_is_one_when_pipelined(self, chain5, registry):
+        # height * width == 1 for dii == 1 (each op is one unit of work).
+        for target in (5, 6, 9):
+            t = compute_timing(chain5, registry, target_latency=target)
+            w = operation_window(t, "v3", dii=1)
+            assert w.height * w.width == pytest.approx(1.0)
+
+    def test_dii_extends_window(self, chain5, registry):
+        t = compute_timing(chain5, registry)
+        w = operation_window(t, "v2", dii=3)
+        assert w.end - w.start + 1 == 3
+
+
+class TestTransferWindow:
+    def test_forward_opens_after_producer(self, chain5, registry):
+        t = compute_timing(chain5, registry, target_latency=7)
+        w = transfer_window(
+            t, "v1", "v2", producer_latency=1, move_latency=1, move_dii=1
+        )
+        assert w.start == t.asap["v1"] + 1
+        # consumer mobility 2, minus lat(move) -> 1
+        assert w.height == pytest.approx(1 / 2)
+
+    def test_negative_mobility_clamped(self, chain5, registry):
+        t = compute_timing(chain5, registry)  # zero mobility everywhere
+        w = transfer_window(
+            t, "v1", "v2", producer_latency=1, move_latency=1, move_dii=1
+        )
+        assert w.height == 1.0  # mobility clamped to 0
+
+    def test_reverse_closes_before_consumer(self, chain5, registry):
+        t = compute_timing(chain5, registry, target_latency=7)
+        w = transfer_window(
+            t,
+            "v4",
+            "v5",
+            producer_latency=1,
+            move_latency=1,
+            move_dii=1,
+            reverse=True,
+        )
+        assert w.end <= t.alap["v5"] - 1 + 1  # ends by consumer's start
+
+
+class TestProfile:
+    def test_add_and_value(self):
+        p = Profile(5)
+        p.add(Window(1, 3, 0.5))
+        assert p.value(0) == 0.0
+        assert p.value(2) == 0.5
+        assert p.value(4) == 0.0
+
+    def test_add_clips_to_length(self):
+        p = Profile(3)
+        p.add(Window(-2, 10, 1.0))
+        assert p.levels == [1.0, 1.0, 1.0]
+
+    def test_signed_removal(self):
+        p = Profile(3)
+        p.add(Window(0, 2, 1.0))
+        p.add(Window(0, 2, 1.0), sign=-1.0)
+        assert all(abs(v) < 1e-12 for v in p.levels)
+
+    def test_out_of_range_value_is_zero(self):
+        assert Profile(2).value(99) == 0.0
+
+
+class TestProfileSet:
+    def test_centralized_profile_conservation(self, registry):
+        # Total centralized ALU load equals the number of ALU ops.
+        g = Dfg("g")
+        for i in range(6):
+            g.add_op(f"a{i}", ADD)
+        g.add_edge("a0", "a1")
+        dp = parse_datapath("|2,1|1,1|", num_buses=2)
+        ps = ProfileSet(g, dp)
+        total = sum(
+            ps.load_dp(ALU, tau) * dp.total_fu_count(ALU)
+            for tau in range(ps.length)
+        )
+        assert total == pytest.approx(6.0)
+
+    def test_cluster_profiles_start_empty(self, diamond, two_cluster):
+        ps = ProfileSet(diamond, two_cluster)
+        for tau in range(ps.length):
+            assert ps.load_cl(0, ALU, tau) == 0.0
+            assert ps.load_bus(tau) == 0.0
+
+    def test_commit_and_uncommit_roundtrip(self, diamond, two_cluster):
+        ps = ProfileSet(diamond, two_cluster)
+        ps.commit_operation("v1", 0)
+        assert any(ps.load_cl(0, ALU, tau) > 0 for tau in range(ps.length))
+        ps.uncommit_operation("v1", 0)
+        assert all(
+            abs(ps.load_cl(0, ALU, tau)) < 1e-12 for tau in range(ps.length)
+        )
+
+    def test_commit_to_unsupported_cluster_raises(self, diamond):
+        dp = parse_datapath("|1,0|1,1|", num_buses=2)
+        ps = ProfileSet(diamond, dp)
+        with pytest.raises(ValueError, match="no MUL"):
+            ps.commit_operation("v3", 0)  # v3 is a multiply
+
+    def test_lpr_defaults_to_critical_path(self, chain5, two_cluster):
+        ps = ProfileSet(chain5, two_cluster)
+        assert ps.lpr == 5
+
+    def test_lpr_stretch(self, chain5, two_cluster):
+        ps = ProfileSet(chain5, two_cluster, lpr=8)
+        assert ps.lpr == 8
+        # stretched mobility lowers peak load
+        ps.commit_operation("v1", 0)
+        peak = max(ps.load_cl(0, ALU, tau) for tau in range(ps.length))
+        assert peak == pytest.approx(1 / 4)  # mobility 3
+
+    def test_bus_profile_commit(self, chain5, two_cluster):
+        ps = ProfileSet(chain5, two_cluster)
+        ps.commit_transfer(Window(1, 1, 1.0))
+        assert ps.load_bus(1) == pytest.approx(0.5)  # N_B = 2

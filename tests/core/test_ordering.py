@@ -1,0 +1,117 @@
+"""Unit tests for the binding-order ranking functions (Figure 2)."""
+
+import pytest
+
+from repro.core.ordering import (
+    make_ordering,
+    mobility_order,
+    paper_order,
+    random_order,
+    reverse_order,
+)
+from repro.dfg.graph import Dfg
+from repro.dfg.ops import ADD, default_registry
+from repro.dfg.timing import compute_timing
+
+
+@pytest.fixture
+def figure2_dfg():
+    """The DFG of the paper's Figure 2.
+
+    A 3-level graph where the intended binding order is v1, v2, v3, v4,
+    v5, v6: v1 heads the critical path (level 0, zero mobility), v2 is a
+    level-0 op with mobility, v3/v4 sit at level 1 (v3 less mobile and
+    with more consumers), v5/v6 at level 2.
+    """
+    g = Dfg("figure2")
+    for n in ("v1", "v2", "v3", "v4", "v5", "v6"):
+        g.add_op(n, ADD)
+    g.add_edge("v1", "v3")
+    g.add_edge("v2", "v4")
+    g.add_edge("v3", "v5")
+    g.add_edge("v3", "v6")
+    g.add_edge("v4", "v6")
+    return g
+
+
+class TestPaperOrder:
+    def test_figure2_order(self, figure2_dfg, registry):
+        t = compute_timing(figure2_dfg, registry)
+        order = paper_order(figure2_dfg, t, registry)
+        assert order == ["v1", "v2", "v3", "v4", "v5", "v6"]
+
+    def test_critical_path_first(self, chain5, registry):
+        t = compute_timing(chain5, registry)
+        order = paper_order(chain5, t, registry)
+        assert order == ["v1", "v2", "v3", "v4", "v5"]
+
+    def test_enumerates_all_once(self, diamond, registry):
+        t = compute_timing(diamond, registry)
+        order = paper_order(diamond, t, registry)
+        assert sorted(order) == sorted(diamond)
+
+    def test_lower_mobility_first_within_level(self, registry):
+        g = Dfg("m")
+        for n in ("crit1", "crit2", "loose"):
+            g.add_op(n, ADD)
+        g.add_edge("crit1", "crit2")
+        t = compute_timing(g, registry)
+        order = paper_order(g, t, registry)
+        # 'loose' has alap 1 (mobility 1) so it comes after crit1 but the
+        # level-0 critical op binds first.
+        assert order[0] == "crit1"
+
+    def test_more_consumers_first_on_tie(self, registry):
+        g = Dfg("c")
+        g.add_op("fan", ADD)
+        g.add_op("solo", ADD)
+        for i in range(3):
+            g.add_op(f"k{i}", ADD)
+        g.add_edge("fan", "k0")
+        g.add_edge("fan", "k1")
+        g.add_edge("solo", "k2")
+        t = compute_timing(g, registry)
+        order = paper_order(g, t, registry)
+        assert order.index("fan") < order.index("solo")
+
+
+class TestReverseOrder:
+    def test_outputs_first(self, chain5, registry):
+        t = compute_timing(chain5, registry)
+        order = reverse_order(chain5, t, registry)
+        assert order == ["v5", "v4", "v3", "v2", "v1"]
+
+    def test_enumerates_all_once(self, diamond, registry):
+        t = compute_timing(diamond, registry)
+        assert sorted(reverse_order(diamond, t, registry)) == sorted(diamond)
+
+
+class TestAblationOrders:
+    def test_mobility_order_walks_critical_path(self, registry):
+        g = Dfg("m")
+        for n in ("a", "b", "side"):
+            g.add_op(n, ADD)
+        g.add_edge("a", "b")
+        t = compute_timing(g, registry)
+        order = mobility_order(g, t, registry)
+        assert order[:2] == ["a", "b"]  # vertical traversal
+        assert order[2] == "side"
+
+    def test_random_order_deterministic_per_seed(self, diamond, registry):
+        t = compute_timing(diamond, registry)
+        o1 = random_order(3)(diamond, t, registry)
+        o2 = random_order(3)(diamond, t, registry)
+        assert o1 == o2
+        assert sorted(o1) == sorted(diamond)
+
+
+class TestMakeOrdering:
+    def test_lookup(self):
+        assert make_ordering("paper") is paper_order
+        assert make_ordering("reverse") is reverse_order
+        assert make_ordering("mobility") is mobility_order
+        assert callable(make_ordering("random", seed=1))
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown ordering"):
+            make_ordering("alphabetical")

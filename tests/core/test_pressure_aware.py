@@ -1,0 +1,84 @@
+"""Unit tests for the register-pressure-aware refinement extension."""
+
+import pytest
+
+from repro.analysis.pressure import register_pressure
+from repro.core.driver import bind_initial
+from repro.core.pressure_aware import (
+    pressure_aware_improvement,
+    pressure_quality,
+)
+from repro.core.binding import validate_binding
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import random_layered_dfg
+from repro.kernels import load_kernel
+
+
+class TestPressureQuality:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            pressure_quality(0)
+
+    def test_vector_shape(self, diamond, two_cluster):
+        from repro.dfg.transform import bind_dfg
+        from repro.schedule.list_scheduler import list_schedule
+
+        schedule = list_schedule(
+            bind_dfg(diamond, {n: 0 for n in diamond}), two_cluster
+        )
+        q = pressure_quality(budget=2)(schedule)
+        assert len(q) == 3
+        assert q[0] == schedule.latency
+
+    def test_large_budget_zero_excess(self, diamond, two_cluster):
+        from repro.dfg.transform import bind_dfg
+        from repro.schedule.list_scheduler import list_schedule
+
+        schedule = list_schedule(
+            bind_dfg(diamond, {n: 0 for n in diamond}), two_cluster
+        )
+        q = pressure_quality(budget=100)(schedule)
+        assert q[1] == 0
+
+
+class TestRefinement:
+    def test_never_increases_latency(self, two_cluster):
+        for seed in (1, 4):
+            g = random_layered_dfg(24, seed=seed)
+            init = bind_initial(g, two_cluster)
+            refined = pressure_aware_improvement(
+                g, two_cluster, init.binding, budget=4
+            )
+            assert refined.schedule.latency <= init.latency
+            validate_binding(refined.binding, g, two_cluster)
+
+    def test_reduces_excess_when_possible(self, two_cluster):
+        # Start from a deliberately lopsided binding on a wide graph.
+        from repro.core.binding import Binding
+
+        g = random_layered_dfg(24, seed=7, width=8)
+        lopsided = Binding({n: 0 for n in g})
+        budget = 4
+        before_q = None
+        from repro.dfg.transform import bind_dfg
+        from repro.schedule.list_scheduler import list_schedule
+
+        before = list_schedule(bind_dfg(g, lopsided), two_cluster)
+        before_q = pressure_quality(budget)(before)
+        refined = pressure_aware_improvement(
+            g, two_cluster, lopsided, budget=budget
+        )
+        after_q = pressure_quality(budget)(refined.schedule)
+        assert after_q <= before_q
+
+    def test_kernel_budget_refinement(self):
+        dfg = load_kernel("dct-dif")
+        dp = parse_datapath("|2,1|2,1|", num_buses=2)
+        init = bind_initial(dfg, dp)
+        report_before = register_pressure(init.schedule)
+        refined = pressure_aware_improvement(
+            dfg, dp, init.binding, budget=max(2, report_before.peak - 1)
+        )
+        report_after = register_pressure(refined.schedule)
+        assert refined.schedule.latency <= init.latency
+        assert report_after.peak <= report_before.peak

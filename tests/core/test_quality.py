@@ -1,0 +1,88 @@
+"""Unit tests for the Q_U and Q_M quality vectors (Figure 6)."""
+
+import pytest
+
+from repro.core.quality import make_quality, quality_qm, quality_qu
+from repro.datapath.parse import parse_datapath
+from repro.dfg.graph import Dfg
+from repro.dfg.ops import ADD
+from repro.dfg.transform import bind_dfg
+from repro.schedule.list_scheduler import list_schedule
+
+
+def schedule_for(dfg, binding, spec="|1,1|1,1|"):
+    dp = parse_datapath(spec, num_buses=2)
+    return list_schedule(bind_dfg(dfg, binding), dp)
+
+
+class TestQu:
+    def test_structure(self, diamond, two_cluster):
+        s = schedule_for(diamond, {n: 0 for n in diamond})
+        q = quality_qu(s)
+        assert q[0] == s.latency
+        assert len(q) == s.latency + 1
+        assert sum(q[1:]) == 4  # every regular op completes somewhere
+
+    def test_u0_counts_last_step_completions(self, chain5):
+        s = schedule_for(chain5, {n: 0 for n in chain5})
+        q = quality_qu(s)
+        assert q[1] == 1  # only the chain tail completes at step L
+
+    def test_depth_truncation(self, chain5):
+        s = schedule_for(chain5, {n: 0 for n in chain5})
+        q = quality_qu(s, depth=2)
+        assert len(q) == 3
+
+    def test_figure6_discrimination(self):
+        """Q_U must distinguish bindings that Q_M cannot (Figure 6).
+
+        Build two schedules with equal latency where one has fewer
+        operations completing at the last step: Q_U prefers it, Q_M is
+        indifferent (same L, same M = 0).
+        """
+        # Four independent ops on two 2-ALU clusters: all in cluster 0
+        # gives L = 2 with two ops completing at the last step; moving
+        # one op to cluster 1 keeps L = 2 but only one op finishes last.
+        g = Dfg("f6")
+        for n in ("w", "x", "y", "z"):
+            g.add_op(n, ADD)
+        dp = parse_datapath("|2,1|2,1|", num_buses=2)
+        crowded = list_schedule(
+            bind_dfg(g, {"w": 0, "x": 0, "y": 0, "z": 0}), dp
+        )
+        spread = list_schedule(
+            bind_dfg(g, {"w": 0, "x": 0, "y": 0, "z": 1}), dp
+        )
+        assert crowded.latency == spread.latency == 2
+        assert quality_qm(crowded) == quality_qm(spread)
+        assert quality_qu(spread) < quality_qu(crowded)
+
+    def test_latency_dominates(self, chain5):
+        short = schedule_for(chain5, {n: 0 for n in chain5})
+        long = schedule_for(
+            chain5, {"v1": 0, "v2": 1, "v3": 0, "v4": 1, "v5": 0}
+        )
+        assert short.latency < long.latency
+        assert quality_qu(short) < quality_qu(long)
+
+
+class TestQm:
+    def test_structure(self, diamond):
+        s = schedule_for(diamond, {"v1": 0, "v2": 1, "v3": 1, "v4": 0})
+        assert quality_qm(s) == (s.latency, s.num_transfers)
+
+    def test_fewer_moves_better_at_same_latency(self, diamond):
+        a = schedule_for(diamond, {n: 0 for n in diamond})
+        b = schedule_for(diamond, {"v1": 0, "v2": 0, "v3": 1, "v4": 0})
+        if a.latency == b.latency:
+            assert quality_qm(a) < quality_qm(b)
+
+
+class TestMakeQuality:
+    def test_lookup(self):
+        assert make_quality("qu") is quality_qu
+        assert make_quality("qm") is quality_qm
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown quality"):
+            make_quality("q9")

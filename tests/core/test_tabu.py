@@ -1,0 +1,59 @@
+"""Unit tests for the tabu-search improvement variant (footnote 4)."""
+
+import pytest
+
+from repro.core.binding import Binding, validate_binding
+from repro.core.driver import bind_initial
+from repro.core.iterative import iterative_improvement
+from repro.core.quality import quality_qm, quality_qu
+from repro.core.tabu import tabu_improvement
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import random_layered_dfg
+
+
+class TestTabu:
+    def test_never_worse_than_start(self, two_cluster):
+        for seed in (0, 5):
+            g = random_layered_dfg(22, seed=seed)
+            init = bind_initial(g, two_cluster)
+            result = tabu_improvement(g, two_cluster, init.binding)
+            # latency is the end-to-end guarantee (see the B-ITER note)
+            assert result.schedule.latency <= init.latency
+            validate_binding(result.binding, g, two_cluster)
+
+    def test_matches_or_beats_plain_biter(self, two_cluster):
+        for seed in (2, 7):
+            g = random_layered_dfg(22, seed=seed)
+            init = bind_initial(g, two_cluster)
+            plain = iterative_improvement(g, two_cluster, init.binding)
+            tabu = tabu_improvement(g, two_cluster, init.binding)
+            assert (
+                tabu.schedule.latency,
+                tabu.schedule.num_transfers,
+            ) <= (
+                plain.schedule.latency,
+                plain.schedule.num_transfers,
+            )
+
+    def test_fixes_bad_binding(self, chain5, two_cluster):
+        bad = Binding({f"v{i}": i % 2 for i in range(1, 6)})
+        result = tabu_improvement(chain5, two_cluster, bad)
+        assert result.schedule.latency == 5
+        assert result.schedule.num_transfers == 0
+
+    def test_budget_limits_steps(self, two_cluster):
+        g = random_layered_dfg(20, seed=3)
+        init = bind_initial(g, two_cluster)
+        result = tabu_improvement(
+            g, two_cluster, init.binding, max_steps=3
+        )
+        assert result.iterations <= 3
+        validate_binding(result.binding, g, two_cluster)
+
+    def test_sideways_budget_zero_acts_like_descent(self, two_cluster):
+        g = random_layered_dfg(18, seed=9)
+        init = bind_initial(g, two_cluster)
+        strict = tabu_improvement(
+            g, two_cluster, init.binding, sideways_budget=0
+        )
+        assert quality_qm(strict.schedule) <= quality_qm(init.schedule)

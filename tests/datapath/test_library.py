@@ -1,0 +1,70 @@
+"""Unit tests for the paper's datapath configuration library."""
+
+import pytest
+
+from repro.datapath.library import (
+    TABLE1_CONFIGS,
+    TABLE2_DATAPATH_SPEC,
+    TABLE2_SWEEP,
+    all_specs,
+    table1_datapaths,
+    table2_datapaths,
+)
+
+
+class TestTable1Configs:
+    def test_every_kernel_present(self):
+        assert set(TABLE1_CONFIGS) == {
+            "dct-dif",
+            "dct-lee",
+            "dct-dit",
+            "dct-dit-2",
+            "fft",
+            "ewf",
+            "arf",
+        }
+
+    def test_row_counts_match_paper(self):
+        expected = {
+            "dct-dif": 4,
+            "dct-lee": 5,
+            "dct-dit": 6,
+            "dct-dit-2": 5,
+            "fft": 6,
+            "ewf": 5,
+            "arf": 2,
+        }
+        for kernel, count in expected.items():
+            assert len(TABLE1_CONFIGS[kernel]) == count
+
+    def test_datapaths_parse_with_two_buses(self):
+        for kernel in TABLE1_CONFIGS:
+            for dp in table1_datapaths(kernel):
+                assert dp.num_buses == 2
+                assert dp.move_latency == 1
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            table1_datapaths("mp3")
+
+
+class TestTable2:
+    def test_sweep_points(self):
+        assert TABLE2_SWEEP == ((1, 1), (2, 1), (1, 2), (2, 2))
+
+    def test_datapaths(self):
+        dps = table2_datapaths()
+        assert len(dps) == 4
+        for dp, (nb, lm) in zip(dps, TABLE2_SWEEP):
+            assert dp.num_buses == nb
+            assert dp.move_latency == lm
+            assert dp.spec() == TABLE2_DATAPATH_SPEC
+
+
+def test_all_specs_distinct_and_complete():
+    specs = all_specs()
+    assert len(specs) == len(set(specs))
+    assert TABLE2_DATAPATH_SPEC in specs
+    for kernel_specs in TABLE1_CONFIGS.values():
+        for s in kernel_specs:
+            assert s in specs

@@ -1,0 +1,102 @@
+"""Unit tests for the clustered datapath model."""
+
+import pytest
+
+from repro.datapath.model import Cluster, Datapath
+from repro.dfg.ops import ADD, ALU, BUS, MOVE, MUL, MULT, default_registry
+
+
+class TestCluster:
+    def test_counts(self):
+        c = Cluster(0, {ALU: 2, MUL: 1})
+        assert c.fu_count(ALU) == 2
+        assert c.fu_count(MUL) == 1
+        assert c.fu_count(BUS) == 0
+        assert c.total_fus == 3
+
+    def test_supports(self):
+        c = Cluster(0, {ALU: 1, MUL: 0})
+        assert c.supports(ALU)
+        assert not c.supports(MUL)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError, match="negative"):
+            Cluster(0, {ALU: -1})
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ValueError, match="no functional units"):
+            Cluster(0, {ALU: 0, MUL: 0})
+
+    def test_spec(self):
+        assert Cluster(0, {ALU: 2, MUL: 1}).spec() == "2,1"
+        assert str(Cluster(0, {ALU: 2, MUL: 1})) == "[2,1]"
+
+
+class TestDatapath:
+    def test_requires_clusters(self):
+        with pytest.raises(ValueError, match="at least one cluster"):
+            Datapath([])
+
+    def test_indices_must_be_consecutive(self):
+        with pytest.raises(ValueError, match="consecutive"):
+            Datapath([Cluster(1, {ALU: 1})])
+
+    def test_bus_width_positive(self):
+        with pytest.raises(ValueError, match="num_buses"):
+            Datapath([Cluster(0, {ALU: 1})], num_buses=0)
+
+    def test_totals(self, three_cluster):
+        assert three_cluster.num_clusters == 3
+        assert three_cluster.total_fu_count(ALU) == 4
+        assert three_cluster.total_fu_count(MUL) == 4
+        assert three_cluster.total_fu_count(BUS) == 2
+
+    def test_fu_count_bus(self, three_cluster):
+        assert three_cluster.fu_count(0, BUS) == 2
+
+    def test_homogeneity(self, two_cluster, three_cluster):
+        assert two_cluster.is_homogeneous
+        assert not three_cluster.is_homogeneous
+
+    def test_target_set_full(self, two_cluster):
+        assert two_cluster.target_set(ADD) == (0, 1)
+        assert two_cluster.target_set(MULT) == (0, 1)
+
+    def test_target_set_restricted(self):
+        dp = Datapath([Cluster(0, {ALU: 1}), Cluster(1, {ALU: 1, MUL: 1})])
+        assert dp.target_set(MULT) == (1,)
+        assert dp.target_set(ADD) == (0, 1)
+
+    def test_supports_op(self):
+        dp = Datapath([Cluster(0, {ALU: 1}), Cluster(1, {MUL: 1})])
+        assert dp.supports_op(0, ADD)
+        assert not dp.supports_op(0, MULT)
+        assert dp.supports_op(1, MULT)
+
+    def test_check_bindable_raises_on_unsupported(self, diamond):
+        dp = Datapath([Cluster(0, {ALU: 2})])  # no multiplier anywhere
+        with pytest.raises(ValueError, match="no\\s+supporting cluster"):
+            dp.check_bindable(diamond)
+
+    def test_fu_types(self, two_cluster):
+        assert set(two_cluster.fu_types()) == {ALU, MUL}
+
+    def test_move_latency_shortcuts(self, two_cluster):
+        assert two_cluster.move_latency == 1
+        assert two_cluster.move_dii == 1
+
+    def test_with_bus_copies(self, two_cluster):
+        dp2 = two_cluster.with_bus(num_buses=1, move_latency=2)
+        assert dp2.num_buses == 1
+        assert dp2.move_latency == 2
+        # original untouched
+        assert two_cluster.num_buses == 2
+        assert two_cluster.move_latency == 1
+
+    def test_spec_roundtrip(self, three_cluster):
+        assert three_cluster.spec() == "|2,1|1,1|1,2|"
+
+    def test_repr(self, two_cluster):
+        r = repr(two_cluster)
+        assert "N_B=2" in r
+        assert "lat(move)=1" in r

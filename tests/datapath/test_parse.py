@@ -1,0 +1,54 @@
+"""Unit tests for the datapath spec parser."""
+
+import pytest
+
+from repro.datapath.parse import parse_cluster_spec, parse_datapath
+from repro.dfg.ops import ALU, MUL
+
+
+class TestParseClusterSpec:
+    def test_basic(self):
+        c = parse_cluster_spec("2,1", 0)
+        assert c.fu_count(ALU) == 2
+        assert c.fu_count(MUL) == 1
+
+    def test_whitespace_tolerated(self):
+        c = parse_cluster_spec(" 3 , 2 ", 1)
+        assert c.index == 1
+        assert c.fu_count(ALU) == 3
+
+    def test_malformed_rejected(self):
+        for bad in ("2", "a,b", "2,1,3", ""):
+            with pytest.raises(ValueError, match="malformed"):
+                parse_cluster_spec(bad, 0)
+
+
+class TestParseDatapath:
+    def test_paper_notation(self):
+        dp = parse_datapath("|2,1|1,1|")
+        assert dp.num_clusters == 2
+        assert dp.spec() == "|2,1|1,1|"
+
+    def test_bars_optional(self):
+        assert parse_datapath("2,1|1,1").spec() == "|2,1|1,1|"
+
+    def test_default_buses_match_table1(self):
+        assert parse_datapath("|1,1|1,1|").num_buses == 2
+
+    def test_move_latency_override(self):
+        dp = parse_datapath("|1,1|1,1|", move_latency=2)
+        assert dp.move_latency == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_datapath("||")
+
+    def test_five_cluster_table2_machine(self):
+        dp = parse_datapath("|2,2|2,1|2,2|3,1|1,1|", num_buses=1)
+        assert dp.num_clusters == 5
+        assert dp.total_fu_count(ALU) == 10
+        assert dp.total_fu_count(MUL) == 7
+
+    def test_name_defaults_to_spec(self):
+        assert parse_datapath("|1,1|").name == "|1,1|"
+        assert parse_datapath("|1,1|", name="tiny").name == "tiny"

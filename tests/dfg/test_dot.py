@@ -1,0 +1,32 @@
+"""Unit tests for Graphviz DOT export."""
+
+from repro.dfg.dot import to_dot
+from repro.dfg.transform import bind_dfg
+
+
+class TestDot:
+    def test_contains_all_nodes_and_edges(self, diamond):
+        dot = to_dot(diamond)
+        for n in diamond:
+            assert f'"{n}"' in dot
+        assert '"v1" -> "v2";' in dot
+
+    def test_valid_digraph_syntax(self, diamond):
+        dot = to_dot(diamond)
+        assert dot.startswith('digraph "diamond" {')
+        assert dot.rstrip().endswith("}")
+
+    def test_placement_creates_cluster_subgraphs(self, diamond):
+        bound = bind_dfg(diamond, {"v1": 0, "v2": 1, "v3": 1, "v4": 0})
+        dot = to_dot(bound.graph, bound.placement)
+        assert "subgraph cluster_0" in dot
+        assert "subgraph cluster_1" in dot
+
+    def test_transfers_drawn_as_diamonds(self, diamond):
+        bound = bind_dfg(diamond, {"v1": 0, "v2": 1, "v3": 1, "v4": 0})
+        dot = to_dot(bound.graph, bound.placement)
+        assert "shape=diamond" in dot
+
+    def test_title(self, diamond):
+        dot = to_dot(diamond, title="My Graph")
+        assert 'label="My Graph"' in dot

@@ -1,0 +1,84 @@
+"""Unit tests for the random DFG generators."""
+
+import pytest
+
+from repro.dfg.generators import (
+    butterfly_dfg,
+    chain_dfg,
+    random_dag,
+    random_layered_dfg,
+    reduction_tree_dfg,
+)
+from repro.dfg.ops import default_registry
+from repro.dfg.timing import critical_path_length
+from repro.dfg.validate import validate_dfg
+
+
+class TestRandomLayered:
+    def test_size(self):
+        g = random_layered_dfg(30, seed=1)
+        assert g.num_operations == 30
+
+    def test_deterministic_per_seed(self):
+        g1 = random_layered_dfg(25, seed=7)
+        g2 = random_layered_dfg(25, seed=7)
+        assert list(g1) == list(g2)
+        assert set(g1.edges()) == set(g2.edges())
+
+    def test_different_seeds_differ(self):
+        g1 = random_layered_dfg(25, seed=1)
+        g2 = random_layered_dfg(25, seed=2)
+        assert set(g1.edges()) != set(g2.edges())
+
+    def test_valid_structure(self, registry):
+        for seed in range(5):
+            validate_dfg(random_layered_dfg(40, seed=seed), registry)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            random_layered_dfg(0)
+
+
+class TestRandomDag:
+    def test_fanin_capped_at_two(self, registry):
+        g = random_dag(50, edge_probability=0.9, seed=3)
+        for n in g:
+            assert g.in_degree(n) <= 2
+
+    def test_valid(self, registry):
+        validate_dfg(random_dag(30, seed=5), registry)
+
+
+class TestShapes:
+    def test_chain_critical_path(self, registry):
+        g = chain_dfg(7)
+        assert critical_path_length(g, registry) == 7
+        assert g.num_operations == 7
+
+    def test_chain_rejects_zero(self):
+        with pytest.raises(ValueError):
+            chain_dfg(0)
+
+    def test_butterfly_power_of_two(self):
+        with pytest.raises(ValueError):
+            butterfly_dfg(2, width=6)
+
+    def test_butterfly_structure(self, registry):
+        g = butterfly_dfg(3, width=8)
+        validate_dfg(g, registry)
+        assert g.num_operations == 3 * 8
+
+    def test_reduction_tree(self, registry):
+        g = reduction_tree_dfg(8)
+        validate_dfg(g, registry)
+        assert g.num_operations == 7
+        assert critical_path_length(g, registry) == 3
+
+    def test_reduction_tree_odd_leaves(self, registry):
+        g = reduction_tree_dfg(5)
+        validate_dfg(g, registry)
+        assert g.num_operations == 4
+
+    def test_reduction_tree_rejects_one(self):
+        with pytest.raises(ValueError):
+            reduction_tree_dfg(1)

@@ -1,0 +1,192 @@
+"""Unit tests for the DFG data structure."""
+
+import pytest
+
+from repro.dfg.graph import CycleError, Dfg, Operation
+from repro.dfg.ops import ADD, MOVE, MULT, SUB
+
+
+class TestOperation:
+    def test_regular_operation(self):
+        op = Operation("v1", ADD)
+        assert op.name == "v1"
+        assert not op.is_transfer
+        assert op.source is None
+
+    def test_transfer_must_be_move(self):
+        with pytest.raises(ValueError, match="must have optype MOVE"):
+            Operation("t1", ADD, is_transfer=True)
+
+    def test_transfer_with_source(self):
+        op = Operation("t1", MOVE, is_transfer=True, source="v1")
+        assert op.source == "v1"
+
+    def test_regular_cannot_have_source(self):
+        with pytest.raises(ValueError, match="cannot carry"):
+            Operation("v1", ADD, source="v0")
+
+    def test_str(self):
+        assert str(Operation("v1", ADD)) == "v1"
+
+
+class TestConstruction:
+    def test_add_and_lookup(self):
+        g = Dfg("t")
+        g.add_op("v1", ADD)
+        assert "v1" in g
+        assert g.operation("v1").optype is ADD
+
+    def test_duplicate_name_rejected(self):
+        g = Dfg("t")
+        g.add_op("v1", ADD)
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add_op("v1", MULT)
+
+    def test_unknown_lookup_raises(self):
+        g = Dfg("t")
+        with pytest.raises(KeyError, match="unknown operation"):
+            g.operation("nope")
+
+    def test_edge_endpoints_must_exist(self):
+        g = Dfg("t")
+        g.add_op("v1", ADD)
+        with pytest.raises(KeyError):
+            g.add_edge("v1", "v2")
+        with pytest.raises(KeyError):
+            g.add_edge("v0", "v1")
+
+    def test_self_loop_rejected(self):
+        g = Dfg("t")
+        g.add_op("v1", ADD)
+        with pytest.raises(CycleError):
+            g.add_edge("v1", "v1")
+
+    def test_parallel_edges_collapsed(self):
+        g = Dfg("t")
+        g.add_op("v1", ADD)
+        g.add_op("v2", ADD)
+        g.add_edge("v1", "v2")
+        g.add_edge("v1", "v2")
+        assert g.num_edges == 1
+
+    def test_remove_operation(self, diamond):
+        diamond.remove_operation("v2")
+        assert "v2" not in diamond
+        assert diamond.successors("v1") == ("v3",)
+        assert diamond.predecessors("v4") == ("v3",)
+
+    def test_remove_unknown_raises(self, diamond):
+        with pytest.raises(KeyError):
+            diamond.remove_operation("nope")
+
+
+class TestQueries:
+    def test_counts(self, diamond):
+        assert len(diamond) == 4
+        assert diamond.num_operations == 4
+        assert diamond.num_edges == 4
+        assert diamond.num_regular == 4
+        assert diamond.num_transfers == 0
+
+    def test_adjacency(self, diamond):
+        assert set(diamond.successors("v1")) == {"v2", "v3"}
+        assert set(diamond.predecessors("v4")) == {"v2", "v3"}
+        assert diamond.in_degree("v1") == 0
+        assert diamond.out_degree("v1") == 2
+
+    def test_inputs_outputs(self, diamond):
+        assert diamond.inputs() == ("v1",)
+        assert diamond.outputs() == ("v4",)
+
+    def test_iteration_is_insertion_order(self, diamond):
+        assert list(diamond) == ["v1", "v2", "v3", "v4"]
+
+    def test_edges_iterates_all(self, diamond):
+        assert set(diamond.edges()) == {
+            ("v1", "v2"),
+            ("v1", "v3"),
+            ("v2", "v4"),
+            ("v3", "v4"),
+        }
+
+    def test_regular_vs_transfer_partition(self):
+        g = Dfg("t")
+        g.add_op("v1", ADD)
+        g.add_op("t1", MOVE, is_transfer=True, source="v1")
+        g.add_op("v2", ADD)
+        g.add_edge("v1", "t1")
+        g.add_edge("t1", "v2")
+        assert [o.name for o in g.regular_operations()] == ["v1", "v2"]
+        assert [o.name for o in g.transfer_operations()] == ["t1"]
+        assert g.num_transfers == 1
+
+
+class TestAlgorithms:
+    def test_topological_order(self, diamond):
+        order = diamond.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for u, v in diamond.edges():
+            assert pos[u] < pos[v]
+
+    def test_topological_order_cached_and_invalidated(self, diamond):
+        first = diamond.topological_order()
+        assert diamond.topological_order() is first
+        diamond.add_op("v5", ADD)
+        diamond.add_edge("v4", "v5")
+        assert diamond.topological_order() != first
+
+    def test_cycle_detection(self):
+        g = Dfg("t")
+        g.add_op("v1", ADD)
+        g.add_op("v2", ADD)
+        # Build a cycle by poking the internals (add_edge cannot create
+        # one on names alone, so simulate a corrupted graph).
+        g.add_edge("v1", "v2")
+        g._succs["v2"].append("v1")
+        g._preds["v1"].append("v2")
+        g._topo_cache = None
+        with pytest.raises(CycleError):
+            g.topological_order()
+
+    def test_connected_components_single(self, diamond):
+        assert diamond.num_components == 1
+
+    def test_connected_components_multiple(self, wide8):
+        assert wide8.num_components == 8
+
+    def test_components_partition_nodes(self, wide8):
+        comps = wide8.connected_components()
+        names = sorted(n for comp in comps for n in comp)
+        assert names == sorted(wide8)
+
+    def test_descendants_ancestors(self, diamond):
+        assert diamond.descendants("v1") == {"v2", "v3", "v4"}
+        assert diamond.ancestors("v4") == {"v1", "v2", "v3"}
+        assert diamond.descendants("v4") == set()
+        assert diamond.ancestors("v1") == set()
+
+
+class TestCopies:
+    def test_copy_is_independent(self, diamond):
+        g2 = diamond.copy()
+        g2.add_op("v5", ADD)
+        assert "v5" not in diamond
+        g2.add_edge("v4", "v5")
+        assert diamond.out_degree("v4") == 0
+
+    def test_without_transfers_roundtrip(self, diamond):
+        from repro.dfg.transform import bind_dfg
+
+        bound = bind_dfg(diamond, {"v1": 0, "v2": 1, "v3": 0, "v4": 1})
+        restored = bound.graph.without_transfers()
+        assert set(restored) == set(diamond)
+        assert set(restored.edges()) == set(diamond.edges())
+
+    def test_to_networkx(self, diamond):
+        nx_graph = diamond.to_networkx()
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 4
+        assert nx_graph.nodes["v3"]["optype"] == "mul"
+
+    def test_repr(self, diamond):
+        assert "ops=4" in repr(diamond)

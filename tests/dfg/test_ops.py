@@ -1,0 +1,125 @@
+"""Unit tests for operation/FU type definitions and the registry."""
+
+import pytest
+
+from repro.dfg.ops import (
+    ADD,
+    ALU,
+    BUS,
+    MOVE,
+    MUL,
+    MULT,
+    SUB,
+    FuType,
+    OpType,
+    OpTypeInfo,
+    OpTypeRegistry,
+    default_registry,
+)
+
+
+class TestOpTypeInfo:
+    def test_defaults(self):
+        info = OpTypeInfo(ADD, ALU)
+        assert info.latency == 1
+        assert info.dii == 1
+
+    def test_latency_must_be_positive(self):
+        with pytest.raises(ValueError, match="latency"):
+            OpTypeInfo(ADD, ALU, latency=0)
+
+    def test_dii_must_be_positive(self):
+        with pytest.raises(ValueError, match="dii"):
+            OpTypeInfo(ADD, ALU, latency=2, dii=0)
+
+    def test_dii_cannot_exceed_latency(self):
+        with pytest.raises(ValueError, match="cannot exceed"):
+            OpTypeInfo(ADD, ALU, latency=1, dii=2)
+
+    def test_unpipelined_resource(self):
+        info = OpTypeInfo(MULT, MUL, latency=3, dii=3)
+        assert info.dii == info.latency
+
+
+class TestDefaultRegistry:
+    def test_paper_setup_all_unit_latency(self, registry):
+        assert registry.latency(ADD) == 1
+        assert registry.latency(MULT) == 1
+        assert registry.move_latency == 1
+        assert registry.move_dii == 1
+
+    def test_futype_partition(self, registry):
+        assert registry.futype(ADD) is ALU
+        assert registry.futype(SUB) is ALU
+        assert registry.futype(MULT) is MUL
+        assert registry.futype(MOVE) is BUS
+
+    def test_unknown_type_raises(self, registry):
+        with pytest.raises(KeyError, match="not registered"):
+            registry.latency(OpType("bogus"))
+
+    def test_contains_and_len(self, registry):
+        assert ADD in registry
+        assert OpType("bogus") not in registry
+        assert len(registry) > 5
+
+    def test_fu_types_deduplicated(self, registry):
+        types = registry.fu_types()
+        assert len(types) == len(set(types))
+        assert set(types) == {ALU, MUL, BUS}
+
+    def test_optypes_for(self, registry):
+        alu_ops = registry.optypes_for(ALU)
+        assert ADD in alu_ops
+        assert MULT not in alu_ops
+
+    def test_custom_latencies(self):
+        reg = default_registry(move_latency=2, mul_latency=3)
+        assert reg.move_latency == 2
+        assert reg.latency(MULT) == 3
+
+
+class TestOverrides:
+    def test_with_overrides_is_a_copy(self, registry):
+        reg2 = registry.with_overrides(move_latency=2)
+        assert registry.move_latency == 1
+        assert reg2.move_latency == 2
+
+    def test_override_arbitrary_latency(self, registry):
+        reg2 = registry.with_overrides(latencies={MULT: 4})
+        assert reg2.latency(MULT) == 4
+        assert reg2.dii(MULT) == 1  # stays pipelined
+
+    def test_override_clamps_dii_down(self, registry):
+        reg2 = registry.with_overrides(latencies={MULT: 3}, diis={MULT: 3})
+        reg3 = reg2.with_overrides(latencies={MULT: 2})
+        assert reg3.dii(MULT) == 2
+
+    def test_override_dii_only(self, registry):
+        reg2 = registry.with_overrides(
+            latencies={MULT: 2}
+        ).with_overrides(diis={MULT: 2})
+        assert reg2.dii(MULT) == 2
+        assert reg2.latency(MULT) == 2
+
+    def test_copy_independent(self, registry):
+        reg2 = registry.copy()
+        reg2.register(OpTypeInfo(OpType("div"), ALU, latency=8, dii=8))
+        assert OpType("div") in reg2
+        assert OpType("div") not in registry
+
+
+class TestTypeEquality:
+    def test_futype_identity_by_name(self):
+        assert FuType("ALU") == ALU
+        assert FuType("X") != ALU
+
+    def test_optype_usable_as_dict_key(self):
+        d = {ADD: 1, MULT: 2}
+        assert d[OpType("add")] == 1
+
+    def test_reprs(self):
+        assert "ALU" in repr(ALU)
+        assert "add" in repr(ADD)
+        assert str(ALU) == "ALU"
+        assert str(ADD) == "add"

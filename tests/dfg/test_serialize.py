@@ -1,0 +1,66 @@
+"""Unit tests for DFG JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.dfg.serialize import (
+    FORMAT,
+    dfg_from_dict,
+    dfg_to_dict,
+    load_dfg,
+    save_dfg,
+)
+from repro.dfg.transform import bind_dfg
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self, diamond):
+        restored = dfg_from_dict(dfg_to_dict(diamond))
+        assert list(restored) == list(diamond)
+        assert set(restored.edges()) == set(diamond.edges())
+        assert restored.name == diamond.name
+        for n in diamond:
+            assert restored.operation(n).optype == diamond.operation(n).optype
+
+    def test_bound_graph_roundtrip(self, diamond):
+        bound = bind_dfg(diamond, {"v1": 0, "v2": 1, "v3": 1, "v4": 0})
+        restored = dfg_from_dict(dfg_to_dict(bound.graph))
+        assert restored.num_transfers == bound.num_transfers
+        t = bound.graph.transfer_operations()[0]
+        r = restored.operation(t.name)
+        assert r.is_transfer
+        assert r.source == t.source
+
+    def test_file_roundtrip(self, diamond, tmp_path):
+        path = tmp_path / "diamond.json"
+        save_dfg(diamond, path)
+        restored = load_dfg(path)
+        assert set(restored.edges()) == set(diamond.edges())
+
+    def test_format_marker(self, diamond):
+        data = dfg_to_dict(diamond)
+        assert data["format"] == FORMAT
+
+    def test_unknown_format_rejected(self, diamond):
+        data = dfg_to_dict(diamond)
+        data["format"] = "other/9"
+        with pytest.raises(ValueError, match="unsupported"):
+            dfg_from_dict(data)
+
+    def test_missing_format_rejected(self, diamond):
+        data = dfg_to_dict(diamond)
+        del data["format"]
+        with pytest.raises(ValueError, match="unsupported"):
+            dfg_from_dict(data)
+
+    def test_output_is_json_serializable(self, diamond):
+        json.dumps(dfg_to_dict(diamond))
+
+    def test_kernel_roundtrip(self):
+        from repro.kernels import load_kernel
+
+        ewf = load_kernel("ewf")
+        restored = dfg_from_dict(dfg_to_dict(ewf))
+        assert restored.num_operations == 34
+        assert set(restored.edges()) == set(ewf.edges())

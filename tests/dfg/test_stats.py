@@ -1,0 +1,61 @@
+"""Unit tests for DFG statistics."""
+
+import pytest
+
+from repro.dfg.graph import Dfg
+from repro.dfg.ops import ALU, MUL
+from repro.dfg.stats import dfg_stats
+from repro.kernels import load_kernel
+
+
+class TestDfgStats:
+    def test_diamond(self, diamond, registry):
+        s = dfg_stats(diamond, registry)
+        assert s.num_operations == 4
+        assert s.num_edges == 4
+        assert s.critical_path == 3
+        assert s.num_inputs == 1
+        assert s.num_outputs == 1
+        assert s.max_fanout == 2
+        assert s.ops_per_futype[ALU] == 3
+        assert s.ops_per_futype[MUL] == 1
+
+    def test_width_profile_sums_to_ops(self, diamond, registry):
+        s = dfg_stats(diamond, registry)
+        assert sum(s.width_profile) == 4
+        assert len(s.width_profile) == s.critical_path
+
+    def test_chain_width_one(self, chain5, registry):
+        s = dfg_stats(chain5, registry)
+        assert s.width_profile == (1, 1, 1, 1, 1)
+        assert s.avg_width == pytest.approx(1.0)
+
+    def test_wide_graph(self, wide8, registry):
+        s = dfg_stats(wide8, registry)
+        assert s.avg_width == pytest.approx(8.0)
+        assert s.num_inputs == s.num_outputs == 8
+
+    def test_empty(self, registry):
+        s = dfg_stats(Dfg("e"), registry)
+        assert s.num_operations == 0
+        assert s.critical_path == 0
+        assert s.width_profile == ()
+
+    def test_kernel_table_headers(self, registry):
+        """Stats reproduce the paper's sub-header quantities."""
+        from repro.kernels import KERNEL_STATS
+
+        for name, (nv, ncc, lcp) in KERNEL_STATS.items():
+            s = dfg_stats(load_kernel(name), registry)
+            assert (s.num_operations, s.num_components, s.critical_path) == (
+                nv,
+                ncc,
+                lcp,
+            )
+
+    def test_ewf_is_output_heavy(self, registry):
+        """The kernel class the paper says favours reverse binding:
+        few source operations, many sinks (EWF: one input chain head,
+        five result/state values)."""
+        s = dfg_stats(load_kernel("ewf"), registry)
+        assert s.num_outputs > s.num_inputs

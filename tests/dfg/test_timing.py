@@ -1,0 +1,97 @@
+"""Unit tests for ASAP/ALAP timing analysis."""
+
+import pytest
+
+from repro.dfg.graph import Dfg
+from repro.dfg.ops import ADD, MULT, default_registry
+from repro.dfg.timing import (
+    compute_timing,
+    critical_path,
+    critical_path_length,
+)
+
+
+class TestAsapAlap:
+    def test_chain_levels(self, chain5, registry):
+        t = compute_timing(chain5, registry)
+        for i in range(1, 6):
+            assert t.asap[f"v{i}"] == i - 1
+            assert t.alap[f"v{i}"] == i - 1
+            assert t.mobility(f"v{i}") == 0
+        assert t.critical_path_length == 5
+
+    def test_diamond_mobility(self, diamond, registry):
+        t = compute_timing(diamond, registry)
+        # All four ops are on a length-3 path; v2 and v3 both at level 1.
+        assert t.critical_path_length == 3
+        assert t.mobility("v1") == 0
+        assert t.mobility("v2") == 0
+        assert t.mobility("v3") == 0
+        assert t.mobility("v4") == 0
+
+    def test_side_branch_gets_mobility(self, registry):
+        g = Dfg("t")
+        for name in ("a", "b", "c", "side"):
+            g.add_op(name, ADD)
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("side", "c")
+        t = compute_timing(g, registry)
+        assert t.mobility("side") == 1
+        assert t.asap["side"] == 0
+        assert t.alap["side"] == 1
+
+    def test_stretched_target_latency(self, chain5, registry):
+        t = compute_timing(chain5, registry, target_latency=8)
+        assert t.target_latency == 8
+        for i in range(1, 6):
+            assert t.mobility(f"v{i}") == 3
+
+    def test_target_below_critical_path_rejected(self, chain5, registry):
+        with pytest.raises(ValueError, match="below the critical path"):
+            compute_timing(chain5, registry, target_latency=4)
+
+    def test_asap_respects_latency(self, registry):
+        reg = registry.with_overrides(latencies={MULT: 3})
+        g = Dfg("t")
+        g.add_op("m", MULT)
+        g.add_op("a", ADD)
+        g.add_edge("m", "a")
+        t = compute_timing(g, reg)
+        assert t.asap["a"] == 3
+        assert t.critical_path_length == 4
+
+    def test_time_frame(self, chain5, registry):
+        t = compute_timing(chain5, registry, target_latency=7)
+        assert t.time_frame("v1") == (0, 2)
+
+    def test_empty_graph(self, registry):
+        t = compute_timing(Dfg("empty"), registry)
+        assert t.critical_path_length == 0
+        assert t.target_latency == 0
+
+
+class TestCriticalPath:
+    def test_length_matches_chain(self, chain5, registry):
+        assert critical_path_length(chain5, registry) == 5
+
+    def test_path_is_a_real_chain(self, diamond, registry):
+        path = critical_path(diamond, registry)
+        assert len(path) == 3
+        for u, v in zip(path, path[1:]):
+            assert v in diamond.successors(u)
+
+    def test_all_path_ops_critical(self, chain5, registry):
+        t = compute_timing(chain5, registry)
+        for n in critical_path(chain5, registry):
+            assert t.mobility(n) == 0
+
+    def test_wide_graph_path_length_one(self, wide8, registry):
+        assert critical_path_length(wide8, registry) == 1
+        assert len(critical_path(wide8, registry)) == 1
+
+    def test_kernel_critical_paths(self, registry):
+        from repro.kernels import KERNEL_STATS, load_kernel
+
+        for name, (_, _, lcp) in KERNEL_STATS.items():
+            assert critical_path_length(load_kernel(name), registry) == lcp

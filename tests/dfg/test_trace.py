@@ -1,0 +1,95 @@
+"""Unit tests for the symbolic tracer."""
+
+import pytest
+
+from repro.dfg.ops import ADD, MULT, NEG, SUB
+from repro.dfg.trace import Tracer
+
+
+class TestTracer:
+    def test_inputs_create_no_nodes(self):
+        tr = Tracer("t")
+        a, b = tr.inputs("a", "b")
+        assert len(tr.build()) == 0
+        assert a.node is None
+
+    def test_constants_create_no_nodes(self):
+        tr = Tracer("t")
+        c = tr.const(3.14)
+        assert c.node is None
+        assert "3.14" in c.label
+
+    def test_add_recorded(self):
+        tr = Tracer("t")
+        a, b = tr.inputs("a", "b")
+        c = a + b
+        g = tr.build()
+        assert g.num_operations == 1
+        assert g.operation(c.node).optype is ADD
+
+    def test_operator_types(self):
+        tr = Tracer("t")
+        a, b = tr.inputs("a", "b")
+        results = [a + b, a - b, a * b, -a]
+        g = tr.build()
+        types = [g.operation(r.node).optype for r in results]
+        assert types == [ADD, SUB, MULT, NEG]
+
+    def test_reflected_operators(self):
+        tr = Tracer("t")
+        a = tr.input("a")
+        r1 = 2 + a
+        r2 = 2 - a
+        r3 = 2 * a
+        g = tr.build()
+        assert g.operation(r1.node).optype is ADD
+        assert g.operation(r2.node).optype is SUB
+        assert g.operation(r3.node).optype is MULT
+        # constant operands contribute no edges
+        assert g.in_degree(r1.node) == 0
+
+    def test_dataflow_edges(self):
+        tr = Tracer("t")
+        a, b, c = tr.inputs("a", "b", "c")
+        d = a + b
+        e = d * c
+        g = tr.build()
+        assert g.successors(d.node) == (e.node,)
+
+    def test_shared_subexpression_shares_node(self):
+        tr = Tracer("t")
+        a, b = tr.inputs("a", "b")
+        d = a + b
+        e = d * d  # same Sym used twice: one node, one (collapsed) edge
+        g = tr.build()
+        assert g.num_operations == 2
+        assert g.in_degree(e.node) == 1
+
+    def test_mixing_tracers_rejected(self):
+        tr1, tr2 = Tracer("a"), Tracer("b")
+        x = tr1.input("x")
+        y = tr2.input("y")
+        with pytest.raises(ValueError, match="different tracers"):
+            tr1.op(ADD, x, y)
+
+    def test_build_freezes_tracer(self):
+        tr = Tracer("t")
+        a, b = tr.inputs("a", "b")
+        __ = a + b
+        tr.build()
+        with pytest.raises(RuntimeError, match="already built"):
+            __ = a * b
+
+    def test_outputs_reject_liveins(self):
+        tr = Tracer("t")
+        a = tr.input("a")
+        with pytest.raises(ValueError, match="live-in"):
+            tr.outputs(a)
+
+    def test_node_names_sequential(self):
+        tr = Tracer("t")
+        a, b = tr.inputs("a", "b")
+        r1 = a + b
+        r2 = r1 * b
+        assert r1.node == "v1"
+        assert r2.node == "v2"

@@ -1,0 +1,60 @@
+"""Property-based tests of the symbolic tracer.
+
+Random expression trees over random inputs must always trace to valid,
+acyclic DFGs whose operation count equals the number of arithmetic
+nodes in the expression.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dfg.ops import default_registry
+from repro.dfg.trace import Tracer
+from repro.dfg.validate import validate_dfg
+
+
+def build_expression(tr, inputs, structure, counter):
+    """Interpret ``structure`` (a nested spec) into traced arithmetic.
+
+    ``structure`` is either an int (pick input / constant) or a tuple
+    ``(op, left, right)`` with op in 0..2 (+, -, *).
+    """
+    if isinstance(structure, int):
+        if structure % 3 == 0:
+            return tr.const(float(structure))
+        return inputs[structure % len(inputs)]
+    op, left, right = structure
+    a = build_expression(tr, inputs, left, counter)
+    b = build_expression(tr, inputs, right, counter)
+    # both operands constants would fold in a real frontend, but the
+    # tracer must still record a node with no operand edges.
+    counter[0] += 1
+    if op % 3 == 0:
+        return a + b
+    if op % 3 == 1:
+        return a - b
+    return a * b
+
+
+expression = st.deferred(
+    lambda: st.integers(min_value=1, max_value=20)
+    | st.tuples(st.integers(0, 2), expression, expression)
+)
+
+
+@given(structure=expression, num_inputs=st.integers(min_value=1, max_value=4))
+@settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+def test_traced_expression_is_valid_dfg(structure, num_inputs):
+    tr = Tracer("prop")
+    inputs = [tr.input(f"x{i}") for i in range(num_inputs)]
+    counter = [0]
+    result = build_expression(tr, inputs, structure, counter)
+    g = tr.build()
+    assert g.num_operations == counter[0]
+    validate_dfg(g, default_registry())
+    if counter[0]:
+        assert result.node is not None
+        assert result.node in g

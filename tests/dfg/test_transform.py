@@ -1,0 +1,89 @@
+"""Unit tests for bound-DFG construction (transfer insertion, Figure 1)."""
+
+import pytest
+
+from repro.dfg.graph import Dfg
+from repro.dfg.ops import ADD, MOVE
+from repro.dfg.transform import bind_dfg, transfer_name
+
+
+class TestBindDfg:
+    def test_same_cluster_no_transfers(self, diamond):
+        bound = bind_dfg(diamond, {n: 0 for n in diamond})
+        assert bound.num_transfers == 0
+        assert set(bound.graph.edges()) == set(diamond.edges())
+
+    def test_cut_edge_gets_transfer(self, figure1_dfg):
+        # Figure 1: v2 in cluster A(0), v3 in cluster B(1) -> transfer t1.
+        binding = {"v1": 1, "v2": 0, "v3": 1, "v4": 1}
+        bound = bind_dfg(figure1_dfg, binding)
+        assert bound.num_transfers == 1
+        t = transfer_name("v2", 1)
+        assert t in bound.graph
+        assert bound.graph.predecessors(t) == ("v2",)
+        assert bound.graph.successors(t) == ("v3",)
+        # The direct edge v2 -> v3 is gone.
+        assert "v3" not in bound.graph.successors("v2")
+
+    def test_transfer_placed_in_destination_cluster(self, figure1_dfg):
+        binding = {"v1": 1, "v2": 0, "v3": 1, "v4": 1}
+        bound = bind_dfg(figure1_dfg, binding)
+        t = transfer_name("v2", 1)
+        assert bound.placement[t] == 1
+        assert bound.transfer_sources[t] == ("v2", 0)
+
+    def test_transfer_shared_by_same_cluster_consumers(self, diamond):
+        # v1 in cluster 0; v2, v3, v4 in cluster 1: v1's value is moved
+        # once, not once per consumer.
+        bound = bind_dfg(diamond, {"v1": 0, "v2": 1, "v3": 1, "v4": 1})
+        assert bound.num_transfers == 1
+        t = transfer_name("v1", 1)
+        assert set(bound.graph.successors(t)) == {"v2", "v3"}
+
+    def test_separate_transfers_per_destination(self, diamond):
+        # v1 in 0, v2 in 1, v3 in 2 -> two transfers out of v1.
+        bound = bind_dfg(diamond, {"v1": 0, "v2": 1, "v3": 2, "v4": 0})
+        names = {t.name for t in bound.graph.transfer_operations()}
+        assert transfer_name("v1", 1) in names
+        assert transfer_name("v1", 2) in names
+        # v4 pulls v2's and v3's results back into cluster 0.
+        assert bound.num_transfers == 4
+
+    def test_transfer_count_matches_binding_helper(self, diamond):
+        from repro.core.binding import Binding
+
+        binding = Binding({"v1": 0, "v2": 1, "v3": 2, "v4": 0})
+        bound = bind_dfg(diamond, binding)
+        assert bound.num_transfers == binding.num_required_transfers(diamond)
+
+    def test_transfers_are_move_type(self, figure1_dfg):
+        bound = bind_dfg(figure1_dfg, {"v1": 0, "v2": 0, "v3": 1, "v4": 0})
+        for t in bound.graph.transfer_operations():
+            assert t.optype is MOVE
+            assert t.is_transfer
+
+    def test_rejects_already_bound_graph(self, figure1_dfg):
+        bound = bind_dfg(figure1_dfg, {"v1": 0, "v2": 0, "v3": 1, "v4": 0})
+        with pytest.raises(ValueError, match="already contains"):
+            bind_dfg(bound.graph, {})
+
+    def test_rejects_incomplete_binding(self, diamond):
+        with pytest.raises(ValueError, match="no cluster assignment"):
+            bind_dfg(diamond, {"v1": 0})
+
+    def test_regular_placement_preserved(self, diamond):
+        binding = {"v1": 0, "v2": 1, "v3": 0, "v4": 1}
+        bound = bind_dfg(diamond, binding)
+        for name, cluster in binding.items():
+            assert bound.placement[name] == cluster
+
+    def test_bound_graph_is_acyclic(self, diamond):
+        bound = bind_dfg(diamond, {"v1": 0, "v2": 1, "v3": 1, "v4": 0})
+        bound.graph.topological_order()  # raises on a cycle
+
+    def test_deterministic_transfer_order(self, diamond):
+        b1 = bind_dfg(diamond, {"v1": 0, "v2": 1, "v3": 2, "v4": 0})
+        b2 = bind_dfg(diamond, {"v1": 0, "v2": 1, "v3": 2, "v4": 0})
+        assert [t.name for t in b1.graph.transfer_operations()] == [
+            t.name for t in b2.graph.transfer_operations()
+        ]

@@ -1,0 +1,76 @@
+"""Unit tests for DFG unrolling."""
+
+import pytest
+
+from repro.dfg.ops import default_registry
+from repro.dfg.timing import critical_path_length
+from repro.dfg.unroll import unroll, unroll_chained
+from repro.dfg.validate import validate_dfg
+
+
+class TestUnroll:
+    def test_factor_one_is_copy(self, diamond):
+        u = unroll(diamond, 1)
+        assert u.num_operations == 4
+        assert len(list(u.edges())) == 4
+
+    def test_independent_copies(self, diamond, registry):
+        u = unroll(diamond, 3)
+        assert u.num_operations == 12
+        assert u.num_components == 3
+        validate_dfg(u, registry)
+
+    def test_critical_path_unchanged(self, chain5, registry):
+        u = unroll(chain5, 4)
+        assert critical_path_length(u, registry) == 5
+
+    def test_matches_dct_dit2_construction(self, registry):
+        from repro.kernels import load_kernel
+
+        dit = load_kernel("dct-dit")
+        u = unroll(dit, 2)
+        dit2 = load_kernel("dct-dit-2")
+        assert u.num_operations == dit2.num_operations
+        assert u.num_components == dit2.num_components
+        assert critical_path_length(u, registry) == critical_path_length(
+            dit2, registry
+        )
+
+    def test_rejects_zero(self, diamond):
+        with pytest.raises(ValueError):
+            unroll(diamond, 0)
+
+    def test_name(self, diamond):
+        assert unroll(diamond, 2).name == "diamond-x2"
+        assert unroll(diamond, 2, name="db").name == "db"
+
+
+class TestUnrollChained:
+    def test_carry_connects_iterations(self, chain5, registry):
+        u = unroll_chained(chain5, 3, {"v5": ["v1"]})
+        assert u.num_operations == 15
+        assert u.num_components == 1
+        assert "i1.v1" in u.successors("i0.v5")
+        validate_dfg(u, registry)
+
+    def test_carry_serializes_critical_path(self, chain5, registry):
+        u = unroll_chained(chain5, 3, {"v5": ["v1"]})
+        assert critical_path_length(u, registry) == 15
+
+    def test_unknown_producer_rejected(self, chain5):
+        with pytest.raises(KeyError, match="producer"):
+            unroll_chained(chain5, 2, {"nope": ["v1"]})
+
+    def test_unknown_consumer_rejected(self, chain5):
+        with pytest.raises(KeyError, match="consumer"):
+            unroll_chained(chain5, 2, {"v5": ["nope"]})
+
+    def test_operand_limit_enforced(self, diamond):
+        # v4 already has two operands; a carry into it would be a third.
+        with pytest.raises(ValueError, match="two operands"):
+            unroll_chained(diamond, 2, {"v4": ["v4"]})
+
+    def test_no_carry_equals_unroll(self, diamond):
+        u1 = unroll_chained(diamond, 2, {})
+        assert u1.num_components == 2
+        assert u1.num_operations == 8

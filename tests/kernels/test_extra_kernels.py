@@ -1,0 +1,81 @@
+"""Tests for the extra (non-paper) kernel library."""
+
+import pytest
+
+from repro.core.driver import bind_initial
+from repro.datapath.parse import parse_datapath
+from repro.dfg.ops import MUL, default_registry
+from repro.dfg.timing import critical_path_length
+from repro.dfg.validate import validate_dfg
+from repro.kernels.extra import (
+    EXTRA_KERNELS,
+    build_dot_product,
+    build_fft8,
+    build_fir,
+    build_iir_biquad,
+    build_matmul,
+)
+
+
+class TestStructures:
+    @pytest.mark.parametrize("name", sorted(EXTRA_KERNELS))
+    def test_valid(self, name, registry):
+        validate_dfg(EXTRA_KERNELS[name](), registry)
+
+    def test_fir_is_latency_bound(self, registry):
+        g = build_fir(16)
+        # 16 muls + 15 adds; the accumulate chain (first mul + 15 adds)
+        # is the critical path.
+        assert g.num_operations == 31
+        assert critical_path_length(g, registry) == 16
+
+    def test_fir_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            build_fir(1)
+
+    def test_dot_product_log_depth(self, registry):
+        g = build_dot_product(8)
+        assert g.num_operations == 8 + 7
+        assert critical_path_length(g, registry) == 4  # mul + 3 adds
+
+    def test_dot_product_power_of_two(self):
+        with pytest.raises(ValueError):
+            build_dot_product(6)
+
+    def test_matmul_counts(self, registry):
+        g = build_matmul(3)
+        muls = sum(
+            1
+            for op in g.regular_operations()
+            if registry.futype(op.optype) == MUL
+        )
+        assert muls == 27
+        assert g.num_operations == 27 + 9 * 2  # n^2 * (n-1) adds
+
+    def test_matmul_components_per_output(self):
+        g = build_matmul(2)
+        # each output element's reduction tree is independent
+        assert g.num_components == 4
+
+    def test_biquad_cascade_depth_grows(self, registry):
+        d1 = critical_path_length(build_iir_biquad(1), registry)
+        d3 = critical_path_length(build_iir_biquad(3), registry)
+        assert d3 > d1
+
+    def test_fft8_structure(self, registry):
+        g = build_fft8()
+        # Like DCT-DIF, the first butterfly rank splits the dataflow
+        # into a sum half and a difference half that never share an
+        # operation (inputs are live-ins, not nodes): two components.
+        assert g.num_components == 2
+        assert g.num_operations == 60
+        assert critical_path_length(g, registry) == 6
+
+
+class TestBindability:
+    @pytest.mark.parametrize("name", sorted(EXTRA_KERNELS))
+    def test_binds_on_two_cluster_machine(self, name):
+        g = EXTRA_KERNELS[name]()
+        dp = parse_datapath("|2,1|1,1|", num_buses=2)
+        result = bind_initial(g, dp)
+        assert result.latency >= critical_path_length(g, dp.registry)

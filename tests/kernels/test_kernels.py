@@ -1,0 +1,87 @@
+"""Tests for the benchmark kernels: the paper's table-header stats."""
+
+import pytest
+
+from repro.dfg.ops import ALU, MUL, default_registry
+from repro.dfg.timing import critical_path_length
+from repro.dfg.validate import validate_dfg
+from repro.kernels import KERNEL_STATS, KERNELS, kernel_summary, load_kernel
+
+ALL_KERNELS = sorted(KERNELS)
+
+
+class TestPaperStats:
+    @pytest.mark.parametrize("name", ALL_KERNELS)
+    def test_nv_ncc_lcp_match_paper(self, name):
+        """The sub-header stats of Table 1 (N_V, N_CC, L_CP)."""
+        dfg = load_kernel(name)
+        expected_nv, expected_ncc, expected_lcp = KERNEL_STATS[name]
+        assert dfg.num_operations == expected_nv
+        assert dfg.num_components == expected_ncc
+        assert critical_path_length(dfg, default_registry()) == expected_lcp
+
+    @pytest.mark.parametrize("name", ALL_KERNELS)
+    def test_structurally_valid(self, name):
+        validate_dfg(load_kernel(name), default_registry())
+
+    @pytest.mark.parametrize("name", ALL_KERNELS)
+    def test_deterministic_construction(self, name):
+        g1, g2 = load_kernel(name), load_kernel(name)
+        assert list(g1) == list(g2)
+        assert set(g1.edges()) == set(g2.edges())
+
+    def test_ewf_operation_mix(self):
+        """The classic EWF mix: 26 additive ops, 8 multiplications."""
+        info = kernel_summary("ewf")
+        assert info.num_alu_ops == 26
+        assert info.num_mul_ops == 8
+
+    def test_arf_operation_mix(self):
+        """The classic ARF mix: 12 additive ops, 16 multiplications."""
+        info = kernel_summary("arf")
+        assert info.num_alu_ops == 12
+        assert info.num_mul_ops == 16
+
+    def test_dct_dit2_is_two_copies(self):
+        dit = load_kernel("dct-dit")
+        dit2 = load_kernel("dct-dit-2")
+        assert dit2.num_operations == 2 * dit.num_operations
+        comps = dit2.connected_components()
+        assert sorted(len(c) for c in comps) == [48, 48]
+
+    def test_dif_components_are_even_and_odd_halves(self):
+        dif = load_kernel("dct-dif")
+        sizes = sorted(len(c) for c in dif.connected_components())
+        assert sum(sizes) == 41
+        assert len(sizes) == 2
+
+
+class TestRegistry:
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            load_kernel("mpeg")
+
+    def test_case_insensitive(self):
+        assert load_kernel("EWF").num_operations == 34
+
+    def test_summary_fields(self):
+        info = kernel_summary("fft")
+        assert info.name == "fft"
+        assert info.num_operations == info.num_alu_ops + info.num_mul_ops
+
+
+class TestBindability:
+    @pytest.mark.parametrize("name", ALL_KERNELS)
+    def test_bindable_on_every_table1_datapath(self, name):
+        from repro.datapath.library import table1_datapaths
+
+        dfg = load_kernel(name)
+        for dp in table1_datapaths(name):
+            dp.check_bindable(dfg)
+
+    @pytest.mark.parametrize("name", ALL_KERNELS)
+    def test_max_two_operands(self, name):
+        """The paper's FUs read at most two operands."""
+        dfg = load_kernel(name)
+        for op in dfg.operations():
+            assert dfg.in_degree(op.name) <= 2

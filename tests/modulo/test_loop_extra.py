@@ -1,0 +1,88 @@
+"""Additional coverage for loop analysis: multiple recurrences, deep
+distances, and bound-loop interactions."""
+
+import pytest
+
+from repro.core.binding import Binding
+from repro.datapath.parse import parse_datapath
+from repro.dfg.graph import Dfg
+from repro.dfg.ops import ADD, MULT
+from repro.modulo import (
+    CarriedEdge,
+    LoopDfg,
+    bind_loop,
+    modulo_bind,
+    rec_mii,
+)
+
+
+def loop_with_two_recurrences():
+    """Two independent cycles with different latency/distance ratios."""
+    body = Dfg("two-rec")
+    for n in ("a1", "a2", "b1", "b2", "b3"):
+        body.add_op(n, ADD)
+    body.add_edge("a1", "a2")
+    body.add_edge("b1", "b2")
+    body.add_edge("b2", "b3")
+    return LoopDfg(
+        body,
+        [
+            CarriedEdge("a2", "a1", 1),  # cycle of latency 2, distance 1
+            CarriedEdge("b3", "b1", 2),  # cycle of latency 3, distance 2
+        ],
+    )
+
+
+class TestMultipleRecurrences:
+    def test_rec_mii_takes_worst_cycle(self, two_cluster):
+        loop = loop_with_two_recurrences()
+        # cycle A: ceil(2/1) = 2; cycle B: ceil(3/2) = 2 -> RecMII = 2
+        assert rec_mii(loop, two_cluster) == 2
+
+    def test_recurrence_sets_found(self):
+        loop = loop_with_two_recurrences()
+        sccs = loop.recurrence_sets()
+        assert ["a1", "a2"] in sccs
+        assert ["b1", "b2", "b3"] in sccs
+
+    def test_schedulable_at_mii(self, two_cluster):
+        loop = loop_with_two_recurrences()
+        # ResMII dominates here: 5 ALU ops over 2 ALUs -> 3.
+        result = modulo_bind(loop, two_cluster)
+        assert result.ii == 3
+        assert result.is_throughput_optimal
+        result.schedule.validate()
+
+
+class TestDeepDistances:
+    def test_large_distance_relaxes_bound(self, two_cluster):
+        body = Dfg("deep")
+        for n in ("x", "y", "z", "w"):
+            body.add_op(n, ADD)
+        body.add_edge("x", "y")
+        body.add_edge("y", "z")
+        body.add_edge("z", "w")
+        tight = LoopDfg(body, [CarriedEdge("w", "x", 1)])
+        loose = LoopDfg(body, [CarriedEdge("w", "x", 4)])
+        assert rec_mii(tight, two_cluster) == 4
+        assert rec_mii(loose, two_cluster) == 1
+
+
+class TestBoundLoopEdges:
+    def test_all_edges_accounted(self, two_cluster):
+        loop = loop_with_two_recurrences()
+        binding = Binding({n: 0 for n in loop.body})
+        bound = bind_loop(loop, binding)
+        # no cuts: edge count = body edges + carried edges
+        assert len(bound.edges) == loop.body.num_edges + len(loop.carried)
+
+    def test_cut_carried_adds_two_edges(self, two_cluster):
+        body = Dfg("c")
+        body.add_op("p", ADD)
+        body.add_op("q", ADD)
+        loop = LoopDfg(body, [CarriedEdge("p", "q", 1)])
+        bound = bind_loop(loop, Binding({"p": 0, "q": 1}))
+        # p -(0)-> t and t -(1)-> q
+        omegas = sorted(om for _, _, om in bound.edges)
+        assert omegas == [0, 1]
+        assert bound.num_transfers == 1

@@ -1,0 +1,212 @@
+"""Tests for the software-pipelining subpackage."""
+
+import pytest
+
+from repro.core.binding import Binding
+from repro.datapath.parse import parse_datapath
+from repro.dfg.graph import Dfg
+from repro.dfg.ops import ADD, MULT
+from repro.kernels import load_kernel
+from repro.modulo import (
+    CarriedEdge,
+    LoopDfg,
+    bind_loop,
+    mii,
+    modulo_bind,
+    modulo_schedule,
+    rec_mii,
+    res_mii,
+)
+
+
+@pytest.fixture
+def mac_loop():
+    """acc += x * c — a 1-cycle recurrence through the accumulator."""
+    body = Dfg("mac")
+    body.add_op("m", MULT)
+    body.add_op("acc", ADD)
+    body.add_edge("m", "acc")
+    return LoopDfg(body, [CarriedEdge("acc", "acc", 1)])
+
+
+@pytest.fixture
+def deep_recurrence_loop():
+    """A 3-op recurrence at distance 1: RecMII = 3."""
+    body = Dfg("rec3")
+    for n in ("a", "b", "c"):
+        body.add_op(n, ADD)
+    body.add_edge("a", "b")
+    body.add_edge("b", "c")
+    return LoopDfg(body, [CarriedEdge("c", "a", 1)])
+
+
+class TestLoopDfg:
+    def test_rejects_bound_body(self, figure1_dfg):
+        from repro.dfg.transform import bind_dfg
+
+        bound = bind_dfg(
+            figure1_dfg, {"v1": 0, "v2": 0, "v3": 1, "v4": 1}
+        )
+        with pytest.raises(ValueError, match="original"):
+            LoopDfg(bound.graph)
+
+    def test_rejects_unknown_endpoints(self, chain5):
+        with pytest.raises(KeyError):
+            LoopDfg(chain5, [CarriedEdge("v5", "ghost", 1)])
+
+    def test_carried_edge_needs_positive_omega(self):
+        with pytest.raises(ValueError, match="omega"):
+            CarriedEdge("a", "b", 0)
+
+    def test_recurrence_sets(self, deep_recurrence_loop):
+        sccs = deep_recurrence_loop.recurrence_sets()
+        assert sccs == [["a", "b", "c"]]
+
+    def test_self_loop_recurrence(self, mac_loop):
+        sccs = mac_loop.recurrence_sets()
+        assert ["acc"] in sccs
+
+    def test_no_recurrences(self, chain5):
+        assert LoopDfg(chain5).recurrence_sets() == []
+
+
+class TestMii:
+    def test_res_mii_most_loaded_type(self, two_cluster):
+        # EWF: 26 ALU ops over 2 ALUs -> 13.
+        loop = LoopDfg(load_kernel("ewf"))
+        assert res_mii(loop, two_cluster) == 13
+
+    def test_rec_mii_no_carries_is_one(self, chain5, two_cluster):
+        assert rec_mii(LoopDfg(chain5), two_cluster) == 1
+
+    def test_rec_mii_simple_recurrence(self, deep_recurrence_loop, two_cluster):
+        # cycle latency 3 over distance 1
+        assert rec_mii(deep_recurrence_loop, two_cluster) == 3
+
+    def test_rec_mii_scales_with_distance(self, two_cluster):
+        body = Dfg("rec")
+        for n in ("a", "b", "c"):
+            body.add_op(n, ADD)
+        body.add_edge("a", "b")
+        body.add_edge("b", "c")
+        loop = LoopDfg(body, [CarriedEdge("c", "a", 3)])
+        assert rec_mii(loop, two_cluster) == 1  # ceil(3/3)
+
+    def test_combined(self, two_cluster):
+        loop = LoopDfg(load_kernel("ewf"))
+        assert mii(loop, two_cluster) == 13
+
+
+class TestBindLoop:
+    def test_cut_carried_edge_gets_transfer(self, mac_loop, two_cluster):
+        binding = Binding({"m": 0, "acc": 1})
+        bound = bind_loop(mac_loop, binding)
+        assert bound.num_transfers >= 1
+        # the carried self-edge of acc stays in-cluster: omega preserved
+        omegas = [om for _, _, om in bound.edges]
+        assert 1 in omegas
+
+    def test_transfer_shared_between_body_and_carried(self, two_cluster):
+        # u feeds v in-iteration AND w at distance 1, both in cluster 1:
+        # a single transfer should serve both.
+        body = Dfg("share")
+        for n in ("u", "v", "w"):
+            body.add_op(n, ADD)
+        body.add_edge("u", "v")
+        loop = LoopDfg(body, [CarriedEdge("u", "w", 1)])
+        bound = bind_loop(loop, Binding({"u": 0, "v": 1, "w": 1}))
+        assert bound.num_transfers == 1
+
+    def test_no_cut_no_transfers(self, mac_loop):
+        bound = bind_loop(mac_loop, Binding({"m": 0, "acc": 0}))
+        assert bound.num_transfers == 0
+
+
+class TestModuloSchedule:
+    def test_mac_achieves_ii_one(self, mac_loop, two_cluster):
+        schedule = modulo_schedule(
+            mac_loop, two_cluster, Binding({"m": 0, "acc": 0}), ii=1
+        )
+        assert schedule is not None
+        schedule.validate()
+
+    def test_infeasible_ii_returns_none(self, two_cluster):
+        # 4 adds on 1 ALU per cluster, all in cluster 0: II=1 impossible.
+        body = Dfg("wide")
+        for i in range(4):
+            body.add_op(f"a{i}", ADD)
+        loop = LoopDfg(body)
+        result = modulo_schedule(
+            loop, two_cluster, Binding({f"a{i}": 0 for i in range(4)}), ii=1
+        )
+        assert result is None
+
+    def test_validate_catches_violations(self, mac_loop, two_cluster):
+        schedule = modulo_schedule(
+            mac_loop, two_cluster, Binding({"m": 0, "acc": 0}), ii=2
+        )
+        assert schedule is not None
+        from dataclasses import replace
+
+        broken = replace(
+            schedule, start={**schedule.start, "acc": 0, "m": 0}
+        )
+        with pytest.raises(ValueError, match="dependence|MRT"):
+            broken.validate()
+
+    def test_rejects_bad_ii(self, mac_loop, two_cluster):
+        with pytest.raises(ValueError):
+            modulo_schedule(
+                mac_loop, two_cluster, Binding({"m": 0, "acc": 0}), ii=0
+            )
+
+    def test_empty_loop(self, two_cluster):
+        schedule = modulo_schedule(
+            LoopDfg(Dfg("empty")), two_cluster, Binding({}), ii=1
+        )
+        assert schedule is not None
+        assert schedule.schedule_length == 0
+
+
+class TestModuloBind:
+    def test_mac_is_throughput_optimal(self, mac_loop, two_cluster):
+        result = modulo_bind(mac_loop, two_cluster)
+        assert result.ii == result.mii
+        assert result.is_throughput_optimal
+
+    def test_recurrence_bound_respected(
+        self, deep_recurrence_loop, two_cluster
+    ):
+        result = modulo_bind(deep_recurrence_loop, two_cluster)
+        assert result.ii >= 3
+        result.schedule.validate()
+
+    def test_ewf_loop_hits_res_mii(self, two_cluster):
+        loop = LoopDfg(load_kernel("ewf"))
+        result = modulo_bind(loop, two_cluster)
+        assert result.ii == 13  # 26 ALU ops / 2 ALUs
+        assert result.is_throughput_optimal
+
+    def test_ii_never_below_mii(self, two_cluster):
+        loop = LoopDfg(load_kernel("arf"))
+        result = modulo_bind(loop, two_cluster)
+        assert result.ii >= result.mii
+        result.schedule.validate()
+
+    def test_max_ii_exhaustion_raises(self, two_cluster):
+        body = Dfg("wide")
+        for i in range(8):
+            body.add_op(f"a{i}", ADD)
+        with pytest.raises(RuntimeError, match="no schedule"):
+            modulo_bind(LoopDfg(body), two_cluster, max_ii=1)
+
+    def test_more_fus_lower_ii(self):
+        loop = LoopDfg(load_kernel("fft"))
+        small = modulo_bind(loop, parse_datapath("|1,1|1,1|", num_buses=2))
+        big = modulo_bind(loop, parse_datapath("|3,2|3,2|", num_buses=2))
+        assert big.ii <= small.ii
+
+    def test_schedule_length_and_stages(self, mac_loop, two_cluster):
+        result = modulo_bind(mac_loop, two_cluster)
+        assert result.schedule.schedule_length >= 2
+        assert result.schedule.num_stages >= 1

@@ -1,0 +1,57 @@
+"""Unit tests for latency lower bounds."""
+
+import pytest
+
+from repro.core.driver import bind
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import chain_dfg, random_layered_dfg
+from repro.dfg.graph import Dfg
+from repro.dfg.ops import ALU, MUL, MULT, default_registry
+from repro.schedule.bounds import latency_bounds, latency_lower_bound
+
+
+class TestBounds:
+    def test_chain_bound_is_critical_path(self, chain5, two_cluster):
+        b = latency_bounds(chain5, two_cluster)
+        assert b.critical_path == 5
+        assert b.resource <= 5
+        assert b.combined == 5
+
+    def test_wide_graph_bound_is_resource(self, wide8):
+        dp = parse_datapath("|1,1|", num_buses=1)
+        b = latency_bounds(wide8, dp)
+        assert b.critical_path == 1
+        assert b.resource == 8
+        assert b.combined == 8
+        assert b.per_type[ALU] == 8
+
+    def test_unpipelined_resources_raise_bound(self):
+        g = Dfg("m")
+        for i in range(4):
+            g.add_op(f"m{i}", MULT)
+        reg = default_registry().with_overrides(
+            latencies={MULT: 2}, diis={MULT: 2}
+        )
+        dp = parse_datapath("|1,1|", num_buses=1, registry=reg)
+        b = latency_bounds(g, dp)
+        assert b.per_type[MUL] == 8  # 4 ops x dii 2 on one unit
+
+    def test_missing_fu_type_raises(self, diamond):
+        dp = parse_datapath("|2,0|", num_buses=1)
+        with pytest.raises(ValueError, match="no MUL"):
+            latency_bounds(diamond, dp)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bound_never_exceeds_achieved_latency(self, seed, two_cluster):
+        g = random_layered_dfg(25, seed=seed)
+        lb = latency_lower_bound(g, two_cluster)
+        result = bind(g, two_cluster, iter_starts=1)
+        assert lb <= result.latency
+
+    def test_kernel_bounds_hold(self, two_cluster):
+        from repro.kernels import KERNELS, load_kernel
+
+        for name in KERNELS:
+            dfg = load_kernel(name)
+            lb = latency_lower_bound(dfg, two_cluster)
+            assert lb >= 1

@@ -1,0 +1,41 @@
+"""Unit tests for the ASCII Gantt renderer."""
+
+from repro.datapath.parse import parse_datapath
+from repro.dfg.transform import bind_dfg
+from repro.schedule.gantt import render_gantt
+from repro.schedule.list_scheduler import list_schedule
+
+
+class TestGantt:
+    def test_contains_all_resources(self, diamond, two_cluster):
+        s = list_schedule(
+            bind_dfg(diamond, {n: 0 for n in diamond}), two_cluster
+        )
+        chart = render_gantt(s)
+        assert "c0.ALU.0" in chart
+        assert "c1.MUL.0" in chart
+        assert "bus.0" in chart
+        assert "bus.1" in chart
+
+    def test_footer_reports_metrics(self, diamond, two_cluster):
+        s = list_schedule(
+            bind_dfg(diamond, {"v1": 0, "v2": 0, "v3": 1, "v4": 0}),
+            two_cluster,
+        )
+        chart = render_gantt(s)
+        assert f"L = {s.latency}" in chart
+        assert f"M = {s.num_transfers}" in chart
+
+    def test_ops_appear_once_per_busy_cycle(self, chain5, two_cluster):
+        s = list_schedule(bind_dfg(chain5, {n: 0 for n in chain5}), two_cluster)
+        chart = render_gantt(s)
+        for n in chain5:
+            assert n in chart
+
+    def test_long_names_truncated(self, figure1_dfg, two_cluster):
+        s = list_schedule(
+            bind_dfg(figure1_dfg, {"v1": 0, "v2": 0, "v3": 1, "v4": 1}),
+            two_cluster,
+        )
+        chart = render_gantt(s, max_name_len=5)
+        assert "~" in chart  # transfer name t.v1.c1 gets truncated

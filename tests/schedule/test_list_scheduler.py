@@ -1,0 +1,156 @@
+"""Unit tests for the resource-constrained list scheduler."""
+
+import pytest
+
+from repro.core.binding import Binding
+from repro.datapath.parse import parse_datapath
+from repro.dfg.graph import Dfg
+from repro.dfg.ops import ADD, MULT, default_registry
+from repro.dfg.transform import bind_dfg
+from repro.schedule.list_scheduler import ResourcePool, list_schedule
+from repro.schedule.schedule import validate_schedule
+
+
+def schedule_of(dfg, binding, spec="|1,1|1,1|", num_buses=2, move_latency=1):
+    dp = parse_datapath(spec, num_buses=num_buses, move_latency=move_latency)
+    s = list_schedule(bind_dfg(dfg, binding), dp)
+    validate_schedule(s)
+    return s
+
+
+class TestResourcePool:
+    def test_hands_out_lowest_free_instance(self):
+        pool = ResourcePool(2)
+        assert pool.issue(0, dii=1) == 0
+        assert pool.issue(0, dii=1) == 1
+        assert pool.available_at(0) is None
+
+    def test_dii_spacing(self):
+        pool = ResourcePool(1)
+        pool.issue(0, dii=3)
+        assert pool.available_at(1) is None
+        assert pool.available_at(2) is None
+        assert pool.available_at(3) == 0
+
+    def test_issue_when_full_raises(self):
+        pool = ResourcePool(1)
+        pool.issue(0, dii=2)
+        with pytest.raises(RuntimeError):
+            pool.issue(1, dii=1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ResourcePool(-1)
+
+
+class TestBasicScheduling:
+    def test_chain_takes_length_cycles(self, chain5):
+        s = schedule_of(chain5, {n: 0 for n in chain5})
+        assert s.latency == 5
+
+    def test_wide_graph_limited_by_fu_count(self, wide8):
+        # 8 independent adds, 1 ALU per cluster, all in cluster 0.
+        s = schedule_of(wide8, {n: 0 for n in wide8})
+        assert s.latency == 8
+
+    def test_wide_graph_split_across_clusters(self, wide8):
+        binding = {f"v{i}": (i - 1) % 2 for i in range(1, 9)}
+        s = schedule_of(wide8, binding)
+        assert s.latency == 4  # no data flows, no transfers
+        assert s.num_transfers == 0
+
+    def test_transfer_adds_latency(self, chain5):
+        # Split the chain mid-way: one transfer, one extra cycle.
+        binding = {"v1": 0, "v2": 0, "v3": 1, "v4": 1, "v5": 1}
+        s = schedule_of(chain5, binding)
+        assert s.num_transfers == 1
+        assert s.latency == 6
+
+    def test_latency_equals_max_finish(self, diamond):
+        s = schedule_of(diamond, {n: 0 for n in diamond})
+        assert s.latency == max(s.finish(n) for n in diamond)
+
+
+class TestBusContention:
+    def test_single_bus_serializes_transfers(self, wide8):
+        # v1..v4 produce in cluster 0; v5..v8 consume in cluster 1.
+        g = Dfg("x")
+        for i in range(1, 5):
+            g.add_op(f"p{i}", ADD)
+        for i in range(1, 5):
+            g.add_op(f"c{i}", ADD)
+            g.add_edge(f"p{i}", f"c{i}")
+        binding = {f"p{i}": 0 for i in range(1, 5)}
+        binding.update({f"c{i}": 1 for i in range(1, 5)})
+
+        dp1 = parse_datapath("|4,1|4,1|", num_buses=1)
+        dp4 = parse_datapath("|4,1|4,1|", num_buses=4)
+        s1 = list_schedule(bind_dfg(g, binding), dp1)
+        s4 = list_schedule(bind_dfg(g, binding), dp4)
+        validate_schedule(s1)
+        validate_schedule(s4)
+        # 4 transfers on one bus serialize; on four buses they don't.
+        assert s4.latency == 3
+        assert s1.latency == 6
+
+    def test_move_latency_two(self, chain5):
+        binding = {"v1": 0, "v2": 0, "v3": 1, "v4": 1, "v5": 1}
+        s = schedule_of(chain5, binding, move_latency=2)
+        assert s.latency == 7
+
+
+class TestDiiPipelining:
+    def test_unpipelined_multiplier_blocks(self):
+        g = Dfg("m")
+        g.add_op("m1", MULT)
+        g.add_op("m2", MULT)
+        reg = default_registry().with_overrides(
+            latencies={MULT: 2}, diis={MULT: 2}
+        )
+        dp = parse_datapath("|1,1|", num_buses=1, registry=reg)
+        s = list_schedule(bind_dfg(g, {"m1": 0, "m2": 0}), dp)
+        validate_schedule(s)
+        assert s.latency == 4  # back-to-back blocked by dii=2
+
+    def test_pipelined_multiplier_overlaps(self):
+        g = Dfg("m")
+        g.add_op("m1", MULT)
+        g.add_op("m2", MULT)
+        reg = default_registry().with_overrides(latencies={MULT: 2})
+        dp = parse_datapath("|1,1|", num_buses=1, registry=reg)
+        s = list_schedule(bind_dfg(g, {"m1": 0, "m2": 0}), dp)
+        validate_schedule(s)
+        assert s.latency == 3  # issue at 0 and 1, finish at 2 and 3
+
+
+class TestPriorityEffects:
+    def test_critical_ops_go_first(self):
+        # One long chain and one independent op compete for one ALU;
+        # the chain head must win the first slot.
+        g = Dfg("p")
+        g.add_op("a", ADD)
+        g.add_op("b", ADD)
+        g.add_op("c", ADD)
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_op("loose", ADD)
+        dp = parse_datapath("|1,1|", num_buses=1)
+        s = list_schedule(bind_dfg(g, {n: 0 for n in g}), dp)
+        validate_schedule(s)
+        assert s.start["a"] == 0
+        assert s.latency == 4
+
+    def test_empty_graph(self):
+        dp = parse_datapath("|1,1|")
+        s = list_schedule(bind_dfg(Dfg("e"), {}), dp)
+        assert s.latency == 0
+
+
+class TestSafetyRails:
+    def test_unbindable_placement_raises(self):
+        g = Dfg("bad")
+        g.add_op("m", MULT)
+        dp = parse_datapath("|1,1|1,0|", num_buses=1)
+        bound = bind_dfg(g, {"m": 1})  # cluster 1 has no multiplier
+        with pytest.raises(RuntimeError, match="no\\s+MUL"):
+            list_schedule(bound, dp)

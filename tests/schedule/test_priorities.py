@@ -1,0 +1,44 @@
+"""Unit tests for list-scheduling priorities."""
+
+from repro.dfg.graph import Dfg
+from repro.dfg.ops import ADD
+from repro.schedule.priorities import alap_priority, asap_priority
+
+
+class TestAlapPriority:
+    def test_urgent_before_mobile(self, registry):
+        g = Dfg("p")
+        g.add_op("a", ADD)
+        g.add_op("b", ADD)
+        g.add_op("c", ADD)
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_op("loose", ADD)
+        keys = alap_priority(g, registry)
+        assert keys["a"] < keys["loose"]
+
+    def test_total_order(self, diamond, registry):
+        keys = alap_priority(diamond, registry)
+        assert len({keys[n] for n in diamond}) == len(diamond)
+
+    def test_consumer_count_breaks_ties(self, registry):
+        g = Dfg("p")
+        g.add_op("fan", ADD)
+        g.add_op("solo", ADD)
+        for i in range(2):
+            g.add_op(f"c{i}", ADD)
+            g.add_edge("fan", f"c{i}")
+        g.add_op("c9", ADD)
+        g.add_edge("solo", "c9")
+        keys = alap_priority(g, registry)
+        assert keys["fan"] < keys["solo"]
+
+
+class TestAsapPriority:
+    def test_late_ops_first(self, chain5, registry):
+        keys = asap_priority(chain5, registry)
+        assert keys["v5"] < keys["v1"]
+
+    def test_total_order(self, diamond, registry):
+        keys = asap_priority(diamond, registry)
+        assert len({keys[n] for n in diamond}) == len(diamond)

@@ -1,0 +1,124 @@
+"""Unit tests for the Schedule object and its validity checker."""
+
+import pytest
+
+from repro.datapath.parse import parse_datapath
+from repro.dfg.ops import ALU, BUS
+from repro.dfg.transform import bind_dfg
+from repro.schedule.list_scheduler import list_schedule
+from repro.schedule.schedule import Schedule, ScheduleError, validate_schedule
+
+
+@pytest.fixture
+def valid_schedule(diamond, two_cluster):
+    bound = bind_dfg(diamond, {"v1": 0, "v2": 0, "v3": 1, "v4": 0})
+    return list_schedule(bound, two_cluster)
+
+
+def rebuild(schedule, **overrides):
+    fields = dict(
+        bound=schedule.bound,
+        datapath=schedule.datapath,
+        start=dict(schedule.start),
+        instance=dict(schedule.instance),
+        latency=schedule.latency,
+    )
+    fields.update(overrides)
+    return Schedule(**fields)
+
+
+class TestScheduleObject:
+    def test_finish(self, valid_schedule):
+        assert valid_schedule.finish("v1") == valid_schedule.start["v1"] + 1
+
+    def test_completion_profile_counts_regular_only(self, valid_schedule):
+        profile = valid_schedule.completion_profile()
+        assert sum(profile) == 4  # transfers excluded
+        assert len(profile) == valid_schedule.latency
+
+    def test_ops_at_cycle(self, valid_schedule):
+        busy = valid_schedule.ops_at_cycle(0)
+        assert "v1" in busy
+
+    def test_repr(self, valid_schedule):
+        assert "L=" in repr(valid_schedule)
+
+
+class TestValidateSchedule:
+    def test_accepts_scheduler_output(self, valid_schedule):
+        validate_schedule(valid_schedule)
+
+    def test_detects_missing_op(self, valid_schedule):
+        start = dict(valid_schedule.start)
+        start.pop("v4")
+        broken = rebuild(valid_schedule, start=start)
+        with pytest.raises(ScheduleError, match="missing"):
+            validate_schedule(broken)
+
+    def test_detects_precedence_violation(self, valid_schedule):
+        start = dict(valid_schedule.start)
+        start["v4"] = 0
+        broken = rebuild(valid_schedule, start=start)
+        with pytest.raises(ScheduleError, match="precedence"):
+            validate_schedule(broken)
+
+    def test_detects_wrong_cluster(self, valid_schedule):
+        instance = dict(valid_schedule.instance)
+        cluster, futype, unit = instance["v1"]
+        wrong = 1 - valid_schedule.bound.placement["v1"]
+        instance["v1"] = (wrong, futype, unit)
+        broken = rebuild(valid_schedule, instance=instance)
+        with pytest.raises(ScheduleError, match="bound to"):
+            validate_schedule(broken)
+
+    def test_detects_wrong_futype(self, valid_schedule):
+        instance = dict(valid_schedule.instance)
+        cluster, _, unit = instance["v3"]  # v3 is a multiply
+        instance["v3"] = (cluster, ALU, unit)
+        broken = rebuild(valid_schedule, instance=instance)
+        with pytest.raises(ScheduleError, match="needs"):
+            validate_schedule(broken)
+
+    def test_detects_unit_overflow(self, valid_schedule):
+        instance = dict(valid_schedule.instance)
+        cluster, futype, _ = instance["v1"]
+        instance["v1"] = (cluster, futype, 99)
+        broken = rebuild(valid_schedule, instance=instance)
+        with pytest.raises(ScheduleError):
+            validate_schedule(broken)
+
+    def test_detects_dii_conflict(self, diamond, two_cluster):
+        bound = bind_dfg(diamond, {n: 0 for n in diamond})
+        s = list_schedule(bound, two_cluster)
+        # Force v2 onto v1's unit in the same cycle.
+        start = dict(s.start)
+        instance = dict(s.instance)
+        start["v2"] = start["v1"]
+        instance["v2"] = instance["v1"]
+        broken = rebuild(s, start=start, instance=instance)
+        with pytest.raises(ScheduleError):
+            validate_schedule(broken)
+
+    def test_detects_wrong_latency(self, valid_schedule):
+        broken = rebuild(valid_schedule, latency=valid_schedule.latency + 3)
+        with pytest.raises(ScheduleError, match="recorded latency"):
+            validate_schedule(broken)
+
+    def test_detects_transfer_off_bus(self, valid_schedule):
+        transfers = valid_schedule.bound.graph.transfer_operations()
+        assert transfers, "fixture should produce a transfer"
+        name = transfers[0].name
+        instance = dict(valid_schedule.instance)
+        instance[name] = (0, ALU, 0)
+        broken = rebuild(valid_schedule, instance=instance)
+        with pytest.raises(ScheduleError):
+            validate_schedule(broken)
+
+    def test_detects_bus_slot_overflow(self, valid_schedule):
+        transfers = valid_schedule.bound.graph.transfer_operations()
+        name = transfers[0].name
+        instance = dict(valid_schedule.instance)
+        instance[name] = (-1, BUS, 7)
+        broken = rebuild(valid_schedule, instance=instance)
+        with pytest.raises(ScheduleError, match="bus slot"):
+            validate_schedule(broken)

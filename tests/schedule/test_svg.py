@@ -1,0 +1,55 @@
+"""Unit tests for the SVG schedule renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.dfg.transform import bind_dfg
+from repro.schedule.list_scheduler import list_schedule
+from repro.schedule.svg import render_svg, save_svg
+
+
+@pytest.fixture
+def schedule(diamond, two_cluster):
+    bound = bind_dfg(diamond, {"v1": 0, "v2": 0, "v3": 1, "v4": 0})
+    return list_schedule(bound, two_cluster)
+
+
+class TestSvg:
+    def test_is_well_formed_xml(self, schedule):
+        ET.fromstring(render_svg(schedule))
+
+    def test_one_rect_per_operation(self, schedule):
+        root = ET.fromstring(render_svg(schedule))
+        ns = "{http://www.w3.org/2000/svg}"
+        rects = root.findall(f"{ns}rect")
+        assert len(rects) == len(schedule.bound.graph)
+
+    def test_resource_labels_present(self, schedule):
+        svg = render_svg(schedule)
+        assert "c0.ALU.0" in svg
+        assert "bus.0" in svg
+
+    def test_footer_metrics(self, schedule):
+        svg = render_svg(schedule)
+        assert f"L = {schedule.latency}" in svg
+
+    def test_title_escaped(self, schedule):
+        svg = render_svg(schedule, title="a < b & c")
+        assert "a &lt; b &amp; c" in svg
+        ET.fromstring(svg)
+
+    def test_save(self, schedule, tmp_path):
+        path = tmp_path / "sched.svg"
+        save_svg(schedule, path, title="demo")
+        assert path.exists()
+        ET.fromstring(path.read_text())
+
+    def test_kernel_scale(self, two_cluster):
+        from repro.core.driver import bind_initial
+        from repro.kernels import load_kernel
+
+        dfg = load_kernel("ewf")
+        result = bind_initial(dfg, two_cluster)
+        schedule = list_schedule(bind_dfg(dfg, result.binding), two_cluster)
+        ET.fromstring(render_svg(schedule, title="EWF"))

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bind_defaults(self):
+        args = build_parser().parse_args(["bind", "ewf"])
+        assert args.datapath == "|1,1|1,1|"
+        assert args.buses == 2
+        assert args.algorithm == "b-iter"
+
+
+class TestCommands:
+    def test_kernels_listing(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        for kernel in ("ewf", "arf", "fft", "dct-dif"):
+            assert kernel in out
+
+    def test_bind_kernel(self, capsys):
+        rc = main(["bind", "arf", "-d", "|1,1|1,1|", "-a", "b-init"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "L = " in out
+        assert "cluster 0" in out
+
+    def test_bind_with_pcc(self, capsys):
+        assert main(["bind", "arf", "-a", "pcc"]) == 0
+        assert "via pcc" in capsys.readouterr().out
+
+    def test_bind_with_gantt(self, capsys):
+        assert main(["bind", "arf", "-a", "b-init", "--gantt"]) == 0
+        assert "c0.ALU.0" in capsys.readouterr().out
+
+    def test_bind_dot_output(self, tmp_path, capsys):
+        dot = tmp_path / "out.dot"
+        rc = main(["bind", "arf", "-a", "b-init", "--dot", str(dot)])
+        assert rc == 0
+        assert dot.exists()
+        assert "digraph" in dot.read_text()
+
+    def test_bind_json_dfg_file(self, tmp_path, capsys, diamond):
+        from repro.dfg.serialize import save_dfg
+
+        path = tmp_path / "g.json"
+        save_dfg(diamond, path)
+        assert main(["bind", str(path), "-a", "b-init"]) == 0
+
+    def test_table2_no_iter(self, capsys):
+        assert main(["table2", "--no-iter"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert out.count("N_B=") >= 4
+
+    def test_table1_single_kernel_no_iter(self, capsys):
+        assert main(["table1", "--kernel", "arf", "--no-iter"]) == 0
+        assert "ARF" in capsys.readouterr().out
+
+    def test_move_latency_flag(self, capsys):
+        assert main(
+            ["bind", "arf", "-a", "b-init", "--move-latency", "2"]
+        ) == 0
+        assert "lat(move)=2" in capsys.readouterr().out
+
+    def test_pressure_command(self, capsys):
+        assert main(["pressure", "arf", "-d", "|1,1|1,1|"]) == 0
+        out = capsys.readouterr().out
+        assert "peak pressure" in out
+        assert "centralized" in out
+
+    def test_dse_command(self, capsys):
+        rc = main(["dse", "arf", "--max-clusters", "1", "--max-fus", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Pareto-optimal" in out
+
+    def test_table2_export(self, tmp_path, capsys):
+        out_file = tmp_path / "t2.csv"
+        assert main(["table2", "--no-iter", "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "kernel" in out_file.read_text()
+
+    def test_kernels_verbose(self, capsys):
+        assert main(["kernels", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "width" in out
+        assert "fanout" in out
+
+    def test_bind_svg_output(self, tmp_path, capsys):
+        svg = tmp_path / "out.svg"
+        assert main(["bind", "arf", "-a", "b-init", "--svg", str(svg)]) == 0
+        assert svg.exists()
+        assert svg.read_text().startswith("<svg")

@@ -1,0 +1,89 @@
+"""Determinism tests: every algorithm is a pure function of its inputs.
+
+Reproducibility is a hard requirement for an experiments library — the
+paper's tables must come out identical run after run.  These tests run
+each algorithm twice (fresh objects each time, so accidental reliance on
+id()/hash ordering of fresh objects would surface) and require identical
+bindings, not merely identical metrics.
+"""
+
+import pytest
+
+from repro.baselines import (
+    annealing_bind,
+    mincut_bind,
+    pcc_bind,
+    random_search,
+    uas_bind,
+)
+from repro.core.driver import bind, bind_initial
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import random_layered_dfg
+from repro.kernels import load_kernel
+
+
+def fresh_inputs(seed=11):
+    return random_layered_dfg(22, seed=seed), parse_datapath(
+        "|2,1|1,1|", num_buses=2
+    )
+
+
+class TestDeterminism:
+    def test_b_init(self):
+        g1, dp1 = fresh_inputs()
+        g2, dp2 = fresh_inputs()
+        assert bind_initial(g1, dp1).binding == bind_initial(g2, dp2).binding
+
+    def test_full_bind(self):
+        g1, dp1 = fresh_inputs()
+        g2, dp2 = fresh_inputs()
+        r1 = bind(g1, dp1)
+        r2 = bind(g2, dp2)
+        assert r1.binding == r2.binding
+        assert (r1.latency, r1.num_transfers) == (r2.latency, r2.num_transfers)
+
+    def test_pcc(self):
+        g1, dp1 = fresh_inputs()
+        g2, dp2 = fresh_inputs()
+        assert pcc_bind(g1, dp1).binding == pcc_bind(g2, dp2).binding
+
+    def test_uas(self):
+        g1, dp1 = fresh_inputs()
+        g2, dp2 = fresh_inputs()
+        assert uas_bind(g1, dp1).binding == uas_bind(g2, dp2).binding
+
+    def test_mincut(self):
+        # min-cut requires homogeneous clusters
+        g1 = random_layered_dfg(22, seed=11)
+        g2 = random_layered_dfg(22, seed=11)
+        dp1 = parse_datapath("|1,1|1,1|", num_buses=2)
+        dp2 = parse_datapath("|1,1|1,1|", num_buses=2)
+        assert mincut_bind(g1, dp1).binding == mincut_bind(g2, dp2).binding
+
+    def test_annealing_per_seed(self):
+        g1, dp1 = fresh_inputs()
+        g2, dp2 = fresh_inputs()
+        assert (
+            annealing_bind(g1, dp1, seed=5).binding
+            == annealing_bind(g2, dp2, seed=5).binding
+        )
+
+    def test_random_search_per_seed(self):
+        g1, dp1 = fresh_inputs()
+        g2, dp2 = fresh_inputs()
+        assert (
+            random_search(g1, dp1, samples=10, seed=3).binding
+            == random_search(g2, dp2, samples=10, seed=3).binding
+        )
+
+    def test_kernel_table_cell(self):
+        dfg1, dfg2 = load_kernel("arf"), load_kernel("arf")
+        dp = parse_datapath("|1,1|1,1|", num_buses=2)
+        r1 = bind(dfg1, dp)
+        r2 = bind(dfg2, dp)
+        assert r1.binding == r2.binding
+
+    def test_sweep_log_stable(self):
+        g1, dp1 = fresh_inputs()
+        g2, dp2 = fresh_inputs()
+        assert bind_initial(g1, dp1).sweep_log == bind_initial(g2, dp2).sweep_log

@@ -1,0 +1,80 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Each example is executed as a subprocess (the way a user would run it),
+scoped down via arguments/environment so the suite stays fast.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, env_extra=None, timeout=600):
+    env = dict(os.environ)
+    if env_extra:
+        env.update(env_extra)
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "schedule latency L =" in out
+    assert "Gantt chart" in out
+
+
+def test_reproduce_table1_single_kernel():
+    out = run_example("reproduce_table1.py", "arf")
+    assert "ARF" in out
+    assert "B-ITER vs PCC" in out
+
+
+def test_reproduce_table2():
+    out = run_example("reproduce_table2.py")
+    assert "Table 2" in out
+    assert "bus-constrained" in out
+
+
+def test_design_space_exploration():
+    out = run_example(
+        "design_space_exploration.py",
+        "arf",
+        env_extra={"DSE_MAX_CLUSTERS": "2", "DSE_MAX_FUS": "6"},
+    )
+    assert "Pareto-optimal" in out
+
+
+def test_custom_kernel():
+    out = run_example("custom_kernel.py")
+    assert "FIR body" in out
+    assert "bound on" in out
+
+
+def test_register_pressure():
+    out = run_example("register_pressure.py", "arf", "ewf")
+    assert "per-cluster pressure" in out
+    assert "arf" in out
+
+
+def test_software_pipelining():
+    out = run_example("software_pipelining.py")
+    assert "ResMII" in out
+    assert "throughput-optimal" in out
+
+
+def test_clustering_overhead():
+    out = run_example("clustering_overhead.py", "arf", "fft")
+    assert "overhead" in out
+    assert "ports" in out

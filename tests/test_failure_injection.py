@@ -1,0 +1,128 @@
+"""Failure-injection and degenerate-input tests.
+
+The library should fail loudly and precisely on impossible inputs, and
+behave sensibly on degenerate ones (empty graphs, single operations,
+extreme latencies, starved machines).
+"""
+
+import pytest
+
+from repro import bind, bind_initial, parse_datapath
+from repro.baselines import pcc_bind, uas_bind
+from repro.core.binding import Binding
+from repro.datapath.model import Cluster, Datapath
+from repro.dfg.graph import Dfg
+from repro.dfg.ops import ADD, ALU, MULT, OpType, default_registry
+from repro.dfg.transform import bind_dfg
+from repro.schedule.list_scheduler import list_schedule
+from repro.schedule.schedule import validate_schedule
+
+
+class TestDegenerateGraphs:
+    def test_empty_dfg(self, two_cluster):
+        g = Dfg("empty")
+        result = bind(g, two_cluster)
+        assert result.latency == 0
+        assert result.num_transfers == 0
+
+    def test_single_operation(self, two_cluster):
+        g = Dfg("one")
+        g.add_op("v1", ADD)
+        result = bind(g, two_cluster)
+        assert result.latency == 1
+        assert result.num_transfers == 0
+
+    def test_single_cluster_machine(self, chain5):
+        dp = parse_datapath("|1,1|", num_buses=1)
+        result = bind(chain5, dp)
+        assert result.latency == 5
+        assert result.num_transfers == 0
+
+    def test_all_algorithms_on_single_op(self):
+        g = Dfg("one")
+        g.add_op("v1", ADD)
+        dp = parse_datapath("|1,1|1,1|", num_buses=1)
+        assert bind_initial(g, dp).latency == 1
+        assert pcc_bind(g, dp).latency == 1
+        assert uas_bind(g, dp).latency == 1
+
+
+class TestStarvedMachines:
+    def test_unsupported_optype_fails_fast(self, two_cluster):
+        g = Dfg("exotic")
+        g.add_op("v1", OpType("sqrt"))
+        with pytest.raises(KeyError, match="not registered"):
+            bind_initial(g, two_cluster)
+
+    def test_missing_fu_type_fails_fast(self, diamond):
+        dp = Datapath([Cluster(0, {ALU: 4})])  # no multipliers anywhere
+        with pytest.raises(ValueError, match="MUL"):
+            bind_initial(diamond, dp)
+        with pytest.raises(ValueError):
+            pcc_bind(diamond, dp)
+        with pytest.raises(ValueError):
+            uas_bind(diamond, dp)
+
+    def test_single_mul_island(self, diamond):
+        # Only cluster 2 owns a multiplier; everything must still work.
+        dp = parse_datapath("|2,0|2,0|1,1|", num_buses=1)
+        result = bind(diamond, dp)
+        assert result.binding["v3"] == 2
+        validate_schedule(result.schedule)
+
+
+class TestExtremeLatencies:
+    def test_huge_move_latency(self, chain5):
+        dp = parse_datapath("|1,1|1,1|", num_buses=1, move_latency=50)
+        result = bind(chain5, dp)
+        # crossing clusters costs 50 cycles: the binder must refuse to
+        # split the chain.
+        assert result.num_transfers == 0
+        assert result.latency == 5
+
+    def test_slow_unpipelined_multiplier(self):
+        g = Dfg("muls")
+        for i in range(4):
+            g.add_op(f"m{i}", MULT)
+        reg = default_registry().with_overrides(
+            latencies={MULT: 6}, diis={MULT: 6}
+        )
+        dp = parse_datapath("|1,1|1,1|", num_buses=2, registry=reg)
+        result = bind(g, dp)
+        validate_schedule(result.schedule)
+        # 4 six-cycle unpipelined muls on 2 units: 12 cycles minimum.
+        assert result.latency == 12
+
+    def test_scheduler_budget_message(self):
+        # Force the scheduler into an infeasible resource model by
+        # corrupting a binding (placement without units).
+        g = Dfg("g")
+        g.add_op("m", MULT)
+        dp = parse_datapath("|1,1|1,0|", num_buses=1)
+        bound = bind_dfg(g, {"m": 1})
+        with pytest.raises(RuntimeError):
+            list_schedule(bound, dp)
+
+
+class TestAdversarialBindings:
+    def test_worst_case_random_binding_still_schedules(self, two_cluster):
+        from repro.dfg.generators import random_layered_dfg
+        import random
+
+        rng = random.Random(0)
+        g = random_layered_dfg(35, seed=1)
+        # adversarial: alternate clusters along every chain
+        binding = Binding(
+            {n: i % 2 for i, n in enumerate(g.topological_order())}
+        )
+        schedule = list_schedule(bind_dfg(g, binding), two_cluster)
+        validate_schedule(schedule)
+
+    def test_binding_every_op_to_last_cluster(self, three_cluster):
+        from repro.dfg.generators import random_layered_dfg
+
+        g = random_layered_dfg(20, seed=2)
+        binding = Binding({n: 2 for n in g})
+        schedule = list_schedule(bind_dfg(g, binding), three_cluster)
+        validate_schedule(schedule)
+        assert schedule.num_transfers == 0

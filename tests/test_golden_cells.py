@@ -1,0 +1,56 @@
+"""Golden-value regression net for the deterministic table cells.
+
+B-INIT and PCC are deterministic, so their ``(L, M)`` on fixed (kernel,
+datapath) cells are exact regression anchors: any change to the cost
+function, the scheduler, a kernel's structure, or the sweep will show
+up here immediately.  (B-ITER cells are pinned only by inequality — its
+multi-start search is deterministic too, but far more sensitive to
+benign heuristic tweaks.)
+
+If an intentional algorithm change shifts these values, re-measure and
+update — and re-check EXPERIMENTS.md's tables while at it.
+"""
+
+import pytest
+
+from repro import bind, bind_initial, parse_datapath
+from repro.baselines import pcc_bind
+from repro.kernels import load_kernel
+
+# (kernel, datapath, B-INIT (L, M), PCC (L, M)) at N_B=2, lat(move)=1.
+GOLDEN_CELLS = [
+    ("arf", "|1,1|1,1|", (12, 3), (12, 3)),
+    ("arf", "|1,2|1,2|", (10, 3), (10, 3)),
+    ("ewf", "|2,1|1,1|", (15, 5), (14, 4)),
+    ("fft", "|2,1|2,1|1,2|", (8, 5), (9, 5)),
+    ("dct-dif", "|2,1|2,1|", (10, 4), (10, 8)),
+    ("dct-lee", "|2,2|2,1|", (11, 1), (12, 5)),
+    ("dct-dit", "|3,1|2,2|1,3|", (11, 8), (11, 6)),
+]
+
+
+@pytest.mark.parametrize("kernel,spec,init_lm,pcc_lm", GOLDEN_CELLS)
+def test_b_init_golden(kernel, spec, init_lm, pcc_lm):
+    dfg = load_kernel(kernel)
+    dp = parse_datapath(spec, num_buses=2)
+    result = bind_initial(dfg, dp)
+    assert (result.latency, result.num_transfers) == init_lm
+
+
+@pytest.mark.parametrize("kernel,spec,init_lm,pcc_lm", GOLDEN_CELLS)
+def test_pcc_golden(kernel, spec, init_lm, pcc_lm):
+    dfg = load_kernel(kernel)
+    dp = parse_datapath(spec, num_buses=2)
+    result = pcc_bind(dfg, dp)
+    assert (result.latency, result.num_transfers) == pcc_lm
+
+
+@pytest.mark.parametrize("kernel,spec,init_lm,pcc_lm", GOLDEN_CELLS)
+def test_b_iter_dominates_both(kernel, spec, init_lm, pcc_lm):
+    """The headline inequality on every golden cell: B-ITER is at least
+    as good as both its own initial phase and PCC."""
+    dfg = load_kernel(kernel)
+    dp = parse_datapath(spec, num_buses=2)
+    result = bind(dfg, dp)
+    assert result.latency <= init_lm[0]
+    assert result.latency <= pcc_lm[0]

@@ -1,0 +1,85 @@
+"""Consistency checks between the code and the paper's stated setup.
+
+These tests pin the constants and configuration facts the paper states
+explicitly, so that refactors cannot silently drift away from the
+published algorithm.
+"""
+
+import pytest
+
+from repro.core.cost import CostParams
+from repro.datapath.library import TABLE1_CONFIGS, TABLE2_SWEEP
+from repro.dfg.ops import ADD, BUS, MOVE, MULT, SUB, default_registry
+from repro.kernels import KERNEL_STATS
+
+
+class TestEquationConstants:
+    def test_cost_weights_match_section_312(self):
+        """alpha = beta = 1.0 and gamma = 1.1 (Equation 1)."""
+        params = CostParams()
+        assert params.alpha == 1.0
+        assert params.beta == 1.0
+        assert params.gamma == 1.1
+
+    def test_default_registry_matches_table1_setup(self):
+        """Table 1: all operations take one cycle; fully pipelined."""
+        reg = default_registry()
+        for optype in (ADD, SUB, MULT, MOVE):
+            assert reg.latency(optype) == 1
+            assert reg.dii(optype) == 1
+
+    def test_move_runs_on_bus(self):
+        """futype(move) = BUS (Section 2)."""
+        assert default_registry().futype(MOVE) == BUS
+
+
+class TestEvaluationSetup:
+    def test_table1_has_33_cells(self):
+        assert sum(len(v) for v in TABLE1_CONFIGS.values()) == 32 + 1
+
+    def test_table2_sweep_matches_paper(self):
+        assert TABLE2_SWEEP == ((1, 1), (2, 1), (1, 2), (2, 2))
+
+    def test_kernel_population(self):
+        """Seven kernels, N_V totals as in the table sub-headers."""
+        assert len(KERNEL_STATS) == 7
+        assert sum(nv for nv, _, _ in KERNEL_STATS.values()) == (
+            41 + 49 + 48 + 96 + 38 + 34 + 28
+        )
+
+    def test_every_table1_machine_is_two_bus(self):
+        from repro.datapath.library import table1_datapaths
+
+        for kernel in TABLE1_CONFIGS:
+            for dp in table1_datapaths(kernel):
+                assert dp.num_buses == 2
+                assert dp.move_latency == 1
+
+
+class TestAbstractionChoices:
+    def test_fus_read_at_most_two_operands(self):
+        """Section 2: every FU reads up to two operands — enforced by
+        kernel validation."""
+        from repro.dfg.validate import validate_dfg
+        from repro.kernels import KERNELS, load_kernel
+
+        for name in KERNELS:
+            validate_dfg(load_kernel(name), default_registry(), max_operands=2)
+
+    def test_transfer_latency_definition(self):
+        """lat(move) is 'cycles to produce the result at the specified
+        location': a transferred value is usable exactly lat(move)
+        cycles after the move issues."""
+        from repro.datapath.parse import parse_datapath
+        from repro.dfg.graph import Dfg
+        from repro.dfg.transform import bind_dfg
+        from repro.schedule.list_scheduler import list_schedule
+
+        g = Dfg("t")
+        g.add_op("p", ADD)
+        g.add_op("c", ADD)
+        g.add_edge("p", "c")
+        for lat in (1, 2, 3):
+            dp = parse_datapath("|1,1|1,1|", num_buses=1, move_latency=lat)
+            s = list_schedule(bind_dfg(g, {"p": 0, "c": 1}), dp)
+            assert s.latency == 2 + lat

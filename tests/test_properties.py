@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) over the core invariants.
+
+Strategy: generate random layered DFGs and random (but valid) datapath
+shapes, run the full pipeline, and check the invariants that must hold
+for *every* input:
+
+* timing: asap <= alap, mobility >= 0, L_CP consistency;
+* transfer insertion: count equals distinct (producer, destination)
+  pairs, bound graph stays a DAG, unbinding recovers the original;
+* scheduling: every schedule passes the first-principles validator and
+  respects L >= L_CP;
+* binding algorithms: B-INIT/B-ITER/PCC always emit complete valid
+  bindings, and B-ITER never degrades its starting quality.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.binding import Binding, validate_binding
+from repro.core.driver import bind_initial
+from repro.core.initial import initial_binding
+from repro.core.iterative import iterative_improvement
+from repro.core.quality import quality_qu
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import random_layered_dfg
+from repro.dfg.ops import default_registry
+from repro.dfg.serialize import dfg_from_dict, dfg_to_dict
+from repro.dfg.timing import compute_timing, critical_path_length
+from repro.dfg.transform import bind_dfg
+from repro.dfg.validate import validate_dfg
+from repro.schedule.list_scheduler import list_schedule
+from repro.schedule.schedule import validate_schedule
+
+# -- strategies -------------------------------------------------------------
+
+dfg_strategy = st.builds(
+    random_layered_dfg,
+    num_ops=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=10_000),
+    width=st.integers(min_value=1, max_value=8),
+    mul_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+
+datapath_strategy = st.builds(
+    lambda shape, buses: parse_datapath(
+        "|" + "|".join(f"{a},{m}" for a, m in shape) + "|", num_buses=buses
+    ),
+    shape=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=3),
+            st.integers(min_value=1, max_value=3),
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+    buses=st.integers(min_value=1, max_value=3),
+)
+
+relaxed = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# -- timing invariants --------------------------------------------------------
+
+
+@given(dfg=dfg_strategy, stretch=st.integers(min_value=0, max_value=10))
+@relaxed
+def test_timing_invariants(dfg, stretch):
+    reg = default_registry()
+    lcp = critical_path_length(dfg, reg)
+    t = compute_timing(dfg, reg, target_latency=lcp + stretch)
+    for n in dfg:
+        assert 0 <= t.asap[n] <= t.alap[n]
+        assert t.mobility(n) >= 0
+        # mobility grows exactly with the stretch for critical ops
+    assert t.critical_path_length == lcp
+    # some operation must be critical at the unstretched target
+    t0 = compute_timing(dfg, reg)
+    assert any(t0.mobility(n) == 0 for n in dfg)
+
+
+@given(dfg=dfg_strategy)
+@relaxed
+def test_generated_graphs_are_valid(dfg):
+    validate_dfg(dfg, default_registry())
+
+
+@given(dfg=dfg_strategy)
+@relaxed
+def test_serialization_roundtrip(dfg):
+    restored = dfg_from_dict(dfg_to_dict(dfg))
+    assert list(restored) == list(dfg)
+    assert sorted(restored.edges()) == sorted(dfg.edges())
+
+
+# -- transfer-insertion invariants -------------------------------------------
+
+
+@given(
+    dfg=dfg_strategy,
+    datapath=datapath_strategy,
+    salt=st.integers(min_value=0, max_value=999),
+)
+@relaxed
+def test_bound_dfg_invariants(dfg, datapath, salt):
+    import random
+
+    rng = random.Random(salt)
+    binding = Binding(
+        {
+            op.name: rng.choice(datapath.target_set(op.optype))
+            for op in dfg.regular_operations()
+        }
+    )
+    bound = bind_dfg(dfg, binding)
+    # transfer count = distinct (producer, destination) cut pairs
+    assert bound.num_transfers == binding.num_required_transfers(dfg)
+    # bound graph is still a DAG and structurally valid
+    validate_dfg(bound.graph, datapath.registry)
+    # stripping transfers recovers the original graph
+    original = bound.graph.without_transfers()
+    assert sorted(original.edges()) == sorted(dfg.edges())
+
+
+# -- scheduling invariants -----------------------------------------------------
+
+
+@given(
+    dfg=dfg_strategy,
+    datapath=datapath_strategy,
+    salt=st.integers(min_value=0, max_value=999),
+)
+@relaxed
+def test_schedule_validity_for_random_bindings(dfg, datapath, salt):
+    import random
+
+    rng = random.Random(salt)
+    binding = Binding(
+        {
+            op.name: rng.choice(datapath.target_set(op.optype))
+            for op in dfg.regular_operations()
+        }
+    )
+    schedule = list_schedule(bind_dfg(dfg, binding), datapath)
+    validate_schedule(schedule)
+    assert schedule.latency >= critical_path_length(dfg, datapath.registry)
+
+
+# -- binding-algorithm invariants ----------------------------------------------
+
+
+@given(dfg=dfg_strategy, datapath=datapath_strategy, reverse=st.booleans())
+@relaxed
+def test_initial_binding_always_valid(dfg, datapath, reverse):
+    result = initial_binding(dfg, datapath, reverse=reverse)
+    validate_binding(result.binding, dfg, datapath)
+    schedule = list_schedule(bind_dfg(dfg, result.binding), datapath)
+    validate_schedule(schedule)
+
+
+@given(
+    dfg=st.builds(
+        random_layered_dfg,
+        num_ops=st.integers(min_value=2, max_value=18),
+        seed=st.integers(min_value=0, max_value=500),
+    ),
+    datapath=datapath_strategy,
+)
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_iterative_never_degrades(dfg, datapath):
+    init = bind_initial(dfg, datapath)
+    improved = iterative_improvement(dfg, datapath, init.binding)
+    # The guaranteed invariant is on latency: the Q_U pass only commits
+    # strict Q_U improvements, and the trailing Q_M pass never gives
+    # latency back (L leads Q_M) — but it may reshape the deeper Q_U
+    # components while trimming transfers, so the full Q_U vector is
+    # not monotone end-to-end.
+    assert improved.schedule.latency <= init.latency
+    # The pure-Q_U variant, by contrast, is monotone in the full vector.
+    qu_only = iterative_improvement(dfg, datapath, init.binding, quality="qu")
+    assert quality_qu(qu_only.schedule) <= quality_qu(init.schedule)
+    validate_binding(improved.binding, dfg, datapath)
+    validate_schedule(improved.schedule)

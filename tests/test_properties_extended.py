@@ -1,0 +1,152 @@
+"""Property-based tests over the extension subsystems.
+
+Covers invariants of unrolling, register pressure, latency bounds, VLIW
+emission, and modulo scheduling on randomly generated loops.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pressure import register_pressure
+from repro.codegen import emit_vliw
+from repro.core.binding import Binding
+from repro.core.driver import bind_initial
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import random_layered_dfg
+from repro.dfg.timing import critical_path_length
+from repro.dfg.transform import bind_dfg
+from repro.dfg.unroll import unroll, unroll_chained
+from repro.modulo import CarriedEdge, LoopDfg, mii, modulo_bind
+from repro.schedule.bounds import latency_lower_bound
+from repro.schedule.list_scheduler import list_schedule
+
+dfg_strategy = st.builds(
+    random_layered_dfg,
+    num_ops=st.integers(min_value=2, max_value=30),
+    seed=st.integers(min_value=0, max_value=5000),
+    width=st.integers(min_value=1, max_value=6),
+)
+
+datapath_strategy = st.builds(
+    lambda shape, buses: parse_datapath(
+        "|" + "|".join(f"{a},{m}" for a, m in shape) + "|", num_buses=buses
+    ),
+    shape=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=2),
+            st.integers(min_value=1, max_value=2),
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+    buses=st.integers(min_value=1, max_value=2),
+)
+
+relaxed = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@given(dfg=dfg_strategy, factor=st.integers(min_value=1, max_value=4))
+@relaxed
+def test_unroll_invariants(dfg, factor):
+    u = unroll(dfg, factor)
+    assert u.num_operations == factor * dfg.num_operations
+    assert u.num_components == factor * dfg.num_components
+    reg = parse_datapath("|1,1|").registry
+    assert critical_path_length(u, reg) == critical_path_length(dfg, reg)
+
+
+@given(dfg=dfg_strategy, factor=st.integers(min_value=2, max_value=3))
+@relaxed
+def test_unroll_chained_deepens_when_carried(dfg, factor):
+    outs = dfg.outputs()
+    ins = [n for n in dfg.inputs() if dfg.in_degree(n) < 2]
+    if not outs or not ins:
+        return
+    carry = {outs[0]: [ins[0]]}
+    if outs[0] == ins[0]:
+        return
+    u = unroll_chained(dfg, factor, carry)
+    reg = parse_datapath("|1,1|").registry
+    assert critical_path_length(u, reg) >= critical_path_length(dfg, reg)
+    assert u.num_operations == factor * dfg.num_operations
+
+
+@given(dfg=dfg_strategy, datapath=datapath_strategy, salt=st.integers(0, 99))
+@relaxed
+def test_pressure_invariants(dfg, datapath, salt):
+    rng = random.Random(salt)
+    binding = Binding(
+        {
+            op.name: rng.choice(datapath.target_set(op.optype))
+            for op in dfg.regular_operations()
+        }
+    )
+    schedule = list_schedule(bind_dfg(dfg, binding), datapath)
+    report = register_pressure(schedule)
+    # peak pressure cannot exceed the number of tracked values, and a
+    # cluster with no ops has zero pressure
+    assert 0 < report.peak <= report.total_values
+    for c in range(datapath.num_clusters):
+        if not binding.cluster_members(c) and not any(
+            schedule.bound.placement[t.name] == c
+            for t in schedule.bound.graph.transfer_operations()
+        ):
+            assert report.per_cluster[c] == 0
+
+
+@given(dfg=dfg_strategy, datapath=datapath_strategy)
+@relaxed
+def test_bounds_admissible(dfg, datapath):
+    lb = latency_lower_bound(dfg, datapath)
+    result = bind_initial(dfg, datapath)
+    assert lb <= result.latency
+
+
+@given(dfg=dfg_strategy, datapath=datapath_strategy, salt=st.integers(0, 99))
+@relaxed
+def test_codegen_invariants(dfg, datapath, salt):
+    rng = random.Random(salt)
+    binding = Binding(
+        {
+            op.name: rng.choice(datapath.target_set(op.optype))
+            for op in dfg.regular_operations()
+        }
+    )
+    schedule = list_schedule(bind_dfg(dfg, binding), datapath)
+    program = emit_vliw(schedule)
+    assert program.num_cycles == schedule.latency
+    busy = [
+        s for w in program.words for s in w.slots if s.opcode != "nop"
+    ]
+    assert len(busy) == len(schedule.bound.graph)
+    # registers unique per value
+    assert len(set(program.registers.values())) == len(program.registers)
+
+
+@given(
+    dfg=st.builds(
+        random_layered_dfg,
+        num_ops=st.integers(min_value=2, max_value=16),
+        seed=st.integers(min_value=0, max_value=500),
+    ),
+    datapath=datapath_strategy,
+    carry_count=st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_modulo_bind_invariants(dfg, datapath, carry_count):
+    outs = dfg.outputs()
+    carried = [
+        CarriedEdge(outs[i % len(outs)], outs[i % len(outs)], 1)
+        for i in range(min(carry_count, len(outs)))
+    ]
+    loop = LoopDfg(dfg, carried)
+    result = modulo_bind(loop, datapath)
+    assert result.ii >= mii(loop, datapath)
+    result.schedule.validate()
+    # one iteration's span covers every operation at least once
+    assert result.schedule.schedule_length >= 1
