@@ -1,0 +1,36 @@
+"""Experiment-engine benchmark: warm-cache replay vs. cold execution.
+
+The content-addressed cache exists so that repeated sweeps (table
+regenerations, DSE re-runs, CI) skip binder work entirely; this
+benchmark measures the replay path and records the speedup over the
+cold run in ``extra_info``.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.random_study import StudyConfig, run_random_study
+from repro.runner import ResultCache
+
+CONFIG = StudyConfig(num_graphs=8, num_ops=20, run_iter=True, iter_starts=1)
+
+
+@pytest.mark.benchmark(group="runner-cache")
+def test_warm_cache_replay(benchmark, tmp_path):
+    t0 = time.perf_counter()
+    run_random_study(CONFIG, cache=ResultCache(tmp_path / "cache"))
+    cold_seconds = time.perf_counter() - t0
+
+    def warm():
+        cache = ResultCache(tmp_path / "cache")
+        rows = run_random_study(CONFIG, cache=cache)
+        assert cache.stats.misses == 0  # zero binder invocations
+        return rows
+
+    rows = benchmark.pedantic(warm, rounds=3, iterations=1)
+    assert len(rows) == CONFIG.num_graphs
+    warm_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 3)
+    benchmark.extra_info["speedup"] = round(cold_seconds / warm_seconds, 1)
+    benchmark.extra_info["jobs"] = 3 * CONFIG.num_graphs

@@ -4,11 +4,16 @@ Each cell runs PCC (the baseline), B-INIT (the driver's initial-binding
 sweep), and B-ITER (initial + iterative improvement) on one (kernel,
 datapath) pair and records ``L/M`` plus wall-clock seconds — the same
 columns the paper reports.
+
+The grids are dispatched through :func:`repro.runner.run_jobs`, so a
+table regeneration can fan out over worker processes, reuse cached
+cells across invocations, and log every job to a run store; the default
+(``max_workers=1``, no cache) is exactly the historical serial sweep.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..baselines.pcc import pcc_bind
 from ..core.driver import bind, bind_initial
@@ -21,6 +26,8 @@ from ..datapath.model import Datapath
 from ..datapath.parse import parse_datapath
 from ..dfg.graph import Dfg
 from ..kernels.registry import load_kernel
+from ..runner import BindJob, JobResult, ProgressTracker, ResultCache, RunStore
+from ..runner.api import run_jobs
 from .metrics import AlgoCell, ExperimentRow
 
 __all__ = [
@@ -75,9 +82,74 @@ def run_cell(
     )
 
 
+def _cell_jobs(dfg: Dfg, datapath: Datapath, run_iter: bool) -> List[BindJob]:
+    """The (2 or 3) jobs making up one table cell, in column order."""
+    jobs = [
+        BindJob.make(dfg, datapath, "pcc"),
+        BindJob.make(dfg, datapath, "b-init"),
+    ]
+    if run_iter:
+        # iter_starts=None: improve from every distinct B-INIT sweep
+        # candidate — the same default as ``bind()``.
+        jobs.append(BindJob.make(dfg, datapath, "b-iter", iter_starts=None))
+    return jobs
+
+
+def _cell_result(result: JobResult) -> AlgoCell:
+    if not result.ok:
+        raise RuntimeError(
+            f"{result.algorithm} job on {result.kernel!r} failed after "
+            f"{result.attempts} attempt(s): {result.error}"
+        )
+    assert result.latency is not None and result.transfers is not None
+    return AlgoCell(result.latency, result.transfers, result.seconds)
+
+
+def _run_grid(
+    cells: Sequence[Tuple[str, Datapath]],
+    run_iter: bool,
+    max_workers: int,
+    cache: Optional[ResultCache],
+    store: Optional[RunStore],
+    progress: Optional[Callable[[ProgressTracker], None]],
+) -> List[ExperimentRow]:
+    """Run every (kernel, datapath) cell as one flat job batch."""
+    jobs: List[BindJob] = []
+    for kernel, datapath in cells:
+        jobs.extend(_cell_jobs(load_kernel(kernel), datapath, run_iter))
+    results = run_jobs(
+        jobs,
+        max_workers=max_workers,
+        cache=cache,
+        store=store,
+        progress=progress,
+    )
+    stride = 3 if run_iter else 2
+    rows: List[ExperimentRow] = []
+    for i, (kernel, datapath) in enumerate(cells):
+        chunk = results[i * stride : (i + 1) * stride]
+        rows.append(
+            ExperimentRow(
+                kernel=kernel,
+                datapath_spec=datapath.spec(),
+                num_buses=datapath.num_buses,
+                move_latency=datapath.move_latency,
+                pcc=_cell_result(chunk[0]),
+                b_init=_cell_result(chunk[1]),
+                b_iter=_cell_result(chunk[2]) if run_iter else None,
+            )
+        )
+    return rows
+
+
 def run_table1(
     kernels: Optional[Sequence[str]] = None,
     run_iter: bool = True,
+    *,
+    max_workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    store: Optional[RunStore] = None,
+    progress: Optional[Callable[[ProgressTracker], None]] = None,
 ) -> List[ExperimentRow]:
     """Regenerate Table 1: every kernel on its datapath configurations.
 
@@ -85,30 +157,42 @@ def run_table1(
         kernels: subset of kernels to run (default: all seven, in the
             paper's order).
         run_iter: include the B-ITER column (the expensive one).
+        max_workers / cache / store / progress: experiment-engine knobs
+            (see :func:`repro.runner.run_jobs`).
 
     Returns:
         The rows, grouped by kernel in the requested order.
     """
-    rows: List[ExperimentRow] = []
-    for kernel in kernels or TABLE1_KERNEL_ORDER:
-        dfg = load_kernel(kernel)
-        for spec in TABLE1_CONFIGS[kernel]:
-            dp = parse_datapath(spec, num_buses=2)
-            rows.append(run_cell(dfg, dp, kernel, run_iter=run_iter))
-    return rows
+    cells = [
+        (kernel, parse_datapath(spec, num_buses=2))
+        for kernel in (kernels or TABLE1_KERNEL_ORDER)
+        for spec in TABLE1_CONFIGS[kernel]
+    ]
+    return _run_grid(cells, run_iter, max_workers, cache, store, progress)
 
 
-def run_table2(run_iter: bool = True) -> List[ExperimentRow]:
+def run_table2(
+    run_iter: bool = True,
+    *,
+    max_workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    store: Optional[RunStore] = None,
+    progress: Optional[Callable[[ProgressTracker], None]] = None,
+) -> List[ExperimentRow]:
     """Regenerate Table 2: the FFT bus-parameter sweep.
 
     The FFT kernel on the 5-cluster ``|2,2|2,1|2,2|3,1|1,1|`` machine,
     for every ``(N_B, lat(move))`` in the paper's sweep.
     """
-    dfg = load_kernel("fft")
-    rows: List[ExperimentRow] = []
-    for num_buses, move_latency in TABLE2_SWEEP:
-        dp = parse_datapath(
-            TABLE2_DATAPATH_SPEC, num_buses=num_buses, move_latency=move_latency
+    cells = [
+        (
+            "fft",
+            parse_datapath(
+                TABLE2_DATAPATH_SPEC,
+                num_buses=num_buses,
+                move_latency=move_latency,
+            ),
         )
-        rows.append(run_cell(dfg, dp, "fft", run_iter=run_iter))
-    return rows
+        for num_buses, move_latency in TABLE2_SWEEP
+    ]
+    return _run_grid(cells, run_iter, max_workers, cache, store, progress)

@@ -6,19 +6,25 @@ This module runs the full comparison over a population of random
 layered DFGs (controlled size, shape, and operation mix) and aggregates
 the outcome with :func:`repro.analysis.summary.summarize` — the
 reproduction's extension experiment E1.
+
+The sweep itself is a batch of independent binding jobs dispatched
+through :func:`repro.runner.run_jobs`, so it parallelizes
+(``max_workers``), reuses results across runs (``cache``), and can log
+every job to a :class:`~repro.runner.store.RunStore` — with
+``max_workers=1`` and no cache it reproduces the original serial
+behaviour exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
-from ..baselines.pcc import pcc_bind
-from ..core.driver import bind, bind_initial
 from ..datapath.parse import parse_datapath
 from ..dfg.generators import random_layered_dfg
+from ..runner import BindJob, JobResult, ProgressTracker, ResultCache, RunStore
+from ..runner.api import run_jobs
 from .metrics import AlgoCell, ExperimentRow
-from .summary import summarize
 
 __all__ = ["StudyConfig", "run_random_study"]
 
@@ -50,8 +56,30 @@ class StudyConfig:
     iter_starts: Optional[int] = 1
 
 
-def run_random_study(config: StudyConfig = StudyConfig()) -> List[ExperimentRow]:
+def _cell(result: JobResult) -> AlgoCell:
+    if not result.ok:
+        raise RuntimeError(
+            f"{result.algorithm} job on {result.kernel!r} failed after "
+            f"{result.attempts} attempt(s): {result.error}"
+        )
+    assert result.latency is not None and result.transfers is not None
+    return AlgoCell(result.latency, result.transfers, result.seconds)
+
+
+def run_random_study(
+    config: StudyConfig = StudyConfig(),
+    *,
+    max_workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    store: Optional[RunStore] = None,
+    progress: Optional[Callable[[ProgressTracker], None]] = None,
+) -> List[ExperimentRow]:
     """Run PCC / B-INIT / B-ITER over the random population.
+
+    Args:
+        config: population parameters.
+        max_workers / cache / store / progress: experiment-engine knobs,
+            forwarded to :func:`repro.runner.run_jobs`.
 
     Returns:
         One :class:`ExperimentRow` per graph (kernel name ``rnd<i>``);
@@ -59,7 +87,7 @@ def run_random_study(config: StudyConfig = StudyConfig()) -> List[ExperimentRow]
         aggregate, or to the report exporters for archiving.
     """
     datapath = parse_datapath(config.datapath_spec, num_buses=config.num_buses)
-    rows: List[ExperimentRow] = []
+    jobs: List[BindJob] = []
     for i in range(config.num_graphs):
         dfg = random_layered_dfg(
             config.num_ops,
@@ -67,27 +95,35 @@ def run_random_study(config: StudyConfig = StudyConfig()) -> List[ExperimentRow]
             width=config.width,
             mul_fraction=config.mul_fraction,
         )
-        pcc = pcc_bind(dfg, datapath)
-        init = bind_initial(dfg, datapath)
-        iter_cell = None
+        jobs.append(BindJob.make(dfg, datapath, "pcc"))
+        jobs.append(BindJob.make(dfg, datapath, "b-init"))
         if config.run_iter:
-            full = bind(dfg, datapath, iter_starts=config.iter_starts)
-            iter_cell = AlgoCell(
-                full.latency,
-                full.num_transfers,
-                full.init_seconds + full.iter_seconds,
+            jobs.append(
+                BindJob.make(
+                    dfg, datapath, "b-iter", iter_starts=config.iter_starts
+                )
             )
+    results = run_jobs(
+        jobs,
+        max_workers=max_workers,
+        cache=cache,
+        store=store,
+        progress=progress,
+    )
+
+    stride = 3 if config.run_iter else 2
+    rows: List[ExperimentRow] = []
+    for i in range(config.num_graphs):
+        chunk = results[i * stride : (i + 1) * stride]
         rows.append(
             ExperimentRow(
                 kernel=f"rnd{i}",
                 datapath_spec=datapath.spec(),
                 num_buses=datapath.num_buses,
                 move_latency=datapath.move_latency,
-                pcc=AlgoCell(pcc.latency, pcc.num_transfers, pcc.seconds),
-                b_init=AlgoCell(
-                    init.latency, init.num_transfers, init.init_seconds
-                ),
-                b_iter=iter_cell,
+                pcc=_cell(chunk[0]),
+                b_init=_cell(chunk[1]),
+                b_iter=_cell(chunk[2]) if config.run_iter else None,
             )
         )
     return rows

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import math
 import random
-import time
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -20,6 +19,7 @@ from ..core.binding import Binding, validate_binding
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
 from ..dfg.transform import bind_dfg
+from ..runner.progress import timed
 from ..schedule.list_scheduler import list_schedule
 from ..schedule.schedule import Schedule
 
@@ -83,43 +83,44 @@ def annealing_bind(
         (not merely the final state).
     """
     datapath.check_bindable(dfg)
-    t0 = time.perf_counter()
-    rng = random.Random(seed)
-    ops = [op.name for op in dfg.regular_operations()]
+    with timed() as timer:
+        rng = random.Random(seed)
+        ops = [op.name for op in dfg.regular_operations()]
 
-    binding = random_binding_seeded(dfg, datapath, rng)
-    energy, schedule = _energy(dfg, datapath, binding)
-    best: Tuple[float, Binding, Schedule] = (energy, binding, schedule)
+        binding = random_binding_seeded(dfg, datapath, rng)
+        energy, schedule = _energy(dfg, datapath, binding)
+        best: Tuple[float, Binding, Schedule] = (energy, binding, schedule)
 
-    tried = accepted = 0
-    temperature = initial_temperature
-    while temperature > min_temperature:
-        for _ in range(steps_per_temperature):
-            name = rng.choice(ops)
-            targets = [
-                c
-                for c in datapath.target_set(dfg.operation(name).optype)
-                if c != binding[name]
-            ]
-            if not targets:
-                continue
-            tried += 1
-            candidate = binding.rebind((name, rng.choice(targets)))
-            cand_energy, cand_schedule = _energy(dfg, datapath, candidate)
-            delta = cand_energy - energy
-            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
-                binding, energy, schedule = candidate, cand_energy, cand_schedule
-                accepted += 1
-                if energy < best[0]:
-                    best = (energy, binding, schedule)
-        temperature *= cooling
+        tried = accepted = 0
+        temperature = initial_temperature
+        while temperature > min_temperature:
+            for _ in range(steps_per_temperature):
+                name = rng.choice(ops)
+                targets = [
+                    c
+                    for c in datapath.target_set(dfg.operation(name).optype)
+                    if c != binding[name]
+                ]
+                if not targets:
+                    continue
+                tried += 1
+                candidate = binding.rebind((name, rng.choice(targets)))
+                cand_energy, cand_schedule = _energy(dfg, datapath, candidate)
+                delta = cand_energy - energy
+                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                    binding, energy = candidate, cand_energy
+                    schedule = cand_schedule
+                    accepted += 1
+                    if energy < best[0]:
+                        best = (energy, binding, schedule)
+            temperature *= cooling
 
-    _, binding, schedule = best
-    validate_binding(binding, dfg, datapath)
-    return AnnealingResult(
-        binding=binding,
-        schedule=schedule,
-        seconds=time.perf_counter() - t0,
-        moves_tried=tried,
-        moves_accepted=accepted,
-    )
+        _, binding, schedule = best
+        validate_binding(binding, dfg, datapath)
+        return AnnealingResult(
+            binding=binding,
+            schedule=schedule,
+            seconds=timer.seconds,
+            moves_tried=tried,
+            moves_accepted=accepted,
+        )

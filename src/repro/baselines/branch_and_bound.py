@@ -24,7 +24,6 @@ incumbents early and makes the bound effective.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -35,6 +34,7 @@ from ..dfg.graph import Dfg
 from ..dfg.ops import FuType
 from ..dfg.timing import compute_timing
 from ..dfg.transform import bind_dfg
+from ..runner.progress import timed
 from ..schedule.list_scheduler import list_schedule
 from ..schedule.schedule import Schedule
 
@@ -87,114 +87,114 @@ def branch_and_bound_bind(
         B-INIT result, so the answer is never worse than B-INIT.
     """
     datapath.check_bindable(dfg)
-    t0 = time.perf_counter()
-    reg = datapath.registry
-    timing = compute_timing(dfg, reg)
-    lcp = timing.critical_path_length
+    with timed() as timer:
+        reg = datapath.registry
+        timing = compute_timing(dfg, reg)
+        lcp = timing.critical_path_length
 
-    # Incumbent: the heuristic solution (gives the bound real teeth).
-    seed = bind_initial(dfg, datapath)
-    best_key: Tuple[int, int] = (seed.latency, seed.num_transfers)
-    best_binding: Binding = seed.binding
-    best_schedule: Schedule = seed.schedule
+        # Incumbent: the heuristic solution (gives the bound real teeth).
+        seed = bind_initial(dfg, datapath)
+        best_key: Tuple[int, int] = (seed.latency, seed.num_transfers)
+        best_binding: Binding = seed.binding
+        best_schedule: Schedule = seed.schedule
 
-    # Paper binding order: most-constrained operations first.
-    index = {n: i for i, n in enumerate(dfg)}
-    order = sorted(
-        (op.name for op in dfg.regular_operations()),
-        key=lambda n: (
-            timing.alap[n],
-            timing.mobility(n),
-            -dfg.out_degree(n),
-            index[n],
-        ),
-    )
-    names = order
-    n_ops = len(names)
-
-    # Static per-op data.
-    target_sets = {
-        n: datapath.target_set(dfg.operation(n).optype) for n in names
-    }
-    futypes = {n: reg.futype(dfg.operation(n).optype) for n in names}
-    diis = {n: reg.dii(dfg.operation(n).optype) for n in names}
-
-    # Mutable search state.
-    bn: Dict[str, int] = {}
-    work: Dict[Tuple[int, FuType], int] = {}
-    transfer_pairs: set = set()
-    nodes = [0]
-    exhausted = [False]
-    symmetric = datapath.is_homogeneous
-
-    def lower_bound() -> int:
-        lb = lcp
-        for (cluster, futype), committed in work.items():
-            units = datapath.fu_count(cluster, futype)
-            lb = max(lb, math.ceil(committed / units))
-        if transfer_pairs:
-            bus_work = len(transfer_pairs) * reg.move_dii
-            lb = max(lb, math.ceil(bus_work / datapath.num_buses))
-        return lb
-
-    def new_transfers(v: str, c: int) -> List[Tuple[str, int]]:
-        added = []
-        for p in dfg.predecessors(v):
-            if p in bn and bn[p] != c and (p, c) not in transfer_pairs:
-                added.append((p, c))
-        for s in dfg.successors(v):
-            if s in bn and bn[s] != c and (v, bn[s]) not in transfer_pairs:
-                added.append((v, bn[s]))
-        return added
-
-    def dfs(depth: int) -> None:
-        nonlocal best_key, best_binding, best_schedule
-        if exhausted[0]:
-            return
-        nodes[0] += 1
-        if nodes[0] > max_nodes:
-            exhausted[0] = True
-            return
-        if depth == n_ops:
-            binding = Binding(dict(bn))
-            schedule = list_schedule(bind_dfg(dfg, binding), datapath)
-            key = (schedule.latency, schedule.num_transfers)
-            if key < best_key:
-                best_key, best_binding, best_schedule = (
-                    key,
-                    binding,
-                    schedule,
-                )
-            return
-        if lower_bound() > best_key[0]:
-            return  # prune: cannot beat the incumbent's latency
-        v = names[depth]
-        candidates = target_sets[v]
-        if symmetric and depth == 0:
-            candidates = candidates[:1]  # symmetry: pin the first op
-        # Explore cheapest-transfer clusters first.
-        ranked = sorted(
-            candidates, key=lambda c: (len(new_transfers(v, c)), c)
+        # Paper binding order: most-constrained operations first.
+        index = {n: i for i, n in enumerate(dfg)}
+        order = sorted(
+            (op.name for op in dfg.regular_operations()),
+            key=lambda n: (
+                timing.alap[n],
+                timing.mobility(n),
+                -dfg.out_degree(n),
+                index[n],
+            ),
         )
-        for c in ranked:
-            added = new_transfers(v, c)
-            key = (c, futypes[v])
-            bn[v] = c
-            work[key] = work.get(key, 0) + diis[v]
-            transfer_pairs.update(added)
-            dfs(depth + 1)
-            transfer_pairs.difference_update(added)
-            work[key] -= diis[v]
-            del bn[v]
+        names = order
+        n_ops = len(names)
+
+        # Static per-op data.
+        target_sets = {
+            n: datapath.target_set(dfg.operation(n).optype) for n in names
+        }
+        futypes = {n: reg.futype(dfg.operation(n).optype) for n in names}
+        diis = {n: reg.dii(dfg.operation(n).optype) for n in names}
+
+        # Mutable search state.
+        bn: Dict[str, int] = {}
+        work: Dict[Tuple[int, FuType], int] = {}
+        transfer_pairs: set = set()
+        nodes = [0]
+        exhausted = [False]
+        symmetric = datapath.is_homogeneous
+
+        def lower_bound() -> int:
+            lb = lcp
+            for (cluster, futype), committed in work.items():
+                units = datapath.fu_count(cluster, futype)
+                lb = max(lb, math.ceil(committed / units))
+            if transfer_pairs:
+                bus_work = len(transfer_pairs) * reg.move_dii
+                lb = max(lb, math.ceil(bus_work / datapath.num_buses))
+            return lb
+
+        def new_transfers(v: str, c: int) -> List[Tuple[str, int]]:
+            added = []
+            for p in dfg.predecessors(v):
+                if p in bn and bn[p] != c and (p, c) not in transfer_pairs:
+                    added.append((p, c))
+            for s in dfg.successors(v):
+                if s in bn and bn[s] != c and (v, bn[s]) not in transfer_pairs:
+                    added.append((v, bn[s]))
+            return added
+
+        def dfs(depth: int) -> None:
+            nonlocal best_key, best_binding, best_schedule
             if exhausted[0]:
                 return
+            nodes[0] += 1
+            if nodes[0] > max_nodes:
+                exhausted[0] = True
+                return
+            if depth == n_ops:
+                binding = Binding(dict(bn))
+                schedule = list_schedule(bind_dfg(dfg, binding), datapath)
+                key = (schedule.latency, schedule.num_transfers)
+                if key < best_key:
+                    best_key, best_binding, best_schedule = (
+                        key,
+                        binding,
+                        schedule,
+                    )
+                return
+            if lower_bound() > best_key[0]:
+                return  # prune: cannot beat the incumbent's latency
+            v = names[depth]
+            candidates = target_sets[v]
+            if symmetric and depth == 0:
+                candidates = candidates[:1]  # symmetry: pin the first op
+            # Explore cheapest-transfer clusters first.
+            ranked = sorted(
+                candidates, key=lambda c: (len(new_transfers(v, c)), c)
+            )
+            for c in ranked:
+                added = new_transfers(v, c)
+                key = (c, futypes[v])
+                bn[v] = c
+                work[key] = work.get(key, 0) + diis[v]
+                transfer_pairs.update(added)
+                dfs(depth + 1)
+                transfer_pairs.difference_update(added)
+                work[key] -= diis[v]
+                del bn[v]
+                if exhausted[0]:
+                    return
 
-    dfs(0)
-    validate_binding(best_binding, dfg, datapath)
-    return BnBResult(
-        binding=best_binding,
-        schedule=best_schedule,
-        nodes_explored=nodes[0],
-        proven_optimal=not exhausted[0],
-        seconds=time.perf_counter() - t0,
-    )
+        dfs(0)
+        validate_binding(best_binding, dfg, datapath)
+        return BnBResult(
+            binding=best_binding,
+            schedule=best_schedule,
+            nodes_explored=nodes[0],
+            proven_optimal=not exhausted[0],
+            seconds=timer.seconds,
+        )

@@ -15,7 +15,6 @@ operation is pinned to cluster 0) buys one factor of ``num_clusters``.
 from __future__ import annotations
 
 import itertools
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -23,6 +22,7 @@ from ..core.binding import Binding
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
 from ..dfg.transform import bind_dfg
+from ..runner.progress import timed
 from ..schedule.list_scheduler import list_schedule
 from ..schedule.schedule import Schedule
 
@@ -80,30 +80,30 @@ def exhaustive_bind(
             "binding is only for small DFGs"
         )
 
-    t0 = time.perf_counter()
-    names = [op.name for op in dfg.regular_operations()]
-    target_sets: List[Tuple[int, ...]] = [
-        datapath.target_set(dfg.operation(n).optype) for n in names
-    ]
-    if symmetric and names:
-        # Pin the first operation to its first target: homogeneous
-        # clusters make assignments equivalent under cluster renaming.
-        target_sets[0] = target_sets[0][:1]
+    with timed() as timer:
+        names = [op.name for op in dfg.regular_operations()]
+        target_sets: List[Tuple[int, ...]] = [
+            datapath.target_set(dfg.operation(n).optype) for n in names
+        ]
+        if symmetric and names:
+            # Pin the first operation to its first target: homogeneous
+            # clusters make assignments equivalent under cluster renaming.
+            target_sets[0] = target_sets[0][:1]
 
-    best: Optional[Tuple[Tuple[int, int], Binding, Schedule]] = None
-    evaluated = 0
-    for combo in itertools.product(*target_sets):
-        binding = Binding(dict(zip(names, combo)))
-        schedule = list_schedule(bind_dfg(dfg, binding), datapath)
-        evaluated += 1
-        key = (schedule.latency, schedule.num_transfers)
-        if best is None or key < best[0]:
-            best = (key, binding, schedule)
-    assert best is not None
-    _, binding, schedule = best
-    return ExhaustiveResult(
-        binding=binding,
-        schedule=schedule,
-        evaluated=evaluated,
-        seconds=time.perf_counter() - t0,
-    )
+        best: Optional[Tuple[Tuple[int, int], Binding, Schedule]] = None
+        evaluated = 0
+        for combo in itertools.product(*target_sets):
+            binding = Binding(dict(zip(names, combo)))
+            schedule = list_schedule(bind_dfg(dfg, binding), datapath)
+            evaluated += 1
+            key = (schedule.latency, schedule.num_transfers)
+            if best is None or key < best[0]:
+                best = (key, binding, schedule)
+        assert best is not None
+        _, binding, schedule = best
+        return ExhaustiveResult(
+            binding=binding,
+            schedule=schedule,
+            evaluated=evaluated,
+            seconds=timer.seconds,
+        )

@@ -18,7 +18,6 @@ restriction.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -26,6 +25,7 @@ from ..core.binding import Binding, validate_binding
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
 from ..dfg.transform import bind_dfg
+from ..runner.progress import timed
 from ..schedule.list_scheduler import list_schedule
 from ..schedule.schedule import Schedule
 
@@ -85,59 +85,59 @@ def mincut_bind(
             "datapaths"
         )
     datapath.check_bindable(dfg)
-    t0 = time.perf_counter()
-    k = datapath.num_clusters
-    names = list(dfg.topological_order())
-    regular = [n for n in names if not dfg.operation(n).is_transfer]
+    with timed() as timer:
+        k = datapath.num_clusters
+        names = list(dfg.topological_order())
+        regular = [n for n in names if not dfg.operation(n).is_transfer]
 
-    # Balanced seed: consecutive topological slices per cluster keeps
-    # dependence chains together (better seed than round-robin).
-    bn: Dict[str, int] = {}
-    slice_size = (len(regular) + k - 1) // k
-    for i, n in enumerate(regular):
-        bn[n] = min(i // slice_size, k - 1)
+        # Balanced seed: consecutive topological slices per cluster keeps
+        # dependence chains together (better seed than round-robin).
+        bn: Dict[str, int] = {}
+        slice_size = (len(regular) + k - 1) // k
+        for i, n in enumerate(regular):
+            bn[n] = min(i // slice_size, k - 1)
 
-    target = len(regular) / k
-    hi = target * (1 + balance_tolerance)
-    lo = target * (1 - balance_tolerance)
-    counts = [0] * k
-    for c in bn.values():
-        counts[c] += 1
+        target = len(regular) / k
+        hi = target * (1 + balance_tolerance)
+        lo = target * (1 - balance_tolerance)
+        counts = [0] * k
+        for c in bn.values():
+            counts[c] += 1
 
-    def gain_of_move(n: str, c: int) -> int:
-        """Cut-size reduction of moving ``n`` to cluster ``c``."""
-        old = bn[n]
-        delta = 0
-        for m in dfg.predecessors(n) + dfg.successors(n):
-            was_cut = bn[m] != old
-            now_cut = bn[m] != c
-            delta += was_cut - now_cut
-        return delta
+        def gain_of_move(n: str, c: int) -> int:
+            """Cut-size reduction of moving ``n`` to cluster ``c``."""
+            old = bn[n]
+            delta = 0
+            for m in dfg.predecessors(n) + dfg.successors(n):
+                was_cut = bn[m] != old
+                now_cut = bn[m] != c
+                delta += was_cut - now_cut
+            return delta
 
-    for _ in range(max_rounds):
-        best: Optional[Tuple[int, str, int]] = None
-        for n in regular:
-            for c in range(k):
-                if c == bn[n]:
-                    continue
-                if counts[c] + 1 > hi or counts[bn[n]] - 1 < lo:
-                    continue
-                gain = gain_of_move(n, c)
-                if gain > 0 and (best is None or gain > best[0]):
-                    best = (gain, n, c)
-        if best is None:
-            break
-        _, n, c = best
-        counts[bn[n]] -= 1
-        counts[c] += 1
-        bn[n] = c
+        for _ in range(max_rounds):
+            best: Optional[Tuple[int, str, int]] = None
+            for n in regular:
+                for c in range(k):
+                    if c == bn[n]:
+                        continue
+                    if counts[c] + 1 > hi or counts[bn[n]] - 1 < lo:
+                        continue
+                    gain = gain_of_move(n, c)
+                    if gain > 0 and (best is None or gain > best[0]):
+                        best = (gain, n, c)
+            if best is None:
+                break
+            _, n, c = best
+            counts[bn[n]] -= 1
+            counts[c] += 1
+            bn[n] = c
 
-    binding = Binding(bn)
-    validate_binding(binding, dfg, datapath)
-    schedule = list_schedule(bind_dfg(dfg, binding), datapath)
-    return MinCutResult(
-        binding=binding,
-        schedule=schedule,
-        cut_size=_cut_size(dfg, bn),
-        seconds=time.perf_counter() - t0,
-    )
+        binding = Binding(bn)
+        validate_binding(binding, dfg, datapath)
+        schedule = list_schedule(bind_dfg(dfg, binding), datapath)
+        return MinCutResult(
+            binding=binding,
+            schedule=schedule,
+            cut_size=_cut_size(dfg, bn),
+            seconds=timer.seconds,
+        )

@@ -8,7 +8,6 @@ the Table 1 numbers in perspective.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -16,6 +15,7 @@ from ..core.binding import Binding
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
 from ..dfg.transform import bind_dfg
+from ..runner.progress import timed
 from ..schedule.list_scheduler import list_schedule
 from ..schedule.schedule import Schedule
 from .annealing import random_binding_seeded
@@ -53,20 +53,20 @@ def random_search(
     if samples < 1:
         raise ValueError("samples must be >= 1")
     datapath.check_bindable(dfg)
-    t0 = time.perf_counter()
-    rng = random.Random(seed)
-    best: Optional[Tuple[Tuple[int, int], Binding, Schedule]] = None
-    for _ in range(samples):
-        binding = random_binding_seeded(dfg, datapath, rng)
-        schedule = list_schedule(bind_dfg(dfg, binding), datapath)
-        key = (schedule.latency, schedule.num_transfers)
-        if best is None or key < best[0]:
-            best = (key, binding, schedule)
-    assert best is not None
-    _, binding, schedule = best
-    return RandomSearchResult(
-        binding=binding,
-        schedule=schedule,
-        samples=samples,
-        seconds=time.perf_counter() - t0,
-    )
+    with timed() as timer:
+        rng = random.Random(seed)
+        best: Optional[Tuple[Tuple[int, int], Binding, Schedule]] = None
+        for _ in range(samples):
+            binding = random_binding_seeded(dfg, datapath, rng)
+            schedule = list_schedule(bind_dfg(dfg, binding), datapath)
+            key = (schedule.latency, schedule.num_transfers)
+            if best is None or key < best[0]:
+                best = (key, binding, schedule)
+        assert best is not None
+        _, binding, schedule = best
+        return RandomSearchResult(
+            binding=binding,
+            schedule=schedule,
+            samples=samples,
+            seconds=timer.seconds,
+        )

@@ -14,7 +14,6 @@ standard ``bind_dfg`` + list scheduler; the UAS-native latency is kept in
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -22,6 +21,7 @@ from ..core.binding import Binding, validate_binding
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
 from ..dfg.transform import bind_dfg
+from ..runner.progress import timed
 from ..schedule.list_scheduler import ResourcePool, list_schedule
 from ..schedule.priorities import alap_priority
 from ..schedule.schedule import Schedule
@@ -60,88 +60,91 @@ def uas_bind(dfg: Dfg, datapath: Datapath) -> UasResult:
         A :class:`UasResult` whose ``binding`` is complete and valid.
     """
     datapath.check_bindable(dfg)
-    t0 = time.perf_counter()
-    reg = datapath.registry
-    move_lat = reg.move_latency
-    priority = alap_priority(dfg, reg)
+    with timed() as timer:
+        reg = datapath.registry
+        move_lat = reg.move_latency
+        priority = alap_priority(dfg, reg)
 
-    pools: Dict[Tuple[int, object], ResourcePool] = {}
-    for cl in datapath.clusters:
-        for futype, count in cl.fu_counts.items():
-            if count > 0:
-                pools[(cl.index, futype)] = ResourcePool(count)
-    bus = ResourcePool(datapath.num_buses)
+        pools: Dict[Tuple[int, object], ResourcePool] = {}
+        for cl in datapath.clusters:
+            for futype, count in cl.fu_counts.items():
+                if count > 0:
+                    pools[(cl.index, futype)] = ResourcePool(count)
+        bus = ResourcePool(datapath.num_buses)
 
-    bn: Dict[str, int] = {}
-    finish: Dict[str, int] = {}  # cycle a value is ready in its cluster
-    # (producer, dest cluster) -> cycle the transferred copy is ready
-    copies: Dict[Tuple[str, int], int] = {}
-    native_latency = 0
+        bn: Dict[str, int] = {}
+        finish: Dict[str, int] = {}  # cycle a value is ready in its cluster
+        # (producer, dest cluster) -> cycle the transferred copy is ready
+        copies: Dict[Tuple[str, int], int] = {}
+        native_latency = 0
 
-    order = sorted(
-        (op.name for op in dfg.regular_operations()), key=lambda n: priority[n]
-    )
-    # Process in dependence-respecting priority order: repeatedly take
-    # the highest-priority operation whose producers are all placed.
-    placed: set = set()
-    pending = list(order)
-    while pending:
-        name = next(
-            n for n in pending if all(p in placed for p in dfg.predecessors(n))
+        order = sorted(
+            (op.name for op in dfg.regular_operations()),
+            key=lambda n: priority[n],
         )
-        pending.remove(name)
-        op = dfg.operation(name)
-        futype = reg.futype(op.optype)
+        # Process in dependence-respecting priority order: repeatedly take
+        # the highest-priority operation whose producers are all placed.
+        placed: set = set()
+        pending = list(order)
+        while pending:
+            name = next(
+                n
+                for n in pending
+                if all(p in placed for p in dfg.predecessors(n))
+            )
+            pending.remove(name)
+            op = dfg.operation(name)
+            futype = reg.futype(op.optype)
 
-        best: Optional[Tuple[int, int, int]] = None  # (start, transfers, c)
-        for c in datapath.target_set(op.optype):
-            ready = 0
-            transfers = 0
-            for p in dfg.predecessors(name):
-                if bn[p] == c:
-                    ready = max(ready, finish[p])
-                elif (p, c) in copies:
-                    ready = max(ready, copies[(p, c)])
-                else:
-                    transfers += 1
-                    ready = max(ready, finish[p] + move_lat)
+            best: Optional[Tuple[int, int, int]] = None  # (start, transfers, c)
+            for c in datapath.target_set(op.optype):
+                ready = 0
+                transfers = 0
+                for p in dfg.predecessors(name):
+                    if bn[p] == c:
+                        ready = max(ready, finish[p])
+                    elif (p, c) in copies:
+                        ready = max(ready, copies[(p, c)])
+                    else:
+                        transfers += 1
+                        ready = max(ready, finish[p] + move_lat)
+                pool = pools[(c, futype)]
+                start = ready
+                while pool.available_at(start) is None:
+                    start += 1
+                key = (start, transfers, c)
+                if best is None or key < best:
+                    best = key
+            assert best is not None
+            start, _, c = best
             pool = pools[(c, futype)]
-            start = ready
+            while pool.available_at(start) is None:  # re-check after choice
+                start += 1
+            # Reserve bus slots for the operand transfers (earliest slot at
+            # or after the producer's finish, completing before `start`; if
+            # the bus is congested the operation slips later).
+            for p in dfg.predecessors(name):
+                if bn[p] != c and (p, c) not in copies:
+                    t = finish[p]
+                    while bus.available_at(t) is None:
+                        t += 1
+                    bus.issue(t, reg.move_dii)
+                    copies[(p, c)] = t + move_lat
+                    start = max(start, t + move_lat)
             while pool.available_at(start) is None:
                 start += 1
-            key = (start, transfers, c)
-            if best is None or key < best:
-                best = key
-        assert best is not None
-        start, _, c = best
-        pool = pools[(c, futype)]
-        while pool.available_at(start) is None:  # re-check after choice
-            start += 1
-        # Reserve bus slots for the operand transfers (earliest slot at
-        # or after the producer's finish, completing before `start`; if
-        # the bus is congested the operation slips later).
-        for p in dfg.predecessors(name):
-            if bn[p] != c and (p, c) not in copies:
-                t = finish[p]
-                while bus.available_at(t) is None:
-                    t += 1
-                bus.issue(t, reg.move_dii)
-                copies[(p, c)] = t + move_lat
-                start = max(start, t + move_lat)
-        while pool.available_at(start) is None:
-            start += 1
-        pool.issue(start, reg.dii(op.optype))
-        bn[name] = c
-        finish[name] = start + reg.latency(op.optype)
-        native_latency = max(native_latency, finish[name])
-        placed.add(name)
+            pool.issue(start, reg.dii(op.optype))
+            bn[name] = c
+            finish[name] = start + reg.latency(op.optype)
+            native_latency = max(native_latency, finish[name])
+            placed.add(name)
 
-    binding = Binding(bn)
-    validate_binding(binding, dfg, datapath)
-    schedule = list_schedule(bind_dfg(dfg, binding), datapath)
-    return UasResult(
-        binding=binding,
-        schedule=schedule,
-        native_latency=native_latency,
-        seconds=time.perf_counter() - t0,
-    )
+        binding = Binding(bn)
+        validate_binding(binding, dfg, datapath)
+        schedule = list_schedule(bind_dfg(dfg, binding), datapath)
+        return UasResult(
+            binding=binding,
+            schedule=schedule,
+            native_latency=native_latency,
+            seconds=timer.seconds,
+        )

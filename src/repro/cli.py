@@ -97,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_t1.add_argument(
         "--out", metavar="FILE", help="also export rows (.csv/.json/.md)"
     )
+    _add_runner_args(p_t1)
 
     p_t2 = sub.add_parser("table2", help="regenerate the paper's Table 2")
     p_t2.add_argument(
@@ -105,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_t2.add_argument(
         "--out", metavar="FILE", help="also export rows (.csv/.json/.md)"
     )
+    _add_runner_args(p_t2)
 
     p_pr = sub.add_parser(
         "pressure", help="register-pressure report for a bound kernel"
@@ -120,7 +122,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument("--max-clusters", type=int, default=3)
     p_dse.add_argument("--max-fus", type=int, default=10)
     p_dse.add_argument("--buses", type=int, default=2)
+    _add_runner_args(p_dse)
     return parser
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    """Experiment-engine flags shared by the sweep subcommands."""
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for the binding jobs (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="content-addressed result cache; repeat runs reuse results",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="FILE",
+        help="append every job record to this JSONL run store",
+    )
+
+
+def _runner_kwargs(args: argparse.Namespace) -> dict:
+    """Translate the shared flags into ``run_jobs`` keyword arguments."""
+    from .runner import ResultCache, RunStore
+
+    try:
+        cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    except OSError as exc:
+        sys.exit(f"repro-bind: error: {exc}")
+    store = RunStore(args.store) if args.store else None
+    progress = None
+    if sys.stderr.isatty():
+
+        def progress(tracker):  # pragma: no cover - needs a tty
+            end = "\n" if tracker.done == tracker.total else ""
+            sys.stderr.write(f"\r{tracker.line()}{end}")
+            sys.stderr.flush()
+
+    return {
+        "max_workers": args.jobs,
+        "cache": cache,
+        "store": store,
+        "progress": progress,
+    }
 
 
 def _load(name_or_path: str):
@@ -232,7 +289,7 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         max_total_fus=args.max_fus,
         num_buses=args.buses,
     )
-    points = explore(kernels, candidates)
+    points = explore(kernels, candidates, **_runner_kwargs(args))
     print(
         f"evaluated {len(points)} feasible datapaths "
         f"({len(candidates)} candidates)"
@@ -251,7 +308,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "kernels":
         return _cmd_kernels(verbose=args.verbose)
     if args.command == "table1":
-        rows = run_table1(kernels=args.kernel, run_iter=not args.no_iter)
+        rows = run_table1(
+            kernels=args.kernel,
+            run_iter=not args.no_iter,
+            **_runner_kwargs(args),
+        )
         print(render_table1(rows))
         if args.out:
             from .analysis.report import save_rows
@@ -260,7 +321,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"wrote {args.out}")
         return 0
     if args.command == "table2":
-        rows = run_table2(run_iter=not args.no_iter)
+        rows = run_table2(run_iter=not args.no_iter, **_runner_kwargs(args))
         print(render_table2(rows))
         if args.out:
             from .analysis.report import save_rows

@@ -22,12 +22,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.driver import bind, bind_initial
 from ..datapath.model import Cluster, Datapath
 from ..dfg.graph import Dfg
 from ..dfg.ops import ALU, MUL, FuType
+from ..runner import BindJob, ProgressTracker, ResultCache, RunStore
+from ..runner.api import run_jobs
 
 __all__ = [
     "AreaModel",
@@ -133,8 +134,18 @@ def explore(
     candidates: Sequence[Datapath],
     area_model: Optional[AreaModel] = None,
     improve: bool = False,
+    *,
+    max_workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    store: Optional[RunStore] = None,
+    progress: Optional[Callable[[ProgressTracker], None]] = None,
 ) -> List[DesignPoint]:
     """Bind every kernel onto every candidate machine and score it.
+
+    The (kernel × candidate) grid is dispatched as one batch through
+    :func:`repro.runner.run_jobs` — the binder really is the inner loop
+    of the exploration, so this is where parallelism and cross-run
+    caching pay off the most.
 
     Args:
         kernels: name -> DFG of the application's hot blocks.
@@ -145,6 +156,8 @@ def explore(
             matches the paper's "flexibility and efficiency ... make it
             a very good candidate for use within a design space
             exploration framework".
+        max_workers / cache / store / progress: experiment-engine knobs
+            (see :func:`repro.runner.run_jobs`).
 
     Returns:
         One :class:`DesignPoint` per *feasible* candidate (machines
@@ -152,23 +165,45 @@ def explore(
         area.
     """
     model = area_model or AreaModel()
-    points: List[DesignPoint] = []
+    feasible: List[Datapath] = []
     for dp in candidates:
-        per_kernel: Dict[str, Tuple[int, int]] = {}
-        feasible = True
-        for name, dfg in kernels.items():
-            try:
+        try:
+            for dfg in kernels.values():
                 dp.check_bindable(dfg)
-            except ValueError:
-                feasible = False
-                break
-            if improve:
-                result = bind(dfg, dp, iter_starts=1)
-            else:
-                result = bind_initial(dfg, dp)
-            per_kernel[name] = (result.latency, result.num_transfers)
-        if not feasible:
+        except ValueError:
             continue
+        feasible.append(dp)
+
+    algorithm = "b-iter" if improve else "b-init"
+    config = {"iter_starts": 1} if improve else {}
+    jobs = [
+        BindJob.make(dfg, dp, algorithm, **config)
+        for dp in feasible
+        for dfg in kernels.values()
+    ]
+    results = run_jobs(
+        jobs,
+        max_workers=max_workers,
+        cache=cache,
+        store=store,
+        progress=progress,
+    )
+
+    points: List[DesignPoint] = []
+    names = list(kernels)
+    for i, dp in enumerate(feasible):
+        chunk = results[i * len(names) : (i + 1) * len(names)]
+        per_kernel: Dict[str, Tuple[int, int]] = {}
+        for name, result in zip(names, chunk):
+            if not result.ok:
+                raise RuntimeError(
+                    f"{algorithm} job for kernel {name!r} on {dp.spec()} "
+                    f"failed after {result.attempts} attempt(s): "
+                    f"{result.error}"
+                )
+            assert result.latency is not None
+            assert result.transfers is not None
+            per_kernel[name] = (result.latency, result.transfers)
         points.append(
             DesignPoint(
                 datapath_spec=dp.spec(),

@@ -11,7 +11,6 @@ some binding modulo-schedules wins.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -19,6 +18,7 @@ from ..core.binding import Binding
 from ..core.driver import default_lpr_values
 from ..core.initial import initial_binding
 from ..datapath.model import Datapath
+from ..runner.progress import timed
 from .loop import LoopDfg
 from .mii import mii, rec_mii, res_mii
 from .scheduler import ModuloSchedule, modulo_schedule
@@ -165,41 +165,41 @@ def modulo_bind(
         RuntimeError: if no ``II`` up to ``max_ii`` schedules (only
             possible with an explicit, too-small ``max_ii``).
     """
-    t0 = time.perf_counter()
-    datapath.check_bindable(loop.body)
-    resource_bound = res_mii(loop, datapath)
-    recurrence_bound = rec_mii(loop, datapath)
-    lower = max(resource_bound, recurrence_bound)
-    if max_ii is None:
-        reg = datapath.registry
-        max_ii = max(
-            lower,
-            sum(
-                reg.latency(op.optype)
-                for op in loop.body.regular_operations()
-            ),
-        ) + 1
+    with timed() as timer:
+        datapath.check_bindable(loop.body)
+        resource_bound = res_mii(loop, datapath)
+        recurrence_bound = rec_mii(loop, datapath)
+        lower = max(resource_bound, recurrence_bound)
+        if max_ii is None:
+            reg = datapath.registry
+            max_ii = max(
+                lower,
+                sum(
+                    reg.latency(op.optype)
+                    for op in loop.body.regular_operations()
+                ),
+            ) + 1
 
-    bindings = _candidate_bindings(loop, datapath, max_candidates)
-    res_bounds = [binding_res_bound(loop, datapath, b) for b in bindings]
-    tried = 0
-    for ii in range(lower, max_ii + 1):
-        for binding, bound in zip(bindings, res_bounds):
-            if bound > ii:
-                continue  # this binding provably cannot meet ii
-            tried += 1
-            schedule = modulo_schedule(loop, datapath, binding, ii)
-            if schedule is not None:
-                return ModuloBindResult(
-                    binding=binding,
-                    schedule=schedule,
-                    ii=ii,
-                    mii=lower,
-                    res_mii=resource_bound,
-                    rec_mii=recurrence_bound,
-                    candidates_tried=tried,
-                    seconds=time.perf_counter() - t0,
-                )
-    raise RuntimeError(
-        f"no schedule found for {loop.name!r} up to II = {max_ii}"
-    )
+        bindings = _candidate_bindings(loop, datapath, max_candidates)
+        res_bounds = [binding_res_bound(loop, datapath, b) for b in bindings]
+        tried = 0
+        for ii in range(lower, max_ii + 1):
+            for binding, bound in zip(bindings, res_bounds):
+                if bound > ii:
+                    continue  # this binding provably cannot meet ii
+                tried += 1
+                schedule = modulo_schedule(loop, datapath, binding, ii)
+                if schedule is not None:
+                    return ModuloBindResult(
+                        binding=binding,
+                        schedule=schedule,
+                        ii=ii,
+                        mii=lower,
+                        res_mii=resource_bound,
+                        rec_mii=recurrence_bound,
+                        candidates_tried=tried,
+                        seconds=timer.seconds,
+                    )
+        raise RuntimeError(
+            f"no schedule found for {loop.name!r} up to II = {max_ii}"
+        )

@@ -1,0 +1,46 @@
+"""repro.runner — the parallel, cache-backed experiment engine.
+
+Every experiment in this repository reduces to batches of independent
+``(kernel × datapath × algorithm × config)`` binding jobs — the paper's
+tables, the random-DFG robustness study, and the design-space
+exploration its conclusion points at.  This subsystem gives those
+batches one engine:
+
+* :class:`BindJob` / :class:`JobResult` — frozen job specs with
+  deterministic content-hash cache keys (:mod:`repro.runner.jobs`);
+* :class:`ResultCache` — on-disk content-addressed result reuse
+  (:mod:`repro.runner.cache`);
+* :func:`run_batch` — process-pool execution with per-job timeout,
+  bounded retry, and crash recovery (:mod:`repro.runner.executor`);
+* :class:`RunStore` — an append-only JSONL log of every run
+  (:mod:`repro.runner.store`);
+* :class:`timed` / :class:`ProgressTracker` — shared timing and live
+  progress (:mod:`repro.runner.progress`);
+* :func:`run_jobs` — the single entry point composing all of the above
+  (:mod:`repro.runner.api`).
+
+See ``docs/RUNNER.md`` for the job model, cache layout, and run-store
+schema.
+"""
+
+from .api import run_jobs
+from .cache import CacheStats, ResultCache
+from .executor import JobTimeout, run_batch
+from .jobs import BindJob, JobResult, execute_job
+from .progress import ProgressTracker, timed
+from .store import RunStore, RunSummary
+
+__all__ = [
+    "BindJob",
+    "JobResult",
+    "execute_job",
+    "ResultCache",
+    "CacheStats",
+    "RunStore",
+    "RunSummary",
+    "run_batch",
+    "run_jobs",
+    "JobTimeout",
+    "ProgressTracker",
+    "timed",
+]

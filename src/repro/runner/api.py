@@ -1,0 +1,95 @@
+"""The experiment engine's single entry point: :func:`run_jobs`.
+
+Composition of the runner layers::
+
+    jobs --(cache lookup)--> hits replayed, misses executed
+         --(executor)------> parallel / serial, timeout, retry
+         --(cache fill)----> successful results written back
+         --(run store)-----> every (job, result) appended, input order
+         --(progress)------> per-completion callback
+
+Results always come back in input order, regardless of worker
+scheduling — callers that reassemble rows or design points can rely on
+positional correspondence with the submitted job list.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from .cache import ResultCache
+from .executor import run_batch
+from .jobs import BindJob, JobResult
+from .progress import ProgressTracker
+from .store import RunStore
+
+__all__ = ["run_jobs"]
+
+
+def run_jobs(
+    jobs: Iterable[BindJob],
+    *,
+    max_workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    store: Optional[RunStore] = None,
+    progress: Optional[Callable[[ProgressTracker], None]] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+) -> List[JobResult]:
+    """Run a batch of binding jobs with caching, parallelism, and logging.
+
+    Args:
+        jobs: the batch; the result list matches its order.
+        max_workers: 1 = in-process serial (deterministic, default);
+            >1 = process-pool parallelism.
+        cache: optional :class:`ResultCache`.  Hits skip execution
+            entirely (their results replay with ``cached=True``);
+            successful misses are written back.  Failures are never
+            cached — a flaky job gets a fresh chance next run.
+        store: optional :class:`RunStore`; every job is recorded, in
+            input order, with execution provenance.
+        progress: optional callback, invoked with the shared
+            :class:`ProgressTracker` after every finished job.
+        timeout: per-attempt wall-clock budget in seconds.
+        retries: extra attempts for a failing job (see
+            :func:`repro.runner.executor.run_batch`).
+
+    Returns:
+        One :class:`JobResult` per job, in input order; failures are
+        in-band (``status == "failed"``), never raised.
+    """
+    jobs = list(jobs)
+    tracker = ProgressTracker(total=len(jobs), callback=progress)
+    results: List[Optional[JobResult]] = [None] * len(jobs)
+
+    misses: List[int] = []
+    for i, job in enumerate(jobs):
+        if cache is not None:
+            payload = cache.get(job.cache_key())
+            if payload is not None:
+                result = JobResult.from_dict(payload)
+                result.cached = True
+                result.attempts = 0
+                result.worker = "cache"
+                results[i] = result
+                tracker.update(result)
+                continue
+        misses.append(i)
+
+    executed = run_batch(
+        [jobs[i] for i in misses],
+        max_workers=max_workers,
+        timeout=timeout,
+        retries=retries,
+        on_result=tracker.update,
+    )
+    for i, result in zip(misses, executed):
+        results[i] = result
+        if cache is not None and result.ok:
+            cache.put(jobs[i].cache_key(), result.to_dict())
+
+    if store is not None:
+        for job, result in zip(jobs, results):
+            assert result is not None
+            store.record(job, result)
+    return [r for r in results if r is not None]

@@ -1,0 +1,119 @@
+"""On-disk content-addressed result cache.
+
+Results are stored one JSON blob per job under a two-level fan-out
+directory keyed by the job's content hash::
+
+    <root>/ab/abcdef0123....json
+
+Each blob is a :class:`~repro.runner.jobs.JobResult` dict wrapped in a
+versioned envelope; blobs with an unknown envelope or result schema are
+treated as misses (never as errors), so stale caches degrade to cold
+ones instead of poisoning runs.  Writes are atomic (tmp file + rename),
+which makes a single cache directory safe to share between concurrent
+experiment processes on POSIX filesystems.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .jobs import RESULT_SCHEMA
+
+__all__ = ["CACHE_FORMAT", "CacheStats", "ResultCache"]
+
+#: Envelope version of on-disk blobs; bump to invalidate old caches.
+CACHE_FORMAT = "repro-cache/1"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 with no lookups)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Content-addressed store of job results.
+
+    Args:
+        root: cache directory; created (with parents) if missing.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except FileExistsError:
+            raise NotADirectoryError(
+                f"cache root {self.root} exists but is not a directory"
+            )
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        if len(key) < 3:
+            raise ValueError(f"malformed cache key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the cached result dict for ``key``, or None on miss.
+
+        Unreadable or schema-mismatched blobs count as misses.
+        """
+        path = self._path(key)
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        if (
+            envelope.get("format") != CACHE_FORMAT
+            or envelope.get("key") != key
+            or envelope.get("result", {}).get("format") != RESULT_SCHEMA
+        ):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return envelope["result"]
+
+    def put(self, key: str, result: Dict[str, Any]) -> None:
+        """Store ``result`` (a ``JobResult.to_dict()``) under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {"format": CACHE_FORMAT, "key": key, "result": result}
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(envelope, f, sort_keys=True)
+                f.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))

@@ -1,0 +1,295 @@
+"""Parallel job execution with timeouts, retries, and crash recovery.
+
+:func:`run_batch` drains a list of :class:`~repro.runner.jobs.BindJob`
+through one of two engines:
+
+* ``max_workers == 1`` — a plain in-process serial loop.  No pool, no
+  pickling, no forked state: determinism arguments (and determinism
+  tests) stay trivially valid, and results are identical to the
+  pre-runner code paths.
+* ``max_workers > 1`` — a ``concurrent.futures.ProcessPoolExecutor``.
+  Jobs are independent, so results are collected in completion order
+  but always *returned* in submission order.
+
+Fault tolerance, either engine:
+
+* **timeout** — enforced inside the executing process via ``SIGALRM``
+  (accurate per-job, immune to queueing delay).  On platforms without
+  ``SIGALRM`` the timeout is not enforced (documented limitation; the
+  repo targets Linux).
+* **retry** — a job whose attempt raises (or times out) is re-run up to
+  ``retries`` more times; a job that exhausts its attempts yields a
+  ``status == "failed"`` result with the last error, and the rest of
+  the batch continues unaffected.
+* **worker crash** — a hard worker death breaks the whole pool.  The
+  pool is rebuilt, and recovery distinguishes suspects from bystanders
+  via a shared started-marker map: jobs that were *running* when the
+  pool died are re-run one at a time in isolated single-worker pools
+  (a solo crash is exact attribution, so a persistent crasher exhausts
+  its own retry budget without starving its neighbours), while queued
+  jobs that never started are resubmitted without being charged an
+  attempt.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .jobs import BindJob, JobResult, execute_job
+
+__all__ = ["JobTimeout", "run_batch"]
+
+
+class JobTimeout(RuntimeError):
+    """A job exceeded its per-attempt wall-clock budget."""
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`JobTimeout` in the current process after ``seconds``.
+
+    A no-op when ``seconds`` is None, when the platform lacks
+    ``SIGALRM``, or when not on the main thread (signals cannot be
+    delivered elsewhere).
+    """
+    usable = (
+        seconds is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum: int, frame: Any) -> None:
+        raise JobTimeout(f"job timed out after {seconds:.3f}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _attempt(job: BindJob, timeout: Optional[float]) -> JobResult:
+    with _deadline(timeout):
+        return execute_job(job)
+
+
+def _worker(
+    job: BindJob,
+    timeout: Optional[float],
+    started: Optional[Any] = None,
+    token: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Pool entry point: run one job, ship the result back as a dict.
+
+    ``started`` is a manager-backed dict the worker marks before doing
+    any work; if the pool later dies, the parent uses it to tell jobs
+    that were mid-execution from ones still waiting in the queue.
+    """
+    if started is not None:
+        started[token] = os.getpid()
+    return _attempt(job, timeout).to_dict()
+
+
+def _failure(job: BindJob, error: str, attempts: int) -> JobResult:
+    return JobResult(
+        key=job.cache_key(),
+        kernel=job.kernel,
+        algorithm=job.algorithm,
+        datapath_spec=job.datapath_spec,
+        status="failed",
+        error=error,
+        attempts=attempts,
+    )
+
+
+def run_batch(
+    jobs: Sequence[BindJob],
+    *,
+    max_workers: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    on_result: Optional[Callable[[JobResult], None]] = None,
+) -> List[JobResult]:
+    """Execute ``jobs`` and return their results in input order.
+
+    Args:
+        jobs: the batch; order is preserved in the returned list.
+        max_workers: 1 = in-process serial (default); >1 = process pool.
+        timeout: per-attempt wall-clock budget in seconds (None = no
+            limit).
+        retries: extra attempts after a failed first one (so a job runs
+            at most ``retries + 1`` times).
+        on_result: called once per job as it finishes (completion
+            order), for progress tracking.
+
+    Returns:
+        One :class:`JobResult` per job; failures are reported in-band
+        via ``status == "failed"``, never raised.
+    """
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    jobs = list(jobs)
+    if max_workers == 1:
+        return _run_serial(jobs, timeout, retries, on_result)
+    return _run_pool(jobs, max_workers, timeout, retries, on_result)
+
+
+def _emit(
+    on_result: Optional[Callable[[JobResult], None]], result: JobResult
+) -> None:
+    if on_result is not None:
+        on_result(result)
+
+
+def _run_serial(
+    jobs: List[BindJob],
+    timeout: Optional[float],
+    retries: int,
+    on_result: Optional[Callable[[JobResult], None]],
+) -> List[JobResult]:
+    results: List[JobResult] = []
+    for job in jobs:
+        result: Optional[JobResult] = None
+        for attempt in range(1, retries + 2):
+            try:
+                result = _attempt(job, timeout)
+                result.attempts = attempt
+                break
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                if attempt == retries + 1:
+                    result = _failure(job, error, attempt)
+        assert result is not None
+        results.append(result)
+        _emit(on_result, result)
+    return results
+
+
+def _run_pool(
+    jobs: List[BindJob],
+    max_workers: int,
+    timeout: Optional[float],
+    retries: int,
+    on_result: Optional[Callable[[JobResult], None]],
+) -> List[JobResult]:
+    results: List[Optional[JobResult]] = [None] * len(jobs)
+    attempts = [0] * len(jobs)
+    manager = multiprocessing.Manager()
+    started = manager.dict()
+    seq = 0
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    pending: Dict[Any, Tuple[int, str]] = {}
+
+    def submit(index: int, charge: bool = True) -> None:
+        nonlocal seq
+        if charge:
+            attempts[index] += 1
+        seq += 1
+        token = f"{index}:{seq}"
+        future = pool.submit(_worker, jobs[index], timeout, started, token)
+        pending[future] = (index, token)
+
+    def finish(index: int, result: JobResult) -> None:
+        results[index] = result
+        _emit(on_result, result)
+
+    def quarantine(index: int) -> None:
+        """Re-run a crash suspect alone: a solo crash is its own fault."""
+        while True:
+            if attempts[index] > retries:
+                finish(
+                    index,
+                    _failure(
+                        jobs[index], "worker process crashed", attempts[index]
+                    ),
+                )
+                return
+            attempts[index] += 1
+            solo = ProcessPoolExecutor(max_workers=1)
+            try:
+                payload = solo.submit(_worker, jobs[index], timeout).result()
+            except BrokenProcessPool:
+                continue  # crashed again; loop until the budget runs out
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                if attempts[index] > retries:
+                    finish(index, _failure(jobs[index], error, attempts[index]))
+                    return
+            else:
+                result = JobResult.from_dict(payload)
+                result.attempts = attempts[index]
+                finish(index, result)
+                return
+            finally:
+                solo.shutdown(wait=False)
+
+    try:
+        for i in range(len(jobs)):
+            submit(i)
+        while pending:
+            done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+            # Resubmissions are deferred past the batch: if the pool
+            # broke, submitting inside the loop would target (or tear
+            # down) the wrong pool instance.
+            resubmit: List[Tuple[int, str]] = []  # (index, error)
+            suspects: List[int] = []
+            recycled: List[int] = []
+            broken = False
+            for future in done:
+                index, token = pending.pop(future)
+                try:
+                    payload = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    if token in started:
+                        suspects.append(index)
+                    else:
+                        recycled.append(index)
+                    continue
+                except Exception as exc:
+                    resubmit.append((index, f"{type(exc).__name__}: {exc}"))
+                    continue
+                result = JobResult.from_dict(payload)
+                result.attempts = attempts[index]
+                finish(index, result)
+            if broken:
+                # A dead worker poisons the whole pool.  Sort the other
+                # in-flight jobs: started ones are crash suspects and go
+                # to solo quarantine; queued ones never ran and are
+                # recycled without being charged an attempt.
+                for future, (index, token) in pending.items():
+                    if token in started:
+                        suspects.append(index)
+                    else:
+                        recycled.append(index)
+                pending.clear()
+                pool.shutdown(wait=False)
+                pool = ProcessPoolExecutor(max_workers=max_workers)
+                for index in suspects:
+                    quarantine(index)
+                for index in recycled:
+                    submit(index, charge=False)
+            for index, error in resubmit:
+                if attempts[index] <= retries:
+                    submit(index)
+                else:
+                    finish(index, _failure(jobs[index], error, attempts[index]))
+    finally:
+        pool.shutdown(wait=False)
+        manager.shutdown()
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]

@@ -1,0 +1,279 @@
+"""Binding-job specifications and their execution.
+
+A :class:`BindJob` is a frozen, hashable, picklable description of one
+``(DFG, datapath, algorithm, config)`` binding run — the unit of work of
+every experiment in the repository (Table 1/2 cells, the random-DFG
+study, design-space exploration).  Jobs carry their inputs *by value*
+(the DFG as canonical JSON, the datapath as its spec string), so they
+can cross process boundaries and be content-addressed:
+
+* :meth:`BindJob.cache_key` is a SHA-256 over a canonical, versioned
+  envelope — the same job always hashes the same, across processes,
+  hash-randomization seeds, and config-dict orderings; any change to
+  the DFG, machine, algorithm, or config changes the key;
+* :func:`execute_job` rehydrates the inputs and dispatches to the
+  algorithm, returning a :class:`JobResult`.
+
+The ``debug-*`` algorithms are failure-injection hooks for the executor
+tests (an always-raising job, a sleeper for timeout tests, a hard crash
+for worker-loss tests); they are registered here so worker processes
+know them without test-side setup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..datapath.model import Datapath
+from ..datapath.parse import parse_datapath
+from ..dfg.graph import Dfg
+from ..dfg.serialize import dfg_from_dict, dfg_to_dict
+
+__all__ = [
+    "JOB_SCHEMA",
+    "RESULT_SCHEMA",
+    "BindJob",
+    "JobResult",
+    "execute_job",
+]
+
+#: Version tag mixed into every cache key; bump on any change to the
+#: job envelope or to result semantics to invalidate stale caches.
+JOB_SCHEMA = "repro-bindjob/1"
+
+#: Version tag carried by serialized results (cache blobs, run stores).
+RESULT_SCHEMA = "repro-runresult/1"
+
+
+def _canonical(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace drift."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class BindJob:
+    """One binding run, specified by value.
+
+    Attributes:
+        dfg_json: the DFG as canonical ``repro-dfg/1`` JSON (see
+            :mod:`repro.dfg.serialize`); operation order is part of the
+            serialization, so a serialize/deserialize round trip keys
+            identically.
+        datapath_spec: normalized paper-style cluster spec.
+        num_buses: ``N_B``.
+        move_latency: ``lat(move)``.
+        algorithm: ``"pcc"``, ``"b-init"``, or ``"b-iter"`` (plus the
+            ``debug-*`` failure-injection hooks).
+        config: algorithm options as a sorted tuple of ``(key, value)``
+            pairs; values must be JSON scalars so the key stays
+            canonical.
+    """
+
+    dfg_json: str
+    datapath_spec: str
+    num_buses: int
+    move_latency: int
+    algorithm: str
+    config: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        dfg: Dfg,
+        datapath: Datapath,
+        algorithm: str,
+        **config: Any,
+    ) -> "BindJob":
+        """Build a job from live objects, normalizing as it goes."""
+        if algorithm not in _ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; "
+                f"known: {sorted(_ALGORITHMS)}"
+            )
+        for key, value in config.items():
+            if not isinstance(value, (str, int, float, bool, type(None))):
+                raise TypeError(
+                    f"config value {key}={value!r} is not a JSON scalar"
+                )
+        # The job carries the machine as (spec, N_B, lat(move)) — enough
+        # for every paper configuration, but a datapath with further
+        # registry customization (multi-cycle ALUs, unpipelined MULs, …)
+        # would rehydrate differently and poison the cache.  Refuse it.
+        reference = parse_datapath(
+            datapath.spec(),
+            num_buses=datapath.num_buses,
+            move_latency=datapath.move_latency,
+        )
+        if {i.optype: i for i in datapath.registry} != {
+            i.optype: i for i in reference.registry
+        }:
+            raise ValueError(
+                "datapath has a custom timing registry that a BindJob "
+                "cannot carry; only lat(move) overrides are supported"
+            )
+        return cls(
+            dfg_json=_canonical(dfg_to_dict(dfg)),
+            datapath_spec=datapath.spec(),
+            num_buses=datapath.num_buses,
+            move_latency=datapath.move_latency,
+            algorithm=algorithm,
+            config=tuple(sorted(config.items())),
+        )
+
+    def dfg(self) -> Dfg:
+        """Rehydrate the DFG."""
+        return dfg_from_dict(json.loads(self.dfg_json))
+
+    def datapath(self) -> Datapath:
+        """Rehydrate the datapath."""
+        return parse_datapath(
+            self.datapath_spec,
+            num_buses=self.num_buses,
+            move_latency=self.move_latency,
+        )
+
+    @property
+    def kernel(self) -> str:
+        """The DFG's name (used for labels; not part of the algorithm)."""
+        return str(json.loads(self.dfg_json).get("name", "dfg"))
+
+    def cache_key(self) -> str:
+        """Content hash of the job (hex SHA-256 of the envelope)."""
+        envelope = _canonical(
+            {
+                "schema": JOB_SCHEMA,
+                "dfg": self.dfg_json,
+                "datapath": self.datapath_spec,
+                "num_buses": self.num_buses,
+                "move_latency": self.move_latency,
+                "algorithm": self.algorithm,
+                "config": list(self.config),
+            }
+        )
+        return hashlib.sha256(envelope.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job attempt (or a cache replay of one).
+
+    ``latency``/``transfers`` are None when ``status == "failed"``;
+    ``seconds`` is the algorithm's own wall-clock measurement.
+    ``cached``/``attempts``/``worker`` are execution provenance, filled
+    in by the runner rather than the algorithm.
+    """
+
+    key: str
+    kernel: str
+    algorithm: str
+    datapath_spec: str
+    status: str = "ok"
+    latency: Optional[int] = None
+    transfers: Optional[int] = None
+    seconds: float = 0.0
+    error: Optional[str] = None
+    attempts: int = 1
+    worker: str = field(default_factory=lambda: str(os.getpid()))
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["format"] = RESULT_SCHEMA
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobResult":
+        fmt = data.get("format")
+        if fmt != RESULT_SCHEMA:
+            raise ValueError(
+                f"unsupported result format {fmt!r}; expected {RESULT_SCHEMA!r}"
+            )
+        fields = {k: v for k, v in data.items() if k != "format"}
+        return cls(**fields)
+
+
+# ----------------------------------------------------------------------
+# Algorithm dispatch.  The real binders are imported lazily: the runner
+# executes the baselines and the baselines import runner.progress, so a
+# module-level import here would close the cycle.
+# ----------------------------------------------------------------------
+
+def _run_pcc(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    from ..baselines.pcc import pcc_bind
+
+    result = pcc_bind(dfg, datapath)
+    return result.latency, result.num_transfers, result.seconds
+
+
+def _run_b_init(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    from ..core.driver import bind_initial
+
+    result = bind_initial(dfg, datapath)
+    return result.latency, result.num_transfers, result.init_seconds
+
+
+def _run_b_iter(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    from ..core.driver import bind
+
+    result = bind(dfg, datapath, iter_starts=config.get("iter_starts"))
+    return (
+        result.latency,
+        result.num_transfers,
+        result.init_seconds + result.iter_seconds,
+    )
+
+
+def _run_debug_fail(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    raise RuntimeError("injected failure (debug-fail job)")
+
+
+def _run_debug_sleep(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    import time
+
+    time.sleep(float(config.get("seconds", 60.0)))
+    return 0, 0, 0.0
+
+
+def _run_debug_crash(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    # Simulates a worker dying mid-job (segfault, OOM kill): exit the
+    # process without cleanup so ProcessPoolExecutor sees a lost worker.
+    os._exit(17)
+
+
+_ALGORITHMS: Dict[str, Callable[[Dfg, Datapath, Dict[str, Any]], Any]] = {
+    "pcc": _run_pcc,
+    "b-init": _run_b_init,
+    "b-iter": _run_b_iter,
+    "debug-fail": _run_debug_fail,
+    "debug-sleep": _run_debug_sleep,
+    "debug-crash": _run_debug_crash,
+}
+
+
+def execute_job(job: BindJob) -> JobResult:
+    """Run one job in the current process.
+
+    Raises whatever the algorithm raises — retry/failure bookkeeping is
+    the executor's responsibility, not this function's.
+    """
+    fn = _ALGORITHMS[job.algorithm]
+    dfg = job.dfg()
+    latency, transfers, seconds = fn(dfg, job.datapath(), dict(job.config))
+    return JobResult(
+        key=job.cache_key(),
+        kernel=dfg.name,
+        algorithm=job.algorithm,
+        datapath_spec=job.datapath_spec,
+        status="ok",
+        latency=latency,
+        transfers=transfers,
+        seconds=seconds,
+    )

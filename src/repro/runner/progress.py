@@ -1,0 +1,108 @@
+"""Timing and live-progress primitives for the experiment engine.
+
+Two small, dependency-free tools:
+
+* :class:`timed` — the wall-clock context manager shared by every
+  algorithm entry point (it replaces the ``t0 = time.perf_counter()``
+  boilerplate that used to be copy-pasted across the baselines);
+* :class:`ProgressTracker` — running counters (done / failed / cached,
+  elapsed, throughput) with a callback hook, so callers such as the CLI
+  can render live progress while :func:`repro.runner.api.run_jobs`
+  drains a batch.
+
+This module deliberately imports nothing from the rest of ``repro`` —
+the baselines use :class:`timed`, and the runner executes the baselines,
+so any package import here would close a cycle.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Optional
+
+__all__ = ["timed", "ProgressTracker"]
+
+
+class timed:
+    """Measure wall-clock seconds around a block.
+
+    Usage::
+
+        with timed() as timer:
+            heavy_work()
+        print(timer.seconds)
+
+    ``seconds`` is also readable *inside* the block (elapsed so far),
+    which lets algorithms that return from within the timed region
+    stamp their result without leaving the context first.
+    """
+
+    def __enter__(self) -> "timed":
+        self._start = time.perf_counter()
+        self._end: Optional[float] = None
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._end = time.perf_counter()
+
+    @property
+    def seconds(self) -> float:
+        """Elapsed seconds: final once exited, running while inside."""
+        end = self._end if self._end is not None else time.perf_counter()
+        return end - self._start
+
+
+class ProgressTracker:
+    """Counters for one batch of jobs, with a per-update callback.
+
+    The runner calls :meth:`update` once per finished job (whether it
+    ran, failed, or was served from the cache); the callback — if any —
+    receives the tracker itself and can render :meth:`line` however it
+    likes.  Callback exceptions propagate: a broken renderer should not
+    be silently swallowed mid-experiment.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        callback: Optional[Callable[["ProgressTracker"], None]] = None,
+    ) -> None:
+        if total < 0:
+            raise ValueError(f"total must be >= 0, got {total}")
+        self.total = total
+        self.done = 0
+        self.failed = 0
+        self.cached = 0
+        self._callback = callback
+        self._timer = timed().__enter__()
+
+    def update(self, result: Any) -> None:
+        """Record one finished job (an object with status/cached attrs)."""
+        self.done += 1
+        if getattr(result, "status", "ok") != "ok":
+            self.failed += 1
+        if getattr(result, "cached", False):
+            self.cached += 1
+        if self._callback is not None:
+            self._callback(self)
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds since the tracker was created."""
+        return self._timer.seconds
+
+    @property
+    def throughput(self) -> float:
+        """Jobs finished per second (0.0 before the first update)."""
+        elapsed = self.elapsed
+        return self.done / elapsed if elapsed > 0 else 0.0
+
+    def line(self) -> str:
+        """One-line progress summary for terminal rendering."""
+        parts = [f"{self.done}/{self.total} jobs"]
+        if self.cached:
+            parts.append(f"{self.cached} cached")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        parts.append(f"{self.throughput:.1f} jobs/s")
+        return " | ".join(parts)

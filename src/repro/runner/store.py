@@ -1,0 +1,117 @@
+"""Append-only JSONL run store.
+
+Every job that passes through :func:`repro.runner.api.run_jobs` can be
+recorded — spec summary, outcome, and execution provenance (worker pid,
+attempt count, cache hit or live run) — one JSON object per line::
+
+    {"format": "repro-run/1", "key": "ab12...", "kernel": "ewf",
+     "algorithm": "b-init", "datapath": "|2,1|1,1|", "num_buses": 2,
+     "move_latency": 1, "config": [["iter_starts", 1]],
+     "status": "ok", "latency": 19, "transfers": 4, "seconds": 0.41,
+     "attempts": 1, "worker": "12345", "cached": false, "error": null}
+
+JSONL + append-only keeps the store crash-tolerant (a torn final line
+is skipped on read, never fatal) and trivially greppable/mergeable.
+:meth:`RunStore.summary` aggregates the counters the acceptance checks
+care about — how many jobs ran, failed, or were served from cache.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+from .jobs import BindJob, JobResult
+
+__all__ = ["RUN_FORMAT", "RunStore", "RunSummary"]
+
+#: Schema tag of every record line; bump on field changes.
+RUN_FORMAT = "repro-run/1"
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Aggregate counters over a run store's records."""
+
+    total: int
+    ok: int
+    failed: int
+    cached: int
+
+    @property
+    def executed(self) -> int:
+        """Jobs that actually invoked a binder (not served from cache)."""
+        return self.total - self.cached
+
+
+class RunStore:
+    """Append-only experiment log at ``path`` (created on first record)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def record(self, job: BindJob, result: JobResult) -> None:
+        """Append one (job, result) record."""
+        entry: Dict[str, Any] = {
+            "format": RUN_FORMAT,
+            "key": result.key,
+            "kernel": result.kernel,
+            "algorithm": job.algorithm,
+            "datapath": job.datapath_spec,
+            "num_buses": job.num_buses,
+            "move_latency": job.move_latency,
+            "config": [list(pair) for pair in job.config],
+            "status": result.status,
+            "latency": result.latency,
+            "transfers": result.transfers,
+            "seconds": result.seconds,
+            "attempts": result.attempts,
+            "worker": result.worker,
+            "cached": result.cached,
+            "error": result.error,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as f:
+            f.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    @staticmethod
+    def read(path: Union[str, Path]) -> List[Dict[str, Any]]:
+        """Load all records from ``path``.
+
+        Lines that fail to parse (e.g. a torn tail after a crash) or
+        carry an unknown format tag are skipped.
+        """
+        records: List[Dict[str, Any]] = []
+        try:
+            lines: Iterable[str] = Path(path).read_text().splitlines()
+        except OSError:
+            return records
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if entry.get("format") == RUN_FORMAT:
+                records.append(entry)
+        return records
+
+    def records(self) -> List[Dict[str, Any]]:
+        """All records of this store's file."""
+        return self.read(self.path)
+
+    def summary(self) -> RunSummary:
+        """Aggregate status/provenance counters over the store."""
+        records = self.records()
+        ok = sum(1 for r in records if r["status"] == "ok")
+        cached = sum(1 for r in records if r.get("cached"))
+        return RunSummary(
+            total=len(records),
+            ok=ok,
+            failed=len(records) - ok,
+            cached=cached,
+        )

@@ -1,0 +1,95 @@
+"""run_jobs: the composed engine (cache + executor + store + progress)."""
+
+import pytest
+
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import random_layered_dfg
+from repro.kernels.registry import load_kernel
+from repro.runner import ResultCache, RunStore
+from repro.runner.api import run_jobs
+from repro.runner.jobs import BindJob
+
+
+@pytest.fixture
+def dp():
+    return parse_datapath("|2,1|1,1|", num_buses=2)
+
+
+@pytest.fixture
+def jobs(dp):
+    return [
+        BindJob.make(random_layered_dfg(10, seed=s), dp, algo)
+        for s in range(2)
+        for algo in ("pcc", "b-init")
+    ]
+
+
+class TestCaching:
+    def test_warm_run_executes_nothing(self, jobs, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_jobs(jobs, cache=cache)
+        assert cache.stats.misses == len(jobs)
+        assert cache.stats.writes == len(jobs)
+
+        warm_cache = ResultCache(tmp_path / "cache")
+        warm = run_jobs(jobs, cache=warm_cache)
+        assert warm_cache.stats.hits == len(jobs)
+        assert warm_cache.stats.misses == 0
+        assert all(r.cached for r in warm)
+        assert all(r.worker == "cache" and r.attempts == 0 for r in warm)
+        assert [(r.latency, r.transfers) for r in warm] == [
+            (r.latency, r.transfers) for r in cold
+        ]
+
+    def test_failures_are_not_cached(self, dp, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = BindJob.make(load_kernel("ewf"), dp, "debug-fail")
+        (first,) = run_jobs([job], cache=cache, retries=0)
+        assert first.status == "failed"
+        assert cache.stats.writes == 0
+        (second,) = run_jobs([job], cache=cache, retries=0)
+        assert second.status == "failed"
+        assert not second.cached  # re-attempted, not replayed
+
+    def test_mixed_hit_miss_batch_keeps_order(self, jobs, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_jobs(jobs[:2], cache=cache)
+        results = run_jobs(jobs, cache=cache)
+        assert [r.key for r in results] == [j.cache_key() for j in jobs]
+        assert [r.cached for r in results] == [True, True, False, False]
+
+
+class TestStore:
+    def test_every_job_recorded_in_input_order(self, jobs, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        run_jobs(jobs, store=store)
+        records = store.records()
+        assert [r["key"] for r in records] == [j.cache_key() for j in jobs]
+        summary = store.summary()
+        assert summary.total == len(jobs)
+        assert summary.ok == len(jobs)
+        assert summary.executed == len(jobs)
+
+    def test_cache_provenance_recorded(self, jobs, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        store = RunStore(tmp_path / "runs.jsonl")
+        run_jobs(jobs, cache=cache)
+        run_jobs(jobs, cache=cache, store=store)
+        assert all(r["cached"] for r in store.records())
+        assert store.summary().executed == 0
+
+
+class TestProgress:
+    def test_callback_sees_every_job(self, jobs):
+        lines = []
+        run_jobs(jobs, progress=lambda t: lines.append(t.line()))
+        assert len(lines) == len(jobs)
+        assert lines[-1].startswith(f"{len(jobs)}/{len(jobs)} jobs")
+
+    def test_cached_counter(self, jobs, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_jobs(jobs, cache=cache)
+        trackers = []
+        run_jobs(jobs, cache=cache, progress=trackers.append)
+        assert trackers[-1].cached == len(jobs)
+        assert trackers[-1].failed == 0

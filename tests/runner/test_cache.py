@@ -1,0 +1,105 @@
+"""ResultCache: content-addressed blobs, stats, corruption tolerance."""
+
+import json
+
+import pytest
+
+from repro.kernels.registry import load_kernel
+from repro.runner import BindJob, ResultCache, execute_job
+from repro.runner.cache import CACHE_FORMAT
+
+
+@pytest.fixture
+def job(two_cluster):
+    return BindJob.make(load_kernel("ewf"), two_cluster, "b-init")
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_put_get(self, cache, job):
+        result = execute_job(job)
+        key = job.cache_key()
+        cache.put(key, result.to_dict())
+        assert cache.get(key) == result.to_dict()
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_blob_layout(self, cache, job):
+        key = job.cache_key()
+        cache.put(key, execute_job(job).to_dict())
+        blob = cache.root / key[:2] / f"{key}.json"
+        assert blob.exists()
+        envelope = json.loads(blob.read_text())
+        assert envelope["format"] == CACHE_FORMAT
+        assert envelope["key"] == key
+
+    def test_missing_key_is_miss(self, cache):
+        assert cache.get("ab" + "0" * 62) is None
+        assert ("ab" + "0" * 62) not in cache
+
+    def test_malformed_key_rejected(self, cache):
+        with pytest.raises(ValueError, match="malformed cache key"):
+            cache.get("ab")
+
+
+class TestCorruptionTolerance:
+    def _plant(self, cache, key, text):
+        path = cache.root / key[:2] / f"{key}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+
+    def test_torn_json_is_miss(self, cache):
+        key = "cd" + "1" * 62
+        self._plant(cache, key, '{"format": "repro-ca')
+        assert cache.get(key) is None
+
+    def test_unknown_envelope_format_is_miss(self, cache, job):
+        key = job.cache_key()
+        envelope = {
+            "format": "repro-cache/999",
+            "key": key,
+            "result": execute_job(job).to_dict(),
+        }
+        self._plant(cache, key, json.dumps(envelope))
+        assert cache.get(key) is None
+
+    def test_key_mismatch_is_miss(self, cache, job):
+        # A blob copied/renamed to the wrong address must not replay.
+        key = job.cache_key()
+        other = "ef" + "2" * 62
+        envelope = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "result": execute_job(job).to_dict(),
+        }
+        self._plant(cache, other, json.dumps(envelope))
+        assert cache.get(other) is None
+
+    def test_unknown_result_schema_is_miss(self, cache, job):
+        key = job.cache_key()
+        result = execute_job(job).to_dict()
+        result["format"] = "repro-runresult/999"
+        envelope = {"format": CACHE_FORMAT, "key": key, "result": result}
+        self._plant(cache, key, json.dumps(envelope))
+        assert cache.get(key) is None
+
+
+class TestStats:
+    def test_counters(self, cache, job):
+        key = job.cache_key()
+        assert cache.get(key) is None
+        cache.put(key, execute_job(job).to_dict())
+        assert cache.get(key) is not None
+        assert cache.get(key) is not None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 2
+        assert cache.stats.writes == 1
+        assert cache.stats.lookups == 3
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_without_lookups(self, cache):
+        assert cache.stats.hit_rate == 0.0

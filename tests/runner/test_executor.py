@@ -1,0 +1,124 @@
+"""run_batch: serial/parallel engines, timeouts, retries, crash recovery.
+
+The ``debug-*`` algorithms registered in :mod:`repro.runner.jobs` drive
+the failure paths: ``debug-fail`` always raises, ``debug-sleep`` busy-
+waits past a timeout, ``debug-crash`` kills its worker process outright
+(``os._exit``), which on a process pool simulates a segfault/OOM kill.
+"""
+
+import pytest
+
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import random_layered_dfg
+from repro.kernels.registry import load_kernel
+from repro.runner import BindJob, run_batch
+
+
+@pytest.fixture
+def dp():
+    return parse_datapath("|1,1|1,1|", num_buses=2)
+
+
+def _ok_job(dp, seed=0):
+    return BindJob.make(random_layered_dfg(8, seed=seed), dp, "b-init")
+
+
+class TestValidation:
+    def test_bad_max_workers(self, dp):
+        with pytest.raises(ValueError, match="max_workers"):
+            run_batch([_ok_job(dp)], max_workers=0)
+
+    def test_bad_retries(self, dp):
+        with pytest.raises(ValueError, match="retries"):
+            run_batch([_ok_job(dp)], retries=-1)
+
+    def test_empty_batch(self):
+        assert run_batch([]) == []
+
+
+class TestSerialEngine:
+    def test_results_in_input_order(self, dp):
+        jobs = [_ok_job(dp, seed=s) for s in range(4)]
+        results = run_batch(jobs, max_workers=1)
+        assert [r.key for r in results] == [j.cache_key() for j in jobs]
+        assert all(r.ok and r.attempts == 1 for r in results)
+
+    def test_failure_is_in_band(self, dp):
+        jobs = [
+            _ok_job(dp, seed=0),
+            BindJob.make(load_kernel("ewf"), dp, "debug-fail"),
+            _ok_job(dp, seed=1),
+        ]
+        results = run_batch(jobs, max_workers=1, retries=2)
+        assert [r.status for r in results] == ["ok", "failed", "ok"]
+        assert results[1].attempts == 3  # 1 + 2 retries
+        assert "injected failure" in results[1].error
+
+    def test_timeout_enforced(self, dp):
+        job = BindJob.make(load_kernel("ewf"), dp, "debug-sleep", seconds=30)
+        (result,) = run_batch([job], max_workers=1, timeout=0.2, retries=0)
+        assert result.status == "failed"
+        assert "JobTimeout" in result.error
+
+    def test_on_result_called_per_job(self, dp):
+        seen = []
+        jobs = [_ok_job(dp, seed=s) for s in range(3)]
+        run_batch(jobs, max_workers=1, on_result=seen.append)
+        assert len(seen) == 3
+
+
+class TestPoolEngine:
+    def test_results_in_input_order(self, dp):
+        jobs = [_ok_job(dp, seed=s) for s in range(5)]
+        results = run_batch(jobs, max_workers=3)
+        assert [r.key for r in results] == [j.cache_key() for j in jobs]
+        assert all(r.ok for r in results)
+
+    def test_pool_matches_serial(self, dp):
+        jobs = [_ok_job(dp, seed=s) for s in range(4)]
+        serial = run_batch(jobs, max_workers=1)
+        pooled = run_batch(jobs, max_workers=2)
+        assert [(r.latency, r.transfers) for r in serial] == [
+            (r.latency, r.transfers) for r in pooled
+        ]
+
+    def test_raising_job_does_not_abort_batch(self, dp):
+        jobs = [
+            BindJob.make(load_kernel("ewf"), dp, "debug-fail"),
+            _ok_job(dp, seed=0),
+            _ok_job(dp, seed=1),
+        ]
+        results = run_batch(jobs, max_workers=2, retries=1)
+        assert [r.status for r in results] == ["failed", "ok", "ok"]
+        assert results[0].attempts == 2
+
+    def test_timeout_enforced_in_worker(self, dp):
+        jobs = [
+            BindJob.make(load_kernel("ewf"), dp, "debug-sleep", seconds=30),
+            _ok_job(dp, seed=0),
+        ]
+        results = run_batch(jobs, max_workers=2, timeout=0.2, retries=0)
+        assert results[0].status == "failed"
+        assert "JobTimeout" in results[0].error
+        assert results[1].ok
+
+    def test_worker_crash_does_not_starve_bystanders(self, dp):
+        # debug-crash os._exit()s the worker, breaking the whole pool;
+        # recovery must re-run the crasher in isolation and leave the
+        # innocent jobs' retry budgets untouched.
+        jobs = [
+            BindJob.make(load_kernel("ewf"), dp, "debug-crash"),
+            _ok_job(dp, seed=0),
+            _ok_job(dp, seed=1),
+        ]
+        results = run_batch(jobs, max_workers=2, retries=1)
+        assert results[0].status == "failed"
+        assert "crashed" in results[0].error
+        assert results[0].attempts == 2
+        assert results[1].ok and results[2].ok
+
+    def test_crash_with_zero_retries(self, dp):
+        jobs = [BindJob.make(load_kernel("ewf"), dp, "debug-crash")]
+        (result,) = run_batch(jobs, max_workers=2, retries=0)
+        assert result.status == "failed"
+        assert result.attempts == 1

@@ -1,0 +1,242 @@
+"""BindJob / JobResult: construction, validation, and cache keys.
+
+The cache-key contract is load-bearing for the whole experiment engine:
+the same job must hash identically across processes, hash-randomization
+seeds, and config-dict orderings, and *any* semantic change to the job
+must change the key.  The property tests below pin that contract over
+random DFG populations.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import random_layered_dfg
+from repro.dfg.ops import MULT, default_registry
+from repro.dfg.serialize import dfg_from_dict, dfg_to_dict
+from repro.kernels.registry import load_kernel
+from repro.runner import BindJob, JobResult, execute_job
+from repro.runner.jobs import JOB_SCHEMA, RESULT_SCHEMA
+
+
+@pytest.fixture
+def ewf_job(two_cluster):
+    return BindJob.make(load_kernel("ewf"), two_cluster, "b-init")
+
+
+class TestBindJobConstruction:
+    def test_make_normalizes_spec(self, two_cluster):
+        job = BindJob.make(load_kernel("ewf"), two_cluster, "pcc")
+        assert job.datapath_spec == two_cluster.spec()
+        assert job.num_buses == 2
+        assert job.move_latency == 1
+
+    def test_unknown_algorithm_rejected(self, two_cluster, diamond):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            BindJob.make(diamond, two_cluster, "simplex")
+
+    def test_non_scalar_config_rejected(self, two_cluster, diamond):
+        with pytest.raises(TypeError, match="not a JSON scalar"):
+            BindJob.make(diamond, two_cluster, "b-iter", iter_starts=[1, 2])
+
+    def test_custom_registry_rejected(self, diamond):
+        reg = default_registry().with_overrides(latencies={MULT: 6})
+        dp = parse_datapath("|1,1|1,1|", num_buses=2, registry=reg)
+        with pytest.raises(ValueError, match="custom timing registry"):
+            BindJob.make(diamond, dp, "b-init")
+
+    def test_rehydration_round_trip(self, ewf_job, two_cluster):
+        dfg = ewf_job.dfg()
+        assert dfg.name == "ewf"
+        assert dfg.num_operations == load_kernel("ewf").num_operations
+        dp = ewf_job.datapath()
+        assert dp.spec() == two_cluster.spec()
+        assert dp.num_buses == two_cluster.num_buses
+
+    def test_jobs_are_hashable_and_picklable(self, ewf_job):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(ewf_job))
+        assert clone == ewf_job
+        assert hash(clone) == hash(ewf_job)
+        assert clone.cache_key() == ewf_job.cache_key()
+
+
+class TestCacheKey:
+    def test_key_is_hex_sha256(self, ewf_job):
+        key = ewf_job.cache_key()
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex
+
+    def test_serialize_round_trip_keys_identically(self, two_cluster):
+        dfg = load_kernel("arf")
+        job = BindJob.make(dfg, two_cluster, "pcc")
+        clone = dfg_from_dict(json.loads(json.dumps(dfg_to_dict(dfg))))
+        assert BindJob.make(clone, two_cluster, "pcc").cache_key() == (
+            job.cache_key()
+        )
+
+    def test_config_order_independent(self, two_cluster, diamond):
+        a = BindJob.make(diamond, two_cluster, "debug-sleep", x=1, seconds=2)
+        b = BindJob.make(diamond, two_cluster, "debug-sleep", seconds=2, x=1)
+        assert a.cache_key() == b.cache_key()
+
+    def test_every_field_is_significant(self, diamond, two_cluster):
+        base = BindJob.make(diamond, two_cluster, "b-iter", iter_starts=1)
+        variants = [
+            BindJob.make(diamond, two_cluster, "b-iter", iter_starts=2),
+            BindJob.make(diamond, two_cluster, "b-iter"),
+            BindJob.make(diamond, two_cluster, "b-init"),
+            BindJob.make(
+                diamond,
+                parse_datapath("|2,1|1,1|", num_buses=2),
+                "b-iter",
+                iter_starts=1,
+            ),
+            BindJob.make(
+                diamond,
+                parse_datapath("|1,1|1,1|", num_buses=1),
+                "b-iter",
+                iter_starts=1,
+            ),
+            BindJob.make(
+                diamond,
+                parse_datapath("|1,1|1,1|", num_buses=2, move_latency=2),
+                "b-iter",
+                iter_starts=1,
+            ),
+        ]
+        keys = {base.cache_key()} | {v.cache_key() for v in variants}
+        assert len(keys) == 1 + len(variants)
+
+    def test_different_dfgs_key_differently(self, two_cluster):
+        a = random_layered_dfg(12, seed=0)
+        b = random_layered_dfg(12, seed=1)
+        assert (
+            BindJob.make(a, two_cluster, "pcc").cache_key()
+            != BindJob.make(b, two_cluster, "pcc").cache_key()
+        )
+
+    def test_schema_tag_in_envelope(self, ewf_job):
+        # Defensive: the schema tag must participate in the hash, so a
+        # bump invalidates old keys.  Reconstruct the envelope here.
+        envelope = json.dumps(
+            {
+                "schema": JOB_SCHEMA,
+                "dfg": ewf_job.dfg_json,
+                "datapath": ewf_job.datapath_spec,
+                "num_buses": ewf_job.num_buses,
+                "move_latency": ewf_job.move_latency,
+                "algorithm": ewf_job.algorithm,
+                "config": list(ewf_job.config),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        import hashlib
+
+        assert (
+            hashlib.sha256(envelope.encode()).hexdigest()
+            == ewf_job.cache_key()
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        num_ops=st.integers(4, 24),
+        iter_starts=st.one_of(st.none(), st.integers(1, 4)),
+    )
+    def test_key_stable_over_round_trip_property(
+        self, seed, num_ops, iter_starts
+    ):
+        dp = parse_datapath("|2,1|1,1|", num_buses=2)
+        dfg = random_layered_dfg(num_ops, seed=seed)
+        job = BindJob.make(dfg, dp, "b-iter", iter_starts=iter_starts)
+        clone_dfg = dfg_from_dict(json.loads(job.dfg_json))
+        clone = BindJob.make(
+            clone_dfg, job.datapath(), "b-iter", iter_starts=iter_starts
+        )
+        assert clone == job
+        assert clone.cache_key() == job.cache_key()
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), delta=st.integers(1, 5))
+    def test_any_config_change_changes_key_property(self, seed, delta):
+        dp = parse_datapath("|1,1|1,1|", num_buses=2)
+        dfg = random_layered_dfg(10, seed=seed)
+        a = BindJob.make(dfg, dp, "b-iter", iter_starts=1)
+        b = BindJob.make(dfg, dp, "b-iter", iter_starts=1 + delta)
+        assert a.cache_key() != b.cache_key()
+
+    def test_key_stable_across_processes(self, tmp_path):
+        # The key must not depend on PYTHONHASHSEED or interpreter
+        # instance: compute the same job's key in fresh subprocesses
+        # with different hash seeds and compare.
+        src_root = Path(repro.__file__).resolve().parents[1]
+        script = (
+            "from repro.datapath.parse import parse_datapath\n"
+            "from repro.kernels.registry import load_kernel\n"
+            "from repro.runner import BindJob\n"
+            "job = BindJob.make(load_kernel('ewf'),"
+            " parse_datapath('|2,1|1,1|', num_buses=2),"
+            " 'b-iter', iter_starts=3)\n"
+            "print(job.cache_key())\n"
+        )
+        keys = set()
+        for hashseed in ("0", "1", "12345"):
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={
+                    "PYTHONPATH": str(src_root),
+                    "PYTHONHASHSEED": hashseed,
+                },
+            )
+            keys.add(out.stdout.strip())
+        assert len(keys) == 1
+        in_process = BindJob.make(
+            load_kernel("ewf"),
+            parse_datapath("|2,1|1,1|", num_buses=2),
+            "b-iter",
+            iter_starts=3,
+        ).cache_key()
+        assert keys == {in_process}
+
+
+class TestJobResult:
+    def test_to_from_dict_round_trip(self):
+        result = JobResult(
+            key="k" * 64,
+            kernel="ewf",
+            algorithm="pcc",
+            datapath_spec="|1,1|1,1|",
+            latency=14,
+            transfers=4,
+            seconds=0.25,
+        )
+        data = result.to_dict()
+        assert data["format"] == RESULT_SCHEMA
+        assert JobResult.from_dict(data) == result
+
+    def test_from_dict_rejects_unknown_format(self):
+        with pytest.raises(ValueError, match="unsupported result format"):
+            JobResult.from_dict({"format": "repro-runresult/999"})
+
+    def test_execute_job_fills_measurements(self, two_cluster):
+        job = BindJob.make(load_kernel("ewf"), two_cluster, "b-init")
+        result = execute_job(job)
+        assert result.ok
+        assert result.key == job.cache_key()
+        assert result.kernel == "ewf"
+        assert result.latency is not None and result.latency > 0
+        assert result.transfers is not None and result.transfers >= 0
+        assert result.seconds > 0

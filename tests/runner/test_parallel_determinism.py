@@ -1,0 +1,107 @@
+"""Acceptance checks of the experiment engine (ISSUE criteria).
+
+1. Parallel dispatch must not change *what* is computed: for the random
+   study and the DSE sweep, ``max_workers=1`` and ``max_workers=4``
+   must produce byte-identical summaries.  Wall-clock ``seconds`` are
+   inherently non-deterministic, so the comparison is over a canonical
+   seconds-free projection of the rows/points — everything else must
+   match byte for byte.
+2. A repeated run against a warm cache must perform *zero* binder
+   invocations, observable through the cache statistics and through the
+   run store's provenance fields.
+"""
+
+import json
+
+from repro.analysis.random_study import StudyConfig, run_random_study
+from repro.explore.dse import enumerate_datapaths, explore
+from repro.kernels.registry import load_kernel
+from repro.runner import ResultCache, RunStore
+
+CONFIG = StudyConfig(num_graphs=4, num_ops=12, run_iter=True, iter_starts=1)
+
+
+def _study_projection(rows):
+    """Canonical JSON of everything except wall-clock seconds."""
+    return json.dumps(
+        [
+            {
+                "kernel": row.kernel,
+                "datapath": row.datapath_spec,
+                "num_buses": row.num_buses,
+                "move_latency": row.move_latency,
+                "pcc": row.pcc.lm,
+                "b_init": row.b_init.lm,
+                "b_iter": row.b_iter.lm if row.b_iter else None,
+            }
+            for row in rows
+        ],
+        sort_keys=True,
+    ).encode()
+
+
+def _dse_projection(points):
+    return json.dumps(
+        [
+            {
+                "datapath": p.datapath_spec,
+                "num_buses": p.num_buses,
+                "area": p.area,
+                "latency": p.latency,
+                "transfers": p.total_transfers,
+                "per_kernel": {k: list(v) for k, v in p.per_kernel.items()},
+            }
+            for p in points
+        ],
+        sort_keys=True,
+    ).encode()
+
+
+class TestParallelDeterminism:
+    def test_random_study_identical_across_worker_counts(self):
+        serial = run_random_study(CONFIG, max_workers=1)
+        parallel = run_random_study(CONFIG, max_workers=4)
+        assert _study_projection(serial) == _study_projection(parallel)
+
+    def test_dse_identical_across_worker_counts(self):
+        kernels = {"ewf": load_kernel("ewf")}
+        candidates = enumerate_datapaths(max_clusters=2, max_total_fus=4)
+        serial = explore(kernels, candidates, max_workers=1)
+        parallel = explore(kernels, candidates, max_workers=4)
+        assert _dse_projection(serial) == _dse_projection(parallel)
+
+
+class TestWarmCache:
+    def test_second_run_invokes_no_binder(self, tmp_path):
+        cold_cache = ResultCache(tmp_path / "cache")
+        cold = run_random_study(CONFIG, cache=cold_cache)
+        num_jobs = 3 * CONFIG.num_graphs
+        assert cold_cache.stats.misses == num_jobs
+        assert cold_cache.stats.writes == num_jobs
+
+        warm_cache = ResultCache(tmp_path / "cache")
+        store = RunStore(tmp_path / "runs.jsonl")
+        warm = run_random_study(CONFIG, cache=warm_cache, store=store)
+
+        # Zero binder invocations: every lookup hit, nothing written.
+        assert warm_cache.stats.hits == num_jobs
+        assert warm_cache.stats.misses == 0
+        assert warm_cache.stats.writes == 0
+        assert warm_cache.stats.hit_rate == 1.0
+
+        # ... and the run store agrees on the provenance.
+        summary = store.summary()
+        assert summary.total == num_jobs
+        assert summary.cached == num_jobs
+        assert summary.executed == 0
+        assert all(r["worker"] == "cache" for r in store.records())
+
+        # The replayed study is identical to the cold one.
+        assert _study_projection(warm) == _study_projection(cold)
+
+    def test_cache_shared_between_serial_and_parallel(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_random_study(CONFIG, max_workers=4, cache=cache)
+        replay_cache = ResultCache(tmp_path / "cache")
+        run_random_study(CONFIG, max_workers=1, cache=replay_cache)
+        assert replay_cache.stats.misses == 0

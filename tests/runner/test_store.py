@@ -1,0 +1,103 @@
+"""RunStore: append-only JSONL records, crash tolerance, summaries."""
+
+import json
+
+import pytest
+
+from repro.kernels.registry import load_kernel
+from repro.runner import BindJob, JobResult, RunStore, execute_job
+from repro.runner.store import RUN_FORMAT
+
+
+@pytest.fixture
+def job(two_cluster):
+    return BindJob.make(load_kernel("ewf"), two_cluster, "b-init")
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "runs.jsonl")
+
+
+class TestRecording:
+    def test_record_fields(self, store, job):
+        result = execute_job(job)
+        store.record(job, result)
+        (entry,) = store.records()
+        assert entry["format"] == RUN_FORMAT
+        assert entry["key"] == job.cache_key()
+        assert entry["kernel"] == "ewf"
+        assert entry["algorithm"] == "b-init"
+        assert entry["datapath"] == job.datapath_spec
+        assert entry["num_buses"] == 2
+        assert entry["status"] == "ok"
+        assert entry["latency"] == result.latency
+        assert entry["transfers"] == result.transfers
+        assert entry["attempts"] == 1
+        assert entry["cached"] is False
+        assert entry["error"] is None
+
+    def test_append_only(self, store, job):
+        result = execute_job(job)
+        for _ in range(3):
+            store.record(job, result)
+        assert len(store.records()) == 3
+        assert len(store.path.read_text().splitlines()) == 3
+
+    def test_failed_record(self, store, job):
+        failure = JobResult(
+            key=job.cache_key(),
+            kernel=job.kernel,
+            algorithm=job.algorithm,
+            datapath_spec=job.datapath_spec,
+            status="failed",
+            error="RuntimeError: boom",
+            attempts=2,
+        )
+        store.record(job, failure)
+        (entry,) = store.records()
+        assert entry["status"] == "failed"
+        assert entry["error"] == "RuntimeError: boom"
+        assert entry["latency"] is None
+
+
+class TestReading:
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert RunStore.read(tmp_path / "nope.jsonl") == []
+
+    def test_torn_tail_skipped(self, store, job):
+        store.record(job, execute_job(job))
+        with store.path.open("a") as f:
+            f.write('{"format": "repro-run/1", "key": "tru')  # crash mid-write
+        assert len(store.records()) == 1
+
+    def test_unknown_format_skipped(self, store, job):
+        store.record(job, execute_job(job))
+        with store.path.open("a") as f:
+            f.write(json.dumps({"format": "repro-run/999"}) + "\n")
+            f.write("\n")  # blank lines are fine too
+        assert len(store.records()) == 1
+
+
+class TestSummary:
+    def test_counters(self, store, job):
+        ok = execute_job(job)
+        cached = execute_job(job)
+        cached.cached = True
+        failed = JobResult(
+            key=job.cache_key(),
+            kernel=job.kernel,
+            algorithm=job.algorithm,
+            datapath_spec=job.datapath_spec,
+            status="failed",
+            error="RuntimeError: boom",
+        )
+        store.record(job, ok)
+        store.record(job, cached)
+        store.record(job, failed)
+        summary = store.summary()
+        assert summary.total == 3
+        assert summary.ok == 2
+        assert summary.failed == 1
+        assert summary.cached == 1
+        assert summary.executed == 2

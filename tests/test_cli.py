@@ -98,3 +98,63 @@ class TestCommands:
         assert main(["bind", "arf", "-a", "b-init", "--svg", str(svg)]) == 0
         assert svg.exists()
         assert svg.read_text().startswith("<svg")
+
+
+class TestRunnerFlags:
+    def test_jobs_flag_defaults_to_serial(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.store is None
+
+    def test_jobs_short_flag(self):
+        args = build_parser().parse_args(["dse", "ewf", "-j", "4"])
+        assert args.jobs == 4
+
+    def test_table1_parallel(self, capsys):
+        rc = main(["table1", "--kernel", "ewf", "--no-iter", "-j", "2"])
+        assert rc == 0
+        assert "EWF" in capsys.readouterr().out
+
+    def test_table1_cache_and_store(self, tmp_path, capsys):
+        from repro.runner import RunStore
+
+        cache_dir = tmp_path / "cache"
+        store_path = tmp_path / "runs.jsonl"
+        argv = [
+            "table1",
+            "--kernel",
+            "ewf",
+            "--no-iter",
+            "--cache-dir",
+            str(cache_dir),
+            "--store",
+            str(store_path),
+        ]
+        assert main(argv) == 0
+        first = RunStore(store_path).summary()
+        assert first.total > 0
+        assert first.executed == first.total
+
+        # Second invocation replays everything from the cache.
+        capsys.readouterr()
+        assert main(argv) == 0
+        second = RunStore(store_path).summary()
+        assert second.total == 2 * first.total
+        assert second.cached == first.total
+
+    def test_dse_with_cache(self, tmp_path, capsys):
+        argv = [
+            "dse",
+            "ewf",
+            "--max-clusters",
+            "1",
+            "--max-fus",
+            "4",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first

@@ -104,6 +104,69 @@ class TestExtremeLatencies:
             list_schedule(bound, dp)
 
 
+class TestRunnerFailureInjection:
+    """The experiment engine must contain failures, not propagate them.
+
+    Uses the ``debug-*`` algorithms from :mod:`repro.runner.jobs`: a job
+    that always raises, and one that sleeps past its timeout.
+    """
+
+    def _jobs(self, dp, bad_algorithm, **bad_config):
+        from repro.dfg.generators import random_layered_dfg
+        from repro.kernels.registry import load_kernel
+        from repro.runner import BindJob
+
+        return [
+            BindJob.make(random_layered_dfg(8, seed=0), dp, "b-init"),
+            BindJob.make(load_kernel("ewf"), dp, bad_algorithm, **bad_config),
+            BindJob.make(random_layered_dfg(8, seed=1), dp, "b-init"),
+        ]
+
+    def test_raising_job_retried_to_bound_and_recorded(
+        self, two_cluster, tmp_path
+    ):
+        from repro.runner import RunStore
+        from repro.runner.api import run_jobs
+
+        store = RunStore(tmp_path / "runs.jsonl")
+        jobs = self._jobs(two_cluster, "debug-fail")
+        results = run_jobs(jobs, store=store, retries=2)
+
+        # The batch completes despite the poisoned middle job ...
+        assert [r.status for r in results] == ["ok", "failed", "ok"]
+        # ... which was retried up to the bound (1 + 2 retries) ...
+        assert results[1].attempts == 3
+        assert "injected failure" in results[1].error
+        # ... and the run store logged the failure in place.
+        records = store.records()
+        assert [r["status"] for r in records] == ["ok", "failed", "ok"]
+        assert records[1]["attempts"] == 3
+        assert store.summary().failed == 1
+
+    def test_timing_out_job_recorded_and_batch_continues(
+        self, two_cluster, tmp_path
+    ):
+        from repro.runner import RunStore
+        from repro.runner.api import run_jobs
+
+        store = RunStore(tmp_path / "runs.jsonl")
+        jobs = self._jobs(two_cluster, "debug-sleep", seconds=30)
+        results = run_jobs(jobs, store=store, timeout=0.2, retries=1)
+
+        assert [r.status for r in results] == ["ok", "failed", "ok"]
+        assert results[1].attempts == 2
+        assert "JobTimeout" in results[1].error
+        assert store.summary().failed == 1
+
+    def test_parallel_workers_contain_failures(self, two_cluster):
+        from repro.runner.api import run_jobs
+
+        jobs = self._jobs(two_cluster, "debug-fail")
+        results = run_jobs(jobs, max_workers=2, retries=1)
+        assert [r.status for r in results] == ["ok", "failed", "ok"]
+        assert results[1].attempts == 2
+
+
 class TestAdversarialBindings:
     def test_worst_case_random_binding_still_schedules(self, two_cluster):
         from repro.dfg.generators import random_layered_dfg
