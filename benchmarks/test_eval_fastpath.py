@@ -1,0 +1,133 @@
+"""Benchmarks of the fast evaluation engine vs the naive pipeline.
+
+Measures the three layers the fast path stacks:
+
+* ``SchedContext`` precompilation amortization — evaluating a binding
+  cold (naive ``bind_dfg`` + ``list_schedule``) vs through a precompiled
+  context;
+* incremental re-binding + memoized B-ITER on the paper's Table 1 cells
+  (EWF ``|2,1|1,1|``, FFT ``|1,1|1,1|``), fast vs naive;
+* the end-to-end non-regression smoke test CI runs with
+  ``--benchmark-disable``: the fast driver must stay at least 2x faster
+  than the naive driver on the EWF cell (locally it measures ~4x; the
+  CI bar is lower to absorb runner noise).
+
+Baseline numbers live in ``BENCH_fastpath.json`` (committed).
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core.binding import Binding
+from repro.core.driver import bind
+from repro.core.evalcache import Evaluator
+from repro.datapath.parse import parse_datapath
+from repro.dfg.transform import bind_dfg
+from repro.schedule.fastpath import SchedContext
+from repro.schedule.list_scheduler import list_schedule
+
+from _helpers import kernel
+
+
+def _random_bindings(dfg, dp, count, seed=0):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        out.append(
+            Binding(
+                {
+                    op.name: rng.choice(dp.target_set(op.optype))
+                    for op in dfg.regular_operations()
+                }
+            )
+        )
+    return out
+
+
+@pytest.mark.benchmark(group="eval-single")
+def test_eval_cold_naive(benchmark):
+    """Naive evaluation: rebuild + reschedule per binding."""
+    dfg = kernel("ewf")
+    dp = parse_datapath("|2,1|1,1|", num_buses=2)
+    bindings = _random_bindings(dfg, dp, 50)
+
+    def run():
+        return [list_schedule(bind_dfg(dfg, b), dp).latency for b in bindings]
+
+    latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cell"] = "ewf |2,1|1,1| x50 bindings"
+    benchmark.extra_info["L_sum"] = sum(latencies)
+
+
+@pytest.mark.benchmark(group="eval-single")
+def test_eval_precompiled_context(benchmark):
+    """Fast evaluation: precompiled SchedContext, incremental dests."""
+    dfg = kernel("ewf")
+    dp = parse_datapath("|2,1|1,1|", num_buses=2)
+    bindings = _random_bindings(dfg, dp, 50)
+    evaluator = Evaluator(dfg, dp)
+
+    def run():
+        return [evaluator.evaluate(b).latency for b in bindings]
+
+    latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cell"] = "ewf |2,1|1,1| x50 bindings"
+    benchmark.extra_info["L_sum"] = sum(latencies)
+
+
+@pytest.mark.benchmark(group="b-iter-fastpath")
+@pytest.mark.parametrize(
+    "kernel_name,spec",
+    [("ewf", "|2,1|1,1|"), ("fft", "|1,1|1,1|")],
+    ids=lambda v: str(v).replace("|", "c"),
+)
+@pytest.mark.parametrize("mode", ["fast", "naive"])
+def test_b_iter_driver(benchmark, kernel_name, spec, mode):
+    """Full B-ITER driver (sweep + multi-start descents), fast vs naive."""
+    dfg = kernel(kernel_name)
+    dp = parse_datapath(spec, num_buses=2)
+    fast = mode == "fast"
+    result = benchmark.pedantic(
+        lambda: bind(dfg, dp, fast=fast), rounds=1, iterations=1
+    )
+    benchmark.extra_info["cell"] = f"{kernel_name} {spec}"
+    benchmark.extra_info["L"] = result.latency
+    benchmark.extra_info["M"] = result.num_transfers
+    benchmark.extra_info["eval_hits"] = result.eval_hits
+    benchmark.extra_info["evaluations"] = result.evaluations
+
+
+def test_fastpath_speedup_smoke():
+    """CI non-regression gate: fast >= 2x naive on the EWF Table 1 cell.
+
+    Runs under ``--benchmark-disable`` too (plain wall-clock timing), so
+    the CI perf-smoke step catches a fast path that silently degrades to
+    the naive path's cost.  Results must also be identical — the bit-
+    equivalence guarantee is the whole point of the design.
+    """
+    dfg = kernel("ewf")
+    dp = parse_datapath("|2,1|1,1|", num_buses=2)
+
+    bind(dfg, dp, fast=True)  # warm imports/caches out of the timing
+
+    t0 = time.perf_counter()
+    fast = bind(dfg, dp, fast=True)
+    t_fast = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    naive = bind(dfg, dp, fast=False)
+    t_naive = time.perf_counter() - t0
+
+    assert (fast.latency, fast.num_transfers) == (
+        naive.latency,
+        naive.num_transfers,
+    )
+    assert fast.binding == naive.binding
+    assert fast.eval_hits > 0
+    speedup = t_naive / t_fast
+    assert speedup >= 2.0, (
+        f"fast path only {speedup:.2f}x faster than naive "
+        f"({t_fast:.3f}s vs {t_naive:.3f}s); expected >= 2x"
+    )

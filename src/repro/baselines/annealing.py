@@ -6,6 +6,13 @@ the same skeleton: a seeded random initial binding, geometric cooling,
 single-operation moves, and the exact list-schedule latency (with the
 transfer count as a fractional tiebreak) as energy.  Deterministic for a
 given seed.
+
+Energy evaluation runs through the fast engine by default
+(``fast=True``): the walk revisits bindings often (rejected moves leave
+the state unchanged, so the next proposal perturbs the same base), which
+the placement-keyed memo absorbs.  The accept/reject trajectory is
+unchanged — the fast path is bit-equivalent, so the RNG consumption and
+therefore the whole walk are identical to the naive path.
 """
 
 from __future__ import annotations
@@ -13,13 +20,15 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..core.binding import Binding, validate_binding
+from ..core.evalcache import Evaluator
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
 from ..dfg.transform import bind_dfg
 from ..runner.progress import timed
+from ..schedule.fastpath import fastpath_enabled
 from ..schedule.list_scheduler import list_schedule
 from ..schedule.schedule import Schedule
 
@@ -53,10 +62,9 @@ def random_binding_seeded(dfg: Dfg, datapath: Datapath, rng: random.Random) -> B
     return Binding(bn)
 
 
-def _energy(dfg: Dfg, datapath: Datapath, binding: Binding) -> Tuple[float, Schedule]:
-    schedule = list_schedule(bind_dfg(dfg, binding), datapath)
+def _energy_of(outcome) -> float:
     # Latency dominates; the transfer count breaks ties smoothly.
-    return schedule.latency + 0.001 * schedule.num_transfers, schedule
+    return outcome.latency + 0.001 * outcome.num_transfers
 
 
 def annealing_bind(
@@ -67,6 +75,7 @@ def annealing_bind(
     cooling: float = 0.95,
     steps_per_temperature: int = 30,
     min_temperature: float = 0.01,
+    fast: Optional[bool] = None,
 ) -> AnnealingResult:
     """Bind by simulated annealing.
 
@@ -77,19 +86,31 @@ def annealing_bind(
         initial_temperature / cooling / steps_per_temperature /
             min_temperature: the annealing schedule; the defaults are
             sized for the paper's kernels (tens of operations).
+        fast: use the memo-backed fast evaluation engine (default: on,
+            unless ``REPRO_FASTPATH=0``).  The walk is identical either
+            way.
 
     Returns:
         An :class:`AnnealingResult` holding the best binding ever seen
         (not merely the final state).
     """
     datapath.check_bindable(dfg)
+    evaluator: Optional[Evaluator] = None
+    if fast if fast is not None else fastpath_enabled():
+        evaluator = Evaluator(dfg, datapath)
+
+    def energy(b: Binding) -> float:
+        if evaluator is not None:
+            return _energy_of(evaluator.evaluate(b))
+        return _energy_of(list_schedule(bind_dfg(dfg, b), datapath))
+
     with timed() as timer:
         rng = random.Random(seed)
         ops = [op.name for op in dfg.regular_operations()]
 
         binding = random_binding_seeded(dfg, datapath, rng)
-        energy, schedule = _energy(dfg, datapath, binding)
-        best: Tuple[float, Binding, Schedule] = (energy, binding, schedule)
+        e = energy(binding)
+        best: Tuple[float, Binding] = (e, binding)
 
         tried = accepted = 0
         temperature = initial_temperature
@@ -105,18 +126,21 @@ def annealing_bind(
                     continue
                 tried += 1
                 candidate = binding.rebind((name, rng.choice(targets)))
-                cand_energy, cand_schedule = _energy(dfg, datapath, candidate)
-                delta = cand_energy - energy
+                cand_energy = energy(candidate)
+                delta = cand_energy - e
                 if delta <= 0 or rng.random() < math.exp(-delta / temperature):
-                    binding, energy = candidate, cand_energy
-                    schedule = cand_schedule
+                    binding, e = candidate, cand_energy
                     accepted += 1
-                    if energy < best[0]:
-                        best = (energy, binding, schedule)
+                    if e < best[0]:
+                        best = (e, binding)
             temperature *= cooling
 
-        _, binding, schedule = best
+        _, binding = best
         validate_binding(binding, dfg, datapath)
+        if evaluator is not None:
+            schedule = evaluator.schedule(binding)
+        else:
+            schedule = list_schedule(bind_dfg(dfg, binding), datapath)
         return AnnealingResult(
             binding=binding,
             schedule=schedule,

@@ -25,16 +25,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.binding import Binding, validate_binding
 from ..core.driver import bind_initial
+from ..core.evalcache import Evaluator
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
 from ..dfg.ops import FuType
 from ..dfg.timing import compute_timing
 from ..dfg.transform import bind_dfg
 from ..runner.progress import timed
+from ..schedule.fastpath import fastpath_enabled
 from ..schedule.list_scheduler import list_schedule
 from ..schedule.schedule import Schedule
 
@@ -73,6 +75,7 @@ def branch_and_bound_bind(
     dfg: Dfg,
     datapath: Datapath,
     max_nodes: int = 2_000_000,
+    fast: Optional[bool] = None,
 ) -> BnBResult:
     """Find the latency-optimal binding by branch and bound.
 
@@ -81,22 +84,29 @@ def branch_and_bound_bind(
         datapath: the clustered machine.
         max_nodes: search budget; when exceeded the incumbent is
             returned with ``proven_optimal = False``.
+        fast: use the memo-backed fast engine for leaf evaluation
+            (default: on, unless ``REPRO_FASTPATH=0``).  Leaves are where
+            nearly all of the search's time goes; the pruned tree visits
+            permutation-equivalent bindings repeatedly on symmetric
+            machines, which the memo absorbs.
 
     Returns:
         A :class:`BnBResult`; the incumbent starts from the driver's
         B-INIT result, so the answer is never worse than B-INIT.
     """
     datapath.check_bindable(dfg)
+    evaluator: Optional[Evaluator] = None
+    if fast if fast is not None else fastpath_enabled():
+        evaluator = Evaluator(dfg, datapath)
     with timed() as timer:
         reg = datapath.registry
         timing = compute_timing(dfg, reg)
         lcp = timing.critical_path_length
 
         # Incumbent: the heuristic solution (gives the bound real teeth).
-        seed = bind_initial(dfg, datapath)
+        seed = bind_initial(dfg, datapath, fast=fast)
         best_key: Tuple[int, int] = (seed.latency, seed.num_transfers)
         best_binding: Binding = seed.binding
-        best_schedule: Schedule = seed.schedule
 
         # Paper binding order: most-constrained operations first.
         index = {n: i for i, n in enumerate(dfg)}
@@ -148,7 +158,7 @@ def branch_and_bound_bind(
             return added
 
         def dfs(depth: int) -> None:
-            nonlocal best_key, best_binding, best_schedule
+            nonlocal best_key, best_binding
             if exhausted[0]:
                 return
             nodes[0] += 1
@@ -157,14 +167,13 @@ def branch_and_bound_bind(
                 return
             if depth == n_ops:
                 binding = Binding(dict(bn))
-                schedule = list_schedule(bind_dfg(dfg, binding), datapath)
-                key = (schedule.latency, schedule.num_transfers)
+                if evaluator is not None:
+                    key = evaluator.evaluate(binding).key()
+                else:
+                    s = list_schedule(bind_dfg(dfg, binding), datapath)
+                    key = (s.latency, s.num_transfers)
                 if key < best_key:
-                    best_key, best_binding, best_schedule = (
-                        key,
-                        binding,
-                        schedule,
-                    )
+                    best_key, best_binding = key, binding
                 return
             if lower_bound() > best_key[0]:
                 return  # prune: cannot beat the incumbent's latency
@@ -191,6 +200,12 @@ def branch_and_bound_bind(
 
         dfs(0)
         validate_binding(best_binding, dfg, datapath)
+        if evaluator is not None:
+            best_schedule = evaluator.schedule(best_binding)
+        else:
+            best_schedule = list_schedule(
+                bind_dfg(dfg, best_binding), datapath
+            )
         return BnBResult(
             binding=best_binding,
             schedule=best_schedule,

@@ -3,6 +3,7 @@
 from .binding import Binding, BindingError, validate_binding
 from .cost import CostBreakdown, CostParams, buscost, fucost, icost, trcost
 from .driver import BindResult, bind, bind_initial, default_lpr_values
+from .evalcache import EvalCache, EvalStats, Evaluator
 from .initial import InitialBindingResult, initial_binding
 from .iterative import (
     IterativeResult,
@@ -59,4 +60,7 @@ __all__ = [
     "pressure_aware_improvement",
     "pressure_quality",
     "tabu_improvement",
+    "Evaluator",
+    "EvalCache",
+    "EvalStats",
 ]

@@ -142,14 +142,15 @@ def fucost(profiles: ProfileSet, v: str, c: int) -> int:
     futype = reg.futype(op.optype)
     n_cluster = dp.fu_count(c, futype)
     window = operation_window(profiles.timing, v, reg.dii(op.optype))
-    raw = profiles.cluster_profile(c, futype)
+    levels = profiles.cluster_profile(c, futype).levels
+    thresholds = profiles.dp_thresholds(futype)
 
     penalty = 0
+    height, w_start, w_end = window.height, window.start, window.end
     for tau in range(profiles.length):
-        contribution = window.height if window.start <= tau <= window.end else 0.0
-        load_cl = (raw.value(tau) + contribution) / n_cluster
-        threshold = max(profiles.load_dp(futype, tau), 1.0)
-        if load_cl > threshold + 1e-9:
+        contribution = height if w_start <= tau <= w_end else 0.0
+        load_cl = (levels[tau] + contribution) / n_cluster
+        if load_cl > thresholds[tau] + 1e-9:
             penalty += 1
     return penalty
 
@@ -167,13 +168,13 @@ def buscost(
     levels where the resulting normalized bus load exceeds 1.
     """
     nb = profiles.datapath.num_buses
-    raw = profiles.bus_profile()
+    levels = profiles.bus_profile().levels
     penalty = 0
     for tau in range(profiles.length):
         extra = sum(
             w.height for w in new_transfer_windows if w.start <= tau <= w.end
         )
-        if (raw.value(tau) + extra) / nb > 1.0 + 1e-9:
+        if (levels[tau] + extra) / nb > 1.0 + 1e-9:
             penalty += 1
     return penalty
 

@@ -16,21 +16,32 @@ The two parameters are:
 
 Candidates are ranked by ``(L, M)`` lexicographically; the best is the
 B-INIT result the paper's tables report, and the starting point of B-ITER.
+
+Evaluation runs through one shared
+:class:`~repro.core.evalcache.Evaluator` per ``bind`` call (fast path,
+default): the sweep's candidate schedules, every multi-start descent,
+and the Q_U/Q_M passes inside each descent all read and feed the same
+placement-keyed memo, so a binding reached twice — by two ``L_PR``
+values, or by two descents converging into one basin — is scheduled
+once.  ``fast=False`` retains the naive per-candidate
+``bind_dfg`` + ``list_schedule`` path, bit-equivalent by construction.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
 from ..dfg.transform import bind_dfg
+from ..schedule.fastpath import fastpath_enabled
 from ..schedule.list_scheduler import list_schedule
 from ..schedule.schedule import Schedule
 from .binding import Binding
 from .cost import CostParams
+from .evalcache import Evaluator
 from .initial import initial_binding
 from .iterative import IterativeResult, iterative_improvement
 
@@ -53,6 +64,10 @@ class BindResult:
         iter_seconds: wall-clock time of the B-ITER phase (0 if skipped).
         iter_result: details of the iterative phase, when it ran.
         sweep_log: ``(lpr, reverse, L, M)`` of every B-INIT candidate.
+        eval_hits: evaluation-memo hits across the whole call (0 when the
+            fast path is off).
+        eval_misses: evaluation-memo misses across the whole call.
+        evaluations: schedules actually computed by the shared evaluator.
     """
 
     binding: Binding
@@ -65,6 +80,9 @@ class BindResult:
     iter_seconds: float
     iter_result: Optional[IterativeResult] = None
     sweep_log: Tuple[Tuple[int, bool, int, int], ...] = ()
+    eval_hits: int = 0
+    eval_misses: int = 0
+    evaluations: int = 0
 
     @property
     def latency(self) -> int:
@@ -101,22 +119,36 @@ def default_lpr_values(
     return tuple(values)
 
 
+def _resolve_evaluator(
+    dfg: Dfg, datapath: Datapath, fast: Optional[bool]
+) -> Optional[Evaluator]:
+    """One shared evaluator for the whole driver call, or None (naive)."""
+    if fast if fast is not None else fastpath_enabled():
+        return Evaluator(dfg, datapath)
+    return None
+
+
 def _sweep(
     dfg: Dfg,
     datapath: Datapath,
     lpr_values: Sequence[int],
     directions: Sequence[bool],
     params: CostParams,
-) -> List[Tuple[Tuple[int, int], Binding, Schedule, int, bool]]:
+    evaluator: Optional[Evaluator] = None,
+) -> List[Tuple[Tuple[int, int], Binding, Callable[[], Schedule], int, bool]]:
     """Run every B-INIT configuration; return scored, deduped candidates.
 
-    Each entry is ``((L, M), binding, schedule, lpr, reverse)``; the list
-    is sorted by ``(L, M)`` and contains each distinct binding once (the
-    sweep frequently converges to the same binding from several ``L_PR``
-    values).
+    Each entry is ``((L, M), binding, schedule thunk, lpr, reverse)``;
+    the list is sorted by ``(L, M)`` and contains each distinct binding
+    once (the sweep frequently converges to the same binding from several
+    ``L_PR`` values).  The schedule is a thunk so the fast path only
+    materializes full :class:`Schedule` objects for entries that are
+    actually reported, while ``(L, M)`` scoring stays memo-backed.
     """
     seen: dict = {}
-    entries: List[Tuple[Tuple[int, int], Binding, Schedule, int, bool]] = []
+    entries: List[
+        Tuple[Tuple[int, int], Binding, Callable[[], Schedule], int, bool]
+    ] = []
     for reverse in directions:
         for lpr in lpr_values:
             result = initial_binding(
@@ -125,9 +157,18 @@ def _sweep(
             if result.binding in seen:
                 continue
             seen[result.binding] = None
-            schedule = list_schedule(bind_dfg(dfg, result.binding), datapath)
-            key = (schedule.latency, schedule.num_transfers)
-            entries.append((key, result.binding, schedule, lpr, reverse))
+            binding = result.binding
+            if evaluator is not None:
+                out = evaluator.evaluate(binding)
+                key = out.key()
+                thunk = (
+                    lambda b=binding, ev=evaluator: ev.schedule(b)
+                )
+            else:
+                schedule = list_schedule(bind_dfg(dfg, binding), datapath)
+                key = (schedule.latency, schedule.num_transfers)
+                thunk = lambda s=schedule: s
+            entries.append((key, binding, thunk, lpr, reverse))
     entries.sort(key=lambda e: e[0])
     return entries
 
@@ -138,6 +179,7 @@ def bind_initial(
     lpr_values: Optional[Sequence[int]] = None,
     directions: Sequence[bool] = (False, True),
     params: CostParams = CostParams(),
+    fast: Optional[bool] = None,
 ) -> BindResult:
     """Run the B-INIT sweep and return the best candidate.
 
@@ -148,6 +190,8 @@ def bind_initial(
             :func:`default_lpr_values`.
         directions: binding directions to try (False = forward).
         params: cost-function weights.
+        fast: use the shared fast-path evaluator (default: on, unless
+            ``REPRO_FASTPATH=0``).
 
     Returns:
         A :class:`BindResult` with ``iter_result`` unset.
@@ -155,11 +199,14 @@ def bind_initial(
     t0 = time.perf_counter()
     if lpr_values is None:
         lpr_values = default_lpr_values(dfg, datapath)
-    entries = _sweep(dfg, datapath, lpr_values, directions, params)
-    _, binding, schedule, lpr, reverse = entries[0]
+    evaluator = _resolve_evaluator(dfg, datapath, fast)
+    entries = _sweep(dfg, datapath, lpr_values, directions, params, evaluator)
+    _, binding, thunk, lpr, reverse = entries[0]
+    schedule = thunk()
     log = tuple(
         (lpr_, rev_, key[0], key[1]) for key, _, _, lpr_, rev_ in entries
     )
+    stats = evaluator.stats if evaluator is not None else None
     return BindResult(
         binding=binding,
         schedule=schedule,
@@ -170,6 +217,9 @@ def bind_initial(
         init_seconds=time.perf_counter() - t0,
         iter_seconds=0.0,
         sweep_log=log,
+        eval_hits=stats.hits if stats else 0,
+        eval_misses=stats.misses if stats else 0,
+        evaluations=stats.evaluations if stats else 0,
     )
 
 
@@ -183,6 +233,7 @@ def bind(
     use_pairs: bool = True,
     quality: str = "qu+qm",
     iter_starts: Optional[int] = None,
+    fast: Optional[bool] = None,
 ) -> BindResult:
     """Full binding flow: B-INIT sweep, then (optionally) B-ITER.
 
@@ -211,6 +262,9 @@ def bind(
             the "high optimization" tuning the paper ascribes to B-ITER).
             Use ``1`` for the cheapest, paper-minimal variant that only
             improves the best initial binding.
+        fast: use the fast-path evaluation engine with one memo shared
+            across the sweep and every descent (default: on, unless
+            ``REPRO_FASTPATH=0``).  Results are bit-equivalent.
 
     Returns:
         A :class:`BindResult`.  ``initial_binding``/``initial_schedule``
@@ -220,13 +274,16 @@ def bind(
     t0 = time.perf_counter()
     if lpr_values is None:
         lpr_values = default_lpr_values(dfg, datapath)
-    entries = _sweep(dfg, datapath, lpr_values, directions, params)
+    evaluator = _resolve_evaluator(dfg, datapath, fast)
+    entries = _sweep(dfg, datapath, lpr_values, directions, params, evaluator)
     init_seconds = time.perf_counter() - t0
-    _, init_binding, init_schedule, lpr, reverse = entries[0]
+    _, init_binding, init_thunk, lpr, reverse = entries[0]
+    init_schedule = init_thunk()
     log = tuple(
         (lpr_, rev_, key[0], key[1]) for key, _, _, lpr_, rev_ in entries
     )
     if not improve:
+        stats = evaluator.stats if evaluator is not None else None
         return BindResult(
             binding=init_binding,
             schedule=init_schedule,
@@ -237,6 +294,9 @@ def bind(
             init_seconds=init_seconds,
             iter_seconds=0.0,
             sweep_log=log,
+            eval_hits=stats.hits if stats else 0,
+            eval_misses=stats.misses if stats else 0,
+            evaluations=stats.evaluations if stats else 0,
         )
 
     t1 = time.perf_counter()
@@ -250,6 +310,8 @@ def bind(
             start_binding,
             use_pairs=use_pairs,
             quality=quality,
+            fast=fast,
+            evaluator=evaluator,
         )
         key = (candidate.schedule.latency, candidate.schedule.num_transfers)
         if best_key is None or key < best_key:
@@ -257,6 +319,7 @@ def bind(
             best_iter = candidate
     assert best_iter is not None
     iter_seconds = time.perf_counter() - t1
+    stats = evaluator.stats if evaluator is not None else None
     return BindResult(
         binding=best_iter.binding,
         schedule=best_iter.schedule,
@@ -268,4 +331,7 @@ def bind(
         iter_seconds=iter_seconds,
         iter_result=best_iter,
         sweep_log=log,
+        eval_hits=stats.hits if stats else 0,
+        eval_misses=stats.misses if stats else 0,
+        evaluations=stats.evaluations if stats else 0,
     )

@@ -1,0 +1,167 @@
+"""Binding-keyed evaluation memo shared across search phases.
+
+B-ITER's Q_U and Q_M passes, the driver's multi-start descents, the
+tabu walk, and annealing all evaluate *bindings*; the mapping from a
+binding to its schedule is a pure function of ``(DFG, datapath)``.
+Descents started from different B-INIT sweep candidates converge into
+the same basins and re-schedule identical bindings; the Q_M pass
+re-evaluates every binding the Q_U pass just visited at its frontier.
+:class:`EvalCache` memoizes evaluation outcomes under the placement
+tuple so each distinct binding is scheduled at most once per
+``(DFG, datapath)`` job, and :class:`Evaluator` packages the memo with
+the precompiled :class:`~repro.schedule.fastpath.SchedContext` into the
+evaluation engine the algorithms consume.
+
+Hit/miss/evaluation counters are exposed on the cache and surfaced on
+:class:`~repro.core.iterative.IterativeResult`,
+:class:`~repro.core.driver.BindResult`, and the runner's JSONL store as
+an observability layer — a table regeneration reports how much work the
+memo actually removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..datapath.model import Datapath
+from ..dfg.graph import Dfg
+from ..schedule.fastpath import FastOutcome, SchedContext
+from ..schedule.schedule import Schedule
+
+__all__ = ["EvalStats", "EvalCache", "Evaluator"]
+
+#: Memo key: the cluster of every regular operation, in DFG order.
+PlacementKey = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class EvalStats:
+    """Counters of one evaluation engine's lifetime.
+
+    Attributes:
+        hits: memo lookups answered without scheduling.
+        misses: memo lookups that fell through.
+        evaluations: schedules actually computed (== misses while every
+            evaluation goes through the cache).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evaluations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evaluations": self.evaluations,
+        }
+
+
+class EvalCache:
+    """Placement-keyed memo of :class:`FastOutcome` objects.
+
+    Outcomes are quality-agnostic — Q_U, Q_M, annealing's energy, and
+    plain ``(L, M)`` ranking all read the same memo entry — so one cache
+    instance can (and should) be shared across passes and multi-start
+    descents of the same ``(DFG, datapath)`` job.  Never share a cache
+    across different DFGs or datapaths: the key is the placement tuple
+    alone.
+
+    Args:
+        max_entries: optional bound; the oldest entry is evicted first
+            (insertion order).  Unbounded by default — outcomes are a
+            few hundred bytes and search spaces here are small.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._data: Dict[PlacementKey, FastOutcome] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: PlacementKey) -> Optional[FastOutcome]:
+        out = self._data.get(key)
+        if out is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return out
+
+    def put(self, key: PlacementKey, outcome: FastOutcome) -> None:
+        if (
+            self.max_entries is not None
+            and key not in self._data
+            and len(self._data) >= self.max_entries
+        ):
+            self._data.pop(next(iter(self._data)))
+        self._data[key] = outcome
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    @property
+    def stats(self) -> EvalStats:
+        return EvalStats(
+            hits=self.hits, misses=self.misses, evaluations=self.misses
+        )
+
+
+class Evaluator:
+    """The fast-path evaluation engine: precompiled context + memo.
+
+    One instance serves one ``(DFG, datapath)`` pair.  ``evaluate`` maps
+    a binding to a :class:`FastOutcome` (consulting the memo first);
+    ``schedule`` materializes a full, bit-identical
+    :class:`~repro.schedule.schedule.Schedule` for committed results.
+
+    Successive ``evaluate`` calls patch the previous call's transfer
+    pairs incrementally (see :meth:`SchedContext.transfer_dests`), which
+    matches B-ITER's access pattern of evaluating many perturbations of
+    one base binding.
+    """
+
+    def __init__(
+        self,
+        dfg: Dfg,
+        datapath: Datapath,
+        cache: Optional[EvalCache] = None,
+    ) -> None:
+        self.ctx = SchedContext(dfg, datapath)
+        self.cache = cache if cache is not None else EvalCache()
+        self.evaluations = 0
+        self._prev: Optional[Tuple[PlacementKey, list]] = None
+
+    def placement_of(self, binding: Mapping[str, int]) -> PlacementKey:
+        """The memo key of ``binding``."""
+        return tuple(binding[n] for n in self.ctx.names)
+
+    def evaluate(self, binding: Mapping[str, int]) -> FastOutcome:
+        """Evaluate ``binding``, via the memo when possible."""
+        placement = self.placement_of(binding)
+        out = self.cache.get(placement)
+        if out is not None:
+            return out
+        dests = self.ctx.transfer_dests(placement, self._prev)
+        out = self.ctx.evaluate(placement, dests)
+        self._prev = (placement, dests)
+        self.evaluations += 1
+        self.cache.put(placement, out)
+        return out
+
+    def schedule(self, binding: Mapping[str, int]) -> Schedule:
+        """Full :class:`Schedule` of ``binding`` (memo-backed)."""
+        return self.evaluate(binding).to_schedule()
+
+    @property
+    def stats(self) -> EvalStats:
+        return EvalStats(
+            hits=self.cache.hits,
+            misses=self.cache.misses,
+            evaluations=self.evaluations,
+        )

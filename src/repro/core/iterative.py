@@ -16,20 +16,29 @@ Every candidate is evaluated exactly: the DFG is re-bound (transfers
 re-derived) and list-scheduled.  Perturbations are steepest-descent: each
 iteration scans all candidates and commits the single best improving one,
 terminating when no candidate improves the quality vector.
+
+By default candidates run through the fast evaluation engine
+(:mod:`repro.schedule.fastpath` + :mod:`repro.core.evalcache`): a
+precompiled scheduling context, incremental transfer re-derivation, and
+a placement-keyed memo shared between the Q_U and Q_M passes.  The
+engine is bit-equivalent to the naive ``bind_dfg`` + ``list_schedule``
+path (``fast=False``), which is retained for differential testing.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
 from ..dfg.transform import bind_dfg
+from ..schedule.fastpath import fastpath_enabled
 from ..schedule.list_scheduler import list_schedule
 from ..schedule.schedule import Schedule
 from .binding import Binding
+from .evalcache import Evaluator
 from .quality import QualityVector, quality_qm, quality_qu
 
 __all__ = [
@@ -48,8 +57,12 @@ class IterativeResult:
         binding: the improved binding.
         schedule: the schedule of the improved binding.
         iterations: number of committed perturbations across both passes.
-        evaluations: number of candidate bindings scheduled.
+        evaluations: number of candidate bindings evaluated (whether the
+            schedule came from the memo or was computed).
         history: quality vector after each committed perturbation.
+        cache_hits: candidate evaluations answered by the evaluation
+            memo (0 on the naive path).
+        cache_misses: candidate evaluations that had to schedule.
     """
 
     binding: Binding
@@ -57,6 +70,8 @@ class IterativeResult:
     iterations: int
     evaluations: int
     history: Tuple[QualityVector, ...]
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 def boundary_operations(dfg: Dfg, binding: Binding) -> Tuple[str, ...]:
@@ -89,15 +104,18 @@ def candidate_moves(
     return tuple(sorted(c for c in clusters if c != current and c in ts))
 
 
-def _evaluate(
-    dfg: Dfg,
-    datapath: Datapath,
-    binding: Binding,
-    quality: Callable[[Schedule], QualityVector],
-) -> Tuple[QualityVector, Schedule]:
-    bound = bind_dfg(dfg, binding)
-    schedule = list_schedule(bound, datapath)
-    return quality(schedule), schedule
+#: An evaluation function: binding -> schedule-like object exposing
+#: ``latency``, ``num_transfers``, and ``completion_profile()``.
+EvaluateFn = Callable[[Binding], object]
+
+
+def _naive_evaluate(dfg: Dfg, datapath: Datapath) -> EvaluateFn:
+    """The reference evaluation: rebuild the bound DFG and schedule it."""
+
+    def evaluate(binding: Binding) -> Schedule:
+        return list_schedule(bind_dfg(dfg, binding), datapath)
+
+    return evaluate
 
 
 def _perturbations(
@@ -105,6 +123,8 @@ def _perturbations(
     datapath: Datapath,
     binding: Binding,
     use_pairs: bool,
+    boundary: Optional[Tuple[str, ...]] = None,
+    moves: Optional[Dict[str, Tuple[int, ...]]] = None,
 ) -> Iterable[Tuple[Tuple[str, int], ...]]:
     """Yield candidate re-bindings as tuples of ``(op, new cluster)``.
 
@@ -113,11 +133,18 @@ def _perturbations(
     simultaneously — this captures the "move a producer together with its
     consumer" and "merge two producers of a common consumer" corrections
     that single moves cannot express without passing through a worse state.
+
+    ``boundary``/``moves`` accept a precomputed neighbourhood (see
+    :func:`boundary_operations`/:func:`candidate_moves`); ``_descend``
+    hoists that setup out of the generator so profiling attributes the
+    round's time to candidate evaluation, not neighbourhood discovery.
     """
-    boundary = boundary_operations(dfg, binding)
-    moves: Dict[str, Tuple[int, ...]] = {
-        v: candidate_moves(dfg, datapath, binding, v) for v in boundary
-    }
+    if boundary is None:
+        boundary = boundary_operations(dfg, binding)
+    if moves is None:
+        moves = {
+            v: candidate_moves(dfg, datapath, binding, v) for v in boundary
+        }
     for v in boundary:
         for c in moves[v]:
             yield ((v, c),)
@@ -151,30 +178,49 @@ def _descend(
     dfg: Dfg,
     datapath: Datapath,
     binding: Binding,
-    quality: Callable[[Schedule], QualityVector],
+    quality: Callable[[object], QualityVector],
     use_pairs: bool,
     max_iterations: int,
     history: List[QualityVector],
     eval_counter: List[int],
-) -> Tuple[Binding, QualityVector, Schedule, int]:
-    """Steepest-descent loop for one quality function."""
-    best_q, best_schedule = _evaluate(dfg, datapath, binding, quality)
+    evaluate: Optional[EvaluateFn] = None,
+) -> Tuple[Binding, QualityVector, object, int]:
+    """Steepest-descent loop for one quality function.
+
+    Returns the improved binding, its quality, the evaluation outcome
+    of the final binding (a :class:`Schedule` on the naive path, a
+    :class:`~repro.schedule.fastpath.FastOutcome` on the fast path),
+    and the number of committed perturbations.
+    """
+    if evaluate is None:
+        evaluate = _naive_evaluate(dfg, datapath)
+    best_out = evaluate(binding)
+    best_q = quality(best_out)
     eval_counter[0] += 1
     committed = 0
     while committed < max_iterations:
-        round_best: Optional[Tuple[QualityVector, Binding, Schedule]] = None
-        for perturbation in _perturbations(dfg, datapath, binding, use_pairs):
+        boundary = boundary_operations(dfg, binding)
+        moves = {
+            v: candidate_moves(dfg, datapath, binding, v) for v in boundary
+        }
+        round_best: Optional[Tuple[QualityVector, Binding, object]] = None
+        threshold = best_q
+        for perturbation in _perturbations(
+            dfg, datapath, binding, use_pairs, boundary, moves
+        ):
             candidate = binding.rebind(*perturbation)
-            q, schedule = _evaluate(dfg, datapath, candidate, quality)
+            out = evaluate(candidate)
+            q = quality(out)
             eval_counter[0] += 1
-            if q < best_q and (round_best is None or q < round_best[0]):
-                round_best = (q, candidate, schedule)
+            if q < threshold:
+                round_best = (q, candidate, out)
+                threshold = q
         if round_best is None:
             break
-        best_q, binding, best_schedule = round_best
+        best_q, binding, best_out = round_best
         history.append(best_q)
         committed += 1
-    return binding, best_q, best_schedule, committed
+    return binding, best_q, best_out, committed
 
 
 def iterative_improvement(
@@ -184,6 +230,8 @@ def iterative_improvement(
     use_pairs: bool = True,
     quality: str = "qu+qm",
     max_iterations: int = 1000,
+    fast: Optional[bool] = None,
+    evaluator: Optional[Evaluator] = None,
 ) -> IterativeResult:
     """Run B-ITER on an existing binding.
 
@@ -196,6 +244,13 @@ def iterative_improvement(
             ``"qu"``, ``"qm"``, or ``"latency"`` (the naive function the
             paper shows getting stuck; kept for the ablation benchmark).
         max_iterations: safety cap on committed perturbations per pass.
+        fast: use the precompiled fast-path evaluation engine (default:
+            on, unless ``REPRO_FASTPATH=0``).  Bit-equivalent to the
+            naive path either way.
+        evaluator: a shared :class:`~repro.core.evalcache.Evaluator`
+            for this exact ``(dfg, datapath)`` pair — the driver passes
+            one so all multi-start descents share a single memo.
+            Implies ``fast``.
 
     Returns:
         An :class:`IterativeResult`; its schedule's latency is the paper's
@@ -205,7 +260,7 @@ def iterative_improvement(
     evals = [0]
     iterations = 0
 
-    passes: List[Callable[[Schedule], QualityVector]]
+    passes: List[Callable[[object], QualityVector]]
     if quality == "qu+qm":
         passes = [quality_qu, quality_qm]
     elif quality == "qu":
@@ -217,9 +272,18 @@ def iterative_improvement(
     else:
         raise ValueError(f"unknown quality spec {quality!r}")
 
-    schedule: Optional[Schedule] = None
+    if evaluator is None and (fast if fast is not None else fastpath_enabled()):
+        evaluator = Evaluator(dfg, datapath)
+    if evaluator is not None:
+        hits0, misses0 = evaluator.cache.hits, evaluator.cache.misses
+        evaluate: EvaluateFn = evaluator.evaluate
+    else:
+        hits0 = misses0 = 0
+        evaluate = _naive_evaluate(dfg, datapath)
+
+    outcome: Optional[object] = None
     for fn in passes:
-        binding, _, schedule, committed = _descend(
+        binding, _, outcome, committed = _descend(
             dfg,
             datapath,
             binding,
@@ -228,13 +292,23 @@ def iterative_improvement(
             max_iterations,
             history,
             evals,
+            evaluate,
         )
         iterations += committed
-    assert schedule is not None
+    assert outcome is not None
+    if evaluator is not None:
+        schedule = evaluator.schedule(binding)
+        cache_hits = evaluator.cache.hits - hits0
+        cache_misses = evaluator.cache.misses - misses0
+    else:
+        schedule = outcome  # the naive path evaluates to a Schedule
+        cache_hits = cache_misses = 0
     return IterativeResult(
         binding=binding,
         schedule=schedule,
         iterations=iterations,
         evaluations=evals[0],
         history=tuple(history),
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
     )

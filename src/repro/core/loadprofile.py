@@ -158,6 +158,7 @@ class ProfileSet:
                     self._cluster[(c.index, futype)] = Profile(length)
         self._bus = Profile(length)
         self.length = length
+        self._dp_thresholds: Dict[FuType, List[float]] = {}
 
     # ------------------------------------------------------------------
     # Normalized lookups (the quantities the paper's formulas use)
@@ -168,6 +169,23 @@ class ProfileSet:
         if prof is None:
             return 0.0
         return prof.value(tau) / self.datapath.total_fu_count(futype)
+
+    def dp_thresholds(self, futype: FuType) -> List[float]:
+        """``max(load_DP(t, tau), 1.0)`` per level, memoized.
+
+        The centralized profile never changes during a run, so the
+        overload threshold the cost function compares against is fixed;
+        :func:`~repro.core.cost.fucost` reads this array in its inner
+        loop instead of recomputing the normalized load per level.
+        """
+        cached = self._dp_thresholds.get(futype)
+        if cached is None:
+            cached = [
+                max(self.load_dp(futype, tau), 1.0)
+                for tau in range(self.length)
+            ]
+            self._dp_thresholds[futype] = cached
+        return cached
 
     def load_cl(self, cluster: int, futype: FuType, tau: int) -> float:
         """``load_CL(c, t, tau)``: normalized load of one cluster."""

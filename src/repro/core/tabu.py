@@ -11,7 +11,10 @@ solution ever seen.
 
 In practice it recovers a further cycle on a small fraction of cells at
 a few times the cost of plain B-ITER; the ablation benchmark
-``benchmarks/test_ablation_tabu.py`` quantifies that.
+``benchmarks/test_ablation_tabu.py`` quantifies that.  The walk revisits
+neighbourhoods of bindings near the incumbent constantly, so it benefits
+disproportionately from the shared evaluation memo (``fast=True``,
+default).
 """
 
 from __future__ import annotations
@@ -21,9 +24,11 @@ from typing import Callable, List, Optional, Set, Tuple
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
 from ..dfg.transform import bind_dfg
+from ..schedule.fastpath import fastpath_enabled
 from ..schedule.list_scheduler import list_schedule
 from ..schedule.schedule import Schedule
 from .binding import Binding
+from .evalcache import Evaluator
 from .iterative import IterativeResult, _perturbations
 from .quality import QualityVector, quality_qm, quality_qu
 
@@ -37,6 +42,7 @@ def tabu_improvement(
     use_pairs: bool = True,
     sideways_budget: int = 20,
     max_steps: int = 2000,
+    fast: Optional[bool] = None,
 ) -> IterativeResult:
     """Tabu-search refinement of a binding under ``Q_U`` then ``Q_M``.
 
@@ -48,69 +54,82 @@ def tabu_improvement(
         sideways_budget: non-improving steps allowed since the last
             strict improvement before the walk stops.
         max_steps: hard cap on committed steps.
+        fast: use the memo-backed fast evaluation engine (default: on,
+            unless ``REPRO_FASTPATH=0``).  Bit-equivalent either way.
 
     Returns:
         An :class:`~repro.core.iterative.IterativeResult` holding the
         best binding *ever visited* (never worse than the start).
     """
+    evaluator: Optional[Evaluator] = None
+    if fast if fast is not None else fastpath_enabled():
+        evaluator = Evaluator(dfg, datapath)
 
     def evaluate(
-        b: Binding, quality: Callable[[Schedule], QualityVector]
-    ) -> Tuple[QualityVector, Schedule]:
-        s = list_schedule(bind_dfg(dfg, b), datapath)
-        return quality(s), s
+        b: Binding, quality: Callable[[object], QualityVector]
+    ) -> Tuple[QualityVector, object]:
+        if evaluator is not None:
+            out = evaluator.evaluate(b)
+        else:
+            out = list_schedule(bind_dfg(dfg, b), datapath)
+        return quality(out), out
 
     history: List[QualityVector] = []
     evaluations = 0
     steps = 0
 
     best_binding = binding
-    best_q, best_schedule = evaluate(binding, quality_qu)
+    best_q, _ = evaluate(binding, quality_qu)
     evaluations += 1
 
     for quality in (quality_qu, quality_qm):
         current = best_binding
         current_q, _ = evaluate(current, quality)
-        best_q_this, best_schedule = evaluate(best_binding, quality)
+        best_q_this, _ = evaluate(best_binding, quality)
         best_binding_this = best_binding
         evaluations += 2
         visited: Set[Binding] = {current}
         since_improvement = 0
 
         while steps < max_steps and since_improvement <= sideways_budget:
-            round_best: Optional[
-                Tuple[QualityVector, Binding, Schedule]
-            ] = None
+            round_best: Optional[Tuple[QualityVector, Binding]] = None
             for perturbation in _perturbations(
                 dfg, datapath, current, use_pairs
             ):
                 candidate = current.rebind(*perturbation)
                 if candidate in visited:
                     continue
-                q, s = evaluate(candidate, quality)
+                q, _ = evaluate(candidate, quality)
                 evaluations += 1
                 if round_best is None or q < round_best[0]:
-                    round_best = (q, candidate, s)
+                    round_best = (q, candidate)
             if round_best is None:
                 break  # neighbourhood exhausted
-            q, current, schedule = round_best
+            q, current = round_best
             visited.add(current)
             steps += 1
             history.append(q)
             if q < best_q_this:
                 best_q_this = q
                 best_binding_this = current
-                best_schedule = schedule
                 since_improvement = 0
             else:
                 since_improvement += 1
         best_binding = best_binding_this
 
-    final_schedule = list_schedule(bind_dfg(dfg, best_binding), datapath)
+    if evaluator is not None:
+        final_schedule = evaluator.schedule(best_binding)
+        cache_hits = evaluator.cache.hits
+        cache_misses = evaluator.cache.misses
+    else:
+        final_schedule = list_schedule(bind_dfg(dfg, best_binding), datapath)
+        cache_hits = cache_misses = 0
     return IterativeResult(
         binding=best_binding,
         schedule=final_schedule,
         iterations=steps,
         evaluations=evaluations,
         history=tuple(history),
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
     )

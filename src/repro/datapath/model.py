@@ -101,6 +101,10 @@ class Datapath:
         self.num_buses = num_buses
         self.registry = registry if registry is not None else default_registry()
         self.name = name or self.spec()
+        # Cluster structure is frozen after construction, so per-type FU
+        # totals are memoized (the B-INIT cost function queries them in
+        # its innermost loop).
+        self._total_fu_counts: Dict[FuType, int] = {}
 
     # ------------------------------------------------------------------
     # Structure queries
@@ -122,7 +126,11 @@ class Datapath:
         """``N(t) = sum_c N(c, t)`` (``N_B`` for the bus)."""
         if futype == BUS:
             return self.num_buses
-        return sum(c.fu_count(futype) for c in self.clusters)
+        total = self._total_fu_counts.get(futype)
+        if total is None:
+            total = sum(c.fu_count(futype) for c in self.clusters)
+            self._total_fu_counts[futype] = total
+        return total
 
     def fu_types(self) -> Tuple[FuType, ...]:
         """All non-bus FU types present in at least one cluster."""

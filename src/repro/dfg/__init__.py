@@ -26,7 +26,7 @@ from .serialize import dfg_from_dict, dfg_to_dict, load_dfg, save_dfg
 from .stats import DfgStats, dfg_stats
 from .timing import TimingInfo, compute_timing, critical_path, critical_path_length
 from .trace import Sym, Tracer
-from .transform import BoundDfg, bind_dfg, transfer_name
+from .transform import BoundDfg, bind_delta, bind_dfg, transfer_name
 from .unroll import unroll, unroll_chained
 from .validate import ValidationError, validate_dfg
 
@@ -59,6 +59,7 @@ __all__ = [
     "critical_path_length",
     "BoundDfg",
     "bind_dfg",
+    "bind_delta",
     "transfer_name",
     "Sym",
     "Tracer",

@@ -16,13 +16,13 @@ among cut edges, which is what the paper's ``M`` column counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from .graph import Dfg
 from .ops import MOVE
 
-__all__ = ["BoundDfg", "bind_dfg", "transfer_name"]
+__all__ = ["BoundDfg", "bind_dfg", "bind_delta", "transfer_name"]
 
 
 def transfer_name(producer: str, dest_cluster: int) -> str:
@@ -43,11 +43,15 @@ class BoundDfg:
             result at the specified location").
         transfer_sources: for each transfer name, the ``(producer name,
             source cluster)`` pair it reads from.
+        producer_dests: ascending destination clusters per producer —
+            the cut analysis behind the inserted transfers, retained so
+            :func:`bind_delta` can patch it instead of re-deriving it.
     """
 
     graph: Dfg
     placement: Mapping[str, int]
     transfer_sources: Mapping[str, Tuple[str, int]]
+    producer_dests: Mapping[str, Tuple[int, ...]] = field(default_factory=dict)
 
     @property
     def num_transfers(self) -> int:
@@ -80,6 +84,68 @@ def bind_dfg(dfg: Dfg, binding: Mapping[str, int]) -> BoundDfg:
         if name not in binding:
             raise ValueError(f"operation {name!r} has no cluster assignment")
 
+    dests = {
+        u: tuple(
+            sorted(
+                {binding[v] for v in dfg.successors(u) if binding[v] != binding[u]}
+            )
+        )
+        for u in dfg
+    }
+    return _build_bound(dfg, binding, dests)
+
+
+def bind_delta(
+    dfg: Dfg,
+    prev: BoundDfg,
+    binding: Mapping[str, int],
+    moved: Optional[Iterable[str]] = None,
+) -> BoundDfg:
+    """Re-bind after a perturbation by patching ``prev`` (Section 3.2).
+
+    A B-ITER perturbation moves one or two operations, so the only
+    transfers that can appear, disappear, or change destination are
+    those produced by the moved operations or by their predecessors.
+    ``bind_delta`` reuses ``prev``'s cut analysis (``producer_dests``)
+    for every other producer and re-derives it only on that affected
+    neighbourhood, instead of re-scanning every edge of the DFG the way
+    :func:`bind_dfg` does.
+
+    The result is **identical** to ``bind_dfg(dfg, binding)`` —
+    including operation insertion order, which the list scheduler's
+    priority tie-break depends on (`tests/schedule/test_fastpath_equiv
+    .py` asserts this differentially).
+
+    Args:
+        dfg: the original DFG (shared by ``prev`` and ``binding``).
+        prev: a :class:`BoundDfg` of ``dfg`` under a previous binding.
+        binding: the new (complete) binding.
+        moved: names whose cluster changed; derived from the placement
+            difference when omitted.
+
+    Returns:
+        The :class:`BoundDfg` of ``dfg`` under ``binding``.
+    """
+    if moved is None:
+        moved = tuple(n for n in dfg if prev.placement[n] != binding[n])
+    affected = set(moved)
+    for v in tuple(affected):
+        affected.update(dfg.predecessors(v))
+    dests = dict(prev.producer_dests)
+    for u in affected:
+        c = binding[u]
+        dests[u] = tuple(
+            sorted({binding[v] for v in dfg.successors(u) if binding[v] != c})
+        )
+    return _build_bound(dfg, binding, dests)
+
+
+def _build_bound(
+    dfg: Dfg,
+    binding: Mapping[str, int],
+    dests: Dict[str, Tuple[int, ...]],
+) -> BoundDfg:
+    """Assemble a :class:`BoundDfg` from per-producer destination sets."""
     bound = Dfg(name=f"{dfg.name}+bound")
     placement: Dict[str, int] = {}
     transfer_sources: Dict[str, Tuple[str, int]] = {}
@@ -92,10 +158,7 @@ def bind_dfg(dfg: Dfg, binding: Mapping[str, int]) -> BoundDfg:
     # order, destination clusters ascending.
     for u in dfg:
         src_cluster = binding[u]
-        dest_clusters = sorted(
-            {binding[v] for v in dfg.successors(u) if binding[v] != src_cluster}
-        )
-        for dest in dest_clusters:
+        for dest in dests[u]:
             t = transfer_name(u, dest)
             bound.add_op(t, MOVE, is_transfer=True, source=u)
             bound.add_edge(u, t)
@@ -109,5 +172,8 @@ def bind_dfg(dfg: Dfg, binding: Mapping[str, int]) -> BoundDfg:
             bound.add_edge(transfer_name(u, binding[v]), v)
 
     return BoundDfg(
-        graph=bound, placement=placement, transfer_sources=transfer_sources
+        graph=bound,
+        placement=placement,
+        transfer_sources=transfer_sources,
+        producer_dests=dests,
     )

@@ -179,6 +179,11 @@ class JobResult:
     attempts: int = 1
     worker: str = field(default_factory=lambda: str(os.getpid()))
     cached: bool = False
+    # Evaluation-engine observability (None for algorithms/runs that do
+    # not report them; additive, so repro-runresult/1 blobs still load).
+    eval_hits: Optional[int] = None
+    eval_misses: Optional[int] = None
+    evaluations: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -213,11 +218,24 @@ def _run_pcc(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
     return result.latency, result.num_transfers, result.seconds
 
 
+def _eval_stats(result) -> Dict[str, int]:
+    return {
+        "eval_hits": result.eval_hits,
+        "eval_misses": result.eval_misses,
+        "evaluations": result.evaluations,
+    }
+
+
 def _run_b_init(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
     from ..core.driver import bind_initial
 
     result = bind_initial(dfg, datapath)
-    return result.latency, result.num_transfers, result.init_seconds
+    return (
+        result.latency,
+        result.num_transfers,
+        result.init_seconds,
+        _eval_stats(result),
+    )
 
 
 def _run_b_iter(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
@@ -228,6 +246,7 @@ def _run_b_iter(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
         result.latency,
         result.num_transfers,
         result.init_seconds + result.iter_seconds,
+        _eval_stats(result),
     )
 
 
@@ -266,7 +285,11 @@ def execute_job(job: BindJob) -> JobResult:
     """
     fn = _ALGORITHMS[job.algorithm]
     dfg = job.dfg()
-    latency, transfers, seconds = fn(dfg, job.datapath(), dict(job.config))
+    out = fn(dfg, job.datapath(), dict(job.config))
+    # Algorithms return (L, M, seconds) or (L, M, seconds, stats) where
+    # stats carries evaluation-engine counters.
+    latency, transfers, seconds = out[:3]
+    stats = out[3] if len(out) > 3 else {}
     return JobResult(
         key=job.cache_key(),
         kernel=dfg.name,
@@ -276,4 +299,7 @@ def execute_job(job: BindJob) -> JobResult:
         latency=latency,
         transfers=transfers,
         seconds=seconds,
+        eval_hits=stats.get("eval_hits"),
+        eval_misses=stats.get("eval_misses"),
+        evaluations=stats.get("evaluations"),
     )

@@ -71,6 +71,9 @@ class RunStore:
             "worker": result.worker,
             "cached": result.cached,
             "error": result.error,
+            "eval_hits": result.eval_hits,
+            "eval_misses": result.eval_misses,
+            "evaluations": result.evaluations,
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a") as f:

@@ -1,6 +1,7 @@
 """Resource-constrained list scheduling of bound DFGs."""
 
 from .bounds import LatencyBounds, latency_bounds, latency_lower_bound
+from .fastpath import FastOutcome, SchedContext, fast_list_schedule, fastpath_enabled
 from .gantt import render_gantt
 from .list_scheduler import ResourcePool, list_schedule
 from .priorities import alap_priority, asap_priority
@@ -12,6 +13,10 @@ __all__ = [
     "ScheduleError",
     "validate_schedule",
     "list_schedule",
+    "fast_list_schedule",
+    "fastpath_enabled",
+    "SchedContext",
+    "FastOutcome",
     "ResourcePool",
     "alap_priority",
     "asap_priority",

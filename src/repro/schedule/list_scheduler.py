@@ -108,7 +108,6 @@ def list_schedule(
             ready_at.setdefault(0, []).append(n)
 
     ready_heap: List[Tuple[Tuple[int, ...], str]] = []
-    unscheduled = len(graph._ops) if hasattr(graph, "_ops") else len(graph)
     unscheduled = len(graph)
     cycle = 0
     max_cycles = _cycle_budget(bound, datapath)

@@ -1,0 +1,302 @@
+"""Differential tests: the fast evaluation engine is bit-equivalent.
+
+The fast path (``repro.schedule.fastpath`` + ``repro.core.evalcache``)
+promises *bit-identical* results to the naive ``bind_dfg`` +
+``list_schedule`` pipeline — same latency, same transfer count, same
+start cycle and unit assignment for every operation, same descent
+trajectory.  These tests enforce the promise over random DFGs × random
+datapaths (hypothesis) and over directed perturbation sequences that
+exercise the incremental transfer re-derivation and the memo.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.binding import Binding
+from repro.core.evalcache import EvalCache, Evaluator
+from repro.core.iterative import (
+    boundary_operations,
+    candidate_moves,
+    iterative_improvement,
+)
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import random_layered_dfg
+from repro.dfg.graph import Dfg
+from repro.dfg.ops import ADD, MULT
+from repro.dfg.transform import bind_delta, bind_dfg
+from repro.kernels import load_kernel
+from repro.schedule.fastpath import SchedContext, fast_list_schedule
+from repro.schedule.list_scheduler import list_schedule
+
+# -- strategies -------------------------------------------------------------
+
+dfg_strategy = st.builds(
+    random_layered_dfg,
+    num_ops=st.integers(min_value=1, max_value=35),
+    seed=st.integers(min_value=0, max_value=10_000),
+    width=st.integers(min_value=1, max_value=8),
+    mul_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+
+datapath_strategy = st.builds(
+    lambda shape, buses: parse_datapath(
+        "|" + "|".join(f"{a},{m}" for a, m in shape) + "|", num_buses=buses
+    ),
+    shape=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=3),
+            st.integers(min_value=1, max_value=3),
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+    buses=st.integers(min_value=1, max_value=3),
+)
+
+relaxed = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _random_binding(dfg, datapath, seed):
+    rng = random.Random(seed)
+    return Binding(
+        {
+            op.name: rng.choice(datapath.target_set(op.optype))
+            for op in dfg.regular_operations()
+        }
+    )
+
+
+def _assert_schedules_identical(fast, naive):
+    assert fast.latency == naive.latency
+    assert fast.num_transfers == naive.num_transfers
+    assert dict(fast.start) == dict(naive.start)
+    assert dict(fast.instance) == dict(naive.instance)
+
+
+# -- fast_list_schedule ≡ list_schedule -------------------------------------
+
+
+class TestFastListSchedule:
+    @given(dfg=dfg_strategy, dp=datapath_strategy, seed=st.integers(0, 999))
+    @relaxed
+    def test_equivalent_on_random_inputs(self, dfg, dp, seed):
+        binding = _random_binding(dfg, dp, seed)
+        bound = bind_dfg(dfg, binding)
+        _assert_schedules_identical(
+            fast_list_schedule(bound, dp), list_schedule(bound, dp)
+        )
+
+    @pytest.mark.parametrize("kernel", ["ewf", "fft", "arf"])
+    @pytest.mark.parametrize("spec", ["|1,1|1,1|", "|2,1|1,1|"])
+    def test_equivalent_on_paper_kernels(self, kernel, spec):
+        dfg = load_kernel(kernel)
+        dp = parse_datapath(spec, num_buses=2)
+        binding = _random_binding(dfg, dp, seed=7)
+        bound = bind_dfg(dfg, binding)
+        _assert_schedules_identical(
+            fast_list_schedule(bound, dp), list_schedule(bound, dp)
+        )
+
+    def test_custom_priority_falls_back_to_naive(self, diamond, two_cluster):
+        binding = Binding({n: 0 for n in diamond})
+        bound = bind_dfg(diamond, binding)
+        priority = {n: (i,) for i, n in enumerate(bound.graph)}
+        _assert_schedules_identical(
+            fast_list_schedule(bound, two_cluster, priority=priority),
+            list_schedule(bound, two_cluster, priority=priority),
+        )
+
+    def test_budget_error_matches_naive_message(self):
+        # An infeasible pool is impossible through bind_dfg; instead check
+        # the budget formula agrees by scheduling a graph right at it.
+        g = Dfg("tiny")
+        g.add_op("a", ADD)
+        dp = parse_datapath("|1,1|", num_buses=1)
+        bound = bind_dfg(g, Binding({"a": 0}))
+        _assert_schedules_identical(
+            fast_list_schedule(bound, dp), list_schedule(bound, dp)
+        )
+
+
+# -- SchedContext.evaluate ≡ naive pipeline ---------------------------------
+
+
+class TestSchedContextEvaluate:
+    @given(dfg=dfg_strategy, dp=datapath_strategy, seed=st.integers(0, 999))
+    @relaxed
+    def test_outcome_matches_naive(self, dfg, dp, seed):
+        binding = _random_binding(dfg, dp, seed)
+        ctx = SchedContext(dfg, dp)
+        out = ctx.evaluate(tuple(binding[n] for n in ctx.names))
+        naive = list_schedule(bind_dfg(dfg, binding), dp)
+        assert out.latency == naive.latency
+        assert out.num_transfers == naive.num_transfers
+        assert out.completion_profile() == naive.completion_profile()
+        _assert_schedules_identical(out.to_schedule(), naive)
+
+    @given(
+        dfg=dfg_strategy,
+        dp=datapath_strategy,
+        seed=st.integers(0, 999),
+        n_moves=st.integers(1, 12),
+    )
+    @relaxed
+    def test_incremental_dests_across_perturbations(
+        self, dfg, dp, seed, n_moves
+    ):
+        """Chained perturbations exercise the incremental dest patching."""
+        rng = random.Random(seed)
+        binding = _random_binding(dfg, dp, seed)
+        evaluator = Evaluator(dfg, dp)
+        names = [op.name for op in dfg.regular_operations()]
+        for _ in range(n_moves):
+            v = rng.choice(names)
+            ts = dfg.operation(v).optype
+            targets = dp.target_set(ts)
+            binding = binding.rebind((v, rng.choice(targets)))
+            out = evaluator.evaluate(binding)
+            naive = list_schedule(bind_dfg(dfg, binding), dp)
+            assert (out.latency, out.num_transfers) == (
+                naive.latency,
+                naive.num_transfers,
+            )
+            _assert_schedules_identical(out.to_schedule(), naive)
+
+
+# -- bind_delta ≡ bind_dfg ---------------------------------------------------
+
+
+class TestBindDelta:
+    @given(
+        dfg=dfg_strategy,
+        dp=datapath_strategy,
+        seed=st.integers(0, 999),
+        n_moves=st.integers(1, 8),
+    )
+    @relaxed
+    def test_identical_including_insertion_order(
+        self, dfg, dp, seed, n_moves
+    ):
+        rng = random.Random(seed)
+        binding = _random_binding(dfg, dp, seed)
+        prev = bind_dfg(dfg, binding)
+        names = [op.name for op in dfg.regular_operations()]
+        for _ in range(n_moves):
+            v = rng.choice(names)
+            binding = binding.rebind(
+                (v, rng.choice(dp.target_set(dfg.operation(v).optype)))
+            )
+            delta = bind_delta(dfg, prev, binding)
+            full = bind_dfg(dfg, binding)
+            # Same nodes in the same insertion order (the scheduler's
+            # priority tie-break depends on it), same edges, same maps.
+            assert list(delta.graph) == list(full.graph)
+            assert set(delta.graph.edges()) == set(full.graph.edges())
+            assert dict(delta.placement) == dict(full.placement)
+            assert dict(delta.transfer_sources) == dict(
+                full.transfer_sources
+            )
+            assert dict(delta.producer_dests) == dict(full.producer_dests)
+            prev = delta
+
+    def test_explicit_moved_argument(self, diamond, two_cluster):
+        b0 = Binding({"v1": 0, "v2": 0, "v3": 0, "v4": 0})
+        prev = bind_dfg(diamond, b0)
+        b1 = b0.rebind(("v3", 1))
+        delta = bind_delta(diamond, prev, b1, moved=["v3"])
+        full = bind_dfg(diamond, b1)
+        assert list(delta.graph) == list(full.graph)
+        assert dict(delta.placement) == dict(full.placement)
+
+
+# -- memo correctness ---------------------------------------------------------
+
+
+class TestEvalCache:
+    def test_hit_returns_identical_outcome(self, two_cluster):
+        dfg = load_kernel("ewf")
+        evaluator = Evaluator(dfg, two_cluster)
+        binding = _random_binding(dfg, two_cluster, seed=3)
+        first = evaluator.evaluate(binding)
+        assert evaluator.cache.misses == 1
+        second = evaluator.evaluate(binding)
+        assert evaluator.cache.hits == 1
+        assert second is first  # the memo returns the cached object
+        assert evaluator.evaluations == 1
+
+    def test_eviction_bound(self):
+        cache = EvalCache(max_entries=2)
+        cache.put((0,), "a")
+        cache.put((1,), "b")
+        cache.put((2,), "c")
+        assert len(cache) == 2
+        assert cache.get((0,)) is None  # oldest evicted
+        assert cache.get((2,)) == "c"
+
+    def test_cache_never_changes_descent_trajectory(self, two_cluster):
+        """A shared (pre-warmed) memo must not alter B-ITER's descent."""
+        dfg = load_kernel("ewf")
+        start = _random_binding(dfg, two_cluster, seed=11)
+
+        cold = iterative_improvement(dfg, two_cluster, start, fast=True)
+
+        # Pre-warm an evaluator with every binding the descent will see
+        # in scrambled order, then rerun: identical trajectory required.
+        warm_eval = Evaluator(dfg, two_cluster)
+        probe = start
+        warm_eval.evaluate(probe)
+        for v in boundary_operations(dfg, probe):
+            for c in candidate_moves(dfg, two_cluster, probe, v):
+                warm_eval.evaluate(probe.rebind((v, c)))
+        warm = iterative_improvement(
+            dfg, two_cluster, start, evaluator=warm_eval
+        )
+
+        assert warm.binding == cold.binding
+        assert warm.history == cold.history
+        assert warm.iterations == cold.iterations
+        assert warm.evaluations == cold.evaluations
+        _assert_schedules_identical(warm.schedule, cold.schedule)
+        assert warm.cache_hits > 0  # the warm memo actually served hits
+
+
+# -- end-to-end descent equivalence ------------------------------------------
+
+
+class TestDescentEquivalence:
+    @given(dfg=dfg_strategy, dp=datapath_strategy, seed=st.integers(0, 99))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_fast_descent_equals_naive_descent(self, dfg, dp, seed):
+        start = _random_binding(dfg, dp, seed)
+        fast = iterative_improvement(dfg, dp, start, fast=True)
+        naive = iterative_improvement(dfg, dp, start, fast=False)
+        assert fast.binding == naive.binding
+        assert fast.history == naive.history
+        assert fast.iterations == naive.iterations
+        assert fast.evaluations == naive.evaluations
+        _assert_schedules_identical(fast.schedule, naive.schedule)
+
+    @pytest.mark.parametrize("kernel,spec", [("ewf", "|2,1|1,1|"), ("fft", "|1,1|1,1|")])
+    def test_driver_bit_equivalence_on_paper_cells(self, kernel, spec):
+        from repro.core.driver import bind
+
+        dfg = load_kernel(kernel)
+        dp = parse_datapath(spec, num_buses=2)
+        fast = bind(dfg, dp, fast=True)
+        naive = bind(dfg, dp, fast=False)
+        assert fast.binding == naive.binding
+        assert fast.sweep_log == naive.sweep_log
+        assert fast.iter_result.history == naive.iter_result.history
+        _assert_schedules_identical(fast.schedule, naive.schedule)
+        assert fast.eval_hits > 0  # the memo did real work
