@@ -99,6 +99,32 @@ def test_b_iter_driver(benchmark, kernel_name, spec, mode):
     benchmark.extra_info["evaluations"] = result.evaluations
 
 
+@pytest.mark.benchmark(group="b-init")
+@pytest.mark.parametrize(
+    "kernel_name,spec",
+    [("ewf", "|2,1|1,1|"), ("dct-dit", "|3,1|2,2|1,3|")],
+    ids=lambda v: str(v).replace("|", "c"),
+)
+def test_initial_binding_sweep(benchmark, kernel_name, spec):
+    """The driver's full B-INIT sweep (L_PR stretch x both directions).
+
+    This is the loop the incremental overload bookkeeping and the
+    per-L_PR ProfileSet reuse accelerate: fucost/buscost correct a
+    standing overload count over one window instead of re-scanning
+    every profile level per candidate cluster.
+    """
+    from repro.core.driver import bind_initial
+
+    dfg = kernel(kernel_name)
+    dp = parse_datapath(spec, num_buses=2)
+    result = benchmark.pedantic(
+        lambda: bind_initial(dfg, dp), rounds=3, iterations=1
+    )
+    benchmark.extra_info["cell"] = f"{kernel_name} {spec}"
+    benchmark.extra_info["L"] = result.latency
+    benchmark.extra_info["M"] = result.num_transfers
+
+
 def test_fastpath_speedup_smoke():
     """CI non-regression gate: fast >= 2x naive on the EWF Table 1 cell.
 

@@ -7,12 +7,19 @@ single-operation moves, and the exact list-schedule latency (with the
 transfer count as a fractional tiebreak) as energy.  Deterministic for a
 given seed.
 
-Energy evaluation runs through the fast engine by default
-(``fast=True``): the walk revisits bindings often (rejected moves leave
-the state unchanged, so the next proposal perturbs the same base), which
-the placement-keyed memo absorbs.  The accept/reject trajectory is
-unchanged — the fast path is bit-equivalent, so the RNG consumption and
-therefore the whole walk are identical to the naive path.
+Move generation and energy evaluation run through the
+:mod:`repro.search` substrate: random reassignments come from
+:meth:`~repro.search.neighborhood.Neighborhood.random_reassignment`
+(which consumes the RNG exactly like the historical loop) and every
+energy evaluation goes through a
+:class:`~repro.search.session.SearchSession`, so the walk shares the
+placement-keyed memo and shows up in the session's
+:class:`~repro.search.stats.SearchStats`.  The walk revisits bindings
+often (rejected moves leave the state unchanged, so the next proposal
+perturbs the same base), which the memo absorbs.  The accept/reject
+trajectory is unchanged — the fast path is bit-equivalent, so the RNG
+consumption and therefore the whole walk are identical to the naive
+path.
 """
 
 from __future__ import annotations
@@ -26,10 +33,9 @@ from ..core.binding import Binding, validate_binding
 from ..core.evalcache import Evaluator
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
-from ..dfg.transform import bind_dfg
 from ..runner.progress import timed
-from ..schedule.fastpath import fastpath_enabled
-from ..schedule.list_scheduler import list_schedule
+from ..search.neighborhood import Neighborhood
+from ..search.session import SearchSession
 from ..schedule.schedule import Schedule
 
 __all__ = ["AnnealingResult", "annealing_bind", "random_binding_seeded"]
@@ -76,56 +82,58 @@ def annealing_bind(
     steps_per_temperature: int = 30,
     min_temperature: float = 0.01,
     fast: Optional[bool] = None,
+    evaluator: Optional[Evaluator] = None,
+    session: Optional[SearchSession] = None,
 ) -> AnnealingResult:
     """Bind by simulated annealing.
 
     Args:
         dfg: the original DFG.
         datapath: the clustered machine.
-        seed: RNG seed (results are deterministic per seed).
+        seed: RNG seed (results are deterministic per seed).  The walk
+            always draws from its own ``random.Random(seed)`` — never
+            from a shared session's RNG — so results stay reproducible
+            per seed regardless of session sharing.
         initial_temperature / cooling / steps_per_temperature /
             min_temperature: the annealing schedule; the defaults are
             sized for the paper's kernels (tens of operations).
         fast: use the memo-backed fast evaluation engine (default: on,
             unless ``REPRO_FASTPATH=0``).  The walk is identical either
             way.
+        evaluator: a shared :class:`~repro.core.evalcache.Evaluator`.
+            Implies ``fast``.
+        session: a shared :class:`~repro.search.session.SearchSession`;
+            supersedes ``fast``/``evaluator``.
 
     Returns:
         An :class:`AnnealingResult` holding the best binding ever seen
         (not merely the final state).
     """
     datapath.check_bindable(dfg)
-    evaluator: Optional[Evaluator] = None
-    if fast if fast is not None else fastpath_enabled():
-        evaluator = Evaluator(dfg, datapath)
+    if session is None:
+        session = SearchSession(dfg, datapath, fast=fast, evaluator=evaluator)
+    neighborhood = Neighborhood(dfg, datapath)
 
     def energy(b: Binding) -> float:
-        if evaluator is not None:
-            return _energy_of(evaluator.evaluate(b))
-        return _energy_of(list_schedule(bind_dfg(dfg, b), datapath))
+        return _energy_of(session.evaluate(b))
 
     with timed() as timer:
         rng = random.Random(seed)
-        ops = [op.name for op in dfg.regular_operations()]
 
         binding = random_binding_seeded(dfg, datapath, rng)
         e = energy(binding)
         best: Tuple[float, Binding] = (e, binding)
+        session.stats.record_best((e,))
 
         tried = accepted = 0
         temperature = initial_temperature
-        while temperature > min_temperature:
+        while temperature > min_temperature and not session.exhausted():
             for _ in range(steps_per_temperature):
-                name = rng.choice(ops)
-                targets = [
-                    c
-                    for c in datapath.target_set(dfg.operation(name).optype)
-                    if c != binding[name]
-                ]
-                if not targets:
+                move = neighborhood.random_reassignment(binding, rng)
+                if move is None:
                     continue
                 tried += 1
-                candidate = binding.rebind((name, rng.choice(targets)))
+                candidate = binding.rebind(move)
                 cand_energy = energy(candidate)
                 delta = cand_energy - e
                 if delta <= 0 or rng.random() < math.exp(-delta / temperature):
@@ -133,14 +141,12 @@ def annealing_bind(
                     accepted += 1
                     if e < best[0]:
                         best = (e, binding)
+                        session.stats.record_best((e,))
             temperature *= cooling
 
         _, binding = best
         validate_binding(binding, dfg, datapath)
-        if evaluator is not None:
-            schedule = evaluator.schedule(binding)
-        else:
-            schedule = list_schedule(bind_dfg(dfg, binding), datapath)
+        schedule = session.schedule(binding)
         return AnnealingResult(
             binding=binding,
             schedule=schedule,

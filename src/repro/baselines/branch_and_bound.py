@@ -34,10 +34,8 @@ from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
 from ..dfg.ops import FuType
 from ..dfg.timing import compute_timing
-from ..dfg.transform import bind_dfg
 from ..runner.progress import timed
-from ..schedule.fastpath import fastpath_enabled
-from ..schedule.list_scheduler import list_schedule
+from ..search.session import SearchSession
 from ..schedule.schedule import Schedule
 
 __all__ = ["BnBResult", "branch_and_bound_bind"]
@@ -76,6 +74,8 @@ def branch_and_bound_bind(
     datapath: Datapath,
     max_nodes: int = 2_000_000,
     fast: Optional[bool] = None,
+    evaluator: Optional[Evaluator] = None,
+    session: Optional[SearchSession] = None,
 ) -> BnBResult:
     """Find the latency-optimal binding by branch and bound.
 
@@ -89,22 +89,27 @@ def branch_and_bound_bind(
             nearly all of the search's time goes; the pruned tree visits
             permutation-equivalent bindings repeatedly on symmetric
             machines, which the memo absorbs.
+        evaluator: a shared :class:`~repro.core.evalcache.Evaluator`.
+            Implies ``fast``.
+        session: a shared :class:`~repro.search.session.SearchSession`;
+            supersedes ``fast``/``evaluator``.  The B-INIT incumbent is
+            seeded through the same session, so its evaluations warm the
+            leaf memo.
 
     Returns:
         A :class:`BnBResult`; the incumbent starts from the driver's
         B-INIT result, so the answer is never worse than B-INIT.
     """
     datapath.check_bindable(dfg)
-    evaluator: Optional[Evaluator] = None
-    if fast if fast is not None else fastpath_enabled():
-        evaluator = Evaluator(dfg, datapath)
+    if session is None:
+        session = SearchSession(dfg, datapath, fast=fast, evaluator=evaluator)
     with timed() as timer:
         reg = datapath.registry
         timing = compute_timing(dfg, reg)
         lcp = timing.critical_path_length
 
         # Incumbent: the heuristic solution (gives the bound real teeth).
-        seed = bind_initial(dfg, datapath, fast=fast)
+        seed = bind_initial(dfg, datapath, session=session)
         best_key: Tuple[int, int] = (seed.latency, seed.num_transfers)
         best_binding: Binding = seed.binding
 
@@ -167,13 +172,11 @@ def branch_and_bound_bind(
                 return
             if depth == n_ops:
                 binding = Binding(dict(bn))
-                if evaluator is not None:
-                    key = evaluator.evaluate(binding).key()
-                else:
-                    s = list_schedule(bind_dfg(dfg, binding), datapath)
-                    key = (s.latency, s.num_transfers)
+                out = session.evaluate(binding)
+                key = (out.latency, out.num_transfers)
                 if key < best_key:
                     best_key, best_binding = key, binding
+                    session.stats.record_best(key)
                 return
             if lower_bound() > best_key[0]:
                 return  # prune: cannot beat the incumbent's latency
@@ -198,14 +201,10 @@ def branch_and_bound_bind(
                 if exhausted[0]:
                     return
 
-        dfs(0)
+        with session.phase("bnb:dfs"):
+            dfs(0)
         validate_binding(best_binding, dfg, datapath)
-        if evaluator is not None:
-            best_schedule = evaluator.schedule(best_binding)
-        else:
-            best_schedule = list_schedule(
-                bind_dfg(dfg, best_binding), datapath
-            )
+        best_schedule = session.schedule(best_binding)
         return BnBResult(
             binding=best_binding,
             schedule=best_schedule,

@@ -9,6 +9,8 @@ Subcommands:
 * ``table1`` / ``table2`` — regenerate the paper's tables (optionally
   exporting CSV/JSON/Markdown via ``--out``);
 * ``pressure`` — per-cluster register-pressure report for a binding;
+  with ``--budget R`` it also runs the pressure-aware ``Q_P`` descent
+  and reports the before/after pressure plus evaluation-memo counters;
 * ``dse`` — design-space exploration: Pareto-optimal datapaths for a
   set of kernels under an FU budget.
 """
@@ -114,6 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_pr.add_argument("kernel", help="kernel name or DFG JSON path")
     p_pr.add_argument("--datapath", "-d", default="|2,1|2,1|1,1|")
     p_pr.add_argument("--buses", type=int, default=2)
+    p_pr.add_argument(
+        "--budget",
+        type=int,
+        metavar="R",
+        help="per-cluster register budget: run the pressure-aware Q_P "
+        "pass after B-ITER and report both bindings",
+    )
 
     p_dse = sub.add_parser(
         "dse", help="explore clustered datapaths for a kernel set"
@@ -268,15 +277,48 @@ def _cmd_pressure(args: argparse.Namespace) -> int:
 
     dfg = _load(args.kernel)
     dp = parse_datapath(args.datapath, num_buses=args.buses)
-    result = bind(dfg, dp, iter_starts=1)
-    report = register_pressure(result.schedule)
+    if args.budget is None:
+        result = bind(dfg, dp, iter_starts=1)
+        report = register_pressure(result.schedule)
+        print(
+            f"{dfg.name} on {dp.spec()}: L = {result.latency}, "
+            f"M = {result.num_transfers}"
+        )
+        for cluster in range(dp.num_clusters):
+            print(f"  cluster {cluster}: peak pressure {report.per_cluster[cluster]}")
+        print(f"  centralized equivalent would need {centralized_pressure(result.schedule)}")
+        return 0
+
+    from .core.pressure_aware import pressure_aware_improvement
+    from .search import SearchSession
+
+    session = SearchSession(dfg, dp)
+    result = bind(dfg, dp, iter_starts=1, session=session)
+    refined = pressure_aware_improvement(
+        dfg, dp, result.binding, budget=args.budget, session=session
+    )
+    before = register_pressure(result.schedule)
+    after = register_pressure(refined.schedule)
     print(
         f"{dfg.name} on {dp.spec()}: L = {result.latency}, "
-        f"M = {result.num_transfers}"
+        f"M = {result.num_transfers}, register budget {args.budget}"
     )
     for cluster in range(dp.num_clusters):
-        print(f"  cluster {cluster}: peak pressure {report.per_cluster[cluster]}")
-    print(f"  centralized equivalent would need {centralized_pressure(result.schedule)}")
+        print(
+            f"  cluster {cluster}: peak pressure "
+            f"{before.per_cluster[cluster]} -> {after.per_cluster[cluster]}"
+        )
+    print(
+        f"  after Q_P pass: L = {refined.schedule.latency}, "
+        f"M = {refined.schedule.num_transfers} "
+        f"({refined.iterations} committed moves)"
+    )
+    stats = session.eval_stats
+    print(
+        f"  evaluations {stats.evaluations}, memo hits {stats.hits}, "
+        f"misses {stats.misses}"
+    )
+    print(f"  centralized equivalent would need {centralized_pressure(refined.schedule)}")
     return 0
 
 

@@ -29,7 +29,7 @@ from typing import AbstractSet, List, Mapping, Set, Tuple
 
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
-from .loadprofile import ProfileSet, Window, operation_window, transfer_window
+from .loadprofile import ProfileSet, Window, transfer_window
 
 __all__ = ["CostParams", "CostBreakdown", "icost", "trcost", "fucost", "buscost"]
 
@@ -135,23 +135,31 @@ def fucost(profiles: ProfileSet, v: str, c: int) -> int:
     cluster's normalized load would exceed ``max(load_DP(t, tau), 1)`` —
     i.e. the cluster is overloaded both in absolute terms and relative to
     the equivalent centralized machine.
+
+    Outside ``v``'s load window the tentative load equals the committed
+    load, so only the window's levels can differ from the ProfileSet's
+    standing overload count; the loop below corrects that count over the
+    window instead of re-scanning every level per candidate.
     """
     dp = profiles.datapath
     reg = dp.registry
     op = profiles.dfg.operation(v)
     futype = reg.futype(op.optype)
     n_cluster = dp.fu_count(c, futype)
-    window = operation_window(profiles.timing, v, reg.dii(op.optype))
+    window = profiles.op_window(v)
     levels = profiles.cluster_profile(c, futype).levels
     thresholds = profiles.dp_thresholds(futype)
+    over, penalty = profiles.cluster_overload(c, futype)
 
-    penalty = 0
-    height, w_start, w_end = window.height, window.start, window.end
-    for tau in range(profiles.length):
-        contribution = height if w_start <= tau <= w_end else 0.0
-        load_cl = (levels[tau] + contribution) / n_cluster
-        if load_cl > thresholds[tau] + 1e-9:
-            penalty += 1
+    height = window.height
+    lo = max(0, window.start)
+    hi = min(profiles.length - 1, window.end)
+    for tau in range(lo, hi + 1):
+        if (levels[tau] + height) / n_cluster > thresholds[tau] + 1e-9:
+            if not over[tau]:
+                penalty += 1
+        elif over[tau]:
+            penalty -= 1
     return penalty
 
 
@@ -165,17 +173,29 @@ def buscost(
     ``new_transfer_windows`` are the windows of the transfers this
     candidate binding would add (computed by the caller via
     :func:`~repro.core.loadprofile.transfer_window`); the penalty counts
-    levels where the resulting normalized bus load exceeds 1.
+    levels where the resulting normalized bus load exceeds 1.  As in
+    :func:`fucost`, only levels inside some new window can change state,
+    so the standing overload count is corrected over those levels only.
     """
+    over, penalty = profiles.bus_overload()
+    if not new_transfer_windows:
+        return penalty
     nb = profiles.datapath.num_buses
     levels = profiles.bus_profile().levels
-    penalty = 0
-    for tau in range(profiles.length):
-        extra = sum(
-            w.height for w in new_transfer_windows if w.start <= tau <= w.end
-        )
+    length = profiles.length
+    taus: Set[int] = set()
+    for w in new_transfer_windows:
+        taus.update(range(max(0, w.start), min(length - 1, w.end) + 1))
+    for tau in sorted(taus):
+        extra = 0.0
+        for w in new_transfer_windows:
+            if w.start <= tau <= w.end:
+                extra += w.height
         if (levels[tau] + extra) / nb > 1.0 + 1e-9:
-            penalty += 1
+            if not over[tau]:
+                penalty += 1
+        elif over[tau]:
+            penalty -= 1
     return penalty
 
 

@@ -18,12 +18,15 @@ Candidates are ranked by ``(L, M)`` lexicographically; the best is the
 B-INIT result the paper's tables report, and the starting point of B-ITER.
 
 Evaluation runs through one shared
-:class:`~repro.core.evalcache.Evaluator` per ``bind`` call (fast path,
-default): the sweep's candidate schedules, every multi-start descent,
-and the Q_U/Q_M passes inside each descent all read and feed the same
-placement-keyed memo, so a binding reached twice — by two ``L_PR``
-values, or by two descents converging into one basin — is scheduled
-once.  ``fast=False`` retains the naive per-candidate
+:class:`~repro.search.session.SearchSession` per ``bind`` call (fast
+path, default): the sweep's candidate schedules, every multi-start
+descent, and the Q_U/Q_M passes inside each descent all read and feed
+the same placement-keyed memo, so a binding reached twice — by two
+``L_PR`` values, or by two descents converging into one basin — is
+scheduled once.  The two binding *directions* of one ``L_PR`` value
+also share one :class:`~repro.core.loadprofile.ProfileSet` (the
+profile's timing tables depend only on ``L_PR``), halving B-INIT's
+setup work.  ``fast=False`` retains the naive per-candidate
 ``bind_dfg`` + ``list_schedule`` path, bit-equivalent by construction.
 """
 
@@ -31,19 +34,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
-from ..dfg.transform import bind_dfg
-from ..schedule.fastpath import fastpath_enabled
-from ..schedule.list_scheduler import list_schedule
 from ..schedule.schedule import Schedule
+from ..search.session import SearchSession
+from ..search.stats import SearchStats
 from .binding import Binding
 from .cost import CostParams
-from .evalcache import Evaluator
 from .initial import initial_binding
 from .iterative import IterativeResult, iterative_improvement
+from .loadprofile import ProfileSet
 
 __all__ = ["BindResult", "default_lpr_values", "bind_initial", "bind"]
 
@@ -68,6 +70,10 @@ class BindResult:
             fast path is off).
         eval_misses: evaluation-memo misses across the whole call.
         evaluations: schedules actually computed by the shared evaluator.
+        search_stats: the session's unified telemetry (candidate
+            evaluations, memo counters, best-quality trajectory, phase
+            timings); totals over the session, so a caller-provided
+            shared session reports its cumulative history.
     """
 
     binding: Binding
@@ -83,6 +89,7 @@ class BindResult:
     eval_hits: int = 0
     eval_misses: int = 0
     evaluations: int = 0
+    search_stats: Optional[SearchStats] = None
 
     @property
     def latency(self) -> int:
@@ -119,13 +126,16 @@ def default_lpr_values(
     return tuple(values)
 
 
-def _resolve_evaluator(
-    dfg: Dfg, datapath: Datapath, fast: Optional[bool]
-) -> Optional[Evaluator]:
-    """One shared evaluator for the whole driver call, or None (naive)."""
-    if fast if fast is not None else fastpath_enabled():
-        return Evaluator(dfg, datapath)
-    return None
+def _resolve_session(
+    dfg: Dfg,
+    datapath: Datapath,
+    fast: Optional[bool],
+    session: Optional[SearchSession],
+) -> SearchSession:
+    """One shared session for the whole driver call."""
+    if session is not None:
+        return session
+    return SearchSession(dfg, datapath, fast=fast)
 
 
 def _sweep(
@@ -134,7 +144,7 @@ def _sweep(
     lpr_values: Sequence[int],
     directions: Sequence[bool],
     params: CostParams,
-    evaluator: Optional[Evaluator] = None,
+    session: SearchSession,
 ) -> List[Tuple[Tuple[int, int], Binding, Callable[[], Schedule], int, bool]]:
     """Run every B-INIT configuration; return scored, deduped candidates.
 
@@ -144,30 +154,42 @@ def _sweep(
     ``L_PR`` values).  The schedule is a thunk so the fast path only
     materializes full :class:`Schedule` objects for entries that are
     actually reported, while ``(L, M)`` scoring stays memo-backed.
+
+    The two directions of one ``L_PR`` reuse a single
+    :class:`ProfileSet` — its timing/threshold tables depend only on
+    ``(dfg, datapath, lpr)``, and :func:`initial_binding` resets the
+    mutable level state on entry.
     """
     seen: dict = {}
     entries: List[
         Tuple[Tuple[int, int], Binding, Callable[[], Schedule], int, bool]
     ] = []
+    profile_cache: Dict[int, ProfileSet] = {}
     for reverse in directions:
         for lpr in lpr_values:
+            profiles = profile_cache.get(lpr)
+            if profiles is None:
+                profiles = ProfileSet(dfg, datapath, lpr)
+                profile_cache[lpr] = profiles
             result = initial_binding(
-                dfg, datapath, lpr=lpr, reverse=reverse, params=params
+                dfg,
+                datapath,
+                lpr=lpr,
+                reverse=reverse,
+                params=params,
+                profiles=profiles,
             )
             if result.binding in seen:
                 continue
             seen[result.binding] = None
             binding = result.binding
-            if evaluator is not None:
-                out = evaluator.evaluate(binding)
+            out = session.evaluate(binding)
+            if session.fast:
                 key = out.key()
-                thunk = (
-                    lambda b=binding, ev=evaluator: ev.schedule(b)
-                )
+                thunk = lambda b=binding, s=session: s.schedule(b)
             else:
-                schedule = list_schedule(bind_dfg(dfg, binding), datapath)
-                key = (schedule.latency, schedule.num_transfers)
-                thunk = lambda s=schedule: s
+                key = (out.latency, out.num_transfers)
+                thunk = lambda s=out: s
             entries.append((key, binding, thunk, lpr, reverse))
     entries.sort(key=lambda e: e[0])
     return entries
@@ -180,6 +202,7 @@ def bind_initial(
     directions: Sequence[bool] = (False, True),
     params: CostParams = CostParams(),
     fast: Optional[bool] = None,
+    session: Optional[SearchSession] = None,
 ) -> BindResult:
     """Run the B-INIT sweep and return the best candidate.
 
@@ -192,6 +215,8 @@ def bind_initial(
         params: cost-function weights.
         fast: use the shared fast-path evaluator (default: on, unless
             ``REPRO_FASTPATH=0``).
+        session: a shared :class:`~repro.search.session.SearchSession`;
+            supersedes ``fast``.
 
     Returns:
         A :class:`BindResult` with ``iter_result`` unset.
@@ -199,14 +224,18 @@ def bind_initial(
     t0 = time.perf_counter()
     if lpr_values is None:
         lpr_values = default_lpr_values(dfg, datapath)
-    evaluator = _resolve_evaluator(dfg, datapath, fast)
-    entries = _sweep(dfg, datapath, lpr_values, directions, params, evaluator)
+    session = _resolve_session(dfg, datapath, fast, session)
+    with session.phase("b-init"):
+        entries = _sweep(
+            dfg, datapath, lpr_values, directions, params, session
+        )
     _, binding, thunk, lpr, reverse = entries[0]
     schedule = thunk()
     log = tuple(
         (lpr_, rev_, key[0], key[1]) for key, _, _, lpr_, rev_ in entries
     )
-    stats = evaluator.stats if evaluator is not None else None
+    session.persist()
+    stats = session.eval_stats
     return BindResult(
         binding=binding,
         schedule=schedule,
@@ -217,9 +246,10 @@ def bind_initial(
         init_seconds=time.perf_counter() - t0,
         iter_seconds=0.0,
         sweep_log=log,
-        eval_hits=stats.hits if stats else 0,
-        eval_misses=stats.misses if stats else 0,
-        evaluations=stats.evaluations if stats else 0,
+        eval_hits=stats.hits,
+        eval_misses=stats.misses,
+        evaluations=stats.evaluations,
+        search_stats=session.stats,
     )
 
 
@@ -234,6 +264,7 @@ def bind(
     quality: str = "qu+qm",
     iter_starts: Optional[int] = None,
     fast: Optional[bool] = None,
+    session: Optional[SearchSession] = None,
 ) -> BindResult:
     """Full binding flow: B-INIT sweep, then (optionally) B-ITER.
 
@@ -265,6 +296,10 @@ def bind(
         fast: use the fast-path evaluation engine with one memo shared
             across the sweep and every descent (default: on, unless
             ``REPRO_FASTPATH=0``).  Results are bit-equivalent.
+        session: a shared :class:`~repro.search.session.SearchSession`
+            (e.g. to continue into a pressure-aware pass on the same
+            memo, or to impose an evaluation budget); supersedes
+            ``fast``.
 
     Returns:
         A :class:`BindResult`.  ``initial_binding``/``initial_schedule``
@@ -274,8 +309,11 @@ def bind(
     t0 = time.perf_counter()
     if lpr_values is None:
         lpr_values = default_lpr_values(dfg, datapath)
-    evaluator = _resolve_evaluator(dfg, datapath, fast)
-    entries = _sweep(dfg, datapath, lpr_values, directions, params, evaluator)
+    session = _resolve_session(dfg, datapath, fast, session)
+    with session.phase("b-init"):
+        entries = _sweep(
+            dfg, datapath, lpr_values, directions, params, session
+        )
     init_seconds = time.perf_counter() - t0
     _, init_binding, init_thunk, lpr, reverse = entries[0]
     init_schedule = init_thunk()
@@ -283,7 +321,8 @@ def bind(
         (lpr_, rev_, key[0], key[1]) for key, _, _, lpr_, rev_ in entries
     )
     if not improve:
-        stats = evaluator.stats if evaluator is not None else None
+        session.persist()
+        stats = session.eval_stats
         return BindResult(
             binding=init_binding,
             schedule=init_schedule,
@@ -294,32 +333,37 @@ def bind(
             init_seconds=init_seconds,
             iter_seconds=0.0,
             sweep_log=log,
-            eval_hits=stats.hits if stats else 0,
-            eval_misses=stats.misses if stats else 0,
-            evaluations=stats.evaluations if stats else 0,
+            eval_hits=stats.hits,
+            eval_misses=stats.misses,
+            evaluations=stats.evaluations,
+            search_stats=session.stats,
         )
 
     t1 = time.perf_counter()
     starts = entries if iter_starts is None else entries[:iter_starts]
     best_key: Optional[Tuple[int, int]] = None
     best_iter: Optional[IterativeResult] = None
-    for _, start_binding, _, _, _ in starts:
-        candidate = iterative_improvement(
-            dfg,
-            datapath,
-            start_binding,
-            use_pairs=use_pairs,
-            quality=quality,
-            fast=fast,
-            evaluator=evaluator,
-        )
-        key = (candidate.schedule.latency, candidate.schedule.num_transfers)
-        if best_key is None or key < best_key:
-            best_key = key
-            best_iter = candidate
+    with session.phase("b-iter"):
+        for _, start_binding, _, _, _ in starts:
+            candidate = iterative_improvement(
+                dfg,
+                datapath,
+                start_binding,
+                use_pairs=use_pairs,
+                quality=quality,
+                session=session,
+            )
+            key = (
+                candidate.schedule.latency,
+                candidate.schedule.num_transfers,
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                best_iter = candidate
     assert best_iter is not None
     iter_seconds = time.perf_counter() - t1
-    stats = evaluator.stats if evaluator is not None else None
+    session.persist()
+    stats = session.eval_stats
     return BindResult(
         binding=best_iter.binding,
         schedule=best_iter.schedule,
@@ -331,7 +375,8 @@ def bind(
         iter_seconds=iter_seconds,
         iter_result=best_iter,
         sweep_log=log,
-        eval_hits=stats.hits if stats else 0,
-        eval_misses=stats.misses if stats else 0,
-        evaluations=stats.evaluations if stats else 0,
+        eval_hits=stats.hits,
+        eval_misses=stats.misses,
+        evaluations=stats.evaluations,
+        search_stats=session.stats,
     )

@@ -105,6 +105,15 @@ class EvalCache:
     def clear(self) -> None:
         self._data.clear()
 
+    def items(self):
+        """Iterate ``(placement, FastOutcome)`` memo entries.
+
+        Counters are untouched; used by the on-disk
+        :class:`~repro.search.diskcache.OutcomeStore` to externalize
+        the memo across worker processes.
+        """
+        return self._data.items()
+
     @property
     def stats(self) -> EvalStats:
         return EvalStats(

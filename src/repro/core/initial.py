@@ -56,6 +56,7 @@ def initial_binding(
     params: CostParams = CostParams(),
     ordering: Optional[OrderingFn] = None,
     keep_log: bool = False,
+    profiles: Optional[ProfileSet] = None,
 ) -> InitialBindingResult:
     """Run the greedy initial binding.
 
@@ -70,16 +71,28 @@ def initial_binding(
             for the chosen direction.  Custom orderings are used by the
             ablation benchmarks.
         keep_log: record per-operation cost breakdowns in the result.
+        profiles: an existing :class:`ProfileSet` for this
+            ``(dfg, datapath, lpr)`` to reuse (it is reset first).  The
+            driver's sweep passes one per ``L_PR`` so timing and the
+            centralized profiles are built once, not once per direction.
 
     Returns:
         An :class:`InitialBindingResult` whose binding is complete and
         valid for ``datapath``.
 
     Raises:
-        ValueError: if some operation has an empty target set.
+        ValueError: if some operation has an empty target set, or if
+            ``profiles`` was built for a different ``lpr``.
     """
     datapath.check_bindable(dfg)
-    profiles = ProfileSet(dfg, datapath, lpr=lpr)
+    if profiles is None:
+        profiles = ProfileSet(dfg, datapath, lpr=lpr)
+    else:
+        if lpr is not None and profiles.lpr != lpr:
+            raise ValueError(
+                f"profiles built for L_PR={profiles.lpr}, requested {lpr}"
+            )
+        profiles.reset()
     if ordering is None:
         ordering = reverse_order if reverse else paper_order
     order = ordering(dfg, profiles.timing, datapath.registry)
@@ -113,7 +126,7 @@ def initial_binding(
             # transfers, lighter current cluster load, lower index —
             # all chosen to keep results deterministic.
             futype = reg.futype(optype)
-            load_now = sum(profiles.cluster_profile(c, futype).levels)
+            load_now = profiles.cluster_level_sum(c, futype)
             load_now /= max(1, datapath.fu_count(c, futype))
             key = (breakdown.total, breakdown.trcost, load_now, c)
             if best_key is None or key < best_key:

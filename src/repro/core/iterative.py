@@ -17,29 +17,34 @@ re-derived) and list-scheduled.  Perturbations are steepest-descent: each
 iteration scans all candidates and commits the single best improving one,
 terminating when no candidate improves the quality vector.
 
-By default candidates run through the fast evaluation engine
-(:mod:`repro.schedule.fastpath` + :mod:`repro.core.evalcache`): a
-precompiled scheduling context, incremental transfer re-derivation, and
-a placement-keyed memo shared between the Q_U and Q_M passes.  The
-engine is bit-equivalent to the naive ``bind_dfg`` + ``list_schedule``
-path (``fast=False``), which is retained for differential testing.
+This module is the B-ITER *strategy*; all strategy-independent machinery
+lives in :mod:`repro.search`: move generation in
+:class:`~repro.search.neighborhood.Neighborhood`, the descent loop in
+:func:`~repro.search.descent.steepest_descent`, quality-vector
+resolution in :class:`~repro.search.quality.QualitySpec`, and evaluation
+(fast/naive dispatch, memoization, counters, budgets) in
+:class:`~repro.search.session.SearchSession`.  By default candidates run
+through the fast evaluation engine (:mod:`repro.schedule.fastpath` +
+:mod:`repro.core.evalcache`), bit-equivalent to the naive ``bind_dfg`` +
+``list_schedule`` path (``fast=False``), which is retained for
+differential testing.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
-from ..dfg.transform import bind_dfg
-from ..schedule.fastpath import fastpath_enabled
-from ..schedule.list_scheduler import list_schedule
 from ..schedule.schedule import Schedule
+from ..search.descent import steepest_descent
+from ..search.neighborhood import Neighborhood
+from ..search.quality import QualitySpec
+from ..search.session import SearchSession
 from .binding import Binding
 from .evalcache import Evaluator
-from .quality import QualityVector, quality_qm, quality_qu
+from .quality import QualityVector
 
 __all__ = [
     "IterativeResult",
@@ -75,16 +80,14 @@ class IterativeResult:
 
 
 def boundary_operations(dfg: Dfg, binding: Binding) -> Tuple[str, ...]:
-    """Operations with a producer or consumer in a different cluster."""
-    out = []
-    for op in dfg.regular_operations():
-        c = binding[op.name]
-        neighbours = itertools.chain(
-            dfg.predecessors(op.name), dfg.successors(op.name)
-        )
-        if any(binding[n] != c for n in neighbours):
-            out.append(op.name)
-    return tuple(out)
+    """Operations with a producer or consumer in a different cluster.
+
+    Thin wrapper over :meth:`~repro.search.neighborhood.Neighborhood.
+    boundary`, kept as a module-level function for callers that inspect
+    a single binding without building a neighbourhood (the datapath is
+    not needed for boundary discovery).
+    """
+    return Neighborhood(dfg).boundary(binding)
 
 
 def candidate_moves(
@@ -93,29 +96,10 @@ def candidate_moves(
     """Clusters where an operand or result of ``v`` resides (Section 3.2).
 
     Only clusters in ``TS(v)`` that differ from the current binding are
-    returned.
+    returned.  Wrapper over :meth:`~repro.search.neighborhood.
+    Neighborhood.moves`.
     """
-    current = binding[v]
-    ts = set(datapath.target_set(dfg.operation(v).optype))
-    clusters = {
-        binding[n]
-        for n in itertools.chain(dfg.predecessors(v), dfg.successors(v))
-    }
-    return tuple(sorted(c for c in clusters if c != current and c in ts))
-
-
-#: An evaluation function: binding -> schedule-like object exposing
-#: ``latency``, ``num_transfers``, and ``completion_profile()``.
-EvaluateFn = Callable[[Binding], object]
-
-
-def _naive_evaluate(dfg: Dfg, datapath: Datapath) -> EvaluateFn:
-    """The reference evaluation: rebuild the bound DFG and schedule it."""
-
-    def evaluate(binding: Binding) -> Schedule:
-        return list_schedule(bind_dfg(dfg, binding), datapath)
-
-    return evaluate
+    return Neighborhood(dfg, datapath).moves(binding, v)
 
 
 def _perturbations(
@@ -128,99 +112,12 @@ def _perturbations(
 ) -> Iterable[Tuple[Tuple[str, int], ...]]:
     """Yield candidate re-bindings as tuples of ``(op, new cluster)``.
 
-    Singles: each boundary operation to each neighbour cluster.  Pairs:
-    boundary operations connected by an edge or sharing a consumer, moved
-    simultaneously — this captures the "move a producer together with its
-    consumer" and "merge two producers of a common consumer" corrections
-    that single moves cannot express without passing through a worse state.
-
-    ``boundary``/``moves`` accept a precomputed neighbourhood (see
-    :func:`boundary_operations`/:func:`candidate_moves`); ``_descend``
-    hoists that setup out of the generator so profiling attributes the
-    round's time to candidate evaluation, not neighbourhood discovery.
+    Retained as the historical entry point; the generation itself lives
+    in :meth:`~repro.search.neighborhood.Neighborhood.perturbations`.
     """
-    if boundary is None:
-        boundary = boundary_operations(dfg, binding)
-    if moves is None:
-        moves = {
-            v: candidate_moves(dfg, datapath, binding, v) for v in boundary
-        }
-    for v in boundary:
-        for c in moves[v]:
-            yield ((v, c),)
-    if not use_pairs:
-        return
-    boundary_set = set(boundary)
-    pairs: Set[Tuple[str, str]] = set()
-    for v in boundary:
-        for u in dfg.successors(v):
-            if u in boundary_set:
-                pairs.add((v, u))
-        # Siblings: two boundary producers feeding a common consumer.
-        for u in dfg.successors(v):
-            for w in dfg.predecessors(u):
-                if w != v and w in boundary_set:
-                    pairs.add(tuple(sorted((v, w))))  # type: ignore[arg-type]
-    for v, w in sorted(pairs):
-        v_opts = moves[v] + (binding[v],)
-        w_opts = moves[w] + (binding[w],)
-        for cv in v_opts:
-            for cw in w_opts:
-                if cv == binding[v] and cw == binding[w]:
-                    continue
-                if cv == binding[v] or cw == binding[w]:
-                    # Covered by single moves.
-                    continue
-                yield ((v, cv), (w, cw))
-
-
-def _descend(
-    dfg: Dfg,
-    datapath: Datapath,
-    binding: Binding,
-    quality: Callable[[object], QualityVector],
-    use_pairs: bool,
-    max_iterations: int,
-    history: List[QualityVector],
-    eval_counter: List[int],
-    evaluate: Optional[EvaluateFn] = None,
-) -> Tuple[Binding, QualityVector, object, int]:
-    """Steepest-descent loop for one quality function.
-
-    Returns the improved binding, its quality, the evaluation outcome
-    of the final binding (a :class:`Schedule` on the naive path, a
-    :class:`~repro.schedule.fastpath.FastOutcome` on the fast path),
-    and the number of committed perturbations.
-    """
-    if evaluate is None:
-        evaluate = _naive_evaluate(dfg, datapath)
-    best_out = evaluate(binding)
-    best_q = quality(best_out)
-    eval_counter[0] += 1
-    committed = 0
-    while committed < max_iterations:
-        boundary = boundary_operations(dfg, binding)
-        moves = {
-            v: candidate_moves(dfg, datapath, binding, v) for v in boundary
-        }
-        round_best: Optional[Tuple[QualityVector, Binding, object]] = None
-        threshold = best_q
-        for perturbation in _perturbations(
-            dfg, datapath, binding, use_pairs, boundary, moves
-        ):
-            candidate = binding.rebind(*perturbation)
-            out = evaluate(candidate)
-            q = quality(out)
-            eval_counter[0] += 1
-            if q < threshold:
-                round_best = (q, candidate, out)
-                threshold = q
-        if round_best is None:
-            break
-        best_q, binding, best_out = round_best
-        history.append(best_q)
-        committed += 1
-    return binding, best_q, best_out, committed
+    return Neighborhood(dfg, datapath, use_pairs=use_pairs).perturbations(
+        binding, boundary, moves
+    )
 
 
 def iterative_improvement(
@@ -232,6 +129,7 @@ def iterative_improvement(
     max_iterations: int = 1000,
     fast: Optional[bool] = None,
     evaluator: Optional[Evaluator] = None,
+    session: Optional[SearchSession] = None,
 ) -> IterativeResult:
     """Run B-ITER on an existing binding.
 
@@ -240,74 +138,54 @@ def iterative_improvement(
         datapath: the machine.
         binding: the starting point (normally the driver's best B-INIT).
         use_pairs: also try simultaneous pair re-bindings (paper default).
-        quality: ``"qu+qm"`` (paper: Q_U to convergence, then Q_M),
-            ``"qu"``, ``"qm"``, or ``"latency"`` (the naive function the
-            paper shows getting stuck; kept for the ablation benchmark).
+        quality: a :class:`~repro.search.quality.QualitySpec` string:
+            ``"qu+qm"`` (paper: Q_U to convergence, then Q_M), ``"qu"``,
+            ``"qm"``, or ``"latency"`` (the naive function the paper
+            shows getting stuck; kept for the ablation benchmark).
         max_iterations: safety cap on committed perturbations per pass.
         fast: use the precompiled fast-path evaluation engine (default:
             on, unless ``REPRO_FASTPATH=0``).  Bit-equivalent to the
             naive path either way.
         evaluator: a shared :class:`~repro.core.evalcache.Evaluator`
-            for this exact ``(dfg, datapath)`` pair — the driver passes
-            one so all multi-start descents share a single memo.
-            Implies ``fast``.
+            for this exact ``(dfg, datapath)`` pair — so multi-start
+            descents share a single memo.  Implies ``fast``.
+        session: a shared :class:`~repro.search.session.SearchSession`
+            (the driver passes one so the sweep, every descent, and any
+            pressure pass feed one memo and one stats record).
+            Supersedes ``fast``/``evaluator``.
 
     Returns:
         An :class:`IterativeResult`; its schedule's latency is the paper's
-        B-ITER ``L`` and its transfer count the ``M``.
+        B-ITER ``L`` and its transfer count the ``M``.  The counters are
+        this call's deltas even on a shared session.
     """
+    spec = QualitySpec.parse(quality)
+    if session is None:
+        session = SearchSession(dfg, datapath, fast=fast, evaluator=evaluator)
+    neighborhood = Neighborhood(dfg, datapath, use_pairs=use_pairs)
+
     history: List[QualityVector] = []
-    evals = [0]
     iterations = 0
-
-    passes: List[Callable[[object], QualityVector]]
-    if quality == "qu+qm":
-        passes = [quality_qu, quality_qm]
-    elif quality == "qu":
-        passes = [quality_qu]
-    elif quality == "qm":
-        passes = [quality_qm]
-    elif quality == "latency":
-        passes = [lambda s: (s.latency,)]
-    else:
-        raise ValueError(f"unknown quality spec {quality!r}")
-
-    if evaluator is None and (fast if fast is not None else fastpath_enabled()):
-        evaluator = Evaluator(dfg, datapath)
-    if evaluator is not None:
-        hits0, misses0 = evaluator.cache.hits, evaluator.cache.misses
-        evaluate: EvaluateFn = evaluator.evaluate
-    else:
-        hits0 = misses0 = 0
-        evaluate = _naive_evaluate(dfg, datapath)
+    snap = session.stats.snapshot()
 
     outcome: Optional[object] = None
-    for fn in passes:
-        binding, _, outcome, committed = _descend(
-            dfg,
-            datapath,
-            binding,
-            fn,
-            use_pairs,
-            max_iterations,
-            history,
-            evals,
-            evaluate,
-        )
+    for name, fn in zip(spec.passes, spec.functions()):
+        with session.phase(f"descend:{name}"):
+            binding, _, outcome, committed = steepest_descent(
+                session, neighborhood, binding, fn, max_iterations, history
+            )
         iterations += committed
     assert outcome is not None
-    if evaluator is not None:
-        schedule = evaluator.schedule(binding)
-        cache_hits = evaluator.cache.hits - hits0
-        cache_misses = evaluator.cache.misses - misses0
+    evaluations, cache_hits, cache_misses = session.stats.since(snap)
+    if session.fast:
+        schedule = session.schedule(binding)
     else:
         schedule = outcome  # the naive path evaluates to a Schedule
-        cache_hits = cache_misses = 0
     return IterativeResult(
         binding=binding,
         schedule=schedule,
         iterations=iterations,
-        evaluations=evals[0],
+        evaluations=evaluations,
         history=tuple(history),
         cache_hits=cache_hits,
         cache_misses=cache_misses,

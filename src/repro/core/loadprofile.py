@@ -94,12 +94,20 @@ def transfer_window(
 
 
 class Profile:
-    """A dense per-level accumulator of (unnormalized) load."""
+    """A dense per-level accumulator of (unnormalized) load.
 
-    __slots__ = ("levels",)
+    ``version`` increments on every mutation; derived structures (the
+    :class:`ProfileSet` overload bookkeeping, level-sum memos) record
+    the version they were computed at and fall back to a full recompute
+    when it moved without them — so out-of-band mutation (tests poking
+    ``add`` directly) stays correct, just not incremental.
+    """
+
+    __slots__ = ("levels", "version")
 
     def __init__(self, length: int) -> None:
         self.levels: List[float] = [0.0] * length
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self.levels)
@@ -110,6 +118,14 @@ class Profile:
         hi = min(len(self.levels) - 1, window.end)
         for tau in range(lo, hi + 1):
             self.levels[tau] += sign * window.height
+        self.version += 1
+
+    def zero(self) -> None:
+        """Reset every level to exactly 0.0 (a fresh-profile state)."""
+        levels = self.levels
+        for tau in range(len(levels)):
+            levels[tau] = 0.0
+        self.version += 1
 
     def value(self, tau: int) -> float:
         if 0 <= tau < len(self.levels):
@@ -159,6 +175,20 @@ class ProfileSet:
         self._bus = Profile(length)
         self.length = length
         self._dp_thresholds: Dict[FuType, List[float]] = {}
+        # Incremental overload bookkeeping for the cost hot loops
+        # (fucost/buscost).  For each profile we keep the boolean
+        # per-level "already over threshold" array plus its popcount,
+        # tagged with the Profile.version it reflects; commits refresh
+        # only the touched window, out-of-band mutation invalidates via
+        # the version tag and forces a full recompute.
+        self._over: Dict[Tuple[int, FuType], List[bool]] = {}
+        self._over_count: Dict[Tuple[int, FuType], int] = {}
+        self._over_version: Dict[Tuple[int, FuType], int] = {}
+        self._bus_over: Optional[List[bool]] = None
+        self._bus_over_count = 0
+        self._bus_over_version = -1
+        self._sum_cache: Dict[Tuple[int, FuType], Tuple[int, float]] = {}
+        self._op_windows: Dict[str, Window] = {}
 
     # ------------------------------------------------------------------
     # Normalized lookups (the quantities the paper's formulas use)
@@ -198,6 +228,97 @@ class ProfileSet:
         """``load_BUS(tau)``: normalized bus load."""
         return self._bus.value(tau) / self.datapath.num_buses
 
+    def op_window(self, name: str) -> Window:
+        """Load window of a regular operation, memoized per run.
+
+        ``timing`` is fixed for the lifetime of a :class:`ProfileSet`,
+        so an operation's window never changes; the cost functions look
+        it up here instead of rebuilding it per candidate cluster.
+        """
+        window = self._op_windows.get(name)
+        if window is None:
+            reg = self.datapath.registry
+            op = self.dfg.operation(name)
+            window = operation_window(self.timing, name, reg.dii(op.optype))
+            self._op_windows[name] = window
+        return window
+
+    # ------------------------------------------------------------------
+    # Incremental overload bookkeeping (cost hot loops)
+    # ------------------------------------------------------------------
+    def cluster_overload(self, cluster: int, futype: FuType) -> Tuple[List[bool], int]:
+        """Per-level "cluster already over threshold" flags and their count.
+
+        ``over[tau]`` is exactly ``levels[tau] / N(c, t) >
+        dp_thresholds(t)[tau] + 1e-9`` — the same expression
+        :func:`~repro.core.cost.fucost` historically evaluated per level
+        per candidate.  Recomputed from scratch when the profile was
+        mutated out-of-band, refreshed incrementally on commits.
+        """
+        key = (cluster, futype)
+        prof = self._cluster[key]
+        if self._over_version.get(key) != prof.version:
+            n_cluster = self.datapath.fu_count(cluster, futype)
+            thresholds = self.dp_thresholds(futype)
+            levels = prof.levels
+            over = [
+                levels[tau] / n_cluster > thresholds[tau] + 1e-9
+                for tau in range(self.length)
+            ]
+            self._over[key] = over
+            self._over_count[key] = sum(over)
+            self._over_version[key] = prof.version
+        return self._over[key], self._over_count[key]
+
+    def bus_overload(self) -> Tuple[List[bool], int]:
+        """Per-level "bus already over capacity" flags and their count."""
+        prof = self._bus
+        if self._bus_over_version != prof.version:
+            nb = self.datapath.num_buses
+            levels = prof.levels
+            over = [levels[tau] / nb > 1.0 + 1e-9 for tau in range(self.length)]
+            self._bus_over = over
+            self._bus_over_count = sum(over)
+            self._bus_over_version = prof.version
+        assert self._bus_over is not None
+        return self._bus_over, self._bus_over_count
+
+    def cluster_level_sum(self, cluster: int, futype: FuType) -> float:
+        """``sum(cluster_profile(c, t).levels)``, memoized per version.
+
+        Always recomputed with a full ``sum()`` when stale — never
+        maintained incrementally — so the float accumulation order (and
+        therefore the value, bit for bit) matches the naive expression
+        the B-INIT tie-break used before this memo existed.
+        """
+        key = (cluster, futype)
+        prof = self._cluster[key]
+        cached = self._sum_cache.get(key)
+        if cached is not None and cached[0] == prof.version:
+            return cached[1]
+        value = sum(prof.levels)
+        self._sum_cache[key] = (prof.version, value)
+        return value
+
+    def _refresh_cluster_over(
+        self, key: Tuple[int, FuType], prof: Profile, window: Window
+    ) -> None:
+        """Refresh the overload flags over one just-mutated window."""
+        over = self._over[key]
+        count = self._over_count[key]
+        n_cluster = self.datapath.fu_count(key[0], key[1])
+        thresholds = self.dp_thresholds(key[1])
+        levels = prof.levels
+        lo = max(0, window.start)
+        hi = min(self.length - 1, window.end)
+        for tau in range(lo, hi + 1):
+            now = levels[tau] / n_cluster > thresholds[tau] + 1e-9
+            if now != over[tau]:
+                over[tau] = now
+                count += 1 if now else -1
+        self._over_count[key] = count
+        self._over_version[key] = prof.version
+
     # ------------------------------------------------------------------
     # Updates as binding proceeds
     # ------------------------------------------------------------------
@@ -206,25 +327,70 @@ class ProfileSet:
         reg = self.datapath.registry
         op = self.dfg.operation(name)
         futype = reg.futype(op.optype)
-        prof = self._cluster.get((cluster, futype))
+        key = (cluster, futype)
+        prof = self._cluster.get(key)
         if prof is None:
             raise ValueError(
                 f"cluster {cluster} has no {futype} units for {name!r}"
             )
-        prof.add(operation_window(self.timing, name, reg.dii(op.optype)))
+        synced = self._over_version.get(key) == prof.version
+        window = self.op_window(name)
+        prof.add(window)
+        if synced:
+            self._refresh_cluster_over(key, prof, window)
 
     def uncommit_operation(self, name: str, cluster: int) -> None:
         """Remove a previously committed operation (used by perturbation)."""
         reg = self.datapath.registry
         op = self.dfg.operation(name)
         futype = reg.futype(op.optype)
-        self._cluster[(cluster, futype)].add(
-            operation_window(self.timing, name, reg.dii(op.optype)), sign=-1.0
-        )
+        key = (cluster, futype)
+        prof = self._cluster[key]
+        synced = self._over_version.get(key) == prof.version
+        window = self.op_window(name)
+        prof.add(window, sign=-1.0)
+        if synced:
+            self._refresh_cluster_over(key, prof, window)
 
     def commit_transfer(self, window: Window) -> None:
         """Add a committed transfer's load to the bus profile."""
-        self._bus.add(window)
+        prof = self._bus
+        synced = self._bus_over_version == prof.version
+        prof.add(window)
+        if synced and self._bus_over is not None:
+            over = self._bus_over
+            count = self._bus_over_count
+            nb = self.datapath.num_buses
+            levels = prof.levels
+            lo = max(0, window.start)
+            hi = min(self.length - 1, window.end)
+            for tau in range(lo, hi + 1):
+                now = levels[tau] / nb > 1.0 + 1e-9
+                if now != over[tau]:
+                    over[tau] = now
+                    count += 1 if now else -1
+            self._bus_over_count = count
+            self._bus_over_version = prof.version
+
+    def reset(self) -> None:
+        """Return every mutable profile to its freshly-constructed state.
+
+        The centralized profiles and thresholds are fixed per
+        ``(dfg, datapath, L_PR)``, so a reset :class:`ProfileSet` is
+        interchangeable with a newly built one — the driver's L_PR sweep
+        reuses one instance per ``L_PR`` across binding directions
+        instead of rebuilding timing and the centralized profiles.
+        """
+        for prof in self._cluster.values():
+            prof.zero()
+        self._bus.zero()
+        self._over.clear()
+        self._over_count.clear()
+        self._over_version.clear()
+        self._bus_over = None
+        self._bus_over_count = 0
+        self._bus_over_version = -1
+        self._sum_cache.clear()
 
     def cluster_profile(self, cluster: int, futype: FuType) -> Profile:
         """Raw (unnormalized) cluster profile, for inspection/tests."""

@@ -12,18 +12,30 @@ by descending on the lexicographic quality
 This reuses the exact B-ITER machinery (same perturbation space, same
 exact evaluation), only the quality vector changes — a demonstration of
 the quality-function plug-in point the paper's Section 3.2 establishes.
+The vector itself lives in :func:`repro.search.quality.pressure_vector`
+(spec name ``"qp:<budget>"``); it dispatches on the outcome type, so
+the descent rides the memoized fast path by default — a
+:class:`~repro.schedule.fastpath.FastOutcome` computes per-cluster
+liveness directly from its integer arrays
+(:meth:`~repro.schedule.fastpath.FastOutcome.pressure_per_cluster`),
+bit-identical to the reference
+:func:`~repro.analysis.pressure.register_pressure` analysis used on
+the naive path (``fast=False``).
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
-from ..analysis.pressure import register_pressure
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
-from ..schedule.schedule import Schedule
+from ..search.descent import steepest_descent
+from ..search.neighborhood import Neighborhood
+from ..search.quality import pressure_vector
+from ..search.session import SearchSession
 from .binding import Binding
-from .iterative import IterativeResult, _descend
+from .evalcache import Evaluator
+from .iterative import IterativeResult
 from .quality import QualityVector
 
 __all__ = ["pressure_quality", "pressure_aware_improvement"]
@@ -37,20 +49,11 @@ def pressure_quality(budget: int):
         budget: registers available in each cluster's local file.
 
     Returns:
-        A callable mapping a schedule to ``(L, excess, N_MV)`` where
-        ``excess`` sums, over clusters, the pressure above ``budget``.
+        A callable mapping an evaluation outcome (a ``Schedule`` or a
+        ``FastOutcome``) to ``(L, excess, N_MV)`` where ``excess``
+        sums, over clusters, the pressure above ``budget``.
     """
-    if budget < 1:
-        raise ValueError(f"budget must be >= 1, got {budget}")
-
-    def quality(schedule: Schedule) -> QualityVector:
-        report = register_pressure(schedule)
-        excess = sum(
-            max(0, peak - budget) for peak in report.per_cluster.values()
-        )
-        return (schedule.latency, excess, schedule.num_transfers)
-
-    return quality
+    return pressure_vector(budget)
 
 
 def pressure_aware_improvement(
@@ -60,6 +63,9 @@ def pressure_aware_improvement(
     budget: int,
     use_pairs: bool = True,
     max_iterations: int = 1000,
+    fast: Optional[bool] = None,
+    evaluator: Optional[Evaluator] = None,
+    session: Optional[SearchSession] = None,
 ) -> IterativeResult:
     """Refine ``binding`` to respect a per-cluster register budget.
 
@@ -70,24 +76,38 @@ def pressure_aware_improvement(
     :func:`repro.analysis.pressure.register_pressure` to see whether the
     budget was fully met (some (graph, budget) pairs are infeasible at
     the binding level).
+
+    Args:
+        fast: use the memo-backed fast evaluation engine (default: on,
+            unless ``REPRO_FASTPATH=0``).  Bit-equivalent either way.
+        evaluator: a shared :class:`~repro.core.evalcache.Evaluator` —
+            pass the one B-ITER used so the pressure pass starts with
+            its memo already populated.  Implies ``fast``.
+        session: a shared :class:`~repro.search.session.SearchSession`;
+            supersedes ``fast``/``evaluator``.
     """
+    quality = pressure_vector(budget)
+    if session is None:
+        session = SearchSession(dfg, datapath, fast=fast, evaluator=evaluator)
+    neighborhood = Neighborhood(dfg, datapath, use_pairs=use_pairs)
+
     history: List[QualityVector] = []
-    evals = [0]
-    quality = pressure_quality(budget)
-    improved, _, schedule, committed = _descend(
-        dfg,
-        datapath,
-        binding,
-        quality,
-        use_pairs,
-        max_iterations,
-        history,
-        evals,
-    )
+    snap = session.stats.snapshot()
+    with session.phase("descend:qp"):
+        improved, _, outcome, committed = steepest_descent(
+            session, neighborhood, binding, quality, max_iterations, history
+        )
+    evaluations, cache_hits, cache_misses = session.stats.since(snap)
+    if session.fast:
+        schedule = session.schedule(improved)
+    else:
+        schedule = outcome  # the naive path evaluates to a Schedule
     return IterativeResult(
         binding=improved,
         schedule=schedule,
         iterations=committed,
-        evaluations=evals[0],
+        evaluations=evaluations,
         history=tuple(history),
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
     )

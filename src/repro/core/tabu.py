@@ -14,7 +14,11 @@ a few times the cost of plain B-ITER; the ablation benchmark
 ``benchmarks/test_ablation_tabu.py`` quantifies that.  The walk revisits
 neighbourhoods of bindings near the incumbent constantly, so it benefits
 disproportionately from the shared evaluation memo (``fast=True``,
-default).
+default).  Move generation and evaluation run through the
+:mod:`repro.search` substrate
+(:class:`~repro.search.neighborhood.Neighborhood` and
+:class:`~repro.search.session.SearchSession`); only the acceptance rule
+— the strategy — lives here.
 """
 
 from __future__ import annotations
@@ -23,13 +27,11 @@ from typing import Callable, List, Optional, Set, Tuple
 
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
-from ..dfg.transform import bind_dfg
-from ..schedule.fastpath import fastpath_enabled
-from ..schedule.list_scheduler import list_schedule
-from ..schedule.schedule import Schedule
+from ..search.neighborhood import Neighborhood
+from ..search.session import SearchSession
 from .binding import Binding
 from .evalcache import Evaluator
-from .iterative import IterativeResult, _perturbations
+from .iterative import IterativeResult
 from .quality import QualityVector, quality_qm, quality_qu
 
 __all__ = ["tabu_improvement"]
@@ -43,6 +45,8 @@ def tabu_improvement(
     sideways_budget: int = 20,
     max_steps: int = 2000,
     fast: Optional[bool] = None,
+    evaluator: Optional[Evaluator] = None,
+    session: Optional[SearchSession] = None,
 ) -> IterativeResult:
     """Tabu-search refinement of a binding under ``Q_U`` then ``Q_M``.
 
@@ -56,51 +60,51 @@ def tabu_improvement(
         max_steps: hard cap on committed steps.
         fast: use the memo-backed fast evaluation engine (default: on,
             unless ``REPRO_FASTPATH=0``).  Bit-equivalent either way.
+        evaluator: a shared :class:`~repro.core.evalcache.Evaluator`.
+            Implies ``fast``.
+        session: a shared :class:`~repro.search.session.SearchSession`;
+            supersedes ``fast``/``evaluator``.
 
     Returns:
         An :class:`~repro.core.iterative.IterativeResult` holding the
         best binding *ever visited* (never worse than the start).
     """
-    evaluator: Optional[Evaluator] = None
-    if fast if fast is not None else fastpath_enabled():
-        evaluator = Evaluator(dfg, datapath)
+    if session is None:
+        session = SearchSession(dfg, datapath, fast=fast, evaluator=evaluator)
+    neighborhood = Neighborhood(dfg, datapath, use_pairs=use_pairs)
 
     def evaluate(
         b: Binding, quality: Callable[[object], QualityVector]
     ) -> Tuple[QualityVector, object]:
-        if evaluator is not None:
-            out = evaluator.evaluate(b)
-        else:
-            out = list_schedule(bind_dfg(dfg, b), datapath)
+        out = session.evaluate(b)
         return quality(out), out
 
     history: List[QualityVector] = []
-    evaluations = 0
+    snap = session.stats.snapshot()
     steps = 0
 
     best_binding = binding
     best_q, _ = evaluate(binding, quality_qu)
-    evaluations += 1
 
     for quality in (quality_qu, quality_qm):
         current = best_binding
         current_q, _ = evaluate(current, quality)
         best_q_this, _ = evaluate(best_binding, quality)
         best_binding_this = best_binding
-        evaluations += 2
         visited: Set[Binding] = {current}
         since_improvement = 0
 
-        while steps < max_steps and since_improvement <= sideways_budget:
+        while (
+            steps < max_steps
+            and since_improvement <= sideways_budget
+            and not session.exhausted()
+        ):
             round_best: Optional[Tuple[QualityVector, Binding]] = None
-            for perturbation in _perturbations(
-                dfg, datapath, current, use_pairs
-            ):
+            for perturbation in neighborhood.perturbations(current):
                 candidate = current.rebind(*perturbation)
                 if candidate in visited:
                     continue
                 q, _ = evaluate(candidate, quality)
-                evaluations += 1
                 if round_best is None or q < round_best[0]:
                     round_best = (q, candidate)
             if round_best is None:
@@ -112,18 +116,14 @@ def tabu_improvement(
             if q < best_q_this:
                 best_q_this = q
                 best_binding_this = current
+                session.stats.record_best(q)
                 since_improvement = 0
             else:
                 since_improvement += 1
         best_binding = best_binding_this
 
-    if evaluator is not None:
-        final_schedule = evaluator.schedule(best_binding)
-        cache_hits = evaluator.cache.hits
-        cache_misses = evaluator.cache.misses
-    else:
-        final_schedule = list_schedule(bind_dfg(dfg, best_binding), datapath)
-        cache_hits = cache_misses = 0
+    evaluations, cache_hits, cache_misses = session.stats.since(snap)
+    final_schedule = session.schedule(best_binding)
     return IterativeResult(
         binding=best_binding,
         schedule=final_schedule,

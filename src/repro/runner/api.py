@@ -15,8 +15,10 @@ positional correspondence with the submitted job list.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Iterable, List, Optional
 
+from ..search.diskcache import EVAL_CACHE_ENV
 from .cache import ResultCache
 from .executor import run_batch
 from .jobs import BindJob, JobResult
@@ -45,7 +47,11 @@ def run_jobs(
         cache: optional :class:`ResultCache`.  Hits skip execution
             entirely (their results replay with ``cached=True``);
             successful misses are written back.  Failures are never
-            cached — a flaky job gets a fresh chance next run.
+            cached — a flaky job gets a fresh chance next run.  A cache
+            also enables cross-worker *evaluation-outcome* sharing: the
+            batch runs with ``REPRO_EVAL_CACHE`` pointing into the cache
+            directory (unless already set), so search sessions in all
+            workers pool their schedule evaluations.
         store: optional :class:`RunStore`; every job is recorded, in
             input order, with execution provenance.
         progress: optional callback, invoked with the shared
@@ -76,13 +82,26 @@ def run_jobs(
                 continue
         misses.append(i)
 
-    executed = run_batch(
-        [jobs[i] for i in misses],
-        max_workers=max_workers,
-        timeout=timeout,
-        retries=retries,
-        on_result=tracker.update,
-    )
+    # Share evaluation outcomes across worker processes: when a result
+    # cache is configured and the caller has not pointed REPRO_EVAL_CACHE
+    # elsewhere, expose an eval-outcome store next to it.  Workers (and
+    # serial in-process runs) inherit the environment, so every
+    # SearchSession warm-starts from — and persists back to — one pool.
+    eval_cache_set = EVAL_CACHE_ENV not in os.environ and cache is not None
+    if eval_cache_set:
+        assert cache is not None
+        os.environ[EVAL_CACHE_ENV] = str(cache.root / "evals")
+    try:
+        executed = run_batch(
+            [jobs[i] for i in misses],
+            max_workers=max_workers,
+            timeout=timeout,
+            retries=retries,
+            on_result=tracker.update,
+        )
+    finally:
+        if eval_cache_set:
+            del os.environ[EVAL_CACHE_ENV]
     for i, result in zip(misses, executed):
         results[i] = result
         if cache is not None and result.ok:

@@ -66,8 +66,10 @@ class BindJob:
         datapath_spec: normalized paper-style cluster spec.
         num_buses: ``N_B``.
         move_latency: ``lat(move)``.
-        algorithm: ``"pcc"``, ``"b-init"``, or ``"b-iter"`` (plus the
-            ``debug-*`` failure-injection hooks).
+        algorithm: ``"pcc"``, ``"b-init"``, ``"b-iter"``, or
+            ``"pressure"`` (B-ITER plus the pressure-aware ``Q_P`` pass;
+            ``budget`` config selects the per-cluster register budget),
+            plus the ``debug-*`` failure-injection hooks.
         config: algorithm options as a sorted tuple of ``(key, value)``
             pairs; values must be JSON scalars so the key stays
             canonical.
@@ -184,6 +186,9 @@ class JobResult:
     eval_hits: Optional[int] = None
     eval_misses: Optional[int] = None
     evaluations: Optional[int] = None
+    # Unified search telemetry (repro.search.SearchStats.as_dict():
+    # best-quality trajectory, per-phase seconds, budget flags).
+    search_stats: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -218,12 +223,15 @@ def _run_pcc(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
     return result.latency, result.num_transfers, result.seconds
 
 
-def _eval_stats(result) -> Dict[str, int]:
-    return {
+def _eval_stats(result) -> Dict[str, Any]:
+    stats: Dict[str, Any] = {
         "eval_hits": result.eval_hits,
         "eval_misses": result.eval_misses,
         "evaluations": result.evaluations,
     }
+    if getattr(result, "search_stats", None) is not None:
+        stats["search_stats"] = result.search_stats.as_dict()
+    return stats
 
 
 def _run_b_init(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
@@ -250,6 +258,40 @@ def _run_b_iter(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
     )
 
 
+def _run_pressure(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    """B-ITER followed by the pressure-aware Q_P pass, one shared session.
+
+    The whole pipeline — B-INIT sweep, Q_U/Q_M descent, Q_P descent —
+    shares a single :class:`~repro.search.session.SearchSession`, so the
+    pressure pass starts with the descent's evaluation memo warm and the
+    reported counters/telemetry cover the complete run.
+    """
+    from ..core.driver import bind
+    from ..core.pressure_aware import pressure_aware_improvement
+    from ..search.session import SearchSession
+
+    budget = int(config.get("budget", 4))
+    session = SearchSession(dfg, datapath)
+    base = bind(
+        dfg, datapath, iter_starts=config.get("iter_starts"), session=session
+    )
+    refined = pressure_aware_improvement(
+        dfg, datapath, base.binding, budget=budget, session=session
+    )
+    stats = session.eval_stats
+    return (
+        refined.schedule.latency,
+        refined.schedule.num_transfers,
+        base.init_seconds + base.iter_seconds,
+        {
+            "eval_hits": stats.hits,
+            "eval_misses": stats.misses,
+            "evaluations": stats.evaluations,
+            "search_stats": session.stats.as_dict(),
+        },
+    )
+
+
 def _run_debug_fail(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
     raise RuntimeError("injected failure (debug-fail job)")
 
@@ -271,6 +313,7 @@ _ALGORITHMS: Dict[str, Callable[[Dfg, Datapath, Dict[str, Any]], Any]] = {
     "pcc": _run_pcc,
     "b-init": _run_b_init,
     "b-iter": _run_b_iter,
+    "pressure": _run_pressure,
     "debug-fail": _run_debug_fail,
     "debug-sleep": _run_debug_sleep,
     "debug-crash": _run_debug_crash,
@@ -302,4 +345,5 @@ def execute_job(job: BindJob) -> JobResult:
         eval_hits=stats.get("eval_hits"),
         eval_misses=stats.get("eval_misses"),
         evaluations=stats.get("evaluations"),
+        search_stats=stats.get("search_stats"),
     )

@@ -74,6 +74,7 @@ class RunStore:
             "eval_hits": result.eval_hits,
             "eval_misses": result.eval_misses,
             "evaluations": result.evaluations,
+            "search_stats": result.search_stats,
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a") as f:

@@ -32,9 +32,11 @@ over integer arrays:
 The engine is **bit-equivalent** to the naive path: identical latency,
 start cycles, unit assignments, and transfer counts on every input
 (``tests/schedule/test_fastpath_equiv.py`` enforces this
-differentially).  Anything the fast path cannot reproduce exactly — a
-custom ``priority`` argument, a non-canonical bound graph — falls back
-to the naive scheduler.
+differentially).  Custom ``priority`` maps are supported via rank
+packing — operations are sorted once by the naive heap's exact
+``(priority, name)`` ordering and the unique ranks packed into the
+integer comparison keys; only mutually *incomparable* priority values
+fall back to the naive scheduler.
 """
 
 from __future__ import annotations
@@ -90,6 +92,7 @@ class FastOutcome:
         "units",
         "latency",
         "_profile",
+        "_pressure",
     )
 
     def __init__(
@@ -108,6 +111,7 @@ class FastOutcome:
         self.units = units
         self.latency = latency
         self._profile: Optional[List[int]] = None
+        self._pressure: Optional[Dict[int, int]] = None
 
     @property
     def num_transfers(self) -> int:
@@ -128,6 +132,78 @@ class FastOutcome:
     def key(self) -> Tuple[int, int]:
         """The ``(L, M)`` ranking key."""
         return (self.latency, len(self.pairs))
+
+    def pressure_per_cluster(self) -> Dict[int, int]:
+        """Per-cluster register pressure, without building any graph.
+
+        Bit-identical to ``register_pressure(self.to_schedule())
+        .per_cluster`` (the reference liveness model of
+        :mod:`repro.analysis.pressure`), computed directly over the
+        integer arrays: each regular operation's bound-graph consumers
+        are its same-cluster successors plus its own transfers, and
+        each transfer's consumers are the producer's successors in the
+        destination cluster.  Values with no consumers (block outputs)
+        live to the end of the schedule.
+        """
+        if self._pressure is None:
+            ctx = self.ctx
+            n = ctx.num_regular
+            placement = self.placement
+            starts = self.starts
+            lat = ctx.lat
+            succ = ctx.succ
+            pairs = self.pairs
+            move_lat = ctx.move_lat
+            raw_latency = self.latency
+            guard = max(raw_latency, 1)
+            profiles = [
+                [0] * (guard + 1) for _ in range(ctx.datapath.num_clusters)
+            ]
+            # Transfer ids of each producer, in pair order.
+            tidx: List[List[int]] = [[] for _ in range(n)]
+            for k, (u, _) in enumerate(pairs):
+                tidx[u].append(k)
+
+            def accumulate(cluster: int, birth: int, death: int) -> None:
+                profile = profiles[cluster]
+                for cycle in range(birth, max(death, birth) + 1):
+                    if cycle <= guard:
+                        profile[cycle] += 1
+
+            for i in range(n):
+                c = placement[i]
+                birth = starts[i] + lat[i]
+                death = -1
+                have_consumer = False
+                for v in succ[i]:
+                    if placement[v] == c:
+                        have_consumer = True
+                        if starts[v] > death:
+                            death = starts[v]
+                for k in tidx[i]:
+                    have_consumer = True
+                    t_start = starts[n + k]
+                    if t_start > death:
+                        death = t_start
+                if not have_consumer:
+                    death = raw_latency
+                accumulate(c, birth, max(death, birth))
+            for k, (u, d) in enumerate(pairs):
+                birth = starts[n + k] + move_lat
+                death = -1
+                have_consumer = False
+                for v in succ[u]:
+                    if placement[v] == d:
+                        have_consumer = True
+                        if starts[v] > death:
+                            death = starts[v]
+                if not have_consumer:
+                    death = raw_latency
+                accumulate(d, birth, max(death, birth))
+            self._pressure = {
+                c: max(profile) for c, profile in enumerate(profiles)
+            }
+        return self._pressure
 
     def to_schedule(self) -> Schedule:
         """Materialize the full :class:`Schedule` (graph included).
@@ -516,22 +592,31 @@ def fast_list_schedule(
     """Drop-in fast replacement for :func:`list_schedule`.
 
     Accepts an already-bound DFG, schedules it over integer arrays, and
-    returns a bit-identical :class:`Schedule`.  Falls back to the naive
-    scheduler when an explicit ``priority`` is supplied (custom, possibly
-    non-unique keys tie-break on operation *names*, which the packed
-    integer keys cannot reproduce) or when the bound graph is not in
-    canonical ``bind_dfg`` form.
+    returns a bit-identical :class:`Schedule`.  A custom ``priority``
+    map is supported by *rank packing*: operations are sorted once by
+    the naive heap's exact ordering — ``(priority[name], name)``, i.e.
+    non-unique keys tie-break on operation names — and the unique ranks
+    are packed into the integer keys the fast loop compares.  Priority
+    values whose comparison raises ``TypeError`` (mutually incomparable
+    keys) fall back to the naive scheduler, which resolves comparisons
+    lazily pair by pair.
     """
     from .list_scheduler import list_schedule
-
-    if priority is not None:
-        return list_schedule(bound, datapath, priority)
 
     graph = bound.graph
     reg = datapath.registry
     names = list(graph)
     index = {n: i for i, n in enumerate(names)}
     total = len(names)
+
+    custom_keys: Optional[List[int]] = None
+    if priority is not None:
+        try:
+            order = sorted(names, key=lambda nm: (priority[nm], nm))
+        except TypeError:
+            return list_schedule(bound, datapath, priority)
+        rank = {nm: r for r, nm in enumerate(order)}
+        custom_keys = [rank[nm] * total + i for i, nm in enumerate(names)]
     lat = [0] * total
     dii = [0] * total
     pool: List[int] = [0] * total
@@ -588,7 +673,10 @@ def fast_list_schedule(
     # message fidelity only matters for the SchedContext path.
     shim.dfg = _NameShim(graph.name)
 
-    keys = SchedContext._priority_keys(shim, total, btopo, bsucc, lat)
+    if custom_keys is not None:
+        keys = custom_keys
+    else:
+        keys = SchedContext._priority_keys(shim, total, btopo, bsucc, lat)
     budget = 2 * shim._sum_lat + 64
     starts, units, latency = SchedContext._run(
         shim, total, lat, dii, pool, bsucc, indeg, keys, budget

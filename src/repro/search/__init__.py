@@ -1,0 +1,55 @@
+"""repro.search — the strategy-independent binding-search substrate.
+
+Every search algorithm in this repository — B-ITER's Q_U/Q_M descent,
+the tabu walk, simulated annealing, PCC's cap sweep, branch and bound,
+and the pressure-aware Q_P descent — explores the same space (complete
+operation-to-cluster bindings) with the same exact evaluation (transfer
+derivation + list scheduling).  This package owns everything that is
+*not* a strategy decision:
+
+* :class:`BindingProblem` — the immutable search instance: DFG,
+  datapath, frozen operations, and a declarative quality spec;
+* :class:`SearchSession` — builds and shares the fast-path
+  ``SchedContext``/``Evaluator``/``EvalCache`` once per job, manages
+  RNG seeding, evaluation budgets and wall-clock deadlines, and emits
+  structured telemetry through one :class:`SearchStats` object;
+* :class:`Neighborhood` — the boundary/candidate-move generation that
+  B-ITER, tabu, and annealing previously re-implemented;
+* :class:`QualitySpec` — registered lexicographic quality vectors
+  (Q_U, Q_M, Q_P, latency, (L, M)) evaluated from either a
+  :class:`~repro.schedule.fastpath.FastOutcome` or a naive
+  :class:`~repro.schedule.schedule.Schedule`;
+* :func:`steepest_descent` — the shared steepest-descent loop;
+* :class:`OutcomeStore` — on-disk evaluation-outcome sharing across
+  runner worker processes (``REPRO_EVAL_CACHE``).
+
+See ``docs/SEARCH.md`` for the porting guide.
+"""
+
+from .descent import steepest_descent
+from .diskcache import EVAL_CACHE_ENV, OutcomeStore, outcome_cache_key
+from .neighborhood import Neighborhood
+from .problem import BindingProblem
+from .quality import (
+    QualitySpec,
+    pressure_vector,
+    register_parametric_quality,
+    register_quality,
+)
+from .session import SearchSession
+from .stats import SearchStats
+
+__all__ = [
+    "BindingProblem",
+    "SearchSession",
+    "SearchStats",
+    "Neighborhood",
+    "QualitySpec",
+    "register_quality",
+    "register_parametric_quality",
+    "pressure_vector",
+    "steepest_descent",
+    "OutcomeStore",
+    "outcome_cache_key",
+    "EVAL_CACHE_ENV",
+]

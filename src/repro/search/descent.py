@@ -1,0 +1,67 @@
+"""The shared steepest-descent loop (paper Section 3.2).
+
+One round: enumerate every perturbation of the current binding's
+boundary neighbourhood, evaluate each exactly, commit the single best
+strictly-improving candidate; terminate when a round finds none.  This
+is the engine under B-ITER's Q_U and Q_M passes and the pressure-aware
+Q_P pass — only the quality vector differs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..core.binding import Binding
+from ..core.quality import QualityVector
+from .neighborhood import Neighborhood
+from .session import SearchSession
+
+__all__ = ["steepest_descent"]
+
+
+def steepest_descent(
+    session: SearchSession,
+    neighborhood: Neighborhood,
+    binding: Binding,
+    quality: Callable[[object], QualityVector],
+    max_iterations: int,
+    history: List[QualityVector],
+) -> Tuple[Binding, QualityVector, object, int]:
+    """Descend from ``binding`` under one quality vector.
+
+    Appends the quality after each committed perturbation to
+    ``history`` and records it on the session's best-so-far
+    trajectory.  The session's budget/deadline is polled once per
+    round, so an unbudgeted session (the default) reproduces the
+    historical descent bit for bit.
+
+    Returns the improved binding, its quality, the evaluation outcome
+    of the final binding (a ``Schedule`` on the naive path, a
+    ``FastOutcome`` on the fast path), and the number of committed
+    perturbations.
+    """
+    evaluate = session.evaluate
+    best_out = evaluate(binding)
+    best_q = quality(best_out)
+    committed = 0
+    while committed < max_iterations and not session.exhausted():
+        boundary = neighborhood.boundary(binding)
+        moves = {v: neighborhood.moves(binding, v) for v in boundary}
+        round_best: Optional[Tuple[QualityVector, Binding, object]] = None
+        threshold = best_q
+        for perturbation in neighborhood.perturbations(
+            binding, boundary, moves
+        ):
+            candidate = binding.rebind(*perturbation)
+            out = evaluate(candidate)
+            q = quality(out)
+            if q < threshold:
+                round_best = (q, candidate, out)
+                threshold = q
+        if round_best is None:
+            break
+        best_q, binding, best_out = round_best
+        history.append(best_q)
+        session.stats.record_best(best_q)
+        committed += 1
+    return binding, best_q, best_out, committed

@@ -1,0 +1,203 @@
+"""On-disk evaluation-outcome store shared across worker processes.
+
+The in-memory :class:`~repro.core.evalcache.EvalCache` is per process;
+the runner's process-pool workers each rebuild their own, so a sweep
+re-run (or two jobs over the same ``(DFG, datapath)``) re-schedules
+bindings another worker already evaluated.  This store externalizes the
+memo: one JSON blob per ``(DFG, datapath)`` content hash, holding the
+raw integer arrays of every :class:`~repro.schedule.fastpath.
+FastOutcome` (placement, transfer pairs, start cycles, unit
+assignments, latency).
+
+Protocol — deliberately last-writer-wins and crash-tolerant:
+
+* a :class:`~repro.search.session.SearchSession` *warm-starts* its
+  evaluator from the blob at construction (pure ``cache.put``; hit/miss
+  counters untouched, and the memo never changes search trajectories —
+  ``tests/schedule/test_fastpath_equiv.py`` proves that invariant);
+* at job end the session *merges* its outcomes back: read-modify-write
+  through an atomic rename, so concurrent workers can only lose each
+  other's additions, never corrupt the file.
+
+Activation is environment-based (``REPRO_EVAL_CACHE=<dir>``) so the
+setting crosses ``ProcessPoolExecutor`` boundaries for free;
+:func:`repro.runner.api.run_jobs` points it inside the job result
+cache's directory when one is configured.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+from ..datapath.model import Datapath
+from ..dfg.graph import Dfg
+
+__all__ = ["EVAL_CACHE_ENV", "OUTCOME_FORMAT", "OutcomeStore", "outcome_cache_key"]
+
+#: Environment variable naming the shared outcome-store directory.
+EVAL_CACHE_ENV = "REPRO_EVAL_CACHE"
+
+#: Blob schema tag; bump on any change to the entry layout.
+OUTCOME_FORMAT = "repro-evalcache/1"
+
+#: placement -> (pairs, starts, units, latency), all plain tuples/ints.
+_Entries = Dict[
+    Tuple[int, ...],
+    Tuple[Tuple[Tuple[int, int], ...], Tuple[int, ...], Tuple[int, ...], int],
+]
+
+
+def outcome_cache_key(dfg: Dfg, datapath: Datapath) -> str:
+    """Content hash identifying one ``(DFG, datapath)`` evaluation space.
+
+    Includes the full timing registry — outcomes depend on latencies
+    and initiation intervals, not just the cluster spec — so a
+    ``lat(move)`` sweep never aliases blobs.
+    """
+    from ..dfg.serialize import dfg_to_dict
+
+    reg = datapath.registry
+    registry = sorted(
+        (
+            str(info.optype),
+            reg.latency(info.optype),
+            reg.dii(info.optype),
+            str(reg.futype(info.optype)),
+        )
+        for info in reg
+    )
+    envelope = json.dumps(
+        {
+            "format": OUTCOME_FORMAT,
+            "dfg": dfg_to_dict(dfg),
+            "datapath": datapath.spec(),
+            "num_buses": datapath.num_buses,
+            "registry": registry,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(envelope.encode("utf-8")).hexdigest()
+
+
+class OutcomeStore:
+    """A directory of per-``(DFG, datapath)`` outcome blobs."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Raw blob I/O
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> _Entries:
+        """All stored outcomes for ``key`` (empty on any read problem)."""
+        try:
+            data = json.loads(self.path_for(key).read_text())
+        except (OSError, ValueError):
+            return {}
+        if data.get("format") != OUTCOME_FORMAT:
+            return {}
+        entries: _Entries = {}
+        try:
+            for placement, pairs, starts, units, latency in data["entries"]:
+                entries[tuple(placement)] = (
+                    tuple((u, d) for u, d in pairs),
+                    tuple(starts),
+                    tuple(units),
+                    int(latency),
+                )
+        except (TypeError, ValueError, KeyError):
+            return {}
+        return entries
+
+    def _write(self, key: str, entries: _Entries) -> None:
+        payload = {
+            "format": OUTCOME_FORMAT,
+            "key": key,
+            "entries": [
+                [
+                    list(placement),
+                    [list(p) for p in pairs],
+                    list(starts),
+                    list(units),
+                    latency,
+                ]
+                for placement, (pairs, starts, units, latency) in entries.items()
+            ],
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.root), prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(payload, f, separators=(",", ":"))
+            os.replace(tmp, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Evaluator integration
+    # ------------------------------------------------------------------
+    def warm(self, evaluator, key: str) -> int:
+        """Seed ``evaluator``'s memo from the stored blob.
+
+        Rehydrates each entry into a
+        :class:`~repro.schedule.fastpath.FastOutcome` over the
+        evaluator's own precompiled context.  Counters are untouched —
+        warmed entries surface as ordinary memo hits later.  Returns
+        the number of entries loaded.
+        """
+        from ..schedule.fastpath import FastOutcome
+
+        loaded = 0
+        for placement, (pairs, starts, units, latency) in self.load(
+            key
+        ).items():
+            if len(placement) != evaluator.ctx.num_regular:
+                continue  # defensive: foreign/corrupt blob
+            evaluator.cache.put(
+                placement,
+                FastOutcome(
+                    ctx=evaluator.ctx,
+                    placement=placement,
+                    pairs=pairs,
+                    starts=starts,
+                    units=units,
+                    latency=latency,
+                ),
+            )
+            loaded += 1
+        return loaded
+
+    def merge(self, evaluator, key: str) -> int:
+        """Union the evaluator's memo into the stored blob (atomic).
+
+        Concurrent writers race benignly: each merges with the state it
+        read, and the rename is atomic, so the blob always parses; a
+        lost update only costs a future re-evaluation.
+        """
+        entries = self.load(key)
+        for placement, out in evaluator.cache.items():
+            entries[placement] = (
+                out.pairs,
+                out.starts,
+                out.units,
+                out.latency,
+            )
+        if not entries:
+            return 0
+        self._write(key, entries)
+        return len(entries)

@@ -1,0 +1,180 @@
+"""The boundary-perturbation neighbourhood (paper Section 3.2).
+
+B-ITER, the tabu walk, and annealing all perturb bindings; B-ITER and
+tabu share the exact *boundary* structure (operations with a producer
+or consumer in another cluster, moved to the clusters where their
+operands/results live, alone or in pairs), and annealing draws random
+single-operation reassignments.  This class owns both generators so a
+strategy never re-implements move generation, and so *frozen*
+operations (pinned by a :class:`~repro.search.problem.BindingProblem`)
+are excluded uniformly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..core.binding import Binding
+from ..datapath.model import Datapath
+from ..dfg.graph import Dfg
+
+__all__ = ["Neighborhood", "Perturbation"]
+
+#: One candidate re-binding: ``((op, new cluster), ...)`` — a single
+#: move or a simultaneous pair move.
+Perturbation = Tuple[Tuple[str, int], ...]
+
+
+class Neighborhood:
+    """Move generation over one ``(DFG, datapath)`` search space.
+
+    Args:
+        dfg: the original DFG (no transfers).
+        datapath: the clustered machine.  May be omitted when only
+            :meth:`boundary` is needed (boundary discovery reads the
+            graph alone).
+        use_pairs: also generate simultaneous pair re-bindings (paper
+            default for B-ITER).
+        frozen: operation names that must not move (excluded from the
+            boundary and from random reassignment).
+    """
+
+    def __init__(
+        self,
+        dfg: Dfg,
+        datapath: Optional[Datapath] = None,
+        use_pairs: bool = True,
+        frozen: Iterable[str] = (),
+    ) -> None:
+        self.dfg = dfg
+        self.datapath = datapath
+        self.use_pairs = use_pairs
+        self.frozen: FrozenSet[str] = frozenset(frozen)
+        self._op_names: Tuple[str, ...] = tuple(
+            op.name
+            for op in dfg.regular_operations()
+            if op.name not in self.frozen
+        )
+
+    # ------------------------------------------------------------------
+    # B-ITER / tabu: the boundary structure
+    # ------------------------------------------------------------------
+    def boundary(self, binding: Binding) -> Tuple[str, ...]:
+        """Operations with a producer or consumer in a different cluster."""
+        dfg = self.dfg
+        out = []
+        for name in self._op_names:
+            c = binding[name]
+            neighbours = itertools.chain(
+                dfg.predecessors(name), dfg.successors(name)
+            )
+            if any(binding[n] != c for n in neighbours):
+                out.append(name)
+        return tuple(out)
+
+    def moves(self, binding: Binding, v: str) -> Tuple[int, ...]:
+        """Clusters where an operand or result of ``v`` resides.
+
+        Only clusters in ``TS(v)`` that differ from the current binding
+        are returned (Section 3.2).
+        """
+        if self.datapath is None:
+            raise ValueError("Neighborhood needs a datapath to generate moves")
+        dfg = self.dfg
+        current = binding[v]
+        ts = set(self.datapath.target_set(dfg.operation(v).optype))
+        clusters = {
+            binding[n]
+            for n in itertools.chain(
+                dfg.predecessors(v), dfg.successors(v)
+            )
+        }
+        return tuple(sorted(c for c in clusters if c != current and c in ts))
+
+    def perturbations(
+        self,
+        binding: Binding,
+        boundary: Optional[Tuple[str, ...]] = None,
+        moves: Optional[Dict[str, Tuple[int, ...]]] = None,
+    ) -> Iterator[Perturbation]:
+        """Yield candidate re-bindings, singles then pairs.
+
+        Singles: each boundary operation to each neighbour cluster.
+        Pairs: boundary operations connected by an edge or sharing a
+        consumer, moved simultaneously — the "move a producer together
+        with its consumer" and "merge two producers of a common
+        consumer" corrections single moves cannot express without
+        passing through a worse state.  Pair moves already covered by a
+        single move are skipped.
+
+        ``boundary``/``moves`` accept a precomputed neighbourhood so a
+        steepest-descent round hoists discovery out of the generator.
+        """
+        dfg = self.dfg
+        if boundary is None:
+            boundary = self.boundary(binding)
+        if moves is None:
+            moves = {v: self.moves(binding, v) for v in boundary}
+        for v in boundary:
+            for c in moves[v]:
+                yield ((v, c),)
+        if not self.use_pairs:
+            return
+        boundary_set = set(boundary)
+        pairs: Set[Tuple[str, str]] = set()
+        for v in boundary:
+            for u in dfg.successors(v):
+                if u in boundary_set:
+                    pairs.add((v, u))
+            # Siblings: two boundary producers feeding a common consumer.
+            for u in dfg.successors(v):
+                for w in dfg.predecessors(u):
+                    if w != v and w in boundary_set:
+                        pairs.add(tuple(sorted((v, w))))  # type: ignore[arg-type]
+        for v, w in sorted(pairs):
+            v_opts = moves[v] + (binding[v],)
+            w_opts = moves[w] + (binding[w],)
+            for cv in v_opts:
+                for cw in w_opts:
+                    if cv == binding[v] and cw == binding[w]:
+                        continue
+                    if cv == binding[v] or cw == binding[w]:
+                        # Covered by single moves.
+                        continue
+                    yield ((v, cv), (w, cw))
+
+    # ------------------------------------------------------------------
+    # Annealing: random single-operation reassignment
+    # ------------------------------------------------------------------
+    def random_reassignment(
+        self, binding: Binding, rng: random.Random
+    ) -> Optional[Tuple[str, int]]:
+        """Draw one uniform random single-operation move, or None.
+
+        Consumes the RNG exactly like the historical annealing loop
+        (one ``choice`` over operations, then one over the other target
+        clusters), so seeded walks are reproducible across the port.
+        Returns None when the drawn operation has nowhere else to go.
+        """
+        if self.datapath is None:
+            raise ValueError("Neighborhood needs a datapath to generate moves")
+        name = rng.choice(self._op_names)
+        targets = [
+            c
+            for c in self.datapath.target_set(self.dfg.operation(name).optype)
+            if c != binding[name]
+        ]
+        if not targets:
+            return None
+        return (name, rng.choice(targets))

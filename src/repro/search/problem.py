@@ -1,0 +1,67 @@
+"""The immutable search instance: :class:`BindingProblem`.
+
+Bundles what every strategy needs to agree on — the DFG, the machine,
+operations pinned to fixed clusters, and the quality spec — so a
+problem can be handed to any strategy (or several, for comparison)
+without re-plumbing arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from ..core.binding import Binding
+from ..datapath.model import Datapath
+from ..dfg.graph import Dfg
+from .neighborhood import Neighborhood
+from .quality import QualitySpec
+from .session import SearchSession
+
+__all__ = ["BindingProblem"]
+
+
+@dataclass(frozen=True)
+class BindingProblem:
+    """One binding-search instance.
+
+    Attributes:
+        dfg: the original DFG (no transfers).
+        datapath: the clustered machine.
+        frozen: operations pinned to their current cluster — excluded
+            from every neighbourhood (incremental re-binding of a
+            partially fixed block).
+        quality: the lexicographic quality spec driving improvement
+            passes (B-ITER's paper default: ``"qu+qm"``).
+    """
+
+    dfg: Dfg
+    datapath: Datapath
+    frozen: FrozenSet[str] = field(default_factory=frozenset)
+    quality: QualitySpec = field(
+        default_factory=lambda: QualitySpec.parse("qu+qm")
+    )
+
+    def __post_init__(self) -> None:
+        known = {op.name for op in self.dfg.regular_operations()}
+        unknown = self.frozen - known
+        if unknown:
+            raise ValueError(
+                f"frozen names not in the DFG: {sorted(unknown)}"
+            )
+
+    def session(self, **kwargs) -> SearchSession:
+        """Build a :class:`SearchSession` for this problem."""
+        return SearchSession(self.dfg, self.datapath, **kwargs)
+
+    def neighborhood(self, use_pairs: bool = True) -> Neighborhood:
+        """Build the move generator honouring the frozen set."""
+        return Neighborhood(
+            self.dfg, self.datapath, use_pairs=use_pairs, frozen=self.frozen
+        )
+
+    def validate(self, binding: Binding) -> None:
+        """Check a binding is complete and valid for this problem."""
+        from ..core.binding import validate_binding
+
+        validate_binding(binding, self.dfg, self.datapath)

@@ -1,0 +1,129 @@
+"""Declarative quality vectors: the :class:`QualitySpec` registry.
+
+The paper's central plug-in point is the quality function (Section
+3.2): B-ITER's two passes, the latency-only ablation, and our Q_P
+extension are the *same* descent under different lexicographic vectors.
+This module names those vectors, so strategies take a spec string
+(``"qu+qm"``, ``"qp"``) instead of each wiring its own callables.
+
+Every registered vector evaluates a generic *outcome* — either a
+:class:`~repro.schedule.fastpath.FastOutcome` (fast path) or a full
+:class:`~repro.schedule.schedule.Schedule` (naive path).  Both expose
+``latency``, ``num_transfers``, and ``completion_profile()``; the
+pressure vector additionally dispatches on ``pressure_per_cluster()``
+(fast) vs :func:`repro.analysis.pressure.register_pressure` (naive),
+which is what lets the pressure-aware descent ride the memoized fast
+path.  Both dispatch arms are bit-identical by construction (enforced
+differentially in ``tests/search/test_pressure_fastpath.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..core.quality import QualityVector, quality_qm, quality_qu
+
+__all__ = [
+    "QualityFn",
+    "QualitySpec",
+    "register_quality",
+    "register_parametric_quality",
+    "pressure_vector",
+]
+
+#: outcome (FastOutcome or Schedule) -> lexicographic vector.
+QualityFn = Callable[[object], QualityVector]
+
+#: name -> zero-arg factory producing the vector function.
+_REGISTRY: Dict[str, Callable[[], QualityFn]] = {}
+
+#: base name -> factory taking the ``name:arg`` string argument.
+_PARAMETRIC: Dict[str, Callable[[str], QualityFn]] = {}
+
+
+def register_quality(name: str, factory: Callable[[], QualityFn]) -> None:
+    """Register a quality vector under ``name``.
+
+    ``factory`` is called each time a spec resolves, so stateful
+    vectors get a fresh closure per search.
+    """
+    _REGISTRY[name] = factory
+
+
+def register_parametric_quality(
+    name: str, factory: Callable[[str], QualityFn]
+) -> None:
+    """Register a parameterized vector addressed as ``name:arg`` in
+    specs (e.g. ``"qp:4"`` — Q_P with a register budget of 4)."""
+    _PARAMETRIC[name] = factory
+
+
+def pressure_vector(budget: int) -> QualityFn:
+    """``Q_P = (L, pressure excess over budget, N_MV)``.
+
+    Works on both evaluation outcome types: a ``FastOutcome`` computes
+    per-cluster liveness directly from its integer arrays; a naive
+    ``Schedule`` goes through the reference
+    :func:`~repro.analysis.pressure.register_pressure` analysis.
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+
+    def quality(outcome: object) -> QualityVector:
+        fast = getattr(outcome, "pressure_per_cluster", None)
+        if fast is not None:
+            per_cluster = fast()
+        else:
+            from ..analysis.pressure import register_pressure
+
+            per_cluster = register_pressure(outcome).per_cluster
+        excess = sum(
+            max(0, peak - budget) for peak in per_cluster.values()
+        )
+        return (outcome.latency, excess, outcome.num_transfers)
+
+    return quality
+
+
+register_quality("qu", lambda: quality_qu)
+register_quality("qm", lambda: quality_qm)
+register_quality("latency", lambda: (lambda s: (s.latency,)))
+register_quality("lm", lambda: (lambda s: (s.latency, s.num_transfers)))
+register_parametric_quality("qp", lambda arg: pressure_vector(int(arg)))
+
+
+@dataclass(frozen=True)
+class QualitySpec:
+    """A sequence of quality passes, by registered name.
+
+    ``"qu+qm"`` is the paper's B-ITER (Q_U to convergence, then Q_M);
+    single names run one pass.  Resolution happens at :meth:`functions`
+    time so registrations made after parsing are visible.
+    """
+
+    passes: Tuple[str, ...]
+
+    @classmethod
+    def parse(cls, spec: str) -> "QualitySpec":
+        names = tuple(p.strip() for p in spec.split("+") if p.strip())
+        if not names:
+            raise ValueError(f"unknown quality spec {spec!r}")
+        for name in names:
+            if name in _REGISTRY:
+                continue
+            base, sep, _ = name.partition(":")
+            if not (sep and base in _PARAMETRIC):
+                raise ValueError(f"unknown quality spec {spec!r}")
+        return cls(passes=names)
+
+    def functions(self) -> Tuple[QualityFn, ...]:
+        """Resolve every pass to its vector function."""
+        out = []
+        for name in self.passes:
+            if name in _REGISTRY:
+                out.append(_REGISTRY[name]())
+            else:
+                base, _, arg = name.partition(":")
+                out.append(_PARAMETRIC[base](arg))
+        return tuple(out)

@@ -1,0 +1,198 @@
+"""The :class:`SearchSession`: one evaluation engine per search job.
+
+Before this substrate existed, every algorithm module hand-wired the
+same stack: check ``fastpath_enabled()``, build an ``Evaluator`` (or
+fall back to ``bind_dfg`` + ``list_schedule``), thread hit/miss
+counters out, and invent its own seed/budget handling.  A session does
+all of it once:
+
+* resolves the fast/naive decision (``fast`` argument overrides the
+  ``REPRO_FASTPATH`` environment gate) and builds a single shared
+  :class:`~repro.core.evalcache.Evaluator` for the fast path;
+* counts every candidate evaluation and memo hit/miss into one
+  :class:`~repro.search.stats.SearchStats`;
+* owns the RNG (seeded, for reproducible stochastic strategies);
+* enforces optional evaluation budgets and wall-clock deadlines —
+  strategies poll :meth:`exhausted` at round boundaries, so with no
+  budget configured trajectories are bit-identical to the unbudgeted
+  originals;
+* warm-starts and persists the evaluation memo through an on-disk
+  :class:`~repro.search.diskcache.OutcomeStore` when the
+  ``REPRO_EVAL_CACHE`` environment variable names a directory (the
+  runner sets it so process-pool workers share outcomes across
+  repeated sweeps of one ``(DFG, datapath)``).
+
+A session is bound to one ``(DFG, datapath)`` pair; sharing one across
+the sweep, every multi-start descent, and a pressure pass is what makes
+the memo effective.  Sharing across *different* DFGs or datapaths is an
+error (the memo key is the placement tuple alone).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Optional
+
+from ..core.binding import Binding
+from ..core.evalcache import EvalStats, Evaluator
+from ..datapath.model import Datapath
+from ..dfg.graph import Dfg
+from ..dfg.transform import bind_dfg
+from ..schedule.fastpath import fastpath_enabled
+from ..schedule.list_scheduler import list_schedule
+from ..schedule.schedule import Schedule
+from .diskcache import EVAL_CACHE_ENV, OutcomeStore, outcome_cache_key
+from .stats import SearchStats
+
+__all__ = ["SearchSession"]
+
+
+class SearchSession:
+    """Shared evaluation engine, RNG, budget, and telemetry for one job.
+
+    Args:
+        dfg: the original DFG (no transfers).
+        datapath: the clustered machine.
+        fast: use the fast evaluation engine (default: on, unless
+            ``REPRO_FASTPATH=0``).  Bit-equivalent either way.
+        evaluator: adopt an existing evaluator (implies ``fast``); the
+            legacy ``evaluator=`` arguments of the algorithm entry
+            points route here.
+        seed: seed for :attr:`rng` (stochastic strategies draw from the
+            session RNG so one seed pins the whole job).
+        max_evaluations: optional budget on candidate evaluations;
+            checked by strategies at round boundaries via
+            :meth:`exhausted`.
+        deadline_seconds: optional wall-clock budget, measured from
+            session construction.
+        stats: adopt an existing stats object (rarely needed; tests).
+    """
+
+    def __init__(
+        self,
+        dfg: Dfg,
+        datapath: Datapath,
+        fast: Optional[bool] = None,
+        evaluator: Optional[Evaluator] = None,
+        seed: Optional[int] = None,
+        max_evaluations: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+        stats: Optional[SearchStats] = None,
+    ) -> None:
+        self.dfg = dfg
+        self.datapath = datapath
+        if evaluator is not None:
+            self.evaluator: Optional[Evaluator] = evaluator
+        elif fast if fast is not None else fastpath_enabled():
+            self.evaluator = Evaluator(dfg, datapath)
+        else:
+            self.evaluator = None
+        self.stats = stats if stats is not None else SearchStats()
+        self.rng = random.Random(seed)
+        self.max_evaluations = max_evaluations
+        self._deadline: Optional[float] = (
+            time.perf_counter() + deadline_seconds
+            if deadline_seconds is not None
+            else None
+        )
+        self._store: Optional[OutcomeStore] = None
+        self._store_key: Optional[str] = None
+        if self.evaluator is not None:
+            root = os.environ.get(EVAL_CACHE_ENV, "").strip()
+            if root:
+                self._store = OutcomeStore(root)
+                self._store_key = outcome_cache_key(dfg, datapath)
+                self._store.warm(self.evaluator, self._store_key)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    @property
+    def fast(self) -> bool:
+        """Whether this session evaluates through the fast engine."""
+        return self.evaluator is not None
+
+    def evaluate(self, binding: Mapping[str, int]) -> object:
+        """Evaluate one candidate binding.
+
+        Returns a :class:`~repro.schedule.fastpath.FastOutcome` on the
+        fast path, a full :class:`Schedule` on the naive path — both
+        expose ``latency``, ``num_transfers``, and
+        ``completion_profile()``, which is all the quality vectors
+        read.
+        """
+        stats = self.stats
+        stats.evaluations += 1
+        evaluator = self.evaluator
+        if evaluator is not None:
+            hits_before = evaluator.cache.hits
+            out = evaluator.evaluate(binding)
+            if evaluator.cache.hits > hits_before:
+                stats.cache_hits += 1
+            else:
+                stats.cache_misses += 1
+            return out
+        return list_schedule(bind_dfg(self.dfg, binding), self.datapath)
+
+    def schedule(self, binding: Mapping[str, int]) -> Schedule:
+        """Full, bit-identical :class:`Schedule` of a committed binding."""
+        if self.evaluator is not None:
+            return self.evaluator.schedule(binding)
+        if not isinstance(binding, Binding):
+            binding = Binding(dict(binding))
+        return list_schedule(bind_dfg(self.dfg, binding), self.datapath)
+
+    # ------------------------------------------------------------------
+    # Budgets and telemetry
+    # ------------------------------------------------------------------
+    def exhausted(self) -> bool:
+        """True when the evaluation budget or deadline has run out.
+
+        Strategies poll this at loop boundaries only — with neither
+        budget configured (the default) it is always False and the
+        search trajectory is untouched.
+        """
+        if (
+            self.max_evaluations is not None
+            and self.stats.evaluations >= self.max_evaluations
+        ):
+            self.stats.budget_exhausted = True
+            return True
+        if (
+            self._deadline is not None
+            and time.perf_counter() > self._deadline
+        ):
+            self.stats.deadline_exceeded = True
+            return True
+        return False
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate the wall-clock of a named phase into the stats."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stats.add_phase_seconds(name, time.perf_counter() - t0)
+
+    @property
+    def eval_stats(self) -> EvalStats:
+        """The underlying evaluator's counters (zeros on the naive path)."""
+        if self.evaluator is not None:
+            return self.evaluator.stats
+        return EvalStats()
+
+    # ------------------------------------------------------------------
+    # Cross-process outcome sharing
+    # ------------------------------------------------------------------
+    def persist(self) -> int:
+        """Merge this session's evaluation outcomes into the on-disk
+        store (no-op unless ``REPRO_EVAL_CACHE`` was set at
+        construction).  Returns the number of entries written."""
+        if self._store is None or self.evaluator is None:
+            return 0
+        assert self._store_key is not None
+        return self._store.merge(self.evaluator, self._store_key)

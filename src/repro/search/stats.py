@@ -1,0 +1,92 @@
+"""Unified search telemetry: the :class:`SearchStats` object.
+
+Every strategy running through a :class:`~repro.search.session.
+SearchSession` feeds the same counters — candidate evaluations,
+evaluation-memo hits and misses, the best-so-far quality trajectory,
+and per-phase wall-clock timings.  One object per session means a
+driver call (sweep + multi-start descents) or a runner job reports one
+coherent stats record instead of each algorithm forwarding its own
+ad-hoc counter subset.
+
+The counters are cumulative over the session.  Strategies that report
+per-call numbers (``IterativeResult.evaluations`` is *this descent's*
+count even when the session is shared) take a :meth:`snapshot` at
+entry and report :meth:`since` deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["SearchStats", "StatsSnapshot"]
+
+#: (evaluations, cache_hits, cache_misses) at some point in time.
+StatsSnapshot = Tuple[int, int, int]
+
+
+@dataclass
+class SearchStats:
+    """Counters and trajectories of one search session.
+
+    Attributes:
+        evaluations: candidate bindings evaluated (memo hits included —
+            this counts *decisions*, not schedules computed).
+        cache_hits: evaluations answered by the evaluation memo
+            (always 0 on the naive path, which has no memo).
+        cache_misses: evaluations that had to schedule.
+        best_trajectory: ``(evaluations-so-far, quality vector)`` at
+            every point a strategy committed a new best — the search's
+            convergence curve.
+        phase_seconds: accumulated wall-clock per named phase
+            (``"b-init"``, ``"descend:qu"``, ...).
+        budget_exhausted: an evaluation budget stopped the search.
+        deadline_exceeded: a wall-clock deadline stopped the search.
+    """
+
+    evaluations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    best_trajectory: List[Tuple[int, Tuple[int, ...]]] = field(
+        default_factory=list
+    )
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    budget_exhausted: bool = False
+    deadline_exceeded: bool = False
+
+    def snapshot(self) -> StatsSnapshot:
+        """Current counter values, for later :meth:`since` deltas."""
+        return (self.evaluations, self.cache_hits, self.cache_misses)
+
+    def since(self, snap: StatsSnapshot) -> StatsSnapshot:
+        """``(evaluations, hits, misses)`` accumulated since ``snap``."""
+        return (
+            self.evaluations - snap[0],
+            self.cache_hits - snap[1],
+            self.cache_misses - snap[2],
+        )
+
+    def record_best(self, quality: Tuple[int, ...]) -> None:
+        """Append a committed improvement to the trajectory."""
+        self.best_trajectory.append((self.evaluations, tuple(quality)))
+
+    def add_phase_seconds(self, phase: str, seconds: float) -> None:
+        self.phase_seconds[phase] = (
+            self.phase_seconds.get(phase, 0.0) + seconds
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (runner store, CLI reporting)."""
+        return {
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "best_trajectory": [
+                [n, list(q)] for n, q in self.best_trajectory
+            ],
+            "phase_seconds": {
+                k: round(v, 6) for k, v in self.phase_seconds.items()
+            },
+            "budget_exhausted": self.budget_exhausted,
+            "deadline_exceeded": self.deadline_exceeded,
+        }

@@ -1,0 +1,124 @@
+"""Cross-worker evaluation-outcome sharing (REPRO_EVAL_CACHE).
+
+When ``run_jobs`` has a result cache, workers run with
+``REPRO_EVAL_CACHE`` pointing into it: every ``SearchSession``
+warm-starts its evaluation memo from the on-disk :class:`OutcomeStore`
+and merges back on ``persist()``.  Sharing is an accelerator, never an
+input: results must be identical with the store cold, warm, or absent,
+and across worker counts.
+"""
+
+import os
+
+from repro.core.driver import bind, bind_initial
+from repro.core.evalcache import Evaluator
+from repro.datapath.parse import parse_datapath
+from repro.kernels.registry import load_kernel
+from repro.runner import ResultCache, run_jobs
+from repro.runner.jobs import BindJob
+from repro.search import EVAL_CACHE_ENV, OutcomeStore, SearchSession
+
+
+def _projection(results):
+    return [
+        (r.kernel, r.algorithm, r.status, r.latency, r.transfers)
+        for r in results
+    ]
+
+
+def _jobs():
+    out = []
+    for kernel in ("arf", "ewf"):
+        dfg = load_kernel(kernel)
+        dp = parse_datapath("|1,1|1,1|", num_buses=2)
+        out.append(BindJob.make(dfg, dp, "b-iter"))
+        out.append(BindJob.make(dfg, dp, "pressure", budget=4))
+    return out
+
+
+class TestOutcomeStore:
+    def test_persist_then_warm_round_trip(self, tmp_path, monkeypatch):
+        dfg = load_kernel("arf")
+        dp = parse_datapath("|1,1|1,1|", num_buses=2)
+        monkeypatch.setenv(EVAL_CACHE_ENV, str(tmp_path / "evals"))
+
+        first = SearchSession(dfg, dp)
+        bind(dfg, dp, session=first)
+        assert first.persist() > 0
+
+        second = SearchSession(dfg, dp)
+        binding = bind_initial(dfg, dp).binding
+        second.evaluate(binding)
+        assert second.stats.cache_hits == 1
+        assert second.stats.cache_misses == 0
+
+    def test_warm_is_bit_equivalent(self, tmp_path, monkeypatch):
+        dfg = load_kernel("ewf")
+        dp = parse_datapath("|2,1|1,1|", num_buses=2)
+        binding = bind_initial(dfg, dp).binding
+        cold = Evaluator(dfg, dp).evaluate(binding)
+
+        monkeypatch.setenv(EVAL_CACHE_ENV, str(tmp_path / "evals"))
+        seeding = SearchSession(dfg, dp)
+        seeding.evaluate(binding)
+        seeding.persist()
+        warm = SearchSession(dfg, dp).evaluate(binding).to_schedule()
+        reference = cold.to_schedule()
+        assert dict(warm.start) == dict(reference.start)
+        assert dict(warm.instance) == dict(reference.instance)
+        assert warm.latency == reference.latency
+
+    def test_store_ignores_other_problems(self, tmp_path):
+        # Outcomes are keyed by (DFG, datapath); a store populated for
+        # one problem must not leak into another.
+        store_root = tmp_path / "evals"
+        dfg_a = load_kernel("arf")
+        dfg_b = load_kernel("ewf")
+        dp = parse_datapath("|1,1|1,1|", num_buses=2)
+        os.environ[EVAL_CACHE_ENV] = str(store_root)
+        try:
+            session_a = SearchSession(dfg_a, dp)
+            bind(dfg_a, dp, session=session_a)
+            session_a.persist()
+            session_b = SearchSession(dfg_b, dp)
+            session_b.evaluate(bind_initial(dfg_b, dp).binding)
+            assert session_b.stats.cache_hits == 0
+        finally:
+            del os.environ[EVAL_CACHE_ENV]
+
+
+class TestRunnerEvalSharing:
+    def test_two_workers_with_shared_store_match_serial(self, tmp_path):
+        serial = run_jobs(_jobs())
+        cache = ResultCache(tmp_path / "cache")
+        pooled = run_jobs(_jobs(), max_workers=2, cache=cache)
+        assert _projection(pooled) == _projection(serial)
+        assert all(r.ok for r in pooled)
+        # The batch actually exercised the shared store.
+        evals = OutcomeStore(cache.root / "evals")
+        assert len(list(evals.root.glob("*.json"))) > 0
+
+    def test_env_is_restored_after_batch(self, tmp_path):
+        assert EVAL_CACHE_ENV not in os.environ
+        run_jobs(_jobs()[:1], cache=ResultCache(tmp_path / "cache"))
+        assert EVAL_CACHE_ENV not in os.environ
+
+    def test_explicit_env_wins(self, tmp_path, monkeypatch):
+        mine = tmp_path / "mine"
+        monkeypatch.setenv(EVAL_CACHE_ENV, str(mine))
+        cache = ResultCache(tmp_path / "cache")
+        results = run_jobs(_jobs()[:1], cache=cache)
+        assert results[0].ok
+        assert os.environ[EVAL_CACHE_ENV] == str(mine)
+        assert not (cache.root / "evals").exists()
+
+    def test_pressure_jobs_report_search_stats(self, tmp_path):
+        (result,) = run_jobs([_jobs()[1]])  # arf "pressure" job
+        assert result.ok
+        assert result.search_stats is not None
+        assert result.search_stats["evaluations"] > 0
+        assert result.search_stats["cache_hits"] > 0
+        assert any(
+            name.startswith("descend:qp")
+            for name in result.search_stats["phase_seconds"]
+        )

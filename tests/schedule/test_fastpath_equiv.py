@@ -104,7 +104,10 @@ class TestFastListSchedule:
             fast_list_schedule(bound, dp), list_schedule(bound, dp)
         )
 
-    def test_custom_priority_falls_back_to_naive(self, diamond, two_cluster):
+    def test_custom_priority_stays_on_fast_path(self, diamond, two_cluster):
+        # Sortable custom priorities (here: 1-tuples) are rank-packed
+        # into the fast scheduler's integer keys, not punted to the
+        # naive scheduler — and the result is identical either way.
         binding = Binding({n: 0 for n in diamond})
         bound = bind_dfg(diamond, binding)
         priority = {n: (i,) for i, n in enumerate(bound.graph)}
@@ -112,6 +115,48 @@ class TestFastListSchedule:
             fast_list_schedule(bound, two_cluster, priority=priority),
             list_schedule(bound, two_cluster, priority=priority),
         )
+
+    @given(
+        dfg=dfg_strategy,
+        dp=datapath_strategy,
+        seed=st.integers(0, 999),
+        levels=st.integers(min_value=1, max_value=3),
+    )
+    @relaxed
+    def test_custom_priority_tie_breaks_match_naive(
+        self, dfg, dp, seed, levels
+    ):
+        # Non-unique priorities force name tie-breaks: the naive heap
+        # orders by (priority, name), and the packed-key path must
+        # reproduce that exactly.  Few distinct levels maximize ties.
+        binding = _random_binding(dfg, dp, seed)
+        bound = bind_dfg(dfg, binding)
+        rng = random.Random(seed)
+        priority = {n: rng.randrange(levels) for n in bound.graph}
+        _assert_schedules_identical(
+            fast_list_schedule(bound, dp, priority=priority),
+            list_schedule(bound, dp, priority=priority),
+        )
+
+    def test_incomparable_priority_falls_back_to_naive(
+        self, diamond, two_cluster
+    ):
+        # Mixed int/str priorities cannot be rank-sorted; the fast path
+        # must defer to the naive scheduler rather than raise.
+        binding = Binding({n: 0 for n in diamond})
+        bound = bind_dfg(diamond, binding)
+        names = list(bound.graph)
+        priority = {n: (0 if i % 2 else "x") for i, n in enumerate(names)}
+        try:
+            expected = list_schedule(bound, two_cluster, priority=priority)
+        except TypeError:
+            with pytest.raises(TypeError):
+                fast_list_schedule(bound, two_cluster, priority=priority)
+        else:
+            _assert_schedules_identical(
+                fast_list_schedule(bound, two_cluster, priority=priority),
+                expected,
+            )
 
     def test_budget_error_matches_naive_message(self):
         # An infeasible pool is impossible through bind_dfg; instead check

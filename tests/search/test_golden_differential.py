@@ -1,0 +1,124 @@
+"""Differential suite: every ported strategy is bit-identical.
+
+``golden_search.json`` was captured on the pre-``repro.search`` code —
+before move generation, evaluation, budgets, and telemetry moved into
+the shared substrate — over the paper's kernels × datapaths.  Each
+record pins latency, transfer count, and the *complete placement map*
+(plus node counts for branch and bound), so any drift introduced by the
+refactor — a reordered neighbourhood, a changed tie-break, an extra RNG
+draw — fails here immediately, not as a subtle quality regression.
+
+Runs on both engines: the default fast path, and (in CI) a second pass
+with ``REPRO_FASTPATH=0``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import bind, bind_initial, parse_datapath
+from repro.baselines import pcc_bind
+from repro.baselines.annealing import annealing_bind
+from repro.baselines.branch_and_bound import branch_and_bound_bind
+from repro.core.iterative import iterative_improvement
+from repro.core.pressure_aware import pressure_aware_improvement
+from repro.core.tabu import tabu_improvement
+from repro.kernels import load_kernel
+
+GOLDEN_PATH = Path(__file__).parent / "golden_search.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+#: The capture grid: all seven cells for the deterministic algorithms,
+#: the first three (small) cells for the expensive walks.
+CELLS = [
+    ("arf", "|1,1|1,1|"),
+    ("arf", "|1,2|1,2|"),
+    ("ewf", "|2,1|1,1|"),
+    ("fft", "|2,1|2,1|1,2|"),
+    ("dct-dif", "|2,1|2,1|"),
+    ("dct-lee", "|2,2|2,1|"),
+    ("dct-dit", "|3,1|2,2|1,3|"),
+]
+SMALL = CELLS[:3]
+
+
+def _cell(kernel, spec):
+    return load_kernel(kernel), parse_datapath(spec, num_buses=2)
+
+
+def _assert_matches(record, latency, transfers, binding):
+    assert latency == record["latency"]
+    assert transfers == record["transfers"]
+    assert {name: binding[name] for name in binding} == record["placements"]
+
+
+@pytest.mark.parametrize("kernel,spec", CELLS)
+def test_driver_matches_golden(kernel, spec):
+    dfg, dp = _cell(kernel, spec)
+    r = bind(dfg, dp)
+    _assert_matches(GOLDEN[f"{kernel} {spec}"]["driver"], r.latency,
+                    r.num_transfers, r.binding)
+
+
+@pytest.mark.parametrize("kernel,spec", CELLS)
+def test_b_init_matches_golden(kernel, spec):
+    dfg, dp = _cell(kernel, spec)
+    r = bind_initial(dfg, dp)
+    _assert_matches(GOLDEN[f"{kernel} {spec}"]["b-init"], r.latency,
+                    r.num_transfers, r.binding)
+
+
+@pytest.mark.parametrize("kernel,spec", CELLS)
+def test_iterative_matches_golden(kernel, spec):
+    dfg, dp = _cell(kernel, spec)
+    ri = bind_initial(dfg, dp)
+    r = iterative_improvement(dfg, dp, ri.binding)
+    _assert_matches(GOLDEN[f"{kernel} {spec}"]["iterative"],
+                    r.schedule.latency, r.schedule.num_transfers, r.binding)
+
+
+@pytest.mark.parametrize("kernel,spec", CELLS)
+def test_pcc_matches_golden(kernel, spec):
+    dfg, dp = _cell(kernel, spec)
+    r = pcc_bind(dfg, dp)
+    _assert_matches(GOLDEN[f"{kernel} {spec}"]["pcc"], r.latency,
+                    r.num_transfers, r.binding)
+
+
+@pytest.mark.parametrize("kernel,spec", CELLS)
+def test_pressure_matches_golden(kernel, spec):
+    dfg, dp = _cell(kernel, spec)
+    ri = bind_initial(dfg, dp)
+    r = pressure_aware_improvement(dfg, dp, ri.binding, budget=4)
+    _assert_matches(GOLDEN[f"{kernel} {spec}"]["pressure"],
+                    r.schedule.latency, r.schedule.num_transfers, r.binding)
+
+
+@pytest.mark.parametrize("kernel,spec", SMALL)
+def test_tabu_matches_golden(kernel, spec):
+    dfg, dp = _cell(kernel, spec)
+    ri = bind_initial(dfg, dp)
+    r = tabu_improvement(dfg, dp, ri.binding)
+    _assert_matches(GOLDEN[f"{kernel} {spec}"]["tabu"],
+                    r.schedule.latency, r.schedule.num_transfers, r.binding)
+
+
+@pytest.mark.parametrize("kernel,spec", SMALL)
+def test_annealing_matches_golden(kernel, spec):
+    """The seeded walk consumes the RNG identically across the port."""
+    dfg, dp = _cell(kernel, spec)
+    r = annealing_bind(dfg, dp, seed=0)
+    _assert_matches(GOLDEN[f"{kernel} {spec}"]["annealing"],
+                    r.schedule.latency, r.schedule.num_transfers, r.binding)
+
+
+@pytest.mark.parametrize("kernel,spec", SMALL)
+def test_branch_and_bound_matches_golden(kernel, spec):
+    """Same tree: node count and optimality proof must not drift."""
+    dfg, dp = _cell(kernel, spec)
+    r = branch_and_bound_bind(dfg, dp, max_nodes=20_000)
+    record = GOLDEN[f"{kernel} {spec}"]["bnb"]
+    _assert_matches(record, r.latency, r.num_transfers, r.binding)
+    assert r.nodes_explored == record["nodes"]
+    assert r.proven_optimal == record["proven_optimal"]

@@ -1,0 +1,117 @@
+"""Differential tests: fast per-cluster liveness is bit-identical.
+
+``FastOutcome.pressure_per_cluster()`` reconstructs the reference
+register-pressure analysis (``repro.analysis.pressure``) directly from
+the fast engine's integer arrays — birth at the producer's finish,
+death at the last same-cluster consumer (or the transfer reading it),
+transfers living in their destination cluster.  That reconstruction
+must agree with :func:`repro.analysis.pressure.register_pressure` run
+on the materialized schedule for *every* binding, not just converged
+ones — random bindings exercise transfer-heavy placements that descent
+never visits.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pressure import register_pressure
+from repro.baselines.annealing import random_binding_seeded
+from repro.core.driver import bind_initial
+from repro.core.evalcache import Evaluator
+from repro.core.pressure_aware import pressure_aware_improvement
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import random_layered_dfg
+from repro.kernels import load_kernel
+
+dfg_strategy = st.builds(
+    random_layered_dfg,
+    num_ops=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=10_000),
+    width=st.integers(min_value=1, max_value=6),
+    mul_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+
+datapath_strategy = st.builds(
+    lambda shape, buses: parse_datapath(
+        "|" + "|".join(f"{a},{m}" for a, m in shape) + "|", num_buses=buses
+    ),
+    shape=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=3),
+            st.integers(min_value=1, max_value=3),
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+    buses=st.integers(min_value=1, max_value=3),
+)
+
+relaxed = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@relaxed
+@given(dfg=dfg_strategy, dp=datapath_strategy, seed=st.integers(0, 1000))
+def test_fast_pressure_equals_reference_on_random_bindings(dfg, dp, seed):
+    binding = random_binding_seeded(dfg, dp, random.Random(seed))
+    outcome = Evaluator(dfg, dp).evaluate(binding)
+    fast = outcome.pressure_per_cluster()
+    reference = register_pressure(outcome.to_schedule()).per_cluster
+    assert fast == dict(reference)
+
+
+@relaxed
+@given(dfg=dfg_strategy, dp=datapath_strategy)
+def test_fast_pressure_on_greedy_binding(dfg, dp):
+    binding = bind_initial(dfg, dp).binding
+    outcome = Evaluator(dfg, dp).evaluate(binding)
+    assert outcome.pressure_per_cluster() == dict(
+        register_pressure(outcome.to_schedule()).per_cluster
+    )
+
+
+def test_pressure_descent_identical_fast_and_naive():
+    """The Q_P descent commits the same moves on either engine."""
+    for kernel, spec in [("arf", "|1,1|1,1|"), ("ewf", "|2,1|1,1|")]:
+        dfg = load_kernel(kernel)
+        dp = parse_datapath(spec, num_buses=2)
+        start = bind_initial(dfg, dp).binding
+        for budget in (2, 4):
+            fast = pressure_aware_improvement(
+                dfg, dp, start, budget=budget, fast=True
+            )
+            naive = pressure_aware_improvement(
+                dfg, dp, start, budget=budget, fast=False
+            )
+            assert dict(fast.binding) == dict(naive.binding)
+            assert fast.history == naive.history
+            assert fast.evaluations == naive.evaluations
+            assert (fast.schedule.latency, fast.schedule.num_transfers) == (
+                naive.schedule.latency, naive.schedule.num_transfers
+            )
+
+
+def test_pressure_descent_rides_memo():
+    """Sharing a session with B-ITER starts the Q_P pass memo-warm.
+
+    The memo only exists on the fast path, so this pins ``fast=True``
+    regardless of the ``REPRO_FASTPATH`` gate (the differential tests
+    above cover the naive engine).
+    """
+    from repro.core.driver import bind
+    from repro.search import SearchSession
+
+    dfg = load_kernel("arf")
+    dp = parse_datapath("|1,1|1,1|", num_buses=2)
+    session = SearchSession(dfg, dp, fast=True)
+    base = bind(dfg, dp, session=session)
+    refined = pressure_aware_improvement(
+        dfg, dp, base.binding, budget=4, session=session
+    )
+    assert refined.cache_hits > 0
+    assert session.eval_stats.hits >= refined.cache_hits

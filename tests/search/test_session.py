@@ -1,0 +1,195 @@
+"""Unit tests of the search substrate: session, quality, problem.
+
+The differential suite (``test_golden_differential.py``) proves the
+ported strategies unchanged; these tests cover the substrate's own
+contracts — budgets, deadlines, telemetry, quality-spec parsing, frozen
+operations — which no strategy exercised before.
+"""
+
+import pytest
+
+from repro.core.driver import bind
+from repro.core.driver import bind_initial
+from repro.core.iterative import iterative_improvement
+from repro.datapath.parse import parse_datapath
+from repro.kernels import load_kernel
+from repro.search import (
+    BindingProblem,
+    Neighborhood,
+    QualitySpec,
+    SearchSession,
+)
+from repro.search.quality import pressure_vector
+
+
+@pytest.fixture
+def cell():
+    return load_kernel("arf"), parse_datapath("|1,1|1,1|", num_buses=2)
+
+
+class TestSearchSession:
+    def test_counts_evaluations_and_memo_traffic(self, cell):
+        # fast=True: memo hit/miss classification only exists on the
+        # fast path (the naive path has no memo to count against).
+        dfg, dp = cell
+        session = SearchSession(dfg, dp, fast=True)
+        ri = bind_initial(dfg, dp)
+        session.evaluate(ri.binding)
+        session.evaluate(ri.binding)  # identical placement: memo hit
+        assert session.stats.evaluations == 2
+        assert session.stats.cache_misses == 1
+        assert session.stats.cache_hits == 1
+
+    def test_fast_and_naive_agree(self, cell):
+        dfg, dp = cell
+        ri = bind_initial(dfg, dp)
+        fast = SearchSession(dfg, dp, fast=True).evaluate(ri.binding)
+        naive = SearchSession(dfg, dp, fast=False).evaluate(ri.binding)
+        assert (fast.latency, fast.num_transfers) == (
+            naive.latency, naive.num_transfers
+        )
+
+    def test_evaluation_budget_stops_descent(self, cell):
+        dfg, dp = cell
+        ri = bind_initial(dfg, dp)
+        session = SearchSession(dfg, dp, max_evaluations=3)
+        result = iterative_improvement(dfg, dp, ri.binding, session=session)
+        assert session.stats.budget_exhausted
+        # The result is still a complete, valid binding.
+        assert result.schedule.latency >= 1
+        unbudgeted = iterative_improvement(dfg, dp, ri.binding)
+        assert unbudgeted.evaluations > 3
+
+    def test_deadline_already_expired(self, cell):
+        dfg, dp = cell
+        ri = bind_initial(dfg, dp)
+        session = SearchSession(dfg, dp, deadline_seconds=-1.0)
+        iterative_improvement(dfg, dp, ri.binding, session=session)
+        assert session.stats.deadline_exceeded
+
+    def test_phase_seconds_accumulate(self, cell):
+        dfg, dp = cell
+        session = SearchSession(dfg, dp)
+        bind(dfg, dp, session=session)
+        phases = session.stats.phase_seconds
+        assert "b-init" in phases and "b-iter" in phases
+        assert all(seconds >= 0.0 for seconds in phases.values())
+
+    def test_seeded_rng(self, cell):
+        dfg, dp = cell
+        a = SearchSession(dfg, dp, seed=7).rng.random()
+        b = SearchSession(dfg, dp, seed=7).rng.random()
+        assert a == b
+
+    def test_stats_as_dict_round_trips_to_json(self, cell):
+        import json
+
+        dfg, dp = cell
+        session = SearchSession(dfg, dp, fast=True)
+        bind(dfg, dp, session=session)
+        payload = session.stats.as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["evaluations"] > 0
+        assert payload["cache_hits"] + payload["cache_misses"] == (
+            payload["evaluations"]
+        )
+
+
+class TestQualitySpec:
+    def test_parse_default_passes(self):
+        spec = QualitySpec.parse("qu+qm")
+        assert spec.passes == ("qu", "qm")
+        assert len(spec.functions()) == 2
+
+    def test_parse_parametric_pressure(self, cell):
+        dfg, dp = cell
+        spec = QualitySpec.parse("qp:4")
+        (fn,) = spec.functions()
+        out = SearchSession(dfg, dp).evaluate(bind_initial(dfg, dp).binding)
+        q = fn(out)
+        assert len(q) == 3 and q[0] == out.latency
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError, match="unknown quality"):
+            QualitySpec.parse("qu+bogus")
+        with pytest.raises(ValueError, match="unknown quality"):
+            QualitySpec.parse("bogus:4")
+
+    def test_pressure_vector_validates_budget(self):
+        with pytest.raises(ValueError):
+            pressure_vector(0)
+
+    def test_pressure_vector_matches_reference_analysis(self, cell):
+        from repro.analysis.pressure import register_pressure
+
+        dfg, dp = cell
+        binding = bind_initial(dfg, dp).binding
+        fast_out = SearchSession(dfg, dp, fast=True).evaluate(binding)
+        naive_out = SearchSession(dfg, dp, fast=False).evaluate(binding)
+        budget = 2
+        expected_excess = sum(
+            max(0, p - budget)
+            for p in register_pressure(naive_out).per_cluster.values()
+        )
+        for out in (fast_out, naive_out):
+            latency, excess, moves = pressure_vector(budget)(out)
+            assert latency == naive_out.latency
+            assert excess == expected_excess
+            assert moves == naive_out.num_transfers
+
+
+class TestBindingProblem:
+    def test_frozen_ops_excluded_from_moves(self, cell):
+        dfg, dp = cell
+        frozen = {op.name for op in dfg.regular_operations()}
+        problem = BindingProblem(dfg, dp, frozen=frozenset(frozen))
+        binding = bind_initial(dfg, dp).binding
+        assert problem.neighborhood().boundary(binding) == ()
+
+    def test_unknown_frozen_name_rejected(self, cell):
+        dfg, dp = cell
+        with pytest.raises(ValueError, match="nonexistent"):
+            BindingProblem(dfg, dp, frozen=frozenset({"nonexistent"}))
+
+    def test_session_and_validate(self, cell):
+        dfg, dp = cell
+        problem = BindingProblem(dfg, dp)
+        session = problem.session(seed=1)
+        binding = bind_initial(dfg, dp).binding
+        problem.validate(binding)
+        out = session.evaluate(binding)
+        assert out.latency >= 1
+
+
+class TestNeighborhood:
+    def test_boundary_and_moves_match_legacy_wrappers(self, cell):
+        from repro.core.iterative import boundary_operations, candidate_moves
+
+        dfg, dp = cell
+        binding = bind_initial(dfg, dp).binding
+        nbhd = Neighborhood(dfg, dp)
+        assert nbhd.boundary(binding) == boundary_operations(dfg, binding)
+        for v in nbhd.boundary(binding):
+            assert nbhd.moves(binding, v) == candidate_moves(dfg, dp, binding, v)
+
+    def test_moves_requires_datapath(self, cell):
+        dfg, dp = cell
+        binding = bind_initial(dfg, dp).binding
+        nbhd = Neighborhood(dfg)
+        assert isinstance(nbhd.boundary(binding), tuple)
+        with pytest.raises(ValueError, match="datapath"):
+            nbhd.moves(binding, next(iter(binding)))
+
+    def test_random_reassignment_respects_frozen(self, cell):
+        import random
+
+        dfg, dp = cell
+        binding = bind_initial(dfg, dp).binding
+        names = [op.name for op in dfg.regular_operations()]
+        frozen = set(names[:-1])
+        nbhd = Neighborhood(dfg, dp, frozen=frozen)
+        rng = random.Random(0)
+        for _ in range(20):
+            move = nbhd.random_reassignment(binding, rng)
+            if move is not None:
+                assert move[0] == names[-1]
