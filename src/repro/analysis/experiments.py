@@ -69,6 +69,7 @@ def run_cell(
             full.latency,
             full.num_transfers,
             full.init_seconds + full.iter_seconds,
+            search_stats=full.search_stats.as_dict(),
         )
 
     return ExperimentRow(
@@ -82,8 +83,19 @@ def run_cell(
     )
 
 
-def _cell_jobs(dfg: Dfg, datapath: Datapath, run_iter: bool) -> List[BindJob]:
-    """The (2 or 3) jobs making up one table cell, in column order."""
+def _cell_jobs(
+    dfg: Dfg,
+    datapath: Datapath,
+    run_iter: bool,
+    max_evals: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> List[BindJob]:
+    """The (2 or 3) jobs making up one table cell, in column order.
+
+    ``max_evals``/``deadline`` (when set) budget the B-ITER search
+    session; they are part of the job config, so budgeted and
+    unbudgeted cells cache under different keys.
+    """
     jobs = [
         BindJob.make(dfg, datapath, "pcc"),
         BindJob.make(dfg, datapath, "b-init"),
@@ -91,7 +103,12 @@ def _cell_jobs(dfg: Dfg, datapath: Datapath, run_iter: bool) -> List[BindJob]:
     if run_iter:
         # iter_starts=None: improve from every distinct B-INIT sweep
         # candidate — the same default as ``bind()``.
-        jobs.append(BindJob.make(dfg, datapath, "b-iter", iter_starts=None))
+        config = {"iter_starts": None}
+        if max_evals is not None:
+            config["max_evals"] = max_evals
+        if deadline is not None:
+            config["deadline"] = deadline
+        jobs.append(BindJob.make(dfg, datapath, "b-iter", **config))
     return jobs
 
 
@@ -102,7 +119,12 @@ def _cell_result(result: JobResult) -> AlgoCell:
             f"{result.attempts} attempt(s): {result.error}"
         )
     assert result.latency is not None and result.transfers is not None
-    return AlgoCell(result.latency, result.transfers, result.seconds)
+    return AlgoCell(
+        result.latency,
+        result.transfers,
+        result.seconds,
+        search_stats=result.search_stats,
+    )
 
 
 def _run_grid(
@@ -112,11 +134,21 @@ def _run_grid(
     cache: Optional[ResultCache],
     store: Optional[RunStore],
     progress: Optional[Callable[[ProgressTracker], None]],
+    max_evals: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> List[ExperimentRow]:
     """Run every (kernel, datapath) cell as one flat job batch."""
     jobs: List[BindJob] = []
     for kernel, datapath in cells:
-        jobs.extend(_cell_jobs(load_kernel(kernel), datapath, run_iter))
+        jobs.extend(
+            _cell_jobs(
+                load_kernel(kernel),
+                datapath,
+                run_iter,
+                max_evals=max_evals,
+                deadline=deadline,
+            )
+        )
     results = run_jobs(
         jobs,
         max_workers=max_workers,
@@ -150,6 +182,8 @@ def run_table1(
     cache: Optional[ResultCache] = None,
     store: Optional[RunStore] = None,
     progress: Optional[Callable[[ProgressTracker], None]] = None,
+    max_evals: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> List[ExperimentRow]:
     """Regenerate Table 1: every kernel on its datapath configurations.
 
@@ -159,6 +193,9 @@ def run_table1(
         run_iter: include the B-ITER column (the expensive one).
         max_workers / cache / store / progress: experiment-engine knobs
             (see :func:`repro.runner.run_jobs`).
+        max_evals: per-cell evaluation budget for the B-ITER search
+            (None = unbudgeted, the paper's setting).
+        deadline: per-cell wall-clock budget for B-ITER, in seconds.
 
     Returns:
         The rows, grouped by kernel in the requested order.
@@ -168,7 +205,16 @@ def run_table1(
         for kernel in (kernels or TABLE1_KERNEL_ORDER)
         for spec in TABLE1_CONFIGS[kernel]
     ]
-    return _run_grid(cells, run_iter, max_workers, cache, store, progress)
+    return _run_grid(
+        cells,
+        run_iter,
+        max_workers,
+        cache,
+        store,
+        progress,
+        max_evals=max_evals,
+        deadline=deadline,
+    )
 
 
 def run_table2(
@@ -178,11 +224,14 @@ def run_table2(
     cache: Optional[ResultCache] = None,
     store: Optional[RunStore] = None,
     progress: Optional[Callable[[ProgressTracker], None]] = None,
+    max_evals: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> List[ExperimentRow]:
     """Regenerate Table 2: the FFT bus-parameter sweep.
 
     The FFT kernel on the 5-cluster ``|2,2|2,1|2,2|3,1|1,1|`` machine,
     for every ``(N_B, lat(move))`` in the paper's sweep.
+    ``max_evals``/``deadline`` budget each cell's B-ITER search.
     """
     cells = [
         (
@@ -195,4 +244,13 @@ def run_table2(
         )
         for num_buses, move_latency in TABLE2_SWEEP
     ]
-    return _run_grid(cells, run_iter, max_workers, cache, store, progress)
+    return _run_grid(
+        cells,
+        run_iter,
+        max_workers,
+        cache,
+        store,
+        progress,
+        max_evals=max_evals,
+        deadline=deadline,
+    )

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
 
 __all__ = ["AlgoCell", "ExperimentRow", "improvement_percent"]
 
@@ -22,16 +22,58 @@ def improvement_percent(baseline_latency: int, latency: int) -> float:
 
 @dataclass(frozen=True)
 class AlgoCell:
-    """One algorithm's result on one (kernel, datapath) cell."""
+    """One algorithm's result on one (kernel, datapath) cell.
+
+    ``search_stats`` optionally carries the job's serialized
+    :class:`~repro.search.stats.SearchStats` (convergence trajectory,
+    budget flags); it is excluded from equality so determinism checks
+    keep comparing the paper's ``L/M`` numbers, not wall-clock-bearing
+    telemetry.
+    """
 
     latency: int
     transfers: int
     seconds: float
+    search_stats: Optional[Dict[str, Any]] = field(
+        default=None, compare=False
+    )
 
     @property
     def lm(self) -> str:
         """The paper's ``L/M`` cell notation."""
         return f"{self.latency}/{self.transfers}"
+
+    @property
+    def evaluations(self) -> Optional[int]:
+        """Candidate evaluations the cell's search spent (if reported)."""
+        if self.search_stats is None:
+            return None
+        return int(self.search_stats.get("evaluations", 0))
+
+    @property
+    def evals_to_best(self) -> Optional[int]:
+        """Evaluations at the last committed improvement.
+
+        The convergence column: how deep into the search the final
+        quality was reached.  None without telemetry or an empty
+        trajectory.
+        """
+        if self.search_stats is None:
+            return None
+        trajectory = self.search_stats.get("best_trajectory") or []
+        if not trajectory:
+            return None
+        return int(trajectory[-1][0])
+
+    @property
+    def budget_hit(self) -> bool:
+        """Whether an evaluation budget or deadline stopped the search."""
+        if self.search_stats is None:
+            return False
+        return bool(
+            self.search_stats.get("budget_exhausted")
+            or self.search_stats.get("deadline_exceeded")
+        )
 
 
 @dataclass(frozen=True)

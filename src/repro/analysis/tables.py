@@ -7,7 +7,12 @@ from typing import Dict, List, Optional, Sequence
 from ..kernels.registry import KERNEL_STATS
 from .metrics import ExperimentRow
 
-__all__ = ["render_table1", "render_table2", "render_rows"]
+__all__ = [
+    "render_table1",
+    "render_table2",
+    "render_rows",
+    "render_convergence",
+]
 
 _HEADER = (
     f"{'DATAPATH':22s} | {'PCC L/M':>8s} {'sec':>7s} | "
@@ -64,6 +69,43 @@ def render_table1(rows: Sequence[ExperimentRow]) -> str:
             f"-- {kernel.upper()}: N_V = {nv}, N_CC = {ncc}, L_CP = {lcp} --"
         )
         lines.extend(_format_row(r) for r in by_kernel[kernel])
+    return "\n".join(lines)
+
+
+def render_convergence(rows: Sequence[ExperimentRow]) -> str:
+    """Render the B-ITER convergence columns of rows carrying telemetry.
+
+    One line per row with search stats: total candidate evaluations,
+    the evaluation count at the last committed improvement
+    (``to-best``), the number of trajectory points, and whether an
+    evaluation budget or deadline cut the search short.  Rows without
+    telemetry (cache replays from pre-telemetry runs) are skipped.
+    """
+    header = (
+        f"{'KERNEL':10s} {'DATAPATH':22s} | {'evals':>8s} "
+        f"{'to-best':>8s} {'commits':>8s} {'budget':>7s}"
+    )
+    lines = [
+        "B-ITER convergence (evaluations until the final quality)",
+        header,
+        "-" * len(header),
+    ]
+    rendered = 0
+    for row in rows:
+        cell = row.b_iter
+        if cell is None or cell.search_stats is None:
+            continue
+        trajectory = cell.search_stats.get("best_trajectory") or []
+        budget = "hit" if cell.budget_hit else "-"
+        lines.append(
+            f"{row.kernel:10s} {row.datapath_spec:22s} | "
+            f"{cell.evaluations or 0:8d} "
+            f"{cell.evals_to_best if cell.evals_to_best is not None else 0:8d} "
+            f"{len(trajectory):8d} {budget:>7s}"
+        )
+        rendered += 1
+    if not rendered:
+        lines.append("(no rows carry search telemetry)")
     return "\n".join(lines)
 
 

@@ -121,6 +121,7 @@ def annealing_bind(
         rng = random.Random(seed)
 
         binding = random_binding_seeded(dfg, datapath, rng)
+        session.stats.begin_segment()
         e = energy(binding)
         best: Tuple[float, Binding] = (e, binding)
         session.stats.record_best((e,))

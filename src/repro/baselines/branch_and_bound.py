@@ -166,6 +166,12 @@ def branch_and_bound_bind(
             nonlocal best_key, best_binding
             if exhausted[0]:
                 return
+            if session.exhausted():
+                # An evaluation/deadline budget on the shared session
+                # cuts the tree like a node budget: the incumbent stays
+                # valid, optimality is no longer proven.
+                exhausted[0] = True
+                return
             nodes[0] += 1
             if nodes[0] > max_nodes:
                 exhausted[0] = True
@@ -201,6 +207,7 @@ def branch_and_bound_bind(
                 if exhausted[0]:
                     return
 
+        session.stats.begin_segment()
         with session.phase("bnb:dfs"):
             dfs(0)
         validate_binding(best_binding, dfg, datapath)

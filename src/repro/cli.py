@@ -100,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="FILE", help="also export rows (.csv/.json/.md)"
     )
     _add_runner_args(p_t1)
+    _add_budget_args(p_t1)
 
     p_t2 = sub.add_parser("table2", help="regenerate the paper's Table 2")
     p_t2.add_argument(
@@ -109,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="FILE", help="also export rows (.csv/.json/.md)"
     )
     _add_runner_args(p_t2)
+    _add_budget_args(p_t2)
 
     p_pr = sub.add_parser(
         "pressure", help="register-pressure report for a bound kernel"
@@ -162,6 +164,42 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help="append every job record to this JSONL run store",
     )
+
+
+def _add_budget_args(parser: argparse.ArgumentParser) -> None:
+    """Search-budget flags shared by the table subcommands."""
+    parser.add_argument(
+        "--max-evals",
+        type=_positive_int,
+        metavar="N",
+        help="budget each B-ITER search to N candidate evaluations "
+        "(prints the convergence table)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        metavar="S",
+        help="wall-clock budget per B-ITER search, in seconds "
+        "(prints the convergence table)",
+    )
+    parser.add_argument(
+        "--convergence",
+        action="store_true",
+        help="print the B-ITER convergence table even without a budget",
+    )
+
+
+def _budget_kwargs(args: argparse.Namespace) -> dict:
+    """Translate the budget flags into ``run_table*`` keyword arguments."""
+    return {"max_evals": args.max_evals, "deadline": args.deadline}
+
+
+def _print_convergence(args: argparse.Namespace, rows) -> None:
+    if args.convergence or args.max_evals or args.deadline:
+        from .analysis.tables import render_convergence
+
+        print()
+        print(render_convergence(rows))
 
 
 def _runner_kwargs(args: argparse.Namespace) -> dict:
@@ -354,8 +392,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             kernels=args.kernel,
             run_iter=not args.no_iter,
             **_runner_kwargs(args),
+            **_budget_kwargs(args),
         )
         print(render_table1(rows))
+        _print_convergence(args, rows)
         if args.out:
             from .analysis.report import save_rows
 
@@ -363,8 +403,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"wrote {args.out}")
         return 0
     if args.command == "table2":
-        rows = run_table2(run_iter=not args.no_iter, **_runner_kwargs(args))
+        rows = run_table2(
+            run_iter=not args.no_iter,
+            **_runner_kwargs(args),
+            **_budget_kwargs(args),
+        )
         print(render_table2(rows))
+        _print_convergence(args, rows)
         if args.out:
             from .analysis.report import save_rows
 

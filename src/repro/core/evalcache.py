@@ -105,6 +105,15 @@ class EvalCache:
     def clear(self) -> None:
         self._data.clear()
 
+    def discard(self, key: PlacementKey) -> None:
+        """Drop one memo entry (counters untouched).
+
+        Used by validation's self-healing path: a memo entry that
+        failed its invariant check is evicted so later evaluations
+        recompute it instead of replaying the poisoned outcome.
+        """
+        self._data.pop(key, None)
+
     def items(self):
         """Iterate ``(placement, FastOutcome)`` memo entries.
 

@@ -87,6 +87,7 @@ def tabu_improvement(
     best_q, _ = evaluate(binding, quality_qu)
 
     for quality in (quality_qu, quality_qm):
+        session.stats.begin_segment()
         current = best_binding
         current_q, _ = evaluate(current, quality)
         best_q_this, _ = evaluate(best_binding, quality)

@@ -1,0 +1,51 @@
+"""repro.resilience — fault injection, checked invariants, self-healing.
+
+The experiment engine (runner, search, stores) is the substrate every
+result in the reproduction flows through; this package is the layer
+that keeps a wrong answer from propagating through it silently:
+
+* :mod:`repro.resilience.faults` — deterministic, seeded fault
+  injection at named sites (worker crashes, timeouts, torn writes,
+  corrupted blobs, transient ``OSError``), activated through the
+  ``REPRO_FAULTS`` environment variable so plans cross
+  ``ProcessPoolExecutor`` boundaries.  Drives the chaos suite in
+  ``tests/resilience``.
+* :mod:`repro.resilience.validate` — checked invariants over
+  evaluation outcomes (bound-DFG acyclicity, transfer-set equality,
+  schedule legality against FU pools / ``dii`` / bus capacity) and
+  search telemetry (lexicographic trajectory monotonicity), gated by
+  ``REPRO_VALIDATE`` and wired into
+  :meth:`repro.search.session.SearchSession.evaluate` and
+  :func:`repro.runner.api.run_jobs`.
+
+The self-healing store behaviour itself (checksums, quarantine,
+sharding, eviction, locking) lives with the stores it hardens —
+:mod:`repro.runner.cache`, :mod:`repro.runner.store`,
+:mod:`repro.search.diskcache` — and is documented in
+``docs/ROBUSTNESS.md``.
+"""
+
+from .faults import FAULTS_ENV, FaultPlan, FaultSpec, fire, injected, perturb
+from .validate import (
+    VALIDATE_ENV,
+    Incident,
+    InvariantViolation,
+    validate_outcome,
+    validate_trajectory,
+    validation_enabled,
+)
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "fire",
+    "injected",
+    "perturb",
+    "VALIDATE_ENV",
+    "Incident",
+    "InvariantViolation",
+    "validate_outcome",
+    "validate_trajectory",
+    "validation_enabled",
+]

@@ -1,0 +1,271 @@
+"""Deterministic fault injection at named sites.
+
+A :class:`FaultPlan` names *sites* in the experiment engine —
+``"executor.attempt"``, ``"cache.put.write"``, ``"evalstore.load"`` —
+and, for each, a fault *kind* plus the call indices at which it fires.
+The engine calls :func:`fire` (control faults) or :func:`perturb`
+(data faults) at every site; with no plan configured both are cheap
+no-ops, so production paths carry no overhead beyond one environment
+lookup.
+
+Fault kinds:
+
+``oserror``
+    raise a transient ``OSError`` (exercises IO retry/degrade paths);
+``error``
+    raise a ``RuntimeError`` (an arbitrary in-process failure);
+``crash``
+    ``os._exit(23)`` — a hard worker death, as a segfault or OOM kill
+    would look to a ``ProcessPoolExecutor`` (only meaningful inside a
+    pool worker: in the serial engine it kills the caller, exactly like
+    a real segfault would);
+``sleep``
+    block for ``seconds`` (exercises per-attempt timeouts);
+``torn``
+    truncate the payload passed to :func:`perturb` at its midpoint — a
+    torn write, as left behind by a crash mid-``write()``;
+``corrupt``
+    deterministically scribble over the middle of the payload — silent
+    on-disk corruption (bit rot, partial overwrite).
+
+Activation is environment-based: ``REPRO_FAULTS`` holds the JSON plan,
+so it crosses ``ProcessPoolExecutor`` boundaries for free (workers
+inherit the environment).  Call indexing is deterministic: per-process
+counters by default, or — when the plan names a ``dir`` — global
+cross-process counters implemented with ``O_CREAT | O_EXCL`` marker
+files, so "fault the first attempt only" means the first attempt
+*anywhere in the fleet*, and a retried job observes a fault-free
+second attempt regardless of which worker runs it.
+
+Example plan::
+
+    {"seed": 0, "dir": "/tmp/faults",
+     "sites": {"executor.attempt": {"kind": "crash", "hits": [0]}}}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+__all__ = [
+    "FAULTS_ENV",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "fire",
+    "perturb",
+    "injected",
+]
+
+#: Environment variable holding the JSON fault plan.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Recognized fault kinds (see module docstring).
+FAULT_KINDS = ("oserror", "error", "crash", "sleep", "torn", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One site's fault: what to inject and at which call indices."""
+
+    site: str
+    kind: str
+    hits: Tuple[int, ...]
+    seconds: float = 0.0
+
+
+class FaultPlan:
+    """A parsed ``REPRO_FAULTS`` plan with deterministic call counting."""
+
+    def __init__(
+        self,
+        sites: Dict[str, FaultSpec],
+        seed: int = 0,
+        dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.sites = dict(sites)
+        self.seed = seed
+        self.dir = str(dir) if dir is not None else None
+        self._local: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a JSON plan; raises ``ValueError`` on a malformed one."""
+        data = json.loads(text)
+        if not isinstance(data, dict) or not isinstance(
+            data.get("sites"), dict
+        ):
+            raise ValueError("fault plan must be an object with 'sites'")
+        sites: Dict[str, FaultSpec] = {}
+        for site, raw in data["sites"].items():
+            kind = raw.get("kind")
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r} at {site!r}")
+            hits = raw.get("hits", [0])
+            if not isinstance(hits, list) or not all(
+                isinstance(h, int) and h >= 0 for h in hits
+            ):
+                raise ValueError(f"bad hits list at {site!r}: {hits!r}")
+            sites[site] = FaultSpec(
+                site=site,
+                kind=kind,
+                hits=tuple(hits),
+                seconds=float(raw.get("seconds", 0.0)),
+            )
+        return cls(
+            sites, seed=int(data.get("seed", 0)), dir=data.get("dir")
+        )
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The active plan, or None when unset or malformed.
+
+        A malformed plan never breaks a run — fault injection is a
+        testing aid, not a dependency.
+        """
+        text = os.environ.get(FAULTS_ENV, "").strip()
+        if not text:
+            return None
+        try:
+            return cls.parse(text)
+        except (ValueError, TypeError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Deterministic call indexing
+    # ------------------------------------------------------------------
+    def _claim_index(self, site: str) -> int:
+        """Next call index of ``site`` (global when ``dir`` is set).
+
+        The cross-process counter claims the lowest free marker file
+        atomically (``O_CREAT | O_EXCL``), so exactly one call anywhere
+        in the fleet observes each index.
+        """
+        if self.dir is None:
+            with self._lock:
+                index = self._local.get(site, 0)
+                self._local[site] = index + 1
+                return index
+        slug = hashlib.sha256(site.encode("utf-8")).hexdigest()[:12]
+        os.makedirs(self.dir, exist_ok=True)
+        index = 0
+        while True:
+            marker = os.path.join(self.dir, f"{slug}.{index:06d}")
+            try:
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                index += 1
+                continue
+            os.close(fd)
+            return index
+
+    def active(self, site: str) -> Optional[FaultSpec]:
+        """The spec to inject at this call of ``site``, if any.
+
+        Only sites named by the plan consume call indices, so a plan
+        for one site never perturbs the determinism of another.
+        """
+        spec = self.sites.get(site)
+        if spec is None:
+            return None
+        return spec if self._claim_index(site) in spec.hits else None
+
+
+# ----------------------------------------------------------------------
+# Module-level entry points (the ones engine code calls)
+# ----------------------------------------------------------------------
+
+#: (env text, parsed plan) — re-parsed only when the variable changes,
+#: which also keeps one plan instance (and its counters) per process.
+_cached: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+
+
+def _current_plan() -> Optional[FaultPlan]:
+    global _cached
+    text = os.environ.get(FAULTS_ENV, "").strip()
+    if not text:
+        return None
+    if _cached[0] != text:
+        _cached = (text, FaultPlan.from_env())
+    return _cached[1]
+
+
+def _scramble(data: str, seed: int) -> str:
+    """Deterministically scribble over the middle of ``data``."""
+    n = len(data)
+    if n == 0:
+        return data
+    start = n // 3
+    width = max(1, min(n - start, n // 10 + 1 + seed % 3))
+    return data[:start] + "#" * width + data[start + width :]
+
+
+def perturb(site: str, data: Optional[str] = None) -> Optional[str]:
+    """Run the fault scheduled at this call of ``site``, if any.
+
+    Control kinds (``crash``/``sleep``/``oserror``/``error``) take
+    effect immediately; data kinds (``torn``/``corrupt``) return a
+    damaged copy of ``data``.  With no active fault, returns ``data``
+    unchanged.
+    """
+    plan = _current_plan()
+    if plan is None:
+        return data
+    spec = plan.active(site)
+    if spec is None:
+        return data
+    if spec.kind == "crash":
+        os._exit(23)
+    if spec.kind == "sleep":
+        time.sleep(spec.seconds)
+        return data
+    if spec.kind == "oserror":
+        raise OSError(f"injected transient OSError at {site}")
+    if spec.kind == "error":
+        raise RuntimeError(f"injected error at {site}")
+    if data is None:
+        return None
+    if spec.kind == "torn":
+        return data[: len(data) // 2]
+    return _scramble(data, plan.seed)
+
+
+def fire(site: str) -> None:
+    """Control-fault entry point (no payload)."""
+    perturb(site)
+
+
+@contextmanager
+def injected(
+    sites: Dict[str, Dict[str, Any]],
+    dir: Optional[Union[str, Path]] = None,
+    seed: int = 0,
+) -> Iterator[None]:
+    """Activate a fault plan for the duration of a ``with`` block.
+
+    Sets ``REPRO_FAULTS`` (so spawned workers inherit the plan) and
+    restores the previous value on exit.  ``dir`` enables the
+    cross-process call counter — pass a fresh temporary directory per
+    test so counters start at zero.
+    """
+    plan = {"seed": seed, "sites": sites}
+    if dir is not None:
+        plan["dir"] = str(dir)
+    previous = os.environ.get(FAULTS_ENV)
+    os.environ[FAULTS_ENV] = json.dumps(plan, sort_keys=True)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(FAULTS_ENV, None)
+        else:
+            os.environ[FAULTS_ENV] = previous

@@ -1,0 +1,217 @@
+"""Checked invariants over evaluation outcomes and search telemetry.
+
+The fast evaluation engine is *proven* bit-equivalent to the naive path
+differentially (``tests/schedule/test_fastpath_equiv.py``), but a
+differential suite only covers the inputs it runs; a fastpath bug on an
+unseen input — or a corrupted memo entry warm-started from a damaged
+on-disk blob — would silently poison every cached sweep downstream.
+This module re-checks each outcome from first principles, exactly like
+the exact-vs-heuristic cross-checks the binding literature leans on:
+
+* the bound DFG is acyclic and structurally well-formed;
+* the transfer set equals the cross-cluster producer → destination-
+  cluster edge set implied by the binding (the paper's ``M``);
+* the schedule is legal against the machine: FU pool capacities,
+  ``dii`` issue spacing, bus capacity ``N_B``, precedence, and the
+  recorded latency (via :func:`repro.schedule.schedule.
+  validate_schedule`);
+* a session's ``SearchStats.best_trajectory`` is lexicographically
+  strictly decreasing within every descent segment, with globally
+  non-decreasing evaluation counts.
+
+Validation is gated by ``REPRO_VALIDATE`` (or the explicit
+``validate=`` arguments of :class:`~repro.search.session.SearchSession`
+and :func:`~repro.runner.api.run_jobs`): off by default, so the
+fault-free fast path stays bit-identical and full speed; on, every
+violation becomes a structured :class:`Incident` and — inside a
+session — a graceful degradation to the naive engine instead of a
+crashed sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "VALIDATE_ENV",
+    "validation_enabled",
+    "InvariantViolation",
+    "Incident",
+    "validate_outcome",
+    "validate_trajectory",
+]
+
+#: Environment gate: set to 1/true/yes/on to validate every outcome.
+VALIDATE_ENV = "REPRO_VALIDATE"
+
+
+def validation_enabled() -> bool:
+    """Whether checked invariants are on (``REPRO_VALIDATE`` knob).
+
+    Defaults to off — validation re-derives each outcome's schedule,
+    which costs roughly one naive evaluation per *unique* binding.
+    """
+    return os.environ.get(VALIDATE_ENV, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+class InvariantViolation(RuntimeError):
+    """An evaluation outcome (or telemetry record) broke an invariant."""
+
+
+@dataclass(frozen=True)
+class Incident:
+    """A structured record of one caught violation.
+
+    Attributes:
+        site: where it was caught (``"session.evaluate"``,
+            ``"run_jobs"``, ...).
+        kind: violation class (``"invariant-violation"``,
+            ``"trajectory-violation"``, ``"cache-write-failed"``, ...).
+        detail: human-readable description (the exception text).
+    """
+
+    site: str
+    kind: str
+    detail: str
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"site": self.site, "kind": self.kind, "detail": self.detail}
+
+
+# ----------------------------------------------------------------------
+# Outcome invariants
+# ----------------------------------------------------------------------
+
+def _expected_transfers(dfg, binding: Mapping[str, int]):
+    """The transfer set a binding implies: one ``(producer, destination
+    cluster)`` pair per cross-cluster producer → consumer-cluster edge
+    (shared across consumers in the same cluster, as ``bind_dfg``
+    inserts them)."""
+    expected = set()
+    for op in dfg.regular_operations():
+        cluster = binding[op.name]
+        for succ in dfg.successors(op.name):
+            dest = binding[succ]
+            if dest != cluster:
+                expected.add((op.name, dest))
+    return expected
+
+
+def validate_outcome(
+    dfg, datapath, binding: Mapping[str, int], outcome
+) -> None:
+    """Re-check one evaluation outcome from first principles.
+
+    ``outcome`` is either a :class:`~repro.schedule.fastpath.
+    FastOutcome` (fast path) or a full :class:`~repro.schedule.
+    schedule.Schedule` (naive path).
+
+    Raises:
+        InvariantViolation: describing the first broken invariant.
+    """
+    from ..dfg.validate import ValidationError, validate_dfg
+    from ..schedule.schedule import ScheduleError, validate_schedule
+
+    # Materialize the full schedule: for a FastOutcome this carries the
+    # raw starts/units/latency into a real Schedule, so corruption of
+    # any of those arrays surfaces in the legality checks below.
+    if hasattr(outcome, "to_schedule"):
+        actual = {
+            (outcome.ctx.names[u], dest) for u, dest in outcome.pairs
+        }
+        if len(actual) != len(outcome.pairs):
+            raise InvariantViolation(
+                f"duplicate transfer pairs: {len(outcome.pairs)} pairs, "
+                f"{len(actual)} distinct"
+            )
+        schedule = outcome.to_schedule()
+    else:
+        schedule = outcome
+        actual = {
+            (producer, schedule.bound.placement[t])
+            for t, (producer, _src) in
+            schedule.bound.transfer_sources.items()
+        }
+
+    expected = _expected_transfers(dfg, binding)
+    if actual != expected:
+        missing = sorted(expected - actual)[:4]
+        extra = sorted(actual - expected)[:4]
+        raise InvariantViolation(
+            f"transfer set mismatch: missing={missing} extra={extra} "
+            f"(expected {len(expected)}, got {len(actual)})"
+        )
+
+    bound = schedule.bound
+    for op in dfg.regular_operations():
+        if bound.placement.get(op.name) != binding[op.name]:
+            raise InvariantViolation(
+                f"placement drift: {op.name!r} bound to "
+                f"{binding[op.name]} but scheduled in "
+                f"{bound.placement.get(op.name)}"
+            )
+
+    try:
+        validate_dfg(bound.graph, datapath.registry)
+    except ValidationError as exc:
+        raise InvariantViolation(f"bound DFG invalid: {exc}") from exc
+
+    try:
+        validate_schedule(schedule)
+    except ScheduleError as exc:
+        raise InvariantViolation(f"illegal schedule: {exc}") from exc
+
+    if schedule.latency != outcome.latency:
+        raise InvariantViolation(
+            f"latency drift: outcome says {outcome.latency}, "
+            f"schedule says {schedule.latency}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Trajectory invariants
+# ----------------------------------------------------------------------
+
+def validate_trajectory(
+    best_trajectory: Sequence[Tuple[int, Sequence[int]]],
+    segments: Sequence[int] = (),
+) -> None:
+    """Check a ``SearchStats.best_trajectory`` convergence curve.
+
+    Invariants: evaluation counts are globally non-decreasing, and
+    within each descent *segment* (one strategy's improvement run —
+    strategies mark segment starts via ``SearchStats.begin_segment``)
+    the committed quality vectors are lexicographically strictly
+    decreasing.  Accepts both the live tuple form and the JSON list
+    form from a run store.
+
+    Raises:
+        InvariantViolation: on the first broken invariant.
+    """
+    entries: List[Tuple[int, Tuple[Any, ...]]] = [
+        (int(n), tuple(q)) for n, q in best_trajectory
+    ]
+    previous_n = -1
+    for n, _ in entries:
+        if n < previous_n:
+            raise InvariantViolation(
+                f"evaluation counter went backwards: {previous_n} -> {n}"
+            )
+        previous_n = n
+
+    bounds = sorted({0, *(int(s) for s in segments), len(entries)})
+    for start, end in zip(bounds, bounds[1:]):
+        for i in range(start + 1, end):
+            if not entries[i][1] < entries[i - 1][1]:
+                raise InvariantViolation(
+                    "best trajectory not strictly decreasing within a "
+                    f"segment: {entries[i - 1][1]} then {entries[i][1]} "
+                    f"at index {i}"
+                )

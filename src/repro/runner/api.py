@@ -2,22 +2,48 @@
 
 Composition of the runner layers::
 
-    jobs --(cache lookup)--> hits replayed, misses executed
-         --(executor)------> parallel / serial, timeout, retry
-         --(cache fill)----> successful results written back
-         --(run store)-----> every (job, result) appended, input order
-         --(progress)------> per-completion callback
+    jobs --(resume store)---> prior ok results replayed
+         --(circuit breaker)> persistent failers quarantined
+         --(cache lookup)---> hits replayed, misses executed
+         --(executor)-------> parallel / serial, timeout, retry, backoff
+         --(validation)-----> trajectory invariants checked (opt-in)
+         --(cache fill)-----> successful results written back
+         --(run store)------> every (job, result) appended, input order
+         --(progress)-------> per-completion callback
 
 Results always come back in input order, regardless of worker
 scheduling — callers that reassemble rows or design points can rely on
 positional correspondence with the submitted job list.
+
+Resilience semantics:
+
+* ``resume=`` replays the latest successful record per job key from a
+  prior (possibly killed) run's store, so re-invoking an interrupted
+  sweep re-executes only the missing jobs;
+* a per-spec *circuit breaker* quarantines any job whose accumulated
+  failed attempts (this batch plus ``resume`` history) reach
+  ``breaker_threshold``: the job is reported ``status ==
+  "quarantined"`` without further execution and an incident line is
+  appended to the run store, so one poisoned spec cannot burn the
+  whole batch's retry budget run after run;
+* ``validate=`` (default: the ``REPRO_VALIDATE`` environment gate)
+  turns on checked invariants inside every worker's search sessions
+  *and* a post-hoc trajectory check here; violations become incident
+  records, never crashes;
+* a cache write that fails (full disk, permissions) degrades to an
+  incident + uncached result instead of aborting the batch.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
+from ..resilience.validate import (
+    VALIDATE_ENV,
+    InvariantViolation,
+    validate_trajectory,
+)
 from ..search.diskcache import EVAL_CACHE_ENV
 from .cache import ResultCache
 from .executor import run_batch
@@ -28,15 +54,27 @@ from .store import RunStore
 __all__ = ["run_jobs"]
 
 
+def _replay(payload: Dict, worker: str) -> JobResult:
+    result = JobResult.from_dict(payload)
+    result.cached = True
+    result.attempts = 0
+    result.worker = worker
+    return result
+
+
 def run_jobs(
     jobs: Iterable[BindJob],
     *,
     max_workers: int = 1,
     cache: Optional[ResultCache] = None,
     store: Optional[RunStore] = None,
+    resume: Optional[RunStore] = None,
     progress: Optional[Callable[[ProgressTracker], None]] = None,
     timeout: Optional[float] = None,
     retries: int = 1,
+    backoff: float = 0.05,
+    breaker_threshold: int = 3,
+    validate: Optional[bool] = None,
 ) -> List[JobResult]:
     """Run a batch of binding jobs with caching, parallelism, and logging.
 
@@ -54,29 +92,71 @@ def run_jobs(
             workers pool their schedule evaluations.
         store: optional :class:`RunStore`; every job is recorded, in
             input order, with execution provenance.
+        resume: optional *prior* :class:`RunStore` (typically the same
+            path as ``store``): jobs whose key already has a successful
+            record replay it (``worker == "resume"``) instead of
+            re-executing, so an interrupted sweep picks up where it was
+            killed.  Prior failed attempts count toward the circuit
+            breaker.
         progress: optional callback, invoked with the shared
             :class:`ProgressTracker` after every finished job.
         timeout: per-attempt wall-clock budget in seconds.
         retries: extra attempts for a failing job (see
             :func:`repro.runner.executor.run_batch`).
+        backoff: base seconds of the exponential retry backoff with
+            deterministic jitter (0 disables).
+        breaker_threshold: failed attempts (historical + current) at
+            which a job key is quarantined instead of executed; <= 0
+            disables the breaker.
+        validate: run checked invariants (sessions re-check every
+            outcome; trajectories are verified here).  Default: the
+            ``REPRO_VALIDATE`` environment gate.
 
     Returns:
         One :class:`JobResult` per job, in input order; failures are
-        in-band (``status == "failed"``), never raised.
+        in-band (``status == "failed"`` or ``"quarantined"``), never
+        raised.
     """
     jobs = list(jobs)
     tracker = ProgressTracker(total=len(jobs), callback=progress)
     results: List[Optional[JobResult]] = [None] * len(jobs)
+    keys = [job.cache_key() for job in jobs]
+
+    prior_ok: Dict[str, Dict] = {}
+    failed_attempts: Dict[str, int] = {}
+    if resume is not None:
+        prior_ok = resume.ok_records()
+        failed_attempts = resume.failed_attempts()
 
     misses: List[int] = []
     for i, job in enumerate(jobs):
+        key = keys[i]
+        prior = prior_ok.get(key)
+        if prior is not None:
+            result = _replay(_record_to_payload(prior), "resume")
+            results[i] = result
+            tracker.update(result)
+            continue
+        if (
+            breaker_threshold > 0
+            and failed_attempts.get(key, 0) >= breaker_threshold
+        ):
+            result = _quarantined(job, key, failed_attempts[key])
+            results[i] = result
+            tracker.update(result)
+            if store is not None:
+                store.record_incident(
+                    "run_jobs",
+                    "circuit-breaker",
+                    f"quarantined after {failed_attempts[key]} failed "
+                    f"attempts (threshold {breaker_threshold})",
+                    key=key,
+                )
+            continue
         if cache is not None:
-            payload = cache.get(job.cache_key())
+            payload = cache.get(key)
             if payload is not None:
-                result = JobResult.from_dict(payload)
-                result.cached = True
-                result.attempts = 0
-                result.worker = "cache"
+                result = _replay(payload, "cache")
                 results[i] = result
                 tracker.update(result)
                 continue
@@ -91,24 +171,108 @@ def run_jobs(
     if eval_cache_set:
         assert cache is not None
         os.environ[EVAL_CACHE_ENV] = str(cache.root / "evals")
+    # Validation crosses process boundaries the same way: the explicit
+    # argument (when given) overrides the inherited environment for the
+    # duration of the batch.
+    validate_prev = os.environ.get(VALIDATE_ENV)
+    if validate is not None:
+        os.environ[VALIDATE_ENV] = "1" if validate else "0"
     try:
         executed = run_batch(
             [jobs[i] for i in misses],
             max_workers=max_workers,
             timeout=timeout,
             retries=retries,
+            backoff=backoff,
             on_result=tracker.update,
         )
     finally:
         if eval_cache_set:
             del os.environ[EVAL_CACHE_ENV]
+        if validate is not None:
+            if validate_prev is None:
+                os.environ.pop(VALIDATE_ENV, None)
+            else:
+                os.environ[VALIDATE_ENV] = validate_prev
+
+    validating = (
+        validate
+        if validate is not None
+        else (validate_prev or "").strip().lower()
+        in ("1", "true", "yes", "on")
+    )
     for i, result in zip(misses, executed):
         results[i] = result
+        if validating and result.ok and result.search_stats:
+            try:
+                validate_trajectory(
+                    result.search_stats.get("best_trajectory", []),
+                    result.search_stats.get("segments", []),
+                )
+            except InvariantViolation as exc:
+                if store is not None:
+                    store.record_incident(
+                        "run_jobs",
+                        "trajectory-violation",
+                        str(exc),
+                        key=keys[i],
+                    )
         if cache is not None and result.ok:
-            cache.put(jobs[i].cache_key(), result.to_dict())
+            try:
+                cache.put(keys[i], result.to_dict())
+            except OSError as exc:
+                # A failed write degrades to an uncached result; the
+                # batch (and its tables) must not die on a full disk.
+                if store is not None:
+                    store.record_incident(
+                        "run_jobs",
+                        "cache-write-failed",
+                        f"{type(exc).__name__}: {exc}",
+                        key=keys[i],
+                    )
 
     if store is not None:
         for job, result in zip(jobs, results):
             assert result is not None
             store.record(job, result)
     return [r for r in results if r is not None]
+
+
+def _record_to_payload(record: Dict) -> Dict:
+    """Project a run-store record back into a ``JobResult`` payload."""
+    from .jobs import RESULT_SCHEMA
+
+    return {
+        "format": RESULT_SCHEMA,
+        "key": record.get("key", ""),
+        "kernel": record.get("kernel", ""),
+        "algorithm": record.get("algorithm", ""),
+        "datapath_spec": record.get("datapath", ""),
+        "status": record.get("status", "ok"),
+        "latency": record.get("latency"),
+        "transfers": record.get("transfers"),
+        "seconds": record.get("seconds", 0.0),
+        "error": record.get("error"),
+        "attempts": 0,
+        "worker": "resume",
+        "cached": True,
+        "eval_hits": record.get("eval_hits", 0),
+        "eval_misses": record.get("eval_misses", 0),
+        "evaluations": record.get("evaluations", 0),
+        "search_stats": record.get("search_stats"),
+    }
+
+
+def _quarantined(job: BindJob, key: str, prior_failures: int) -> JobResult:
+    return JobResult(
+        key=key,
+        kernel=job.kernel,
+        algorithm=job.algorithm,
+        datapath_spec=job.datapath_spec,
+        status="quarantined",
+        error=(
+            f"circuit breaker open: {prior_failures} prior failed attempts"
+        ),
+        attempts=0,
+        worker="breaker",
+    )

@@ -11,10 +11,21 @@ treated as misses (never as errors), so stale caches degrade to cold
 ones instead of poisoning runs.  Writes are atomic (tmp file + rename),
 which makes a single cache directory safe to share between concurrent
 experiment processes on POSIX filesystems.
+
+Self-healing extensions: every envelope carries a SHA-256 checksum
+over its canonical result payload, verified on read (legacy
+checksum-less blobs are still accepted); a blob that fails to parse or
+fails its checksum is *quarantined* — renamed to ``*.corrupt`` so it
+is kept for post-mortem but never consulted again — and reported as a
+miss, so corruption costs one re-execution, never a wrong table.
+
+Named fault-injection sites (see :mod:`repro.resilience.faults`):
+``cache.get``, ``cache.put``, ``cache.put.write``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -22,12 +33,18 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from ..resilience import faults
 from .jobs import RESULT_SCHEMA
 
 __all__ = ["CACHE_FORMAT", "CacheStats", "ResultCache"]
 
 #: Envelope version of on-disk blobs; bump to invalidate old caches.
 CACHE_FORMAT = "repro-cache/1"
+
+
+def _result_checksum(result: Dict[str, Any]) -> str:
+    canonical = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -37,6 +54,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
@@ -70,22 +88,46 @@ class ResultCache:
             raise ValueError(f"malformed cache key {key!r}")
         return self.root / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Rename a damaged blob to ``*.corrupt`` (kept, never re-read)."""
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+            self.stats.quarantined += 1
+        except OSError:
+            pass
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """Return the cached result dict for ``key``, or None on miss.
 
-        Unreadable or schema-mismatched blobs count as misses.
+        Unreadable or schema-mismatched blobs count as misses; blobs
+        that exist but fail to parse or fail their checksum are
+        quarantined first.
         """
         path = self._path(key)
         try:
+            faults.fire("cache.get")
             envelope = json.loads(path.read_text())
-        except (OSError, ValueError):
+        except OSError:
+            self.stats.misses += 1
+            return None
+        except ValueError:
+            self._quarantine(path)
             self.stats.misses += 1
             return None
         if (
-            envelope.get("format") != CACHE_FORMAT
+            not isinstance(envelope, dict)
+            or envelope.get("format") != CACHE_FORMAT
             or envelope.get("key") != key
-            or envelope.get("result", {}).get("format") != RESULT_SCHEMA
+            or not isinstance(envelope.get("result"), dict)
+            or envelope["result"].get("format") != RESULT_SCHEMA
         ):
+            self.stats.misses += 1
+            return None
+        checksum = envelope.get("sha256")
+        if checksum is not None and checksum != _result_checksum(
+            envelope["result"]
+        ):
+            self._quarantine(path)
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -95,14 +137,22 @@ class ResultCache:
         """Store ``result`` (a ``JobResult.to_dict()``) under ``key``."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        envelope = {"format": CACHE_FORMAT, "key": key, "result": result}
+        envelope = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "sha256": _result_checksum(result),
+            "result": result,
+        }
+        faults.fire("cache.put")
+        data = faults.perturb(
+            "cache.put.write", json.dumps(envelope, sort_keys=True) + "\n"
+        )
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
         )
         try:
             with os.fdopen(fd, "w") as f:
-                json.dump(envelope, f, sort_keys=True)
-                f.write("\n")
+                f.write(data)
             os.replace(tmp, path)
         except BaseException:
             try:

@@ -20,7 +20,11 @@ Fault tolerance, either engine:
 * **retry** — a job whose attempt raises (or times out) is re-run up to
   ``retries`` more times; a job that exhausts its attempts yields a
   ``status == "failed"`` result with the last error, and the rest of
-  the batch continues unaffected.
+  the batch continues unaffected.  Re-attempts back off exponentially
+  (``backoff * 2**(attempt-1)``, capped) with *deterministic* jitter —
+  the jitter factor is hashed from the job key and attempt number, so
+  transient contention is spread out yet every run of the same batch
+  sleeps identically.
 * **worker crash** — a hard worker death breaks the whole pool.  The
   pool is rebuilt, and recovery distinguishes suspects from bystanders
   via a shared started-marker map: jobs that were *running* when the
@@ -33,18 +37,39 @@ Fault tolerance, either engine:
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
 import signal
 import threading
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..resilience import faults
 from .jobs import BindJob, JobResult, execute_job
 
 __all__ = ["JobTimeout", "run_batch"]
+
+
+def _backoff_delay(
+    key: str, attempt: int, base: float, cap: float
+) -> float:
+    """Exponential backoff with deterministic jitter.
+
+    ``base * 2**(attempt-1)``, capped at ``cap``, scaled by a jitter
+    factor in ``[0.5, 1.5)`` derived from ``sha256(key:attempt)`` — so
+    concurrent retries of different jobs de-synchronize while repeated
+    runs of the same batch sleep for bit-identical durations.  Zero for
+    the first attempt or a zero ``base``.
+    """
+    if attempt <= 1 or base <= 0.0:
+        return 0.0
+    digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+    jitter = 0.5 + int.from_bytes(digest[:4], "big") / 0xFFFFFFFF
+    return min(base * 2 ** (attempt - 2), cap) * jitter
 
 
 class JobTimeout(RuntimeError):
@@ -82,6 +107,7 @@ def _deadline(seconds: Optional[float]) -> Iterator[None]:
 
 def _attempt(job: BindJob, timeout: Optional[float]) -> JobResult:
     with _deadline(timeout):
+        faults.fire("executor.attempt")
         return execute_job(job)
 
 
@@ -90,13 +116,18 @@ def _worker(
     timeout: Optional[float],
     started: Optional[Any] = None,
     token: Optional[str] = None,
+    delay: float = 0.0,
 ) -> Dict[str, Any]:
     """Pool entry point: run one job, ship the result back as a dict.
 
     ``started`` is a manager-backed dict the worker marks before doing
     any work; if the pool later dies, the parent uses it to tell jobs
     that were mid-execution from ones still waiting in the queue.
+    ``delay`` is the retry backoff, slept in the worker (before the
+    started mark) so the parent's collection loop never blocks.
     """
+    if delay > 0.0:
+        time.sleep(delay)
     if started is not None:
         started[token] = os.getpid()
     return _attempt(job, timeout).to_dict()
@@ -120,6 +151,8 @@ def run_batch(
     max_workers: int = 1,
     timeout: Optional[float] = None,
     retries: int = 1,
+    backoff: float = 0.05,
+    backoff_cap: float = 2.0,
     on_result: Optional[Callable[[JobResult], None]] = None,
 ) -> List[JobResult]:
     """Execute ``jobs`` and return their results in input order.
@@ -131,6 +164,9 @@ def run_batch(
             limit).
         retries: extra attempts after a failed first one (so a job runs
             at most ``retries + 1`` times).
+        backoff: base seconds of the exponential retry backoff (0
+            disables sleeping between attempts).
+        backoff_cap: upper bound on one backoff sleep, pre-jitter.
         on_result: called once per job as it finishes (completion
             order), for progress tracking.
 
@@ -144,8 +180,10 @@ def run_batch(
         raise ValueError(f"retries must be >= 0, got {retries}")
     jobs = list(jobs)
     if max_workers == 1:
-        return _run_serial(jobs, timeout, retries, on_result)
-    return _run_pool(jobs, max_workers, timeout, retries, on_result)
+        return _run_serial(jobs, timeout, retries, backoff, backoff_cap, on_result)
+    return _run_pool(
+        jobs, max_workers, timeout, retries, backoff, backoff_cap, on_result
+    )
 
 
 def _emit(
@@ -159,12 +197,18 @@ def _run_serial(
     jobs: List[BindJob],
     timeout: Optional[float],
     retries: int,
+    backoff: float,
+    backoff_cap: float,
     on_result: Optional[Callable[[JobResult], None]],
 ) -> List[JobResult]:
     results: List[JobResult] = []
     for job in jobs:
         result: Optional[JobResult] = None
+        key = job.cache_key()
         for attempt in range(1, retries + 2):
+            delay = _backoff_delay(key, attempt, backoff, backoff_cap)
+            if delay:
+                time.sleep(delay)
             try:
                 result = _attempt(job, timeout)
                 result.attempts = attempt
@@ -184,10 +228,13 @@ def _run_pool(
     max_workers: int,
     timeout: Optional[float],
     retries: int,
+    backoff: float,
+    backoff_cap: float,
     on_result: Optional[Callable[[JobResult], None]],
 ) -> List[JobResult]:
     results: List[Optional[JobResult]] = [None] * len(jobs)
     attempts = [0] * len(jobs)
+    keys = [job.cache_key() for job in jobs]
     manager = multiprocessing.Manager()
     started = manager.dict()
     seq = 0
@@ -200,7 +247,12 @@ def _run_pool(
             attempts[index] += 1
         seq += 1
         token = f"{index}:{seq}"
-        future = pool.submit(_worker, jobs[index], timeout, started, token)
+        delay = _backoff_delay(
+            keys[index], attempts[index], backoff, backoff_cap
+        )
+        future = pool.submit(
+            _worker, jobs[index], timeout, started, token, delay
+        )
         pending[future] = (index, token)
 
     def finish(index: int, result: JobResult) -> None:
@@ -219,6 +271,11 @@ def _run_pool(
                 )
                 return
             attempts[index] += 1
+            delay = _backoff_delay(
+                keys[index], attempts[index], backoff, backoff_cap
+            )
+            if delay:
+                time.sleep(delay)
             solo = ProcessPoolExecutor(max_workers=1)
             try:
                 payload = solo.submit(_worker, jobs[index], timeout).result()

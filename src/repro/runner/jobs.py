@@ -246,10 +246,34 @@ def _run_b_init(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
     )
 
 
+def _budget_kwargs(config: Dict[str, Any]) -> Dict[str, Any]:
+    """Session budget knobs carried by a job's config, when present.
+
+    ``max_evals``/``deadline`` config keys map to a
+    :class:`~repro.search.session.SearchSession`'s
+    ``max_evaluations``/``deadline_seconds`` budgets; absent keys leave
+    the session unbudgeted (bit-identical to the unbudgeted runs).
+    """
+    kwargs: Dict[str, Any] = {}
+    if config.get("max_evals") is not None:
+        kwargs["max_evaluations"] = int(config["max_evals"])
+    if config.get("deadline") is not None:
+        kwargs["deadline_seconds"] = float(config["deadline"])
+    return kwargs
+
+
 def _run_b_iter(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
     from ..core.driver import bind
+    from ..search.session import SearchSession
 
-    result = bind(dfg, datapath, iter_starts=config.get("iter_starts"))
+    budgets = _budget_kwargs(config)
+    session = SearchSession(dfg, datapath, **budgets) if budgets else None
+    result = bind(
+        dfg,
+        datapath,
+        iter_starts=config.get("iter_starts"),
+        session=session,
+    )
     return (
         result.latency,
         result.num_transfers,
@@ -271,7 +295,7 @@ def _run_pressure(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
     from ..search.session import SearchSession
 
     budget = int(config.get("budget", 4))
-    session = SearchSession(dfg, datapath)
+    session = SearchSession(dfg, datapath, **_budget_kwargs(config))
     base = bind(
         dfg, datapath, iter_starts=config.get("iter_starts"), session=session
     )

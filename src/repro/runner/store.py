@@ -8,27 +8,60 @@ attempt count, cache hit or live run) — one JSON object per line::
      "algorithm": "b-init", "datapath": "|2,1|1,1|", "num_buses": 2,
      "move_latency": 1, "config": [["iter_starts", 1]],
      "status": "ok", "latency": 19, "transfers": 4, "seconds": 0.41,
-     "attempts": 1, "worker": "12345", "cached": false, "error": null}
+     "attempts": 1, "worker": "12345", "cached": false, "error": null,
+     "sha256": "..."}
 
 JSONL + append-only keeps the store crash-tolerant (a torn final line
 is skipped on read, never fatal) and trivially greppable/mergeable.
+Self-healing extensions:
+
+* every line carries a SHA-256 checksum over its canonical payload;
+  lines whose checksum does not match (bit rot, a torn write that
+  still parses) are skipped on read — legacy checksum-less lines are
+  still accepted;
+* *incident* records (``repro-incident/1``) share the file: structured
+  notes of caught invariant violations, cache-write failures, and
+  circuit-breaker quarantines, so one artifact tells the whole story
+  of a sweep including its degradations;
+* transient append failures (full/flaky filesystems) are retried once
+  before surfacing;
+* :meth:`ok_records`/:meth:`failed_attempts` serve the runner's
+  ``resume=`` and circuit-breaker logic.
+
 :meth:`RunStore.summary` aggregates the counters the acceptance checks
-care about — how many jobs ran, failed, or were served from cache.
+care about — how many jobs ran, failed, quarantined, or were served
+from cache.
+
+Named fault-injection sites (see :mod:`repro.resilience.faults`):
+``store.record``, ``store.record.write``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Union
 
+from ..resilience import faults
 from .jobs import BindJob, JobResult
 
-__all__ = ["RUN_FORMAT", "RunStore", "RunSummary"]
+__all__ = ["RUN_FORMAT", "INCIDENT_FORMAT", "RunStore", "RunSummary"]
 
 #: Schema tag of every record line; bump on field changes.
 RUN_FORMAT = "repro-run/1"
+
+#: Schema tag of incident lines (caught violations, quarantines).
+INCIDENT_FORMAT = "repro-incident/1"
+
+
+def _line_checksum(entry: Dict[str, Any]) -> str:
+    """Checksum over the canonical payload (sans the checksum field)."""
+    payload = {k: v for k, v in entry.items() if k != "sha256"}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -39,6 +72,7 @@ class RunSummary:
     ok: int
     failed: int
     cached: int
+    quarantined: int = 0
 
     @property
     def executed(self) -> int:
@@ -51,6 +85,22 @@ class RunStore:
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
+
+    def _append(self, entry: Dict[str, Any]) -> None:
+        entry["sha256"] = _line_checksum(entry)
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        faults.fire("store.record")
+        line = faults.perturb("store.record.write", line)
+        try:
+            with self.path.open("a") as f:
+                f.write(line)
+        except OSError:
+            # One retry covers transient filesystem hiccups; a second
+            # failure is a real environment problem and should surface.
+            time.sleep(0.01)
+            with self.path.open("a") as f:
+                f.write(line)
 
     def record(self, job: BindJob, result: JobResult) -> None:
         """Append one (job, result) record."""
@@ -76,17 +126,27 @@ class RunStore:
             "evaluations": result.evaluations,
             "search_stats": result.search_stats,
         }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as f:
-            f.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._append(entry)
+
+    def record_incident(
+        self, site: str, kind: str, detail: str, key: str = ""
+    ) -> None:
+        """Append one structured incident line (caught violation,
+        failed cache write, circuit-breaker quarantine, ...)."""
+        self._append(
+            {
+                "format": INCIDENT_FORMAT,
+                "site": site,
+                "kind": kind,
+                "detail": detail,
+                "key": key,
+            }
+        )
 
     @staticmethod
-    def read(path: Union[str, Path]) -> List[Dict[str, Any]]:
-        """Load all records from ``path``.
-
-        Lines that fail to parse (e.g. a torn tail after a crash) or
-        carry an unknown format tag are skipped.
-        """
+    def _read_lines(
+        path: Union[str, Path], fmt: str
+    ) -> List[Dict[str, Any]]:
         records: List[Dict[str, Any]] = []
         try:
             lines: Iterable[str] = Path(path).read_text().splitlines()
@@ -100,22 +160,68 @@ class RunStore:
                 entry = json.loads(line)
             except ValueError:
                 continue
-            if entry.get("format") == RUN_FORMAT:
-                records.append(entry)
+            if not isinstance(entry, dict) or entry.get("format") != fmt:
+                continue
+            checksum = entry.get("sha256")
+            if checksum is not None and checksum != _line_checksum(entry):
+                continue  # bit rot / torn-but-parseable line
+            records.append(entry)
         return records
 
+    @staticmethod
+    def read(path: Union[str, Path]) -> List[Dict[str, Any]]:
+        """Load all run records from ``path``.
+
+        Lines that fail to parse (e.g. a torn tail after a crash),
+        fail their checksum, or carry an unknown format tag are
+        skipped.
+        """
+        return RunStore._read_lines(path, RUN_FORMAT)
+
     def records(self) -> List[Dict[str, Any]]:
-        """All records of this store's file."""
+        """All run records of this store's file."""
         return self.read(self.path)
+
+    def incidents(self) -> List[Dict[str, Any]]:
+        """All incident records of this store's file."""
+        return self._read_lines(self.path, INCIDENT_FORMAT)
+
+    def ok_records(self) -> Dict[str, Dict[str, Any]]:
+        """Latest successful record per job key (``resume=`` source)."""
+        latest: Dict[str, Dict[str, Any]] = {}
+        for entry in self.records():
+            if entry.get("status") == "ok" and entry.get("key"):
+                latest[entry["key"]] = entry
+        return latest
+
+    def failed_attempts(self) -> Dict[str, int]:
+        """Summed recorded attempts of failed runs, per job key.
+
+        Feeds the runner's circuit breaker: a key whose historical
+        failures exceed the threshold is quarantined instead of
+        re-executed.
+        """
+        counts: Dict[str, int] = {}
+        for entry in self.records():
+            if entry.get("status") == "failed" and entry.get("key"):
+                counts[entry["key"]] = counts.get(
+                    entry["key"], 0
+                ) + max(1, int(entry.get("attempts") or 1))
+        return counts
 
     def summary(self) -> RunSummary:
         """Aggregate status/provenance counters over the store."""
         records = self.records()
         ok = sum(1 for r in records if r["status"] == "ok")
+        failed = sum(1 for r in records if r["status"] == "failed")
+        quarantined = sum(
+            1 for r in records if r["status"] == "quarantined"
+        )
         cached = sum(1 for r in records if r.get("cached"))
         return RunSummary(
             total=len(records),
             ok=ok,
-            failed=len(records) - ok,
+            failed=failed,
             cached=cached,
+            quarantined=quarantined,
         )

@@ -41,6 +41,7 @@ def steepest_descent(
     perturbations.
     """
     evaluate = session.evaluate
+    session.stats.begin_segment()
     best_out = evaluate(binding)
     best_q = quality(best_out)
     committed = 0

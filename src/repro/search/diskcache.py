@@ -9,20 +9,38 @@ raw integer arrays of every :class:`~repro.schedule.fastpath.
 FastOutcome` (placement, transfer pairs, start cycles, unit
 assignments, latency).
 
-Protocol — deliberately last-writer-wins and crash-tolerant:
+Self-healing layout (``repro-evalcache/2``):
 
-* a :class:`~repro.search.session.SearchSession` *warm-starts* its
-  evaluator from the blob at construction (pure ``cache.put``; hit/miss
-  counters untouched, and the memo never changes search trajectories —
-  ``tests/schedule/test_fastpath_equiv.py`` proves that invariant);
-* at job end the session *merges* its outcomes back: read-modify-write
-  through an atomic rename, so concurrent workers can only lose each
-  other's additions, never corrupt the file.
+* blobs live under a two-level fan-out (``<root>/<key[:2]>/<key>.json``)
+  so a long-lived store never piles thousands of files into one
+  directory; legacy flat-path blobs are still read;
+* every blob carries a SHA-256 checksum over its canonical entry list;
+  a blob that fails the checksum, the parse, or the structural decode
+  is *quarantined* — renamed to ``*.corrupt`` for post-mortem — and
+  treated as empty, so corruption costs re-evaluation, never a wrong
+  answer;
+* parsed blobs are memoized per process keyed by ``(path, mtime_ns,
+  size)``: a batch constructing many :class:`~repro.search.session.
+  SearchSession` objects over one cell parses identical JSON once,
+  not once per session;
+* the store is size-bounded (``max_bytes`` argument or the
+  ``REPRO_EVAL_CACHE_MAX_MB`` environment knob): after each merge the
+  least-recently-modified blobs are evicted until the store fits —
+  outcome blobs are a pure cache, so eviction is always safe;
+* concurrent mergers serialize through an advisory ``fcntl`` file lock
+  per blob (best-effort: platforms without ``fcntl`` fall back to the
+  previous benign read-modify-write race), so parallel workers stop
+  losing each other's merged entries;
+* writes remain atomic (tmp file + rename), so readers never observe
+  a half-written blob even when a writer is killed mid-merge.
 
 Activation is environment-based (``REPRO_EVAL_CACHE=<dir>``) so the
 setting crosses ``ProcessPoolExecutor`` boundaries for free;
 :func:`repro.runner.api.run_jobs` points it inside the job result
 cache's directory when one is configured.
+
+Named fault-injection sites (see :mod:`repro.resilience.faults`):
+``evalstore.load``, ``evalstore.write``, ``evalstore.write.data``.
 """
 
 from __future__ import annotations
@@ -31,25 +49,39 @@ import hashlib
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Tuple, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
+from ..resilience import faults
 
-__all__ = ["EVAL_CACHE_ENV", "OUTCOME_FORMAT", "OutcomeStore", "outcome_cache_key"]
+__all__ = [
+    "EVAL_CACHE_ENV",
+    "EVAL_CACHE_MAX_ENV",
+    "OUTCOME_FORMAT",
+    "OutcomeStore",
+    "outcome_cache_key",
+]
 
 #: Environment variable naming the shared outcome-store directory.
 EVAL_CACHE_ENV = "REPRO_EVAL_CACHE"
 
+#: Environment variable bounding the store size, in megabytes.
+EVAL_CACHE_MAX_ENV = "REPRO_EVAL_CACHE_MAX_MB"
+
 #: Blob schema tag; bump on any change to the entry layout.
-OUTCOME_FORMAT = "repro-evalcache/1"
+OUTCOME_FORMAT = "repro-evalcache/2"
 
 #: placement -> (pairs, starts, units, latency), all plain tuples/ints.
 _Entries = Dict[
     Tuple[int, ...],
     Tuple[Tuple[Tuple[int, int], ...], Tuple[int, ...], Tuple[int, ...], int],
 ]
+
+#: Per-process parsed-blob memo: path -> ((mtime_ns, size), entries).
+_parse_memo: Dict[Path, Tuple[Tuple[int, int], _Entries]] = {}
 
 
 def outcome_cache_key(dfg: Dfg, datapath: Datapath) -> str:
@@ -85,26 +117,145 @@ def outcome_cache_key(dfg: Dfg, datapath: Datapath) -> str:
     return hashlib.sha256(envelope.encode("utf-8")).hexdigest()
 
 
-class OutcomeStore:
-    """A directory of per-``(DFG, datapath)`` outcome blobs."""
+def _entries_payload(entries: _Entries) -> list:
+    return [
+        [
+            list(placement),
+            [list(p) for p in pairs],
+            list(starts),
+            list(units),
+            latency,
+        ]
+        for placement, (pairs, starts, units, latency) in entries.items()
+    ]
 
-    def __init__(self, root: Union[str, Path]) -> None:
+
+def _payload_checksum(payload: list) -> str:
+    canonical = json.dumps(payload, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@contextmanager
+def _advisory_lock(path: Path) -> Iterator[None]:
+    """Best-effort exclusive advisory lock on ``<path>.lock``.
+
+    Serializes concurrent read-modify-write mergers on POSIX; a
+    platform without ``fcntl`` (or a filesystem refusing locks) falls
+    back to the benign last-writer-wins race the store always
+    tolerated.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    lock_path = path.with_suffix(path.suffix + ".lock")
+    try:
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(str(lock_path), os.O_CREAT | os.O_RDWR)
+    except OSError:  # pragma: no cover - unlockable filesystem
+        yield
+        return
+    try:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        except OSError:  # pragma: no cover - locks unsupported
+            pass
+        yield
+    finally:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        except OSError:  # pragma: no cover
+            pass
+        os.close(fd)
+
+
+class OutcomeStore:
+    """A directory of per-``(DFG, datapath)`` outcome blobs.
+
+    Args:
+        root: store directory (created if missing).
+        max_bytes: size bound; when the store grows past it after a
+            merge, least-recently-modified blobs are evicted until it
+            fits.  Defaults to the ``REPRO_EVAL_CACHE_MAX_MB``
+            environment knob (unbounded when unset).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        if max_bytes is None:
+            raw = os.environ.get(EVAL_CACHE_MAX_ENV, "").strip()
+            if raw:
+                try:
+                    max_bytes = int(float(raw) * 1024 * 1024)
+                except ValueError:
+                    max_bytes = None
+        self.max_bytes = max_bytes
 
     def path_for(self, key: str) -> Path:
+        """Sharded blob path of ``key`` (two-level fan-out)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def _legacy_path(self, key: str) -> Path:
+        """The flat pre-sharding path (read-compatibility only)."""
         return self.root / f"{key}.json"
+
+    def _read_path(self, key: str) -> Path:
+        sharded = self.path_for(key)
+        if sharded.exists():
+            return sharded
+        legacy = self._legacy_path(key)
+        return legacy if legacy.exists() else sharded
 
     # ------------------------------------------------------------------
     # Raw blob I/O
     # ------------------------------------------------------------------
-    def load(self, key: str) -> _Entries:
-        """All stored outcomes for ``key`` (empty on any read problem)."""
+    def _quarantine(self, path: Path) -> None:
+        """Set a damaged blob aside as ``*.corrupt`` (never re-read)."""
         try:
-            data = json.loads(self.path_for(key).read_text())
-        except (OSError, ValueError):
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            pass
+        _parse_memo.pop(path, None)
+
+    def load(self, key: str) -> _Entries:
+        """All stored outcomes for ``key``.
+
+        Empty on a missing blob; a blob that fails its checksum or its
+        structural decode is quarantined (renamed ``*.corrupt``) and
+        reported empty — corruption degrades the store to cold, it
+        never feeds garbage into an evaluator.  Parsed blobs are
+        memoized per process keyed by ``(path, mtime, size)``.
+        """
+        path = self._read_path(key)
+        try:
+            faults.fire("evalstore.load")
+            stat = path.stat()
+            signature = (stat.st_mtime_ns, stat.st_size)
+            memo = _parse_memo.get(path)
+            if memo is not None and memo[0] == signature:
+                # Shallow copy: values are immutable tuples, but merge()
+                # mutates the mapping it gets back.
+                return dict(memo[1])
+            data = json.loads(path.read_text())
+        except OSError:
             return {}
-        if data.get("format") != OUTCOME_FORMAT:
+        except ValueError:
+            self._quarantine(path)
+            return {}
+        if data.get("format") not in (OUTCOME_FORMAT, "repro-evalcache/1"):
+            self._quarantine(path)
+            return {}
+        checksum = data.get("sha256")
+        if checksum is not None and checksum != _payload_checksum(
+            data.get("entries", [])
+        ):
+            self._quarantine(path)
             return {}
         entries: _Entries = {}
         try:
@@ -116,37 +267,92 @@ class OutcomeStore:
                     int(latency),
                 )
         except (TypeError, ValueError, KeyError):
+            self._quarantine(path)
             return {}
-        return entries
+        _parse_memo[path] = (signature, entries)
+        return dict(entries)
 
     def _write(self, key: str, entries: _Entries) -> None:
-        payload = {
+        payload = _entries_payload(entries)
+        blob = {
             "format": OUTCOME_FORMAT,
             "key": key,
-            "entries": [
-                [
-                    list(placement),
-                    [list(p) for p in pairs],
-                    list(starts),
-                    list(units),
-                    latency,
-                ]
-                for placement, (pairs, starts, units, latency) in entries.items()
-            ],
+            "sha256": _payload_checksum(payload),
+            "entries": payload,
         }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        faults.fire("evalstore.write")
+        data = faults.perturb(
+            "evalstore.write.data", json.dumps(blob, separators=(",", ":"))
+        )
         fd, tmp = tempfile.mkstemp(
-            dir=str(self.root), prefix=f".{key[:8]}-", suffix=".tmp"
+            dir=str(path.parent), prefix=f".{key[:8]}-", suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "w") as f:
-                json.dump(payload, f, separators=(",", ":"))
-            os.replace(tmp, self.path_for(key))
+                f.write(data)
+            os.replace(tmp, path)
         except BaseException:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
             raise
+        _parse_memo.pop(path, None)
+
+    # ------------------------------------------------------------------
+    # Size bounding
+    # ------------------------------------------------------------------
+    def blob_paths(self) -> list:
+        """Every live blob path (sharded and legacy), unsorted."""
+        flat = [p for p in self.root.glob("*.json")]
+        sharded = [p for p in self.root.glob("??/*.json")]
+        return flat + sharded
+
+    def total_bytes(self) -> int:
+        """Current on-disk size of all live blobs."""
+        total = 0
+        for path in self.blob_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def evict(self, keep: Optional[Path] = None) -> int:
+        """Evict least-recently-modified blobs until under ``max_bytes``.
+
+        ``keep`` (typically the blob just written) is never evicted.
+        Returns the number of blobs removed; a no-op when the store is
+        unbounded or already fits.
+        """
+        if self.max_bytes is None:
+            return 0
+        stamped = []
+        for path in self.blob_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            stamped.append((stat.st_mtime_ns, stat.st_size, path))
+        total = sum(size for _, size, _ in stamped)
+        if total <= self.max_bytes:
+            return 0
+        removed = 0
+        for _, size, path in sorted(stamped, key=lambda e: e[0]):
+            if total <= self.max_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            _parse_memo.pop(path, None)
+            total -= size
+            removed += 1
+        return removed
 
     # ------------------------------------------------------------------
     # Evaluator integration
@@ -183,21 +389,27 @@ class OutcomeStore:
         return loaded
 
     def merge(self, evaluator, key: str) -> int:
-        """Union the evaluator's memo into the stored blob (atomic).
+        """Union the evaluator's memo into the stored blob.
 
-        Concurrent writers race benignly: each merges with the state it
-        read, and the rename is atomic, so the blob always parses; a
-        lost update only costs a future re-evaluation.
+        The read-modify-write runs under a per-blob advisory file lock
+        (where supported), so concurrent mergers no longer lose each
+        other's additions; the write itself stays atomic, so even a
+        writer killed mid-merge leaves a parseable blob.  Afterwards
+        the store is trimmed back under its size bound (LRU by
+        modification time), sparing the blob just written.
         """
-        entries = self.load(key)
-        for placement, out in evaluator.cache.items():
-            entries[placement] = (
-                out.pairs,
-                out.starts,
-                out.units,
-                out.latency,
-            )
-        if not entries:
-            return 0
-        self._write(key, entries)
+        path = self.path_for(key)
+        with _advisory_lock(path):
+            entries = self.load(key)
+            for placement, out in evaluator.cache.items():
+                entries[placement] = (
+                    out.pairs,
+                    out.starts,
+                    out.units,
+                    out.latency,
+                )
+            if not entries:
+                return 0
+            self._write(key, entries)
+        self.evict(keep=path)
         return len(entries)

@@ -34,13 +34,18 @@ import os
 import random
 import time
 from contextlib import contextmanager
-from typing import Iterator, Mapping, Optional
+from typing import Iterator, Mapping, Optional, Tuple
 
 from ..core.binding import Binding
 from ..core.evalcache import EvalStats, Evaluator
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
 from ..dfg.transform import bind_dfg
+from ..resilience.validate import (
+    InvariantViolation,
+    validate_outcome,
+    validation_enabled,
+)
 from ..schedule.fastpath import fastpath_enabled
 from ..schedule.list_scheduler import list_schedule
 from ..schedule.schedule import Schedule
@@ -69,6 +74,13 @@ class SearchSession:
         deadline_seconds: optional wall-clock budget, measured from
             session construction.
         stats: adopt an existing stats object (rarely needed; tests).
+        validate: re-check every unique outcome against the checked
+            invariants of :mod:`repro.resilience.validate` (default:
+            the ``REPRO_VALIDATE`` environment gate, off).  A fast-path
+            violation records a structured incident on :attr:`stats`,
+            evicts the poisoned memo entry, and degrades that
+            evaluation to the naive engine instead of crashing the
+            sweep.
     """
 
     def __init__(
@@ -81,6 +93,7 @@ class SearchSession:
         max_evaluations: Optional[int] = None,
         deadline_seconds: Optional[float] = None,
         stats: Optional[SearchStats] = None,
+        validate: Optional[bool] = None,
     ) -> None:
         self.dfg = dfg
         self.datapath = datapath
@@ -98,6 +111,11 @@ class SearchSession:
             if deadline_seconds is not None
             else None
         )
+        self.validate = (
+            validation_enabled() if validate is None else validate
+        )
+        self._validated: set = set()
+        self._names: Optional[Tuple[str, ...]] = None
         self._store: Optional[OutcomeStore] = None
         self._store_key: Optional[str] = None
         if self.evaluator is not None:
@@ -123,6 +141,14 @@ class SearchSession:
         expose ``latency``, ``num_transfers``, and
         ``completion_profile()``, which is all the quality vectors
         read.
+
+        With :attr:`validate` on, each unique outcome is re-checked
+        against the invariants of :func:`repro.resilience.validate.
+        validate_outcome`; a fast-path violation is recorded as a
+        structured incident and that evaluation silently degrades to
+        the naive engine (whose :class:`Schedule` is quality-vector
+        compatible), so a poisoned memo entry or fastpath bug costs
+        one slow evaluation, not a wrong sweep.
         """
         stats = self.stats
         stats.evaluations += 1
@@ -134,8 +160,50 @@ class SearchSession:
                 stats.cache_hits += 1
             else:
                 stats.cache_misses += 1
+            if self.validate:
+                placement = evaluator.placement_of(binding)
+                if placement not in self._validated:
+                    try:
+                        validate_outcome(
+                            self.dfg, self.datapath, binding, out
+                        )
+                    except InvariantViolation as exc:
+                        stats.record_incident(
+                            "session.evaluate",
+                            "invariant-violation",
+                            f"{exc}; degraded to naive engine",
+                        )
+                        evaluator.cache.discard(placement)
+                        return self._naive_evaluate(binding)
+                    self._validated.add(placement)
             return out
+        out = self._naive_evaluate(binding)
+        if self.validate:
+            key = tuple(binding[n] for n in self._op_names())
+            if key not in self._validated:
+                try:
+                    validate_outcome(self.dfg, self.datapath, binding, out)
+                except InvariantViolation as exc:
+                    # The naive engine is the reference — there is
+                    # nothing to degrade to.  Record and raise.
+                    stats.record_incident(
+                        "session.evaluate",
+                        "invariant-violation",
+                        str(exc),
+                    )
+                    raise
+                self._validated.add(key)
+        return out
+
+    def _naive_evaluate(self, binding: Mapping[str, int]) -> Schedule:
+        """Reference evaluation through ``bind_dfg`` + list scheduling."""
         return list_schedule(bind_dfg(self.dfg, binding), self.datapath)
+
+    def _op_names(self) -> Tuple[str, ...]:
+        """Regular-operation names in DFG order (naive-path memo key)."""
+        if self._names is None:
+            self._names = tuple(op.name for op in self.dfg.operations())
+        return self._names
 
     def schedule(self, binding: Mapping[str, int]) -> Schedule:
         """Full, bit-identical :class:`Schedule` of a committed binding."""

@@ -38,10 +38,19 @@ class SearchStats:
         best_trajectory: ``(evaluations-so-far, quality vector)`` at
             every point a strategy committed a new best — the search's
             convergence curve.
+        segments: indices into ``best_trajectory`` where a new descent
+            run began (a multi-start descent or a fresh quality pass
+            legitimately restarts from a worse quality; within one
+            segment the trajectory is strictly decreasing — the
+            invariant ``repro.resilience.validate.validate_trajectory``
+            checks).
         phase_seconds: accumulated wall-clock per named phase
             (``"b-init"``, ``"descend:qu"``, ...).
         budget_exhausted: an evaluation budget stopped the search.
         deadline_exceeded: a wall-clock deadline stopped the search.
+        incidents: structured records of caught invariant violations
+            and degradations (see :mod:`repro.resilience.validate`);
+            empty on a healthy run.
     """
 
     evaluations: int = 0
@@ -50,9 +59,11 @@ class SearchStats:
     best_trajectory: List[Tuple[int, Tuple[int, ...]]] = field(
         default_factory=list
     )
+    segments: List[int] = field(default_factory=list)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     budget_exhausted: bool = False
     deadline_exceeded: bool = False
+    incidents: List[Dict[str, str]] = field(default_factory=list)
 
     def snapshot(self) -> StatsSnapshot:
         """Current counter values, for later :meth:`since` deltas."""
@@ -70,6 +81,21 @@ class SearchStats:
         """Append a committed improvement to the trajectory."""
         self.best_trajectory.append((self.evaluations, tuple(quality)))
 
+    def begin_segment(self) -> None:
+        """Mark the start of a new descent run on the trajectory.
+
+        Strategies call this at entry (and at each quality-pass or
+        multi-start restart), so validation knows where the strictly-
+        decreasing runs of ``best_trajectory`` legitimately reset.
+        """
+        self.segments.append(len(self.best_trajectory))
+
+    def record_incident(self, site: str, kind: str, detail: str) -> None:
+        """Append a structured incident record (caught violation)."""
+        self.incidents.append(
+            {"site": site, "kind": kind, "detail": detail}
+        )
+
     def add_phase_seconds(self, phase: str, seconds: float) -> None:
         self.phase_seconds[phase] = (
             self.phase_seconds.get(phase, 0.0) + seconds
@@ -84,9 +110,11 @@ class SearchStats:
             "best_trajectory": [
                 [n, list(q)] for n, q in self.best_trajectory
             ],
+            "segments": list(self.segments),
             "phase_seconds": {
                 k: round(v, 6) for k, v in self.phase_seconds.items()
             },
             "budget_exhausted": self.budget_exhausted,
             "deadline_exceeded": self.deadline_exceeded,
+            "incidents": [dict(i) for i in self.incidents],
         }

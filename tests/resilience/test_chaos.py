@@ -1,0 +1,206 @@
+"""Chaos suite: the experiment path survives every injected fault class.
+
+Each test runs the same small real-job batch under one fault class and
+asserts the surviving results are *bit-identical* to the fault-free
+baseline — resilience must recover the exact numbers, not merely avoid
+crashing.  Faults are deterministic (seeded plan, cross-process call
+counters in a per-test directory), so these tests never flake.
+
+The ``crash`` class uses a two-worker pool: in the serial engine a
+worker crash *is* a caller crash, exactly as a real segfault would be.
+"""
+
+import pytest
+
+from repro.datapath.parse import parse_datapath
+from repro.kernels import load_kernel
+from repro.resilience.faults import injected
+from repro.runner import BindJob, ResultCache, RunStore
+from repro.runner.api import run_jobs
+
+
+def _jobs():
+    dfg = load_kernel("ewf")
+    dp = parse_datapath("|2,1|1,1|", num_buses=2)
+    return [
+        BindJob.make(dfg, dp, "pcc"),
+        BindJob.make(dfg, dp, "b-init"),
+        BindJob.make(dfg, dp, "b-iter", iter_starts=1),
+    ]
+
+
+def _projection(results):
+    return [(r.key, r.status, r.latency, r.transfers) for r in results]
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The fault-free truth every chaos run must reproduce."""
+    return _projection(run_jobs(_jobs(), backoff=0.0))
+
+
+class TestChaosExecutor:
+    def test_transient_oserror_is_retried_away(self, baseline, tmp_path):
+        with injected(
+            {"executor.attempt": {"kind": "oserror", "hits": [0]}},
+            dir=tmp_path / "faults",
+        ):
+            results = run_jobs(_jobs(), retries=2, backoff=0.0)
+        assert _projection(results) == baseline
+        assert results[0].attempts == 2  # first attempt burned by the fault
+        assert all(r.attempts >= 1 for r in results)
+
+    def test_inprocess_error_is_retried_away(self, baseline, tmp_path):
+        with injected(
+            {"executor.attempt": {"kind": "error", "hits": [1]}},
+            dir=tmp_path / "faults",
+        ):
+            results = run_jobs(_jobs(), retries=1, backoff=0.0)
+        assert _projection(results) == baseline
+
+    def test_timeout_is_retried_away(self, baseline, tmp_path):
+        with injected(
+            {
+                "executor.attempt": {
+                    "kind": "sleep",
+                    "hits": [0],
+                    "seconds": 30.0,
+                }
+            },
+            dir=tmp_path / "faults",
+        ):
+            results = run_jobs(_jobs(), timeout=0.5, retries=1, backoff=0.0)
+        assert _projection(results) == baseline
+        assert results[0].attempts == 2
+
+    def test_worker_crash_is_quarantined_and_rerun(self, baseline, tmp_path):
+        with injected(
+            {"executor.attempt": {"kind": "crash", "hits": [0]}},
+            dir=tmp_path / "faults",
+        ):
+            results = run_jobs(
+                _jobs(), max_workers=2, retries=2, backoff=0.0
+            )
+        assert _projection(results) == baseline
+
+    def test_exhausted_retries_fail_only_the_faulted_job(self, tmp_path):
+        with injected(
+            {"executor.attempt": {"kind": "error", "hits": [0, 1]}},
+            dir=tmp_path / "faults",
+        ):
+            results = run_jobs(_jobs(), retries=1, backoff=0.0)
+        assert results[0].status == "failed"
+        assert "injected error" in results[0].error
+        assert all(r.status == "ok" for r in results[1:])
+
+
+class TestChaosCache:
+    def test_torn_cache_write_heals_to_reexecution(self, baseline, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with injected(
+            {"cache.put.write": {"kind": "torn", "hits": [0]}},
+            dir=tmp_path / "faults",
+        ):
+            first = run_jobs(_jobs(), cache=cache, backoff=0.0)
+        assert _projection(first) == baseline
+
+        # Second run: the torn blob is quarantined, its job re-executes,
+        # the other two replay from cache — same numbers either way.
+        cache2 = ResultCache(tmp_path / "cache")
+        second = run_jobs(_jobs(), cache=cache2, backoff=0.0)
+        assert _projection(second) == baseline
+        assert cache2.stats.quarantined == 1
+        corrupt = list((tmp_path / "cache").glob("??/*.corrupt"))
+        assert len(corrupt) == 1
+
+    def test_corrupted_cache_blob_heals_to_reexecution(
+        self, baseline, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        with injected(
+            {"cache.put.write": {"kind": "corrupt", "hits": [0]}},
+            dir=tmp_path / "faults",
+        ):
+            first = run_jobs(_jobs(), cache=cache, backoff=0.0)
+        assert _projection(first) == baseline
+
+        cache2 = ResultCache(tmp_path / "cache")
+        second = run_jobs(_jobs(), cache=cache2, backoff=0.0)
+        assert _projection(second) == baseline
+        assert cache2.stats.quarantined == 1
+
+    def test_transient_cache_read_error_is_a_miss(self, baseline, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_jobs(_jobs(), cache=cache, backoff=0.0)
+        with injected(
+            {"cache.get": {"kind": "oserror", "hits": [0]}},
+            dir=tmp_path / "faults",
+        ):
+            cache2 = ResultCache(tmp_path / "cache")
+            results = run_jobs(_jobs(), cache=cache2, backoff=0.0)
+        assert _projection(results) == baseline
+
+
+class TestChaosStore:
+    def test_torn_store_line_is_skipped_on_read(self, baseline, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        with injected(
+            {"store.record.write": {"kind": "torn", "hits": [2]}},
+            dir=tmp_path / "faults",
+        ):
+            results = run_jobs(_jobs(), store=store, backoff=0.0)
+        assert _projection(results) == baseline  # results untouched
+        # The torn record is dropped by the reader, the rest survive.
+        assert len(store.records()) == 2
+
+    def test_corrupted_store_line_fails_checksum(self, baseline, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        with injected(
+            {"store.record.write": {"kind": "corrupt", "hits": [0]}},
+            dir=tmp_path / "faults",
+        ):
+            results = run_jobs(_jobs(), store=store, backoff=0.0)
+        assert _projection(results) == baseline
+        records = store.records()
+        # The scribbled line either fails JSON parsing or its checksum;
+        # both degrade to a skipped line, never a wrong record.
+        assert len(records) == 2
+        for record in records:
+            assert record["status"] == "ok"
+
+
+class TestChaosEvalStore:
+    def test_corrupted_outcome_blob_is_quarantined(self, baseline, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with injected(
+            {"evalstore.write.data": {"kind": "corrupt", "hits": [0]}},
+            dir=tmp_path / "faults",
+        ):
+            first = run_jobs(_jobs(), cache=cache, backoff=0.0)
+        assert _projection(first) == baseline
+
+        # A fresh run with a cold result cache re-evaluates; the damaged
+        # outcome blob is detected, quarantined, and rebuilt — the
+        # numbers never drift because outcomes are re-derived, not
+        # trusted.
+        cache2 = ResultCache(tmp_path / "cache2")
+        evals_env = str(cache.root / "evals")
+        import os
+
+        os.environ["REPRO_EVAL_CACHE"] = evals_env
+        try:
+            second = run_jobs(_jobs(), cache=cache2, backoff=0.0)
+        finally:
+            del os.environ["REPRO_EVAL_CACHE"]
+        assert _projection(second) == baseline
+
+    def test_transient_evalstore_read_error_degrades_to_cold(
+        self, baseline, tmp_path
+    ):
+        with injected(
+            {"evalstore.load": {"kind": "oserror", "hits": [0, 1, 2]}},
+            dir=tmp_path / "faults",
+        ):
+            cache = ResultCache(tmp_path / "cache")
+            results = run_jobs(_jobs(), cache=cache, backoff=0.0)
+        assert _projection(results) == baseline

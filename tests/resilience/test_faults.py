@@ -1,0 +1,134 @@
+"""Unit tests for the deterministic fault-injection substrate."""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience.faults import (
+    FAULTS_ENV,
+    FaultPlan,
+    fire,
+    injected,
+    perturb,
+)
+
+
+class TestPlanParsing:
+    def test_parse_minimal(self):
+        plan = FaultPlan.parse(
+            '{"sites": {"cache.get": {"kind": "oserror"}}}'
+        )
+        spec = plan.sites["cache.get"]
+        assert spec.kind == "oserror"
+        assert spec.hits == (0,)
+
+    def test_parse_full(self):
+        plan = FaultPlan.parse(
+            json.dumps(
+                {
+                    "seed": 7,
+                    "dir": "/tmp/x",
+                    "sites": {
+                        "a": {"kind": "sleep", "hits": [1, 3], "seconds": 0.5}
+                    },
+                }
+            )
+        )
+        assert plan.seed == 7
+        assert plan.dir == "/tmp/x"
+        assert plan.sites["a"].hits == (1, 3)
+        assert plan.sites["a"].seconds == 0.5
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse('{"sites": {"a": {"kind": "meteor"}}}')
+
+    def test_bad_hits_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse('{"sites": {"a": {"kind": "error", "hits": [-1]}}}')
+
+    def test_malformed_env_is_inert(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "{not json")
+        assert FaultPlan.from_env() is None
+        assert perturb("anything", "data") == "data"  # never breaks a run
+
+    def test_no_env_is_inert(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert perturb("anything", "data") == "data"
+        fire("anything")  # no-op, no exception
+
+
+class TestDeterministicIndexing:
+    def test_local_counter_fires_at_named_hits_only(self):
+        plan = FaultPlan.parse(
+            '{"sites": {"s": {"kind": "error", "hits": [1, 2]}}}'
+        )
+        observed = [plan.active("s") is not None for _ in range(5)]
+        assert observed == [False, True, True, False, False]
+
+    def test_unnamed_site_consumes_no_index(self):
+        plan = FaultPlan.parse(
+            '{"sites": {"s": {"kind": "error", "hits": [0]}}}'
+        )
+        for _ in range(10):
+            assert plan.active("other") is None
+        assert plan.active("s") is not None  # still index 0
+
+    def test_cross_process_markers_claim_each_index_once(self, tmp_path):
+        plan_a = FaultPlan.parse(
+            json.dumps(
+                {
+                    "dir": str(tmp_path),
+                    "sites": {"s": {"kind": "error", "hits": [0]}},
+                }
+            )
+        )
+        plan_b = FaultPlan.parse(
+            json.dumps(
+                {
+                    "dir": str(tmp_path),
+                    "sites": {"s": {"kind": "error", "hits": [0]}},
+                }
+            )
+        )
+        # Two independent plan instances (two "processes") share the
+        # marker directory: only the first call anywhere sees index 0.
+        assert plan_a.active("s") is not None
+        assert plan_b.active("s") is None
+        assert len(list(tmp_path.iterdir())) == 2
+
+
+class TestPerturbKinds:
+    def test_oserror(self, tmp_path):
+        with injected({"s": {"kind": "oserror", "hits": [0]}}, dir=tmp_path):
+            with pytest.raises(OSError, match="injected"):
+                fire("s")
+            fire("s")  # index 1: clean
+
+    def test_error(self, tmp_path):
+        with injected({"s": {"kind": "error", "hits": [0]}}, dir=tmp_path):
+            with pytest.raises(RuntimeError, match="injected"):
+                fire("s")
+
+    def test_torn_halves_payload(self, tmp_path):
+        with injected({"s": {"kind": "torn", "hits": [0]}}, dir=tmp_path):
+            assert perturb("s", "abcdefgh") == "abcd"
+
+    def test_corrupt_scribbles_same_way_every_time(self, tmp_path):
+        with injected(
+            {"s": {"kind": "corrupt", "hits": [0, 1]}}, dir=tmp_path
+        ):
+            payload = json.dumps({"x": list(range(40))})
+            first = perturb("s", payload)
+            second = perturb("s", payload)
+        assert first != payload
+        assert "#" in first
+        assert len(first) == len(payload)
+        assert first == second  # deterministic scramble
+
+    def test_injected_restores_environment(self, tmp_path):
+        before = os.environ.get(FAULTS_ENV)
+        with injected({"s": {"kind": "error"}}, dir=tmp_path):
+            assert os.environ.get(FAULTS_ENV)
+        assert os.environ.get(FAULTS_ENV) == before

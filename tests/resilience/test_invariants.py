@@ -1,0 +1,170 @@
+"""Checked-invariant tests: honest outcomes pass, tampered ones don't."""
+
+import pytest
+
+from repro.core.driver import bind
+from repro.datapath.parse import parse_datapath
+from repro.kernels import load_kernel
+from repro.resilience.validate import (
+    InvariantViolation,
+    validate_outcome,
+    validate_trajectory,
+)
+from repro.schedule.fastpath import FastOutcome
+from repro.search.session import SearchSession
+
+KERNEL, SPEC = "ewf", "|2,1|1,1|"
+
+
+def _cell():
+    return load_kernel(KERNEL), parse_datapath(SPEC, num_buses=2)
+
+
+def _tampered(out, **overrides):
+    """A copy of a FastOutcome with some raw arrays replaced."""
+    fields = {
+        "ctx": out.ctx,
+        "placement": out.placement,
+        "pairs": out.pairs,
+        "starts": out.starts,
+        "units": out.units,
+        "latency": out.latency,
+    }
+    fields.update(overrides)
+    return FastOutcome(**fields)
+
+
+class TestValidateOutcome:
+    def test_fast_outcome_passes(self):
+        dfg, dp = _cell()
+        session = SearchSession(dfg, dp, fast=True)
+        result = bind(dfg, dp, session=session)
+        out = session.evaluate(result.binding)
+        validate_outcome(dfg, dp, result.binding, out)
+
+    def test_naive_schedule_passes(self):
+        dfg, dp = _cell()
+        session = SearchSession(dfg, dp, fast=False)
+        result = bind(dfg, dp, session=session)
+        out = session.evaluate(result.binding)
+        validate_outcome(dfg, dp, result.binding, out)
+
+    def test_latency_tampering_detected(self):
+        dfg, dp = _cell()
+        session = SearchSession(dfg, dp, fast=True)
+        result = bind(dfg, dp, session=session)
+        out = session.evaluate(result.binding)
+        poisoned = _tampered(out, latency=out.latency - 1)
+        with pytest.raises(InvariantViolation, match="latency"):
+            validate_outcome(dfg, dp, result.binding, poisoned)
+
+    def test_missing_transfer_detected(self):
+        dfg, dp = _cell()
+        session = SearchSession(dfg, dp, fast=True)
+        result = bind(dfg, dp, session=session)
+        out = session.evaluate(result.binding)
+        assert out.pairs, "cell must have at least one transfer"
+        poisoned = _tampered(
+            out,
+            pairs=out.pairs[:-1],
+            starts=out.starts[:-1],
+            units=out.units[:-1],
+        )
+        with pytest.raises(InvariantViolation, match="transfer"):
+            validate_outcome(dfg, dp, result.binding, poisoned)
+
+    def test_start_cycle_tampering_detected(self):
+        dfg, dp = _cell()
+        session = SearchSession(dfg, dp, fast=True)
+        result = bind(dfg, dp, session=session)
+        out = session.evaluate(result.binding)
+        # Pull one operation's start far earlier than its predecessors
+        # allow: the schedule-legality re-check must notice.
+        starts = list(out.starts)
+        victim = max(range(len(starts)), key=lambda i: starts[i])
+        starts[victim] = 0
+        poisoned = _tampered(out, starts=tuple(starts))
+        with pytest.raises(InvariantViolation):
+            validate_outcome(dfg, dp, result.binding, poisoned)
+
+
+class TestSessionDegradation:
+    """A poisoned memo entry degrades to the naive engine, not a crash."""
+
+    def test_poisoned_memo_entry_yields_incident_and_correct_result(self):
+        dfg, dp = _cell()
+        reference = SearchSession(dfg, dp, fast=True, validate=False)
+        result = bind(dfg, dp, session=reference)
+        honest = reference.evaluate(result.binding)
+
+        session = SearchSession(dfg, dp, fast=True, validate=True)
+        placement = session.evaluator.placement_of(result.binding)
+        session.evaluator.cache.put(
+            placement,
+            _tampered(honest, latency=honest.latency + 5),
+        )
+        out = session.evaluate(result.binding)
+        # Degraded evaluation: naive engine, honest numbers.
+        assert out.latency == honest.latency
+        assert out.num_transfers == honest.num_transfers
+        assert len(session.stats.incidents) == 1
+        incident = session.stats.incidents[0]
+        assert incident["site"] == "session.evaluate"
+        assert incident["kind"] == "invariant-violation"
+        # The poisoned entry was evicted: the next evaluation recomputes
+        # and passes validation with no new incident.
+        again = session.evaluate(result.binding)
+        assert again.latency == honest.latency
+        assert len(session.stats.incidents) == 1
+
+    def test_validation_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VALIDATE", raising=False)
+        dfg, dp = _cell()
+        session = SearchSession(dfg, dp)
+        assert session.validate is False
+
+    def test_validation_env_gate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VALIDATE", "1")
+        dfg, dp = _cell()
+        session = SearchSession(dfg, dp)
+        assert session.validate is True
+
+    def test_validated_run_produces_no_incidents(self):
+        dfg, dp = _cell()
+        session = SearchSession(dfg, dp, validate=True)
+        result = bind(dfg, dp, session=session)
+        assert session.stats.incidents == []
+        assert result.latency > 0
+
+
+class TestValidateTrajectory:
+    def test_strictly_decreasing_passes(self):
+        validate_trajectory([(1, (5, 2)), (3, (4, 2)), (7, (4, 1))])
+
+    def test_json_form_accepted(self):
+        validate_trajectory([[1, [5, 2]], [3, [4, 2]]], segments=[0])
+
+    def test_non_decreasing_quality_rejected(self):
+        with pytest.raises(InvariantViolation, match="strictly"):
+            validate_trajectory([(1, (4, 2)), (2, (4, 2))])
+
+    def test_backwards_evaluations_rejected(self):
+        with pytest.raises(InvariantViolation, match="backwards"):
+            validate_trajectory([(5, (4, 2)), (3, (3, 2))])
+
+    def test_segment_reset_allowed(self):
+        # Second descent restarts from a worse quality — legal when a
+        # segment boundary marks the restart.
+        trajectory = [(1, (4, 2)), (2, (3, 2)), (5, (9, 9)), (6, (8, 1))]
+        validate_trajectory(trajectory, segments=[0, 2])
+        with pytest.raises(InvariantViolation):
+            validate_trajectory(trajectory, segments=[0])
+
+    def test_real_session_trajectories_validate(self):
+        dfg, dp = _cell()
+        session = SearchSession(dfg, dp)
+        bind(dfg, dp, session=session)
+        assert session.stats.best_trajectory  # non-trivial check
+        validate_trajectory(
+            session.stats.best_trajectory, session.stats.segments
+        )

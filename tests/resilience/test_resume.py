@@ -1,0 +1,152 @@
+"""Kill-and-resume and circuit-breaker semantics of ``run_jobs``."""
+
+from repro.datapath.parse import parse_datapath
+from repro.kernels import load_kernel
+from repro.resilience.faults import injected
+from repro.runner import BindJob, RunStore
+from repro.runner.api import run_jobs
+
+
+def _jobs():
+    dfg = load_kernel("ewf")
+    dp = parse_datapath("|2,1|1,1|", num_buses=2)
+    return [
+        BindJob.make(dfg, dp, "pcc"),
+        BindJob.make(dfg, dp, "b-init"),
+        BindJob.make(dfg, dp, "b-iter", iter_starts=1),
+    ]
+
+
+def _projection(results):
+    return [(r.key, r.status, r.latency, r.transfers) for r in results]
+
+
+class TestResume:
+    def test_resume_replays_ok_jobs_and_runs_only_the_missing(
+        self, tmp_path
+    ):
+        jobs = _jobs()
+        baseline = _projection(run_jobs(jobs, backoff=0.0))
+
+        # "Killed" sweep: only the first two jobs ever recorded.
+        store = RunStore(tmp_path / "runs.jsonl")
+        run_jobs(jobs[:2], store=store, backoff=0.0)
+        assert len(store.records()) == 2
+
+        # Resumed sweep over the full batch.
+        resumed = run_jobs(
+            jobs, store=store, resume=store, backoff=0.0
+        )
+        assert _projection(resumed) == baseline
+
+        # The two prior jobs replayed without execution ...
+        for result in resumed[:2]:
+            assert result.worker == "resume"
+            assert result.attempts == 0
+            assert result.cached
+        # ... and only the missing third actually ran.
+        assert resumed[2].worker != "resume"
+        assert resumed[2].attempts >= 1
+        assert not resumed[2].cached
+
+        # The store now tells the whole story: 2 original + 3 resumed
+        # records, and exactly one of the resumed ones executed.
+        records = store.records()
+        assert len(records) == 5
+        executed = [r for r in records[2:] if r["worker"] != "resume"]
+        assert len(executed) == 1
+        assert executed[0]["key"] == resumed[2].key
+
+    def test_failed_prior_record_is_reexecuted(self, tmp_path):
+        jobs = _jobs()[:1]
+        store = RunStore(tmp_path / "runs.jsonl")
+        with injected(
+            {"executor.attempt": {"kind": "error", "hits": [0, 1]}},
+            dir=tmp_path / "faults",
+        ):
+            [failed] = run_jobs(
+                jobs, store=store, retries=1, backoff=0.0
+            )
+        assert failed.status == "failed"
+        assert failed.attempts == 2
+
+        # One prior failure (2 attempts) is below the default threshold
+        # of 3: the resumed run re-executes and now succeeds.
+        [result] = run_jobs(
+            jobs, store=store, resume=store, backoff=0.0
+        )
+        assert result.status == "ok"
+        assert result.worker != "resume"
+
+
+class TestCircuitBreaker:
+    def _poisoned_store(self, tmp_path, jobs):
+        store = RunStore(tmp_path / "runs.jsonl")
+        with injected(
+            {"executor.attempt": {"kind": "error", "hits": [0, 1, 2]}},
+            dir=tmp_path / "faults",
+        ):
+            [failed] = run_jobs(
+                jobs, store=store, retries=2, backoff=0.0
+            )
+        assert failed.status == "failed"
+        assert failed.attempts == 3
+        return store
+
+    def test_breaker_quarantines_without_execution(self, tmp_path):
+        jobs = _jobs()[:1]
+        store = self._poisoned_store(tmp_path, jobs)
+
+        # No faults are active now, so if the job executed it would
+        # succeed — a quarantined status proves the breaker short-
+        # circuited before execution.
+        [result] = run_jobs(
+            jobs,
+            store=store,
+            resume=store,
+            breaker_threshold=3,
+            backoff=0.0,
+        )
+        assert result.status == "quarantined"
+        assert result.worker == "breaker"
+        assert result.attempts == 0
+        assert "circuit breaker" in result.error
+
+        [incident] = store.incidents()
+        assert incident["kind"] == "circuit-breaker"
+        assert incident["key"] == result.key
+        assert store.summary().quarantined == 1
+
+    def test_breaker_spares_healthy_jobs(self, tmp_path):
+        jobs = _jobs()
+        store = RunStore(tmp_path / "runs.jsonl")
+        with injected(
+            {"executor.attempt": {"kind": "error", "hits": [0, 1, 2]}},
+            dir=tmp_path / "faults",
+        ):
+            results = run_jobs(
+                jobs[:1], store=store, retries=2, backoff=0.0
+            )
+        assert results[0].status == "failed"
+
+        resumed = run_jobs(
+            jobs,
+            store=store,
+            resume=store,
+            breaker_threshold=3,
+            backoff=0.0,
+        )
+        assert resumed[0].status == "quarantined"
+        assert all(r.status == "ok" for r in resumed[1:])
+
+    def test_breaker_disabled_with_nonpositive_threshold(self, tmp_path):
+        jobs = _jobs()[:1]
+        store = self._poisoned_store(tmp_path, jobs)
+        [result] = run_jobs(
+            jobs,
+            store=store,
+            resume=store,
+            breaker_threshold=0,
+            backoff=0.0,
+        )
+        assert result.status == "ok"

@@ -1,0 +1,180 @@
+"""Self-healing store behaviour: checksums, quarantine, eviction, memo."""
+
+import json
+import os
+import time
+
+from repro.datapath.parse import parse_datapath
+from repro.kernels import load_kernel
+from repro.runner import BindJob, ResultCache, RunStore
+from repro.runner.api import run_jobs
+from repro.search.diskcache import OutcomeStore, outcome_cache_key
+from repro.search.session import SearchSession
+
+
+def _job():
+    dfg = load_kernel("ewf")
+    dp = parse_datapath("|2,1|1,1|", num_buses=2)
+    return BindJob.make(dfg, dp, "b-init")
+
+
+class TestResultCacheHealing:
+    def test_checksum_mismatch_quarantines(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        [result] = run_jobs([_job()], cache=cache)
+        path = cache._path(result.key)
+        envelope = json.loads(path.read_text())
+        envelope["result"]["latency"] = 1  # silent tampering
+        path.write_text(json.dumps(envelope))
+
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(result.key) is None
+        assert fresh.stats.quarantined == 1
+        assert path.with_suffix(".json.corrupt").exists()
+        # Quarantined blobs are never consulted again: next lookup is a
+        # plain miss.
+        assert fresh.get(result.key) is None
+        assert fresh.stats.quarantined == 1
+
+    def test_legacy_blob_without_checksum_accepted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        [result] = run_jobs([_job()], cache=cache)
+        path = cache._path(result.key)
+        envelope = json.loads(path.read_text())
+        del envelope["sha256"]
+        path.write_text(json.dumps(envelope))
+        payload = ResultCache(tmp_path).get(result.key)
+        assert payload is not None
+        assert payload["latency"] == result.latency
+
+
+class TestRunStoreHealing:
+    def test_lines_carry_verifiable_checksums(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        run_jobs([_job()], store=store)
+        [entry] = store.records()
+        assert "sha256" in entry
+
+    def test_corrupted_line_is_skipped(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        run_jobs([_job()], store=store)
+        line = store.path.read_text()
+        damaged = line.replace('"status": "ok"', '"status": "onk"')
+        assert damaged != line
+        store.path.write_text(damaged)
+        assert store.records() == []  # checksum mismatch -> dropped
+
+    def test_legacy_line_without_checksum_accepted(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        run_jobs([_job()], store=store)
+        entry = json.loads(store.path.read_text())
+        del entry["sha256"]
+        store.path.write_text(json.dumps(entry) + "\n")
+        assert len(store.records()) == 1
+
+    def test_incident_records_round_trip(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        store.record_incident("run_jobs", "cache-write-failed", "disk full",
+                              key="abc")
+        run_jobs([_job()], store=store)
+        [incident] = store.incidents()
+        assert incident["kind"] == "cache-write-failed"
+        assert incident["key"] == "abc"
+        assert len(store.records()) == 1  # incidents don't pollute records
+
+
+class TestOutcomeStoreHealing:
+    def _store_with_blob(self, tmp_path):
+        dfg = load_kernel("ewf")
+        dp = parse_datapath("|2,1|1,1|", num_buses=2)
+        os.environ["REPRO_EVAL_CACHE"] = str(tmp_path)
+        try:
+            session = SearchSession(dfg, dp, fast=True)
+            from repro.core.driver import bind
+
+            bind(dfg, dp, session=session)
+        finally:
+            del os.environ["REPRO_EVAL_CACHE"]
+        key = outcome_cache_key(dfg, dp)
+        return OutcomeStore(tmp_path), key
+
+    def test_blob_is_sharded_and_checksummed(self, tmp_path):
+        store, key = self._store_with_blob(tmp_path)
+        path = store.path_for(key)
+        assert path.exists()
+        assert path.parent.name == key[:2]
+        blob = json.loads(path.read_text())
+        assert blob["sha256"]
+        assert store.load(key)
+
+    def test_legacy_flat_blob_still_read(self, tmp_path):
+        store, key = self._store_with_blob(tmp_path)
+        sharded = store.path_for(key)
+        flat = store.root / f"{key}.json"
+        os.replace(sharded, flat)
+        assert store.load(key)
+
+    def test_corrupted_blob_quarantined_and_empty(self, tmp_path):
+        store, key = self._store_with_blob(tmp_path)
+        path = store.path_for(key)
+        blob = json.loads(path.read_text())
+        blob["entries"][0][4] = blob["entries"][0][4] + 1  # tamper latency
+        path.write_text(json.dumps(blob))
+        assert store.load(key) == {}
+        assert path.with_suffix(".json.corrupt").exists()
+        assert not path.exists()
+
+    def test_parse_memo_reused_and_invalidated(self, tmp_path):
+        store, key = self._store_with_blob(tmp_path)
+        first = store.load(key)
+        second = store.load(key)
+        assert first == second
+        assert first is not second  # callers get independent mappings
+        # Rewriting the blob must invalidate the memo (mtime/size change).
+        path = store.path_for(key)
+        entries = dict(first)
+        placement = next(iter(entries))
+        store._write(key, {placement: entries[placement]})
+        assert len(store.load(key)) == 1
+
+    def test_eviction_trims_to_byte_budget(self, tmp_path):
+        store, key = self._store_with_blob(tmp_path)
+        # Plant older decoy blobs; the real blob stays newest.
+        for i in range(3):
+            decoy = store.root / "00" / f"{'0' * 63}{i}.json"
+            decoy.parent.mkdir(exist_ok=True)
+            decoy.write_text("x" * 4096)
+            old = time.time() - 1000 - i
+            os.utime(decoy, (old, old))
+        keep = store.path_for(key)
+        bounded = OutcomeStore(tmp_path, max_bytes=keep.stat().st_size + 100)
+        removed = bounded.evict(keep=keep)
+        assert removed >= 2
+        assert keep.exists()
+        assert bounded.total_bytes() <= bounded.max_bytes + 4096
+
+    def test_max_bytes_env_knob(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_CACHE_MAX_MB", "2")
+        store = OutcomeStore(tmp_path)
+        assert store.max_bytes == 2 * 1024 * 1024
+        monkeypatch.setenv("REPRO_EVAL_CACHE_MAX_MB", "junk")
+        assert OutcomeStore(tmp_path).max_bytes is None
+
+    def test_merge_unions_concurrent_sessions(self, tmp_path):
+        dfg = load_kernel("ewf")
+        dp = parse_datapath("|2,1|1,1|", num_buses=2)
+        key = outcome_cache_key(dfg, dp)
+        store = OutcomeStore(tmp_path)
+
+        from repro.core.driver import bind, bind_initial
+
+        os.environ["REPRO_EVAL_CACHE"] = str(tmp_path)
+        try:
+            s1 = SearchSession(dfg, dp, fast=True)
+            bind_initial(dfg, dp, session=s1)
+            s2 = SearchSession(dfg, dp, fast=True)
+            bind(dfg, dp, session=s2)
+        finally:
+            del os.environ["REPRO_EVAL_CACHE"]
+        merged = store.load(key)
+        assert len(merged) >= len(dict(s1.evaluator.cache.items()))

@@ -96,7 +96,7 @@ class TestRunnerEvalSharing:
         assert all(r.ok for r in pooled)
         # The batch actually exercised the shared store.
         evals = OutcomeStore(cache.root / "evals")
-        assert len(list(evals.root.glob("*.json"))) > 0
+        assert len(evals.blob_paths()) > 0
 
     def test_env_is_restored_after_batch(self, tmp_path):
         assert EVAL_CACHE_ENV not in os.environ

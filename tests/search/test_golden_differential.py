@@ -122,3 +122,54 @@ def test_branch_and_bound_matches_golden(kernel, spec):
     _assert_matches(record, r.latency, r.num_transfers, r.binding)
     assert r.nodes_explored == record["nodes"]
     assert r.proven_optimal == record["proven_optimal"]
+
+
+class TestBudgetedLargeCell:
+    """Budget-truncated runs on the largest capture cell are pinned too.
+
+    Evaluation budgets (unlike deadlines) are deterministic, so the
+    truncated trajectories of the expensive walks on ``dct-dit`` —
+    skipped from the unbudgeted stochastic grid for cost — must
+    reproduce bit for bit on both engines.
+    """
+
+    KERNEL, SPEC = "dct-dit", "|3,1|2,2|1,3|"
+
+    def _record(self, algo):
+        return GOLDEN[f"{self.KERNEL} {self.SPEC} budgeted"][algo]
+
+    def _session(self, dfg, dp, max_evaluations, seed=None):
+        from repro.search.session import SearchSession
+
+        return SearchSession(
+            dfg, dp, max_evaluations=max_evaluations, seed=seed
+        )
+
+    def test_tabu_budgeted(self):
+        dfg, dp = _cell(self.KERNEL, self.SPEC)
+        ri = bind_initial(dfg, dp)
+        session = self._session(dfg, dp, 400)
+        r = tabu_improvement(dfg, dp, ri.binding, session=session)
+        record = self._record("tabu")
+        _assert_matches(record, r.schedule.latency,
+                        r.schedule.num_transfers, r.binding)
+        assert session.stats.budget_exhausted == record["budget_exhausted"]
+
+    def test_annealing_budgeted(self):
+        dfg, dp = _cell(self.KERNEL, self.SPEC)
+        session = self._session(dfg, dp, 400, seed=0)
+        r = annealing_bind(dfg, dp, seed=0, session=session)
+        record = self._record("annealing")
+        _assert_matches(record, r.schedule.latency,
+                        r.schedule.num_transfers, r.binding)
+        assert session.stats.budget_exhausted == record["budget_exhausted"]
+
+    def test_branch_and_bound_budgeted(self):
+        dfg, dp = _cell(self.KERNEL, self.SPEC)
+        session = self._session(dfg, dp, 300)
+        r = branch_and_bound_bind(dfg, dp, max_nodes=20_000, session=session)
+        record = self._record("bnb")
+        _assert_matches(record, r.latency, r.num_transfers, r.binding)
+        assert r.nodes_explored == record["nodes"]
+        assert r.proven_optimal == record["proven_optimal"]
+        assert session.stats.budget_exhausted == record["budget_exhausted"]
