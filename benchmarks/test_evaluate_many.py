@@ -1,0 +1,175 @@
+"""Benchmark: batched candidate evaluation via ``evaluate_many``.
+
+One steepest-descent round evaluates every boundary perturbation of the
+current binding.  ``SearchSession.evaluate_many`` executes a batch in
+placement-delta order so consecutive evaluations patch the fast
+engine's transfer pairs incrementally from a near-identical neighbour;
+results come back in input order and are bit-identical either way
+(evaluation is pure and memoized), so only wall-clock moves.
+
+Two access patterns are timed, both cold-memo:
+
+* ``descent-round``: one round's perturbations of a single base
+  binding.  Raw perturbation order is already delta-local (every
+  candidate differs from the base by one or two operations), so the
+  batch path must merely not regress.
+* ``scattered-batch``: first-round candidates of several distinct
+  starting bindings, interleaved round-robin — the multi-start access
+  pattern.  Sequential order hops between unrelated placements;
+  delta-ordering regroups each start's neighbourhood and wins
+  measurably.
+
+The smoke test pins the bit-identity contract plus both timing bounds
+and runs under ``--benchmark-disable`` (the CI configuration).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+
+import pytest
+
+from _helpers import kernel
+from repro.core.binding import Binding
+from repro.core.driver import bind_initial
+from repro.datapath.parse import parse_datapath
+from repro.search.neighborhood import Neighborhood
+from repro.search.session import SearchSession
+
+# The 96-op DCT on a heterogeneous 3-cluster machine: the widest
+# first-round boundary of the Table 1 grid (~100 candidates).
+KERNEL = "dct-dit-2"
+SPEC = "|3,1|2,2|1,3|"
+NUM_STARTS = 4  # distinct bases in the scattered batch
+
+
+def _machine():
+    return kernel(KERNEL), parse_datapath(SPEC, num_buses=2)
+
+
+def _round_of(dfg, dp, binding):
+    neighborhood = Neighborhood(dfg, dp)
+    boundary = neighborhood.boundary(binding)
+    moves = {v: neighborhood.moves(binding, v) for v in boundary}
+    return [
+        binding.rebind(*perturbation)
+        for perturbation in neighborhood.perturbations(
+            binding, boundary, moves
+        )
+    ]
+
+
+def _descent_round_candidates():
+    """The exact candidate batch of the first B-ITER descent round."""
+    dfg, dp = _machine()
+    return dfg, dp, _round_of(dfg, dp, bind_initial(dfg, dp).binding)
+
+
+def _scattered_candidates():
+    """First-round candidates of several random starts, interleaved."""
+    dfg, dp = _machine()
+    rng = random.Random(0)
+    names = [op.name for op in dfg.regular_operations()]
+    rounds = []
+    for _ in range(NUM_STARTS):
+        base = Binding(
+            {n: rng.randrange(len(dp.clusters)) for n in names}
+        )
+        rounds.append(_round_of(dfg, dp, base))
+    batch = []
+    for group in itertools.zip_longest(*rounds):
+        batch.extend(c for c in group if c is not None)
+    return dfg, dp, batch
+
+
+def _evaluate_sequential(dfg, dp, candidates):
+    session = SearchSession(dfg, dp, fast=True)
+    return [session.evaluate(c) for c in candidates], session
+
+
+def _evaluate_batched(dfg, dp, candidates):
+    session = SearchSession(dfg, dp, fast=True)
+    return session.evaluate_many(candidates), session
+
+
+def _bench(benchmark, candidates_of, runner):
+    dfg, dp, candidates = candidates_of()
+    outs, session = benchmark.pedantic(
+        lambda: runner(dfg, dp, candidates), rounds=3, iterations=1
+    )
+    benchmark.extra_info["cell"] = f"{KERNEL} {SPEC}"
+    benchmark.extra_info["candidates"] = len(candidates)
+    benchmark.extra_info["evaluations"] = session.stats.evaluations
+
+
+@pytest.mark.benchmark(group="descent-round")
+def test_round_sequential(benchmark):
+    _bench(benchmark, _descent_round_candidates, _evaluate_sequential)
+
+
+@pytest.mark.benchmark(group="descent-round")
+def test_round_evaluate_many(benchmark):
+    _bench(benchmark, _descent_round_candidates, _evaluate_batched)
+
+
+@pytest.mark.benchmark(group="scattered-batch")
+def test_scattered_sequential(benchmark):
+    _bench(benchmark, _scattered_candidates, _evaluate_sequential)
+
+
+@pytest.mark.benchmark(group="scattered-batch")
+def test_scattered_evaluate_many(benchmark):
+    _bench(benchmark, _scattered_candidates, _evaluate_batched)
+
+
+def _best_of_three(dfg, dp, candidates):
+    seq_best = batch_best = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        seq_outs, seq_session = _evaluate_sequential(dfg, dp, candidates)
+        t1 = time.perf_counter()
+        batch_outs, batch_session = _evaluate_batched(
+            dfg, dp, candidates
+        )
+        t2 = time.perf_counter()
+        seq_best = min(seq_best or t1 - t0, t1 - t0)
+        batch_best = min(batch_best or t2 - t1, t2 - t1)
+
+    # Input-order results are identical outcome by outcome.
+    assert [(o.latency, o.num_transfers) for o in batch_outs] == [
+        (o.latency, o.num_transfers) for o in seq_outs
+    ]
+    # And so is the telemetry: same evaluations, same hit/miss split.
+    assert (
+        batch_session.stats.evaluations == seq_session.stats.evaluations
+    )
+    assert batch_session.evaluator.stats == seq_session.evaluator.stats
+    return seq_best, batch_best
+
+
+def test_batch_identity_and_timing_smoke():
+    """Bit-identity plus tolerant timing checks (runs in CI).
+
+    ``evaluate_many`` must return exactly the outcomes (and spend
+    exactly the counters) of the sequential loop on both access
+    patterns; on the already-local descent round it must not regress
+    beyond noise, and on the scattered multi-start batch the
+    delta-ordering should not lose to raw input order.
+    """
+    dfg, dp, round_batch = _descent_round_candidates()
+    assert len(round_batch) > 50  # a real round, not a degenerate one
+    seq, batched = _best_of_three(dfg, dp, round_batch)
+    assert batched <= seq * 1.25, (
+        f"descent round: evaluate_many slower than sequential: "
+        f"{batched:.4f}s vs {seq:.4f}s"
+    )
+
+    dfg, dp, scattered = _scattered_candidates()
+    assert len(scattered) > len(round_batch)
+    seq, batched = _best_of_three(dfg, dp, scattered)
+    assert batched <= seq * 1.10, (
+        f"scattered batch: delta-ordering lost to input order: "
+        f"{batched:.4f}s vs {seq:.4f}s"
+    )

@@ -1,13 +1,29 @@
 """Experiment grids, metrics, and the paper's table renderers."""
 
-from .experiments import TABLE1_KERNEL_ORDER, run_cell, run_table1, run_table2
-from .metrics import AlgoCell, ExperimentRow, improvement_percent
+from .experiments import (
+    TABLE1_KERNEL_ORDER,
+    run_cell,
+    run_comparison,
+    run_table1,
+    run_table2,
+)
+from .metrics import (
+    AlgoCell,
+    ComparisonRow,
+    ExperimentRow,
+    improvement_percent,
+)
 from .pressure import PressureReport, centralized_pressure, register_pressure
 from .energy import EnergyModel, EnergyReport, estimate_energy
 from .random_study import StudyConfig, run_random_study
 from .report import rows_to_dicts, save_rows, to_csv, to_json, to_markdown
 from .summary import ShapeSummary, summarize
-from .tables import render_rows, render_table1, render_table2
+from .tables import (
+    render_comparison,
+    render_rows,
+    render_table1,
+    render_table2,
+)
 
 __all__ = [
     "PressureReport",
@@ -16,13 +32,16 @@ __all__ = [
     "run_cell",
     "run_table1",
     "run_table2",
+    "run_comparison",
     "TABLE1_KERNEL_ORDER",
     "AlgoCell",
     "ExperimentRow",
+    "ComparisonRow",
     "improvement_percent",
     "render_rows",
     "render_table1",
     "render_table2",
+    "render_comparison",
     "rows_to_dicts",
     "save_rows",
     "to_csv",

@@ -13,7 +13,7 @@ cells across invocations, and log every job to a run store; the default
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..baselines.pcc import pcc_bind
 from ..core.driver import bind, bind_initial
@@ -28,12 +28,14 @@ from ..dfg.graph import Dfg
 from ..kernels.registry import load_kernel
 from ..runner import BindJob, JobResult, ProgressTracker, ResultCache, RunStore
 from ..runner.api import run_jobs
-from .metrics import AlgoCell, ExperimentRow
+from ..search.registry import get_strategy
+from .metrics import AlgoCell, ComparisonRow, ExperimentRow
 
 __all__ = [
     "run_cell",
     "run_table1",
     "run_table2",
+    "run_comparison",
     "TABLE1_KERNEL_ORDER",
 ]
 
@@ -89,12 +91,14 @@ def _cell_jobs(
     run_iter: bool,
     max_evals: Optional[int] = None,
     deadline: Optional[float] = None,
+    quality: Optional[str] = None,
 ) -> List[BindJob]:
     """The (2 or 3) jobs making up one table cell, in column order.
 
     ``max_evals``/``deadline`` (when set) budget the B-ITER search
-    session; they are part of the job config, so budgeted and
-    unbudgeted cells cache under different keys.
+    session, and ``quality`` selects its declarative quality spec;
+    all three are part of the job config, so variant cells cache under
+    different keys than the defaults.
     """
     jobs = [
         BindJob.make(dfg, datapath, "pcc"),
@@ -108,6 +112,8 @@ def _cell_jobs(
             config["max_evals"] = max_evals
         if deadline is not None:
             config["deadline"] = deadline
+        if quality is not None:
+            config["quality"] = quality
         jobs.append(BindJob.make(dfg, datapath, "b-iter", **config))
     return jobs
 
@@ -136,6 +142,7 @@ def _run_grid(
     progress: Optional[Callable[[ProgressTracker], None]],
     max_evals: Optional[int] = None,
     deadline: Optional[float] = None,
+    quality: Optional[str] = None,
 ) -> List[ExperimentRow]:
     """Run every (kernel, datapath) cell as one flat job batch."""
     jobs: List[BindJob] = []
@@ -147,6 +154,7 @@ def _run_grid(
                 run_iter,
                 max_evals=max_evals,
                 deadline=deadline,
+                quality=quality,
             )
         )
     results = run_jobs(
@@ -184,6 +192,7 @@ def run_table1(
     progress: Optional[Callable[[ProgressTracker], None]] = None,
     max_evals: Optional[int] = None,
     deadline: Optional[float] = None,
+    quality: Optional[str] = None,
 ) -> List[ExperimentRow]:
     """Regenerate Table 1: every kernel on its datapath configurations.
 
@@ -196,6 +205,9 @@ def run_table1(
         max_evals: per-cell evaluation budget for the B-ITER search
             (None = unbudgeted, the paper's setting).
         deadline: per-cell wall-clock budget for B-ITER, in seconds.
+        quality: quality spec for the B-ITER descents (None = the
+            paper's ``"qu+qm"``; ``"qu"``/``"qm"`` reproduce the A4/A5
+            ablations, ``"qu+qm+qp:<B>"`` appends a pressure pass).
 
     Returns:
         The rows, grouped by kernel in the requested order.
@@ -214,6 +226,7 @@ def run_table1(
         progress,
         max_evals=max_evals,
         deadline=deadline,
+        quality=quality,
     )
 
 
@@ -226,12 +239,14 @@ def run_table2(
     progress: Optional[Callable[[ProgressTracker], None]] = None,
     max_evals: Optional[int] = None,
     deadline: Optional[float] = None,
+    quality: Optional[str] = None,
 ) -> List[ExperimentRow]:
     """Regenerate Table 2: the FFT bus-parameter sweep.
 
     The FFT kernel on the 5-cluster ``|2,2|2,1|2,2|3,1|1,1|`` machine,
     for every ``(N_B, lat(move))`` in the paper's sweep.
-    ``max_evals``/``deadline`` budget each cell's B-ITER search.
+    ``max_evals``/``deadline`` budget each cell's B-ITER search;
+    ``quality`` selects its quality spec (see :func:`run_table1`).
     """
     cells = [
         (
@@ -253,4 +268,87 @@ def run_table2(
         progress,
         max_evals=max_evals,
         deadline=deadline,
+        quality=quality,
     )
+
+
+def run_comparison(
+    cells: Sequence[Tuple[str, Datapath]],
+    algorithms: Sequence[str],
+    *,
+    configs: Optional[Dict[str, Dict[str, object]]] = None,
+    max_workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    store: Optional[RunStore] = None,
+    progress: Optional[Callable[[ProgressTracker], None]] = None,
+) -> List[ComparisonRow]:
+    """Compare arbitrary registered strategies over a cell grid.
+
+    The registry-driven generalization of the fixed Table 1/2 grids:
+    every ``(kernel, datapath)`` cell runs every strategy in
+    ``algorithms`` (any name from
+    :func:`repro.search.strategy_names`), as one flat
+    :func:`repro.runner.run_jobs` batch — parallel, cached, logged,
+    and budgeted exactly like the paper tables.
+
+    Args:
+        cells: ``(kernel name, datapath)`` pairs.
+        algorithms: registered strategy names, in column order.
+        configs: optional per-strategy config dicts, validated against
+            each strategy's schema (e.g. ``{"b-iter": {"quality":
+            "qu"}, "annealing": {"seed": 7}}``).
+        max_workers / cache / store / progress: experiment-engine
+            knobs (see :func:`repro.runner.run_jobs`).
+
+    Returns:
+        One :class:`ComparisonRow` per cell, in input order.  A
+        strategy that fails on a cell (min-cut on a heterogeneous
+        machine, exhaustive search past its space cap) yields a
+        ``None`` cell rather than sinking the grid.
+    """
+    algorithms = list(algorithms)
+    for name in algorithms:
+        get_strategy(name)  # fail fast on typos, before any job runs
+    configs = configs or {}
+    jobs = [
+        BindJob.make(
+            load_kernel(kernel), datapath, name, **configs.get(name, {})
+        )
+        for kernel, datapath in cells
+        for name in algorithms
+    ]
+    results = run_jobs(
+        jobs,
+        max_workers=max_workers,
+        cache=cache,
+        store=store,
+        progress=progress,
+    )
+    stride = len(algorithms)
+    rows: List[ComparisonRow] = []
+    for i, (kernel, datapath) in enumerate(cells):
+        chunk = results[i * stride : (i + 1) * stride]
+        row_cells = []
+        for name, result in zip(algorithms, chunk):
+            if result.ok:
+                assert result.latency is not None
+                assert result.transfers is not None
+                cell = AlgoCell(
+                    result.latency,
+                    result.transfers,
+                    result.seconds,
+                    search_stats=result.search_stats,
+                )
+            else:
+                cell = None
+            row_cells.append((name, cell))
+        rows.append(
+            ComparisonRow(
+                kernel=kernel,
+                datapath_spec=datapath.spec(),
+                num_buses=datapath.num_buses,
+                move_latency=datapath.move_latency,
+                cells=tuple(row_cells),
+            )
+        )
+    return rows

@@ -3,9 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
-__all__ = ["AlgoCell", "ExperimentRow", "improvement_percent"]
+__all__ = [
+    "AlgoCell",
+    "ExperimentRow",
+    "ComparisonRow",
+    "improvement_percent",
+]
 
 
 def improvement_percent(baseline_latency: int, latency: int) -> float:
@@ -109,3 +114,56 @@ class ExperimentRow:
         if self.b_iter is None:
             return None
         return improvement_percent(self.pcc.latency, self.b_iter.latency)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One (kernel, datapath) cell compared across arbitrary strategies.
+
+    The registry-driven generalization of :class:`ExperimentRow`: where
+    that class hard-wires the paper's PCC/B-INIT/B-ITER columns, a
+    comparison row carries one :class:`AlgoCell` per *registered
+    strategy name*, in the column order the comparison was run with.
+    A ``None`` cell records a strategy that failed on this machine
+    (min-cut on a heterogeneous datapath, exhaustive search over its
+    space cap) without sinking the whole grid.
+
+    Attributes:
+        kernel: kernel name.
+        datapath_spec: the paper-style cluster spec.
+        num_buses: ``N_B``.
+        move_latency: ``lat(move)``.
+        cells: ``(strategy name, cell-or-None)`` pairs, in column order.
+    """
+
+    kernel: str
+    datapath_spec: str
+    num_buses: int
+    move_latency: int
+    cells: Tuple[Tuple[str, Optional[AlgoCell]], ...]
+
+    @property
+    def algorithms(self) -> Tuple[str, ...]:
+        """The strategy names of this row, in column order."""
+        return tuple(name for name, _ in self.cells)
+
+    def cell(self, algorithm: str) -> Optional[AlgoCell]:
+        """The named strategy's cell (None if absent or failed)."""
+        for name, cell in self.cells:
+            if name == algorithm:
+                return cell
+        return None
+
+    def as_dict(self) -> Mapping[str, Optional[AlgoCell]]:
+        """The cells as a name -> cell mapping (column order preserved)."""
+        return dict(self.cells)
+
+    def improvement_over(
+        self, baseline: str, algorithm: str
+    ) -> Optional[float]:
+        """``delta L%`` of ``algorithm`` over ``baseline`` (None when
+        either cell is missing)."""
+        base, cell = self.cell(baseline), self.cell(algorithm)
+        if base is None or cell is None:
+            return None
+        return improvement_percent(base.latency, cell.latency)

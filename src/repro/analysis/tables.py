@@ -5,13 +5,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..kernels.registry import KERNEL_STATS
-from .metrics import ExperimentRow
+from .metrics import ComparisonRow, ExperimentRow
 
 __all__ = [
     "render_table1",
     "render_table2",
     "render_rows",
     "render_convergence",
+    "render_comparison",
 ]
 
 _HEADER = (
@@ -106,6 +107,55 @@ def render_convergence(rows: Sequence[ExperimentRow]) -> str:
         rendered += 1
     if not rendered:
         lines.append("(no rows carry search telemetry)")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    rows: Sequence[ComparisonRow],
+    title: str = "",
+    baseline: Optional[str] = None,
+) -> str:
+    """Render registry-driven comparison rows with dynamic columns.
+
+    One column group per strategy in the rows' column order: ``L/M``
+    and seconds, plus ``dL%`` against ``baseline`` (default: the first
+    column) for every other strategy.  Failed cells render as ``-``.
+    """
+    if not rows:
+        return title or "(no rows)"
+    algorithms = list(rows[0].algorithms)
+    baseline = baseline or algorithms[0]
+
+    header_parts = [f"{'KERNEL':10s} {'DATAPATH':22s}"]
+    for name in algorithms:
+        group = f"{name} L/M".rjust(14) + f" {'sec':>7s}"
+        if name != baseline:
+            group += f" {'dL%':>6s}"
+        header_parts.append(group)
+    header = " | ".join(header_parts)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.extend([header, "-" * len(header)])
+    for row in rows:
+        parts = [f"{row.kernel:10s} {row.datapath_spec:22s}"]
+        for name in algorithms:
+            cell = row.cell(name)
+            if cell is None:
+                group = f"{'-':>14s} {'-':>7s}"
+                if name != baseline:
+                    group += f" {'-':>6s}"
+            else:
+                group = f"{cell.lm:>14s} {cell.seconds:7.3f}"
+                if name != baseline:
+                    delta = row.improvement_over(baseline, name)
+                    group += (
+                        f" {delta:6.1f}" if delta is not None
+                        else f" {'-':>6s}"
+                    )
+            parts.append(group)
+        lines.append(" | ".join(parts))
     return "\n".join(lines)
 
 

@@ -2,9 +2,12 @@
 
 Subcommands:
 
-* ``bind`` — bind a kernel (or a DFG JSON file) to a datapath and print
-  the resulting latency, transfer count, and optionally a Gantt chart or
-  DOT dump;
+* ``bind`` — bind a kernel (or a DFG JSON file) to a datapath with any
+  registered strategy and print the resulting latency, transfer count,
+  and optionally a Gantt chart or DOT dump;
+* ``run`` — run one registered strategy as an experiment job through
+  the runner (caching, run store, budgets, search telemetry);
+* ``strategies`` — list every registered strategy and its config schema;
 * ``kernels`` — list the built-in kernels and their characteristics;
 * ``table1`` / ``table2`` — regenerate the paper's tables (optionally
   exporting CSV/JSON/Markdown via ``--out``);
@@ -13,24 +16,29 @@ Subcommands:
   and reports the before/after pressure plus evaluation-memo counters;
 * ``dse`` — design-space exploration: Pareto-optimal datapaths for a
   set of kernels under an FU budget.
+
+The algorithm layer is declarative: ``bind -a`` and ``run`` accept any
+name from the strategy registry (:mod:`repro.search.registry`), so a
+newly registered strategy is immediately drivable from here with no CLI
+change.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from .analysis.experiments import run_table1, run_table2
 from .analysis.tables import render_table1, render_table2
-from .baselines.pcc import pcc_bind
-from .core.driver import bind, bind_initial
 from .datapath.parse import parse_datapath
 from .dfg.dot import to_dot
 from .dfg.serialize import load_dfg
 from .dfg.transform import bind_dfg
 from .kernels.registry import KERNELS, kernel_summary, load_kernel
 from .schedule.gantt import render_gantt
+from .search.registry import get_strategy, iter_strategies, strategy_names
 
 __all__ = ["main", "build_parser"]
 
@@ -64,9 +72,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_bind.add_argument(
         "--algorithm",
         "-a",
-        choices=("b-iter", "b-init", "pcc"),
+        choices=strategy_names(),
         default="b-iter",
-        help="binding algorithm (default: %(default)s)",
+        metavar="STRATEGY",
+        help="binding strategy (any registered name; see 'strategies'; "
+        "default: %(default)s)",
+    )
+    p_bind.add_argument(
+        "--quality",
+        metavar="SPEC",
+        help="quality spec for descent-based strategies "
+        "(qu+qm | qu | qm | qp:<B>, '+'-joined)",
     )
     p_bind.add_argument(
         "--gantt", action="store_true", help="print the schedule Gantt chart"
@@ -79,6 +95,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bind.add_argument(
         "--svg", metavar="FILE", help="write the schedule as an SVG chart"
+    )
+
+    p_run = sub.add_parser(
+        "run",
+        help="run one registered strategy as an experiment job "
+        "(caching, run store, budgets, telemetry)",
+    )
+    p_run.add_argument(
+        "strategy",
+        choices=strategy_names(),
+        metavar="STRATEGY",
+        help="registered strategy name (see 'strategies')",
+    )
+    p_run.add_argument(
+        "kernel", help="kernel name (see 'kernels') or a DFG JSON path"
+    )
+    p_run.add_argument(
+        "--datapath",
+        "-d",
+        default="|1,1|1,1|",
+        help="cluster spec (default: %(default)s)",
+    )
+    p_run.add_argument("--buses", type=int, default=2, help="N_B (default 2)")
+    p_run.add_argument(
+        "--move-latency", type=int, default=1, help="lat(move) (default 1)"
+    )
+    p_run.add_argument(
+        "--quality",
+        metavar="SPEC",
+        help="quality spec (strategies with a 'quality' config key)",
+    )
+    p_run.add_argument(
+        "--seed",
+        type=int,
+        metavar="N",
+        help="RNG seed (stochastic strategies)",
+    )
+    p_run.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        dest="config",
+        help="extra strategy config (JSON-typed value; repeatable), "
+        "validated against the strategy's schema",
+    )
+    _add_runner_args(p_run)
+    _add_budget_args(p_run)
+
+    p_strategies = sub.add_parser(
+        "strategies", help="list registered binding strategies"
+    )
+    p_strategies.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="include each strategy's config schema",
+    )
+    p_strategies.add_argument(
+        "--all",
+        action="store_true",
+        help="include hidden debug strategies",
     )
 
     p_kernels = sub.add_parser("kernels", help="list built-in kernels")
@@ -99,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_t1.add_argument(
         "--out", metavar="FILE", help="also export rows (.csv/.json/.md)"
     )
+    p_t1.add_argument(
+        "--quality",
+        metavar="SPEC",
+        help="quality spec for the B-ITER column (default qu+qm; "
+        "qu / qm give the A4/A5 ablations, qu+qm+qp:<B> adds Q_P)",
+    )
     _add_runner_args(p_t1)
     _add_budget_args(p_t1)
 
@@ -108,6 +192,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_t2.add_argument(
         "--out", metavar="FILE", help="also export rows (.csv/.json/.md)"
+    )
+    p_t2.add_argument(
+        "--quality",
+        metavar="SPEC",
+        help="quality spec for the B-ITER column (default qu+qm)",
     )
     _add_runner_args(p_t2)
     _add_budget_args(p_t2)
@@ -234,33 +323,41 @@ def _load(name_or_path: str):
 
 
 def _cmd_bind(args: argparse.Namespace) -> int:
+    from .core.binding import Binding
+
     dfg = _load(args.kernel)
     dp = parse_datapath(
         args.datapath, num_buses=args.buses, move_latency=args.move_latency
     )
-    if args.algorithm == "pcc":
-        result = pcc_bind(dfg, dp)
-        binding, schedule = result.binding, result.schedule
-        seconds = result.seconds
-    elif args.algorithm == "b-init":
-        result = bind_initial(dfg, dp)
-        binding, schedule = result.binding, result.schedule
-        seconds = result.init_seconds
-    else:
-        result = bind(dfg, dp)
-        binding, schedule = result.binding, result.schedule
-        seconds = result.init_seconds + result.iter_seconds
+    strategy = get_strategy(args.algorithm)
+    config = {}
+    if args.quality is not None:
+        config["quality"] = args.quality
+    try:
+        result = strategy(dfg, dp, **config)
+    except (ValueError, TypeError) as exc:
+        sys.exit(f"repro-bind: error: {exc}")
     print(
         f"{dfg.name} on {dp.spec()} (N_B={dp.num_buses}, "
         f"lat(move)={dp.move_latency}) via {args.algorithm}:"
     )
     print(
-        f"  L = {schedule.latency}, M = {schedule.num_transfers}, "
-        f"time = {seconds:.3f}s"
+        f"  L = {result.latency}, M = {result.transfers}, "
+        f"time = {result.seconds:.3f}s"
     )
+    if result.binding is None:
+        # Reference points (centralized) carry no clustered binding, so
+        # there is nothing to break down or draw.
+        return 0
+    binding = Binding(dict(result.binding))
     for cluster in range(dp.num_clusters):
         members = binding.cluster_members(cluster)
         print(f"  cluster {cluster}: {len(members)} ops")
+    needs_schedule = args.gantt or args.asm or args.svg
+    if needs_schedule:
+        from .search import SearchSession
+
+        schedule = SearchSession(dfg, dp).schedule(binding)
     if args.gantt:
         print(render_gantt(schedule))
     if args.asm:
@@ -279,6 +376,99 @@ def _cmd_bind(args: argparse.Namespace) -> int:
 
         save_svg(schedule, args.svg, title=f"{dfg.name} on {dp.spec()}")
         print(f"  wrote {args.svg}")
+    return 0
+
+
+def _parse_config_sets(pairs: List[str]) -> dict:
+    """Parse repeated ``--set key=value`` flags into a config dict.
+
+    Values are JSON-typed when they parse (``--set max_nodes=5000``
+    gives an int, ``--set improve=false`` a bool) and fall back to the
+    literal string otherwise (``--set quality=qu+qm``).
+    """
+    config = {}
+    for pair in pairs:
+        key, sep, text = pair.partition("=")
+        if not sep or not key:
+            sys.exit(
+                f"repro-bind: error: --set expects KEY=VALUE, got {pair!r}"
+            )
+        try:
+            value = json.loads(text)
+        except ValueError:
+            value = text
+        config[key] = value
+    return config
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .runner import BindJob
+    from .runner.api import run_jobs
+
+    dfg = _load(args.kernel)
+    dp = parse_datapath(
+        args.datapath, num_buses=args.buses, move_latency=args.move_latency
+    )
+    config = _parse_config_sets(args.config)
+    if args.quality is not None:
+        config["quality"] = args.quality
+    if args.seed is not None:
+        config["seed"] = args.seed
+    if args.max_evals is not None:
+        config["max_evals"] = args.max_evals
+    if args.deadline is not None:
+        config["deadline"] = args.deadline
+    try:
+        job = BindJob.make(dfg, dp, args.strategy, **config)
+    except (ValueError, TypeError) as exc:
+        sys.exit(f"repro-bind: error: {exc}")
+    result = run_jobs([job], **_runner_kwargs(args))[0]
+    print(
+        f"{dfg.name} on {dp.spec()} (N_B={dp.num_buses}, "
+        f"lat(move)={dp.move_latency}) via {args.strategy}:"
+    )
+    if not result.ok:
+        print(f"  status = {result.status}: {result.error}")
+        return 1
+    provenance = " (cached)" if result.cached else ""
+    print(
+        f"  L = {result.latency}, M = {result.transfers}, "
+        f"time = {result.seconds:.3f}s{provenance}"
+    )
+    if result.evaluations is not None:
+        print(
+            f"  evaluations {result.evaluations}, "
+            f"memo hits {result.eval_hits}, misses {result.eval_misses}"
+        )
+    stats = result.search_stats or {}
+    if stats.get("budget_exhausted"):
+        print("  evaluation budget exhausted")
+    if stats.get("deadline_exceeded"):
+        print("  deadline exceeded")
+    for key in sorted(result.extras):
+        print(f"  {key} = {result.extras[key]}")
+    return 0
+
+
+def _cmd_strategies(args: argparse.Namespace) -> int:
+    for strategy in iter_strategies(include_hidden=args.all):
+        tags = []
+        if strategy.homogeneous_only:
+            tags.append("homogeneous-only")
+        if strategy.hidden:
+            tags.append("debug")
+        suffix = f"  [{', '.join(tags)}]" if tags else ""
+        print(f"{strategy.name:18s} {strategy.description}{suffix}")
+        if args.verbose:
+            for field in strategy.schema:
+                default = (
+                    "" if field.default is None
+                    else f" (default {field.default!r})"
+                )
+                print(
+                    f"{'':18s}   --set {field.name}=<"
+                    f"{field.type.__name__}>{default}: {field.help}"
+                )
     return 0
 
 
@@ -312,6 +502,7 @@ def _cmd_kernels(verbose: bool = False) -> int:
 
 def _cmd_pressure(args: argparse.Namespace) -> int:
     from .analysis.pressure import centralized_pressure, register_pressure
+    from .core.driver import bind
 
     dfg = _load(args.kernel)
     dp = parse_datapath(args.datapath, num_buses=args.buses)
@@ -385,12 +576,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "bind":
         return _cmd_bind(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "strategies":
+        return _cmd_strategies(args)
     if args.command == "kernels":
         return _cmd_kernels(verbose=args.verbose)
     if args.command == "table1":
         rows = run_table1(
             kernels=args.kernel,
             run_iter=not args.no_iter,
+            quality=args.quality,
             **_runner_kwargs(args),
             **_budget_kwargs(args),
         )
@@ -405,6 +601,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "table2":
         rows = run_table2(
             run_iter=not args.no_iter,
+            quality=args.quality,
             **_runner_kwargs(args),
             **_budget_kwargs(args),
         )

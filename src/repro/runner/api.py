@@ -260,6 +260,7 @@ def _record_to_payload(record: Dict) -> Dict:
         "eval_misses": record.get("eval_misses", 0),
         "evaluations": record.get("evaluations", 0),
         "search_stats": record.get("search_stats"),
+        "extras": record.get("extras") or {},
     }
 
 

@@ -11,13 +11,16 @@ can cross process boundaries and be content-addressed:
   envelope — the same job always hashes the same, across processes,
   hash-randomization seeds, and config-dict orderings; any change to
   the DFG, machine, algorithm, or config changes the key;
-* :func:`execute_job` rehydrates the inputs and dispatches to the
-  algorithm, returning a :class:`JobResult`.
+* :func:`execute_job` rehydrates the inputs and dispatches through the
+  strategy registry (:mod:`repro.search.registry`), returning a
+  :class:`JobResult` populated from the strategy's uniform
+  :class:`~repro.search.registry.StrategyResult`.
 
-The ``debug-*`` algorithms are failure-injection hooks for the executor
-tests (an always-raising job, a sleeper for timeout tests, a hard crash
-for worker-loss tests); they are registered here so worker processes
-know them without test-side setup.
+The runner has no algorithm table of its own: ``job.algorithm`` is a
+registered strategy name, validated (together with the config, against
+the strategy's typed schema) at :meth:`BindJob.make` time.  Registering
+a new strategy makes it runnable — with caching, budgets, retries, and
+telemetry — without touching this module.
 """
 
 from __future__ import annotations
@@ -26,12 +29,13 @@ import hashlib
 import json
 import os
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..datapath.model import Datapath
 from ..datapath.parse import parse_datapath
 from ..dfg.graph import Dfg
 from ..dfg.serialize import dfg_from_dict, dfg_to_dict
+from ..search.registry import get_strategy
 
 __all__ = [
     "JOB_SCHEMA",
@@ -66,13 +70,14 @@ class BindJob:
         datapath_spec: normalized paper-style cluster spec.
         num_buses: ``N_B``.
         move_latency: ``lat(move)``.
-        algorithm: ``"pcc"``, ``"b-init"``, ``"b-iter"``, or
-            ``"pressure"`` (B-ITER plus the pressure-aware ``Q_P`` pass;
-            ``budget`` config selects the per-cluster register budget),
-            plus the ``debug-*`` failure-injection hooks.
-        config: algorithm options as a sorted tuple of ``(key, value)``
+        algorithm: a registered strategy name — ``repro.search.
+            strategy_names(include_hidden=True)`` is the authoritative
+            list (the paper's binders, every baseline, and the
+            ``debug-*`` failure-injection hooks).
+        config: strategy options as a sorted tuple of ``(key, value)``
             pairs; values must be JSON scalars so the key stays
-            canonical.
+            canonical, and keys/types must fit the strategy's declared
+            schema.
     """
 
     dfg_json: str
@@ -90,17 +95,16 @@ class BindJob:
         algorithm: str,
         **config: Any,
     ) -> "BindJob":
-        """Build a job from live objects, normalizing as it goes."""
-        if algorithm not in _ALGORITHMS:
-            raise ValueError(
-                f"unknown algorithm {algorithm!r}; "
-                f"known: {sorted(_ALGORITHMS)}"
-            )
-        for key, value in config.items():
-            if not isinstance(value, (str, int, float, bool, type(None))):
-                raise TypeError(
-                    f"config value {key}={value!r} is not a JSON scalar"
-                )
+        """Build a job from live objects, normalizing as it goes.
+
+        ``algorithm`` must be a registered strategy and ``config`` must
+        satisfy its schema — unknown names, unknown config keys (for
+        strict strategies), non-scalar values, and type/range
+        violations are all rejected here, before the job can reach a
+        worker or a cache key.
+        """
+        strategy = get_strategy(algorithm)
+        config = strategy.validate_config(config)
         # The job carries the machine as (spec, N_B, lat(move)) — enough
         # for every paper configuration, but a datapath with further
         # registry customization (multi-cycle ALUs, unpipelined MULs, …)
@@ -189,6 +193,10 @@ class JobResult:
     # Unified search telemetry (repro.search.SearchStats.as_dict():
     # best-quality trajectory, per-phase seconds, budget flags).
     search_stats: Optional[Dict[str, Any]] = None
+    # Strategy-specific scalars from StrategyResult.extras
+    # (nodes_explored, proven_optimal, cut_size, ...); additive too —
+    # pre-registry cache blobs replay with an empty dict.
+    extras: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -210,164 +218,30 @@ class JobResult:
         return cls(**fields)
 
 
-# ----------------------------------------------------------------------
-# Algorithm dispatch.  The real binders are imported lazily: the runner
-# executes the baselines and the baselines import runner.progress, so a
-# module-level import here would close the cycle.
-# ----------------------------------------------------------------------
-
-def _run_pcc(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
-    from ..baselines.pcc import pcc_bind
-
-    result = pcc_bind(dfg, datapath)
-    return result.latency, result.num_transfers, result.seconds
-
-
-def _eval_stats(result) -> Dict[str, Any]:
-    stats: Dict[str, Any] = {
-        "eval_hits": result.eval_hits,
-        "eval_misses": result.eval_misses,
-        "evaluations": result.evaluations,
-    }
-    if getattr(result, "search_stats", None) is not None:
-        stats["search_stats"] = result.search_stats.as_dict()
-    return stats
-
-
-def _run_b_init(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
-    from ..core.driver import bind_initial
-
-    result = bind_initial(dfg, datapath)
-    return (
-        result.latency,
-        result.num_transfers,
-        result.init_seconds,
-        _eval_stats(result),
-    )
-
-
-def _budget_kwargs(config: Dict[str, Any]) -> Dict[str, Any]:
-    """Session budget knobs carried by a job's config, when present.
-
-    ``max_evals``/``deadline`` config keys map to a
-    :class:`~repro.search.session.SearchSession`'s
-    ``max_evaluations``/``deadline_seconds`` budgets; absent keys leave
-    the session unbudgeted (bit-identical to the unbudgeted runs).
-    """
-    kwargs: Dict[str, Any] = {}
-    if config.get("max_evals") is not None:
-        kwargs["max_evaluations"] = int(config["max_evals"])
-    if config.get("deadline") is not None:
-        kwargs["deadline_seconds"] = float(config["deadline"])
-    return kwargs
-
-
-def _run_b_iter(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
-    from ..core.driver import bind
-    from ..search.session import SearchSession
-
-    budgets = _budget_kwargs(config)
-    session = SearchSession(dfg, datapath, **budgets) if budgets else None
-    result = bind(
-        dfg,
-        datapath,
-        iter_starts=config.get("iter_starts"),
-        session=session,
-    )
-    return (
-        result.latency,
-        result.num_transfers,
-        result.init_seconds + result.iter_seconds,
-        _eval_stats(result),
-    )
-
-
-def _run_pressure(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
-    """B-ITER followed by the pressure-aware Q_P pass, one shared session.
-
-    The whole pipeline — B-INIT sweep, Q_U/Q_M descent, Q_P descent —
-    shares a single :class:`~repro.search.session.SearchSession`, so the
-    pressure pass starts with the descent's evaluation memo warm and the
-    reported counters/telemetry cover the complete run.
-    """
-    from ..core.driver import bind
-    from ..core.pressure_aware import pressure_aware_improvement
-    from ..search.session import SearchSession
-
-    budget = int(config.get("budget", 4))
-    session = SearchSession(dfg, datapath, **_budget_kwargs(config))
-    base = bind(
-        dfg, datapath, iter_starts=config.get("iter_starts"), session=session
-    )
-    refined = pressure_aware_improvement(
-        dfg, datapath, base.binding, budget=budget, session=session
-    )
-    stats = session.eval_stats
-    return (
-        refined.schedule.latency,
-        refined.schedule.num_transfers,
-        base.init_seconds + base.iter_seconds,
-        {
-            "eval_hits": stats.hits,
-            "eval_misses": stats.misses,
-            "evaluations": stats.evaluations,
-            "search_stats": session.stats.as_dict(),
-        },
-    )
-
-
-def _run_debug_fail(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
-    raise RuntimeError("injected failure (debug-fail job)")
-
-
-def _run_debug_sleep(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
-    import time
-
-    time.sleep(float(config.get("seconds", 60.0)))
-    return 0, 0, 0.0
-
-
-def _run_debug_crash(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
-    # Simulates a worker dying mid-job (segfault, OOM kill): exit the
-    # process without cleanup so ProcessPoolExecutor sees a lost worker.
-    os._exit(17)
-
-
-_ALGORITHMS: Dict[str, Callable[[Dfg, Datapath, Dict[str, Any]], Any]] = {
-    "pcc": _run_pcc,
-    "b-init": _run_b_init,
-    "b-iter": _run_b_iter,
-    "pressure": _run_pressure,
-    "debug-fail": _run_debug_fail,
-    "debug-sleep": _run_debug_sleep,
-    "debug-crash": _run_debug_crash,
-}
-
-
 def execute_job(job: BindJob) -> JobResult:
     """Run one job in the current process.
 
-    Raises whatever the algorithm raises — retry/failure bookkeeping is
-    the executor's responsibility, not this function's.
+    Dispatches through the strategy registry; the job's config was
+    validated at :meth:`BindJob.make` time, so the strategy's run
+    callable is invoked directly.  Raises whatever the strategy raises —
+    retry/failure bookkeeping is the executor's responsibility, not this
+    function's.
     """
-    fn = _ALGORITHMS[job.algorithm]
+    strategy = get_strategy(job.algorithm)
     dfg = job.dfg()
-    out = fn(dfg, job.datapath(), dict(job.config))
-    # Algorithms return (L, M, seconds) or (L, M, seconds, stats) where
-    # stats carries evaluation-engine counters.
-    latency, transfers, seconds = out[:3]
-    stats = out[3] if len(out) > 3 else {}
+    out = strategy.run(dfg, job.datapath(), dict(job.config))
     return JobResult(
         key=job.cache_key(),
         kernel=dfg.name,
         algorithm=job.algorithm,
         datapath_spec=job.datapath_spec,
         status="ok",
-        latency=latency,
-        transfers=transfers,
-        seconds=seconds,
-        eval_hits=stats.get("eval_hits"),
-        eval_misses=stats.get("eval_misses"),
-        evaluations=stats.get("evaluations"),
-        search_stats=stats.get("search_stats"),
+        latency=out.latency,
+        transfers=out.transfers,
+        seconds=out.seconds,
+        eval_hits=out.stats.get("eval_hits"),
+        eval_misses=out.stats.get("eval_misses"),
+        evaluations=out.stats.get("evaluations"),
+        search_stats=out.stats.get("search_stats"),
+        extras=dict(out.extras),
     )

@@ -125,6 +125,7 @@ class RunStore:
             "eval_misses": result.eval_misses,
             "evaluations": result.evaluations,
             "search_stats": result.search_stats,
+            "extras": result.extras,
         }
         self._append(entry)
 

@@ -21,7 +21,11 @@ derivation + list scheduling).  This package owns everything that is
   :class:`~repro.schedule.schedule.Schedule`;
 * :func:`steepest_descent` — the shared steepest-descent loop;
 * :class:`OutcomeStore` — on-disk evaluation-outcome sharing across
-  runner worker processes (``REPRO_EVAL_CACHE``).
+  runner worker processes (``REPRO_EVAL_CACHE``);
+* the **strategy registry** — every binding algorithm registered once
+  as a :class:`Strategy` (name, typed config schema, uniform
+  :class:`StrategyResult`), dispatched by the runner, the CLI, and the
+  analysis layer (:mod:`repro.search.registry`).
 
 See ``docs/SEARCH.md`` for the porting guide.
 """
@@ -35,6 +39,17 @@ from .quality import (
     pressure_vector,
     register_parametric_quality,
     register_quality,
+)
+from .registry import (
+    ConfigError,
+    ConfigField,
+    Strategy,
+    StrategyResult,
+    get_strategy,
+    iter_strategies,
+    register_strategy,
+    run_strategy,
+    strategy_names,
 )
 from .session import SearchSession
 from .stats import SearchStats
@@ -52,4 +67,13 @@ __all__ = [
     "OutcomeStore",
     "outcome_cache_key",
     "EVAL_CACHE_ENV",
+    "ConfigError",
+    "ConfigField",
+    "Strategy",
+    "StrategyResult",
+    "register_strategy",
+    "get_strategy",
+    "strategy_names",
+    "iter_strategies",
+    "run_strategy",
 ]

@@ -40,9 +40,8 @@ def steepest_descent(
     ``FastOutcome`` on the fast path), and the number of committed
     perturbations.
     """
-    evaluate = session.evaluate
     session.stats.begin_segment()
-    best_out = evaluate(binding)
+    best_out = session.evaluate(binding)
     best_q = quality(best_out)
     committed = 0
     while committed < max_iterations and not session.exhausted():
@@ -50,11 +49,20 @@ def steepest_descent(
         moves = {v: neighborhood.moves(binding, v) for v in boundary}
         round_best: Optional[Tuple[QualityVector, Binding, object]] = None
         threshold = best_q
-        for perturbation in neighborhood.perturbations(
-            binding, boundary, moves
+        # The whole round is evaluated as one batch — the session
+        # reorders execution by placement-delta to amortize incremental
+        # re-derivation — and selection walks the outcomes in original
+        # perturbation order, so the committed candidate (ties broken
+        # by first strict improvement) is unchanged.
+        candidates = [
+            binding.rebind(*perturbation)
+            for perturbation in neighborhood.perturbations(
+                binding, boundary, moves
+            )
+        ]
+        for candidate, out in zip(
+            candidates, session.evaluate_many(candidates)
         ):
-            candidate = binding.rebind(*perturbation)
-            out = evaluate(candidate)
             q = quality(out)
             if q < threshold:
                 round_best = (q, candidate, out)

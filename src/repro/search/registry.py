@@ -1,0 +1,790 @@
+"""The strategy registry: every binding algorithm as declarative data.
+
+The paper's contribution is a *family* of binders — B-INIT, B-ITER, the
+pressure-aware Q_P pass — evaluated against a spread of baselines (PCC,
+min-cut, UAS, annealing, branch and bound, exhaustive search, random
+sampling).  Before this module, only four of them were reachable from
+the experiment engine, each through a hand-written ``_run_*`` shim
+returning an ad-hoc tuple; adding an algorithm meant touching the
+runner, the CLI's ``choices=``, and every analysis script separately.
+
+Now an algorithm registers **once** as a :class:`Strategy`:
+
+* a unique ``name`` (the ``BindJob.algorithm`` string, the CLI
+  argument, the analysis column key);
+* a typed, validated config ``schema`` — shared keys like ``quality``,
+  ``max_evals``, ``deadline``, ``iter_starts``, and ``seed`` are
+  declared through the reusable :data:`QUALITY_FIELD` /
+  :data:`BUDGET_FIELDS` / :data:`SEED_FIELD` fragments so every
+  session-backed strategy spells budgets the same way;
+* a ``run`` callable returning a uniform :class:`StrategyResult`
+  (latency, transfers, seconds, the placement map, evaluation/search
+  stats, and strategy-specific ``extras``).
+
+Everything downstream — :func:`repro.runner.jobs.execute_job`, the
+``repro-bind run``/``bind`` CLI, table generation, caching, budget
+knobs, resilience, and telemetry — dispatches through the registry, so
+"add an algorithm" is a single registration here.
+
+The built-in strategies import their algorithm modules lazily inside
+``run`` (the baselines import ``runner.progress``, and the runner
+dispatches strategies; a module-level import would close that cycle).
+Results are **bit-identical** to calling the library entry points
+directly: the golden differential suite and the registry smoke tests
+pin that.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from ..datapath.model import Datapath
+from ..dfg.graph import Dfg
+
+__all__ = [
+    "ConfigField",
+    "ConfigError",
+    "Strategy",
+    "StrategyResult",
+    "register_strategy",
+    "get_strategy",
+    "strategy_names",
+    "iter_strategies",
+    "run_strategy",
+    "QUALITY_FIELD",
+    "BUDGET_FIELDS",
+    "SEED_FIELD",
+]
+
+#: JSON-scalar types a config value may take (``None`` is always legal
+#: and means "unset, use the strategy default").
+_SCALARS = (str, int, float, bool, type(None))
+
+
+class ConfigError(ValueError):
+    """A config mapping violates a strategy's schema."""
+
+
+@dataclass(frozen=True)
+class ConfigField:
+    """One typed key of a strategy's config schema.
+
+    Attributes:
+        name: the config key (``BindJob`` config entry, CLI ``--set``).
+        type: expected scalar type; ``int`` values are accepted for
+            ``float`` fields, ``bool`` is *not* accepted for ``int``
+            (a schedule budget of ``True`` is a bug, not a 1).
+        default: documented default the strategy applies when the key
+            is absent — informational; validation never injects it, so
+            explicitly-set and absent keys cache under different job
+            keys only when the caller actually set them.
+        help: one-line description (rendered by ``repro-bind
+            strategies``).
+        minimum: optional inclusive lower bound for numeric fields.
+        check: optional extra validator; raises ``ValueError`` to
+            reject (used for quality-spec strings).
+    """
+
+    name: str
+    type: type
+    default: Any = None
+    help: str = ""
+    minimum: Optional[float] = None
+    check: Optional[Callable[[Any], Any]] = None
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`ConfigError` unless ``value`` fits this field."""
+        if value is None:
+            return
+        if self.type is float:
+            ok = isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            )
+        elif self.type is int:
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        else:
+            ok = isinstance(value, self.type)
+        if not ok:
+            raise ConfigError(
+                f"config key {self.name!r} expects {self.type.__name__}, "
+                f"got {value!r}"
+            )
+        if self.minimum is not None and value < self.minimum:
+            raise ConfigError(
+                f"config key {self.name!r} must be >= {self.minimum}, "
+                f"got {value!r}"
+            )
+        if self.check is not None:
+            try:
+                self.check(value)
+            except ValueError as exc:
+                raise ConfigError(
+                    f"config key {self.name!r} rejected {value!r}: {exc}"
+                ) from exc
+
+
+def _check_quality_spec(value: str) -> None:
+    from .quality import QualitySpec
+
+    QualitySpec.parse(value)
+
+
+#: Shared schema fragments — declare budgets/quality/seeds once so every
+#: strategy spells them identically (and the CLI can map flags 1:1).
+QUALITY_FIELD = ConfigField(
+    "quality",
+    str,
+    default="qu+qm",
+    help="QualitySpec string driving the descent passes "
+    "(qu+qm | qu | qm | latency | lm | qp:<B>, '+'-joined)",
+    check=_check_quality_spec,
+)
+
+BUDGET_FIELDS: Tuple[ConfigField, ...] = (
+    ConfigField(
+        "max_evals",
+        int,
+        minimum=1,
+        help="evaluation budget on the search session",
+    ),
+    ConfigField(
+        "deadline",
+        float,
+        minimum=0.0,
+        help="wall-clock budget on the search session, in seconds",
+    ),
+)
+
+SEED_FIELD = ConfigField(
+    "seed", int, default=0, help="RNG seed (stochastic strategies)"
+)
+
+
+@dataclass(frozen=True)
+class StrategyResult:
+    """The uniform outcome every strategy returns.
+
+    Attributes:
+        latency: schedule length ``L`` of the final binding.
+        transfers: data-transfer count ``M``.
+        seconds: the strategy's own wall-clock measurement.
+        binding: the operation-to-cluster placement map (``None`` for
+            reference points without one, e.g. ``centralized``).
+        stats: evaluation/search counters in the one canonical shape —
+            ``eval_hits``/``eval_misses``/``evaluations`` plus an
+            optional ``search_stats`` dict (``SearchStats.as_dict()``).
+            Empty for strategies that bypass the session layer.
+        extras: strategy-specific JSON scalars (``nodes_explored``,
+            ``proven_optimal``, ``cut_size``, ``component_cap``, ...),
+            surfaced on ``JobResult.extras`` and the run store.
+    """
+
+    latency: int
+    transfers: int
+    seconds: float
+    binding: Optional[Dict[str, int]] = None
+    stats: Dict[str, Any] = field(default_factory=dict)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+
+#: A strategy's run callable: ``(dfg, datapath, config) -> result``.
+RunFn = Callable[[Dfg, Datapath, Dict[str, Any]], StrategyResult]
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """One registered binding algorithm.
+
+    Attributes:
+        name: unique registry key (also the job/CLI algorithm string).
+        run: the run callable.
+        schema: typed config fields; with ``strict`` (default) any
+            config key outside the schema is rejected at
+            ``BindJob.make``/CLI time.
+        description: one-line summary for listings.
+        hidden: exclude from public listings and parity checks (the
+            ``debug-*`` failure-injection hooks); still dispatchable.
+        strict: reject unknown config keys (debug hooks accept any).
+        homogeneous_only: the strategy raises on heterogeneous
+            datapaths (min-cut); informational, surfaced in listings.
+    """
+
+    name: str
+    run: RunFn
+    schema: Tuple[ConfigField, ...] = ()
+    description: str = ""
+    hidden: bool = False
+    strict: bool = True
+    homogeneous_only: bool = False
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.schema)
+
+    def validate_config(self, config: Mapping[str, Any]) -> Dict[str, Any]:
+        """Check ``config`` against the schema; return it as a dict.
+
+        Values must be JSON scalars; unknown keys are rejected for
+        strict strategies; ``None`` is always accepted (meaning "use
+        the default").  Defaults are *not* injected — job cache keys
+        contain exactly what the caller set.
+        """
+        fields = {f.name: f for f in self.schema}
+        out: Dict[str, Any] = {}
+        for key, value in config.items():
+            if not isinstance(value, _SCALARS):
+                raise TypeError(
+                    f"config value {key}={value!r} is not a JSON scalar"
+                )
+            spec = fields.get(key)
+            if spec is None:
+                if self.strict:
+                    raise ConfigError(
+                        f"strategy {self.name!r} does not accept config "
+                        f"key {key!r}; known keys: "
+                        f"{sorted(fields) or 'none'}"
+                    )
+            else:
+                spec.validate(value)
+            out[key] = value
+        return out
+
+    def __call__(
+        self, dfg: Dfg, datapath: Datapath, **config: Any
+    ) -> StrategyResult:
+        """Validate ``config`` and run the strategy in-process."""
+        return self.run(dfg, datapath, self.validate_config(config))
+
+
+# ----------------------------------------------------------------------
+# The registry proper.
+# ----------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Strategy] = {}
+
+
+def register_strategy(strategy: Strategy, replace: bool = False) -> Strategy:
+    """Register ``strategy`` under its name.
+
+    Args:
+        strategy: the strategy to add.
+        replace: allow overwriting an existing registration (tests and
+            downstream experiments re-binding a name); without it a
+            duplicate name raises.
+    """
+    if not replace and strategy.name in _REGISTRY:
+        raise ValueError(f"strategy {strategy.name!r} already registered")
+    _REGISTRY[strategy.name] = strategy
+    return strategy
+
+
+def get_strategy(name: str) -> Strategy:
+    """Look up a strategy; raises ``ValueError`` with the known names."""
+    strategy = _REGISTRY.get(name)
+    if strategy is None:
+        raise ValueError(
+            f"unknown algorithm {name!r}; "
+            f"known: {sorted(_REGISTRY)}"
+        )
+    return strategy
+
+
+def strategy_names(include_hidden: bool = False) -> Tuple[str, ...]:
+    """Registered names, sorted; debug hooks only on request."""
+    return tuple(
+        sorted(
+            name
+            for name, s in _REGISTRY.items()
+            if include_hidden or not s.hidden
+        )
+    )
+
+
+def iter_strategies(include_hidden: bool = False) -> Iterator[Strategy]:
+    """Iterate registered strategies in name order."""
+    for name in strategy_names(include_hidden=include_hidden):
+        yield _REGISTRY[name]
+
+
+def run_strategy(
+    name: str, dfg: Dfg, datapath: Datapath, **config: Any
+) -> StrategyResult:
+    """Convenience: resolve ``name`` and run it with ``config``."""
+    return get_strategy(name)(dfg, datapath, **config)
+
+
+# ----------------------------------------------------------------------
+# Session plumbing shared by the built-in strategies.
+# ----------------------------------------------------------------------
+
+def _make_session(dfg: Dfg, datapath: Datapath, config: Mapping[str, Any]):
+    """One budgeted :class:`SearchSession` from a job config.
+
+    ``max_evals``/``deadline`` map to the session's ``max_evaluations``
+    / ``deadline_seconds``; absent (or None) keys leave the session
+    unbudgeted, which is bit-identical to the historical unbudgeted
+    runs.
+    """
+    from .session import SearchSession
+
+    kwargs: Dict[str, Any] = {}
+    if config.get("max_evals") is not None:
+        kwargs["max_evaluations"] = int(config["max_evals"])
+    if config.get("deadline") is not None:
+        kwargs["deadline_seconds"] = float(config["deadline"])
+    return SearchSession(dfg, datapath, **kwargs)
+
+
+def session_stats(session) -> Dict[str, Any]:
+    """The one canonical stats shape for ``StrategyResult.stats``.
+
+    Every session-backed strategy reports through this function —
+    previously ``_run_pressure`` shaped its own dict next to the
+    runner's ``_eval_stats``, and the two could (and did) drift.
+    """
+    stats = session.eval_stats
+    return {
+        "eval_hits": stats.hits,
+        "eval_misses": stats.misses,
+        "evaluations": stats.evaluations,
+        "search_stats": session.stats.as_dict(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Built-in strategies.  Algorithm modules are imported lazily inside
+# each run function (see the module docstring for why).
+# ----------------------------------------------------------------------
+
+def _run_pcc(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    from ..baselines.pcc import pcc_bind
+
+    session = _make_session(dfg, datapath, config)
+    result = pcc_bind(
+        dfg,
+        datapath,
+        improve=bool(config.get("improve", True)),
+        session=session,
+    )
+    return StrategyResult(
+        latency=result.latency,
+        transfers=result.num_transfers,
+        seconds=result.seconds,
+        binding=dict(result.binding),
+        stats=session_stats(session),
+        extras={"component_cap": result.component_cap},
+    )
+
+
+def _run_b_init(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    from ..core.driver import bind_initial
+
+    session = _make_session(dfg, datapath, config)
+    result = bind_initial(dfg, datapath, session=session)
+    return StrategyResult(
+        latency=result.latency,
+        transfers=result.num_transfers,
+        seconds=result.init_seconds,
+        binding=dict(result.binding),
+        stats=session_stats(session),
+        extras={"lpr": result.lpr, "reverse": result.reverse},
+    )
+
+
+def _run_b_iter(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    from ..core.driver import bind
+
+    session = _make_session(dfg, datapath, config)
+    result = bind(
+        dfg,
+        datapath,
+        iter_starts=config.get("iter_starts"),
+        quality=config.get("quality") or "qu+qm",
+        session=session,
+    )
+    return StrategyResult(
+        latency=result.latency,
+        transfers=result.num_transfers,
+        seconds=result.init_seconds + result.iter_seconds,
+        binding=dict(result.binding),
+        stats=session_stats(session),
+    )
+
+
+def _run_pressure(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    """B-ITER followed by the pressure-aware Q_P pass, one shared session.
+
+    The whole pipeline — B-INIT sweep, Q_U/Q_M descent, Q_P descent —
+    shares a single session, so the pressure pass starts with the
+    descent's evaluation memo warm and the reported counters cover the
+    complete run.
+    """
+    from ..core.driver import bind
+    from ..core.pressure_aware import pressure_aware_improvement
+
+    budget = int(config.get("budget", 4))
+    session = _make_session(dfg, datapath, config)
+    t0 = time.perf_counter()
+    base = bind(
+        dfg,
+        datapath,
+        iter_starts=config.get("iter_starts"),
+        quality=config.get("quality") or "qu+qm",
+        session=session,
+    )
+    refined = pressure_aware_improvement(
+        dfg, datapath, base.binding, budget=budget, session=session
+    )
+    return StrategyResult(
+        latency=refined.schedule.latency,
+        transfers=refined.schedule.num_transfers,
+        seconds=time.perf_counter() - t0,
+        binding=dict(refined.binding),
+        stats=session_stats(session),
+        extras={"budget": budget, "qp_iterations": refined.iterations},
+    )
+
+
+def _run_tabu(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    """B-INIT seed, then the tabu walk on a (possibly budgeted) session.
+
+    The seed sweep runs unbudgeted — the budget governs the *walk*, as
+    in the golden budgeted capture — but the walk's session adopts the
+    seed session's evaluator so the memo carries over.
+    """
+    from ..core.driver import bind_initial
+    from ..core.tabu import tabu_improvement
+    from .session import SearchSession
+
+    t0 = time.perf_counter()
+    seed_session = SearchSession(dfg, datapath)
+    seed = bind_initial(dfg, datapath, session=seed_session)
+    kwargs: Dict[str, Any] = {}
+    if config.get("max_evals") is not None:
+        kwargs["max_evaluations"] = int(config["max_evals"])
+    if config.get("deadline") is not None:
+        kwargs["deadline_seconds"] = float(config["deadline"])
+    session = SearchSession(
+        dfg, datapath, evaluator=seed_session.evaluator, **kwargs
+    )
+    result = tabu_improvement(
+        dfg,
+        datapath,
+        seed.binding,
+        sideways_budget=int(config.get("sideways_budget", 20)),
+        max_steps=int(config.get("max_steps", 2000)),
+        session=session,
+    )
+    return StrategyResult(
+        latency=result.schedule.latency,
+        transfers=result.schedule.num_transfers,
+        seconds=time.perf_counter() - t0,
+        binding=dict(result.binding),
+        stats=session_stats(session),
+        extras={"steps": result.iterations},
+    )
+
+
+def _run_annealing(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    from ..baselines.annealing import annealing_bind
+
+    session = _make_session(dfg, datapath, config)
+    result = annealing_bind(
+        dfg,
+        datapath,
+        seed=int(config.get("seed") or 0),
+        session=session,
+    )
+    return StrategyResult(
+        latency=result.latency,
+        transfers=result.num_transfers,
+        seconds=result.seconds,
+        binding=dict(result.binding),
+        stats=session_stats(session),
+        extras={
+            "moves_tried": result.moves_tried,
+            "moves_accepted": result.moves_accepted,
+        },
+    )
+
+
+def _run_branch_and_bound(
+    dfg: Dfg, datapath: Datapath, config: Dict[str, Any]
+):
+    from ..baselines.branch_and_bound import branch_and_bound_bind
+
+    session = _make_session(dfg, datapath, config)
+    result = branch_and_bound_bind(
+        dfg,
+        datapath,
+        max_nodes=int(config.get("max_nodes") or 2_000_000),
+        session=session,
+    )
+    return StrategyResult(
+        latency=result.latency,
+        transfers=result.num_transfers,
+        seconds=result.seconds,
+        binding=dict(result.binding),
+        stats=session_stats(session),
+        extras={
+            "nodes_explored": result.nodes_explored,
+            "proven_optimal": result.proven_optimal,
+        },
+    )
+
+
+def _run_mincut(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    from ..baselines.mincut import mincut_bind
+
+    result = mincut_bind(
+        dfg,
+        datapath,
+        balance_tolerance=float(config.get("balance_tolerance") or 0.25),
+        max_rounds=int(config.get("max_rounds") or 500),
+    )
+    return StrategyResult(
+        latency=result.latency,
+        transfers=result.num_transfers,
+        seconds=result.seconds,
+        binding=dict(result.binding),
+        extras={"cut_size": result.cut_size},
+    )
+
+
+def _run_uas(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    from ..baselines.uas import uas_bind
+
+    result = uas_bind(dfg, datapath)
+    return StrategyResult(
+        latency=result.latency,
+        transfers=result.num_transfers,
+        seconds=result.seconds,
+        binding=dict(result.binding),
+        extras={"native_latency": result.native_latency},
+    )
+
+
+def _run_centralized(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    from ..baselines.centralized import centralized_latency
+
+    t0 = time.perf_counter()
+    schedule = centralized_latency(dfg, datapath)
+    return StrategyResult(
+        latency=schedule.latency,
+        transfers=schedule.num_transfers,
+        seconds=time.perf_counter() - t0,
+        binding=None,  # the reference point has no clustered binding
+    )
+
+
+def _run_exhaustive(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    from ..baselines.exhaustive import exhaustive_bind
+
+    result = exhaustive_bind(
+        dfg,
+        datapath,
+        max_space=int(config.get("max_space") or 2_000_000),
+    )
+    return StrategyResult(
+        latency=result.latency,
+        transfers=result.num_transfers,
+        seconds=result.seconds,
+        binding=dict(result.binding),
+        extras={"evaluated": result.evaluated},
+    )
+
+
+def _run_random(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    from ..baselines.random_binding import random_search
+
+    result = random_search(
+        dfg,
+        datapath,
+        samples=int(config.get("samples") or 100),
+        seed=int(config.get("seed") or 0),
+    )
+    return StrategyResult(
+        latency=result.latency,
+        transfers=result.num_transfers,
+        seconds=result.seconds,
+        binding=dict(result.binding),
+        extras={"samples": result.samples},
+    )
+
+
+# Failure-injection hooks for the executor tests (an always-raising
+# job, a sleeper for timeout tests, a hard crash for worker-loss
+# tests).  Registered here — hidden — so worker processes know them
+# without test-side setup, and so the runner has no dispatch table of
+# its own.
+
+def _run_debug_fail(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    raise RuntimeError("injected failure (debug-fail job)")
+
+
+def _run_debug_sleep(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    time.sleep(float(config.get("seconds", 60.0)))
+    return StrategyResult(latency=0, transfers=0, seconds=0.0)
+
+
+def _run_debug_crash(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    # Simulates a worker dying mid-job (segfault, OOM kill): exit the
+    # process without cleanup so ProcessPoolExecutor sees a lost worker.
+    import os
+
+    os._exit(17)
+
+
+_ITER_STARTS_FIELD = ConfigField(
+    "iter_starts",
+    int,
+    minimum=1,
+    help="B-INIT sweep candidates to seed descents from "
+    "(absent/None = all distinct candidates)",
+)
+
+register_strategy(Strategy(
+    name="pcc",
+    run=_run_pcc,
+    schema=(
+        ConfigField("improve", bool, default=True,
+                    help="run PCC's iterative-improvement phase"),
+    ),
+    description="Partial Component Clustering (Desoli; the paper's "
+    "baseline): component formation, placement, approximate descent",
+))
+
+register_strategy(Strategy(
+    name="b-init",
+    run=_run_b_init,
+    schema=(),
+    description="the driver's initial-binding sweep over L_PR stretch "
+    "values and binding directions (paper §3.1)",
+))
+
+register_strategy(Strategy(
+    name="b-iter",
+    run=_run_b_iter,
+    schema=(_ITER_STARTS_FIELD, QUALITY_FIELD) + BUDGET_FIELDS,
+    description="B-INIT sweep plus multi-start boundary-perturbation "
+    "descent under a declarative quality spec (paper §3.2)",
+))
+
+register_strategy(Strategy(
+    name="pressure",
+    run=_run_pressure,
+    schema=(
+        ConfigField("budget", int, default=4, minimum=1,
+                    help="per-cluster register budget for Q_P"),
+        _ITER_STARTS_FIELD,
+        QUALITY_FIELD,
+    ) + BUDGET_FIELDS,
+    description="B-ITER followed by the pressure-aware Q_P descent on "
+    "one shared session (extension)",
+))
+
+register_strategy(Strategy(
+    name="tabu",
+    run=_run_tabu,
+    schema=(
+        ConfigField("sideways_budget", int, default=20, minimum=0,
+                    help="non-improving steps before the walk stops"),
+        ConfigField("max_steps", int, default=2000, minimum=1,
+                    help="hard cap on committed steps"),
+    ) + BUDGET_FIELDS,
+    description="tabu walk over the boundary neighbourhood from the "
+    "B-INIT seed (footnote 4 variant)",
+))
+
+register_strategy(Strategy(
+    name="annealing",
+    run=_run_annealing,
+    schema=(SEED_FIELD,) + BUDGET_FIELDS,
+    description="Leupers-style simulated annealing over random "
+    "single-op reassignments (seeded, deterministic)",
+))
+
+register_strategy(Strategy(
+    name="branch-and-bound",
+    run=_run_branch_and_bound,
+    schema=(
+        ConfigField("max_nodes", int, default=2_000_000, minimum=1,
+                    help="search-tree node budget"),
+    ) + BUDGET_FIELDS,
+    description="exact depth-first search with admissible lower-bound "
+    "pruning, seeded by the B-INIT incumbent",
+))
+
+register_strategy(Strategy(
+    name="mincut",
+    run=_run_mincut,
+    schema=(
+        ConfigField("balance_tolerance", float, default=0.25, minimum=0.0,
+                    help="allowed relative load imbalance"),
+        ConfigField("max_rounds", int, default=500, minimum=1,
+                    help="cap on committed improvement moves"),
+    ),
+    description="Capitanio-style balanced min-cut partitioning "
+    "(homogeneous clusters only)",
+    homogeneous_only=True,
+))
+
+register_strategy(Strategy(
+    name="uas",
+    run=_run_uas,
+    schema=(),
+    description="Özer-style Unified Assign-and-Schedule: one greedy "
+    "cycle-by-cycle binding+scheduling pass",
+))
+
+register_strategy(Strategy(
+    name="centralized",
+    run=_run_centralized,
+    schema=(),
+    description="latency of the equivalent one-cluster machine (lower "
+    "reference point; produces no clustered binding)",
+))
+
+register_strategy(Strategy(
+    name="exhaustive",
+    run=_run_exhaustive,
+    schema=(
+        ConfigField("max_space", int, default=2_000_000, minimum=1,
+                    help="refuse search spaces larger than this"),
+    ),
+    description="enumerate every binding in the target-set cross "
+    "product (small DFGs; optimality oracle)",
+))
+
+register_strategy(Strategy(
+    name="random",
+    run=_run_random,
+    schema=(
+        ConfigField("samples", int, default=100, minimum=1,
+                    help="random bindings to draw"),
+        SEED_FIELD,
+    ),
+    description="best-of-N uniformly random bindings (sanity floor)",
+))
+
+register_strategy(Strategy(
+    name="debug-fail", run=_run_debug_fail, hidden=True, strict=False,
+    description="failure injection: always raises",
+))
+register_strategy(Strategy(
+    name="debug-sleep", run=_run_debug_sleep, hidden=True, strict=False,
+    description="failure injection: sleeps (timeout tests)",
+))
+register_strategy(Strategy(
+    name="debug-crash", run=_run_debug_crash, hidden=True, strict=False,
+    description="failure injection: kills the worker process",
+))

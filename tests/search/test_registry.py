@@ -1,0 +1,294 @@
+"""The strategy registry: schemas, parity, and end-to-end dispatch.
+
+Three contracts pinned here:
+
+* **parity** — every public binding entry point in ``repro.core`` /
+  ``repro.baselines`` is reachable through exactly one registered
+  strategy, and every public strategy maps back to one of them (no
+  orphan registrations, no unregistered algorithms);
+* **schemas** — config validation rejects what the old per-module
+  keyword plumbing silently mangled (bools as budgets, typo'd keys,
+  non-scalar values), while never injecting defaults (job cache keys
+  contain exactly what the caller set);
+* **dispatch** — every public strategy runs through ``run_jobs`` on a
+  tiny homogeneous cell, and its ``StrategyResult`` (stats shape,
+  extras) round-trips the result cache bit for bit.
+"""
+
+import importlib
+
+import pytest
+
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import random_layered_dfg
+from repro.runner import BindJob, ResultCache
+from repro.runner.api import run_jobs
+from repro.search.registry import (
+    ConfigError,
+    ConfigField,
+    Strategy,
+    StrategyResult,
+    get_strategy,
+    iter_strategies,
+    register_strategy,
+    run_strategy,
+    strategy_names,
+)
+
+# ----------------------------------------------------------------------
+# Parity: registry <-> algorithm modules
+# ----------------------------------------------------------------------
+
+#: baselines module -> strategy name wrapping its ``*_bind`` entry point.
+BASELINE_STRATEGIES = {
+    "annealing": "annealing",
+    "branch_and_bound": "branch-and-bound",
+    "centralized": "centralized",
+    "exhaustive": "exhaustive",
+    "mincut": "mincut",
+    "pcc": "pcc",
+    "random_binding": "random",
+    "uas": "uas",
+}
+
+#: core entry point -> strategy name driving it.
+CORE_STRATEGIES = {
+    ("repro.core.driver", "bind_initial"): "b-init",
+    ("repro.core.driver", "bind"): "b-iter",
+    ("repro.core.tabu", "tabu_improvement"): "tabu",
+    ("repro.core.pressure_aware", "pressure_aware_improvement"): "pressure",
+}
+
+
+class TestParity:
+    def test_every_baseline_module_has_a_strategy(self):
+        names = strategy_names()
+        for module, strategy in BASELINE_STRATEGIES.items():
+            mod = importlib.import_module(f"repro.baselines.{module}")
+            # centralized exports a latency reference, not a binder.
+            binders = [
+                n for n in mod.__all__
+                if n.endswith("_bind") or n == "centralized_latency"
+            ]
+            assert binders, f"repro.baselines.{module} exports no binder"
+            assert strategy in names, (
+                f"binder(s) {binders} of repro.baselines.{module} have "
+                f"no registered strategy {strategy!r}"
+            )
+
+    def test_no_baseline_module_is_missing_from_the_map(self):
+        # A new baselines module with a ``*_bind`` export must be added
+        # to the registry (and to BASELINE_STRATEGIES above).
+        import pkgutil
+
+        import repro.baselines as pkg
+
+        for info in pkgutil.iter_modules(pkg.__path__):
+            mod = importlib.import_module(f"repro.baselines.{info.name}")
+            binders = [
+                n for n in getattr(mod, "__all__", ())
+                if n.endswith("_bind")
+            ]
+            if binders:
+                assert info.name in BASELINE_STRATEGIES, (
+                    f"repro.baselines.{info.name} exports {binders} but "
+                    "has no strategy mapping"
+                )
+
+    def test_every_core_entry_point_has_a_strategy(self):
+        names = strategy_names()
+        for (module, attr), strategy in CORE_STRATEGIES.items():
+            assert hasattr(importlib.import_module(module), attr)
+            assert strategy in names
+
+    def test_every_public_strategy_maps_back(self):
+        expected = set(BASELINE_STRATEGIES.values()) | set(
+            CORE_STRATEGIES.values()
+        )
+        assert set(strategy_names()) == expected
+
+    def test_hidden_strategies_are_debug_hooks_only(self):
+        hidden = set(strategy_names(include_hidden=True)) - set(
+            strategy_names()
+        )
+        assert hidden == {"debug-fail", "debug-sleep", "debug-crash"}
+        for name in hidden:
+            assert not get_strategy(name).strict
+
+    def test_iter_strategies_sorted_and_described(self):
+        strategies = list(iter_strategies())
+        assert [s.name for s in strategies] == sorted(strategy_names())
+        for s in strategies:
+            assert s.description, f"{s.name} has no description"
+
+
+# ----------------------------------------------------------------------
+# Registration mechanics
+# ----------------------------------------------------------------------
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_strategy(
+                Strategy(name="pcc", run=lambda d, p, c: None)
+            )
+
+    def test_replace_allows_rebinding(self):
+        original = get_strategy("pcc")
+        try:
+            stub = Strategy(
+                name="pcc", run=lambda d, p, c: None, description="stub"
+            )
+            assert register_strategy(stub, replace=True) is stub
+            assert get_strategy("pcc") is stub
+        finally:
+            register_strategy(original, replace=True)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError) as err:
+            get_strategy("no-such-algo")
+        assert "unknown algorithm 'no-such-algo'" in str(err.value)
+        assert "pcc" in str(err.value)
+
+
+# ----------------------------------------------------------------------
+# Schema validation
+# ----------------------------------------------------------------------
+
+class TestValidation:
+    def test_unknown_key_rejected_for_strict(self):
+        with pytest.raises(ConfigError, match="'typo'"):
+            get_strategy("b-iter").validate_config({"typo": 1})
+
+    def test_unknown_key_accepted_for_debug_hooks(self):
+        assert get_strategy("debug-sleep").validate_config(
+            {"anything": 1}
+        ) == {"anything": 1}
+
+    def test_bool_is_not_an_int(self):
+        # A budget of ``True`` is a bug, not a 1.
+        with pytest.raises(ConfigError, match="max_evals"):
+            get_strategy("b-iter").validate_config({"max_evals": True})
+
+    def test_int_accepted_for_float(self):
+        assert get_strategy("b-iter").validate_config(
+            {"deadline": 5}
+        ) == {"deadline": 5}
+
+    def test_none_always_means_default(self):
+        assert get_strategy("b-iter").validate_config(
+            {"iter_starts": None}
+        ) == {"iter_starts": None}
+
+    def test_minimum_bound(self):
+        with pytest.raises(ConfigError, match=">= 1"):
+            get_strategy("b-iter").validate_config({"iter_starts": 0})
+
+    def test_quality_spec_checked(self):
+        strategy = get_strategy("b-iter")
+        assert strategy.validate_config({"quality": "qu+qm"})
+        with pytest.raises(ConfigError, match="quality"):
+            strategy.validate_config({"quality": "bogus"})
+
+    def test_non_scalar_is_a_type_error(self):
+        with pytest.raises(TypeError, match="not a JSON scalar"):
+            get_strategy("b-iter").validate_config({"max_evals": [1]})
+
+    def test_defaults_are_not_injected(self):
+        # Cache-key stability: absent keys stay absent.
+        assert get_strategy("annealing").validate_config({}) == {}
+
+    def test_field_validate_standalone(self):
+        f = ConfigField("x", int, minimum=2)
+        f.validate(2)
+        f.validate(None)
+        with pytest.raises(ConfigError):
+            f.validate(1)
+        with pytest.raises(ConfigError):
+            f.validate("2")
+
+
+# ----------------------------------------------------------------------
+# End-to-end dispatch on a tiny homogeneous cell
+# ----------------------------------------------------------------------
+
+#: Deterministic, fast configs for the smoke sweep.  The cell is small
+#: enough for exhaustive search and homogeneous for min-cut.
+SMOKE_CONFIGS = {
+    "annealing": {"seed": 0, "max_evals": 300},
+    "random": {"seed": 0, "samples": 40},
+    "branch-and-bound": {"max_nodes": 20_000},
+    "b-iter": {"iter_starts": 1},
+    "pressure": {"iter_starts": 1},
+    "tabu": {"max_steps": 50},
+}
+
+#: The canonical stats shape of session-backed strategies (the one
+#: ``session_stats`` emits); strategies bypassing the session layer
+#: report no stats at all — never a third shape.
+CANONICAL_STATS = {
+    "eval_hits", "eval_misses", "evaluations", "search_stats",
+}
+
+
+def _smoke_cell():
+    return (
+        random_layered_dfg(7, seed=3),
+        parse_datapath("|2,2|2,2|", num_buses=2),
+    )
+
+
+class TestDispatch:
+    def test_run_strategy_convenience(self):
+        dfg, dp = _smoke_cell()
+        result = run_strategy("pcc", dfg, dp)
+        assert isinstance(result, StrategyResult)
+        assert result.latency > 0 and result.transfers >= 0
+        assert result.binding is not None
+
+    @pytest.mark.parametrize("name", strategy_names())
+    def test_stats_shape_is_uniform(self, name):
+        dfg, dp = _smoke_cell()
+        result = run_strategy(name, dfg, dp, **SMOKE_CONFIGS.get(name, {}))
+        assert set(result.stats) in (set(), CANONICAL_STATS)
+        for key, value in result.extras.items():
+            assert isinstance(
+                value, (str, int, float, bool, type(None))
+            ), f"extras[{key!r}] is not a JSON scalar"
+
+    def test_centralized_has_no_binding(self):
+        dfg, dp = _smoke_cell()
+        assert run_strategy("centralized", dfg, dp).binding is None
+
+    def test_every_strategy_through_run_jobs_with_cache(self, tmp_path):
+        dfg, dp = _smoke_cell()
+        jobs = [
+            BindJob.make(dfg, dp, name, **SMOKE_CONFIGS.get(name, {}))
+            for name in strategy_names()
+        ]
+        cache = ResultCache(tmp_path / "cache")
+        first = run_jobs(jobs, cache=cache)
+        for result in first:
+            assert result.ok, f"{result.algorithm}: {result.error}"
+            assert result.latency > 0
+            assert not result.cached
+
+        # Cold replay from the cache: every StrategyResult-derived
+        # field round-trips, extras included.
+        replay = run_jobs(jobs, cache=ResultCache(tmp_path / "cache"))
+        for a, b in zip(first, replay):
+            assert b.cached
+            assert (a.latency, a.transfers) == (b.latency, b.transfers)
+            assert a.extras == b.extras
+            assert a.search_stats == b.search_stats
+            assert (a.eval_hits, a.eval_misses, a.evaluations) == (
+                b.eval_hits, b.eval_misses, b.evaluations
+            )
+
+    def test_exhaustive_matches_branch_and_bound(self):
+        # Two independent exact strategies agree on the tiny cell —
+        # the registry dispatches to genuinely different algorithms.
+        dfg, dp = _smoke_cell()
+        exact = run_strategy("exhaustive", dfg, dp)
+        bnb = run_strategy("branch-and-bound", dfg, dp)
+        assert exact.latency == bnb.latency

@@ -193,3 +193,67 @@ class TestNeighborhood:
             move = nbhd.random_reassignment(binding, rng)
             if move is not None:
                 assert move[0] == names[-1]
+
+
+class TestEvaluateMany:
+    """The batched evaluation contract behind the descent round.
+
+    ``evaluate_many`` may *execute* in placement-delta order, but it
+    must be observationally identical to the sequential loop: same
+    outcomes in input order, same evaluation count, same memo hit/miss
+    split.
+    """
+
+    def _round(self, cell):
+        dfg, dp = cell
+        binding = bind_initial(dfg, dp).binding
+        nbhd = Neighborhood(dfg, dp)
+        boundary = nbhd.boundary(binding)
+        moves = {v: nbhd.moves(binding, v) for v in boundary}
+        return [
+            binding.rebind(*p)
+            for p in nbhd.perturbations(binding, boundary, moves)
+        ]
+
+    def test_matches_sequential_on_fast_path(self, cell):
+        dfg, dp = cell
+        candidates = self._round(cell)
+        assert len(candidates) > 1
+        a = SearchSession(dfg, dp, fast=True)
+        b = SearchSession(dfg, dp, fast=True)
+        seq = [a.evaluate(c) for c in candidates]
+        batch = b.evaluate_many(candidates)
+        assert [(o.latency, o.num_transfers) for o in batch] == [
+            (o.latency, o.num_transfers) for o in seq
+        ]
+        assert b.stats.evaluations == a.stats.evaluations
+        assert b.evaluator.stats == a.evaluator.stats
+
+    def test_matches_sequential_on_naive_path(self, cell):
+        dfg, dp = cell
+        candidates = self._round(cell)
+        a = SearchSession(dfg, dp, fast=False)
+        b = SearchSession(dfg, dp, fast=False)
+        seq = [a.evaluate(c) for c in candidates]
+        batch = b.evaluate_many(candidates)
+        assert [(o.latency, o.num_transfers) for o in batch] == [
+            (o.latency, o.num_transfers) for o in seq
+        ]
+        assert b.stats.evaluations == a.stats.evaluations
+
+    def test_empty_and_singleton_batches(self, cell):
+        dfg, dp = cell
+        session = SearchSession(dfg, dp, fast=True)
+        assert session.evaluate_many([]) == []
+        binding = bind_initial(dfg, dp).binding
+        (only,) = session.evaluate_many([binding])
+        assert only.latency == session.evaluate(binding).latency
+
+    def test_duplicates_hit_the_memo_once(self, cell):
+        dfg, dp = cell
+        binding = bind_initial(dfg, dp).binding
+        session = SearchSession(dfg, dp, fast=True)
+        outs = session.evaluate_many([binding, binding, binding])
+        assert len({id(o) for o in outs}) == 1  # one memo entry
+        assert session.stats.evaluations == 3
+        assert session.stats.cache_misses == 1
