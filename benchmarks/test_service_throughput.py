@@ -1,0 +1,136 @@
+"""Benchmark: service throughput on concurrent small-cell submissions.
+
+Twelve distinct small Table-1-style cells (three kernels x four
+datapaths, all B-INIT) are submitted concurrently from six client
+threads to a two-worker :class:`~repro.service.core.BindingService`,
+and the round is timed from first submit to last terminal state.
+Reported per round (``extra_info`` in ``--benchmark-json`` dumps):
+
+* ``jobs_per_sec`` — completed jobs over wall clock;
+* ``p95_latency_s`` — the service's own submit-to-terminal p95 from
+  ``/metrics`` (client-visible request latency, not just bind time);
+* ``eval_hit_rate`` — the shared OutcomeStore tier's effectiveness.
+
+Two rounds bound the cross-worker evaluation-cache tier:
+
+* **cold** — fresh state, empty OutcomeStore: every schedule evaluated
+  from scratch;
+* **warm** — a fresh service and a fresh *result* cache (so no job
+  short-circuits to a cache hit), but the OutcomeStore directory of a
+  previous seeding round: workers warm-start their evaluation memos
+  from disk, so the same twelve cells re-bind with most evaluations
+  answered by the store.
+
+The smoke assertions (run by CI with ``--benchmark-disable``) pin the
+functional contract: every submission completes ``ok``, cold and warm
+rounds produce identical ``(L, M)`` per cell, and the warm round's
+eval-cache hit rate is no worse than the cold round's.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service import BindingService
+
+KERNELS = ("ewf", "arf", "fft")
+DATAPATHS = ("|1,1|1,1|", "|2,1|1,1|", "|2,2|1,1|", "|2,1|2,1|")
+CLIENT_THREADS = 6
+WORKERS = 2
+
+
+def _specs():
+    return [
+        {"kernel": k, "datapath": d, "algorithm": "b-init"}
+        for k in KERNELS
+        for d in DATAPATHS
+    ]
+
+
+def _run_round(state_dir, evals_dir):
+    """One full round: submit all cells concurrently, wait, measure."""
+    service = BindingService(
+        state_dir,
+        workers=WORKERS,
+        queue_limit=0,
+        default_timeout=120.0,
+        eval_cache_dir=evals_dir,
+    )
+    with service:
+        started = time.perf_counter()
+        with ThreadPoolExecutor(CLIENT_THREADS) as pool:
+            ids = list(
+                pool.map(lambda s: service.submit(s)["id"], _specs())
+            )
+        snapshots = [service.wait(i, timeout=600.0) for i in ids]
+        elapsed = time.perf_counter() - started
+        metrics = service.metrics_snapshot()
+    assert all(s["result"]["status"] == "ok" for s in snapshots)
+    outcomes = {
+        s["key"]: (s["result"]["latency"], s["result"]["transfers"])
+        for s in snapshots
+    }
+    return {
+        "elapsed": elapsed,
+        "jobs_per_sec": len(ids) / elapsed,
+        "p95_latency_s": metrics["latency"]["b-init"]["p95"],
+        "eval_hit_rate": metrics["eval_cache"]["hit_rate"],
+        "outcomes": outcomes,
+    }
+
+
+@pytest.fixture(scope="module")
+def seeded(tmp_path_factory):
+    """A populated OutcomeStore directory + the cold round's numbers.
+
+    The seeding round doubles as the *cold* measurement: it starts from
+    empty state, so its timing is exactly the cold-tier round.
+    """
+    evals = tmp_path_factory.mktemp("service-evals")
+    cold = _run_round(tmp_path_factory.mktemp("svc-cold"), evals)
+    return evals, cold
+
+
+def _attach(benchmark, stats, label):
+    benchmark.extra_info["cache"] = label
+    benchmark.extra_info["jobs"] = len(KERNELS) * len(DATAPATHS)
+    benchmark.extra_info["workers"] = WORKERS
+    benchmark.extra_info["client_threads"] = CLIENT_THREADS
+    benchmark.extra_info["jobs_per_sec"] = round(stats["jobs_per_sec"], 3)
+    benchmark.extra_info["p95_latency_s"] = round(stats["p95_latency_s"], 4)
+    benchmark.extra_info["eval_hit_rate"] = round(stats["eval_hit_rate"], 4)
+
+
+def test_service_throughput_cold(benchmark, tmp_path_factory):
+    """Cold OutcomeStore: every evaluation computed from scratch."""
+    stats = benchmark.pedantic(
+        lambda: _run_round(
+            tmp_path_factory.mktemp("svc"),
+            tmp_path_factory.mktemp("evals"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _attach(benchmark, stats, "cold")
+    assert stats["jobs_per_sec"] > 0
+
+
+def test_service_throughput_warm(benchmark, seeded, tmp_path_factory):
+    """Warm OutcomeStore: same cells, memos pre-seeded on disk."""
+    evals, cold = seeded
+    stats = benchmark.pedantic(
+        lambda: _run_round(tmp_path_factory.mktemp("svc-warm"), evals),
+        rounds=1,
+        iterations=1,
+    )
+    _attach(benchmark, stats, "warm")
+    benchmark.extra_info["cold_jobs_per_sec"] = round(
+        cold["jobs_per_sec"], 3
+    )
+    # Functional contract: the warm tier changes where evaluations are
+    # answered from, never the results.
+    assert stats["outcomes"] == cold["outcomes"]
+    assert stats["eval_hit_rate"] >= cold["eval_hit_rate"]

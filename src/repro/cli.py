@@ -15,12 +15,20 @@ Subcommands:
   with ``--budget R`` it also runs the pressure-aware ``Q_P`` descent
   and reports the before/after pressure plus evaluation-memo counters;
 * ``dse`` — design-space exploration: Pareto-optimal datapaths for a
-  set of kernels under an FU budget.
+  set of kernels under an FU budget;
+* ``serve`` — run the binding service (async job queue + warm worker
+  pool behind a stdlib HTTP JSON API; see :mod:`repro.service`);
+* ``submit`` — send one binding job to a running service (same flags,
+  same registry validation, and the same content-hash cache key as
+  ``run``);
+* ``watch`` — stream a submitted job's lifecycle events.
 
-The algorithm layer is declarative: ``bind -a`` and ``run`` accept any
-name from the strategy registry (:mod:`repro.search.registry`), so a
-newly registered strategy is immediately drivable from here with no CLI
-change.
+The algorithm layer is declarative: ``bind -a``, ``run``, and
+``submit`` accept any name from the strategy registry
+(:mod:`repro.search.registry`), so a newly registered strategy is
+immediately drivable from here with no CLI change.  Invalid strategy
+names and config-schema violations exit with a one-line error (the
+registry's message, listing the known names), never a traceback.
 """
 
 from __future__ import annotations
@@ -102,9 +110,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one registered strategy as an experiment job "
         "(caching, run store, budgets, telemetry)",
     )
+    # No argparse choices= here: the registry itself validates the name
+    # (via BindJob.make) and its error message lists every known
+    # strategy, hidden debug ones included — argparse would reject
+    # those before the registry could accept them.
     p_run.add_argument(
         "strategy",
-        choices=strategy_names(),
         metavar="STRATEGY",
         help="registered strategy name (see 'strategies')",
     )
@@ -157,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--all",
         action="store_true",
         help="include hidden debug strategies",
+    )
+    p_strategies.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable dump: names, descriptions, and typed "
+        "config schemas as JSON",
     )
 
     p_kernels = sub.add_parser("kernels", help="list built-in kernels")
@@ -223,6 +240,143 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument("--max-fus", type=int, default=10)
     p_dse.add_argument("--buses", type=int, default=2)
     _add_runner_args(p_dse)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the binding service (job queue + warm workers + "
+        "HTTP JSON API)",
+    )
+    p_serve.add_argument(
+        "--state-dir",
+        default=".repro-service",
+        metavar="DIR",
+        help="service home: run store, result cache, eval cache "
+        "(default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8731,
+        help="bind port; 0 picks an ephemeral one (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--port-file",
+        metavar="FILE",
+        help="write the bound port here once listening (for scripts "
+        "using --port 0)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="warm worker processes (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="queued-job bound before submits get 429 "
+        "(<= 0 disables; default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="failed attempts per job key before quarantine "
+        "(<= 0 disables; default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="attempt budget per submission (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="default per-attempt wall-clock budget in seconds "
+        "(default: %(default)s)",
+    )
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit one binding job to a running service "
+        "(same flags and validation as 'run')",
+    )
+    p_submit.add_argument(
+        "strategy",
+        metavar="STRATEGY",
+        help="registered strategy name (see 'strategies')",
+    )
+    p_submit.add_argument(
+        "kernel", help="kernel name (see 'kernels') or a DFG JSON path"
+    )
+    p_submit.add_argument(
+        "--datapath",
+        "-d",
+        default="|1,1|1,1|",
+        help="cluster spec (default: %(default)s)",
+    )
+    p_submit.add_argument("--buses", type=int, default=2, help="N_B (default 2)")
+    p_submit.add_argument(
+        "--move-latency", type=int, default=1, help="lat(move) (default 1)"
+    )
+    p_submit.add_argument(
+        "--quality",
+        metavar="SPEC",
+        help="quality spec (strategies with a 'quality' config key)",
+    )
+    p_submit.add_argument(
+        "--seed", type=int, metavar="N", help="RNG seed (stochastic strategies)"
+    )
+    p_submit.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        dest="config",
+        help="extra strategy config (JSON-typed value; repeatable)",
+    )
+    p_submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        metavar="N",
+        help="queue priority; higher runs sooner (default: %(default)s)",
+    )
+    p_submit.add_argument(
+        "--timeout",
+        type=float,
+        metavar="S",
+        help="per-attempt wall-clock budget (default: the server's)",
+    )
+    p_submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return instead of waiting for the "
+        "result",
+    )
+    p_submit.add_argument(
+        "--json",
+        action="store_true",
+        help="print the job snapshot as JSON",
+    )
+    _add_service_endpoint_args(p_submit)
+
+    p_watch = sub.add_parser(
+        "watch", help="stream a submitted job's lifecycle events"
+    )
+    p_watch.add_argument("job_id", metavar="JOB", help="job id from 'submit'")
+    _add_service_endpoint_args(p_watch)
     return parser
 
 
@@ -252,6 +406,21 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         "--store",
         metavar="FILE",
         help="append every job record to this JSONL run store",
+    )
+
+
+def _add_service_endpoint_args(parser: argparse.ArgumentParser) -> None:
+    """Where-is-the-service flags shared by ``submit`` and ``watch``."""
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="service host (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8731,
+        help="service port (default: %(default)s)",
     )
 
 
@@ -405,10 +574,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .runner import BindJob
     from .runner.api import run_jobs
 
-    dfg = _load(args.kernel)
-    dp = parse_datapath(
-        args.datapath, num_buses=args.buses, move_latency=args.move_latency
-    )
+    # Every user-input failure — unknown kernel/file, malformed
+    # datapath spec, unknown strategy, config-schema violation — exits
+    # with a one-line message, never a traceback.
+    try:
+        dfg = _load(args.kernel)
+        dp = parse_datapath(
+            args.datapath, num_buses=args.buses, move_latency=args.move_latency
+        )
+    except (OSError, KeyError, ValueError) as exc:
+        sys.exit(f"repro-bind: error: {exc}")
     config = _parse_config_sets(args.config)
     if args.quality is not None:
         config["quality"] = args.quality
@@ -451,6 +626,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_strategies(args: argparse.Namespace) -> int:
+    if args.json:
+        payload = [
+            {
+                "name": strategy.name,
+                "description": strategy.description,
+                "hidden": strategy.hidden,
+                "strict": strategy.strict,
+                "homogeneous_only": strategy.homogeneous_only,
+                "config": [
+                    {
+                        "name": field.name,
+                        "type": field.type.__name__,
+                        "default": field.default,
+                        "minimum": field.minimum,
+                        "help": field.help,
+                    }
+                    for field in strategy.schema
+                ],
+            }
+            for strategy in iter_strategies(include_hidden=args.all)
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     for strategy in iter_strategies(include_hidden=args.all):
         tags = []
         if strategy.homogeneous_only:
@@ -571,6 +769,150 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+    from pathlib import Path
+
+    from .service import BindingService, ServiceHTTPServer
+
+    service = BindingService(
+        args.state_dir,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        breaker_threshold=args.breaker_threshold,
+        max_attempts=args.max_attempts,
+        default_timeout=args.timeout,
+    )
+    service.start()
+
+    async def _serve() -> None:
+        server = ServiceHTTPServer(service, host=args.host, port=args.port)
+        await server.start()
+        if args.port_file:
+            Path(args.port_file).write_text(f"{server.port}\n")
+        print(
+            f"repro-bind service on http://{args.host}:{server.port} "
+            f"(state: {service.state_dir}, workers: {args.workers})",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await stop.wait()
+        print("repro-bind service draining...", flush=True)
+        await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    finally:
+        service.close(drain=True)
+    return 0
+
+
+def _print_submit_result(snapshot: dict) -> int:
+    result = snapshot.get("result") or {}
+    status = result.get("status")
+    cached = " (cached)" if result.get("cached") else ""
+    print(
+        f"job {snapshot['id']} [{snapshot['state']}] "
+        f"{snapshot['kernel']} via {snapshot['algorithm']}"
+    )
+    if snapshot["state"] != "done":
+        return 0
+    if status == "ok":
+        print(
+            f"  L = {result['latency']}, M = {result['transfers']}, "
+            f"time = {result.get('seconds', 0.0):.3f}s{cached}"
+        )
+        return 0
+    print(f"  status = {status}: {result.get('error')}")
+    return 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import SPEC_FORMAT, ServiceClient, ServiceError
+
+    spec: dict = {
+        "format": SPEC_FORMAT,
+        "datapath": args.datapath,
+        "buses": args.buses,
+        "move_latency": args.move_latency,
+        "algorithm": args.strategy,
+    }
+    if args.kernel.lower() in KERNELS:
+        spec["kernel"] = args.kernel.lower()
+    else:
+        from .dfg.serialize import dfg_to_dict
+
+        try:
+            spec["dfg"] = dfg_to_dict(load_dfg(args.kernel))
+        except (OSError, KeyError, ValueError) as exc:
+            sys.exit(f"repro-bind: error: {exc}")
+    config = _parse_config_sets(args.config)
+    if args.quality is not None:
+        config["quality"] = args.quality
+    if args.seed is not None:
+        config["seed"] = args.seed
+    if config:
+        spec["config"] = config
+    if args.priority:
+        spec["priority"] = args.priority
+    if args.timeout is not None:
+        spec["timeout"] = args.timeout
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        snapshot = client.submit(spec)
+        if not args.no_wait and snapshot.get("state") != "done":
+            snapshot = client.wait(snapshot["id"])
+    except ServiceError as exc:
+        # The server validated the spec with the same registry schema
+        # 'run' uses; relay its one-line message (unknown strategy,
+        # config violation, full queue, draining) without a traceback.
+        sys.exit(f"repro-bind: error: {exc.message}")
+    except TimeoutError as exc:
+        sys.exit(f"repro-bind: error: {exc}")
+    except OSError as exc:
+        sys.exit(
+            f"repro-bind: error: cannot reach service at "
+            f"{args.host}:{args.port}: {exc}"
+        )
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0 if (snapshot.get("result") or {}).get("status") in (
+            "ok",
+            None,
+        ) else 1
+    return _print_submit_result(snapshot)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        for event in client.events(args.job_id):
+            detail = event.get("detail")
+            suffix = f"  {json.dumps(detail, sort_keys=True)}" if detail else ""
+            print(f"{event.get('event', '?'):12s} {event.get('job')}{suffix}")
+        snapshot = client.job(args.job_id)
+    except ServiceError as exc:
+        sys.exit(f"repro-bind: error: {exc.message}")
+    except OSError as exc:
+        sys.exit(
+            f"repro-bind: error: cannot reach service at "
+            f"{args.host}:{args.port}: {exc}"
+        )
+    return _print_submit_result(snapshot)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -617,6 +959,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_pressure(args)
     if args.command == "dse":
         return _cmd_dse(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     return 2
 
 

@@ -21,6 +21,8 @@ memo actually removed.
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
@@ -29,7 +31,59 @@ from ..dfg.graph import Dfg
 from ..schedule.fastpath import FastOutcome, SchedContext
 from ..schedule.schedule import Schedule
 
-__all__ = ["EvalStats", "EvalCache", "Evaluator"]
+__all__ = [
+    "WARM_CONTEXT_ENV",
+    "EvalStats",
+    "EvalCache",
+    "Evaluator",
+    "shared_context",
+    "warm_contexts_enabled",
+]
+
+#: Environment gate for the process-level :class:`SchedContext` pool.
+#: Long-lived processes that evaluate many jobs over a few recurring
+#: ``(DFG, datapath)`` pairs — the service's warm worker pool — set it
+#: so successive :class:`Evaluator` instances reuse the precompiled
+#: context instead of rebuilding the integer tables per job.
+WARM_CONTEXT_ENV = "REPRO_WARM_CONTEXTS"
+
+#: Most contexts kept warm per process (LRU beyond this).
+_CONTEXT_POOL_MAX = 8
+
+#: content hash -> precompiled context, most recently used last.
+_context_pool: "OrderedDict[str, SchedContext]" = OrderedDict()
+
+
+def warm_contexts_enabled() -> bool:
+    """True when ``REPRO_WARM_CONTEXTS`` asks for context pooling."""
+    value = os.environ.get(WARM_CONTEXT_ENV, "").strip().lower()
+    return value in ("1", "true", "yes", "on")
+
+
+def shared_context(dfg: Dfg, datapath: Datapath) -> SchedContext:
+    """The process-level precompiled context for ``(dfg, datapath)``.
+
+    Keyed by the same content hash the on-disk
+    :class:`~repro.search.diskcache.OutcomeStore` uses (full timing
+    registry included), so two jobs get one context exactly when their
+    evaluation spaces are identical.  A context is stateless between
+    ``evaluate`` calls — a single :class:`Evaluator` already reuses one
+    across its whole lifetime — so sequential sharing across evaluators
+    in one process is observationally identical to a fresh build, only
+    without the precompilation cost.  The pool is LRU-bounded.
+    """
+    from ..search.diskcache import outcome_cache_key  # lazy: avoids cycle
+
+    key = outcome_cache_key(dfg, datapath)
+    ctx = _context_pool.get(key)
+    if ctx is None:
+        ctx = SchedContext(dfg, datapath)
+        _context_pool[key] = ctx
+        while len(_context_pool) > _CONTEXT_POOL_MAX:
+            _context_pool.popitem(last=False)
+    else:
+        _context_pool.move_to_end(key)
+    return ctx
 
 #: Memo key: the cluster of every regular operation, in DFG order.
 PlacementKey = Tuple[int, ...]
@@ -150,7 +204,10 @@ class Evaluator:
         datapath: Datapath,
         cache: Optional[EvalCache] = None,
     ) -> None:
-        self.ctx = SchedContext(dfg, datapath)
+        if warm_contexts_enabled():
+            self.ctx = shared_context(dfg, datapath)
+        else:
+            self.ctx = SchedContext(dfg, datapath)
         self.cache = cache if cache is not None else EvalCache()
         self.evaluations = 0
         self._prev: Optional[Tuple[PlacementKey, list]] = None

@@ -51,7 +51,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 from ..resilience import faults
 from .jobs import BindJob, JobResult, execute_job
 
-__all__ = ["JobTimeout", "run_batch"]
+__all__ = ["JobTimeout", "attempt_job", "run_batch"]
 
 
 def _backoff_delay(
@@ -109,6 +109,21 @@ def _attempt(job: BindJob, timeout: Optional[float]) -> JobResult:
     with _deadline(timeout):
         faults.fire("executor.attempt")
         return execute_job(job)
+
+
+def attempt_job(job: BindJob, timeout: Optional[float] = None) -> JobResult:
+    """Run one job attempt in the current process, under ``timeout``.
+
+    This is the single-attempt primitive both execution engines are
+    built on: the wall-clock budget is enforced with ``SIGALRM`` inside
+    the executing process, and the ``executor.attempt`` fault-injection
+    site fires before the strategy dispatch.  Long-lived callers that
+    manage their own retry/queue policy — the service's warm worker
+    pool — call this directly instead of going through
+    :func:`run_batch`.  Raises whatever the strategy (or the deadline)
+    raises; failure bookkeeping is the caller's responsibility.
+    """
+    return _attempt(job, timeout)
 
 
 def _worker(

@@ -43,18 +43,29 @@ import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Union
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 from ..resilience import faults
 from .jobs import BindJob, JobResult
 
-__all__ = ["RUN_FORMAT", "INCIDENT_FORMAT", "RunStore", "RunSummary"]
+__all__ = [
+    "RUN_FORMAT",
+    "INCIDENT_FORMAT",
+    "EVENT_FORMAT",
+    "RunStore",
+    "RunSummary",
+]
 
 #: Schema tag of every record line; bump on field changes.
 RUN_FORMAT = "repro-run/1"
 
 #: Schema tag of incident lines (caught violations, quarantines).
 INCIDENT_FORMAT = "repro-incident/1"
+
+#: Schema tag of service lifecycle events (queued/started/completed),
+#: appended by :mod:`repro.service` and replayed by its streaming
+#: ``/jobs/{id}/events`` endpoint.
+EVENT_FORMAT = "repro-service-event/1"
 
 
 def _line_checksum(entry: Dict[str, Any]) -> str:
@@ -144,6 +155,56 @@ class RunStore:
             }
         )
 
+    def record_event(
+        self,
+        event: str,
+        job_id: str,
+        key: str = "",
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Append one service lifecycle event (queued, started, ...).
+
+        Events share the store file with run records and incidents, so
+        a single JSONL artifact replays a job's whole service history —
+        the ``/jobs/{id}/events`` endpoint is a filtered tail of this
+        file.  ``ts`` is a wall-clock stamp for display only; it is not
+        part of any result.
+        """
+        entry: Dict[str, Any] = {
+            "format": EVENT_FORMAT,
+            "event": event,
+            "job": job_id,
+            "key": key,
+            "ts": time.time(),
+        }
+        if detail:
+            entry["detail"] = detail
+        self._append(entry)
+
+    @staticmethod
+    def parse_line(line: str) -> Dict[str, Any]:
+        """Parse one store line into its verified entry, or ``{}``.
+
+        One code path owns the "is this line trustworthy" decision for
+        every reader — bulk loads here and the service's incremental
+        tail (:mod:`repro.service.stream`).  A line that is blank,
+        fails to parse, is not an object, or fails its checksum comes
+        back as an empty dict (legacy checksum-less lines still pass).
+        """
+        line = line.strip()
+        if not line:
+            return {}
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            return {}
+        if not isinstance(entry, dict):
+            return {}
+        checksum = entry.get("sha256")
+        if checksum is not None and checksum != _line_checksum(entry):
+            return {}  # bit rot / torn-but-parseable line
+        return entry
+
     @staticmethod
     def _read_lines(
         path: Union[str, Path], fmt: str
@@ -154,19 +215,9 @@ class RunStore:
         except OSError:
             return records
         for line in lines:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except ValueError:
-                continue
-            if not isinstance(entry, dict) or entry.get("format") != fmt:
-                continue
-            checksum = entry.get("sha256")
-            if checksum is not None and checksum != _line_checksum(entry):
-                continue  # bit rot / torn-but-parseable line
-            records.append(entry)
+            entry = RunStore.parse_line(line)
+            if entry and entry.get("format") == fmt:
+                records.append(entry)
         return records
 
     @staticmethod
@@ -186,6 +237,10 @@ class RunStore:
     def incidents(self) -> List[Dict[str, Any]]:
         """All incident records of this store's file."""
         return self._read_lines(self.path, INCIDENT_FORMAT)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """All service lifecycle events of this store's file."""
+        return self._read_lines(self.path, EVENT_FORMAT)
 
     def ok_records(self) -> Dict[str, Dict[str, Any]]:
         """Latest successful record per job key (``resume=`` source)."""

@@ -1,0 +1,49 @@
+"""Binding-as-a-service: the runner substrate behind a job API.
+
+The :mod:`repro.service` package turns the batch runner into a
+long-lived service — submit binding jobs, stream their lifecycle, read
+the results — while reusing every guarantee the offline path already
+provides: registry-validated specs, content-hash caching, the run
+store's durable JSONL log, circuit-breaker quarantine, and the shared
+evaluation-outcome cache.
+
+Layers (each importable and testable on its own):
+
+* :mod:`~repro.service.spec` — the ``repro-bindspec/1`` wire format
+  and its validation into :class:`~repro.runner.jobs.BindJob`;
+* :mod:`~repro.service.queue` — bounded priority queue (backpressure);
+* :mod:`~repro.service.workers` — warm-context process worker pool;
+* :mod:`~repro.service.metrics` — counters and latency percentiles;
+* :mod:`~repro.service.stream` — torn-tail-tolerant store tailing;
+* :mod:`~repro.service.core` — :class:`BindingService`, the facade;
+* :mod:`~repro.service.http` — asyncio stdlib HTTP front end;
+* :mod:`~repro.service.client` — stdlib HTTP client (CLI + tests).
+"""
+
+from .client import ServiceClient, ServiceError
+from .core import BindingService, ServiceClosed
+from .http import ServiceHTTPServer
+from .metrics import Metrics, percentile
+from .queue import JobQueue, QueueFull
+from .spec import SPEC_FORMAT, SpecError, SubmitOptions, job_from_spec
+from .stream import StoreTailer, follow_store
+from .workers import WorkerPool
+
+__all__ = [
+    "BindingService",
+    "JobQueue",
+    "Metrics",
+    "QueueFull",
+    "SPEC_FORMAT",
+    "ServiceClient",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "SpecError",
+    "StoreTailer",
+    "SubmitOptions",
+    "WorkerPool",
+    "follow_store",
+    "job_from_spec",
+    "percentile",
+]

@@ -1,0 +1,151 @@
+"""Stdlib HTTP client for the binding service.
+
+``repro-bind submit``/``watch`` and the tests talk to a running
+``serve`` process through this thin wrapper over :mod:`http.client` —
+one connection per call, mirroring the server's ``Connection: close``
+protocol.  Non-2xx responses raise :class:`ServiceError` carrying the
+HTTP status and the server's one-line ``{"error": ...}`` message, so
+CLI surfaces print exactly what the service said.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Client for one service endpoint.
+
+    Args:
+        host: service host.
+        port: service port.
+        timeout: per-connection socket timeout in seconds (streaming
+            calls override it with their own, longer bound).
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8731, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                data = json.loads(raw.decode("utf-8")) if raw else None
+            except ValueError:
+                data = None
+            if not 200 <= response.status < 300:
+                message = (
+                    data.get("error", raw.decode("utf-8", "replace"))
+                    if isinstance(data, dict)
+                    else raw.decode("utf-8", "replace").strip()
+                )
+                raise ServiceError(response.status, message)
+            return data
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """POST a job spec; its job snapshot (maybe already terminal)."""
+        return self._request("POST", "/jobs", payload=spec)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll ``GET /jobs/{id}`` until the job is terminal.
+
+        Raises :class:`TimeoutError` if ``timeout`` elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot.get("state") == "done":
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} not finished after {timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def events(
+        self, job_id: str, timeout: float = 300.0
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream a job's lifecycle events (ends when the job does).
+
+        The server holds the connection open and writes newline-
+        delimited JSON; iteration finishes when the server closes it.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    message = json.loads(raw.decode("utf-8"))["error"]
+                except (ValueError, KeyError, UnicodeDecodeError):
+                    message = raw.decode("utf-8", "replace").strip()
+                raise ServiceError(response.status, message)
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    continue
+        finally:
+            conn.close()

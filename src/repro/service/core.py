@@ -1,0 +1,536 @@
+"""The binding service: queue + warm worker pool + caches, one facade.
+
+:class:`BindingService` is the in-process heart of ``repro-bind
+serve``: everything the HTTP layer does is a thin translation onto
+these methods, so the whole service is testable (and embeddable)
+without a socket.
+
+Life of a request (:meth:`submit`):
+
+1. the spec is validated into a :class:`~repro.runner.jobs.BindJob`
+   via :func:`~repro.service.spec.job_from_spec` — the *same* typed
+   registry validation as the offline CLI, producing the same
+   content-hash key;
+2. the **circuit breaker** consults cumulative failed attempts for
+   that key (seeded from the run store on boot, so a poisoned spec
+   stays quarantined across restarts) and short-circuits to a
+   ``quarantined`` result;
+3. the **result cache** is consulted: a hit completes the job
+   immediately with ``cached=True`` — dedup by content hash against
+   every previous run that shared the cache directory, offline sweeps
+   included;
+4. an identical job already **in flight** coalesces onto the existing
+   one instead of queueing a duplicate;
+5. otherwise the job is admitted to the bounded priority queue
+   (:class:`~repro.service.queue.JobQueue`; at capacity the submit is
+   rejected — backpressure, not buffering) and pumped to an idle
+   worker when one frees up.
+
+Completion flows back through :meth:`_on_result` on the pool's
+collector thread: successes are recorded + cached and their latency
+sampled; in-worker failures and worker *crashes* both count toward the
+breaker, retry while budget remains, and quarantine at the threshold.
+Every transition appends a ``repro-service-event/1`` line to the run
+store, which is exactly what ``/jobs/{id}/events`` tails.
+
+Threading: one re-entrant lock guards all mutable state; a condition
+on it wakes :meth:`wait` callers on terminal transitions.  Callbacks
+arrive on the collector thread; HTTP handlers call in from the asyncio
+thread via ``run_in_executor``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..runner.cache import ResultCache
+from ..runner.jobs import BindJob, JobResult
+from ..runner.store import RunStore
+from .metrics import Metrics
+from .queue import JobQueue, QueueFull
+from .spec import SpecError, SubmitOptions, job_from_spec
+from .workers import WorkerPool
+
+__all__ = ["ServiceClosed", "JobRecord", "BindingService"]
+
+#: States a job record moves through; "done" is terminal — the outcome
+#: (ok / failed / quarantined) lives in the result's ``status``.
+_STATES = ("queued", "running", "done")
+
+
+class ServiceClosed(RuntimeError):
+    """The service is draining and no longer accepts submissions."""
+
+
+class JobRecord:
+    """One admitted job's mutable service-side state."""
+
+    __slots__ = (
+        "id",
+        "job",
+        "options",
+        "key",
+        "state",
+        "result",
+        "attempts",
+        "submitted_mono",
+        "shard",
+    )
+
+    def __init__(self, job_id: str, job: BindJob, options: SubmitOptions) -> None:
+        self.id = job_id
+        self.job = job
+        self.options = options
+        self.key = job.cache_key()
+        self.state = "queued"
+        self.result: Optional[JobResult] = None
+        self.attempts = 0
+        self.submitted_mono = time.monotonic()
+        # Warm-context affinity is per (DFG, machine), not per job key:
+        # the same datapath under different algorithms shares a context.
+        self.shard = int(
+            hashlib.sha256(
+                (job.dfg_json + "\x00" + job.datapath_spec).encode("utf-8")
+            ).hexdigest()[:8],
+            16,
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe view for ``GET /jobs/{id}`` and the CLI."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "key": self.key,
+            "kernel": self.job.kernel,
+            "algorithm": self.job.algorithm,
+            "priority": self.options.priority,
+            "attempts": self.attempts,
+            "result": self.result.to_dict() if self.result is not None else None,
+        }
+
+
+class BindingService:
+    """Async binding-as-a-service over the runner substrate.
+
+    Args:
+        state_dir: service home; holds ``runs.jsonl`` (run store),
+            ``cache/`` (result cache) and ``cache/evals/`` (the shared
+            eval-outcome tier) unless overridden.
+        workers: warm worker process count.
+        queue_limit: queued-job bound; <= 0 disables backpressure.
+        breaker_threshold: cumulative failed attempts per job key at
+            which the key quarantines; <= 0 disables the breaker.
+        max_attempts: per-submission attempt budget before the job
+            reports ``failed`` (crashes and in-worker errors both
+            consume attempts; the breaker may fire first).
+        default_timeout: per-attempt wall-clock budget (seconds) for
+            specs that do not carry their own.
+        eval_cache_dir: override for the shared eval-outcome store
+            (benchmarks use this to measure warm vs. cold tiers).
+    """
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path],
+        *,
+        workers: int = 2,
+        queue_limit: int = 64,
+        breaker_threshold: int = 3,
+        max_attempts: int = 2,
+        default_timeout: Optional[float] = 60.0,
+        eval_cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.store = RunStore(self.state_dir / "runs.jsonl")
+        self.cache = ResultCache(self.state_dir / "cache")
+        evals = Path(eval_cache_dir) if eval_cache_dir else self.cache.root / "evals"
+        self.breaker_threshold = breaker_threshold
+        self.max_attempts = max(1, max_attempts)
+        self.default_timeout = default_timeout
+        self.metrics = Metrics()
+        self.queue = JobQueue(limit=queue_limit)
+        self.pool = WorkerPool(
+            workers,
+            self._on_result,
+            env={
+                "REPRO_EVAL_CACHE": str(evals),
+                "REPRO_WARM_CONTEXTS": "1",
+            },
+        )
+        self._lock = threading.RLock()
+        self._done = threading.Condition(self._lock)
+        self._jobs: Dict[str, JobRecord] = {}
+        self._inflight: Dict[str, str] = {}  # job key -> live job id
+        # Breaker memory survives restarts: failed run records already
+        # on disk count against their keys from the first submit.
+        self._failures: Dict[str, int] = self.store.failed_attempts()
+        self._seq = 0
+        self._draining = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if not self._started:
+            self.pool.start()
+            self._started = True
+
+    def close(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the service; with ``drain`` first finish admitted work."""
+        with self._lock:
+            self._draining = True
+        if drain and self._started:
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                with self._lock:
+                    idle = self.queue.depth == 0 and self.pool.busy == 0
+                if idle:
+                    break
+                time.sleep(0.02)
+        if self._started:
+            self.pool.shutdown()
+        self.store.record_event("shutdown", "", detail={"drained": drain})
+
+    def __enter__(self) -> "BindingService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, spec: Any) -> Dict[str, Any]:
+        """Admit one job spec; return its job snapshot.
+
+        Raises:
+            SpecError: invalid spec (HTTP 400 / CLI exit 2).
+            QueueFull: backpressure rejection (HTTP 429).
+            ServiceClosed: the service is draining (HTTP 503).
+        """
+        job, options = job_from_spec(spec)  # SpecError propagates
+        with self._lock:
+            if self._draining:
+                raise ServiceClosed("service is draining; not accepting jobs")
+            self.metrics.submitted += 1
+            key = job.cache_key()
+
+            # Circuit breaker: a persistently failing spec completes
+            # instantly as quarantined instead of burning workers.
+            if (
+                self.breaker_threshold > 0
+                and self._failures.get(key, 0) >= self.breaker_threshold
+            ):
+                record = self._admit(job, options)
+                record.result = JobResult(
+                    key=key,
+                    kernel=job.kernel,
+                    algorithm=job.algorithm,
+                    datapath_spec=job.datapath_spec,
+                    status="quarantined",
+                    error=(
+                        f"circuit breaker open: {self._failures[key]} "
+                        "prior failed attempts"
+                    ),
+                    attempts=0,
+                    worker="breaker",
+                )
+                self.store.record_incident(
+                    "service.submit",
+                    "circuit-breaker",
+                    f"quarantined after {self._failures[key]} failed attempts "
+                    f"(threshold {self.breaker_threshold})",
+                    key=key,
+                )
+                self.metrics.incidents += 1
+                self.metrics.quarantined += 1
+                self._finish(record)
+                return record.snapshot()
+
+            # Content-hash dedup, tier 1: the shared result cache.  Any
+            # identical job ever completed against this cache directory
+            # (this service, a prior life, or an offline sweep) replays.
+            payload = self.cache.get(key)
+            if payload is not None:
+                record = self._admit(job, options)
+                result = JobResult.from_dict(payload)
+                result.cached = True
+                result.attempts = 0
+                result.worker = "cache"
+                record.result = result
+                self.metrics.cache_hits += 1
+                self.store.record(job, result)
+                self.store.record_event("cache-hit", record.id, key=key)
+                self._observe(record)
+                self._finish(record)
+                return record.snapshot()
+
+            # Tier 2: an identical job already queued or running —
+            # coalesce instead of executing twice.
+            live = self._inflight.get(key)
+            if live is not None:
+                self.metrics.deduped += 1
+                self.store.record_event("deduped", live, key=key)
+                return self._jobs[live].snapshot()
+
+            # Admission under backpressure: a full queue sheds the new
+            # submission before any state is published.
+            record = self._admit(job, options)
+            try:
+                self.queue.push(record.id, options.priority)
+            except QueueFull:
+                del self._jobs[record.id]
+                self.metrics.rejected += 1
+                raise
+            self._inflight[key] = record.id
+            self.store.record_event(
+                "queued",
+                record.id,
+                key=key,
+                detail={"priority": options.priority},
+            )
+        self._pump()
+        with self._lock:
+            return record.snapshot()
+
+    def _admit(self, job: BindJob, options: SubmitOptions) -> JobRecord:
+        self._seq += 1
+        record = JobRecord(f"job-{self._seq:04d}", job, options)
+        self._jobs[record.id] = record
+        return record
+
+    def _observe(self, record: JobRecord) -> None:
+        self.metrics.observe_latency(
+            record.job.algorithm, time.monotonic() - record.submitted_mono
+        )
+
+    def _finish(self, record: JobRecord) -> None:
+        """Mark terminal, drop in-flight tracking, wake waiters."""
+        record.state = "done"
+        self._inflight.pop(record.key, None)
+        self.metrics.completed += 1
+        self._done.notify_all()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def status(self, job_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            record = self._jobs.get(job_id)
+            return record.snapshot() if record is not None else None
+
+    def wait(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Optional[Dict[str, Any]]:
+        """Block until ``job_id`` is terminal (or ``timeout``); its snapshot."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None:
+                return None
+            self._done.wait_for(lambda: record.state == "done", timeout)
+            return record.snapshot()
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [r.snapshot() for r in self._jobs.values()]
+
+    def health(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "status": "draining" if self._draining else "ok",
+                "workers": self.pool.size,
+                "queue_depth": self.queue.depth,
+                "uptime_seconds": time.time() - self.metrics.started_at,
+            }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The full ``/metrics`` payload."""
+        with self._lock:
+            snap = self.metrics.snapshot()
+            snap["queue"] = {
+                "depth": self.queue.depth,
+                "limit": self.queue.limit,
+                "rejected": self.queue.rejected,
+            }
+            snap["workers"] = {
+                "size": self.pool.size,
+                "busy": self.pool.busy,
+                "utilization": self.pool.utilization,
+                "restarts": self.pool.restarts,
+            }
+            stats = self.cache.stats
+            snap["result_cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "writes": stats.writes,
+                "hit_rate": stats.hit_rate,
+            }
+            return snap
+
+    # ------------------------------------------------------------------
+    # Dispatch + completion
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Move queued jobs onto idle workers (callers hold no lock)."""
+        with self._lock:
+            while self.queue.depth > 0 and self.pool.busy < self.pool.size:
+                job_id = self.queue.pop()
+                if job_id is None:
+                    return
+                record = self._jobs[job_id]
+                timeout = (
+                    record.options.timeout
+                    if record.options.timeout is not None
+                    else self.default_timeout
+                )
+                if not self.pool.dispatch(
+                    job_id, record.job, timeout, record.shard
+                ):
+                    # Raced a worker death: requeue and let the next
+                    # completion (or restart) pump again.
+                    self.queue.push(job_id, record.options.priority, force=True)
+                    return
+                record.state = "running"
+                record.attempts += 1
+                self.store.record_event(
+                    "started",
+                    job_id,
+                    key=record.key,
+                    detail={"attempt": record.attempts},
+                )
+
+    def _on_result(
+        self,
+        job_id: str,
+        payload: Optional[Dict[str, Any]],
+        worker: int,
+        crashed: bool,
+    ) -> None:
+        """Pool collector callback: success, in-worker error, or crash."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None:  # pragma: no cover - defensive
+                return
+            if payload is not None and payload.get("format"):
+                result = JobResult.from_dict(payload)
+                result.attempts = record.attempts
+                if result.ok:
+                    self._complete_ok(record, result)
+                else:
+                    self._register_failure(
+                        record, result.error or "strategy reported failure"
+                    )
+            elif crashed or payload is None:
+                self.metrics.crashes += 1
+                self.store.record_incident(
+                    "service.worker",
+                    "worker-crash",
+                    f"worker {worker} died executing attempt "
+                    f"{record.attempts}",
+                    key=record.key,
+                )
+                self.metrics.incidents += 1
+                self._register_failure(record, "worker process crashed")
+            else:
+                self._register_failure(
+                    record, str(payload.get("error") or "unknown worker error")
+                )
+        self._pump()
+
+    def _complete_ok(self, record: JobRecord, result: JobResult) -> None:
+        record.result = result
+        self.metrics.ok += 1
+        if result.eval_hits:
+            self.metrics.eval_hits += result.eval_hits
+        if result.eval_misses:
+            self.metrics.eval_misses += result.eval_misses
+        self.store.record(record.job, result)
+        try:
+            self.cache.put(record.key, result.to_dict())
+        except OSError as exc:
+            # Degrade to uncached, exactly like the batch runner.
+            self.store.record_incident(
+                "service.cache",
+                "cache-write-failed",
+                f"{type(exc).__name__}: {exc}",
+                key=record.key,
+            )
+            self.metrics.incidents += 1
+        self._observe(record)
+        self.store.record_event(
+            "completed",
+            record.id,
+            key=record.key,
+            detail={"status": result.status, "latency": result.latency},
+        )
+        self._finish(record)
+
+    def _register_failure(self, record: JobRecord, error: str) -> None:
+        """One failed attempt: breaker bookkeeping, retry or terminal."""
+        key = record.key
+        self._failures[key] = self._failures.get(key, 0) + 1
+        self.metrics.failed += 1
+        failed = JobResult(
+            key=key,
+            kernel=record.job.kernel,
+            algorithm=record.job.algorithm,
+            datapath_spec=record.job.datapath_spec,
+            status="failed",
+            error=error,
+            attempts=1,
+        )
+        # Each failed attempt is its own run record so that
+        # RunStore.failed_attempts() re-seeds the breaker after a
+        # restart — the on-disk log *is* the breaker's durable memory.
+        self.store.record(record.job, failed)
+
+        if (
+            self.breaker_threshold > 0
+            and self._failures[key] >= self.breaker_threshold
+        ):
+            failed.status = "quarantined"
+            failed.error = (
+                f"circuit breaker open after {self._failures[key]} failed "
+                f"attempts: {error}"
+            )
+            failed.worker = "breaker"
+            record.result = failed
+            self.metrics.quarantined += 1
+            self.store.record_incident(
+                "service.worker",
+                "circuit-breaker",
+                f"quarantined after {self._failures[key]} failed attempts "
+                f"(threshold {self.breaker_threshold})",
+                key=key,
+            )
+            self.metrics.incidents += 1
+            self.store.record_event(
+                "quarantined", record.id, key=key, detail={"error": error}
+            )
+            self._finish(record)
+            return
+
+        if record.attempts < self.max_attempts:
+            self.metrics.retries += 1
+            record.state = "queued"
+            self.queue.push(record.id, record.options.priority, force=True)
+            self.store.record_event(
+                "retry",
+                record.id,
+                key=key,
+                detail={"attempt": record.attempts, "error": error},
+            )
+            return
+
+        record.result = failed
+        self.store.record_event(
+            "failed", record.id, key=key, detail={"error": error}
+        )
+        self._finish(record)

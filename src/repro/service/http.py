@@ -1,0 +1,241 @@
+"""Stdlib-only asyncio HTTP front end for the binding service.
+
+A deliberately minimal HTTP/1.1 server over ``asyncio.start_server`` —
+no frameworks, no dependencies — exposing the JSON API::
+
+    POST /jobs              submit a repro-bindspec/1 job spec
+    GET  /jobs              all job snapshots
+    GET  /jobs/{id}         one job snapshot (poll until state=done)
+    GET  /jobs/{id}/events  ndjson stream of the job's lifecycle events
+    GET  /healthz           liveness + drain state
+    GET  /metrics           queue/worker/cache/latency observability
+
+Every response is ``Connection: close`` — one request per connection.
+That trade (a TCP handshake per call) buys a protocol with no keep-alive
+bookkeeping and, crucially, lets ``/jobs/{id}/events`` stream without
+chunked encoding: events are written as newline-delimited JSON and the
+stream simply ends when the connection does.  The event source is the
+run store tailed through :class:`~repro.service.stream.StoreTailer`,
+so a streaming client observes exactly what the durable JSONL artifact
+records — including nothing at all from torn or corrupted lines.
+
+Error mapping (the service's exceptions are the protocol):
+
+* :class:`~repro.service.spec.SpecError`      -> 400 ``{"error": ...}``
+* unknown job id                              -> 404
+* :class:`~repro.service.queue.QueueFull`     -> 429
+* :class:`~repro.service.core.ServiceClosed`  -> 503
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+from ..runner.store import EVENT_FORMAT
+from .core import BindingService, ServiceClosed
+from .queue import QueueFull
+from .spec import SpecError
+from .stream import StoreTailer
+
+__all__ = ["ServiceHTTPServer"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: How often the events endpoint re-polls the store between appends.
+_EVENT_POLL = 0.05
+
+
+class ServiceHTTPServer:
+    """One service, one listening socket, stdlib all the way down.
+
+    Args:
+        service: a started :class:`BindingService`.
+        host: bind address.
+        port: bind port; 0 picks an ephemeral one (read ``self.port``
+            after :meth:`start`).
+    """
+
+    def __init__(
+        self, service: BindingService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            method, target, body = await self._read_request(reader)
+            if method is None:
+                return
+            await self._route(method, target, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request/response
+        except Exception as exc:  # never kill the server on one request
+            try:
+                self._send(writer, 500, {"error": f"{type(exc).__name__}: {exc}"})
+                await writer.drain()
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        request_line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            return None, None, b""
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1", "replace").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    def _send(
+        self, writer: asyncio.StreamWriter, status: int, payload: Any
+    ) -> None:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            self._send(writer, 200, self.service.health())
+        elif path == "/metrics" and method == "GET":
+            self._send(writer, 200, self.service.metrics_snapshot())
+        elif path == "/jobs" and method == "POST":
+            self._post_job(body, writer)
+        elif path == "/jobs" and method == "GET":
+            self._send(writer, 200, {"jobs": self.service.jobs()})
+        elif path.startswith("/jobs/") and method == "GET":
+            rest = path[len("/jobs/"):]
+            if rest.endswith("/events"):
+                await self._stream_events(rest[: -len("/events")], writer)
+                return
+            snapshot = self.service.status(rest)
+            if snapshot is None:
+                self._send(writer, 404, {"error": f"unknown job {rest!r}"})
+            else:
+                self._send(writer, 200, snapshot)
+        elif path in ("/jobs", "/healthz", "/metrics") or path.startswith(
+            "/jobs/"
+        ):
+            self._send(writer, 405, {"error": f"{method} not allowed on {path}"})
+        else:
+            self._send(writer, 404, {"error": f"no route for {path}"})
+        await writer.drain()
+
+    def _post_job(self, body: bytes, writer: asyncio.StreamWriter) -> None:
+        try:
+            spec = json.loads(body.decode("utf-8")) if body else None
+        except (ValueError, UnicodeDecodeError):
+            self._send(writer, 400, {"error": "request body is not valid JSON"})
+            return
+        try:
+            snapshot = self.service.submit(spec)
+        except SpecError as exc:
+            self._send(writer, 400, {"error": str(exc)})
+        except QueueFull as exc:
+            self._send(writer, 429, {"error": str(exc)})
+        except ServiceClosed as exc:
+            self._send(writer, 503, {"error": str(exc)})
+        else:
+            self._send(writer, 200, snapshot)
+
+    # ------------------------------------------------------------------
+    # Event streaming
+    # ------------------------------------------------------------------
+    async def _stream_events(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        """ndjson-stream a job's lifecycle events until it is terminal.
+
+        Replays events already on disk, then follows live appends.  The
+        terminal check runs *before* the final poll: every event of a
+        job is appended before its state flips to ``done``, so one poll
+        after observing ``done`` is guaranteed to include the tail.
+        """
+        if self.service.status(job_id) is None:
+            self._send(writer, 404, {"error": f"unknown job {job_id!r}"})
+            await writer.drain()
+            return
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        tailer = StoreTailer(self.service.store.path)
+        while True:
+            snapshot = self.service.status(job_id)
+            done = snapshot is None or snapshot["state"] == "done"
+            wrote = False
+            for entry in tailer.poll():
+                if (
+                    entry.get("format") == EVENT_FORMAT
+                    and entry.get("job") == job_id
+                ):
+                    writer.write((json.dumps(entry) + "\n").encode("utf-8"))
+                    wrote = True
+            if wrote:
+                await writer.drain()
+            if done:
+                return
+            await asyncio.sleep(_EVENT_POLL)

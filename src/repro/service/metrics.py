@@ -1,0 +1,113 @@
+"""Service observability: counters and per-strategy latency percentiles.
+
+Everything ``/metrics`` reports lives here, updated by the service at
+state transitions and snapshotted on demand.  Latency is the client-
+visible kind — submit-to-terminal wall clock per request — sampled per
+strategy into bounded windows (the most recent :data:`WINDOW` samples),
+from which p50/p95 are computed by linear interpolation.  Counters are
+plain monotonic integers; the service's lock serializes updates, so no
+atomics are needed.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List
+
+__all__ = ["WINDOW", "Metrics", "percentile"]
+
+#: Latency samples retained per strategy (a sliding window keeps the
+#: percentiles responsive to current behaviour, not boot-time history).
+WINDOW = 1024
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    ``samples`` need not be sorted; empty input returns 0.0.
+    """
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class Metrics:
+    """Mutable counters + latency windows behind ``/metrics``."""
+
+    def __init__(self) -> None:
+        self.started_at = time.time()
+        self.submitted = 0
+        self.completed = 0
+        self.ok = 0
+        self.failed = 0
+        self.quarantined = 0
+        self.deduped = 0
+        self.cache_hits = 0
+        self.rejected = 0
+        self.retries = 0
+        self.incidents = 0
+        self.crashes = 0
+        # Aggregated evaluation-memo counters from completed results:
+        # the cross-worker OutcomeStore tier's effectiveness.
+        self.eval_hits = 0
+        self.eval_misses = 0
+        self._latency: Dict[str, Deque[float]] = {}
+
+    def observe_latency(self, strategy: str, seconds: float) -> None:
+        """Record one request's submit-to-terminal latency."""
+        window = self._latency.get(strategy)
+        if window is None:
+            window = self._latency[strategy] = deque(maxlen=WINDOW)
+        window.append(seconds)
+
+    def latency_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-strategy count/mean/p50/p95 over the current windows."""
+        out: Dict[str, Dict[str, float]] = {}
+        for strategy, window in sorted(self._latency.items()):
+            samples = list(window)
+            out[strategy] = {
+                "count": len(samples),
+                "mean": sum(samples) / len(samples) if samples else 0.0,
+                "p50": percentile(samples, 50.0),
+                "p95": percentile(samples, 95.0),
+            }
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The counter half of the ``/metrics`` payload."""
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "jobs": {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "ok": self.ok,
+                "failed": self.failed,
+                "quarantined": self.quarantined,
+                "deduped": self.deduped,
+                "cache_hits": self.cache_hits,
+                "rejected": self.rejected,
+                "retries": self.retries,
+                "crashes": self.crashes,
+            },
+            "incidents": self.incidents,
+            "eval_cache": {
+                "hits": self.eval_hits,
+                "misses": self.eval_misses,
+                "hit_rate": (
+                    self.eval_hits / (self.eval_hits + self.eval_misses)
+                    if (self.eval_hits + self.eval_misses)
+                    else 0.0
+                ),
+            },
+            "latency": self.latency_summary(),
+        }

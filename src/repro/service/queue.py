@@ -1,0 +1,77 @@
+"""The service's bounded priority job queue.
+
+The queue holds *job ids* only — the :class:`~repro.service.core.
+BindingService` owns the records — and provides exactly the semantics
+the front end needs:
+
+* **priority**: higher ``priority`` drains first; within one priority
+  level, submission order (a stable heap on ``(-priority, seq)``);
+* **backpressure**: a hard ``limit`` on queued entries.  A push past
+  it raises :class:`QueueFull`, which the HTTP layer maps to ``429``;
+  retries of already-admitted jobs re-enter with ``force=True``, so a
+  full queue sheds *new* load, never work in flight;
+* **observability**: ``depth`` and the count of rejected pushes feed
+  ``/metrics``.
+
+Deduplication and the circuit breaker live a layer up in the service:
+both need the job's content-hash key and result state, which the queue
+deliberately knows nothing about.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+__all__ = ["QueueFull", "JobQueue"]
+
+
+class QueueFull(RuntimeError):
+    """The queue is at capacity; the submission was rejected."""
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(
+            f"job queue is full ({limit} queued); retry later"
+        )
+        self.limit = limit
+
+
+class JobQueue:
+    """Bounded stable priority queue of job ids.
+
+    Args:
+        limit: maximum queued entries; <= 0 means unbounded.
+    """
+
+    def __init__(self, limit: int = 0) -> None:
+        self.limit = limit
+        self.rejected = 0
+        self._seq = 0
+        self._heap: List[Tuple[int, int, str]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def depth(self) -> int:
+        """Entries currently queued (the ``/metrics`` gauge)."""
+        return len(self._heap)
+
+    def push(self, job_id: str, priority: int = 0, force: bool = False) -> None:
+        """Enqueue ``job_id``.
+
+        Raises :class:`QueueFull` at capacity unless ``force`` (used
+        for retries of jobs that were already admitted — backpressure
+        rejects new work, not recovery of accepted work).
+        """
+        if not force and self.limit > 0 and len(self._heap) >= self.limit:
+            self.rejected += 1
+            raise QueueFull(self.limit)
+        self._seq += 1
+        heapq.heappush(self._heap, (-priority, self._seq, job_id))
+
+    def pop(self) -> Optional[str]:
+        """Highest-priority oldest job id, or None when empty."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]

@@ -1,0 +1,159 @@
+"""The service's job-spec wire format.
+
+A *spec* is the JSON object a client POSTs to ``/jobs`` (and the one
+``repro-bind submit`` builds from its flags)::
+
+    {"format": "repro-bindspec/1",
+     "kernel": "ewf",                 # or "dfg": {...repro-dfg/1...}
+     "datapath": "|2,1|1,1|",
+     "buses": 2, "move_latency": 1,
+     "algorithm": "b-iter",
+     "config": {"iter_starts": 1},
+     "priority": 0, "timeout": 30.0}
+
+:func:`job_from_spec` turns a spec into exactly the
+:class:`~repro.runner.jobs.BindJob` the offline path would build —
+``BindJob.make`` validates the algorithm name and config against the
+strategy registry's typed schema, so a spec admitted here is
+byte-for-byte the job ``repro-bind run`` would execute, with the same
+content-hash cache key.  That identity is what makes the service's
+result cache, dedup, and circuit breaker line up with offline sweeps
+over the same cache directory.
+
+Every rejection raises :class:`SpecError` with a one-line,
+client-facing message (the HTTP layer maps it to 400, the CLI to a
+non-zero exit without a traceback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..datapath.parse import parse_datapath
+from ..dfg.serialize import dfg_from_dict
+from ..kernels.registry import KERNELS, load_kernel
+from ..runner.jobs import BindJob
+
+__all__ = ["SPEC_FORMAT", "SpecError", "SubmitOptions", "job_from_spec"]
+
+#: Wire-format tag; clients may omit it, unknown tags are rejected.
+SPEC_FORMAT = "repro-bindspec/1"
+
+#: Keys a spec may carry; anything else is a typo worth rejecting.
+_KNOWN_KEYS = frozenset(
+    {
+        "format",
+        "kernel",
+        "dfg",
+        "datapath",
+        "buses",
+        "move_latency",
+        "algorithm",
+        "config",
+        "priority",
+        "timeout",
+    }
+)
+
+
+class SpecError(ValueError):
+    """A job spec is malformed or violates a strategy schema."""
+
+
+@dataclass(frozen=True)
+class SubmitOptions:
+    """Spec fields that steer the service, not the algorithm.
+
+    They deliberately stay *out* of the :class:`BindJob` (and therefore
+    out of the cache key): two submissions of the same binding problem
+    at different priorities or deadlines are still the same result.
+
+    Attributes:
+        priority: higher runs sooner; ties drain in submission order.
+        timeout: per-request wall-clock budget in seconds, enforced
+            with ``SIGALRM`` in the worker (None = the server default).
+    """
+
+    priority: int = 0
+    timeout: Optional[float] = None
+
+
+def _require_int(spec: Dict[str, Any], key: str, default: int) -> int:
+    value = spec.get(key, default)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise SpecError(f"spec key {key!r} expects an integer, got {value!r}")
+    return value
+
+
+def job_from_spec(spec: Any) -> Tuple[BindJob, SubmitOptions]:
+    """Validate ``spec`` and build its job + submit options.
+
+    Raises:
+        SpecError: on any malformation — wrong shapes, unknown keys,
+            an unloadable kernel/DFG/datapath, an unknown algorithm, or
+            a config that violates the strategy's schema.
+    """
+    if not isinstance(spec, dict):
+        raise SpecError(f"spec must be a JSON object, got {type(spec).__name__}")
+    unknown = sorted(set(spec) - _KNOWN_KEYS)
+    if unknown:
+        raise SpecError(
+            f"spec has unknown key(s) {unknown}; known: {sorted(_KNOWN_KEYS)}"
+        )
+    fmt = spec.get("format", SPEC_FORMAT)
+    if fmt != SPEC_FORMAT:
+        raise SpecError(f"unsupported spec format {fmt!r}; expected {SPEC_FORMAT!r}")
+
+    kernel = spec.get("kernel")
+    dfg_dict = spec.get("dfg")
+    if (kernel is None) == (dfg_dict is None):
+        raise SpecError("spec needs exactly one of 'kernel' or 'dfg'")
+    if kernel is not None:
+        if not isinstance(kernel, str) or kernel.lower() not in KERNELS:
+            raise SpecError(
+                f"unknown kernel {kernel!r}; known: {sorted(KERNELS)}"
+            )
+        dfg = load_kernel(kernel)
+    else:
+        if not isinstance(dfg_dict, dict):
+            raise SpecError("spec key 'dfg' expects a repro-dfg/1 object")
+        try:
+            dfg = dfg_from_dict(dfg_dict)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SpecError(f"bad DFG payload: {exc}") from exc
+
+    datapath_spec = spec.get("datapath")
+    if not isinstance(datapath_spec, str) or not datapath_spec:
+        raise SpecError("spec needs a 'datapath' cluster spec string")
+    buses = _require_int(spec, "buses", 2)
+    move_latency = _require_int(spec, "move_latency", 1)
+    try:
+        datapath = parse_datapath(
+            datapath_spec, num_buses=buses, move_latency=move_latency
+        )
+    except ValueError as exc:
+        raise SpecError(f"bad datapath: {exc}") from exc
+
+    algorithm = spec.get("algorithm")
+    if not isinstance(algorithm, str) or not algorithm:
+        raise SpecError("spec needs an 'algorithm' strategy name")
+    config = spec.get("config", {})
+    if config is None:
+        config = {}
+    if not isinstance(config, dict):
+        raise SpecError(f"spec key 'config' expects an object, got {config!r}")
+    try:
+        job = BindJob.make(dfg, datapath, algorithm, **config)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(str(exc)) from exc
+
+    priority = _require_int(spec, "priority", 0)
+    timeout = spec.get("timeout")
+    if timeout is not None:
+        if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+            raise SpecError(f"spec key 'timeout' expects a number, got {timeout!r}")
+        if timeout <= 0:
+            raise SpecError(f"spec key 'timeout' must be > 0, got {timeout!r}")
+        timeout = float(timeout)
+    return job, SubmitOptions(priority=priority, timeout=timeout)

@@ -1,0 +1,112 @@
+"""Torn-tail-tolerant incremental reader over the JSONL run store.
+
+The run store is append-only: records, incidents, and service events
+accumulate one line at a time, possibly from several threads of a live
+service while clients stream ``/jobs/{id}/events``.  :class:`StoreTailer`
+reads that file *incrementally* — each :meth:`poll` returns the entries
+appended since the last one — with the same trust rules as a bulk
+:meth:`~repro.runner.store.RunStore.read`:
+
+* a **torn tail** (an append cut short by a crash, or simply a write
+  racing the reader) is buffered, not parsed: a line only counts once
+  its ``\\n`` lands.  If the writer later completes the line, the tailer
+  yields it whole; if a *different* writer appends after a torn line,
+  the concatenation fails to parse (or fails its checksum) and is
+  skipped — byte-identical behaviour to the bulk reader;
+* lines failing JSON parse or their SHA-256 checksum are skipped via
+  :meth:`RunStore.parse_line`, the single shared trust decision;
+* a store file that does not exist yet simply yields nothing — the
+  tailer can be attached before the first record is written;
+* truncation/rotation (size shrinking below the read offset) resets
+  the tailer to the new beginning rather than reading garbage.
+
+:func:`follow_store` wraps a tailer in a blocking generator for
+synchronous callers (CLI ``watch`` uses the HTTP stream instead; tests
+use this directly).  The async HTTP events endpoint polls a tailer with
+``await asyncio.sleep`` between calls — ``poll`` itself never blocks
+beyond one bounded file read.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+from ..runner.store import RunStore
+
+__all__ = ["StoreTailer", "follow_store"]
+
+
+class StoreTailer:
+    """Incremental, torn-tail-tolerant JSONL reader."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._offset = 0
+        self._buffer = b""
+
+    def poll(self) -> List[Dict[str, Any]]:
+        """Entries appended since the last poll (possibly empty).
+
+        Never blocks beyond one read; never yields a partial line.
+        """
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return []
+        if size < self._offset:
+            # The file shrank under us (rotation/truncation): restart.
+            self._offset = 0
+            self._buffer = b""
+        if size == self._offset:
+            return []
+        with self.path.open("rb") as f:
+            f.seek(self._offset)
+            chunk = f.read(size - self._offset)
+        self._offset += len(chunk)
+        data = self._buffer + chunk
+        lines = data.split(b"\n")
+        self._buffer = lines.pop()  # b"" after a complete final line
+        entries: List[Dict[str, Any]] = []
+        for raw in lines:
+            try:
+                text = raw.decode("utf-8")
+            except UnicodeDecodeError:
+                continue
+            entry = RunStore.parse_line(text)
+            if entry:
+                entries.append(entry)
+        return entries
+
+
+def follow_store(
+    path: Union[str, Path],
+    *,
+    poll_interval: float = 0.05,
+    stop: Optional[Callable[[], bool]] = None,
+    timeout: Optional[float] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Yield store entries as they are appended.
+
+    Args:
+        path: the store file (may not exist yet).
+        poll_interval: sleep between empty polls.
+        stop: optional predicate checked between polls; the generator
+            drains what is already on disk, then returns once it holds.
+        timeout: optional overall wall-clock bound.
+
+    The generator replays the whole existing file first, then follows.
+    """
+    tailer = StoreTailer(path)
+    deadline = time.monotonic() + timeout if timeout is not None else None
+    while True:
+        entries = tailer.poll()
+        for entry in entries:
+            yield entry
+        if not entries:
+            if stop is not None and stop():
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                return
+            time.sleep(poll_interval)

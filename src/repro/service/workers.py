@@ -1,0 +1,238 @@
+"""Warm-context worker pool for the binding service.
+
+Long-lived process workers, one inbox each, one shared outbox.  The
+design differs from the batch executor's ``ProcessPoolExecutor`` in
+exactly the ways a *service* needs:
+
+* **warm contexts** — workers run with ``REPRO_WARM_CONTEXTS=1``, so
+  successive jobs over the same ``(DFG, datapath)`` reuse the
+  precompiled :class:`~repro.schedule.fastpath.SchedContext` instead of
+  rebuilding it per request (see :func:`repro.core.evalcache.
+  shared_context`).  Dispatch is *shard-affine*: a job's shard key
+  prefers one worker, so recurring datapaths keep hitting hot
+  contexts, but any idle worker takes overflow rather than queueing
+  behind its shard (affinity is a cache hint, never a correctness
+  constraint);
+* **shared eval-cache tier** — all workers inherit one
+  ``REPRO_EVAL_CACHE`` directory, so their search sessions warm-start
+  from, and persist back to, a single cross-worker
+  :class:`~repro.search.diskcache.OutcomeStore`;
+* **single outstanding job per worker** — crash attribution is exact
+  (the in-flight job *is* the suspect, no started-marker protocol
+  needed) and nothing queues inside a process that might die; the
+  service keeps everything else in its own priority queue;
+* **per-request budgets** — each dispatch carries its own wall-clock
+  timeout, enforced via ``SIGALRM`` in the worker's main thread by
+  :func:`repro.runner.executor.attempt_job` (which also fires the
+  ``executor.attempt`` chaos site, so fault plans cross into service
+  workers unchanged);
+* **supervision** — a collector thread pairs results with dispatches
+  and watches liveness: a worker that dies mid-job is restarted and
+  the loss reported upward as a crash (the service decides retry vs.
+  quarantine);
+* **graceful drain** — shutdown can wait for in-flight jobs, then
+  sends each worker a sentinel so it exits its loop cleanly.
+
+The pool is policy-free: it knows nothing about specs, keys, caches,
+or retries.  ``on_result(job_id, payload, worker, crashed)`` is the
+entire upward interface.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..runner.jobs import BindJob
+
+__all__ = ["WorkerPool"]
+
+#: on_result(job_id, payload_or_None, worker_index, crashed).
+ResultCallback = Callable[[str, Optional[Dict[str, Any]], int, bool], None]
+
+
+def _service_worker_main(
+    index: int, inbox: Any, outbox: Any, env: Dict[str, str]
+) -> None:
+    """Worker loop: env setup, then one job at a time until sentinel."""
+    os.environ.update(env)
+    from ..runner.executor import attempt_job
+
+    while True:
+        item = inbox.get()
+        if item is None:
+            break
+        job_id, job, timeout = item
+        try:
+            payload = attempt_job(job, timeout).to_dict()
+        except BaseException as exc:  # report in-band; the loop survives
+            payload = {"error": f"{type(exc).__name__}: {exc}"}
+        outbox.put((index, job_id, payload))
+
+
+class WorkerPool:
+    """Sharded, supervised pool of warm binding workers.
+
+    Args:
+        size: worker process count.
+        on_result: completion callback, invoked from the collector
+            thread.  ``payload`` is a ``JobResult.to_dict()`` on
+            success, ``{"error": msg}`` on an in-process failure, and
+            ``None`` with ``crashed=True`` on a worker death.
+        env: extra environment for workers (the service passes the
+            shared eval-cache directory and the warm-context gate).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        on_result: ResultCallback,
+        env: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.size = size
+        self.restarts = 0
+        self._on_result = on_result
+        self._env = dict(env or {})
+        self._ctx = multiprocessing.get_context()
+        self._outbox = self._ctx.Queue()
+        self._inboxes = [self._ctx.Queue() for _ in range(size)]
+        self._procs: List[Optional[Any]] = [None] * size
+        self._current: List[Optional[Tuple[str, BindJob, Optional[float]]]] = (
+            [None] * size
+        )
+        self._lock = threading.Lock()
+        self._stopping = False
+        self._collector: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, index: int) -> None:
+        proc = self._ctx.Process(
+            target=_service_worker_main,
+            args=(index, self._inboxes[index], self._outbox, self._env),
+            name=f"repro-service-worker-{index}",
+            daemon=True,
+        )
+        proc.start()
+        self._procs[index] = proc
+
+    def start(self) -> None:
+        """Spawn the workers and the collector thread."""
+        for i in range(self.size):
+            self._spawn(i)
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-service-collector", daemon=True
+        )
+        self._collector.start()
+
+    def _collect(self) -> None:
+        while not self._stopping:
+            try:
+                index, job_id, payload = self._outbox.get(timeout=0.2)
+            except queue_mod.Empty:
+                self._reap_dead()
+                continue
+            with self._lock:
+                self._current[index] = None
+            self._on_result(job_id, payload, index, False)
+
+    def _reap_dead(self) -> None:
+        """Restart dead workers; report any job that died with one."""
+        lost: List[Tuple[str, int]] = []
+        with self._lock:
+            if self._stopping:
+                return
+            for index, proc in enumerate(self._procs):
+                if proc is None or proc.is_alive():
+                    continue
+                entry = self._current[index]
+                self._current[index] = None
+                self.restarts += 1
+                self._spawn(index)
+                if entry is not None:
+                    lost.append((entry[0], index))
+        for job_id, index in lost:
+            self._on_result(job_id, None, index, True)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> int:
+        """Workers currently executing a job."""
+        with self._lock:
+            return sum(1 for entry in self._current if entry is not None)
+
+    @property
+    def utilization(self) -> float:
+        return self.busy / self.size
+
+    def dispatch(
+        self,
+        job_id: str,
+        job: BindJob,
+        timeout: Optional[float],
+        shard_key: int,
+    ) -> bool:
+        """Hand one job to an idle worker; False when all are busy.
+
+        ``shard_key % size`` names the preferred (context-warm) worker;
+        any other idle worker is second choice.
+        """
+        with self._lock:
+            if self._stopping:
+                return False
+            preferred = shard_key % self.size
+            candidates = [preferred] + [
+                i for i in range(self.size) if i != preferred
+            ]
+            for index in candidates:
+                proc = self._procs[index]
+                if self._current[index] is None and proc is not None and proc.is_alive():
+                    self._current[index] = (job_id, job, timeout)
+                    self._inboxes[index].put((job_id, job, timeout))
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Wait for every in-flight job to finish; False on timeout."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.busy == 0:
+                return True
+            time.sleep(0.02)
+        return self.busy == 0
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop the pool: sentinel every worker, join, then terminate.
+
+        Callers wanting a graceful drain call :meth:`drain` first; this
+        method itself never waits for in-flight work beyond ``timeout``.
+        """
+        with self._lock:
+            self._stopping = True
+        for inbox in self._inboxes:
+            try:
+                inbox.put(None)
+            except (OSError, ValueError):  # pragma: no cover - closed queue
+                pass
+        deadline = time.monotonic() + timeout
+        for proc in self._procs:
+            if proc is None:
+                continue
+            proc.join(max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+        if self._collector is not None:
+            self._collector.join(timeout=2.0)

@@ -1,0 +1,88 @@
+"""The REPRO_WARM_CONTEXTS process-level SchedContext pool."""
+
+import pytest
+
+from repro.core.evalcache import (
+    WARM_CONTEXT_ENV,
+    Evaluator,
+    shared_context,
+    warm_contexts_enabled,
+)
+from repro.core import evalcache
+from repro.datapath.parse import parse_datapath
+from repro.kernels import load_kernel
+
+
+@pytest.fixture(autouse=True)
+def clean_pool(monkeypatch):
+    """Each test gets an empty pool and an unset gate."""
+    monkeypatch.delenv(WARM_CONTEXT_ENV, raising=False)
+    monkeypatch.setattr(evalcache, "_context_pool", type(evalcache._context_pool)())
+
+
+class TestGate:
+    def test_disabled_by_default(self):
+        assert not warm_contexts_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", "on"])
+    def test_enabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(WARM_CONTEXT_ENV, value)
+        assert warm_contexts_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "false", "", "off"])
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(WARM_CONTEXT_ENV, value)
+        assert not warm_contexts_enabled()
+
+
+class TestSharing:
+    def test_cold_evaluators_build_private_contexts(self, diamond):
+        dp = parse_datapath("|1,1|1,1|", num_buses=2)
+        a, b = Evaluator(diamond, dp), Evaluator(diamond, dp)
+        assert a.ctx is not b.ctx
+
+    def test_warm_evaluators_share_one_context(self, monkeypatch, diamond):
+        monkeypatch.setenv(WARM_CONTEXT_ENV, "1")
+        dp = parse_datapath("|1,1|1,1|", num_buses=2)
+        a, b = Evaluator(diamond, dp), Evaluator(diamond, dp)
+        assert a.ctx is b.ctx
+
+    def test_different_machines_never_share(self, monkeypatch, diamond):
+        monkeypatch.setenv(WARM_CONTEXT_ENV, "1")
+        two = parse_datapath("|1,1|1,1|", num_buses=2)
+        three = parse_datapath("|1,1|1,1|", num_buses=3)
+        assert (
+            shared_context(diamond, two) is not shared_context(diamond, three)
+        )
+
+    def test_pool_is_lru_bounded(self, monkeypatch, diamond):
+        monkeypatch.setenv(WARM_CONTEXT_ENV, "1")
+        monkeypatch.setattr(evalcache, "_CONTEXT_POOL_MAX", 2)
+        dps = [
+            parse_datapath("|1,1|1,1|", num_buses=b) for b in (2, 3, 4)
+        ]
+        first = shared_context(diamond, dps[0])
+        shared_context(diamond, dps[1])
+        shared_context(diamond, dps[2])  # evicts the |N_B=2| context
+        assert len(evalcache._context_pool) == 2
+        assert shared_context(diamond, dps[0]) is not first  # rebuilt
+
+
+class TestBitIdentity:
+    def test_warm_and_cold_runs_agree_exactly(self, monkeypatch):
+        """Sharing a context across jobs must not change any outcome."""
+        from repro.core.driver import bind
+
+        dfg = load_kernel("ewf")
+        dp = parse_datapath("|2,1|1,1|", num_buses=2)
+
+        cold = bind(dfg, dp, iter_starts=2)
+        monkeypatch.setenv(WARM_CONTEXT_ENV, "1")
+        warm_first = bind(dfg, dp, iter_starts=2)
+        # Second warm run reuses the pooled (now exercised) context.
+        warm_second = bind(dfg, dp, iter_starts=2)
+
+        for warm in (warm_first, warm_second):
+            assert warm.latency == cold.latency
+            assert warm.num_transfers == cold.num_transfers
+            assert warm.binding == cold.binding

@@ -1,0 +1,88 @@
+"""Chaos suite with the service in the loop.
+
+The same deterministic ``REPRO_FAULTS`` plans the batch-runner chaos
+tests use, but injected under a live service: workers inherit the plan
+through the environment (they fork after ``injected()`` is entered),
+and cross-process hit counters in a per-test directory make "fault the
+first attempt only" deterministic across the pool.  As everywhere in
+the chaos suite, recovery must reproduce the exact fault-free numbers.
+"""
+
+import pytest
+
+from repro.datapath.parse import parse_datapath
+from repro.kernels import load_kernel
+from repro.resilience.faults import injected
+from repro.runner import BindJob
+from repro.runner.api import run_jobs
+from repro.service import BindingService
+
+
+def _spec():
+    return {"kernel": "ewf", "datapath": "|2,1|1,1|", "algorithm": "b-init"}
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Fault-free truth for the spec above, via the batch runner."""
+    job = BindJob.make(
+        load_kernel("ewf"),
+        parse_datapath("|2,1|1,1|", num_buses=2, move_latency=1),
+        "b-init",
+    )
+    result = run_jobs([job])[0]
+    assert result.ok
+    return result
+
+
+def _run_under_faults(tmp_path, sites):
+    with injected(sites, dir=tmp_path / "faults"):
+        with BindingService(
+            tmp_path / "svc", workers=2, default_timeout=60.0
+        ) as service:
+            snapshot = service.submit(_spec())
+            if snapshot["state"] != "done":
+                snapshot = service.wait(snapshot["id"], timeout=120.0)
+            metrics = service.metrics_snapshot()
+    return snapshot, metrics
+
+
+class TestServiceChaos:
+    def test_transient_attempt_error_is_retried_away(
+        self, baseline, tmp_path
+    ):
+        snapshot, metrics = _run_under_faults(
+            tmp_path, {"executor.attempt": {"kind": "oserror", "hits": [0]}}
+        )
+        result = snapshot["result"]
+        assert result["status"] == "ok"
+        assert result["latency"] == baseline.latency
+        assert result["transfers"] == baseline.transfers
+        assert snapshot["attempts"] == 2  # one burned by the fault
+        assert metrics["jobs"]["retries"] == 1
+        assert metrics["jobs"]["failed"] == 1
+
+    def test_worker_crash_is_survived_bit_identically(
+        self, baseline, tmp_path
+    ):
+        snapshot, metrics = _run_under_faults(
+            tmp_path, {"executor.attempt": {"kind": "crash", "hits": [0]}}
+        )
+        result = snapshot["result"]
+        assert result["status"] == "ok"
+        assert result["latency"] == baseline.latency
+        assert result["transfers"] == baseline.transfers
+        assert metrics["jobs"]["crashes"] == 1
+        assert metrics["workers"]["restarts"] >= 1
+
+    def test_torn_store_write_degrades_to_a_skipped_line(
+        self, baseline, tmp_path
+    ):
+        """A torn run-store append never corrupts replay or the result."""
+        snapshot, _ = _run_under_faults(
+            tmp_path,
+            {"store.record.write": {"kind": "torn", "hits": [0]}},
+        )
+        result = snapshot["result"]
+        assert result["status"] == "ok"
+        assert result["latency"] == baseline.latency

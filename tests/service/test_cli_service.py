@@ -1,0 +1,101 @@
+"""CLI satellites: strategies --json, one-line errors, submit/watch.
+
+``serve`` itself is exercised over a real socket by the HTTP tests and
+the CI smoke step; here we cover the argument surface and the error
+paths that must exit with a single-line message instead of a traceback.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.search.registry import strategy_names
+
+
+class TestStrategiesJson:
+    def test_json_dump_is_machine_readable(self, capsys):
+        assert main(["strategies", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [entry["name"] for entry in payload]
+        assert names == list(strategy_names())
+        by_name = {entry["name"]: entry for entry in payload}
+        biter = by_name["b-iter"]
+        assert biter["hidden"] is False
+        assert isinstance(biter["description"], str) and biter["description"]
+        fields = {f["name"]: f for f in biter["config"]}
+        assert fields["iter_starts"]["type"] == "int"
+        assert fields["iter_starts"]["minimum"] == 1
+
+    def test_json_dump_can_include_hidden(self, capsys):
+        assert main(["strategies", "--json", "--all"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {e["name"]: e for e in payload}
+        assert "debug-crash" in by_name
+        assert by_name["debug-crash"]["hidden"] is True
+        assert by_name["debug-crash"]["strict"] is False
+
+    def test_human_listing_still_works(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        assert "b-iter" in out and "debug-crash" not in out
+
+
+class TestRunErrorHandling:
+    def test_unknown_strategy_is_one_line_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "not-a-strategy", "ewf"])
+        message = str(excinfo.value.code)
+        assert message.startswith("repro-bind: error:")
+        assert "unknown algorithm 'not-a-strategy'" in message
+        assert "b-iter" in message  # the registry's catalog
+        assert "\n" not in message
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_config_schema_violation_is_one_line_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "b-iter", "ewf", "--set", "iter_starts=0"])
+        message = str(excinfo.value.code)
+        assert message.startswith("repro-bind: error:")
+        assert ">= 1" in message
+
+    def test_unknown_config_key_is_one_line_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "b-init", "ewf", "--set", "bogus=1"])
+        assert "does not accept config key" in str(excinfo.value.code)
+
+    def test_unknown_kernel_is_one_line_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "b-init", "no-such-kernel.json"])
+        message = str(excinfo.value.code)
+        assert message.startswith("repro-bind: error:")
+
+    def test_bad_datapath_is_one_line_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "b-init", "ewf", "-d", "|x,y|"])
+        assert str(excinfo.value.code).startswith("repro-bind: error:")
+
+
+class TestSubmitErrorHandling:
+    def test_unreachable_service_is_one_line_error(self):
+        # Port 1 is never listening; the client must fail fast and the
+        # CLI must turn that into a message, not a traceback.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["submit", "b-init", "ewf", "--port", "1"])
+        message = str(excinfo.value.code)
+        assert message.startswith("repro-bind: error:")
+        assert "cannot reach service" in message
+
+    def test_unknown_local_kernel_fails_before_any_network(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["submit", "b-init", "missing.json", "--port", "1"])
+        message = str(excinfo.value.code)
+        assert message.startswith("repro-bind: error:")
+        assert "cannot reach service" not in message
+
+
+class TestWatchErrorHandling:
+    def test_unreachable_service_is_one_line_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["watch", "job-0001", "--port", "1"])
+        assert "cannot reach service" in str(excinfo.value.code)

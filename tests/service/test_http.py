@@ -1,0 +1,193 @@
+"""The HTTP front end: routes, error mapping, streaming, cache dedup.
+
+A real ``ServiceHTTPServer`` on an ephemeral port, driven through the
+real ``ServiceClient`` — the same pair ``serve``/``submit`` use — so
+these tests cover the wire protocol end to end.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.service import (
+    BindingService,
+    ServiceClient,
+    ServiceError,
+    ServiceHTTPServer,
+)
+
+
+class _Served:
+    """A service + HTTP server on a background event loop."""
+
+    def __init__(self, tmp_path, **service_kwargs):
+        service_kwargs.setdefault("workers", 1)
+        service_kwargs.setdefault("default_timeout", 60.0)
+        self.service = BindingService(tmp_path / "svc", **service_kwargs)
+        self.service.start()
+        self.server = ServiceHTTPServer(self.service, port=0)
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.server.start())
+            started.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        assert started.wait(10.0)
+        self.client = ServiceClient(port=self.server.port)
+
+    def close(self):
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop
+        )
+        future.result(10.0)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10.0)
+        self.service.close(drain=False)
+        self.loop.close()
+
+
+@pytest.fixture
+def served(tmp_path):
+    box = _Served(tmp_path)
+    yield box
+    box.close()
+
+
+def _spec(algorithm="b-init", **overrides):
+    spec = {"kernel": "ewf", "datapath": "|2,1|1,1|", "algorithm": algorithm}
+    spec.update(overrides)
+    return spec
+
+
+class TestRoutes:
+    def test_healthz(self, served):
+        health = served.client.healthz()
+        assert health["status"] == "ok"
+        assert health["workers"] == 1
+        assert "queue_depth" in health and "uptime_seconds" in health
+
+    def test_metrics_shape(self, served):
+        metrics = served.client.metrics()
+        assert set(metrics["queue"]) == {"depth", "limit", "rejected"}
+        assert set(metrics["workers"]) == {
+            "size",
+            "busy",
+            "utilization",
+            "restarts",
+        }
+        assert set(metrics["result_cache"]) == {
+            "hits",
+            "misses",
+            "writes",
+            "hit_rate",
+        }
+        assert set(metrics["eval_cache"]) == {"hits", "misses", "hit_rate"}
+        assert "latency" in metrics and "jobs" in metrics
+
+    def test_unknown_route_404(self, served):
+        with pytest.raises(ServiceError) as excinfo:
+            served.client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_unknown_job_404(self, served):
+        with pytest.raises(ServiceError) as excinfo:
+            served.client.job("job-9999")
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_405(self, served):
+        with pytest.raises(ServiceError) as excinfo:
+            served.client._request("DELETE", "/jobs")
+        assert excinfo.value.status == 405
+
+    def test_malformed_body_400(self, served):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", served.server.port, timeout=10.0
+        )
+        try:
+            conn.request(
+                "POST",
+                "/jobs",
+                body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "JSON" in json.loads(response.read())["error"]
+        finally:
+            conn.close()
+
+
+class TestSubmitFlow:
+    def test_submit_wait_result_and_cache_dedup(self, served):
+        """The acceptance E2E: run, then resubmit for a cache hit."""
+        first = served.client.submit(_spec())
+        assert first["state"] in ("queued", "running")
+        done = served.client.wait(first["id"], timeout=120.0)
+        assert done["result"]["status"] == "ok"
+
+        again = served.client.submit(_spec())
+        assert again["state"] == "done"  # never queued: served from cache
+        assert again["result"]["cached"] is True
+        assert again["result"]["latency"] == done["result"]["latency"]
+        assert again["result"]["transfers"] == done["result"]["transfers"]
+
+        metrics = served.client.metrics()
+        assert metrics["jobs"]["cache_hits"] == 1
+        assert metrics["result_cache"]["hit_rate"] > 0.0
+        assert metrics["latency"]["b-init"]["count"] >= 1
+        assert metrics["latency"]["b-init"]["p95"] > 0.0
+
+    def test_jobs_listing(self, served):
+        submitted = served.client.submit(_spec())
+        listed = served.client.jobs()
+        assert submitted["id"] in [j["id"] for j in listed]
+        served.client.wait(submitted["id"], timeout=120.0)
+
+    def test_invalid_spec_maps_to_400_with_registry_message(self, served):
+        with pytest.raises(ServiceError) as excinfo:
+            served.client.submit(_spec("nope"))
+        assert excinfo.value.status == 400
+        assert "unknown algorithm" in excinfo.value.message
+        assert "b-iter" in excinfo.value.message  # the catalog, verbatim
+
+    def test_full_queue_maps_to_429(self, tmp_path):
+        box = _Served(tmp_path, queue_limit=1, breaker_threshold=0)
+        try:
+            box.client.submit(
+                _spec("debug-sleep", config={"seconds": 1.0, "tag": "run"})
+            )
+            box.client.submit(
+                _spec("debug-sleep", config={"seconds": 0.0, "tag": "q"})
+            )
+            with pytest.raises(ServiceError) as excinfo:
+                box.client.submit(
+                    _spec("debug-sleep", config={"seconds": 0.0, "tag": "x"})
+                )
+            assert excinfo.value.status == 429
+            assert "retry later" in excinfo.value.message
+        finally:
+            box.close()
+
+
+class TestEventStream:
+    def test_stream_replays_and_ends_with_the_job(self, served):
+        snapshot = served.client.submit(_spec())
+        events = list(served.client.events(snapshot["id"], timeout=120.0))
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "queued"
+        assert kinds[-1] == "completed"
+        assert "started" in kinds
+        assert all(e["job"] == snapshot["id"] for e in events)
+
+    def test_stream_for_unknown_job_404(self, served):
+        with pytest.raises(ServiceError) as excinfo:
+            list(served.client.events("job-9999"))
+        assert excinfo.value.status == 404

@@ -1,0 +1,79 @@
+"""Metrics: percentile math and the /metrics snapshot shape."""
+
+import pytest
+
+from repro.service import Metrics, percentile
+from repro.service.metrics import WINDOW
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 95.0) == 0.0
+
+    def test_single_sample_is_itself(self):
+        assert percentile([7.0], 0.0) == 7.0
+        assert percentile([7.0], 50.0) == 7.0
+        assert percentile([7.0], 100.0) == 7.0
+
+    def test_endpoints_and_median(self):
+        samples = [4.0, 1.0, 3.0, 2.0]  # order must not matter
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 100.0) == 4.0
+        assert percentile(samples, 50.0) == pytest.approx(2.5)
+
+    def test_linear_interpolation(self):
+        samples = [0.0, 10.0]
+        assert percentile(samples, 95.0) == pytest.approx(9.5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+
+
+class TestMetrics:
+    def test_latency_summary_per_strategy(self):
+        m = Metrics()
+        for v in (0.1, 0.2, 0.3):
+            m.observe_latency("b-iter", v)
+        m.observe_latency("pcc", 1.0)
+        summary = m.latency_summary()
+        assert set(summary) == {"b-iter", "pcc"}
+        assert summary["b-iter"]["count"] == 3
+        assert summary["b-iter"]["mean"] == pytest.approx(0.2)
+        assert summary["b-iter"]["p50"] == pytest.approx(0.2)
+        assert summary["pcc"]["p95"] == pytest.approx(1.0)
+
+    def test_window_is_bounded(self):
+        m = Metrics()
+        for i in range(WINDOW + 100):
+            m.observe_latency("s", float(i))
+        summary = m.latency_summary()["s"]
+        assert summary["count"] == WINDOW
+        # Oldest samples fell out: the minimum survivor is sample 100.
+        assert summary["p50"] >= 100.0
+
+    def test_snapshot_shape(self):
+        m = Metrics()
+        m.submitted = 4
+        m.ok = 2
+        snap = m.snapshot()
+        assert snap["jobs"]["submitted"] == 4
+        assert snap["jobs"]["ok"] == 2
+        for counter in (
+            "submitted",
+            "completed",
+            "ok",
+            "failed",
+            "quarantined",
+            "deduped",
+            "cache_hits",
+            "rejected",
+            "retries",
+            "crashes",
+        ):
+            assert counter in snap["jobs"]
+        assert "incidents" in snap
+        assert "latency" in snap
+        assert snap["uptime_seconds"] >= 0.0

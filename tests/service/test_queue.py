@@ -1,0 +1,68 @@
+"""Queue semantics: priority order, stability, backpressure."""
+
+import pytest
+
+from repro.service import JobQueue, QueueFull
+
+
+class TestOrdering:
+    def test_fifo_within_one_priority(self):
+        q = JobQueue()
+        for jid in ("a", "b", "c"):
+            q.push(jid)
+        assert [q.pop(), q.pop(), q.pop()] == ["a", "b", "c"]
+
+    def test_higher_priority_drains_first(self):
+        q = JobQueue()
+        q.push("low", priority=0)
+        q.push("high", priority=5)
+        q.push("mid", priority=3)
+        assert [q.pop(), q.pop(), q.pop()] == ["high", "mid", "low"]
+
+    def test_stable_across_mixed_priorities(self):
+        q = JobQueue()
+        q.push("a", priority=1)
+        q.push("b", priority=2)
+        q.push("c", priority=1)
+        q.push("d", priority=2)
+        assert [q.pop() for _ in range(4)] == ["b", "d", "a", "c"]
+
+    def test_pop_empty_returns_none(self):
+        assert JobQueue().pop() is None
+
+
+class TestBackpressure:
+    def test_push_past_limit_raises_queue_full(self):
+        q = JobQueue(limit=2)
+        q.push("a")
+        q.push("b")
+        with pytest.raises(QueueFull) as excinfo:
+            q.push("c")
+        assert excinfo.value.limit == 2
+        assert q.rejected == 1
+        assert q.depth == 2
+
+    def test_force_bypasses_the_limit_for_retries(self):
+        q = JobQueue(limit=1)
+        q.push("admitted")
+        q.push("retry", force=True)  # recovery of accepted work
+        assert q.depth == 2
+        assert q.rejected == 0
+
+    def test_zero_limit_means_unbounded(self):
+        q = JobQueue(limit=0)
+        for i in range(1000):
+            q.push(f"j{i}")
+        assert q.depth == 1000
+
+    def test_depth_tracks_push_and_pop(self):
+        q = JobQueue(limit=3)
+        q.push("a")
+        q.push("b")
+        assert len(q) == q.depth == 2
+        q.pop()
+        assert q.depth == 1
+        q.push("c")
+        q.push("d")
+        with pytest.raises(QueueFull):
+            q.push("e")

@@ -1,0 +1,252 @@
+"""End-to-end BindingService tests (no HTTP; the facade directly).
+
+The acceptance contract: a job submitted to the service returns a
+result bit-identical to the same job through ``run_jobs``; identical
+resubmissions are cache hits; a job whose worker dies is retried and
+quarantined per the circuit-breaker policy — with the breaker's memory
+surviving service restarts via the run store.
+"""
+
+import pytest
+
+from repro.datapath.parse import parse_datapath
+from repro.kernels import load_kernel
+from repro.runner import BindJob
+from repro.runner.api import run_jobs
+from repro.service import BindingService, QueueFull, SpecError
+
+
+def _service(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("default_timeout", 60.0)
+    return BindingService(tmp_path / "svc", **kwargs)
+
+
+def _spec(algorithm="b-init", **overrides):
+    spec = {"kernel": "ewf", "datapath": "|2,1|1,1|", "algorithm": algorithm}
+    spec.update(overrides)
+    return spec
+
+
+def _result(service, spec, timeout=120.0):
+    snapshot = service.submit(spec)
+    if snapshot["state"] != "done":
+        snapshot = service.wait(snapshot["id"], timeout=timeout)
+    assert snapshot["state"] == "done"
+    return snapshot
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize(
+        "algorithm, config",
+        [("b-init", {}), ("b-iter", {"iter_starts": 1}), ("pcc", {})],
+    )
+    def test_service_result_matches_run_jobs(
+        self, tmp_path, algorithm, config
+    ):
+        """Same job, offline and as-a-service: identical outcome.
+
+        The service's warm contexts and shared eval store may change
+        *where* evaluations are answered from, never their number or
+        their verdicts — so status, L, M, and the evaluation count must
+        all agree with the batch runner's.
+        """
+        job = BindJob.make(
+            load_kernel("ewf"),
+            parse_datapath("|2,1|1,1|", num_buses=2, move_latency=1),
+            algorithm,
+            **config,
+        )
+        offline = run_jobs([job])[0]
+
+        with _service(tmp_path) as service:
+            spec = _spec(algorithm)
+            if config:
+                spec["config"] = config
+            snapshot = _result(service, spec)
+        result = snapshot["result"]
+        assert snapshot["key"] == job.cache_key()
+        assert result["key"] == offline.key
+        assert result["status"] == offline.status == "ok"
+        assert result["latency"] == offline.latency
+        assert result["transfers"] == offline.transfers
+        assert result["evaluations"] == offline.evaluations
+
+
+class TestCacheDedup:
+    def test_second_submit_is_a_cache_hit(self, tmp_path):
+        with _service(tmp_path) as service:
+            first = _result(service, _spec())
+            second = service.submit(_spec())
+            # Terminal immediately: no queue, no worker, same numbers.
+            assert second["state"] == "done"
+            assert second["result"]["cached"] is True
+            assert second["result"]["worker"] == "cache"
+            assert second["result"]["attempts"] == 0
+            assert second["result"]["latency"] == first["result"]["latency"]
+            assert (
+                second["result"]["transfers"] == first["result"]["transfers"]
+            )
+            metrics = service.metrics_snapshot()
+            assert metrics["jobs"]["cache_hits"] == 1
+            assert metrics["result_cache"]["hits"] == 1
+
+    def test_inflight_duplicates_coalesce(self, tmp_path):
+        """An identical job already running is joined, not re-queued."""
+        spec = _spec("debug-sleep", config={"seconds": 0.5})
+        with _service(tmp_path, workers=1) as service:
+            first = service.submit(spec)
+            duplicate = service.submit(spec)
+            assert duplicate["id"] == first["id"]
+            assert service.metrics_snapshot()["jobs"]["deduped"] == 1
+            final = service.wait(first["id"], timeout=30.0)
+            assert final["result"]["status"] == "ok"
+
+    def test_failed_results_are_never_cached(self, tmp_path):
+        with _service(
+            tmp_path, breaker_threshold=0, max_attempts=1
+        ) as service:
+            snapshot = _result(service, _spec("debug-fail"))
+            assert snapshot["result"]["status"] == "failed"
+            assert service.metrics_snapshot()["result_cache"]["writes"] == 0
+
+
+class TestBackpressureAndPriority:
+    def test_full_queue_rejects_new_submissions(self, tmp_path):
+        with _service(
+            tmp_path, workers=1, queue_limit=1, breaker_threshold=0
+        ) as service:
+            running = service.submit(
+                _spec("debug-sleep", config={"seconds": 1.0, "tag": "run"})
+            )
+            queued = service.submit(
+                _spec("debug-sleep", config={"seconds": 0.0, "tag": "q"})
+            )
+            with pytest.raises(QueueFull):
+                service.submit(
+                    _spec("debug-sleep", config={"seconds": 0.0, "tag": "x"})
+                )
+            metrics = service.metrics_snapshot()
+            assert metrics["jobs"]["rejected"] == 1
+            assert metrics["queue"]["rejected"] == 1
+            for job_id in (running["id"], queued["id"]):
+                assert service.wait(job_id, 30.0)["state"] == "done"
+
+    def test_higher_priority_starts_first(self, tmp_path):
+        with _service(tmp_path, workers=1, breaker_threshold=0) as service:
+            filler = _spec("debug-sleep", config={"seconds": 0.4, "tag": "f"})
+            low = _spec("debug-sleep", config={"seconds": 0.0, "tag": "lo"})
+            high = _spec("debug-sleep", config={"seconds": 0.0, "tag": "hi"})
+            ids = {}
+            ids["filler"] = service.submit(filler)["id"]
+            # Submit low first, then high: drain order must invert it.
+            low["priority"] = 0
+            high["priority"] = 5
+            ids["low"] = service.submit(low)["id"]
+            ids["high"] = service.submit(high)["id"]
+            for job_id in (ids["filler"], ids["low"], ids["high"]):
+                service.wait(job_id, 30.0)
+            started = [
+                e["job"]
+                for e in service.store.events()
+                if e["event"] == "started"
+            ]
+            assert started.index(ids["high"]) < started.index(ids["low"])
+
+    def test_invalid_spec_is_rejected_before_admission(self, tmp_path):
+        with _service(tmp_path) as service:
+            with pytest.raises(SpecError, match="unknown algorithm"):
+                service.submit(_spec("nope"))
+            assert service.metrics_snapshot()["jobs"]["submitted"] == 0
+
+
+class TestFailurePolicy:
+    def test_crashed_worker_job_is_retried_then_quarantined(self, tmp_path):
+        """A worker death is attributed, retried, and breaker-stopped."""
+        with _service(
+            tmp_path, workers=2, breaker_threshold=3, max_attempts=5
+        ) as service:
+            snapshot = _result(service, _spec("debug-crash"), timeout=60.0)
+            result = snapshot["result"]
+            assert result["status"] == "quarantined"
+            assert "circuit breaker" in result["error"]
+            assert snapshot["attempts"] == 3  # threshold, not max_attempts
+            metrics = service.metrics_snapshot()
+            assert metrics["jobs"]["crashes"] == 3
+            assert metrics["jobs"]["retries"] == 2
+            assert metrics["jobs"]["quarantined"] == 1
+            assert metrics["workers"]["restarts"] >= 3
+            kinds = [i["kind"] for i in service.store.incidents()]
+            assert kinds.count("worker-crash") == 3
+            assert "circuit-breaker" in kinds
+
+            # The pool healed: the same service still binds real jobs.
+            healthy = _result(service, _spec())
+            assert healthy["result"]["status"] == "ok"
+
+    def test_breaker_memory_survives_restart(self, tmp_path):
+        with _service(tmp_path, breaker_threshold=2) as service:
+            first = _result(service, _spec("debug-crash"), timeout=60.0)
+            assert first["result"]["status"] == "quarantined"
+        # A new service over the same state dir re-seeds the breaker
+        # from the run store: the poisoned spec never reaches a worker.
+        with _service(tmp_path, breaker_threshold=2) as reborn:
+            snapshot = reborn.submit(_spec("debug-crash"))
+            assert snapshot["state"] == "done"
+            assert snapshot["result"]["status"] == "quarantined"
+            assert snapshot["result"]["worker"] == "breaker"
+            assert reborn.pool.restarts == 0
+
+    def test_exhausted_attempts_without_breaker_reports_failed(
+        self, tmp_path
+    ):
+        with _service(
+            tmp_path, breaker_threshold=0, max_attempts=2
+        ) as service:
+            snapshot = _result(service, _spec("debug-fail"))
+            assert snapshot["result"]["status"] == "failed"
+            assert snapshot["attempts"] == 2
+            assert "debug-fail" in snapshot["result"]["error"]
+
+    def test_per_request_timeout_bounds_an_attempt(self, tmp_path):
+        with _service(
+            tmp_path, breaker_threshold=0, max_attempts=1
+        ) as service:
+            snapshot = _result(
+                service,
+                _spec("debug-sleep", config={"seconds": 30.0}, timeout=0.3),
+                timeout=30.0,
+            )
+            assert snapshot["result"]["status"] == "failed"
+
+
+class TestLifecycle:
+    def test_graceful_drain_finishes_admitted_work(self, tmp_path):
+        service = _service(tmp_path, workers=1, breaker_threshold=0)
+        service.start()
+        snapshot = service.submit(
+            _spec("debug-sleep", config={"seconds": 0.3})
+        )
+        service.close(drain=True)
+        final = service.status(snapshot["id"])
+        assert final["state"] == "done"
+        assert final["result"]["status"] == "ok"
+
+    def test_draining_service_rejects_submissions(self, tmp_path):
+        from repro.service import ServiceClosed
+
+        service = _service(tmp_path)
+        service.start()
+        service.close(drain=False)
+        with pytest.raises(ServiceClosed):
+            service.submit(_spec())
+
+    def test_events_tell_the_jobs_story(self, tmp_path):
+        with _service(tmp_path) as service:
+            snapshot = _result(service, _spec())
+            events = [
+                e["event"]
+                for e in service.store.events()
+                if e["job"] == snapshot["id"]
+            ]
+            assert events == ["queued", "started", "completed"]

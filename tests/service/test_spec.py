@@ -1,0 +1,110 @@
+"""Spec validation: the wire format admits exactly what ``run`` would."""
+
+import pytest
+
+from repro.datapath.parse import parse_datapath
+from repro.dfg.serialize import dfg_to_dict
+from repro.kernels import load_kernel
+from repro.runner import BindJob
+from repro.service import SPEC_FORMAT, SpecError, job_from_spec
+
+
+def _spec(**overrides):
+    spec = {
+        "kernel": "ewf",
+        "datapath": "|2,1|1,1|",
+        "algorithm": "b-init",
+    }
+    spec.update(overrides)
+    return spec
+
+
+class TestValidSpecs:
+    def test_kernel_spec_matches_offline_job(self):
+        """A spec keys identically to the BindJob the CLI would build."""
+        job, options = job_from_spec(_spec())
+        offline = BindJob.make(
+            load_kernel("ewf"),
+            parse_datapath("|2,1|1,1|", num_buses=2, move_latency=1),
+            "b-init",
+        )
+        assert job == offline
+        assert job.cache_key() == offline.cache_key()
+        assert options.priority == 0
+        assert options.timeout is None
+
+    def test_explicit_format_tag_accepted(self):
+        job, _ = job_from_spec(_spec(format=SPEC_FORMAT))
+        assert job.algorithm == "b-init"
+
+    def test_inline_dfg_keys_like_its_kernel(self):
+        """Shipping the DFG by value round-trips to the same cache key."""
+        dfg = load_kernel("ewf")
+        by_value, _ = job_from_spec(
+            _spec(kernel=None) | {"dfg": dfg_to_dict(dfg)}
+        )
+        by_name, _ = job_from_spec(_spec())
+        assert by_value.cache_key() == by_name.cache_key()
+
+    def test_config_and_options_carried(self):
+        job, options = job_from_spec(
+            _spec(
+                algorithm="b-iter",
+                config={"iter_starts": 2},
+                priority=7,
+                timeout=12,
+                buses=3,
+                move_latency=2,
+            )
+        )
+        assert dict(job.config) == {"iter_starts": 2}
+        assert job.num_buses == 3
+        assert job.move_latency == 2
+        assert options.priority == 7
+        assert options.timeout == 12.0
+
+    def test_options_do_not_change_the_cache_key(self):
+        plain, _ = job_from_spec(_spec())
+        tuned, _ = job_from_spec(_spec(priority=9, timeout=1.0))
+        assert plain.cache_key() == tuned.cache_key()
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "spec, needle",
+        [
+            ("not a dict", "JSON object"),
+            (None, "JSON object"),
+            (_spec(bogus=1), "unknown key"),
+            (_spec(format="repro-bindspec/999"), "unsupported spec format"),
+            (_spec(kernel=None), "exactly one of"),
+            (_spec(dfg={"ops": []}), "exactly one of"),
+            (_spec(kernel="no-such-kernel"), "unknown kernel"),
+            (_spec(datapath=None), "datapath"),
+            (_spec(datapath="|x|"), "bad datapath"),
+            (_spec(buses="two"), "integer"),
+            (_spec(algorithm=None), "algorithm"),
+            (_spec(algorithm="nope"), "unknown algorithm"),
+            (_spec(config="fast"), "object"),
+            (_spec(algorithm="b-iter", config={"iter_starts": 0}), ">= 1"),
+            (_spec(config={"bogus_key": 1}), "does not accept config"),
+            (_spec(priority="high"), "integer"),
+            (_spec(timeout=0), "> 0"),
+            (_spec(timeout="soon"), "number"),
+        ],
+    )
+    def test_bad_specs_raise_one_line_spec_errors(self, spec, needle):
+        with pytest.raises(SpecError) as excinfo:
+            job_from_spec(spec)
+        message = str(excinfo.value)
+        assert needle in message
+        assert "\n" not in message  # one line, CLI/HTTP-ready
+
+    def test_unknown_algorithm_message_lists_known_names(self):
+        """The registry's own error (with the catalog) surfaces."""
+        with pytest.raises(SpecError, match="b-iter"):
+            job_from_spec(_spec(algorithm="nope"))
+
+    def test_bad_dfg_payload(self):
+        with pytest.raises(SpecError, match="bad DFG payload"):
+            job_from_spec(_spec(kernel=None) | {"dfg": {"junk": True}})

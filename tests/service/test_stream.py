@@ -1,0 +1,155 @@
+"""Streaming reads of the run store: tailing, torn tails, concurrency.
+
+Satellite coverage for the service's event streaming: a reader that
+follows the JSONL store while writers append must see every complete,
+checksum-valid line exactly once — and must never yield a torn tail,
+a corrupted line, or a line twice.
+"""
+
+import json
+import threading
+
+from repro.runner.store import EVENT_FORMAT, RunStore
+from repro.service import StoreTailer, follow_store
+
+
+def _events(path, n, prefix="job"):
+    store = RunStore(path)
+    for i in range(n):
+        store.record_event("step", f"{prefix}-{i}", key=f"k{i}")
+    return store
+
+
+class TestStoreTailer:
+    def test_missing_file_yields_nothing(self, tmp_path):
+        tailer = StoreTailer(tmp_path / "absent.jsonl")
+        assert tailer.poll() == []
+
+    def test_replays_existing_then_tails_new(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = _events(path, 3)
+        tailer = StoreTailer(path)
+        first = tailer.poll()
+        assert [e["job"] for e in first] == ["job-0", "job-1", "job-2"]
+        assert tailer.poll() == []  # nothing new
+        store.record_event("step", "job-3")
+        assert [e["job"] for e in tailer.poll()] == ["job-3"]
+
+    def test_torn_tail_is_buffered_until_completed(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        store.record_event("step", "whole")
+        tailer = StoreTailer(path)
+        assert len(tailer.poll()) == 1
+
+        # Simulate a crash mid-append: half a line, no newline.
+        entry = {"format": EVENT_FORMAT, "event": "step", "job": "torn"}
+        line = json.dumps(entry)
+        with path.open("a") as f:
+            f.write(line[: len(line) // 2])
+        assert tailer.poll() == []  # a partial line is not an event
+
+        # The writer finishes the line: the tailer yields it whole.
+        with path.open("a") as f:
+            f.write(line[len(line) // 2:] + "\n")
+        polled = tailer.poll()
+        assert [e["job"] for e in polled] == ["torn"]
+
+    def test_garbage_and_checksum_failures_are_skipped(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        store.record_event("step", "good-1")
+        with path.open("a") as f:
+            f.write("{not json\n")
+            bad = {"format": EVENT_FORMAT, "job": "tampered", "sha256": "0" * 64}
+            f.write(json.dumps(bad) + "\n")
+        store.record_event("step", "good-2")
+        tailer = StoreTailer(path)
+        assert [e["job"] for e in tailer.poll()] == ["good-1", "good-2"]
+
+    def test_truncation_resets_to_the_new_beginning(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        _events(path, 5)
+        tailer = StoreTailer(path)
+        assert len(tailer.poll()) == 5
+        path.write_text("")  # rotation
+        RunStore(path).record_event("step", "fresh")
+        assert [e["job"] for e in tailer.poll()] == ["fresh"]
+
+    def test_concurrent_appends_all_observed_exactly_once(self, tmp_path):
+        """Writer threads race a polling reader; nothing lost or doubled.
+
+        Appends go through RunStore's own append path (O_APPEND +
+        single write), the same discipline the live service uses.
+        """
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        writers = 4
+        per_writer = 50
+        seen = []
+        done = threading.Event()
+
+        def read():
+            tailer = StoreTailer(path)
+            while not done.is_set():
+                seen.extend(tailer.poll())
+            # The flag is set only after every writer joined, so one
+            # final sweep deterministically drains whatever is left.
+            seen.extend(tailer.poll())
+
+        def write(w):
+            for i in range(per_writer):
+                store.record_event("step", f"w{w}-{i}")
+
+        reader = threading.Thread(target=read)
+        reader.start()
+        threads = [
+            threading.Thread(target=write, args=(w,)) for w in range(writers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        done.set()
+        reader.join(timeout=30)
+        assert not reader.is_alive()
+
+        jobs = [e["job"] for e in seen]
+        assert len(jobs) == len(set(jobs)) == writers * per_writer
+        # And the streamed view equals the bulk replay, byte for byte.
+        replay = [e["job"] for e in RunStore(path).events()]
+        assert sorted(jobs) == sorted(replay)
+
+
+class TestFollowStore:
+    def test_follow_drains_then_stops_on_predicate(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        _events(path, 4)
+        stop = threading.Event()
+        collected = []
+        for entry in follow_store(path, stop=stop.is_set, timeout=10.0):
+            collected.append(entry)
+            if len(collected) == 4:
+                stop.set()
+        assert [e["job"] for e in collected] == [f"job-{i}" for i in range(4)]
+
+    def test_follow_times_out_on_silence(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        entries = list(follow_store(path, timeout=0.2))
+        assert entries == []
+
+    def test_follow_sees_live_appends(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+
+        def write_later():
+            store.record_event("late", "job-live")
+
+        t = threading.Timer(0.1, write_later)
+        t.start()
+        got = []
+        for entry in follow_store(path, timeout=5.0):
+            got.append(entry)
+            break
+        t.join()
+        assert got and got[0]["job"] == "job-live"
