@@ -1,0 +1,150 @@
+"""Benchmark: raw vector-engine throughput vs batch width.
+
+``VectorContext.evaluate_batch`` schedules a whole candidate batch in
+one structure-of-arrays sweep; this file tracks candidates/second as
+the batch widens against the scalar baseline it replaces — a fresh
+``SearchSession.evaluate_many`` over the same candidates (cold memo,
+placement-delta ordering), i.e. exactly what a descent round paid
+before the vector engine existed.
+
+The machine is noisy (the scalar baseline alone swings ~1.5x between
+runs), so the speedup in ``extra_info`` comes from *interleaved*
+best-of-N measurement: each rep times the vector batch and the scalar
+loop back to back, and the reported ratio compares the best rep of
+each.  The smoke test pins bit-identity plus a conservative ≥3x bound
+at width 128 and runs in CI under ``--benchmark-disable``; the
+recorded ``BENCH_vector_eval.json`` carries the full width sweep
+(the acceptance ≥5x point sits at width ≥128 on the widest batches).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from _helpers import kernel
+from repro.datapath.parse import parse_datapath
+from repro.schedule.fastpath import SchedContext
+from repro.schedule.vectorpath import VectorContext
+from repro.search.session import SearchSession
+
+np = pytest.importorskip("numpy")
+
+# The 96-op DCT on the heterogeneous 3-cluster machine — the largest
+# Table 1 cell, where per-candidate work dominates per-batch setup.
+KERNEL = "dct-dit-2"
+SPEC = "|3,1|2,2|1,3|"
+WIDTHS = (32, 64, 128, 256, 512)
+
+
+def _machine():
+    return kernel(KERNEL), parse_datapath(SPEC, num_buses=2)
+
+
+def _candidates(dfg, dp, width, seed):
+    names = [op.name for op in dfg.operations()]
+    rng = random.Random(seed)
+    targets = {
+        name: tuple(dp.target_set(dfg.operation(name).optype))
+        for name in names
+    }
+    placements = [
+        tuple(rng.choice(targets[name]) for name in names)
+        for _ in range(width)
+    ]
+    bindings = [dict(zip(names, p)) for p in placements]
+    return placements, bindings
+
+
+@contextmanager
+def _vectorpath_off():
+    """Pin the scalar baseline: without this the session would serve
+    ``evaluate_many`` through the very engine being benchmarked."""
+    previous = os.environ.get("REPRO_VECTORPATH")
+    os.environ["REPRO_VECTORPATH"] = "0"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_VECTORPATH", None)
+        else:
+            os.environ["REPRO_VECTORPATH"] = previous
+
+
+def _interleaved(dfg, dp, vctx, placements, bindings, reps):
+    """Best per-candidate seconds for (vector, scalar), interleaved."""
+    width = len(placements)
+    vec_best = scalar_best = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        vctx.evaluate_batch(placements)
+        t1 = time.perf_counter()
+        # Fresh session per rep: cold memo, like a new descent round.
+        with _vectorpath_off():
+            session = SearchSession(dfg, dp, fast=True)
+            session.evaluate_many(bindings)
+        t2 = time.perf_counter()
+        vec = (t1 - t0) / width
+        scalar = (t2 - t1) / width
+        vec_best = vec if vec_best is None else min(vec_best, vec)
+        scalar_best = (
+            scalar if scalar_best is None else min(scalar_best, scalar)
+        )
+    return vec_best, scalar_best
+
+
+@pytest.mark.benchmark(group="vector-eval")
+@pytest.mark.parametrize("width", WIDTHS)
+def test_vector_throughput(benchmark, width):
+    dfg, dp = _machine()
+    ctx = SchedContext(dfg, dp)
+    vctx = VectorContext(ctx)
+    placements, bindings = _candidates(dfg, dp, width, seed=width)
+    benchmark.pedantic(
+        lambda: vctx.evaluate_batch(placements), rounds=3, iterations=1
+    )
+    vec, scalar = _interleaved(
+        dfg, dp, vctx, placements, bindings, reps=5
+    )
+    benchmark.extra_info["cell"] = f"{KERNEL} {SPEC}"
+    benchmark.extra_info["width"] = width
+    benchmark.extra_info["vector_us_per_candidate"] = round(vec * 1e6, 2)
+    benchmark.extra_info["scalar_us_per_candidate"] = round(
+        scalar * 1e6, 2
+    )
+    benchmark.extra_info["candidates_per_second"] = round(1.0 / vec, 1)
+    benchmark.extra_info["speedup_vs_scalar"] = round(scalar / vec, 2)
+
+
+def test_vector_identity_and_speedup_smoke():
+    """Bit-identity plus a conservative throughput bound (runs in CI).
+
+    The vector batch must return exactly the scalar engine's outcomes,
+    and beat the scalar ``evaluate_many`` loop by ≥3x per candidate at
+    width 128 (the recorded BENCH numbers sit at ~4.5-5.3x; 3x leaves
+    room for machine noise).
+    """
+    dfg, dp = _machine()
+    ctx = SchedContext(dfg, dp)
+    vctx = VectorContext(ctx)
+    placements, bindings = _candidates(dfg, dp, width=128, seed=0)
+    outcomes = vctx.evaluate_batch(placements)
+    for placement, vec in zip(placements[:16], outcomes[:16]):
+        ref = ctx.evaluate(list(placement))
+        assert (vec.latency, vec.starts, vec.units, vec.pairs) == (
+            ref.latency,
+            ref.starts,
+            ref.units,
+            ref.pairs,
+        )
+    vec, scalar = _interleaved(
+        dfg, dp, vctx, placements, bindings, reps=5
+    )
+    assert vec * 3 <= scalar, (
+        f"vector engine under 3x at width 128: "
+        f"{vec * 1e6:.1f}us vs {scalar * 1e6:.1f}us per candidate"
+    )

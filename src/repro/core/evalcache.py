@@ -147,6 +147,18 @@ class EvalCache:
             self.hits += 1
         return out
 
+    def peek(self, key: PlacementKey) -> Optional[FastOutcome]:
+        """Non-counting lookup (no hit/miss bookkeeping).
+
+        The batched vector path probes the memo while *planning* a
+        batch — deciding which placements still need scheduling —
+        before any evaluation is accounted.  Counting those probes
+        would double-book against the per-candidate accounting the
+        session does afterwards, so this lookup leaves the counters to
+        the caller.
+        """
+        return self._data.get(key)
+
     def put(self, key: PlacementKey, outcome: FastOutcome) -> None:
         if (
             self.max_entries is not None

@@ -7,6 +7,13 @@ from .list_scheduler import ResourcePool, list_schedule
 from .priorities import alap_priority, asap_priority
 from .schedule import Schedule, ScheduleError, validate_schedule
 from .svg import render_svg, save_svg
+from .vectorpath import (
+    VectorContext,
+    VectorUnsupported,
+    vector_batch_threshold,
+    vector_context_for,
+    vectorpath_enabled,
+)
 
 __all__ = [
     "Schedule",
@@ -17,6 +24,11 @@ __all__ = [
     "fastpath_enabled",
     "SchedContext",
     "FastOutcome",
+    "VectorContext",
+    "VectorUnsupported",
+    "vectorpath_enabled",
+    "vector_batch_threshold",
+    "vector_context_for",
     "ResourcePool",
     "alap_priority",
     "asap_priority",

@@ -1,0 +1,684 @@
+"""Vectorized batch evaluation: candidates as structure-of-arrays lanes.
+
+The scalar fast path (:mod:`repro.schedule.fastpath`) evaluates one
+binding per call — a steepest-descent round trickles ~100 neighbour
+candidates through :meth:`SchedContext.evaluate` one Python loop at a
+time.  This module evaluates the *whole round at once*: a
+:class:`VectorContext` is compiled once per ``(DFG, datapath, dii)``
+from the precompiled :class:`~repro.schedule.fastpath.SchedContext`
+int-id tables, and :meth:`VectorContext.evaluate_batch` runs one
+lock-step list-scheduling sweep over numpy structure-of-arrays state —
+per-candidate *lanes* for the op→cluster assignment, derived transfer
+slots, priority keys, ready times, and FU/bus pool occupancy — so every
+scheduling cycle advances all lanes simultaneously with masked array
+updates instead of per-candidate Python loops.
+
+Lane layout.  A batch of ``L`` placements over ``n`` regular operations
+becomes ``(L, N)`` arrays with ``N = n + Tmax`` slots: the first ``n``
+columns are the regular operations (shared across lanes), the remaining
+``Tmax`` columns are each lane's derived transfer operations in
+``bind_dfg`` insertion order (producers by op index, destinations
+ascending), padded to the widest lane and masked inactive elsewhere.
+Per-cycle issue selection runs in a per-lane ``(pool, priority key)``
+sorted domain: a cumulative sum over the ready mask yields each ready
+operation's rank within its resource pool in priority order, and the
+rank doubles as the unit index — exactly the scalar engine's stamped
+``dii == 1`` pool counters, one vector op per cycle instead of a heap.
+
+Bit identity.  The engine reproduces :meth:`SchedContext.evaluate`
+outcome for outcome — latencies, start cycles, unit assignments,
+transfer pairs, and every lexicographic tie-break — because it computes
+the *same packed priority keys* (ALAP, mobility, out-degree, insertion
+index) and issues in the same within-cycle order.  The differential
+suite (``tests/schedule/test_vectorpath.py``) enforces this against
+both the scalar fast path and the naive scheduler.
+
+Scope and fallback.  Only the fully-pipelined case (``dii == 1`` for
+every operation type and the bus — the paper's resource model) is
+vectorized; :func:`vector_context_for` returns ``None`` for other
+timing registries, when numpy is unavailable, or when the
+``REPRO_VECTORPATH`` gate is off, and callers fall back to the scalar
+engine.  The module imports without numpy; a one-line notice is
+emitted once per process when the vector engine is requested but numpy
+is missing.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .fastpath import FastOutcome, SchedContext
+
+__all__ = [
+    "VECTORPATH_ENV",
+    "VECTOR_THRESHOLD_ENV",
+    "VectorContext",
+    "VectorUnsupported",
+    "vectorpath_enabled",
+    "vector_batch_threshold",
+    "vector_context_for",
+]
+
+#: Environment gate mirroring ``REPRO_FASTPATH``: set ``0`` to force
+#: every batch back onto the scalar fast path.
+VECTORPATH_ENV = "REPRO_VECTORPATH"
+
+#: Minimum uncached batch width worth packing into lanes; below it the
+#: per-batch numpy setup outweighs the scalar loop it replaces.
+VECTOR_THRESHOLD_ENV = "REPRO_VECTOR_THRESHOLD"
+
+#: Default for :func:`vector_batch_threshold`, tuned on the Table 1
+#: cells (see docs/PERF.md): the crossover where lane packing beats the
+#: scalar loop sits well below 32 candidates, and real descent rounds
+#: are 50-150 wide, so 32 keeps tiny tail batches on the cheap path.
+DEFAULT_VECTOR_THRESHOLD = 32
+
+_FALSEY = ("0", "false", "no", "off")
+
+#: Lazily imported numpy module; ``False`` means "tried and absent".
+_numpy_module = None
+_numpy_checked = False
+_missing_notice_emitted = False
+
+
+class VectorUnsupported(RuntimeError):
+    """The (DFG, datapath, dii) space cannot be vectorized."""
+
+
+def vectorpath_enabled() -> bool:
+    """Whether the vector engine is enabled (``REPRO_VECTORPATH``).
+
+    Defaults to on; set ``REPRO_VECTORPATH=0`` to pin every batch to
+    the scalar fast path (e.g. to check a sweep regenerates
+    byte-identically either way).  Honored wherever a
+    :class:`~repro.search.session.SearchSession` evaluates — the CLI,
+    the runner's pool workers, and the service's warm workers all
+    inherit it from the environment.
+    """
+    return os.environ.get(VECTORPATH_ENV, "1").strip().lower() not in _FALSEY
+
+
+def vector_batch_threshold() -> int:
+    """Uncached candidates needed before a batch is packed into lanes.
+
+    ``REPRO_VECTOR_THRESHOLD`` overrides the tuned default; anything
+    unparseable falls back to the default rather than failing a sweep.
+    """
+    raw = os.environ.get(VECTOR_THRESHOLD_ENV, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_VECTOR_THRESHOLD
+
+
+def _numpy():
+    """The numpy module, or ``None`` when not installed."""
+    global _numpy_module, _numpy_checked
+    if not _numpy_checked:
+        _numpy_checked = True
+        try:
+            import numpy  # noqa: PLC0415 — optional dependency
+
+            _numpy_module = numpy
+        except ImportError:
+            _numpy_module = None
+    return _numpy_module
+
+
+def _notice_numpy_missing() -> None:
+    """One line, once per process: why batches are not vectorized."""
+    global _missing_notice_emitted
+    if not _missing_notice_emitted:
+        _missing_notice_emitted = True
+        print(
+            "repro: numpy unavailable — batched evaluation uses the "
+            "scalar fastpath (install the 'fast' extra: "
+            "pip install 'repro[fast]')",
+            file=sys.stderr,
+        )
+
+
+def vector_context_for(ctx: SchedContext) -> Optional["VectorContext"]:
+    """The cached :class:`VectorContext` of ``ctx``, or ``None``.
+
+    Returns ``None`` when the gate is off, numpy is missing (with a
+    once-per-process notice), or the timing registry is not fully
+    pipelined.  The compiled context is cached on the
+    :class:`SchedContext` instance, so warm per-datapath context pools
+    (``REPRO_WARM_CONTEXTS``) keep the vector tables warm too.
+    """
+    if not vectorpath_enabled():
+        return None
+    if _numpy() is None:
+        _notice_numpy_missing()
+        return None
+    cached = getattr(ctx, "_vector_context", None)
+    if cached is None:
+        try:
+            cached = VectorContext(ctx)
+        except VectorUnsupported:
+            cached = False
+        ctx._vector_context = cached
+    return cached or None
+
+
+class VectorContext:
+    """Structure-of-arrays batch evaluator over one ``SchedContext``.
+
+    Construction is one-time per ``(DFG, datapath, dii)`` — it freezes
+    the lane-independent tables (edge lists grouped by longest-path
+    level for the vectorized ASAP/ALAP sweeps, successor CSR, pool
+    layout) as numpy arrays.  :meth:`evaluate_batch` then compiles a
+    list of placements into lanes and schedules them all in lock-step.
+
+    Raises :class:`VectorUnsupported` when any operation type (or the
+    bus) has ``dii != 1`` — those pools need the scalar engine's busy
+    heaps, and batches fall back per :func:`vector_context_for`.
+    """
+
+    def __init__(self, ctx: SchedContext) -> None:
+        np = _numpy()
+        if np is None:  # pragma: no cover — callers gate on _numpy()
+            raise VectorUnsupported("numpy is not installed")
+        if not ctx.all_dii_one:
+            raise VectorUnsupported(
+                "vector engine requires a fully pipelined resource model "
+                "(dii == 1 for all operation types and the bus)"
+            )
+        self.np = np
+        self.ctx = ctx
+        n = ctx.num_regular
+        self.n = n
+        self.num_clusters = ctx.datapath.num_clusters
+        self.move_lat = ctx.move_lat
+        self.lat = np.asarray(ctx.lat, dtype=np.int64)
+        self.indeg = np.asarray(
+            [len(p) for p in ctx.pred], dtype=np.int64
+        )
+        self.pool_sizes = np.asarray(ctx.pool_sizes, dtype=np.int64)
+        self.bus_pool = ctx.bus_pool
+        # Distinct slot latencies (ops + the transfer move), ascending:
+        # the scheduling loop's scatter-max runs one pass per value.
+        self._lat_vals = sorted(set(self.lat.tolist()) | {ctx.move_lat})
+        # op_pool[i][c]: pool of op i in cluster c (-1 = no FU there).
+        self.op_pool = np.asarray(ctx.op_pool, dtype=np.int64).reshape(
+            n, self.num_clusters
+        )
+
+        # Edges in successor-CSR order (u-major, ctx.succ list order).
+        succ_deg = np.asarray([len(s) for s in ctx.succ], dtype=np.int64)
+        self.succ_deg = succ_deg
+        self.succ_off = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(succ_deg)]
+        )
+        eu: List[int] = []
+        ev: List[int] = []
+        for u, succs in enumerate(ctx.succ):
+            for v in succs:
+                eu.append(u)
+                ev.append(v)
+        self.edge_u = np.asarray(eu, dtype=np.int64)
+        self.edge_v = np.asarray(ev, dtype=np.int64)
+        self.num_edges = len(eu)
+
+        # Longest-path levels partition the edges so the ASAP (forward)
+        # and ALAP (backward) recurrences run one vector op per level
+        # instead of one Python iteration per node.
+        depth = np.zeros(n, dtype=np.int64)
+        for u in ctx.topo:
+            for v in ctx.succ[u]:
+                if depth[u] + 1 > depth[v]:
+                    depth[v] = depth[u] + 1
+        self._fwd_groups = self._edge_groups(np, depth, by_target=True)
+        self._bwd_groups = self._edge_groups(np, depth, by_target=False)
+        self._sum_lat = ctx._sum_lat
+
+    def _edge_groups(self, np, depth, by_target: bool):
+        """Edges grouped by endpoint level, segmented for ``reduceat``.
+
+        Forward groups (``by_target``) are keyed by the *target's*
+        level, ascending, and segmented by target — every edge into a
+        node lands in one group, with all sources finalized by earlier
+        groups.  Backward groups are keyed by the *source's* level,
+        descending, segmented by source.
+        """
+        if self.num_edges == 0:
+            return []
+        anchor = self.edge_v if by_target else self.edge_u
+        levels = depth[anchor]
+        groups = []
+        order = sorted(set(levels.tolist()), reverse=not by_target)
+        for level in order:
+            eidx = np.nonzero(levels == level)[0]
+            eidx = eidx[np.argsort(anchor[eidx], kind="stable")]
+            nodes = anchor[eidx]
+            starts = np.nonzero(
+                np.concatenate(
+                    [np.ones(1, dtype=bool), nodes[1:] != nodes[:-1]]
+                )
+            )[0]
+            groups.append((eidx, starts, nodes[starts]))
+        return groups
+
+    # ------------------------------------------------------------------
+    # Batch evaluation
+    # ------------------------------------------------------------------
+    def evaluate_batch(
+        self, placements: Sequence[Tuple[int, ...]]
+    ) -> List[FastOutcome]:
+        """Evaluate every placement in one lock-step vectorized sweep.
+
+        Returns one :class:`FastOutcome` per placement, in input order,
+        bit-identical to ``[ctx.evaluate(p) for p in placements]``.
+        Raises :class:`VectorUnsupported` for infeasible placements
+        (an operation bound to a cluster with no matching FU) — callers
+        degrade to the scalar engine, which reports the precise
+        operation.
+        """
+        np = self.np
+        L = len(placements)
+        if L == 0:
+            return []
+        n = self.n
+        C = self.num_clusters
+        move_lat = self.move_lat
+        P = np.asarray(placements, dtype=np.int64).reshape(L, n)
+
+        pool_reg = self.op_pool[np.arange(n)[None, :], P]
+        if (pool_reg < 0).any():
+            raise VectorUnsupported(
+                "batch contains an infeasible placement "
+                "(operation bound to a cluster with no matching FU)"
+            )
+
+        # --- Transfer lanes: each lane's (producer, dest) pairs in
+        # bind_dfg insertion order (producer index asc, dest asc).
+        E = self.num_edges
+        eu, ev = self.edge_u, self.edge_v
+        if E:
+            pu = P[:, eu]
+            pv = P[:, ev]
+            cross = pu != pv  # (L, E)
+        else:
+            cross = np.zeros((L, 0), dtype=bool)
+            pv = np.zeros((L, 0), dtype=np.int64)
+        # A cut edge marks (producer, consumer cluster); several edges
+        # to one cluster share a transfer, so the distinct (lane,
+        # producer, dest) codes — sort + adjacent-unique, cheaper than
+        # a dense (L, n, C) cube — enumerate each lane's transfers in
+        # ascending code order, which IS bind_dfg insertion order
+        # (producer index asc, dest asc).
+        if E:
+            lane_e, ecol = np.nonzero(cross)
+            dest_e = pv[lane_e, ecol]
+            codes_all = (lane_e * n + eu[ecol]) * C + dest_e
+        else:
+            codes_all = np.zeros(0, dtype=np.int64)
+        codes_t = np.sort(codes_all)
+        if codes_t.size:
+            km = np.empty(codes_t.size, dtype=bool)
+            km[0] = True
+            np.not_equal(codes_t[1:], codes_t[:-1], out=km[1:])
+            codes_t = codes_t[km]
+        tcode = codes_t // C
+        dn = codes_t - tcode * C
+        ln = tcode // n
+        un = tcode - ln * n
+        t_cnt = np.bincount(tcode, minlength=L * n).reshape(L, n)
+        t_lane = np.bincount(ln, minlength=L)  # (L,) per-lane transfers
+        lane_starts = np.cumsum(t_lane) - t_lane
+        tmax = int(t_lane.max()) if L else 0
+        kk = np.arange(len(ln), dtype=np.int64) - np.repeat(
+            lane_starts, t_lane
+        )
+        tsrc = np.full((L, tmax), -1, dtype=np.int64)
+        tdst = np.full((L, tmax), -1, dtype=np.int64)
+        tsrc[ln, kk] = un
+        tdst[ln, kk] = dn
+        # Cross edge -> the global index of the transfer carrying it:
+        # codes_t is strictly ascending, so a binary search maps each
+        # cut edge's code to its transfer.
+        gidx = np.searchsorted(codes_t, codes_all)
+
+        # --- ASAP over the bound graph, transfers collapsed into the
+        # edges (a cross edge costs lat(u) + move_lat to reach v).
+        asap = np.zeros((L, n), dtype=np.int64)
+        for eidx, starts, nodes in self._fwd_groups:
+            contrib = (
+                asap[:, eu[eidx]]
+                + self.lat[eu[eidx]][None, :]
+                + cross[:, eidx] * move_lat
+            )
+            asap[:, nodes] = np.maximum.reduceat(contrib, starts, axis=1)
+        finish = asap + self.lat[None, :]
+        lcp = finish.max(axis=1)  # (L,) critical-path length
+
+        # --- ALAP: alap(u) = min(lcp, succ alaps via edges) - lat(u).
+        alap = lcp[:, None] - self.lat[None, :]  # no-successor default
+        for eidx, starts, nodes in self._bwd_groups:
+            contrib = alap[:, ev[eidx]] - cross[:, eidx] * move_lat
+            mins = np.minimum.reduceat(contrib, starts, axis=1)
+            alap[:, nodes] = (
+                np.minimum(lcp[:, None], mins) - self.lat[nodes][None, :]
+            )
+
+        # --- Transfer slots: timing, consumers, priority components.
+        big = np.int64(1) << 40
+        safe_src = np.where(tsrc >= 0, tsrc, 0)
+        asap_t = asap[np.arange(L)[:, None], safe_src] + self.lat[safe_src]
+        alap_t = np.full(L * tmax, big, dtype=np.int64)
+        deg_t = np.zeros((L, tmax), dtype=np.int64)
+        if E and tmax:
+            tpos = (ln * tmax + kk)[gidx]  # cross edge -> flat slot
+            np.minimum.at(alap_t, tpos, alap[lane_e, ev[ecol]])
+            deg_t = np.bincount(tpos, minlength=L * tmax).reshape(L, tmax)
+        alap_t = alap_t.reshape(L, tmax) - move_lat
+        if E:
+            lane_s, ecol_s = np.nonzero(~cross)
+            same_cnt = np.bincount(
+                lane_s * n + eu[ecol_s], minlength=L * n
+            ).reshape(L, n)
+        else:
+            same_cnt = np.zeros((L, n), dtype=np.int64)
+        deg_reg = same_cnt + t_cnt
+        active_t = tsrc >= 0
+        max_deg = np.maximum(
+            deg_reg.max(axis=1),
+            np.where(active_t, deg_t, 0).max(axis=1) if tmax else 0,
+        )
+
+        # --- Packed priority keys, exactly SchedContext._priority_keys.
+        span = lcp + 1
+        deg_span = max_deg + 1
+        total = n + t_lane
+        key_reg = (
+            (alap * span[:, None] + (alap - asap)) * deg_span[:, None]
+            + (max_deg[:, None] - deg_reg)
+        ) * total[:, None] + np.arange(n, dtype=np.int64)[None, :]
+        if tmax:
+            # Inactive padding slots take alap = lcp + 1 / mobility 0:
+            # every active alap is <= lcp, so padding sorts after all of
+            # a lane's real transfers without a huge sentinel (keeping
+            # keys small enough to pack the pool id alongside below).
+            alap_t = np.where(active_t, alap_t, (lcp + 1)[:, None])
+            mob_t = np.where(active_t, alap_t - asap_t, 0)
+            key_t = (
+                (alap_t * span[:, None] + mob_t) * deg_span[:, None]
+                + (max_deg[:, None] - deg_t * active_t)
+            ) * total[:, None] + (
+                n + np.arange(tmax, dtype=np.int64)[None, :]
+            )
+        else:
+            key_t = np.zeros((L, 0), dtype=np.int64)
+
+        # --- Slot state, (L, N) with N = n + Tmax.
+        N = n + tmax
+        key = np.concatenate([key_reg, key_t], axis=1)
+        pool_slot = np.concatenate(
+            [pool_reg, np.full((L, tmax), self.bus_pool, dtype=np.int64)],
+            axis=1,
+        )
+        lat_slot = np.concatenate(
+            [
+                np.broadcast_to(self.lat, (L, n)),
+                np.full((L, tmax), move_lat, dtype=np.int64),
+            ],
+            axis=1,
+        )
+        active = np.concatenate(
+            [np.ones((L, n), dtype=bool), active_t], axis=1
+        )
+        remaining = np.concatenate(
+            [
+                np.broadcast_to(self.indeg, (L, n)).copy(),
+                np.where(active_t, 1, np.int64(1) << 30),
+            ],
+            axis=1,
+        )
+
+        # --- The (pool, key)-sorted issue domain: per lane, slots are
+        # grouped by pool and key-ordered within the group, so a single
+        # cumsum over the ready mask yields every ready op's priority
+        # rank inside its pool — the scalar engine's per-cycle pool
+        # counter, vectorized.  All per-cycle state is kept flat (one
+        # (L*N,) array per field, lane-major in the sorted domain) so
+        # every scheduling cycle is a handful of cheap 1-D kernels.
+        num_pools = int(self.pool_sizes.shape[0])
+        LN = L * N
+        ar = np.arange(LN, dtype=np.int64)
+        kmax = int(key.max())
+        # order_flat[j] = flat *slot* id at sorted position j;
+        # inv_flat[flat slot id] = its sorted position.
+        if kmax < (1 << 62) // max(L * num_pools, 1):
+            # Keys are unique within a lane (the insertion-index term),
+            # so (lane, pool, key) packs into one int64 and a single
+            # flat argsort yields the whole batch's issue domain —
+            # about half the work of a per-lane two-key lexsort.
+            packed = (
+                np.arange(L, dtype=np.int64)[:, None] * num_pools
+                + pool_slot
+            ) * (kmax + 1) + key
+            order_flat = np.argsort(packed.ravel())
+        else:  # pragma: no cover — needs a ~2**60-cycle critical path
+            order = np.lexsort((key, pool_slot), axis=-1)  # (L, N)
+            order_flat = (order + np.arange(L)[:, None] * N).ravel()
+        inv_flat = np.empty(LN, dtype=np.int64)
+        inv_flat[order_flat] = ar
+        pool_f = pool_slot.ravel()[order_flat]
+        size_f = self.pool_sizes[pool_f]
+        # (lane, pool) group starts: pool changes, plus every lane start
+        # (adjacent lanes may begin and end with the same pool id).
+        bound_f = np.ones(LN, dtype=bool)
+        bound_f[1:] = pool_f[1:] != pool_f[:-1]
+        bound_f[0::N] = True
+        group_start = np.maximum.accumulate(np.where(bound_f, ar, 0))
+        remaining_f = remaining.ravel()[order_flat]
+        lat_f = lat_slot.ravel()[order_flat]
+        earliest_f = np.zeros(LN, dtype=np.int64)
+        # One packed (start * uspan + unit) cell per slot: half the
+        # scatter traffic per cycle, unpacked once after the loop.
+        uspan = int(self.pool_sizes.max()) + 1
+        su_f = np.zeros(LN, dtype=np.int64)
+
+        # Bound-graph successors as one batch CSR over sorted positions:
+        # same-cluster edges, producer->transfer arming edges, and
+        # transfer->consumer edges, all uniform because the finish time
+        # any edge propagates is issue cycle + the source slot's latency.
+        tslot = ln * N + n + kk  # flat slot id of each global transfer
+        e_src = [ln * N + un]  # producer -> its transfer slot
+        e_dst = [tslot]
+        if E:
+            e_src.append(lane_s * N + eu[ecol_s])  # same-cluster edges
+            e_dst.append(lane_s * N + ev[ecol_s])
+            if tmax:
+                e_src.append(tslot[gidx])  # transfer -> cross consumer
+                e_dst.append(lane_e * N + ev[ecol])
+        src_all = inv_flat[np.concatenate(e_src)]
+        dst_all = inv_flat[np.concatenate(e_dst)]
+        out_deg = np.bincount(src_all, minlength=LN)
+        out_off = np.cumsum(out_deg) - out_deg
+        # Within-source edge order is irrelevant (releases are applied
+        # per unique consumer, order-independent), so (src, dst) packs
+        # into one key and a plain value sort replaces argsort+gather.
+        shift = max(LN - 1, 1).bit_length()
+        packed_e = (src_all << shift) | dst_all
+        packed_e.sort()
+        # Stacked pairs gathered together in the loop: one fancy-index
+        # call fetches both rows of a (2, k) result.
+        dst_lat = np.stack([packed_e & ((1 << shift) - 1),
+                            lat_f[packed_e >> shift]])
+        out_do = np.stack([out_deg, out_off + out_deg])
+        if src_all.size > LN:
+            # The in-loop iota is sliced to the per-cycle fan-out, which
+            # can exceed the slot count when the graph has more edges
+            # than slots — grow it to cover the worst single cycle.
+            ar = np.arange(src_all.size, dtype=np.int64)
+
+        # Event-driven lock-step loop, the scalar engine's ready_at
+        # buckets lifted to batch granularity: ``pending`` is the sorted
+        # array of positions that are data-ready but deferred on a full
+        # pool, and ``buckets[c]`` collects positions that become ready
+        # at cycle ``c`` (a slot's earliest time is final once its last
+        # predecessor issues, because latencies are >= 1).  The ready
+        # set is maintained by sorted merge, so each cycle touches only
+        # arrays the size of the ready set — never the full batch width.
+        pending = np.nonzero(remaining_f == 0)[0]
+        lat_vals = self._lat_vals
+        maxlat = lat_vals[-1]
+        buckets: Dict[int, List] = {}
+        total_left = int(active.sum())
+        cycle = 0
+        budget = 2 * (self._sum_lat + move_lat * (tmax or 0)) + 64
+        while total_left:
+            if cycle > budget:
+                raise VectorUnsupported(
+                    f"vector scheduler exceeded cycle budget {budget} on "
+                    f"{self.ctx.dfg.name + '+bound'!r}; resource model "
+                    "is likely infeasible"
+                )
+            arrivals = buckets.pop(cycle, None)
+            if arrivals is not None:
+                # Bucket arrays are pairwise disjoint and disjoint from
+                # pending (a slot zeroes exactly once), so the merge is
+                # one concatenate + sort, no dedup; timsort exploits
+                # the pre-sorted runs being concatenated.
+                arr = np.concatenate([pending] + arrivals)
+                arr.sort(kind="stable")
+                ridx = arr  # ascending == issue-priority
+            else:
+                ridx = pending
+            m = ridx.size
+            if m == 0:
+                if not buckets:
+                    raise VectorUnsupported(
+                        "vector scheduler deadlocked (cyclic bound graph?)"
+                    )
+                cycle = min(buckets)
+                continue
+            # Ranks ascend within a (lane, pool) group, so the issued
+            # set is a per-group *prefix*: the first min(len, pool
+            # size) ready slots of each group issue, their 0-based
+            # offset in the prefix is the unit index (the scalar
+            # per-cycle pool counter), and the rest stay pending in
+            # order.  Everything below runs on group-count- and
+            # issue-count-sized arrays, not the full ready set.
+            gs = group_start[ridx]
+            newg = np.empty(m, dtype=bool)
+            newg[0] = True
+            np.not_equal(gs[1:], gs[:-1], out=newg[1:])
+            heads = np.nonzero(newg)[0]
+            glen = np.diff(heads, append=m)
+            take = np.minimum(glen, size_f[ridx[heads]])
+            ends_t = np.cumsum(take)
+            k = int(ends_t[-1])
+            off = ends_t - take
+            hit = ridx[ar[:k] + np.repeat(heads - off, take)]
+            su_f[hit] = cycle * uspan + (ar[:k] - np.repeat(off, take))
+            mk = m - k
+            if mk:
+                rest = glen - take
+                ends_r = np.cumsum(rest)
+                pending = ridx[
+                    ar[:mk]
+                    + np.repeat(heads + take - ends_r + rest, rest)
+                ]
+            else:
+                pending = ridx[:0]
+            total_left -= k
+            o2 = out_do[:, hit]  # rows: out-degree, CSR end offset
+            cnt = o2[0]
+            tot = int(cnt.sum())
+            if tot:
+                ends = np.cumsum(cnt)
+                eidx = ar[:tot] + np.repeat(o2[1] - ends, cnt)
+                d2 = dst_lat[:, eidx]  # rows: consumer, finish delta
+                dst = d2[0]
+                latr = d2[1]
+                # Scatter-max of finish times runs once per *distinct*
+                # latency (a tiny precompiled set; np.unique per cycle
+                # costs more than the whole pass) — duplicate-index
+                # fancy assignment is safe because every colliding
+                # write carries the same value.
+                for lv in lat_vals:  # ascending
+                    d = dst[latr == lv]
+                    if d.size:
+                        earliest_f[d] = np.maximum(
+                            earliest_f[d], cycle + lv
+                        )
+                # Unique consumers + release counts by sorted
+                # run-length, all on release-sized arrays — no
+                # full-width pass anywhere in the loop.
+                ds = np.sort(dst)
+                nb = np.empty(tot, dtype=bool)
+                nb[0] = True
+                np.not_equal(ds[1:], ds[:-1], out=nb[1:])
+                bidx = np.nonzero(nb)[0]
+                uq = ds[bidx]
+                remaining_f[uq] -= np.diff(bidx, append=tot)
+                zero = uq[remaining_f[uq] == 0]
+                if zero.size:
+                    # Now-final earliest times bucket the new arrivals;
+                    # ``zero`` is sorted and duplicate-free (sliced
+                    # from ``uq``), so bucket slices stay mergeable.
+                    # Earliest times land in (cycle, cycle + maxlat].
+                    es = earliest_f[zero]
+                    if maxlat <= 8:
+                        for v in range(cycle + 1, cycle + maxlat + 1):
+                            d = zero[es == v]
+                            if d.size:
+                                buckets.setdefault(v, []).append(d)
+                    else:  # pragma: no cover — long-latency registries
+                        for v in np.unique(es).tolist():
+                            buckets.setdefault(v, []).append(
+                                zero[es == v]
+                            )
+            if hit.size < m:
+                cycle += 1  # someone deferred on a full pool
+            elif total_left:
+                # Idle gap: jump to the earliest pending data-ready
+                # event across all lanes (cf. the scalar engine's
+                # ``cycle = min(ready_at)``); lanes whose next event is
+                # later simply see no ready slots at that cycle.
+                cycle = min(buckets) if buckets else cycle + 1
+
+        # --- Unpermute and materialize one FastOutcome per lane.
+        starts_f = su_f // uspan
+        units_f = su_f - starts_f * uspan
+        starts_slot = np.empty(LN, dtype=np.int64)
+        units_slot = np.empty(LN, dtype=np.int64)
+        starts_slot[order_flat] = starts_f
+        units_slot[order_flat] = units_f
+        starts_slot = starts_slot.reshape(L, N)
+        units_slot = units_slot.reshape(L, N)
+        latency = np.where(active, starts_slot + lat_slot, 0).max(axis=1)
+        starts_l = starts_slot.tolist()
+        units_l = units_slot.tolist()
+        pairs_flat = list(zip(un.tolist(), dn.tolist()))
+        off_l = lane_starts.tolist()
+        t_lane_l = t_lane.tolist()
+        latency_l = latency.tolist()
+        ctx = self.ctx
+        outs = []
+        for i, placement in enumerate(placements):
+            # A lane's live columns are exactly the first n + t: its
+            # transfer slots fill columns n..n+t-1, padding sits after.
+            # Its (producer, dest) pairs are a contiguous run of the
+            # flat transfer list (lexicographic == per-lane insertion
+            # order).
+            t = t_lane_l[i]
+            o = off_l[i]
+            outs.append(
+                FastOutcome(
+                    ctx=ctx,
+                    placement=tuple(placement),
+                    pairs=tuple(pairs_flat[o : o + t]),
+                    starts=tuple(starts_l[i][: n + t]),
+                    units=tuple(units_l[i][: n + t]),
+                    latency=latency_l[i],
+                )
+            )
+        return outs

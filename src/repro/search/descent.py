@@ -45,20 +45,17 @@ def steepest_descent(
     best_q = quality(best_out)
     committed = 0
     while committed < max_iterations and not session.exhausted():
-        boundary = neighborhood.boundary(binding)
-        moves = {v: neighborhood.moves(binding, v) for v in boundary}
         round_best: Optional[Tuple[QualityVector, Binding, object]] = None
         threshold = best_q
-        # The whole round is evaluated as one batch — the session
-        # reorders execution by placement-delta to amortize incremental
+        # The whole round is materialized as one batch — wide enough,
+        # the session packs it into vector lanes; otherwise it reorders
+        # execution by placement-delta to amortize incremental
         # re-derivation — and selection walks the outcomes in original
         # perturbation order, so the committed candidate (ties broken
         # by first strict improvement) is unchanged.
         candidates = [
             binding.rebind(*perturbation)
-            for perturbation in neighborhood.perturbations(
-                binding, boundary, moves
-            )
+            for perturbation in neighborhood.round_batch(binding)
         ]
         for candidate, out in zip(
             candidates, session.evaluate_many(candidates)

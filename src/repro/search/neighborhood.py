@@ -154,6 +154,28 @@ class Neighborhood:
                         continue
                     yield ((v, cv), (w, cw))
 
+    def round_batch(
+        self,
+        binding: Binding,
+        boundary: Optional[Tuple[str, ...]] = None,
+        moves: Optional[Dict[str, Tuple[int, ...]]] = None,
+    ) -> Tuple[Perturbation, ...]:
+        """One descent round's full candidate batch, materialized.
+
+        The singles-then-pairs perturbations of :meth:`perturbations`,
+        collected into a tuple of delta arrays against the base
+        binding — the shape ``SearchSession.evaluate_many`` wants so a
+        round can be packed into vector lanes (or delta-ordered on the
+        scalar path) instead of trickling candidates one at a time.
+        Order is exactly the generator's, so first-strict-improvement
+        tie-breaks are unaffected.
+        """
+        if boundary is None:
+            boundary = self.boundary(binding)
+        if moves is None:
+            moves = {v: self.moves(binding, v) for v in boundary}
+        return tuple(self.perturbations(binding, boundary, moves))
+
     # ------------------------------------------------------------------
     # Annealing: random single-operation reassignment
     # ------------------------------------------------------------------
@@ -178,3 +200,26 @@ class Neighborhood:
         if not targets:
             return None
         return (name, rng.choice(targets))
+
+    def random_batch(
+        self, binding: Binding, rng: random.Random, width: int
+    ) -> Tuple[Perturbation, ...]:
+        """``width`` random single-move lanes, materialized.
+
+        Draws exactly like ``width`` sequential
+        :meth:`random_reassignment` calls (drawn operations with no
+        alternative cluster consume RNG but emit no lane), so a seeded
+        caller is reproducible.  Sequential accept/reject walks
+        (annealing) must keep drawing one move at a time — their RNG
+        trajectory depends on each outcome — but population-style
+        strategies and multi-start batches use this to fill vector
+        lanes in one call.
+        """
+        if width < 0:
+            raise ValueError(f"width must be >= 0, got {width}")
+        out: List[Perturbation] = []
+        for _ in range(width):
+            move = self.random_reassignment(binding, rng)
+            if move is not None:
+                out.append((move,))
+        return tuple(out)

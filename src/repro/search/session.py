@@ -41,12 +41,18 @@ from ..core.evalcache import EvalStats, Evaluator
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
 from ..dfg.transform import bind_dfg
+from ..resilience.faults import perturb
 from ..resilience.validate import (
     InvariantViolation,
     validate_outcome,
     validation_enabled,
 )
 from ..schedule.fastpath import fastpath_enabled
+from ..schedule.vectorpath import (
+    vector_batch_threshold,
+    vector_context_for,
+    vectorpath_enabled,
+)
 from ..schedule.list_scheduler import list_schedule
 from ..schedule.schedule import Schedule
 from .diskcache import EVAL_CACHE_ENV, OutcomeStore, outcome_cache_key
@@ -115,6 +121,7 @@ class SearchSession:
             validation_enabled() if validate is None else validate
         )
         self._validated: set = set()
+        self._vector_disabled = False
         self._names: Optional[Tuple[str, ...]] = None
         self._store: Optional[OutcomeStore] = None
         self._store_key: Optional[str] = None
@@ -198,17 +205,28 @@ class SearchSession:
     def evaluate_many(self, bindings: Sequence[Mapping[str, int]]) -> list:
         """Evaluate a batch of candidates; outcomes in input order.
 
-        On the fast path the batch is *executed* in placement-delta
-        order: candidates are sorted by their difference from the
-        batch's first placement, so moves of the same operation(s) run
-        back to back and the evaluator's incremental transfer
-        re-derivation (which patches from the previously missed
-        placement) touches the smallest possible neighbourhood on each
-        step, instead of ping-ponging across the whole binding.
+        Large batches are served by the vectorized engine
+        (:mod:`repro.schedule.vectorpath`) when available: the memo is
+        probed first, only uncached placements are packed into lanes,
+        and one structure-of-arrays sweep schedules them all, inserting
+        the outcomes back into the memo.  The vector engine is
+        bit-identical to the scalar fast path, and the accounting —
+        evaluation count, memo hit/miss split — matches the sequential
+        loop exactly.  A vector-engine error records an incident and
+        degrades the session to the scalar path for good.
 
-        Evaluation is pure and memoized per placement, and the
-        candidates of one descent round are pairwise distinct, so the
-        execution order is unobservable: outcomes, the evaluation
+        Otherwise (numpy absent, ``REPRO_VECTORPATH=0``, validation on,
+        or too few uncached candidates to be worth packing) the batch
+        is *executed* in placement-delta order on the scalar fast path:
+        candidates are sorted by their difference from the batch's
+        first placement, so moves of the same operation(s) run back to
+        back and the evaluator's incremental transfer re-derivation
+        (which patches from the previously missed placement) touches
+        the smallest possible neighbourhood on each step, instead of
+        ping-ponging across the whole binding.
+
+        Evaluation is pure and memoized per placement, so the execution
+        order and engine are unobservable: outcomes, the evaluation
         count, and the memo hit/miss split are bit-identical to a
         sequential loop — only the wall-clock changes.  The returned
         list always matches the input order, so selection loops
@@ -217,7 +235,17 @@ class SearchSession:
         bindings = list(bindings)
         evaluator = self.evaluator
         if evaluator is None or len(bindings) < 2:
-            return [self.evaluate(b) for b in bindings]
+            results = [self.evaluate(b) for b in bindings]
+            if bindings:
+                self.stats.record_engine_batch(
+                    "naive" if evaluator is None else "scalar",
+                    len(bindings),
+                )
+            return results
+        vectorized = self._evaluate_batch_vector(bindings)
+        if vectorized is not None:
+            return vectorized
+        self.stats.record_engine_batch("scalar", len(bindings))
         placements = [evaluator.placement_of(b) for b in bindings]
         base = placements[0]
 
@@ -232,6 +260,78 @@ class SearchSession:
         results: list = [None] * len(bindings)
         for i in order:
             results[i] = self.evaluate(bindings[i])
+        return results
+
+    def _evaluate_batch_vector(
+        self, bindings: Sequence[Mapping[str, int]]
+    ) -> Optional[list]:
+        """Serve one batch through the vector engine, or ``None``.
+
+        ``None`` means "use the scalar path": the gate is off, numpy or
+        a pipelined resource model is missing, validation is on (the
+        validator wants per-candidate degrade semantics), a previous
+        vector error disabled the engine for this session, or too few
+        of the batch's placements miss the memo to be worth packing.
+
+        Accounting is identical to the scalar loop: the memo is probed
+        without counting while planning the batch, then every input
+        binding is booked as one evaluation — a memo hit unless it is
+        the first occurrence of an uncached placement — and the
+        evaluator's own counters advance by the same amounts.  Freshly
+        scheduled outcomes enter the memo (and therefore any on-disk
+        :class:`OutcomeStore` merged at :meth:`persist` time) exactly
+        as scalar misses would.
+        """
+        if self._vector_disabled or self.validate or not vectorpath_enabled():
+            return None
+        evaluator = self.evaluator
+        assert evaluator is not None
+        cache = evaluator.cache
+        placements = [evaluator.placement_of(b) for b in bindings]
+        memo: dict = {}
+        missing: list = []
+        for placement in placements:
+            if placement in memo:
+                continue
+            out = cache.peek(placement)
+            memo[placement] = out
+            if out is None:
+                missing.append(placement)
+        if len(missing) < vector_batch_threshold():
+            return None
+        vctx = vector_context_for(evaluator.ctx)
+        if vctx is None:
+            return None
+        try:
+            perturb("vectorpath.evaluate")
+            outcomes = vctx.evaluate_batch(missing)
+        except Exception as exc:  # noqa: BLE001 — degrade, never crash
+            self._vector_disabled = True
+            self.stats.record_incident(
+                "session.evaluate_many",
+                "vector-engine-error",
+                f"{type(exc).__name__}: {exc}; "
+                "batch degraded to the scalar engine",
+            )
+            return None
+        for placement, out in zip(missing, outcomes):
+            memo[placement] = out
+            cache.put(placement, out)
+        evaluator.evaluations += len(missing)
+        stats = self.stats
+        stats.record_engine_batch("vector", len(missing))
+        first_miss = set(missing)
+        results = []
+        for placement in placements:
+            stats.evaluations += 1
+            if placement in first_miss:
+                first_miss.discard(placement)
+                stats.cache_misses += 1
+                cache.misses += 1
+            else:
+                stats.cache_hits += 1
+                cache.hits += 1
+            results.append(memo[placement])
         return results
 
     def _naive_evaluate(self, binding: Mapping[str, int]) -> Schedule:

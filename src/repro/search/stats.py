@@ -51,6 +51,13 @@ class SearchStats:
         incidents: structured records of caught invariant violations
             and degradations (see :mod:`repro.resilience.validate`);
             empty on a healthy run.
+        engine_batches: batches served per evaluation engine
+            (``"vector"``, ``"scalar"``, ``"naive"``) by
+            ``SearchSession.evaluate_many`` — which engine actually ran
+            each round.
+        engine_candidates: candidates those batches carried, per
+            engine; for ``"vector"`` this counts lanes actually
+            scheduled (memo hits are planned out before packing).
     """
 
     evaluations: int = 0
@@ -64,6 +71,15 @@ class SearchStats:
     budget_exhausted: bool = False
     deadline_exceeded: bool = False
     incidents: List[Dict[str, str]] = field(default_factory=list)
+    engine_batches: Dict[str, int] = field(default_factory=dict)
+    engine_candidates: Dict[str, int] = field(default_factory=dict)
+
+    def record_engine_batch(self, engine: str, candidates: int) -> None:
+        """Book one ``evaluate_many`` batch against its serving engine."""
+        self.engine_batches[engine] = self.engine_batches.get(engine, 0) + 1
+        self.engine_candidates[engine] = (
+            self.engine_candidates.get(engine, 0) + candidates
+        )
 
     def snapshot(self) -> StatsSnapshot:
         """Current counter values, for later :meth:`since` deltas."""
@@ -117,4 +133,11 @@ class SearchStats:
             "budget_exhausted": self.budget_exhausted,
             "deadline_exceeded": self.deadline_exceeded,
             "incidents": [dict(i) for i in self.incidents],
+            "engines": {
+                name: {
+                    "batches": self.engine_batches[name],
+                    "candidates": self.engine_candidates.get(name, 0),
+                }
+                for name in sorted(self.engine_batches)
+            },
         }

@@ -451,6 +451,10 @@ class BindingService:
             self.metrics.eval_hits += result.eval_hits
         if result.eval_misses:
             self.metrics.eval_misses += result.eval_misses
+        if result.search_stats:
+            engines = result.search_stats.get("engines")
+            if engines:
+                self.metrics.record_engines(engines)
         self.store.record(record.job, result)
         try:
             self.cache.put(record.key, result.to_dict())

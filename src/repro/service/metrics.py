@@ -61,7 +61,20 @@ class Metrics:
         # the cross-worker OutcomeStore tier's effectiveness.
         self.eval_hits = 0
         self.eval_misses = 0
+        # Which evaluation engine served each batch, aggregated from
+        # completed results' search stats: {"vector": {"batches": n,
+        # "candidates": m}, "scalar": ..., "naive": ...}.
+        self.engines: Dict[str, Dict[str, int]] = {}
         self._latency: Dict[str, Deque[float]] = {}
+
+    def record_engines(self, engines: Dict[str, Dict[str, int]]) -> None:
+        """Fold one completed result's per-engine batch counters in."""
+        for name, counters in engines.items():
+            slot = self.engines.setdefault(
+                name, {"batches": 0, "candidates": 0}
+            )
+            slot["batches"] += int(counters.get("batches", 0))
+            slot["candidates"] += int(counters.get("candidates", 0))
 
     def observe_latency(self, strategy: str, seconds: float) -> None:
         """Record one request's submit-to-terminal latency."""
@@ -108,6 +121,10 @@ class Metrics:
                     if (self.eval_hits + self.eval_misses)
                     else 0.0
                 ),
+            },
+            "engines": {
+                name: dict(counters)
+                for name, counters in sorted(self.engines.items())
             },
             "latency": self.latency_summary(),
         }

@@ -1,0 +1,276 @@
+"""Differential tests: the vector batch engine is bit-identical.
+
+The vector engine (``repro.schedule.vectorpath``) promises the same
+bit-identity contract the scalar fast path made in PR 2, now for whole
+batches: every lane's latency, start cycles, unit assignments, transfer
+pairs, and lexicographic tie-breaks must equal a per-candidate
+``SchedContext.evaluate`` — which is itself pinned against the naive
+``bind_dfg`` + ``list_schedule`` pipeline.  The suite enforces the
+chain over random DFGs × datapaths × placements (hypothesis), over the
+paper kernels, over every registered quality kind (the quality vectors
+read derived state — completion profiles, register pressure — so they
+cross-check the whole outcome, not just the latency), and over torn
+batch shapes (width 1, odd widths, duplicates).
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.binding import Binding
+from repro.datapath.parse import parse_datapath
+from repro.dfg.generators import random_layered_dfg
+from repro.dfg.transform import bind_dfg
+from repro.kernels import load_kernel
+from repro.schedule.fastpath import SchedContext, fast_list_schedule
+from repro.schedule.list_scheduler import list_schedule
+from repro.schedule.vectorpath import (
+    DEFAULT_VECTOR_THRESHOLD,
+    VectorContext,
+    VectorUnsupported,
+    vector_batch_threshold,
+    vector_context_for,
+    vectorpath_enabled,
+)
+from repro.search.quality import QualitySpec
+
+np = pytest.importorskip("numpy")
+
+# -- strategies (mirroring test_fastpath_equiv) -----------------------------
+
+dfg_strategy = st.builds(
+    random_layered_dfg,
+    num_ops=st.integers(min_value=1, max_value=35),
+    seed=st.integers(min_value=0, max_value=10_000),
+    width=st.integers(min_value=1, max_value=8),
+    mul_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+
+datapath_strategy = st.builds(
+    lambda shape, buses: parse_datapath(
+        "|" + "|".join(f"{a},{m}" for a, m in shape) + "|", num_buses=buses
+    ),
+    shape=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=3),
+            st.integers(min_value=1, max_value=3),
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+    buses=st.integers(min_value=1, max_value=3),
+)
+
+relaxed = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Every registered quality kind, parametric ones included.
+QUALITY_SPECS = ("qu", "qm", "lm", "latency", "qp:4")
+
+
+def _random_placements(ctx, datapath, seed, width):
+    rng = random.Random(seed)
+    targets = [
+        tuple(datapath.target_set(ctx.dfg.operation(name).optype))
+        for name in ctx.names
+    ]
+    return [
+        tuple(rng.choice(ts) for ts in targets) for _ in range(width)
+    ]
+
+
+def _assert_outcomes_identical(vec, ref):
+    assert vec.latency == ref.latency
+    assert vec.starts == ref.starts
+    assert vec.units == ref.units
+    assert vec.pairs == ref.pairs
+
+
+# -- evaluate_batch ≡ per-candidate evaluate ≡ naive ------------------------
+
+
+class TestBatchDifferential:
+    @given(
+        dfg=dfg_strategy,
+        dp=datapath_strategy,
+        seed=st.integers(0, 999),
+        width=st.integers(min_value=1, max_value=9),
+    )
+    @relaxed
+    def test_matches_scalar_and_naive_on_random_inputs(
+        self, dfg, dp, seed, width
+    ):
+        ctx = SchedContext(dfg, dp)
+        vctx = VectorContext(ctx)
+        placements = _random_placements(ctx, dp, seed, width)
+        outcomes = vctx.evaluate_batch(placements)
+        assert len(outcomes) == width
+        for placement, vec in zip(placements, outcomes):
+            ref = ctx.evaluate(list(placement))
+            _assert_outcomes_identical(vec, ref)
+        # Chain to the naive pipeline on the first lane: the vector
+        # outcome materializes to the exact naive schedule.
+        binding = Binding(dict(zip(ctx.names, placements[0])))
+        naive = list_schedule(bind_dfg(dfg, binding), dp)
+        sched = outcomes[0].to_schedule()
+        assert sched.latency == naive.latency
+        assert dict(sched.start) == dict(naive.start)
+        assert dict(sched.instance) == dict(naive.instance)
+
+    @pytest.mark.parametrize(
+        "kernel", ["ewf", "fft", "arf", "dct-dif", "dct-lee"]
+    )
+    def test_matches_scalar_on_paper_kernels(self, kernel):
+        dfg = load_kernel(kernel)
+        dp = parse_datapath("|3,1|2,2|1,3|", num_buses=2)
+        ctx = SchedContext(dfg, dp)
+        vctx = VectorContext(ctx)
+        placements = _random_placements(ctx, dp, seed=7, width=40)
+        placements.append(tuple(0 for _ in ctx.names))  # transfer-free lane
+        for placement, vec in zip(
+            placements, vctx.evaluate_batch(placements)
+        ):
+            _assert_outcomes_identical(vec, ctx.evaluate(list(placement)))
+
+    @given(
+        dfg=dfg_strategy,
+        dp=datapath_strategy,
+        seed=st.integers(0, 999),
+    )
+    @relaxed
+    def test_quality_vectors_identical_for_all_kinds(self, dfg, dp, seed):
+        # Quality functions read latency, transfer counts, completion
+        # profiles, and register pressure off the outcome — computing
+        # all registered kinds on the vector outcome vs the naive
+        # schedule cross-checks the derived state end to end.
+        ctx = SchedContext(dfg, dp)
+        vctx = VectorContext(ctx)
+        placements = _random_placements(ctx, dp, seed, width=3)
+        outcomes = vctx.evaluate_batch(placements)
+        for placement, vec in zip(placements, outcomes):
+            binding = Binding(dict(zip(ctx.names, placement)))
+            naive = list_schedule(bind_dfg(dfg, binding), dp)
+            for spec in QUALITY_SPECS:
+                for fn in QualitySpec.parse(spec).functions():
+                    assert fn(vec) == fn(naive), spec
+
+    @given(
+        dfg=dfg_strategy,
+        dp=datapath_strategy,
+        seed=st.integers(0, 999),
+        prio=st.integers(0, 99),
+    )
+    @relaxed
+    def test_custom_priority_path_is_undisturbed(self, dfg, dp, seed, prio):
+        # Custom priority maps run through ``fast_list_schedule`` (rank
+        # packing), not the batch engine — a vector evaluation of the
+        # same binding must not perturb them, and all three engines
+        # stay mutually consistent on the default priorities.
+        ctx = SchedContext(dfg, dp)
+        vctx = VectorContext(ctx)
+        placement = _random_placements(ctx, dp, seed, width=1)[0]
+        vec = vctx.evaluate_batch([placement])[0]
+        binding = Binding(dict(zip(ctx.names, placement)))
+        bound = bind_dfg(dfg, binding)
+        rng = random.Random(prio)
+        priority = {n: rng.randrange(5) for n in bound.graph}
+        fast = fast_list_schedule(bound, dp, priority=priority)
+        naive = list_schedule(bound, dp, priority=priority)
+        assert fast.latency == naive.latency
+        assert dict(fast.start) == dict(naive.start)
+        # Default-priority naive still matches the vector lane.
+        default = list_schedule(bound, dp)
+        assert vec.latency == default.latency
+
+
+class TestTornBatches:
+    """Batch shapes the descent loop never produces must still work."""
+
+    def _fixture(self):
+        dfg = load_kernel("ewf")
+        dp = parse_datapath("|2,1|1,1|", num_buses=2)
+        ctx = SchedContext(dfg, dp)
+        return ctx, VectorContext(ctx), dp
+
+    def test_width_one(self):
+        ctx, vctx, dp = self._fixture()
+        placement = _random_placements(ctx, dp, seed=1, width=1)[0]
+        (vec,) = vctx.evaluate_batch([placement])
+        _assert_outcomes_identical(vec, ctx.evaluate(list(placement)))
+
+    @pytest.mark.parametrize("width", [3, 7, 13])
+    def test_odd_widths(self, width):
+        ctx, vctx, dp = self._fixture()
+        placements = _random_placements(ctx, dp, seed=width, width=width)
+        outcomes = vctx.evaluate_batch(placements)
+        assert len(outcomes) == width
+        for placement, vec in zip(placements, outcomes):
+            _assert_outcomes_identical(vec, ctx.evaluate(list(placement)))
+
+    def test_duplicate_lanes_agree(self):
+        # Width > distinct candidates: duplicated lanes are scheduled
+        # independently and must agree with each other and the scalar.
+        ctx, vctx, dp = self._fixture()
+        base = _random_placements(ctx, dp, seed=9, width=2)
+        placements = base * 3
+        outcomes = vctx.evaluate_batch(placements)
+        ref = [ctx.evaluate(list(p)) for p in base]
+        for i, vec in enumerate(outcomes):
+            _assert_outcomes_identical(vec, ref[i % 2])
+
+    def test_empty_batch(self):
+        _, vctx, _ = self._fixture()
+        assert vctx.evaluate_batch([]) == []
+
+
+# -- gates, thresholds, degradation -----------------------------------------
+
+
+class TestGates:
+    def test_env_gate_mirrors_fastpath(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VECTORPATH", raising=False)
+        assert vectorpath_enabled()
+        for off in ("0", "false", "no", "off"):
+            monkeypatch.setenv("REPRO_VECTORPATH", off)
+            assert not vectorpath_enabled()
+        monkeypatch.setenv("REPRO_VECTORPATH", "1")
+        assert vectorpath_enabled()
+
+    def test_threshold_env_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VECTOR_THRESHOLD", raising=False)
+        assert vector_batch_threshold() == DEFAULT_VECTOR_THRESHOLD
+        monkeypatch.setenv("REPRO_VECTOR_THRESHOLD", "5")
+        assert vector_batch_threshold() == 5
+        monkeypatch.setenv("REPRO_VECTOR_THRESHOLD", "garbage")
+        assert vector_batch_threshold() == DEFAULT_VECTOR_THRESHOLD
+
+    def test_context_cached_on_sched_context(self):
+        dfg = load_kernel("ewf")
+        dp = parse_datapath("|2,1|1,1|", num_buses=2)
+        ctx = SchedContext(dfg, dp)
+        first = vector_context_for(ctx)
+        assert isinstance(first, VectorContext)
+        assert vector_context_for(ctx) is first
+
+    def test_gate_off_returns_none(self, monkeypatch):
+        dfg = load_kernel("ewf")
+        dp = parse_datapath("|2,1|1,1|", num_buses=2)
+        ctx = SchedContext(dfg, dp)
+        monkeypatch.setenv("REPRO_VECTORPATH", "0")
+        assert vector_context_for(ctx) is None
+
+    def test_unpipelined_model_is_unsupported(self):
+        dfg = load_kernel("ewf")
+        dp = parse_datapath("|2,1|1,1|", num_buses=2)
+        ctx = SchedContext(dfg, dp)
+        ctx.all_dii_one = False  # simulate a dii != 1 registry
+        with pytest.raises(VectorUnsupported):
+            VectorContext(ctx)
+        # vector_context_for memoizes the rejection as a cheap None.
+        assert vector_context_for(ctx) is None
+        assert vector_context_for(ctx) is None

@@ -1,0 +1,211 @@
+"""Session integration of the vector batch engine.
+
+``SearchSession.evaluate_many`` packs big-enough uncached batches into
+vector lanes; everything observable — outcomes, evaluation counts, the
+memo hit/miss split, search trajectories — must be bit-identical to
+the scalar path, and every gate (env, threshold, validation, numpy) or
+vector-engine error must land the batch safely back on the scalar
+loop.  These tests pin the accounting regression from the PR 5 batch
+path: pre-probe hits count exactly like scalar hits.
+"""
+
+import random
+
+import pytest
+
+from repro.core.driver import bind
+from repro.datapath.parse import parse_datapath
+from repro.kernels import load_kernel
+from repro.resilience.faults import injected
+from repro.schedule.vectorpath import vector_context_for
+from repro.search.session import SearchSession
+from repro.service.metrics import Metrics
+
+pytest.importorskip("numpy")
+
+DP = "|3,1|2,2|1,3|"
+
+
+def _cell(kernel="dct-dif"):
+    dfg = load_kernel(kernel)
+    return dfg, parse_datapath(DP, num_buses=2)
+
+
+def _bindings(dfg, dp, width, seed=3, duplicates=0):
+    names = [op.name for op in dfg.operations()]
+    rng = random.Random(seed)
+    out = [
+        {
+            name: rng.choice(dp.target_set(dfg.operation(name).optype))
+            for name in names
+        }
+        for _ in range(width)
+    ]
+    return out + out[:duplicates]
+
+
+def _stats_tuple(session):
+    s, e = session.stats, session.eval_stats
+    return (
+        s.evaluations,
+        s.cache_hits,
+        s.cache_misses,
+        e.hits,
+        e.misses,
+        e.evaluations,
+    )
+
+
+class TestAccountingParity:
+    def test_stats_identical_across_engines(self, monkeypatch):
+        # The regression the satellite task names: pre-probe hits on
+        # the vector path must book identically to scalar memo hits —
+        # same per-counter totals, duplicate candidates included.
+        dfg, dp = _cell()
+        results = {}
+        for gate in ("1", "0"):
+            monkeypatch.setenv("REPRO_VECTORPATH", gate)
+            session = SearchSession(dfg, dp, fast=True)
+            batch = _bindings(dfg, dp, width=70, duplicates=12)
+            outs = session.evaluate_many(batch)
+            # A second pass over the same batch: everything hits.
+            outs2 = session.evaluate_many(batch)
+            results[gate] = (
+                _stats_tuple(session),
+                [(o.latency, o.starts, o.units, o.pairs) for o in outs],
+            )
+            assert [o.latency for o in outs] == [o.latency for o in outs2]
+        assert results["1"] == results["0"]
+
+    def test_search_stats_identical_on_full_run(self, monkeypatch):
+        dfg, dp = _cell("ewf")
+        payloads = {}
+        for gate in ("1", "0"):
+            monkeypatch.setenv("REPRO_VECTORPATH", gate)
+            r = bind(dfg, dp)
+            payloads[gate] = (
+                r.schedule.latency,
+                r.schedule.num_transfers,
+                dict(r.binding),
+            )
+        assert payloads["1"] == payloads["0"]
+
+    def test_vector_batch_reports_engine(self, monkeypatch):
+        dfg, dp = _cell()
+        monkeypatch.setenv("REPRO_VECTORPATH", "1")
+        session = SearchSession(dfg, dp, fast=True)
+        session.evaluate_many(_bindings(dfg, dp, width=64))
+        stats = session.stats
+        assert stats.engine_batches.get("vector") == 1
+        assert stats.engine_candidates.get("vector") == 64
+        payload = stats.as_dict()
+        assert payload["engines"]["vector"]["batches"] == 1
+
+
+class TestGatesHonored:
+    def test_env_gate_forces_scalar(self, monkeypatch):
+        dfg, dp = _cell()
+        monkeypatch.setenv("REPRO_VECTORPATH", "0")
+        session = SearchSession(dfg, dp, fast=True)
+        session.evaluate_many(_bindings(dfg, dp, width=64))
+        assert "vector" not in session.stats.engine_batches
+        assert session.stats.engine_batches.get("scalar") == 1
+
+    def test_threshold_keeps_small_batches_scalar(self, monkeypatch):
+        dfg, dp = _cell()
+        monkeypatch.setenv("REPRO_VECTORPATH", "1")
+        monkeypatch.setenv("REPRO_VECTOR_THRESHOLD", "1000")
+        session = SearchSession(dfg, dp, fast=True)
+        session.evaluate_many(_bindings(dfg, dp, width=64))
+        assert "vector" not in session.stats.engine_batches
+
+    def test_threshold_counts_uncached_not_batch_width(self, monkeypatch):
+        # 64 candidates but only ~8 uncached after warming: below the
+        # threshold, so the memo + scalar path serves the batch.
+        dfg, dp = _cell()
+        monkeypatch.setenv("REPRO_VECTORPATH", "1")
+        monkeypatch.setenv("REPRO_VECTOR_THRESHOLD", "16")
+        session = SearchSession(dfg, dp, fast=True)
+        batch = _bindings(dfg, dp, width=64)
+        session.evaluate_many(batch)  # vector: 64 uncached
+        session.evaluate_many(batch + _bindings(dfg, dp, width=8, seed=99))
+        assert session.stats.engine_batches == {"vector": 1, "scalar": 1}
+
+    def test_validation_stays_on_scalar_path(self, monkeypatch):
+        dfg, dp = _cell("ewf")
+        monkeypatch.setenv("REPRO_VECTORPATH", "1")
+        session = SearchSession(dfg, dp, fast=True, validate=True)
+        session.evaluate_many(_bindings(dfg, dp, width=48))
+        assert "vector" not in session.stats.engine_batches
+        assert session.stats.incidents == []
+
+    def test_naive_session_reports_naive(self):
+        dfg, dp = _cell("ewf")
+        session = SearchSession(dfg, dp, fast=False)
+        session.evaluate_many(_bindings(dfg, dp, width=1))
+        assert session.stats.engine_batches == {"naive": 1}
+
+
+class TestDegradeOnError:
+    def test_vector_fault_degrades_to_scalar(self, monkeypatch, tmp_path):
+        # Chaos: an injected error inside the vector engine records an
+        # incident, the batch is re-served by the scalar path with
+        # identical outcomes, and the session never retries the vector
+        # engine.
+        dfg, dp = _cell()
+        monkeypatch.setenv("REPRO_VECTORPATH", "1")
+        batch = _bindings(dfg, dp, width=64)
+        clean = SearchSession(dfg, dp, fast=True)
+        expected = [o.latency for o in clean.evaluate_many(batch)]
+        with injected(
+            {"vectorpath.evaluate": {"kind": "error", "hits": [0]}},
+            dir=tmp_path / "faults",
+        ):
+            session = SearchSession(dfg, dp, fast=True)
+            outs = session.evaluate_many(batch)
+            assert [o.latency for o in outs] == expected
+            assert _stats_tuple(session) == _stats_tuple(clean)
+            incidents = session.stats.incidents
+            assert len(incidents) == 1
+            assert incidents[0]["site"] == "session.evaluate_many"
+            assert incidents[0]["kind"] == "vector-engine-error"
+            # Disabled for good: the next batch goes scalar even
+            # though no fault remains armed.
+            session.evaluate_many(_bindings(dfg, dp, width=64, seed=5))
+            assert session.stats.engine_batches == {"scalar": 2}
+
+
+class TestWarmVectorContexts:
+    def test_vector_context_rides_warm_sched_context(self, monkeypatch):
+        # REPRO_WARM_CONTEXTS pools SchedContexts; the vector tables
+        # are cached on the context instance, so warm workers reuse
+        # them across sessions without recompiling.
+        dfg, dp = _cell("ewf")
+        monkeypatch.setenv("REPRO_WARM_CONTEXTS", "1")
+        monkeypatch.setenv("REPRO_VECTORPATH", "1")
+        a = SearchSession(dfg, dp, fast=True)
+        b = SearchSession(dfg, dp, fast=True)
+        assert a.evaluator.ctx is b.evaluator.ctx
+        assert vector_context_for(a.evaluator.ctx) is vector_context_for(
+            b.evaluator.ctx
+        )
+
+
+class TestServiceMetrics:
+    def test_record_engines_aggregates(self):
+        metrics = Metrics()
+        metrics.record_engines({"vector": {"batches": 2, "candidates": 128}})
+        metrics.record_engines(
+            {
+                "vector": {"batches": 1, "candidates": 64},
+                "scalar": {"batches": 3, "candidates": 30},
+            }
+        )
+        snap = metrics.snapshot()
+        assert snap["engines"] == {
+            "scalar": {"batches": 3, "candidates": 30},
+            "vector": {"batches": 3, "candidates": 192},
+        }
+
+    def test_snapshot_has_engines_key_when_empty(self):
+        assert Metrics().snapshot()["engines"] == {}
