@@ -1,0 +1,91 @@
+"""Cross-topology sweep: DCT-DIT-2 on bus vs ring vs mesh machines.
+
+One benchmark per ``(cluster spec, topology)`` machine at 2–4
+homogeneous clusters (``TOPOLOGY_SWEEP_SPECS``): B-INIT binds
+DCT-DIT-2 — the transfer-heaviest Table 1 kernel — on the paper's
+shared bus and on the routed ring/mesh interconnects at per-link
+``cap=1``.  Each cell's ``extra_info`` records ``L``/``M``, the deltas
+against the bus machine of the same cluster count, and the per-link
+utilization of the final schedule (busy link-cycles over capacity ×
+latency) — the number that shows *where* a routed fabric saturates
+while a shared bus merely queues.
+
+Regenerate the committed dump with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_topology_sweep.py \
+        --benchmark-json=benchmarks/BENCH_topology.json -q
+"""
+
+import pytest
+
+from _helpers import kernel
+from repro.core.driver import bind_initial
+from repro.datapath.library import (
+    TOPOLOGY_PRESETS,
+    TOPOLOGY_SWEEP_SPECS,
+)
+from repro.datapath.parse import parse_datapath
+from repro.dfg.ops import BUS
+
+KERNEL = "dct-dit-2"
+TOPOLOGIES = ("bus", "ring", "mesh")
+
+# Bus cells of the same cluster spec, computed lazily once: the
+# ring/mesh cells report their L/M deltas against these.
+_BUS_BASELINE = {}
+
+
+def _bus_baseline(spec):
+    if spec not in _BUS_BASELINE:
+        dp = parse_datapath(spec, num_buses=2)
+        result = bind_initial(kernel(KERNEL), dp)
+        _BUS_BASELINE[spec] = (result.latency, result.num_transfers)
+    return _BUS_BASELINE[spec]
+
+
+def _link_utilization(schedule):
+    """Busy cycles per link over ``capacity * latency``, by link name."""
+    dp = schedule.datapath
+    move_lat = dp.move_latency
+    busy = {link.index: 0 for link in dp.interconnect.links}
+    for name in schedule.bound.graph:
+        if not schedule.bound.graph.operation(name).is_transfer:
+            continue
+        cluster, futype, _ = schedule.instance[name]
+        assert futype == BUS
+        busy[-cluster - 1] += move_lat
+    horizon = max(schedule.latency, 1)
+    return {
+        link.name: round(busy[link.index] / (link.capacity * horizon), 4)
+        for link in dp.interconnect.links
+    }
+
+
+@pytest.mark.parametrize("spec", TOPOLOGY_SWEEP_SPECS)
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.benchmark(group="topology-sweep-b-init")
+def test_b_init_across_topologies(benchmark, spec, topology):
+    suffix, _ = TOPOLOGY_PRESETS[topology]
+    dp = parse_datapath(spec + suffix, num_buses=2)
+    dfg = kernel(KERNEL)
+    result = benchmark.pedantic(
+        lambda: bind_initial(dfg, dp), rounds=1, iterations=1
+    )
+    benchmark.extra_info["L"] = result.latency
+    benchmark.extra_info["M"] = result.num_transfers
+    benchmark.extra_info["cell"] = f"{KERNEL} {dp.spec()}"
+    benchmark.extra_info["topology"] = topology
+    benchmark.extra_info["link_utilization"] = _link_utilization(
+        result.schedule
+    )
+    bus_l, bus_m = _bus_baseline(spec)
+    benchmark.extra_info["dL_vs_bus"] = result.latency - bus_l
+    benchmark.extra_info["dM_vs_bus"] = result.num_transfers - bus_m
+    # A binding found on a routed machine is still a legal binding: L
+    # can only meet or exceed the critical path, and utilization is a
+    # fraction by construction.
+    assert result.latency >= 7  # L_CP of dct-dit-2
+    assert all(
+        0.0 <= u <= 1.0
+        for u in benchmark.extra_info["link_utilization"].values()
+    )

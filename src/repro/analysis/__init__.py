@@ -6,6 +6,7 @@ from .experiments import (
     run_comparison,
     run_table1,
     run_table2,
+    run_topology_comparison,
 )
 from .metrics import (
     AlgoCell,
@@ -33,6 +34,7 @@ __all__ = [
     "run_table1",
     "run_table2",
     "run_comparison",
+    "run_topology_comparison",
     "TABLE1_KERNEL_ORDER",
     "AlgoCell",
     "ExperimentRow",

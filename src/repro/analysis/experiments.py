@@ -21,6 +21,8 @@ from ..datapath.library import (
     TABLE1_CONFIGS,
     TABLE2_DATAPATH_SPEC,
     TABLE2_SWEEP,
+    TOPOLOGY_SWEEP_SPECS,
+    topology_datapaths,
 )
 from ..datapath.model import Datapath
 from ..datapath.parse import parse_datapath
@@ -36,6 +38,7 @@ __all__ = [
     "run_table1",
     "run_table2",
     "run_comparison",
+    "run_topology_comparison",
     "TABLE1_KERNEL_ORDER",
 ]
 
@@ -352,3 +355,55 @@ def run_comparison(
             )
         )
     return rows
+
+
+def run_topology_comparison(
+    kernel: str = "dct-dit-2",
+    cluster_specs: Optional[Sequence[str]] = None,
+    topologies: Sequence[str] = ("bus", "ring", "mesh"),
+    algorithms: Sequence[str] = ("b-init", "b-iter"),
+    *,
+    configs: Optional[Dict[str, Dict[str, object]]] = None,
+    max_workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    store: Optional[RunStore] = None,
+    progress: Optional[Callable[[ProgressTracker], None]] = None,
+) -> List[ComparisonRow]:
+    """Compare strategies across interconnect topologies.
+
+    One kernel, every ``(cluster spec, topology)`` machine: the grid
+    that shows how much latency a point-to-point ring or mesh buys (or
+    costs, via multi-hop moves) over the paper's shared bus at equal
+    aggregate transfer capacity.  Rows group by cluster spec, one
+    machine per topology; render with
+    :func:`repro.analysis.render_comparison`.
+
+    Args:
+        kernel: kernel name (default ``dct-dit-2``, the transfer-heavy
+            Table 1 kernel).
+        cluster_specs: paper-style cluster specs to sweep (default
+            :data:`repro.datapath.library.TOPOLOGY_SWEEP_SPECS` —
+            homogeneous 2/3/4-cluster machines).
+        topologies: topology names from
+            :data:`repro.datapath.interconnect.TOPOLOGY_NAMES`.
+        algorithms: registered strategy names, in column order.
+        configs / max_workers / cache / store / progress: as in
+            :func:`run_comparison`.
+
+    Returns:
+        One :class:`ComparisonRow` per machine, specs outermost.
+    """
+    cells = [
+        (kernel, datapath)
+        for spec in (cluster_specs or TOPOLOGY_SWEEP_SPECS)
+        for datapath in topology_datapaths(spec, tuple(topologies))
+    ]
+    return run_comparison(
+        cells,
+        algorithms,
+        configs=configs,
+        max_workers=max_workers,
+        cache=cache,
+        store=store,
+        progress=progress,
+    )

@@ -125,8 +125,10 @@ def render_comparison(
         return title or "(no rows)"
     algorithms = list(rows[0].algorithms)
     baseline = baseline or algorithms[0]
+    # Topology-suffixed specs run past the classic 22 columns.
+    dp_w = max([22] + [len(r.datapath_spec) for r in rows])
 
-    header_parts = [f"{'KERNEL':10s} {'DATAPATH':22s}"]
+    header_parts = [f"{'KERNEL':10s} {'DATAPATH':{dp_w}s}"]
     for name in algorithms:
         group = f"{name} L/M".rjust(14) + f" {'sec':>7s}"
         if name != baseline:
@@ -139,7 +141,7 @@ def render_comparison(
         lines.append(title)
     lines.extend([header, "-" * len(header)])
     for row in rows:
-        parts = [f"{row.kernel:10s} {row.datapath_spec:22s}"]
+        parts = [f"{row.kernel:10s} {row.datapath_spec:{dp_w}s}"]
         for name in algorithms:
             cell = row.cell(name)
             if cell is None:

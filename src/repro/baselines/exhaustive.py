@@ -94,7 +94,10 @@ def exhaustive_bind(
         evaluated = 0
         for combo in itertools.product(*target_sets):
             binding = Binding(dict(zip(names, combo)))
-            schedule = list_schedule(bind_dfg(dfg, binding), datapath)
+            schedule = list_schedule(
+                bind_dfg(dfg, binding, interconnect=datapath.interconnect),
+                datapath,
+            )
             evaluated += 1
             key = (schedule.latency, schedule.num_transfers)
             if best is None or key < best[0]:

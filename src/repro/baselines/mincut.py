@@ -134,7 +134,10 @@ def mincut_bind(
 
         binding = Binding(bn)
         validate_binding(binding, dfg, datapath)
-        schedule = list_schedule(bind_dfg(dfg, binding), datapath)
+        schedule = list_schedule(
+            bind_dfg(dfg, binding, interconnect=datapath.interconnect),
+            datapath,
+        )
         return MinCutResult(
             binding=binding,
             schedule=schedule,

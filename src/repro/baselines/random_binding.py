@@ -58,7 +58,10 @@ def random_search(
         best: Optional[Tuple[Tuple[int, int], Binding, Schedule]] = None
         for _ in range(samples):
             binding = random_binding_seeded(dfg, datapath, rng)
-            schedule = list_schedule(bind_dfg(dfg, binding), datapath)
+            schedule = list_schedule(
+                bind_dfg(dfg, binding, interconnect=datapath.interconnect),
+                datapath,
+            )
             key = (schedule.latency, schedule.num_transfers)
             if best is None or key < best[0]:
                 best = (key, binding, schedule)

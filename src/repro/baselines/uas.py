@@ -141,7 +141,10 @@ def uas_bind(dfg: Dfg, datapath: Datapath) -> UasResult:
 
         binding = Binding(bn)
         validate_binding(binding, dfg, datapath)
-        schedule = list_schedule(bind_dfg(dfg, binding), datapath)
+        schedule = list_schedule(
+            bind_dfg(dfg, binding, interconnect=datapath.interconnect),
+            datapath,
+        )
         return UasResult(
             binding=binding,
             schedule=schedule,

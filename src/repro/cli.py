@@ -8,6 +8,8 @@ Subcommands:
 * ``run`` — run one registered strategy as an experiment job through
   the runner (caching, run store, budgets, search telemetry);
 * ``strategies`` — list every registered strategy and its config schema;
+* ``topologies`` — list the interconnect topology presets and their
+  datapath-spec suffixes (see docs/TOPOLOGY.md);
 * ``kernels`` — list the built-in kernels and their characteristics;
 * ``table1`` / ``table2`` — regenerate the paper's tables (optionally
   exporting CSV/JSON/Markdown via ``--out``);
@@ -174,6 +176,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="machine-readable dump: names, descriptions, and typed "
         "config schemas as JSON",
+    )
+
+    p_topologies = sub.add_parser(
+        "topologies", help="list interconnect topology presets"
+    )
+    p_topologies.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="include link structure on an example 4-cluster machine",
+    )
+    p_topologies.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable dump: names, spec suffixes, descriptions, "
+        "and example link structure as JSON",
     )
 
     p_kernels = sub.add_parser("kernels", help="list built-in kernels")
@@ -495,9 +513,12 @@ def _cmd_bind(args: argparse.Namespace) -> int:
     from .core.binding import Binding
 
     dfg = _load(args.kernel)
-    dp = parse_datapath(
-        args.datapath, num_buses=args.buses, move_latency=args.move_latency
-    )
+    try:
+        dp = parse_datapath(
+            args.datapath, num_buses=args.buses, move_latency=args.move_latency
+        )
+    except ValueError as exc:
+        sys.exit(f"repro-bind: error: {exc}")
     strategy = get_strategy(args.algorithm)
     config = {}
     if args.quality is not None:
@@ -536,7 +557,7 @@ def _cmd_bind(args: argparse.Namespace) -> int:
         print(program.assembly())
         print(f"; slot utilization: {program.utilization():.0%}")
     if args.dot:
-        bound = bind_dfg(dfg, binding)
+        bound = bind_dfg(dfg, binding, interconnect=dp.interconnect)
         with open(args.dot, "w") as f:
             f.write(to_dot(bound.graph, bound.placement, title=dfg.name))
         print(f"  wrote {args.dot}")
@@ -670,6 +691,54 @@ def _cmd_strategies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_topologies(args: argparse.Namespace) -> int:
+    from .datapath.library import TOPOLOGY_PRESETS
+    from .datapath.parse import parse_datapath
+
+    example_spec = "|1,1|1,1|1,1|1,1|"  # 4 clusters: every preset differs
+    if args.json:
+        payload = []
+        for name, (suffix, description) in TOPOLOGY_PRESETS.items():
+            ic = parse_datapath(example_spec + suffix).interconnect
+            payload.append(
+                {
+                    "name": name,
+                    "suffix": suffix.strip(),
+                    "description": description,
+                    "example": {
+                        "spec": example_spec + suffix,
+                        "num_links": len(ic.links),
+                        "total_capacity": ic.total_capacity,
+                        "max_route_len": ic.max_route_len,
+                        "links": [
+                            {
+                                "name": link.name,
+                                "src": link.src,
+                                "dst": link.dst,
+                                "capacity": link.capacity,
+                            }
+                            for link in ic.links
+                        ],
+                    },
+                }
+            )
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for name, (suffix, description) in TOPOLOGY_PRESETS.items():
+        shown = suffix.strip() or "(no suffix)"
+        print(f"{name:10s} {shown:14s} {description}")
+        if args.verbose:
+            ic = parse_datapath(example_spec + suffix).interconnect
+            names = ", ".join(link.name for link in ic.links) or "bus"
+            print(
+                f"{'':10s} {'':14s} on {example_spec}: "
+                f"{len(ic.links)} link(s), total capacity "
+                f"{ic.total_capacity}, longest route {ic.max_route_len} "
+                f"hop(s): {names}"
+            )
+    return 0
+
+
 def _cmd_kernels(verbose: bool = False) -> int:
     header = (
         f"{'kernel':12s} {'N_V':>4s} {'N_CC':>5s} {'L_CP':>5s} "
@@ -703,7 +772,10 @@ def _cmd_pressure(args: argparse.Namespace) -> int:
     from .core.driver import bind
 
     dfg = _load(args.kernel)
-    dp = parse_datapath(args.datapath, num_buses=args.buses)
+    try:
+        dp = parse_datapath(args.datapath, num_buses=args.buses)
+    except ValueError as exc:
+        sys.exit(f"repro-bind: error: {exc}")
     if args.budget is None:
         result = bind(dfg, dp, iter_starts=1)
         report = register_pressure(result.schedule)
@@ -922,6 +994,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "strategies":
         return _cmd_strategies(args)
+    if args.command == "topologies":
+        return _cmd_topologies(args)
     if args.command == "kernels":
         return _cmd_kernels(verbose=args.verbose)
     if args.command == "table1":

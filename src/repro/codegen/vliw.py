@@ -97,6 +97,9 @@ class VliwProgram:
 
 def _resource_label(cluster: int, futype: FuType, unit: int) -> str:
     if futype == BUS:
+        link = -cluster - 1
+        if link > 0:
+            return f"link{link}.{unit}"
         return f"bus.{unit}"
     return f"c{cluster}.{futype.name}.{unit}"
 
@@ -142,8 +145,14 @@ def emit_vliw(schedule: Schedule) -> VliwProgram:
         ):
             for unit in range(count):
                 layout.append((cluster.index, futype, unit))
-    for b in range(dp.num_buses):
-        layout.append((-1, BUS, b))
+    links = dp.interconnect.links
+    if links:
+        for link in links:
+            for unit in range(link.capacity):
+                layout.append((-(link.index + 1), BUS, unit))
+    else:  # single-cluster routed machine: no links, no transfers
+        for b in range(dp.num_buses):
+            layout.append((-1, BUS, b))
 
     issue_map: Dict[Tuple[int, Tuple[int, FuType, int]], Slot] = {}
     for name in graph:
@@ -151,11 +160,14 @@ def emit_vliw(schedule: Schedule) -> VliwProgram:
         cycle = schedule.start[name]
         key = schedule.instance[name]
         if op.is_transfer:
+            # A routed chain's leg reads the upstream leg's register;
+            # on the bus the upstream IS the producer.
+            upstream = schedule.bound.transfer_sources[name][0]
             slot = Slot(
                 resource=_resource_label(*key),
                 opcode="move",
                 dest=registers[name],
-                sources=(registers[op.source],),
+                sources=(registers[upstream],),
                 comment=name,
             )
         else:

@@ -29,7 +29,7 @@ from typing import AbstractSet, List, Mapping, Set, Tuple
 
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
-from .loadprofile import ProfileSet, Window, transfer_window
+from .loadprofile import ProfileSet, Window, transfer_leg_windows
 
 __all__ = ["CostParams", "CostBreakdown", "icost", "trcost", "fucost", "buscost"]
 
@@ -73,17 +73,20 @@ def trcost(
     committed_transfers: AbstractSet[Tuple[str, int]] = frozenset(),
     reverse: bool = False,
     share_aware: bool = True,
+    interconnect=None,
 ) -> Tuple[int, List[str]]:
     """Data-transfer penalty ``trcost(v, c)`` (Figure 3).
 
     Forward mode (producers of ``v`` already bound):
 
-    * direct-data-dependency: +1 per predecessor bound to a different
-      cluster (unless ``share_aware`` and that value already has a
+    * direct-data-dependency: one MOVE per route hop per predecessor
+      bound to a different cluster — +1 on the bus, where every route
+      is one hop (unless ``share_aware`` and that value already has a
       committed transfer into ``c``);
     * common-consumer: +1 per successor ``u`` of ``v`` that has some
       *other* bound predecessor ``z`` with ``bn(z) != c`` — such a
-      consumer forces a transfer regardless of where it binds.
+      consumer forces a transfer regardless of where it binds (its
+      route, and so its hop count, is unknown until it binds).
 
     Reverse mode is the mirror image (consumers of ``v`` already bound):
     the direct part counts distinct consumer clusters differing from
@@ -91,12 +94,18 @@ def trcost(
     look-ahead part counts predecessors that already have another bound
     consumer elsewhere.
 
+    Args:
+        interconnect: optional routed topology; hop counts come from its
+            routing table.  ``None`` (or a bus) counts 1 per transfer —
+            the paper's model, bit-identical to the historical penalty.
+
     Returns:
         ``(penalty, producers)`` where ``producers`` lists, in forward
         mode, the predecessors whose values need *new* transfers into
-        ``c`` (used to update the bus profile on commit); in reverse
+        ``c`` (used to update the link profiles on commit); in reverse
         mode, it lists ``v`` once per distinct destination cluster.
     """
+    routed = interconnect is not None and not interconnect.is_bus
     penalty = 0
     producers: List[str] = []
     if not reverse:
@@ -104,7 +113,9 @@ def trcost(
             if u in bn and bn[u] != c:
                 if share_aware and (u, c) in committed_transfers:
                     continue
-                penalty += 1
+                penalty += (
+                    interconnect.route_len(bn[u], c) if routed else 1
+                )
                 producers.append(u)
         for u in dfg.successors(v):
             for z in dfg.predecessors(u):
@@ -118,7 +129,7 @@ def trcost(
         for dest in dest_clusters:
             if share_aware and (v, dest) in committed_transfers:
                 continue
-            penalty += 1
+            penalty += interconnect.route_len(c, dest) if routed else 1
             producers.append(v)
         for u in dfg.predecessors(v):
             for z in dfg.successors(u):
@@ -166,36 +177,46 @@ def fucost(profiles: ProfileSet, v: str, c: int) -> int:
 def buscost(
     profiles: ProfileSet,
     v: str,
-    new_transfer_windows: List[Window],
+    new_transfer_windows: List,
 ) -> int:
-    """Bus serialization penalty: overloaded levels with the new transfers.
+    """Interconnect serialization penalty: overloaded levels, all links.
 
-    ``new_transfer_windows`` are the windows of the transfers this
-    candidate binding would add (computed by the caller via
-    :func:`~repro.core.loadprofile.transfer_window`); the penalty counts
-    levels where the resulting normalized bus load exceeds 1.  As in
-    :func:`fucost`, only levels inside some new window can change state,
-    so the standing overload count is corrected over those levels only.
+    ``new_transfer_windows`` are the windows of the transfer legs this
+    candidate binding would add — plain :class:`Window` entries land on
+    link 0 (the bus), ``(link, Window)`` pairs on the given link.  The
+    penalty counts levels where some link's normalized load exceeds 1,
+    summed over every link.  As in :func:`fucost`, only levels inside
+    some new window can change state, so each link's standing overload
+    count is corrected over those levels only.  On a bus machine there
+    is exactly one link, reducing to the paper's bus penalty.
     """
-    over, penalty = profiles.bus_overload()
+    penalty = 0
+    for link in range(profiles.num_links):
+        penalty += profiles.link_overload(link)[1]
     if not new_transfer_windows:
         return penalty
-    nb = profiles.datapath.num_buses
-    levels = profiles.bus_profile().levels
+    tagged: List[Tuple[int, Window]] = [
+        w if isinstance(w, tuple) else (0, w) for w in new_transfer_windows
+    ]
     length = profiles.length
-    taus: Set[int] = set()
-    for w in new_transfer_windows:
-        taus.update(range(max(0, w.start), min(length - 1, w.end) + 1))
-    for tau in sorted(taus):
-        extra = 0.0
-        for w in new_transfer_windows:
-            if w.start <= tau <= w.end:
-                extra += w.height
-        if (levels[tau] + extra) / nb > 1.0 + 1e-9:
-            if not over[tau]:
-                penalty += 1
-        elif over[tau]:
-            penalty -= 1
+    for link in sorted({l for l, _ in tagged}):
+        windows = [w for l, w in tagged if l == link]
+        over, _ = profiles.link_overload(link)
+        cap = profiles.link_capacity(link)
+        levels = profiles.link_profile(link).levels
+        taus: Set[int] = set()
+        for w in windows:
+            taus.update(range(max(0, w.start), min(length - 1, w.end) + 1))
+        for tau in sorted(taus):
+            extra = 0.0
+            for w in windows:
+                if w.start <= tau <= w.end:
+                    extra += w.height
+            if (levels[tau] + extra) / cap > 1.0 + 1e-9:
+                if not over[tau]:
+                    penalty += 1
+            elif over[tau]:
+                penalty -= 1
     return penalty
 
 
@@ -218,6 +239,7 @@ def icost(
     transfers.
     """
     reg = datapath.registry
+    interconnect = datapath.interconnect
     tr_penalty, producers = trcost(
         dfg,
         v,
@@ -226,23 +248,28 @@ def icost(
         committed_transfers,
         reverse=reverse,
         share_aware=params.share_aware,
+        interconnect=interconnect,
     )
 
-    windows: List[Window] = []
+    # One window per MOVE leg, tagged with the link it rides; on the
+    # bus every route is the single hop over link 0, reducing to the
+    # paper's one-window-per-transfer model.
+    windows: List[Tuple[int, Window]] = []
     new_transfers: List[Tuple[str, int]] = []
     if not reverse:
         for u in producers:
-            windows.append(
-                transfer_window(
-                    profiles.timing,
-                    producer=u,
-                    consumer=v,
-                    producer_latency=reg.latency(dfg.operation(u).optype),
-                    move_latency=reg.move_latency,
-                    move_dii=reg.move_dii,
-                    reverse=False,
-                )
+            route = interconnect.route(bn[u], c)
+            legs = transfer_leg_windows(
+                profiles.timing,
+                producer=u,
+                consumer=v,
+                producer_latency=reg.latency(dfg.operation(u).optype),
+                move_latency=reg.move_latency,
+                move_dii=reg.move_dii,
+                hops=len(route),
+                reverse=False,
             )
+            windows.extend(zip(route, legs))
             new_transfers.append((u, c))
     else:
         # In reverse mode the new transfers carry v's own value out to the
@@ -256,17 +283,18 @@ def icost(
             consumers = [
                 u for u in dfg.successors(v) if u in bn and bn[u] == dest
             ]
-            windows.append(
-                transfer_window(
-                    profiles.timing,
-                    producer=v,
-                    consumer=consumers[0],
-                    producer_latency=reg.latency(dfg.operation(v).optype),
-                    move_latency=reg.move_latency,
-                    move_dii=reg.move_dii,
-                    reverse=True,
-                )
+            route = interconnect.route(c, dest)
+            legs = transfer_leg_windows(
+                profiles.timing,
+                producer=v,
+                consumer=consumers[0],
+                producer_latency=reg.latency(dfg.operation(v).optype),
+                move_latency=reg.move_latency,
+                move_dii=reg.move_dii,
+                hops=len(route),
+                reverse=True,
             )
+            windows.extend(zip(route, legs))
             new_transfers.append((v, dest))
 
     fu_penalty = fucost(profiles, v, c)

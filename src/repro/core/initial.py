@@ -22,7 +22,7 @@ from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
 from .binding import Binding, validate_binding
 from .cost import CostBreakdown, CostParams, icost
-from .loadprofile import ProfileSet, transfer_window
+from .loadprofile import ProfileSet, transfer_leg_windows
 from .ordering import OrderingFn, paper_order, reverse_order
 
 __all__ = ["InitialBindingResult", "initial_binding"]
@@ -172,6 +172,7 @@ def _commit_transfers(
     the earliest-deadline bound consumer in that cluster anchors it.
     """
     reg = datapath.registry
+    interconnect = datapath.interconnect
     for producer, dest in breakdown.new_transfers:
         committed.add((producer, dest))
         if not reverse:
@@ -185,13 +186,19 @@ def _commit_transfers(
             anchor = min(
                 in_dest, key=lambda u: profiles.timing.alap[u], default=v
             )
-        window = transfer_window(
+        # One window per MOVE leg of the route, committed to the link
+        # the leg rides — on the bus that is the single one-hop window
+        # on link 0, the paper's model.
+        route = interconnect.route(bn[producer], dest)
+        legs = transfer_leg_windows(
             profiles.timing,
             producer=producer,
             consumer=anchor,
             producer_latency=reg.latency(dfg.operation(producer).optype),
             move_latency=reg.move_latency,
             move_dii=reg.move_dii,
+            hops=len(route),
             reverse=reverse,
         )
-        profiles.commit_transfer(window)
+        for link, window in zip(route, legs):
+            profiles.commit_transfer(window, link=link)

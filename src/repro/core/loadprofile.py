@@ -28,7 +28,14 @@ from ..dfg.graph import Dfg
 from ..dfg.ops import BUS, FuType
 from ..dfg.timing import TimingInfo, compute_timing
 
-__all__ = ["Window", "Profile", "ProfileSet", "operation_window", "transfer_window"]
+__all__ = [
+    "Window",
+    "Profile",
+    "ProfileSet",
+    "operation_window",
+    "transfer_window",
+    "transfer_leg_windows",
+]
 
 
 @dataclass(frozen=True)
@@ -93,6 +100,48 @@ def transfer_window(
     )
 
 
+def transfer_leg_windows(
+    timing: TimingInfo,
+    producer: str,
+    consumer: str,
+    producer_latency: int,
+    move_latency: int,
+    move_dii: int,
+    hops: int,
+    reverse: bool = False,
+) -> List[Window]:
+    """Load windows of an ``hops``-leg routed transfer, one per leg.
+
+    Generalizes :func:`transfer_window` to multi-hop routes: the legs
+    chain with ``lat(move)`` spacing, and the shared mobility shrinks by
+    the *whole* chain's latency (``hops * lat(move)``) because delaying
+    any leg delays the consumer by the same amount.  ``hops == 1``
+    reduces exactly to ``[transfer_window(...)]`` — the bus case.
+
+    * Forward: leg ``j`` opens at ``asap(producer) + lat(producer) +
+      j * lat(move)``.
+    * Reverse: leg ``j`` closes at ``alap(consumer) - (hops - j) *
+      lat(move)`` plus its mobility.
+    """
+    if not reverse:
+        mobility = max(0, timing.mobility(consumer) - hops * move_latency)
+        base = timing.asap[producer] + producer_latency
+        starts = [base + j * move_latency for j in range(hops)]
+    else:
+        mobility = max(0, timing.mobility(producer) - hops * move_latency)
+        starts = []
+        for j in range(hops):
+            latest_start = max(
+                0, timing.alap[consumer] - (hops - j) * move_latency
+            )
+            starts.append(max(0, latest_start - mobility))
+    height = 1.0 / (mobility + 1)
+    return [
+        Window(start=s, end=s + mobility + move_dii - 1, height=height)
+        for s in starts
+    ]
+
+
 class Profile:
     """A dense per-level accumulator of (unnormalized) load.
 
@@ -148,7 +197,9 @@ class ProfileSet:
       (fixed for the whole run);
     * one unnormalized cluster profile per ``(cluster, FU type)`` with
       units, updated as operations are committed;
-    * one unnormalized bus profile, updated as transfers are committed.
+    * one unnormalized transfer profile per interconnect link, updated
+      as transfer legs are committed — the paper's single bus profile is
+      the one-link case.
     """
 
     def __init__(self, dfg: Dfg, datapath: Datapath, lpr: Optional[int] = None) -> None:
@@ -172,7 +223,17 @@ class ProfileSet:
             for futype, count in c.fu_counts.items():
                 if count > 0:
                     self._cluster[(c.index, futype)] = Profile(length)
-        self._bus = Profile(length)
+        # One transfer profile per interconnect link, each normalized by
+        # its own capacity; the paper's shared bus is the one-link case
+        # (capacity N_B), and link 0 keeps the historical "bus" role.
+        interconnect = datapath.interconnect
+        self._link_caps: List[int] = [
+            link.capacity for link in interconnect.links
+        ] or [datapath.num_buses]
+        self._links: List[Profile] = [
+            Profile(length) for _ in self._link_caps
+        ]
+        self._bus = self._links[0]
         self.length = length
         self._dp_thresholds: Dict[FuType, List[float]] = {}
         # Incremental overload bookkeeping for the cost hot loops
@@ -184,9 +245,11 @@ class ProfileSet:
         self._over: Dict[Tuple[int, FuType], List[bool]] = {}
         self._over_count: Dict[Tuple[int, FuType], int] = {}
         self._over_version: Dict[Tuple[int, FuType], int] = {}
-        self._bus_over: Optional[List[bool]] = None
-        self._bus_over_count = 0
-        self._bus_over_version = -1
+        self._link_over: List[Optional[List[bool]]] = [
+            None for _ in self._links
+        ]
+        self._link_over_count: List[int] = [0] * len(self._links)
+        self._link_over_version: List[int] = [-1] * len(self._links)
         self._sum_cache: Dict[Tuple[int, FuType], Tuple[int, float]] = {}
         self._op_windows: Dict[str, Window] = {}
 
@@ -225,8 +288,21 @@ class ProfileSet:
         return prof.value(tau) / self.datapath.fu_count(cluster, futype)
 
     def load_bus(self, tau: int) -> float:
-        """``load_BUS(tau)``: normalized bus load."""
-        return self._bus.value(tau) / self.datapath.num_buses
+        """``load_BUS(tau)``: normalized load of link 0 (the bus)."""
+        return self.load_link(0, tau)
+
+    def load_link(self, link: int, tau: int) -> float:
+        """``load_LINK(l, tau)``: one link's load over its capacity."""
+        return self._links[link].value(tau) / self._link_caps[link]
+
+    @property
+    def num_links(self) -> int:
+        """Number of per-link transfer profiles (bus machines: 1)."""
+        return len(self._links)
+
+    def link_capacity(self, link: int) -> int:
+        """Capacity a link's load is normalized by (bus: ``N_B``)."""
+        return self._link_caps[link]
 
     def op_window(self, name: str) -> Window:
         """Load window of a regular operation, memoized per run.
@@ -272,16 +348,23 @@ class ProfileSet:
 
     def bus_overload(self) -> Tuple[List[bool], int]:
         """Per-level "bus already over capacity" flags and their count."""
-        prof = self._bus
-        if self._bus_over_version != prof.version:
-            nb = self.datapath.num_buses
+        return self.link_overload(0)
+
+    def link_overload(self, link: int) -> Tuple[List[bool], int]:
+        """Per-level "link already over capacity" flags and their count."""
+        prof = self._links[link]
+        if self._link_over_version[link] != prof.version:
+            cap = self._link_caps[link]
             levels = prof.levels
-            over = [levels[tau] / nb > 1.0 + 1e-9 for tau in range(self.length)]
-            self._bus_over = over
-            self._bus_over_count = sum(over)
-            self._bus_over_version = prof.version
-        assert self._bus_over is not None
-        return self._bus_over, self._bus_over_count
+            over = [
+                levels[tau] / cap > 1.0 + 1e-9 for tau in range(self.length)
+            ]
+            self._link_over[link] = over
+            self._link_over_count[link] = sum(over)
+            self._link_over_version[link] = prof.version
+        flags = self._link_over[link]
+        assert flags is not None
+        return flags, self._link_over_count[link]
 
     def cluster_level_sum(self, cluster: int, futype: FuType) -> float:
         """``sum(cluster_profile(c, t).levels)``, memoized per version.
@@ -352,25 +435,25 @@ class ProfileSet:
         if synced:
             self._refresh_cluster_over(key, prof, window)
 
-    def commit_transfer(self, window: Window) -> None:
-        """Add a committed transfer's load to the bus profile."""
-        prof = self._bus
-        synced = self._bus_over_version == prof.version
+    def commit_transfer(self, window: Window, link: int = 0) -> None:
+        """Add a committed transfer leg's load to one link's profile."""
+        prof = self._links[link]
+        over = self._link_over[link]
+        synced = self._link_over_version[link] == prof.version
         prof.add(window)
-        if synced and self._bus_over is not None:
-            over = self._bus_over
-            count = self._bus_over_count
-            nb = self.datapath.num_buses
+        if synced and over is not None:
+            count = self._link_over_count[link]
+            cap = self._link_caps[link]
             levels = prof.levels
             lo = max(0, window.start)
             hi = min(self.length - 1, window.end)
             for tau in range(lo, hi + 1):
-                now = levels[tau] / nb > 1.0 + 1e-9
+                now = levels[tau] / cap > 1.0 + 1e-9
                 if now != over[tau]:
                     over[tau] = now
                     count += 1 if now else -1
-            self._bus_over_count = count
-            self._bus_over_version = prof.version
+            self._link_over_count[link] = count
+            self._link_over_version[link] = prof.version
 
     def reset(self) -> None:
         """Return every mutable profile to its freshly-constructed state.
@@ -383,13 +466,14 @@ class ProfileSet:
         """
         for prof in self._cluster.values():
             prof.zero()
-        self._bus.zero()
+        for prof in self._links:
+            prof.zero()
         self._over.clear()
         self._over_count.clear()
         self._over_version.clear()
-        self._bus_over = None
-        self._bus_over_count = 0
-        self._bus_over_version = -1
+        self._link_over = [None for _ in self._links]
+        self._link_over_count = [0] * len(self._links)
+        self._link_over_version = [-1] * len(self._links)
         self._sum_cache.clear()
 
     def cluster_profile(self, cluster: int, futype: FuType) -> Profile:
@@ -397,5 +481,9 @@ class ProfileSet:
         return self._cluster[(cluster, futype)]
 
     def bus_profile(self) -> Profile:
-        """Raw (unnormalized) bus profile, for inspection/tests."""
-        return self._bus
+        """Raw (unnormalized) link-0 (bus) profile, for inspection/tests."""
+        return self._links[0]
+
+    def link_profile(self, link: int) -> Profile:
+        """Raw (unnormalized) profile of one link, for inspection/tests."""
+        return self._links[link]

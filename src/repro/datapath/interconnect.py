@@ -1,0 +1,309 @@
+"""Interconnect topologies for inter-cluster transfers.
+
+The paper models inter-cluster communication as one shared bus carrying
+up to ``N_B`` simultaneous transfers.  This module generalizes that to a
+small family of link-based topologies while keeping the bus as the
+degenerate (and default) case:
+
+* ``bus`` — one shared link reaching every cluster (the paper's model);
+* ``p2p`` — a dedicated directed link per ordered cluster pair;
+* ``ring`` — directed neighbour links both ways around a cycle;
+* ``mesh`` — a 2-D grid (row-major, width ``ceil(sqrt(C))``) with
+  directed links between grid neighbours.
+
+Every topology is a set of directed :class:`Link` objects with an
+integer capacity (simultaneous transfers per cycle on that link) plus a
+precomputed routing table: ``route(src, dst)`` is the deterministic
+shortest path, as a tuple of link indices, that a value bound on cluster
+``src`` takes to reach a consumer on cluster ``dst``.  A transfer over
+an ``h``-hop route becomes ``h`` chained MOVE operations — one per link
+— each taking the registry's ``lat(move)`` cycles (hop latency is
+uniform; heterogeneous per-link latency is not modelled).
+
+Routes are shortest paths, ties broken by the lexicographically
+smallest cluster sequence, so binding and scheduling stay deterministic
+for a given machine.  For the ``bus`` topology every route is the
+single shared link, which makes all downstream bookkeeping reduce
+exactly to the paper's model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["Link", "Interconnect", "TOPOLOGY_NAMES"]
+
+#: The recognised topology constructors, in presentation order.
+TOPOLOGY_NAMES: Tuple[str, ...] = ("bus", "p2p", "ring", "mesh")
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directed interconnect link.
+
+    Attributes:
+        index: position in the interconnect's link list (0-based).
+        src: source cluster, or ``-1`` for the shared bus (which every
+            cluster can drive).
+        dst: destination cluster, or ``-1`` for the shared bus.
+        capacity: simultaneous transfers per cycle on this link.
+    """
+
+    index: int
+    src: int
+    dst: int
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(
+                f"link {self.index} capacity must be >= 1, got {self.capacity}"
+            )
+
+    @property
+    def name(self) -> str:
+        """Human-readable label (``bus`` or ``c0>c1``)."""
+        if self.src < 0:
+            return "bus"
+        return f"c{self.src}>c{self.dst}"
+
+
+class Interconnect:
+    """A topology: directed links plus a precomputed routing table.
+
+    Args:
+        topology: one of :data:`TOPOLOGY_NAMES`.
+        num_clusters: number of clusters the links connect.
+        links: the directed links.  For ``bus`` this is the single
+            shared link ``(src=-1, dst=-1)``.
+    """
+
+    def __init__(
+        self,
+        topology: str,
+        num_clusters: int,
+        links: Iterable[Link],
+    ) -> None:
+        if num_clusters < 1:
+            raise ValueError(f"num_clusters must be >= 1, got {num_clusters}")
+        self.topology = topology
+        self.num_clusters = num_clusters
+        self.links: Tuple[Link, ...] = tuple(links)
+        for i, link in enumerate(self.links):
+            if link.index != i:
+                raise ValueError(
+                    f"link at position {i} has index {link.index}; "
+                    "indices must be consecutive from 0"
+                )
+        self.num_links = len(self.links)
+        self.total_capacity = sum(l.capacity for l in self.links)
+        self._routes, self._paths = self._build_routes()
+        self.max_route_len = max(
+            (len(r) for r in self._routes.values()), default=1
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def bus(cls, num_clusters: int, capacity: int = 2) -> "Interconnect":
+        """The paper's shared bus: one link, ``N_B = capacity``."""
+        return cls(
+            "bus", num_clusters, [Link(0, -1, -1, capacity)]
+        )
+
+    @classmethod
+    def p2p(cls, num_clusters: int, capacity: int = 1) -> "Interconnect":
+        """A dedicated directed link per ordered cluster pair."""
+        links = []
+        for s in range(num_clusters):
+            for d in range(num_clusters):
+                if s != d:
+                    links.append(Link(len(links), s, d, capacity))
+        return cls("p2p", num_clusters, links)
+
+    @classmethod
+    def ring(cls, num_clusters: int, capacity: int = 1) -> "Interconnect":
+        """Directed neighbour links both ways around a cycle."""
+        links = []
+        for s in range(num_clusters):
+            neighbours = sorted(
+                {(s + 1) % num_clusters, (s - 1) % num_clusters} - {s}
+            )
+            for d in neighbours:
+                links.append(Link(len(links), s, d, capacity))
+        return cls("ring", num_clusters, links)
+
+    @classmethod
+    def mesh(cls, num_clusters: int, capacity: int = 1) -> "Interconnect":
+        """A 2-D grid, row-major with width ``ceil(sqrt(C))``."""
+        width = max(1, math.ceil(math.sqrt(num_clusters)))
+        coord = {c: (c % width, c // width) for c in range(num_clusters)}
+        links = []
+        for s in range(num_clusters):
+            sx, sy = coord[s]
+            for d in range(num_clusters):
+                if s == d:
+                    continue
+                dx, dy = coord[d]
+                if abs(sx - dx) + abs(sy - dy) == 1:
+                    links.append(Link(len(links), s, d, capacity))
+        return cls("mesh", num_clusters, links)
+
+    @classmethod
+    def make(
+        cls, topology: str, num_clusters: int, capacity: int
+    ) -> "Interconnect":
+        """Dispatch on a topology name from :data:`TOPOLOGY_NAMES`."""
+        try:
+            ctor = {
+                "bus": cls.bus,
+                "p2p": cls.p2p,
+                "ring": cls.ring,
+                "mesh": cls.mesh,
+            }[topology]
+        except KeyError:
+            raise ValueError(
+                f"unknown topology {topology!r}: expected one of "
+                + ", ".join(TOPOLOGY_NAMES)
+            ) from None
+        return ctor(num_clusters, capacity)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _build_routes(
+        self,
+    ) -> Tuple[
+        Dict[Tuple[int, int], Tuple[int, ...]],
+        Dict[Tuple[int, int], Tuple[int, ...]],
+    ]:
+        routes: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        paths: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        if self.is_bus:
+            for s in range(self.num_clusters):
+                for d in range(self.num_clusters):
+                    if s != d:
+                        routes[(s, d)] = (0,)
+                        paths[(s, d)] = (s, d)
+            return routes, paths
+
+        link_of: Dict[Tuple[int, int], int] = {}
+        adjacency: Dict[int, List[int]] = {
+            c: [] for c in range(self.num_clusters)
+        }
+        for link in self.links:
+            key = (link.src, link.dst)
+            if key in link_of:
+                raise ValueError(
+                    f"duplicate link {link.src}->{link.dst} in "
+                    f"{self.topology} interconnect"
+                )
+            link_of[key] = link.index
+            adjacency[link.src].append(link.dst)
+        for neighbours in adjacency.values():
+            neighbours.sort()
+
+        # All-pairs BFS distances over the cluster adjacency.
+        dist: Dict[int, Dict[int, int]] = {}
+        for s in range(self.num_clusters):
+            d_s = {s: 0}
+            frontier = [s]
+            while frontier:
+                nxt: List[int] = []
+                for c in frontier:
+                    for n in adjacency[c]:
+                        if n not in d_s:
+                            d_s[n] = d_s[c] + 1
+                            nxt.append(n)
+                frontier = nxt
+            dist[s] = d_s
+
+        for s in range(self.num_clusters):
+            for d in range(self.num_clusters):
+                if s == d:
+                    continue
+                if d not in dist[s]:
+                    raise ValueError(
+                        f"{self.topology} interconnect has no route "
+                        f"from cluster {s} to cluster {d}"
+                    )
+                # Greedy lexicographically-smallest shortest path:
+                # from each hop take the smallest neighbour that stays
+                # on a shortest path to the destination.
+                path = [s]
+                cur = s
+                while cur != d:
+                    cur = next(
+                        n
+                        for n in adjacency[cur]
+                        if dist[n].get(d, -1) == dist[cur][d] - 1
+                    )
+                    path.append(cur)
+                routes[(s, d)] = tuple(
+                    link_of[(path[i], path[i + 1])]
+                    for i in range(len(path) - 1)
+                )
+                paths[(s, d)] = tuple(path)
+        return routes, paths
+
+    def route(self, src: int, dst: int) -> Tuple[int, ...]:
+        """Link indices a ``src -> dst`` transfer traverses, in order."""
+        return self._routes[(src, dst)]
+
+    def cluster_path(self, src: int, dst: int) -> Tuple[int, ...]:
+        """Cluster sequence of the route, endpoints included."""
+        return self._paths[(src, dst)]
+
+    def route_len(self, src: int, dst: int) -> int:
+        """Number of hops (MOVE legs) of the ``src -> dst`` route."""
+        return len(self._routes[(src, dst)])
+
+    # ------------------------------------------------------------------
+    # Identity / display
+    # ------------------------------------------------------------------
+    @property
+    def is_bus(self) -> bool:
+        return self.topology == "bus"
+
+    @property
+    def uniform_capacity(self) -> bool:
+        return len({l.capacity for l in self.links}) <= 1
+
+    def spec_suffix(self) -> str:
+        """Spec-notation suffix (empty for the bus).
+
+        The bus emits no suffix so canonical specs — and every content
+        hash derived from them — are byte-identical to the pre-topology
+        notation.  Heterogeneous programmatic capacities emit a
+        ``/``-joined capacity list that the parser deliberately rejects:
+        such machines are usable in-process but not reproducible from a
+        spec string (``BindJob.make`` refuses them on that basis).
+        """
+        if self.is_bus:
+            return ""
+        if self.uniform_capacity:
+            cap = self.links[0].capacity if self.links else 1
+            return f" @{self.topology}:cap={cap}"
+        caps = "/".join(str(l.capacity) for l in self.links)
+        return f" @{self.topology}:cap={caps}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interconnect):
+            return NotImplemented
+        return (
+            self.topology == other.topology
+            and self.num_clusters == other.num_clusters
+            and self.links == other.links
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.topology, self.num_clusters, self.links))
+
+    def __repr__(self) -> str:
+        return (
+            f"Interconnect({self.topology!r}, clusters={self.num_clusters}, "
+            f"links={self.num_links}, capacity={self.total_capacity})"
+        )

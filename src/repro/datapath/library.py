@@ -18,8 +18,11 @@ __all__ = [
     "TABLE1_CONFIGS",
     "TABLE2_DATAPATH_SPEC",
     "TABLE2_SWEEP",
+    "TOPOLOGY_PRESETS",
+    "TOPOLOGY_SWEEP_SPECS",
     "table1_datapaths",
     "table2_datapaths",
+    "topology_datapaths",
     "all_specs",
 ]
 
@@ -80,6 +83,43 @@ TABLE2_DATAPATH_SPEC = "|2,2|2,1|2,2|3,1|1,1|"
 #: ``(N_B, lat(move))`` points of the Table 2 sweep, in row order.
 TABLE2_SWEEP: Tuple[Tuple[int, int], ...] = ((1, 1), (2, 1), (1, 2), (2, 2))
 
+#: Interconnect topology presets: name -> (suffix, description).  The
+#: suffix appends verbatim to any cluster spec (``repro topologies``
+#: lists these; see docs/TOPOLOGY.md for the routing model).
+TOPOLOGY_PRESETS: Dict[str, Tuple[str, str]] = {
+    "bus": (
+        "",
+        "shared bus, N_B simultaneous transfers (the paper's model; "
+        "default)",
+    ),
+    "bus:cap=1": (
+        " @bus:cap=1",
+        "single-transfer shared bus (Table 2's N_B=1 rows)",
+    ),
+    "p2p": (
+        " @p2p:cap=1",
+        "dedicated directed link per cluster pair, all routes 1 hop",
+    ),
+    "ring": (
+        " @ring:cap=1",
+        "neighbour links both ways around a cycle; routed multi-hop "
+        "moves",
+    ),
+    "mesh": (
+        " @mesh:cap=1",
+        "2-D grid (row-major, width ceil(sqrt(C))); routed multi-hop "
+        "moves",
+    ),
+}
+
+#: Cluster specs the cross-topology sweeps run on: the 2–4 cluster
+#: Table 1 machines of dct-dit-2.
+TOPOLOGY_SWEEP_SPECS: Tuple[str, ...] = (
+    "|1,1|1,1|",
+    "|1,1|1,1|1,1|",
+    "|1,1|1,1|1,1|1,1|",
+)
+
 
 def table1_datapaths(kernel: str) -> List[Datapath]:
     """Datapaths for one kernel's Table 1 block (``N_B=2, lat(move)=1``)."""
@@ -98,6 +138,23 @@ def table2_datapaths() -> List[Datapath]:
         parse_datapath(TABLE2_DATAPATH_SPEC, num_buses=nb, move_latency=lm)
         for nb, lm in TABLE2_SWEEP
     ]
+
+
+def topology_datapaths(
+    cluster_spec: str, topologies: Tuple[str, ...] = ("bus", "ring", "mesh")
+) -> List[Datapath]:
+    """One machine per topology preset over a shared cluster spec."""
+    datapaths = []
+    for topology in topologies:
+        try:
+            suffix, _ = TOPOLOGY_PRESETS[topology]
+        except KeyError:
+            raise KeyError(
+                f"unknown topology preset {topology!r}; "
+                f"known: {sorted(TOPOLOGY_PRESETS)}"
+            ) from None
+        datapaths.append(parse_datapath(cluster_spec + suffix, num_buses=2))
+    return datapaths
 
 
 def all_specs() -> Tuple[str, ...]:

@@ -23,6 +23,7 @@ from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from ..dfg.graph import Dfg
 from ..dfg.ops import ALU, BUS, MOVE, MUL, FuType, OpType, OpTypeRegistry, default_registry
+from .interconnect import Interconnect
 
 __all__ = ["Cluster", "Datapath"]
 
@@ -75,9 +76,14 @@ class Datapath:
     Args:
         clusters: the cluster list; indices must be 0..len-1 in order.
         num_buses: ``N_B`` — simultaneous inter-cluster transfers.
+            Ignored when a non-bus ``interconnect`` is given, in which
+            case ``num_buses`` becomes the interconnect's total link
+            capacity (the machine's aggregate transfer bandwidth).
         registry: operation-type timing registry; defaults to the paper's
             all-unit-latency setup.
         name: optional label used in tables and reprs.
+        interconnect: inter-cluster transfer topology; defaults to the
+            paper's single shared bus with capacity ``num_buses``.
     """
 
     def __init__(
@@ -86,6 +92,7 @@ class Datapath:
         num_buses: int = 2,
         registry: Optional[OpTypeRegistry] = None,
         name: Optional[str] = None,
+        interconnect: Optional[Interconnect] = None,
     ) -> None:
         self.clusters: Tuple[Cluster, ...] = tuple(clusters)
         if not self.clusters:
@@ -96,9 +103,21 @@ class Datapath:
                     f"cluster at position {i} has index {c.index}; "
                     "indices must be consecutive from 0"
                 )
-        if num_buses < 1:
-            raise ValueError(f"num_buses must be >= 1, got {num_buses}")
-        self.num_buses = num_buses
+        if interconnect is None:
+            if num_buses < 1:
+                raise ValueError(f"num_buses must be >= 1, got {num_buses}")
+            interconnect = Interconnect.bus(len(self.clusters), num_buses)
+        elif interconnect.num_clusters != len(self.clusters):
+            raise ValueError(
+                f"interconnect spans {interconnect.num_clusters} clusters, "
+                f"datapath has {len(self.clusters)}"
+            )
+        self.interconnect = interconnect
+        # ``num_buses`` keeps its historical meaning for the bus (N_B)
+        # and generalizes to the aggregate transfer bandwidth for other
+        # topologies; a one-cluster machine never transfers, so a
+        # link-less interconnect degenerates to 1.
+        self.num_buses = max(1, interconnect.total_capacity)
         self.registry = registry if registry is not None else default_registry()
         self.name = name or self.spec()
         # Cluster structure is frozen after construction, so per-type FU
@@ -202,20 +221,38 @@ class Datapath:
         """Copy with a different bus width and/or transfer latency.
 
         This is the knob Table 2 sweeps (``N_B`` and ``lat(move)``).
+        ``num_buses`` only applies to bus machines; resizing a routed
+        topology's links is a different machine, not a bus sweep.
         """
         registry = self.registry
         if move_latency is not None:
             registry = registry.with_overrides(move_latency=move_latency)
+        if num_buses is not None and not self.interconnect.is_bus:
+            raise ValueError(
+                f"with_bus(num_buses=...) only applies to bus machines; "
+                f"this datapath uses a {self.interconnect.topology!r} "
+                "interconnect"
+            )
         return Datapath(
             clusters=self.clusters,
             num_buses=num_buses if num_buses is not None else self.num_buses,
             registry=registry,
             name=self.name,
+            interconnect=(
+                None if num_buses is not None else self.interconnect
+            ),
         )
 
     def spec(self) -> str:
-        """Paper-style spec string, e.g. ``|2,1|1,1|``."""
-        return "|" + "|".join(c.spec() for c in self.clusters) + "|"
+        """Paper-style spec string, e.g. ``|2,1|1,1|``.
+
+        Non-bus machines append the topology suffix (``|1,1|1,1|
+        @ring:cap=1``); bus machines stay suffix-free so canonical specs
+        — and every content hash derived from them — are unchanged from
+        the pre-topology notation.
+        """
+        base = "|" + "|".join(c.spec() for c in self.clusters) + "|"
+        return base + self.interconnect.spec_suffix()
 
     def __repr__(self) -> str:
         return (

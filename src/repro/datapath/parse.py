@@ -6,6 +6,17 @@ pair is the number of ALUs and multipliers in one cluster, e.g.
 (1 ALU, 1 MUL).  :func:`parse_datapath` accepts this notation (outer bars
 optional, whitespace ignored) and builds a :class:`~repro.datapath.model.Datapath`.
 
+An optional topology suffix selects the inter-cluster interconnect
+(see :mod:`repro.datapath.interconnect`)::
+
+    |2,1|1,3| @ring:cap=1,hop=1
+
+``@bus`` (the default when the suffix is absent) is the paper's shared
+bus; ``cap`` is the per-link capacity (``N_B`` for the bus, default 1
+for routed topologies) and ``hop`` is sugar for the per-leg transfer
+latency — it overrides ``lat(move)`` exactly like the ``move_latency``
+argument (which wins when both are given).
+
 For datapaths with FU types beyond ALU/MUL, build
 :class:`~repro.datapath.model.Cluster` objects directly.
 """
@@ -13,14 +24,17 @@ For datapaths with FU types beyond ALU/MUL, build
 from __future__ import annotations
 
 import re
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..dfg.ops import ALU, MUL, OpTypeRegistry
+from .interconnect import TOPOLOGY_NAMES, Interconnect
 from .model import Cluster, Datapath
 
 __all__ = ["parse_datapath", "parse_cluster_spec"]
 
 _PAIR_RE = re.compile(r"^\s*(\d+)\s*,\s*(\d+)\s*$")
+
+_SUFFIX_HELP = "expected '@topology[:cap=K,hop=H]' like '@ring:cap=1'"
 
 
 def parse_cluster_spec(spec: str, index: int) -> Cluster:
@@ -32,6 +46,48 @@ def parse_cluster_spec(spec: str, index: int) -> Cluster:
         )
     alus, muls = int(m.group(1)), int(m.group(2))
     return Cluster(index=index, fu_counts={ALU: alus, MUL: muls})
+
+
+def _parse_topology_suffix(
+    suffix: str,
+) -> Tuple[str, Optional[int], Optional[int]]:
+    """Parse ``topology[:cap=K,hop=H]`` into ``(name, cap, hop)``."""
+    topology, _, params = suffix.partition(":")
+    topology = topology.strip()
+    if topology not in TOPOLOGY_NAMES:
+        raise ValueError(
+            f"unknown topology {topology!r}: expected one of "
+            + ", ".join(TOPOLOGY_NAMES)
+        )
+    cap: Optional[int] = None
+    hop: Optional[int] = None
+    for part in params.split(",") if params.strip() else []:
+        key, sep, value = part.partition("=")
+        key, value = key.strip(), value.strip()
+        if not sep or key not in ("cap", "hop"):
+            raise ValueError(
+                f"malformed topology suffix '@{suffix}': {_SUFFIX_HELP}"
+            )
+        try:
+            number = int(value)
+        except ValueError:
+            raise ValueError(
+                f"malformed topology suffix '@{suffix}': "
+                f"{key}= takes an integer, got {value!r}"
+            ) from None
+        if key == "cap":
+            if number < 1:
+                raise ValueError(
+                    f"topology capacity must be >= 1, got {number}"
+                )
+            cap = number
+        else:
+            if number < 1:
+                raise ValueError(
+                    f"topology hop latency must be >= 1, got {number}"
+                )
+            hop = number
+    return topology, cap, hop
 
 
 def parse_datapath(
@@ -46,21 +102,44 @@ def parse_datapath(
     Args:
         spec: cluster list in the paper's bar notation; leading/trailing
             bars and whitespace are optional (``"2,1|1,1"`` also works).
-        num_buses: ``N_B``; the paper's Table 1 uses 2.
+            An optional ``@topology[:cap=K,hop=H]`` suffix selects the
+            interconnect (``@ring:cap=1``); without one, the machine is
+            the paper's shared bus.
+        num_buses: ``N_B``; the paper's Table 1 uses 2.  Only meaningful
+            for bus machines (``cap=`` in an explicit ``@bus`` suffix
+            overrides it); routed topologies size their bandwidth from
+            the per-link ``cap`` instead.
         registry: optional custom timing registry.
         move_latency: convenience override for ``lat(move)``; applied on
-            top of ``registry`` (or the default registry).
+            top of ``registry`` (or the default registry).  Wins over a
+            ``hop=`` suffix parameter when both are given.
         name: optional datapath label; defaults to the normalized spec.
 
     Returns:
         The parsed :class:`Datapath`.
     """
-    body = spec.strip().strip("|")
+    body, at, suffix = spec.partition("@")
+    topology, cap, hop = (
+        _parse_topology_suffix(suffix.strip()) if at else ("bus", None, None)
+    )
+    body = body.strip().strip("|")
     if not body:
         raise ValueError(f"empty datapath spec {spec!r}")
     parts = [p for p in body.split("|")]
     clusters = [parse_cluster_spec(p, i) for i, p in enumerate(parts)]
-    dp = Datapath(clusters, num_buses=num_buses, registry=registry, name=name)
+    if topology == "bus":
+        interconnect = Interconnect.bus(
+            len(clusters), cap if cap is not None else num_buses
+        )
+    else:
+        interconnect = Interconnect.make(
+            topology, len(clusters), cap if cap is not None else 1
+        )
+    dp = Datapath(
+        clusters, registry=registry, name=name, interconnect=interconnect
+    )
+    if move_latency is None and hop is not None:
+        move_latency = hop
     if move_latency is not None:
         dp = dp.with_bus(move_latency=move_latency)
     return dp

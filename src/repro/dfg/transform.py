@@ -12,6 +12,15 @@ to that cluster — the value lands in the destination register file once
 and is read locally by each consumer.  The number of transfers is
 therefore the number of distinct ``(producer, destination cluster)`` pairs
 among cut edges, which is what the paper's ``M`` column counts.
+
+Routed interconnects (:mod:`repro.datapath.interconnect`) generalize a
+transfer to a chain of MOVE legs, one per link of the route.  The final
+leg keeps the canonical pair name ``t.{u}.c{dest}`` — so consumer
+rewiring and the paper's ``M`` metric are untouched on the bus, where
+every route is one hop — and intermediate legs are named
+``t.{u}.c{dest}.h{j}`` for hop ``j``.  Each leg is placed in the
+cluster it delivers to, and :attr:`BoundDfg.transfer_links` records the
+link each leg occupies.
 """
 
 from __future__ import annotations
@@ -26,8 +35,19 @@ __all__ = ["BoundDfg", "bind_dfg", "bind_delta", "transfer_name"]
 
 
 def transfer_name(producer: str, dest_cluster: int) -> str:
-    """Canonical name of the transfer carrying ``producer`` to a cluster."""
+    """Canonical name of the transfer carrying ``producer`` to a cluster.
+
+    On a routed interconnect this names the *final* leg of the chain —
+    the one consumers in ``dest_cluster`` read from.
+    """
     return f"t.{producer}.c{dest_cluster}"
+
+
+def _leg_name(producer: str, dest_cluster: int, hop: int, hops: int) -> str:
+    """Name of hop ``hop`` (0-based) of an ``hops``-leg transfer chain."""
+    if hop == hops - 1:
+        return transfer_name(producer, dest_cluster)
+    return f"{transfer_name(producer, dest_cluster)}.h{hop}"
 
 
 @dataclass(frozen=True)
@@ -37,39 +57,69 @@ class BoundDfg:
     Attributes:
         graph: original DFG + transfer operations on cut edges.
         placement: cluster of every operation in ``graph``.  Regular
-            operations keep their binding; a transfer is placed in its
-            *destination* cluster (that is where its result becomes
+            operations keep their binding; a transfer is placed in the
+            cluster its link delivers to (the final leg lands in the
+            *destination* cluster — that is where its result becomes
             available, matching ``lat(move)`` = "cycles to produce the
             result at the specified location").
         transfer_sources: for each transfer name, the ``(producer name,
-            source cluster)`` pair it reads from.
+            source cluster)`` pair it reads from.  For an intermediate
+            leg the producer is the upstream leg and the source cluster
+            is that leg's cluster.
         producer_dests: ascending destination clusters per producer —
             the cut analysis behind the inserted transfers, retained so
             :func:`bind_delta` can patch it instead of re-deriving it.
+        transfer_links: interconnect link index per transfer name.
+            Empty for bus machines (every transfer rides link 0), so
+            bus-era callers and captures stay byte-identical.
     """
 
     graph: Dfg
     placement: Mapping[str, int]
     transfer_sources: Mapping[str, Tuple[str, int]]
     producer_dests: Mapping[str, Tuple[int, ...]] = field(default_factory=dict)
+    transfer_links: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def num_transfers(self) -> int:
-        """``N_MV``: the paper's ``M`` metric."""
-        return self.graph.num_transfers
+        """``N_MV``: the paper's ``M`` metric counts final legs only.
+
+        Intermediate legs of routed multi-hop moves are scheduling
+        artifacts (their only successor is the next leg); ``M`` stays
+        the number of distinct ``(producer, destination cluster)``
+        pairs, comparable across topologies.
+        """
+        if not self.transfer_links:
+            return self.graph.num_transfers
+        return sum(
+            1
+            for op in self.graph.transfer_operations()
+            if any(
+                not self.graph.operation(s).is_transfer
+                for s in self.graph.successors(op.name)
+            )
+        )
 
 
-def bind_dfg(dfg: Dfg, binding: Mapping[str, int]) -> BoundDfg:
+def bind_dfg(
+    dfg: Dfg,
+    binding: Mapping[str, int],
+    interconnect=None,
+) -> BoundDfg:
     """Rewrite ``dfg`` according to ``binding`` (Figure 1 of the paper).
 
     Args:
         dfg: the original DFG (must contain no transfers).
         binding: cluster index for every operation of ``dfg``.
+        interconnect: optional :class:`~repro.datapath.interconnect.
+            Interconnect`; when omitted (or a bus) every cut pair gets
+            one single-leg transfer, exactly the paper's model.  Routed
+            topologies insert one MOVE leg per link of the route.
 
     Returns:
         A :class:`BoundDfg`.  The rewritten graph contains one MOVE
-        operation per distinct ``(producer, destination cluster)`` cut
-        pair; each cut edge ``u -> v`` is replaced by ``u -> t -> v``.
+        chain per distinct ``(producer, destination cluster)`` cut
+        pair; each cut edge ``u -> v`` is replaced by ``u -> t... -> v``.
 
     Raises:
         ValueError: if ``dfg`` already contains transfers, or an operation
@@ -92,7 +142,7 @@ def bind_dfg(dfg: Dfg, binding: Mapping[str, int]) -> BoundDfg:
         )
         for u in dfg
     }
-    return _build_bound(dfg, binding, dests)
+    return _build_bound(dfg, binding, dests, interconnect)
 
 
 def bind_delta(
@@ -100,6 +150,7 @@ def bind_delta(
     prev: BoundDfg,
     binding: Mapping[str, int],
     moved: Optional[Iterable[str]] = None,
+    interconnect=None,
 ) -> BoundDfg:
     """Re-bind after a perturbation by patching ``prev`` (Section 3.2).
 
@@ -122,6 +173,8 @@ def bind_delta(
         binding: the new (complete) binding.
         moved: names whose cluster changed; derived from the placement
             difference when omitted.
+        interconnect: transfer topology; must match the one ``prev``
+            was built with (both default to the bus).
 
     Returns:
         The :class:`BoundDfg` of ``dfg`` under ``binding``.
@@ -137,33 +190,50 @@ def bind_delta(
         dests[u] = tuple(
             sorted({binding[v] for v in dfg.successors(u) if binding[v] != c})
         )
-    return _build_bound(dfg, binding, dests)
+    return _build_bound(dfg, binding, dests, interconnect)
 
 
 def _build_bound(
     dfg: Dfg,
     binding: Mapping[str, int],
     dests: Dict[str, Tuple[int, ...]],
+    interconnect=None,
 ) -> BoundDfg:
     """Assemble a :class:`BoundDfg` from per-producer destination sets."""
     bound = Dfg(name=f"{dfg.name}+bound")
     placement: Dict[str, int] = {}
     transfer_sources: Dict[str, Tuple[str, int]] = {}
+    transfer_links: Dict[str, int] = {}
+    routed = interconnect is not None and not interconnect.is_bus
 
     for op in dfg.operations():
         bound.add_operation(op)
         placement[op.name] = binding[op.name]
 
     # Insert transfers in a deterministic order: producers in insertion
-    # order, destination clusters ascending.
+    # order, destination clusters ascending, hops in route order.
     for u in dfg:
         src_cluster = binding[u]
         for dest in dests[u]:
-            t = transfer_name(u, dest)
-            bound.add_op(t, MOVE, is_transfer=True, source=u)
-            bound.add_edge(u, t)
-            placement[t] = dest
-            transfer_sources[t] = (u, src_cluster)
+            if not routed:
+                t = transfer_name(u, dest)
+                bound.add_op(t, MOVE, is_transfer=True, source=u)
+                bound.add_edge(u, t)
+                placement[t] = dest
+                transfer_sources[t] = (u, src_cluster)
+                continue
+            route = interconnect.route(src_cluster, dest)
+            path = interconnect.cluster_path(src_cluster, dest)
+            hops = len(route)
+            upstream, up_cluster = u, src_cluster
+            for j, link in enumerate(route):
+                t = _leg_name(u, dest, j, hops)
+                bound.add_op(t, MOVE, is_transfer=True, source=u)
+                bound.add_edge(upstream, t)
+                placement[t] = path[j + 1]
+                transfer_sources[t] = (upstream, up_cluster)
+                transfer_links[t] = link
+                upstream, up_cluster = t, path[j + 1]
 
     for u, v in dfg.edges():
         if binding[u] == binding[v]:
@@ -176,4 +246,5 @@ def _build_bound(
         placement=placement,
         transfer_sources=transfer_sources,
         producer_dests=dests,
+        transfer_links=transfer_links,
     )

@@ -134,10 +134,18 @@ def validate_outcome(
         schedule = outcome.to_schedule()
     else:
         schedule = outcome
+        graph = schedule.bound.graph
+        # Only *final* legs count as transfers (a routed multi-hop MOVE
+        # chain is one logical transfer); ``source`` carries the
+        # original producer through every leg.  On the bus every
+        # transfer is its own final leg.
         actual = {
-            (producer, schedule.bound.placement[t])
-            for t, (producer, _src) in
-            schedule.bound.transfer_sources.items()
+            (op.source, schedule.bound.placement[op.name])
+            for op in graph.transfer_operations()
+            if any(
+                not graph.operation(s).is_transfer
+                for s in graph.successors(op.name)
+            )
         }
 
     expected = _expected_transfers(dfg, binding)

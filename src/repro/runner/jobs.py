@@ -67,7 +67,9 @@ class BindJob:
             :mod:`repro.dfg.serialize`); operation order is part of the
             serialization, so a serialize/deserialize round trip keys
             identically.
-        datapath_spec: normalized paper-style cluster spec.
+        datapath_spec: normalized paper-style cluster spec, including
+            the ``@topology`` suffix for non-bus interconnects (bus
+            machines stay suffix-free, so legacy job hashes replay).
         num_buses: ``N_B``.
         move_latency: ``lat(move)``.
         algorithm: a registered strategy name — ``repro.search.
@@ -109,11 +111,22 @@ class BindJob:
         # for every paper configuration, but a datapath with further
         # registry customization (multi-cycle ALUs, unpipelined MULs, …)
         # would rehydrate differently and poison the cache.  Refuse it.
-        reference = parse_datapath(
-            datapath.spec(),
-            num_buses=datapath.num_buses,
-            move_latency=datapath.move_latency,
-        )
+        try:
+            reference = parse_datapath(
+                datapath.spec(),
+                num_buses=datapath.num_buses,
+                move_latency=datapath.move_latency,
+            )
+        except ValueError as exc:
+            raise ValueError(
+                f"datapath spec {datapath.spec()!r} does not round-trip "
+                f"({exc}); BindJobs carry the machine by spec"
+            ) from exc
+        if reference.interconnect != datapath.interconnect:
+            raise ValueError(
+                "datapath has an interconnect its spec cannot reproduce "
+                "(hand-built links?); BindJobs carry the machine by spec"
+            )
         if {i.optype: i for i in datapath.registry} != {
             i.optype: i for i in reference.registry
         }:

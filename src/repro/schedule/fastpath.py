@@ -48,7 +48,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
 from ..dfg.ops import BUS, MOVE, FuType
-from ..dfg.transform import BoundDfg, bind_dfg, transfer_name
+from ..dfg.transform import BoundDfg, _leg_name, bind_dfg
 from .schedule import Schedule
 
 __all__ = [
@@ -93,6 +93,7 @@ class FastOutcome:
         "latency",
         "_profile",
         "_pressure",
+        "_legs",
     )
 
     def __init__(
@@ -112,11 +113,37 @@ class FastOutcome:
         self.latency = latency
         self._profile: Optional[List[int]] = None
         self._pressure: Optional[Dict[int, int]] = None
+        self._legs: Optional[Tuple[List[int], List[int]]] = None
 
     @property
     def num_transfers(self) -> int:
-        """``M``: number of data-transfer operations."""
+        """``M``: number of ``(producer, dest cluster)`` transfer pairs.
+
+        Intermediate legs of routed multi-hop moves do not count — the
+        metric stays comparable across topologies (and identical to the
+        bus-era value on one-hop routes).
+        """
         return len(self.pairs)
+
+    def _leg_layout(self) -> Tuple[List[int], List[int]]:
+        """Per-pair ``(first leg node id, hop count)``, derived lazily.
+
+        Re-derivable from the context's routing tables, so persisted
+        outcome blobs (pairs/starts/units/latency) need no extra field.
+        """
+        if self._legs is None:
+            route_len = self.ctx.route_len
+            placement = self.placement
+            base: List[int] = []
+            hops: List[int] = []
+            total = self.ctx.num_regular
+            for u, d in self.pairs:
+                base.append(total)
+                h = route_len[placement[u]][d]
+                hops.append(h)
+                total += h
+            self._legs = (base, hops)
+        return self._legs
 
     def completion_profile(self) -> List[int]:
         """``U_i`` counts, identical to ``Schedule.completion_profile``."""
@@ -159,6 +186,8 @@ class FastOutcome:
             profiles = [
                 [0] * (guard + 1) for _ in range(ctx.datapath.num_clusters)
             ]
+            pair_base, pair_hops = self._leg_layout()
+            cluster_path = ctx.cluster_path
             # Transfer ids of each producer, in pair order.
             tidx: List[List[int]] = [[] for _ in range(n)]
             for k, (u, _) in enumerate(pairs):
@@ -182,14 +211,23 @@ class FastOutcome:
                             death = starts[v]
                 for k in tidx[i]:
                     have_consumer = True
-                    t_start = starts[n + k]
+                    t_start = starts[pair_base[k]]  # first leg reads it
                     if t_start > death:
                         death = t_start
                 if not have_consumer:
                     death = raw_latency
                 accumulate(c, birth, max(death, birth))
             for k, (u, d) in enumerate(pairs):
-                birth = starts[n + k] + move_lat
+                b, h = pair_base[k], pair_hops[k]
+                path = cluster_path[placement[u]][d]
+                # Intermediate legs: the value waits in the hop cluster
+                # until the next leg picks it up.
+                for j in range(h - 1):
+                    birth = starts[b + j] + move_lat
+                    accumulate(
+                        path[j + 1], birth, max(starts[b + j + 1], birth)
+                    )
+                birth = starts[b + h - 1] + move_lat
                 death = -1
                 have_consumer = False
                 for v in succ[u]:
@@ -214,17 +252,20 @@ class FastOutcome:
         ctx = self.ctx
         names = ctx.names
         binding = {names[i]: self.placement[i] for i in range(len(names))}
-        bound = bind_dfg(ctx.dfg, binding)
+        bound = bind_dfg(ctx.dfg, binding, interconnect=ctx.interconnect)
         start: Dict[str, int] = {}
         instance: Dict[str, Tuple[int, FuType, int]] = {}
         for i, name in enumerate(names):
             start[name] = self.starts[i]
             instance[name] = (self.placement[i], ctx.futypes[i], self.units[i])
-        base = ctx.num_regular
+        pair_base, pair_hops = self._leg_layout()
         for k, (u, dest) in enumerate(self.pairs):
-            t = transfer_name(names[u], dest)
-            start[t] = self.starts[base + k]
-            instance[t] = (-1, BUS, self.units[base + k])
+            b, h = pair_base[k], pair_hops[k]
+            route = ctx.route_links[self.placement[u]][dest]
+            for j in range(h):
+                t = _leg_name(names[u], dest, j, h)
+                start[t] = self.starts[b + j]
+                instance[t] = (-(route[j] + 1), BUS, self.units[b + j])
         return Schedule(
             bound=bound,
             datapath=ctx.datapath,
@@ -273,8 +314,10 @@ class SchedContext:
         self._sum_lat = sum(self.lat)
 
         # Pool layout: one pool per (cluster, FU type) with units, then
-        # the bus.  ``op_pool[i][c]`` is op i's pool in cluster c (-1 if
-        # that cluster lacks the FU type).
+        # one per interconnect link (the paper's bus is the single link
+        # 0, so ``bus_pool`` keeps naming the first link pool).
+        # ``op_pool[i][c]`` is op i's pool in cluster c (-1 if that
+        # cluster lacks the FU type).
         pool_ids: Dict[Tuple[int, FuType], int] = {}
         sizes: List[int] = []
         for c in datapath.clusters:
@@ -282,9 +325,41 @@ class SchedContext:
                 if count > 0:
                     pool_ids[(c.index, futype)] = len(sizes)
                     sizes.append(count)
-        self.bus_pool = len(sizes)
-        sizes.append(datapath.num_buses)
+        interconnect = datapath.interconnect
+        self.interconnect = interconnect
+        self.link_pool_base = len(sizes)
+        self.bus_pool = self.link_pool_base
+        if interconnect.links:
+            for link in interconnect.links:
+                sizes.append(link.capacity)
+        else:
+            # One-cluster machines have no links and no transfers; keep
+            # a degenerate slot so pool ids stay well-formed.
+            sizes.append(datapath.num_buses)
+        self.num_links = max(1, interconnect.num_links)
         self.pool_sizes: List[int] = sizes
+        # Routing tables, indexed [src][dst]: link ids of the route,
+        # hop count, and the cluster sequence (endpoints included).
+        # For the bus every route is the one shared link.
+        num_clusters_ic = datapath.num_clusters
+        self.route_links: List[List[Tuple[int, ...]]] = [
+            [
+                interconnect.route(s, d) if s != d else ()
+                for d in range(num_clusters_ic)
+            ]
+            for s in range(num_clusters_ic)
+        ]
+        self.route_len: List[List[int]] = [
+            [len(r) for r in row] for row in self.route_links
+        ]
+        self.cluster_path: List[List[Tuple[int, ...]]] = [
+            [
+                interconnect.cluster_path(s, d) if s != d else (s,)
+                for d in range(num_clusters_ic)
+            ]
+            for s in range(num_clusters_ic)
+        ]
+        self.max_hops = interconnect.max_route_len
         num_clusters = datapath.num_clusters
         self.op_pool: List[List[int]] = [
             [pool_ids.get((c, self.futypes[i]), -1) for c in range(num_clusters)]
@@ -359,22 +434,33 @@ class SchedContext:
         if dests is None:
             dests = self.transfer_dests(placement)
 
-        # Transfer ids continue after the regular ops, producers in
-        # insertion order, destinations ascending — exactly bind_dfg's
-        # insertion order, so priority index tie-breaks agree.
+        # Transfer leg ids continue after the regular ops: producers in
+        # insertion order, destinations ascending, hops in route order —
+        # exactly bind_dfg's insertion order, so priority index
+        # tie-breaks agree.  ``pairs`` stays pair-level (the paper's
+        # ``M``); pair ``k`` expands to ``pair_hops[k]`` chained MOVE
+        # legs starting at node id ``pair_base[k]``.  On the bus every
+        # route is one hop, so legs == pairs and ids are unchanged.
+        route_len = self.route_len
+        route_links = self.route_links
         pairs: List[Tuple[int, int]] = []
-        tbase: List[int] = [0] * num_regular
+        pair_base: List[int] = []
+        pair_hops: List[int] = []
+        upair: List[int] = [0] * num_regular
         total = num_regular
         for u in range(num_regular):
-            tbase[u] = total
-            du = dests[u]
-            for d in du:
+            upair[u] = len(pairs)
+            cu = placement[u]
+            for d in dests[u]:
                 pairs.append((u, d))
-            total += len(du)
-        num_transfers = total - num_regular
+                pair_base.append(total)
+                h = route_len[cu][d]
+                pair_hops.append(h)
+                total += h
+        num_legs = total - num_regular
 
-        lat = self.lat + [self.move_lat] * num_transfers
-        dii = self.dii + [self.move_dii] * num_transfers
+        lat = self.lat + [self.move_lat] * num_legs
+        dii = self.dii + [self.move_dii] * num_legs
 
         pool = [0] * total
         for i in range(num_regular):
@@ -385,40 +471,53 @@ class SchedContext:
                     f"with no {self.futypes[i]} units"
                 )
             pool[i] = p
-        for i in range(num_regular, total):
-            pool[i] = self.bus_pool
+        link_base = self.link_pool_base
+        for k in range(len(pairs)):
+            u, d = pairs[k]
+            route = route_links[placement[u]][d]
+            b = pair_base[k]
+            for j, link in enumerate(route):
+                pool[b + j] = link_base + link
 
-        # Bound-graph adjacency: cut edges are rerouted through the
-        # producer's transfer to the consumer's cluster.
+        # Bound-graph adjacency: a cut edge reroutes through the LAST
+        # leg of the producer's pair to the consumer; the producer arms
+        # the FIRST leg; legs chain in route order.
         bsucc: List[List[int]] = [[] for _ in range(total)]
         indeg = [0] * total
         for u in range(num_regular):
             du = dests[u]
             cu = placement[u]
             out = bsucc[u]
+            up = upair[u]
             for v in self.succ[u]:
                 cv = placement[v]
                 if cv == cu:
                     out.append(v)
                 else:
-                    bsucc[tbase[u] + du.index(cv)].append(v)
+                    k = up + du.index(cv)
+                    bsucc[pair_base[k] + pair_hops[k] - 1].append(v)
                 indeg[v] += 1
-            tb = tbase[u]
-            for k in range(len(du)):
-                out.append(tb + k)
-                indeg[tb + k] += 1
+            for k in range(up, up + len(du)):
+                b = pair_base[k]
+                out.append(b)
+                indeg[b] += 1
+                for j in range(1, pair_hops[k]):
+                    bsucc[b + j - 1].append(b + j)
+                    indeg[b + j] += 1
 
-        # Topological order of the bound graph: each transfer right
-        # after its producer (valid: consumers always follow).
+        # Topological order of the bound graph: each pair's leg chain
+        # right after its producer (valid: consumers always follow).
         btopo: List[int] = []
         for u in self.topo:
             btopo.append(u)
-            tb = tbase[u]
-            for k in range(len(dests[u])):
-                btopo.append(tb + k)
+            up = upair[u]
+            for k in range(up, up + len(dests[u])):
+                b = pair_base[k]
+                for j in range(pair_hops[k]):
+                    btopo.append(b + j)
 
         keys = self._priority_keys(total, btopo, bsucc, lat)
-        budget = 2 * (self._sum_lat + self.move_lat * num_transfers) + 64
+        budget = 2 * (self._sum_lat + self.move_lat * num_legs) + 64
         starts, units, latency = self._run(
             total, lat, dii, pool, bsucc, indeg, keys, budget
         )
@@ -628,8 +727,22 @@ def fast_list_schedule(
             if cnt > 0:
                 pool_ids[(c.index, futype)] = len(sizes)
                 sizes.append(cnt)
-    bus_pool = len(sizes)
-    sizes.append(datapath.num_buses)
+    link_base = len(sizes)
+    interconnect = datapath.interconnect
+    if interconnect.links:
+        for link in interconnect.links:
+            sizes.append(link.capacity)
+    else:
+        sizes.append(datapath.num_buses)
+    transfer_links = bound.transfer_links
+    if not transfer_links and interconnect.num_links > 1:
+        if any(op.is_transfer for op in graph.operations()):
+            raise RuntimeError(
+                f"bound DFG {graph.name!r} carries no link assignments "
+                f"but datapath {datapath.name!r} has "
+                f"{interconnect.num_links} links; bind with "
+                "bind_dfg(..., interconnect=datapath.interconnect)"
+            )
 
     futypes: List[FuType] = []
     clusters: List[int] = []
@@ -638,9 +751,10 @@ def fast_list_schedule(
         lat[i] = reg.latency(op.optype)
         dii[i] = reg.dii(op.optype)
         if op.is_transfer:
-            pool[i] = bus_pool
+            link = transfer_links.get(n, 0)
+            pool[i] = link_base + link
             futypes.append(BUS)
-            clusters.append(-1)
+            clusters.append(-(link + 1))
         else:
             cluster = bound.placement[n]
             futype = reg.futype(op.optype)

@@ -32,8 +32,15 @@ def render_gantt(schedule: Schedule, max_name_len: int = 12) -> str:
         for futype, count in sorted(c.fu_counts.items(), key=lambda kv: kv[0].name):
             for unit in range(count):
                 rows[(c.index, futype, unit)] = ["."] * latency
-    for b in range(schedule.datapath.num_buses):
-        rows[(-1, BUS, b)] = ["."] * latency
+    interconnect = schedule.datapath.interconnect
+    links = interconnect.links
+    if links:
+        for link in links:
+            for unit in range(link.capacity):
+                rows[(-(link.index + 1), BUS, unit)] = ["."] * latency
+    else:  # single-cluster routed machine: no links, no transfers
+        for b in range(schedule.datapath.num_buses):
+            rows[(-1, BUS, b)] = ["."] * latency
 
     for name in graph:
         s = schedule.start[name]
@@ -50,6 +57,9 @@ def render_gantt(schedule: Schedule, max_name_len: int = 12) -> str:
     def row_label(key: Tuple[int, FuType, int]) -> str:
         cluster, futype, unit = key
         if futype == BUS:
+            link = -cluster - 1
+            if links and links[link].name != "bus":
+                return f"{links[link].name}.{unit}"
             return f"bus.{unit}"
         return f"c{cluster}.{futype.name}.{unit}"
 

@@ -5,7 +5,8 @@ The paper evaluates every binding by list scheduling the bound DFG
 estimation").  This module implements that scheduler:
 
 * per-cluster, per-FU-type resource pools of ``N(c, t)`` units;
-* a bus pool of ``N_B`` slots executing transfer operations;
+* one pool per interconnect link executing transfer operations — for
+  the paper's shared bus that is a single pool of ``N_B`` slots;
 * ``dii`` pipelining — a unit accepts a new operation every ``dii``
   cycles, independent of latency;
 * cycle-by-cycle greedy issue of ready operations in priority order
@@ -86,13 +87,27 @@ def list_schedule(
     if priority is None:
         priority = alap_priority(graph, reg)
 
-    # Resource pools: one per (cluster, futype) that has units, one bus.
+    # Resource pools: one per (cluster, futype) that has units, plus one
+    # per interconnect link (the paper's single bus pool is the one-link
+    # degenerate case).
     pools: Dict[Tuple[int, FuType], ResourcePool] = {}
     for c in datapath.clusters:
         for futype, count in c.fu_counts.items():
             if count > 0:
                 pools[(c.index, futype)] = ResourcePool(count)
-    bus_pool = ResourcePool(datapath.num_buses)
+    interconnect = datapath.interconnect
+    link_pools = [
+        ResourcePool(link.capacity) for link in interconnect.links
+    ] or [ResourcePool(datapath.num_buses)]
+    transfer_links = bound.transfer_links
+    if not transfer_links and interconnect.num_links > 1:
+        if any(op.is_transfer for op in bound.graph.operations()):
+            raise RuntimeError(
+                f"bound DFG {bound.graph.name!r} carries no link "
+                f"assignments but datapath {datapath.name!r} has "
+                f"{interconnect.num_links} links; bind with "
+                "bind_dfg(..., interconnect=datapath.interconnect)"
+            )
 
     start: Dict[str, int] = {}
     instance: Dict[str, Tuple[int, FuType, int]] = {}
@@ -125,8 +140,11 @@ def list_schedule(
             prio, n = heapq.heappop(ready_heap)
             op = graph.operation(n)
             if op.is_transfer:
-                pool = bus_pool
-                cluster = -1
+                link = transfer_links.get(n, 0)
+                pool = link_pools[link]
+                # Transfers encode their link in the instance cluster
+                # slot as ``-(link+1)`` — link 0 is the historical -1.
+                cluster = -(link + 1)
                 futype = BUS
             else:
                 cluster = bound.placement[n]

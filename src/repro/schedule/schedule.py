@@ -37,7 +37,9 @@ class Schedule:
         datapath: the machine it was scheduled on.
         start: 0-based start cycle per operation name.
         instance: resource instance per operation: ``(cluster, futype,
-            unit_index)``; transfers use ``(-1, BUS, bus_index)``.
+            unit_index)``; a transfer on interconnect link ``l`` uses
+            ``(-(l+1), BUS, slot)`` — the bus is link 0, so bus
+            machines keep the historical ``(-1, BUS, bus_index)``.
         latency: ``L`` — completion time of the whole block.
     """
 
@@ -135,9 +137,23 @@ def validate_schedule(schedule: Schedule) -> None:
         if op.is_transfer:
             if futype != BUS:
                 raise ScheduleError(f"transfer {name!r} not on the bus")
-            if not 0 <= unit < dp.num_buses:
+            link = -cluster - 1
+            links = dp.interconnect.links
+            if not 0 <= link < len(links):
                 raise ScheduleError(
-                    f"transfer {name!r} on bus slot {unit}, N_B={dp.num_buses}"
+                    f"transfer {name!r} on link {link}, datapath has "
+                    f"{len(links)} links"
+                )
+            expected_link = bound.transfer_links.get(name, 0)
+            if link != expected_link:
+                raise ScheduleError(
+                    f"transfer {name!r} on link {link}, routed over "
+                    f"link {expected_link}"
+                )
+            if not 0 <= unit < links[link].capacity:
+                raise ScheduleError(
+                    f"transfer {name!r} on bus slot {unit} of link "
+                    f"{links[link].name}, capacity={links[link].capacity}"
                 )
         else:
             placed = bound.placement[name]

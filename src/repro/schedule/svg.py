@@ -47,8 +47,21 @@ def render_svg(schedule: Schedule, title: str = "") -> str:
             for unit in range(count):
                 label = f"c{cluster.index}.{futype.name}.{unit}"
                 rows.append((label, (cluster.index, futype, unit), fill))
-    for b in range(dp.num_buses):
-        rows.append((f"bus.{b}", (-1, BUS, b), _BUS_FILL))
+    links = dp.interconnect.links
+    if links:
+        for link in links:
+            prefix = link.name if link.name != "bus" else "bus"
+            for unit in range(link.capacity):
+                rows.append(
+                    (
+                        f"{prefix}.{unit}",
+                        (-(link.index + 1), BUS, unit),
+                        _BUS_FILL,
+                    )
+                )
+    else:  # single-cluster routed machine: no links, no transfers
+        for b in range(dp.num_buses):
+            rows.append((f"bus.{b}", (-1, BUS, b), _BUS_FILL))
 
     row_index = {key: i for i, (_, key, _) in enumerate(rows)}
     latency = max(schedule.latency, 1)

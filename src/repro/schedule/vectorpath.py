@@ -16,9 +16,11 @@ updates instead of per-candidate Python loops.
 Lane layout.  A batch of ``L`` placements over ``n`` regular operations
 becomes ``(L, N)`` arrays with ``N = n + Tmax`` slots: the first ``n``
 columns are the regular operations (shared across lanes), the remaining
-``Tmax`` columns are each lane's derived transfer operations in
+``Tmax`` columns are each lane's derived transfer MOVE legs in
 ``bind_dfg`` insertion order (producers by op index, destinations
-ascending), padded to the widest lane and masked inactive elsewhere.
+ascending, route hops in order — on the bus every route is one hop, so
+legs == pairs), padded to the widest lane and masked inactive
+elsewhere.
 Per-cycle issue selection runs in a per-lane ``(pool, priority key)``
 sorted domain: a cumulative sum over the ready mask yields each ready
 operation's rank within its resource pool in priority order, and the
@@ -201,6 +203,22 @@ class VectorContext:
         )
         self.pool_sizes = np.asarray(ctx.pool_sizes, dtype=np.int64)
         self.bus_pool = ctx.bus_pool
+        self.link_pool_base = ctx.link_pool_base
+        # Routing tables as dense arrays: route_len_np[s, d] is the hop
+        # count of the s->d route (0 on the diagonal), route_links_np
+        # the per-hop link ids padded to the longest route.  On the bus
+        # every off-diagonal entry is one hop over link 0.
+        C = self.num_clusters
+        self.route_len_np = np.asarray(
+            ctx.route_len, dtype=np.int64
+        ).reshape(C, C)
+        max_hops = max(1, ctx.max_hops)
+        route_links_np = np.zeros((C, C, max_hops), dtype=np.int64)
+        for s in range(C):
+            for d in range(C):
+                for j, link in enumerate(ctx.route_links[s][d]):
+                    route_links_np[s, d, j] = link
+        self.route_links_np = route_links_np
         # Distinct slot latencies (ops + the transfer move), ascending:
         # the scheduling loop's scatter-max runs one pass per value.
         self._lat_vals = sorted(set(self.lat.tolist()) | {ctx.move_lat})
@@ -329,29 +347,50 @@ class VectorContext:
         ln = tcode // n
         un = tcode - ln * n
         t_cnt = np.bincount(tcode, minlength=L * n).reshape(L, n)
-        t_lane = np.bincount(ln, minlength=L)  # (L,) per-lane transfers
+        t_lane = np.bincount(ln, minlength=L)  # (L,) per-lane pairs
         lane_starts = np.cumsum(t_lane) - t_lane
-        tmax = int(t_lane.max()) if L else 0
-        kk = np.arange(len(ln), dtype=np.int64) - np.repeat(
-            lane_starts, t_lane
-        )
-        tsrc = np.full((L, tmax), -1, dtype=np.int64)
-        tdst = np.full((L, tmax), -1, dtype=np.int64)
-        tsrc[ln, kk] = un
-        tdst[ln, kk] = dn
-        # Cross edge -> the global index of the transfer carrying it:
-        # codes_t is strictly ascending, so a binary search maps each
-        # cut edge's code to its transfer.
+        # Cross edge -> the global index of the transfer pair carrying
+        # it: codes_t is strictly ascending, so a binary search maps
+        # each cut edge's code to its pair.
         gidx = np.searchsorted(codes_t, codes_all)
 
-        # --- ASAP over the bound graph, transfers collapsed into the
-        # edges (a cross edge costs lat(u) + move_lat to reach v).
+        # --- Leg expansion: pair k becomes hops_pair[k] chained MOVE
+        # legs (one per link of its lane's src->dest route).  Lane slot
+        # columns hold *legs*, pairs in code order with each pair's
+        # legs consecutive — bind_dfg insertion order, and the scalar
+        # engine's node-id layout.  On the bus hops are all 1, so legs
+        # collapse back to pairs and every array below is unchanged.
+        npair = len(ln)
+        src_pair = P[ln, un]
+        hops_pair = self.route_len_np[src_pair, dn]
+        legs_lane = np.zeros(L, dtype=np.int64)
+        np.add.at(legs_lane, ln, hops_pair)
+        leg_starts = np.cumsum(legs_lane) - legs_lane
+        tmax = int(legs_lane.max()) if L else 0
+        leg_pair = np.repeat(np.arange(npair, dtype=np.int64), hops_pair)
+        total_legs = len(leg_pair)
+        pair_off = np.cumsum(hops_pair) - hops_pair
+        hop_idx = np.arange(total_legs, dtype=np.int64) - pair_off[leg_pair]
+        ln_leg = ln[leg_pair]
+        # kk: each leg's 0-based column within its lane (legs are
+        # lane-major because pairs are code-sorted).
+        kk = np.arange(total_legs, dtype=np.int64) - np.repeat(
+            leg_starts, legs_lane
+        )
+        first_kk = kk[pair_off] if npair else kk[:0]
+
+        # --- ASAP over the bound graph, transfer chains collapsed into
+        # the edges (a cross edge costs lat(u) + hops * move_lat).
+        if E:
+            hops_e = self.route_len_np[pu, pv]  # (L, E); 0 off-cut
+        else:
+            hops_e = np.zeros((L, 0), dtype=np.int64)
         asap = np.zeros((L, n), dtype=np.int64)
         for eidx, starts, nodes in self._fwd_groups:
             contrib = (
                 asap[:, eu[eidx]]
                 + self.lat[eu[eidx]][None, :]
-                + cross[:, eidx] * move_lat
+                + hops_e[:, eidx] * move_lat
             )
             asap[:, nodes] = np.maximum.reduceat(contrib, starts, axis=1)
         finish = asap + self.lat[None, :]
@@ -360,23 +399,51 @@ class VectorContext:
         # --- ALAP: alap(u) = min(lcp, succ alaps via edges) - lat(u).
         alap = lcp[:, None] - self.lat[None, :]  # no-successor default
         for eidx, starts, nodes in self._bwd_groups:
-            contrib = alap[:, ev[eidx]] - cross[:, eidx] * move_lat
+            contrib = alap[:, ev[eidx]] - hops_e[:, eidx] * move_lat
             mins = np.minimum.reduceat(contrib, starts, axis=1)
             alap[:, nodes] = (
                 np.minimum(lcp[:, None], mins) - self.lat[nodes][None, :]
             )
 
-        # --- Transfer slots: timing, consumers, priority components.
+        # --- Leg slots: timing, consumers, priority components.  Leg j
+        # of pair k starts no earlier than finish(u) + j * move_lat and,
+        # walking the chain back from the pair's consumers, no later
+        # than min(alap(v)) - (hops - j) * move_lat; only the final leg
+        # has regular consumers (deg 1 for intermediate legs, the chain
+        # edge).
         big = np.int64(1) << 40
-        safe_src = np.where(tsrc >= 0, tsrc, 0)
-        asap_t = asap[np.arange(L)[:, None], safe_src] + self.lat[safe_src]
-        alap_t = np.full(L * tmax, big, dtype=np.int64)
+        alap_pair = np.full(npair, big, dtype=np.int64)
+        if E and npair:
+            np.minimum.at(alap_pair, gidx, alap[lane_e, ev[ecol]])
+            deg_pair = np.bincount(gidx, minlength=npair)
+        else:
+            deg_pair = np.zeros(npair, dtype=np.int64)
+        un_leg = un[leg_pair]
+        asap_leg = (
+            asap[ln_leg, un_leg]
+            + self.lat[un_leg]
+            + hop_idx * move_lat
+        )
+        alap_leg = alap_pair[leg_pair] - (
+            hops_pair[leg_pair] - hop_idx
+        ) * move_lat
+        deg_leg = np.where(
+            hop_idx == hops_pair[leg_pair] - 1, deg_pair[leg_pair], 1
+        )
+        active_t = np.zeros((L, tmax), dtype=bool)
+        asap_t = np.zeros((L, tmax), dtype=np.int64)
+        alap_t = np.zeros((L, tmax), dtype=np.int64)
         deg_t = np.zeros((L, tmax), dtype=np.int64)
-        if E and tmax:
-            tpos = (ln * tmax + kk)[gidx]  # cross edge -> flat slot
-            np.minimum.at(alap_t, tpos, alap[lane_e, ev[ecol]])
-            deg_t = np.bincount(tpos, minlength=L * tmax).reshape(L, tmax)
-        alap_t = alap_t.reshape(L, tmax) - move_lat
+        pool_t = np.full((L, tmax), self.bus_pool, dtype=np.int64)
+        if tmax:
+            link_leg = self.route_links_np[
+                src_pair[leg_pair], dn[leg_pair], hop_idx
+            ]
+            active_t[ln_leg, kk] = True
+            asap_t[ln_leg, kk] = asap_leg
+            alap_t[ln_leg, kk] = alap_leg
+            deg_t[ln_leg, kk] = deg_leg
+            pool_t[ln_leg, kk] = self.link_pool_base + link_leg
         if E:
             lane_s, ecol_s = np.nonzero(~cross)
             same_cnt = np.bincount(
@@ -384,17 +451,19 @@ class VectorContext:
             ).reshape(L, n)
         else:
             same_cnt = np.zeros((L, n), dtype=np.int64)
+        # Producer out-degree counts one arming edge per *pair* (the
+        # first leg), not per leg — t_cnt stays the pair count.
         deg_reg = same_cnt + t_cnt
-        active_t = tsrc >= 0
         max_deg = np.maximum(
             deg_reg.max(axis=1),
-            np.where(active_t, deg_t, 0).max(axis=1) if tmax else 0,
+            deg_t.max(axis=1) if tmax else 0,
         )
 
-        # --- Packed priority keys, exactly SchedContext._priority_keys.
+        # --- Packed priority keys, exactly SchedContext._priority_keys
+        # over the leg-expanded bound graph (total = n + legs).
         span = lcp + 1
         deg_span = max_deg + 1
-        total = n + t_lane
+        total = n + legs_lane
         key_reg = (
             (alap * span[:, None] + (alap - asap)) * deg_span[:, None]
             + (max_deg[:, None] - deg_reg)
@@ -408,7 +477,7 @@ class VectorContext:
             mob_t = np.where(active_t, alap_t - asap_t, 0)
             key_t = (
                 (alap_t * span[:, None] + mob_t) * deg_span[:, None]
-                + (max_deg[:, None] - deg_t * active_t)
+                + (max_deg[:, None] - deg_t)
             ) * total[:, None] + (
                 n + np.arange(tmax, dtype=np.int64)[None, :]
             )
@@ -418,10 +487,7 @@ class VectorContext:
         # --- Slot state, (L, N) with N = n + Tmax.
         N = n + tmax
         key = np.concatenate([key_reg, key_t], axis=1)
-        pool_slot = np.concatenate(
-            [pool_reg, np.full((L, tmax), self.bus_pool, dtype=np.int64)],
-            axis=1,
-        )
+        pool_slot = np.concatenate([pool_reg, pool_t], axis=1)
         lat_slot = np.concatenate(
             [
                 np.broadcast_to(self.lat, (L, n)),
@@ -485,17 +551,24 @@ class VectorContext:
         su_f = np.zeros(LN, dtype=np.int64)
 
         # Bound-graph successors as one batch CSR over sorted positions:
-        # same-cluster edges, producer->transfer arming edges, and
-        # transfer->consumer edges, all uniform because the finish time
-        # any edge propagates is issue cycle + the source slot's latency.
-        tslot = ln * N + n + kk  # flat slot id of each global transfer
-        e_src = [ln * N + un]  # producer -> its transfer slot
-        e_dst = [tslot]
+        # same-cluster edges, producer->first-leg arming edges, chain
+        # edges between consecutive legs, and final-leg->consumer edges,
+        # all uniform because the finish time any edge propagates is
+        # issue cycle + the source slot's latency.
+        tslot_leg = ln_leg * N + n + kk  # flat slot id of each leg
+        tslot_first = ln * N + n + first_kk
+        tslot_last = tslot_first + hops_pair - 1
+        e_src = [ln * N + un]  # producer -> its pair's first leg
+        e_dst = [tslot_first]
+        if total_legs > npair:
+            chain = hop_idx + 1 < hops_pair[leg_pair]
+            e_src.append(tslot_leg[chain])  # leg j -> leg j+1
+            e_dst.append(tslot_leg[chain] + 1)
         if E:
             e_src.append(lane_s * N + eu[ecol_s])  # same-cluster edges
             e_dst.append(lane_s * N + ev[ecol_s])
             if tmax:
-                e_src.append(tslot[gidx])  # transfer -> cross consumer
+                e_src.append(tslot_last[gidx])  # final leg -> consumer
                 e_dst.append(lane_e * N + ev[ecol])
         src_all = inv_flat[np.concatenate(e_src)]
         dst_all = inv_flat[np.concatenate(e_dst)]
@@ -660,24 +733,26 @@ class VectorContext:
         pairs_flat = list(zip(un.tolist(), dn.tolist()))
         off_l = lane_starts.tolist()
         t_lane_l = t_lane.tolist()
+        legs_lane_l = legs_lane.tolist()
         latency_l = latency.tolist()
         ctx = self.ctx
         outs = []
         for i, placement in enumerate(placements):
-            # A lane's live columns are exactly the first n + t: its
-            # transfer slots fill columns n..n+t-1, padding sits after.
+            # A lane's live columns are exactly the first n + legs: its
+            # leg slots fill columns n..n+legs-1, padding sits after.
             # Its (producer, dest) pairs are a contiguous run of the
-            # flat transfer list (lexicographic == per-lane insertion
-            # order).
+            # flat pair list (lexicographic == per-lane insertion
+            # order); ``starts``/``units`` carry every MOVE leg.
             t = t_lane_l[i]
+            g = legs_lane_l[i]
             o = off_l[i]
             outs.append(
                 FastOutcome(
                     ctx=ctx,
                     placement=tuple(placement),
                     pairs=tuple(pairs_flat[o : o + t]),
-                    starts=tuple(starts_l[i][: n + t]),
-                    units=tuple(units_l[i][: n + t]),
+                    starts=tuple(starts_l[i][: n + g]),
+                    units=tuple(units_l[i][: n + g]),
                     latency=latency_l[i],
                 )
             )

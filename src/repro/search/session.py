@@ -336,7 +336,12 @@ class SearchSession:
 
     def _naive_evaluate(self, binding: Mapping[str, int]) -> Schedule:
         """Reference evaluation through ``bind_dfg`` + list scheduling."""
-        return list_schedule(bind_dfg(self.dfg, binding), self.datapath)
+        return list_schedule(
+            bind_dfg(
+                self.dfg, binding, interconnect=self.datapath.interconnect
+            ),
+            self.datapath,
+        )
 
     def _op_names(self) -> Tuple[str, ...]:
         """Regular-operation names in DFG order (naive-path memo key)."""
@@ -350,7 +355,12 @@ class SearchSession:
             return self.evaluator.schedule(binding)
         if not isinstance(binding, Binding):
             binding = Binding(dict(binding))
-        return list_schedule(bind_dfg(self.dfg, binding), self.datapath)
+        return list_schedule(
+            bind_dfg(
+                self.dfg, binding, interconnect=self.datapath.interconnect
+            ),
+            self.datapath,
+        )
 
     # ------------------------------------------------------------------
     # Budgets and telemetry

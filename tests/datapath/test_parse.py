@@ -52,3 +52,75 @@ class TestParseDatapath:
     def test_name_defaults_to_spec(self):
         assert parse_datapath("|1,1|").name == "|1,1|"
         assert parse_datapath("|1,1|", name="tiny").name == "tiny"
+
+
+class TestParseTopologySuffix:
+    """Each malformed suffix dies with its own one-line message."""
+
+    def test_ring_round_trips(self):
+        dp = parse_datapath("|1,1|1,1|1,1| @ring:cap=2")
+        assert dp.interconnect.topology == "ring"
+        assert dp.spec() == "|1,1|1,1|1,1| @ring:cap=2"
+
+    def test_hop_is_move_latency_sugar(self):
+        assert parse_datapath("|1,1|1,1| @ring:hop=2").move_latency == 2
+        # explicit move_latency wins over the suffix parameter
+        dp = parse_datapath("|1,1|1,1| @ring:hop=2", move_latency=3)
+        assert dp.move_latency == 3
+
+    def test_unknown_topology(self):
+        with pytest.raises(
+            ValueError,
+            match="unknown topology 'star': expected one of "
+            "bus, p2p, ring, mesh",
+        ):
+            parse_datapath("|1,1|1,1| @star")
+
+    def test_malformed_parameter_key(self):
+        with pytest.raises(
+            ValueError,
+            match=r"malformed topology suffix '@ring:caps=2': expected "
+            r"'@topology\[:cap=K,hop=H\]' like '@ring:cap=1'",
+        ):
+            parse_datapath("|1,1|1,1| @ring:caps=2")
+
+    def test_missing_equals(self):
+        with pytest.raises(
+            ValueError, match="malformed topology suffix '@mesh:cap'"
+        ):
+            parse_datapath("|1,1|1,1| @mesh:cap")
+
+    def test_non_integer_value(self):
+        with pytest.raises(
+            ValueError,
+            match="malformed topology suffix '@ring:cap=fat': "
+            "cap= takes an integer, got 'fat'",
+        ):
+            parse_datapath("|1,1|1,1| @ring:cap=fat")
+
+    def test_capacity_below_one(self):
+        with pytest.raises(
+            ValueError, match="topology capacity must be >= 1, got 0"
+        ):
+            parse_datapath("|1,1|1,1| @p2p:cap=0")
+
+    def test_hop_latency_below_one(self):
+        with pytest.raises(
+            ValueError, match="topology hop latency must be >= 1, got -1"
+        ):
+            parse_datapath("|1,1|1,1| @ring:hop=-1")
+
+    def test_empty_cluster_body_with_suffix(self):
+        with pytest.raises(ValueError, match="empty datapath spec"):
+            parse_datapath("@ring:cap=1")
+
+    def test_cli_reports_parse_errors_one_line(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bind", "ewf", "-d", "|1,1|1,1| @star"])
+        message = str(excinfo.value.code)  # sys.exit(str) -> stderr line
+        assert message.startswith(
+            "repro-bind: error: unknown topology 'star'"
+        )
+        assert "\n" not in message  # one line, no traceback

@@ -1,0 +1,93 @@
+"""Content-hash stability across the interconnect refactor.
+
+``BindJob.cache_key`` is a persistent contract: result caches and run
+stores written before the topology-aware interconnect landed must
+replay byte-for-byte afterwards.  The pinned digests below were
+computed on the pre-interconnect tree; they hold because bus machines
+keep suffix-free specs and the job envelope gained no fields.
+"""
+
+import pytest
+
+from repro.datapath.interconnect import Interconnect
+from repro.datapath.model import Datapath
+from repro.datapath.parse import parse_cluster_spec, parse_datapath
+from repro.kernels.registry import load_kernel
+from repro.runner.jobs import BindJob
+
+#: (kernel, spec, num_buses, move_latency, algorithm, config) -> digest
+#: computed at commit 9d2d504 (pre-interconnect).
+LEGACY_KEYS = {
+    ("ewf", "|2,1|1,1|", 2, 1, "b-init", ()): (
+        "075edb6d98980bedc9d368f693ea0acd56f26c29fde59dd25c514f745a59b092"
+    ),
+    ("fft", "|2,2|2,1|2,2|3,1|1,1|", 1, 2, "b-iter", (("quality", "qu"),)): (
+        "c6e3c1bdbe65ed24e2ac766acbde7b48b6df6f7463185369569be6f8da6e3961"
+    ),
+}
+
+
+class TestBusHashStability:
+    def test_bus_jobs_hash_as_before_the_refactor(self):
+        for (kernel, spec, nb, lm, algo, config), digest in (
+            LEGACY_KEYS.items()
+        ):
+            job = BindJob.make(
+                load_kernel(kernel),
+                parse_datapath(spec, num_buses=nb, move_latency=lm),
+                algo,
+                **dict(config),
+            )
+            assert job.cache_key() == digest, (
+                f"{algo} on {spec}: cache key drifted — legacy result "
+                "caches would go cold (or worse, collide)"
+            )
+
+    def test_bus_spec_stays_suffix_free(self):
+        dp = parse_datapath("|2,1|1,1|", num_buses=2)
+        assert dp.spec() == "|2,1|1,1|"
+        assert "@" not in dp.spec()
+
+    def test_explicit_bus_cap_suffix_normalizes_away(self):
+        # '@bus:cap=2' is spelled out but means exactly N_B=2: same
+        # machine, same suffix-free spec, same cache key.
+        plain = parse_datapath("|2,1|1,1|", num_buses=2)
+        spelled = parse_datapath("|2,1|1,1| @bus:cap=2")
+        assert spelled.spec() == plain.spec()
+        dfg = load_kernel("ewf")
+        assert (
+            BindJob.make(dfg, spelled, "b-init").cache_key()
+            == BindJob.make(dfg, plain, "b-init").cache_key()
+        )
+
+
+class TestTopologyHashing:
+    def test_topologies_key_distinctly(self):
+        dfg = load_kernel("ewf")
+        keys = {
+            BindJob.make(
+                dfg, parse_datapath("|1,1|1,1|1,1|" + suffix), "b-init"
+            ).cache_key()
+            for suffix in ("", " @ring:cap=1", " @mesh:cap=1", " @p2p:cap=1")
+        }
+        assert len(keys) == 4
+
+    def test_topology_spec_round_trips_through_job(self):
+        dp = parse_datapath("|1,1|1,1|1,1| @ring:cap=2")
+        job = BindJob.make(load_kernel("ewf"), dp, "b-init")
+        assert job.datapath_spec == "|1,1|1,1|1,1| @ring:cap=2"
+        assert job.datapath().interconnect == dp.interconnect
+
+    def test_hand_built_interconnect_refused(self):
+        # A machine whose links no spec can reproduce must not be
+        # carried by spec — that would silently rehydrate differently.
+        clusters = [parse_cluster_spec("1,1", i) for i in range(3)]
+        ring = Interconnect.make("ring", 3, 1)
+        lopsided = Interconnect(
+            topology="ring",
+            num_clusters=3,
+            links=ring.links[:-1],  # drop one direction of one edge
+        )
+        dp = Datapath(clusters, interconnect=lopsided)
+        with pytest.raises(ValueError, match="cannot reproduce"):
+            BindJob.make(load_kernel("ewf"), dp, "b-init")

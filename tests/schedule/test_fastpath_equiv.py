@@ -42,8 +42,9 @@ dfg_strategy = st.builds(
 )
 
 datapath_strategy = st.builds(
-    lambda shape, buses: parse_datapath(
-        "|" + "|".join(f"{a},{m}" for a, m in shape) + "|", num_buses=buses
+    lambda shape, buses, topo: parse_datapath(
+        "|" + "|".join(f"{a},{m}" for a, m in shape) + "|" + topo,
+        num_buses=buses,
     ),
     shape=st.lists(
         st.tuples(
@@ -54,6 +55,11 @@ datapath_strategy = st.builds(
         max_size=4,
     ),
     buses=st.integers(min_value=1, max_value=3),
+    # "" is the paper's shared bus; the rest exercise routed multi-hop
+    # interconnects through the same differential.
+    topo=st.sampled_from(
+        ("", " @ring:cap=1", " @mesh:cap=1", " @p2p:cap=1", " @ring:cap=2")
+    ),
 )
 
 relaxed = settings(
@@ -88,7 +94,7 @@ class TestFastListSchedule:
     @relaxed
     def test_equivalent_on_random_inputs(self, dfg, dp, seed):
         binding = _random_binding(dfg, dp, seed)
-        bound = bind_dfg(dfg, binding)
+        bound = bind_dfg(dfg, binding, interconnect=dp.interconnect)
         _assert_schedules_identical(
             fast_list_schedule(bound, dp), list_schedule(bound, dp)
         )
@@ -99,7 +105,7 @@ class TestFastListSchedule:
         dfg = load_kernel(kernel)
         dp = parse_datapath(spec, num_buses=2)
         binding = _random_binding(dfg, dp, seed=7)
-        bound = bind_dfg(dfg, binding)
+        bound = bind_dfg(dfg, binding, interconnect=dp.interconnect)
         _assert_schedules_identical(
             fast_list_schedule(bound, dp), list_schedule(bound, dp)
         )
@@ -130,7 +136,7 @@ class TestFastListSchedule:
         # orders by (priority, name), and the packed-key path must
         # reproduce that exactly.  Few distinct levels maximize ties.
         binding = _random_binding(dfg, dp, seed)
-        bound = bind_dfg(dfg, binding)
+        bound = bind_dfg(dfg, binding, interconnect=dp.interconnect)
         rng = random.Random(seed)
         priority = {n: rng.randrange(levels) for n in bound.graph}
         _assert_schedules_identical(
@@ -180,7 +186,7 @@ class TestSchedContextEvaluate:
         binding = _random_binding(dfg, dp, seed)
         ctx = SchedContext(dfg, dp)
         out = ctx.evaluate(tuple(binding[n] for n in ctx.names))
-        naive = list_schedule(bind_dfg(dfg, binding), dp)
+        naive = list_schedule(bind_dfg(dfg, binding, interconnect=dp.interconnect), dp)
         assert out.latency == naive.latency
         assert out.num_transfers == naive.num_transfers
         assert out.completion_profile() == naive.completion_profile()
@@ -207,7 +213,7 @@ class TestSchedContextEvaluate:
             targets = dp.target_set(ts)
             binding = binding.rebind((v, rng.choice(targets)))
             out = evaluator.evaluate(binding)
-            naive = list_schedule(bind_dfg(dfg, binding), dp)
+            naive = list_schedule(bind_dfg(dfg, binding, interconnect=dp.interconnect), dp)
             assert (out.latency, out.num_transfers) == (
                 naive.latency,
                 naive.num_transfers,
@@ -231,15 +237,17 @@ class TestBindDelta:
     ):
         rng = random.Random(seed)
         binding = _random_binding(dfg, dp, seed)
-        prev = bind_dfg(dfg, binding)
+        prev = bind_dfg(dfg, binding, interconnect=dp.interconnect)
         names = [op.name for op in dfg.regular_operations()]
         for _ in range(n_moves):
             v = rng.choice(names)
             binding = binding.rebind(
                 (v, rng.choice(dp.target_set(dfg.operation(v).optype)))
             )
-            delta = bind_delta(dfg, prev, binding)
-            full = bind_dfg(dfg, binding)
+            delta = bind_delta(
+                dfg, prev, binding, interconnect=dp.interconnect
+            )
+            full = bind_dfg(dfg, binding, interconnect=dp.interconnect)
             # Same nodes in the same insertion order (the scheduler's
             # priority tie-break depends on it), same edges, same maps.
             assert list(delta.graph) == list(full.graph)

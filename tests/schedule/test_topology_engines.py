@@ -1,0 +1,141 @@
+"""Tri-engine agreement on routed (non-bus) interconnects.
+
+The interconnect refactor's acceptance bar: the naive list scheduler,
+the scalar fast path (``SchedContext.evaluate``), and the vector batch
+engine (``VectorContext.evaluate_batch``) must produce bit-identical
+schedules on ring/mesh/p2p machines — multi-hop MOVE chains included.
+CI runs this file as the routed smoke cell under both
+``REPRO_VECTORPATH=1`` and ``=0`` (the gate changes which engine the
+*driver* picks, never what any engine computes, so the file must pass
+identically either way).
+"""
+
+import random
+
+import pytest
+
+from repro.core.binding import Binding
+from repro.datapath.parse import parse_datapath
+from repro.dfg.transform import bind_dfg
+from repro.kernels import load_kernel
+from repro.schedule.fastpath import SchedContext, fast_list_schedule
+from repro.schedule.list_scheduler import list_schedule
+
+np = pytest.importorskip("numpy")
+
+from repro.schedule.vectorpath import VectorContext  # noqa: E402
+
+TOPOLOGY_SPECS = (
+    "|1,1|1,1|1,1| @ring:cap=1",
+    "|1,1|1,1|1,1|1,1| @ring:cap=1",
+    "|1,1|1,1|1,1|1,1| @mesh:cap=1",
+    "|2,1|1,1|1,2| @p2p:cap=1",
+    "|1,1|1,1|1,1|1,1| @ring:cap=2,hop=2",
+)
+
+
+def _random_binding(dfg, dp, seed):
+    rng = random.Random(seed)
+    return Binding(
+        {
+            op.name: rng.choice(dp.target_set(op.optype))
+            for op in dfg.regular_operations()
+        }
+    )
+
+
+class TestTriEngineAgreement:
+    @pytest.mark.parametrize("kernel", ["ewf", "fft", "arf"])
+    @pytest.mark.parametrize("spec", TOPOLOGY_SPECS)
+    def test_three_engines_bit_identical(self, kernel, spec):
+        dfg = load_kernel(kernel)
+        dp = parse_datapath(spec)
+        ctx = SchedContext(dfg, dp)
+        vctx = VectorContext(ctx)
+        for seed in range(3):
+            binding = _random_binding(dfg, dp, seed)
+            bound = bind_dfg(
+                dfg, binding, interconnect=dp.interconnect
+            )
+            naive = list_schedule(bound, dp)
+            fast = fast_list_schedule(bound, dp)
+            assert fast.latency == naive.latency
+            assert dict(fast.start) == dict(naive.start)
+            assert dict(fast.instance) == dict(naive.instance)
+
+            placement = tuple(binding[n] for n in ctx.names)
+            scalar = ctx.evaluate(list(placement))
+            vec = vctx.evaluate_batch([placement])[0]
+            assert scalar.starts == vec.starts
+            assert scalar.units == vec.units
+            assert scalar.pairs == vec.pairs
+            assert scalar.latency == vec.latency == naive.latency
+            sched = scalar.to_schedule()
+            assert dict(sched.start) == dict(naive.start)
+            assert dict(sched.instance) == dict(naive.instance)
+
+
+class TestMultiHopStructure:
+    def test_ring_distance_two_transfer_is_a_two_leg_chain(self):
+        # c0 -> c2 on a 4-ring routes c0>c1, c1>c2: two MOVE legs, one
+        # counted transfer (M counts final legs only).
+        dp = parse_datapath("|1,1|1,1|1,1|1,1| @ring:cap=1")
+        dfg = load_kernel("ewf")
+        binding = Binding(
+            {
+                op.name: (0 if i % 2 else 2)
+                for i, op in enumerate(dfg.regular_operations())
+            }
+        )
+        bound = bind_dfg(dfg, binding, interconnect=dp.interconnect)
+        legs = [
+            name
+            for name in bound.graph
+            if bound.graph.operation(name).is_transfer
+        ]
+        finals = [
+            name
+            for name in legs
+            if any(
+                not bound.graph.operation(s).is_transfer
+                for s in bound.graph.successors(name)
+            )
+        ]
+        assert legs and len(legs) == 2 * len(finals)
+        assert bound.num_transfers == len(finals)
+        # every leg is pinned to a link of the machine
+        assert set(legs) == set(bound.transfer_links)
+        for name in legs:
+            link = bound.transfer_links[name]
+            assert 0 <= link < dp.interconnect.num_links
+
+    def test_schedule_occupies_routed_links_not_a_bus(self):
+        from repro.dfg.ops import BUS
+
+        dp = parse_datapath("|1,1|1,1|1,1|1,1| @ring:cap=1")
+        dfg = load_kernel("ewf")
+        binding = _random_binding(dfg, dp, seed=1)
+        bound = bind_dfg(dfg, binding, interconnect=dp.interconnect)
+        sched = list_schedule(bound, dp)
+        for name in bound.graph:
+            if not bound.graph.operation(name).is_transfer:
+                continue
+            cluster, futype, unit = sched.instance[name]
+            assert futype == BUS
+            link = -cluster - 1
+            assert link == bound.transfer_links[name]
+            assert unit < dp.interconnect.links[link].capacity
+
+    def test_hop_latency_stretches_the_chain(self):
+        bus = parse_datapath("|1,1|1,1|1,1|1,1|")
+        slow = parse_datapath("|1,1|1,1|1,1|1,1| @ring:cap=2,hop=2")
+        assert slow.move_latency == 2
+        dfg = load_kernel("ewf")
+        binding = _random_binding(dfg, bus, seed=3)
+        fast_l = list_schedule(
+            bind_dfg(dfg, binding, interconnect=bus.interconnect), bus
+        ).latency
+        slow_l = list_schedule(
+            bind_dfg(dfg, binding, interconnect=slow.interconnect), slow
+        ).latency
+        assert slow_l >= fast_l

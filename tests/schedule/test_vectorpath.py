@@ -49,8 +49,9 @@ dfg_strategy = st.builds(
 )
 
 datapath_strategy = st.builds(
-    lambda shape, buses: parse_datapath(
-        "|" + "|".join(f"{a},{m}" for a, m in shape) + "|", num_buses=buses
+    lambda shape, buses, topo: parse_datapath(
+        "|" + "|".join(f"{a},{m}" for a, m in shape) + "|" + topo,
+        num_buses=buses,
     ),
     shape=st.lists(
         st.tuples(
@@ -61,6 +62,11 @@ datapath_strategy = st.builds(
         max_size=4,
     ),
     buses=st.integers(min_value=1, max_value=3),
+    # "" is the paper's shared bus; the rest exercise routed multi-hop
+    # interconnects through the same differential.
+    topo=st.sampled_from(
+        ("", " @ring:cap=1", " @mesh:cap=1", " @p2p:cap=1", " @ring:cap=2")
+    ),
 )
 
 relaxed = settings(
@@ -116,7 +122,7 @@ class TestBatchDifferential:
         # Chain to the naive pipeline on the first lane: the vector
         # outcome materializes to the exact naive schedule.
         binding = Binding(dict(zip(ctx.names, placements[0])))
-        naive = list_schedule(bind_dfg(dfg, binding), dp)
+        naive = list_schedule(bind_dfg(dfg, binding, interconnect=dp.interconnect), dp)
         sched = outcomes[0].to_schedule()
         assert sched.latency == naive.latency
         assert dict(sched.start) == dict(naive.start)
@@ -154,7 +160,7 @@ class TestBatchDifferential:
         outcomes = vctx.evaluate_batch(placements)
         for placement, vec in zip(placements, outcomes):
             binding = Binding(dict(zip(ctx.names, placement)))
-            naive = list_schedule(bind_dfg(dfg, binding), dp)
+            naive = list_schedule(bind_dfg(dfg, binding, interconnect=dp.interconnect), dp)
             for spec in QUALITY_SPECS:
                 for fn in QualitySpec.parse(spec).functions():
                     assert fn(vec) == fn(naive), spec
@@ -176,7 +182,7 @@ class TestBatchDifferential:
         placement = _random_placements(ctx, dp, seed, width=1)[0]
         vec = vctx.evaluate_batch([placement])[0]
         binding = Binding(dict(zip(ctx.names, placement)))
-        bound = bind_dfg(dfg, binding)
+        bound = bind_dfg(dfg, binding, interconnect=dp.interconnect)
         rng = random.Random(prio)
         priority = {n: rng.randrange(5) for n in bound.graph}
         fast = fast_list_schedule(bound, dp, priority=priority)
