@@ -324,6 +324,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-attempt wall-clock budget in seconds "
         "(default: %(default)s)",
     )
+    p_serve.add_argument(
+        "--target-delay",
+        type=float,
+        default=0.75,
+        metavar="S",
+        help="acceptable standing queue delay before overload "
+        "shedding kicks in (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--overload-interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="how long queue delay must stay above --target-delay "
+        "before shedding starts (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--client-rate",
+        type=float,
+        metavar="R",
+        help="per-client submissions/second quota "
+        "(default: no quotas)",
+    )
+    p_serve.add_argument(
+        "--client-burst",
+        type=float,
+        default=10.0,
+        metavar="N",
+        help="per-client burst allowance (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="watchdog: seconds a worker may run without heartbeat "
+        "progress before SIGTERM (<= 0 disables; default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--term-grace",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="watchdog: grace between SIGTERM and SIGKILL "
+        "(default: %(default)s)",
+    )
 
     p_submit = sub.add_parser(
         "submit",
@@ -376,6 +422,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         metavar="S",
         help="per-attempt wall-clock budget (default: the server's)",
+    )
+    p_submit.add_argument(
+        "--deadline",
+        type=float,
+        metavar="S",
+        help="end-to-end budget in seconds (queue wait included); the "
+        "service returns the legal best-so-far binding found within it",
+    )
+    p_submit.add_argument(
+        "--client",
+        metavar="NAME",
+        help="quota identity sent as X-Repro-Client "
+        "(default: anonymous)",
+    )
+    p_submit.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="rounds of 429 Retry-After backoff to absorb before "
+        "giving up (default: %(default)s)",
     )
     p_submit.add_argument(
         "--no-wait",
@@ -855,6 +922,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_threshold=args.breaker_threshold,
         max_attempts=args.max_attempts,
         default_timeout=args.timeout,
+        target_delay=args.target_delay,
+        overload_interval=args.overload_interval,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
+        stall_timeout=(
+            args.stall_timeout if args.stall_timeout > 0 else None
+        ),
+        term_grace=args.term_grace,
     )
     service.start()
 
@@ -899,9 +974,11 @@ def _print_submit_result(snapshot: dict) -> int:
     if snapshot["state"] != "done":
         return 0
     if status == "ok":
+        completion = result.get("completion", "complete")
+        tag = f" [{completion}]" if completion != "complete" else ""
         print(
             f"  L = {result['latency']}, M = {result['transfers']}, "
-            f"time = {result.get('seconds', 0.0):.3f}s{cached}"
+            f"time = {result.get('seconds', 0.0):.3f}s{cached}{tag}"
         )
         return 0
     print(f"  status = {status}: {result.get('error')}")
@@ -941,7 +1018,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
     client = ServiceClient(args.host, args.port)
     try:
-        snapshot = client.submit(spec)
+        snapshot = client.submit(
+            spec,
+            deadline=args.deadline,
+            client=args.client,
+            retries=max(0, args.retries),
+        )
         if not args.no_wait and snapshot.get("state") != "done":
             snapshot = client.wait(snapshot["id"])
     except ServiceError as exc:

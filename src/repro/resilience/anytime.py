@@ -1,0 +1,486 @@
+"""Anytime search: deadlines, cooperative cancellation, and salvage.
+
+The paper's iterative-improvement binder is naturally *anytime* — after
+every committed perturbation the search holds a legal ``(L, M)``
+binding — but the stack historically treated a missed deadline or a
+preempted worker as a total loss.  This module is the shared substrate
+that turns "ran out of time" into a degraded-but-correct answer:
+
+* :class:`Budget` — one end-to-end budget object combining an
+  *absolute* wall-clock deadline, an optional evaluation budget, and a
+  :class:`CancelToken`.  The deadline crosses process boundaries
+  through the ``REPRO_DEADLINE_AT`` environment variable (epoch
+  seconds), so a client deadline admitted by the service flows
+  unchanged into every worker's search sessions.
+* :class:`CancelToken` — cooperative cancellation, polled (never
+  forced) at round boundaries and inside vectorized batch sweeps.
+  :func:`install_cancel_handler` maps ``SIGTERM`` onto the
+  process-global token, so a watchdog's *terminate* is a request the
+  strategy can honour by returning its best-so-far binding.
+* :class:`AnytimeSnapshot` + the snapshot sidecar — a serializable
+  best-so-far record (placement, quality, ``(L, M)``, evaluation
+  count) appended at round boundaries to a checksummed JSONL sidecar
+  (``REPRO_SNAPSHOT``).  The format is the same self-healing shape as
+  the run store: one SHA-256 per line, torn or corrupted tails are
+  skipped, so the *last intact* snapshot always survives a crash
+  mid-write.
+* :func:`salvage_job_result` — rebuild a ``salvaged``
+  :class:`~repro.runner.jobs.JobResult` from a dead worker's sidecar,
+  re-deriving the schedule from scratch and checking it against the
+  checked invariants (:func:`repro.resilience.validate.
+  validate_outcome`) before trusting the snapshot.
+* heartbeats — :func:`maybe_heartbeat` writes a small progress file
+  (``REPRO_HEARTBEAT``) at round boundaries, throttled; the service's
+  watchdog reads its *mtime*, so corrupt heartbeat payloads can never
+  mask (or fake) progress.
+
+Result-status taxonomy (``StrategyResult.status`` /
+``JobResult.completion``): ``complete`` — the strategy ran to natural
+termination; ``deadline`` — an evaluation budget or wall-clock
+deadline cut the search, the result is the legal best-so-far;
+``cancelled`` — a cooperative cancel (SIGTERM, client abort) cut the
+search, same guarantee; ``salvaged`` — the worker died and the result
+was rebuilt from its last intact snapshot.
+
+Named fault-injection sites (see :mod:`repro.resilience.faults`):
+``anytime.snapshot`` (the sidecar line write — torn/corrupt/crash),
+``watchdog.heartbeat`` (the heartbeat write).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from . import faults
+
+__all__ = [
+    "DEADLINE_ENV",
+    "SNAPSHOT_ENV",
+    "HEARTBEAT_ENV",
+    "SNAPSHOT_FORMAT",
+    "HEARTBEAT_FORMAT",
+    "RESULT_STATUSES",
+    "SearchCancelled",
+    "CancelToken",
+    "global_token",
+    "reset_global_token",
+    "install_cancel_handler",
+    "Budget",
+    "AnytimeSnapshot",
+    "SnapshotWriter",
+    "load_last_snapshot",
+    "maybe_heartbeat",
+    "write_heartbeat",
+    "read_heartbeat",
+    "salvage_job_result",
+]
+
+#: Absolute end-to-end deadline, epoch seconds.  Crosses process
+#: boundaries (workers inherit / receive it per job), so one client
+#: deadline bounds every session the job constructs.
+DEADLINE_ENV = "REPRO_DEADLINE_AT"
+
+#: Path of the best-so-far snapshot sidecar a session appends to.
+SNAPSHOT_ENV = "REPRO_SNAPSHOT"
+
+#: Path of the heartbeat file a worker refreshes at round boundaries.
+HEARTBEAT_ENV = "REPRO_HEARTBEAT"
+
+#: Schema tag of snapshot sidecar lines; bump on layout changes.
+SNAPSHOT_FORMAT = "repro-snapshot/1"
+
+#: Schema tag of heartbeat payloads (informational; liveness is mtime).
+HEARTBEAT_FORMAT = "repro-heartbeat/1"
+
+#: The complete result-status taxonomy (see module docstring).
+RESULT_STATUSES = ("complete", "deadline", "cancelled", "salvaged")
+
+
+class SearchCancelled(RuntimeError):
+    """A cooperative cancel (or in-sweep deadline) cut an evaluation.
+
+    Raised from *inside* batch evaluation only — round-boundary cuts
+    surface through :meth:`SearchSession.exhausted` instead — and
+    always caught by the descent loop, which keeps its best-so-far.
+    """
+
+
+class CancelToken:
+    """A cooperative cancellation flag, shared across threads.
+
+    Search loops poll :attr:`cancelled` at round boundaries; nothing is
+    ever interrupted forcibly, so every observer holds a consistent
+    best-so-far when the flag flips.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+
+class CountdownToken(CancelToken):
+    """A token that self-cancels after ``after`` polls (tests).
+
+    Deterministically simulates "the deadline fell at poll *k*": every
+    read of :attr:`cancelled` counts as one poll, so a search cut by
+    this token cuts at a reproducible round boundary regardless of
+    wall-clock speed.
+    """
+
+    def __init__(self, after: int) -> None:
+        super().__init__()
+        self.after = after
+        self.polls = 0
+
+    @property
+    def cancelled(self) -> bool:
+        if self._event.is_set():
+            return True
+        self.polls += 1
+        if self.polls > self.after:
+            self._event.set()
+        return self._event.is_set()
+
+
+#: Process-global token; SIGTERM (via :func:`install_cancel_handler`)
+#: and embedding hosts cancel through it.
+_GLOBAL = CancelToken()
+
+
+def global_token() -> CancelToken:
+    """The process-global cancel token (what sessions default to)."""
+    return _GLOBAL
+
+
+def reset_global_token() -> CancelToken:
+    """Replace the global token with a fresh one (tests, worker reuse)."""
+    global _GLOBAL
+    _GLOBAL = CancelToken()
+    return _GLOBAL
+
+
+def install_cancel_handler(signum: int = signal.SIGTERM) -> None:
+    """Map ``signum`` onto the global token (main thread only).
+
+    Service workers call this so a watchdog's SIGTERM becomes a
+    cooperative cancel: in-flight strategies return their best-so-far
+    tagged ``cancelled`` instead of dying mid-descent.  Falls back to a
+    no-op where signals cannot be installed (non-main threads).
+    """
+
+    def _on_term(sig: int, frame: Any) -> None:  # pragma: no cover - signal
+        _GLOBAL.cancel()
+
+    try:
+        signal.signal(signum, _on_term)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+
+
+@dataclass(frozen=True)
+class Budget:
+    """One end-to-end search budget: deadline + evaluations + cancel.
+
+    Attributes:
+        deadline_epoch: absolute wall-clock deadline (epoch seconds);
+            ``None`` means unbounded.
+        max_evaluations: optional candidate-evaluation budget.
+        token: the cancel token observed alongside the deadline.
+    """
+
+    deadline_epoch: Optional[float] = None
+    max_evaluations: Optional[int] = None
+    token: Optional[CancelToken] = None
+
+    @classmethod
+    def from_env(cls) -> "Budget":
+        """The budget the environment imposes on this process.
+
+        Reads ``REPRO_DEADLINE_AT`` (absolute epoch seconds) and binds
+        the process-global cancel token; an absent or malformed value
+        yields an unbounded budget.
+        """
+        raw = os.environ.get(DEADLINE_ENV, "").strip()
+        deadline: Optional[float] = None
+        if raw:
+            try:
+                deadline = float(raw)
+            except ValueError:
+                deadline = None
+        return cls(deadline_epoch=deadline, token=_GLOBAL)
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Seconds until the deadline (may be negative); None unbounded."""
+        if self.deadline_epoch is None:
+            return None
+        return self.deadline_epoch - time.time()
+
+
+# ----------------------------------------------------------------------
+# Best-so-far snapshots
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AnytimeSnapshot:
+    """A serializable best-so-far search state.
+
+    Everything a salvage needs to reconstruct (and *verify*) the
+    result: the placement map, the quality vector that committed it,
+    its ``(L, M)``, and the evaluation count at capture time.
+    """
+
+    binding: Dict[str, int]
+    quality: Tuple[int, ...]
+    latency: int
+    transfers: int
+    evaluations: int
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "binding": dict(self.binding),
+            "quality": list(self.quality),
+            "latency": self.latency,
+            "transfers": self.transfers,
+            "evaluations": self.evaluations,
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AnytimeSnapshot":
+        if data.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unsupported snapshot format {data.get('format')!r}"
+            )
+        return cls(
+            binding={str(k): int(v) for k, v in data["binding"].items()},
+            quality=tuple(int(q) for q in data["quality"]),
+            latency=int(data["latency"]),
+            transfers=int(data["transfers"]),
+            evaluations=int(data.get("evaluations", 0)),
+            stats=dict(data.get("stats") or {}),
+        )
+
+
+def _line_checksum(payload: Dict[str, Any]) -> str:
+    canonical = json.dumps(
+        {k: v for k, v in payload.items() if k != "sha256"},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class SnapshotWriter:
+    """Append-only checksummed snapshot sidecar.
+
+    One JSONL line per snapshot, each carrying its own SHA-256 — the
+    run store's self-healing line format.  Appending (instead of
+    rewriting one blob) is what makes salvage robust to *torn* final
+    writes: a crash mid-append damages only the tail line, and
+    :func:`load_last_snapshot` falls back to the previous intact one.
+    A failed write is swallowed (the search must never die for its
+    telemetry); the ``anytime.snapshot`` fault site exercises exactly
+    that path.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.written = 0
+
+    def write(self, snapshot: AnytimeSnapshot) -> bool:
+        """Append one snapshot line; False when the write was lost."""
+        payload = snapshot.to_dict()
+        payload["sha256"] = _line_checksum(payload)
+        line = json.dumps(payload, sort_keys=True) + "\n"
+        try:
+            line = faults.perturb("anytime.snapshot", line)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a") as f:
+                f.write(line)
+        except OSError:
+            return False
+        self.written += 1
+        return True
+
+
+def load_last_snapshot(
+    path: Union[str, Path]
+) -> Optional[AnytimeSnapshot]:
+    """The last *intact* snapshot of a sidecar, or ``None``.
+
+    Lines that fail to parse, fail their checksum, or fail the
+    structural decode are skipped — a torn or corrupted tail costs the
+    final round's snapshot, never a wrong salvage.
+    """
+    try:
+        lines = Path(path).read_text().splitlines()
+    except OSError:
+        return None
+    best: Optional[AnytimeSnapshot] = None
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(payload, dict):
+            continue
+        checksum = payload.get("sha256")
+        if checksum is None or checksum != _line_checksum(payload):
+            continue
+        try:
+            best = AnytimeSnapshot.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            continue
+    return best
+
+
+# ----------------------------------------------------------------------
+# Heartbeats
+# ----------------------------------------------------------------------
+
+#: Minimum seconds between heartbeat writes (round boundaries can be
+#: microseconds apart; the watchdog's resolution is much coarser).
+HEARTBEAT_MIN_INTERVAL = 0.2
+
+_last_beat = 0.0
+
+
+def write_heartbeat(path: Union[str, Path], note: str = "") -> bool:
+    """Write one heartbeat file (truncate-in-place); False on failure.
+
+    The payload is checksummed and informational; liveness detection
+    uses the file's *mtime*, so a corrupted payload can neither fake
+    nor mask progress.  Failures are swallowed — losing a heartbeat
+    must never fail the job (the ``watchdog.heartbeat`` fault site
+    pins that).
+    """
+    payload: Dict[str, Any] = {
+        "format": HEARTBEAT_FORMAT,
+        "pid": os.getpid(),
+        "ts": time.time(),
+        "note": note,
+    }
+    payload["sha256"] = _line_checksum(payload)
+    try:
+        data = faults.perturb(
+            "watchdog.heartbeat", json.dumps(payload, sort_keys=True)
+        )
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(data)
+    except OSError:
+        return False
+    return True
+
+
+def read_heartbeat(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """The verified heartbeat payload, or None (missing/corrupt)."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("sha256") != _line_checksum(payload):
+        return None
+    return payload
+
+
+def maybe_heartbeat(note: str = "") -> bool:
+    """Throttled heartbeat to the ``REPRO_HEARTBEAT`` path, if set.
+
+    Called from round-boundary budget polls; a no-op (one environment
+    lookup) when no heartbeat path is configured.  The throttle is
+    process-wide — at most one write per
+    :data:`HEARTBEAT_MIN_INTERVAL`.
+    """
+    path = os.environ.get(HEARTBEAT_ENV, "").strip()
+    if not path:
+        return False
+    global _last_beat
+    now = time.monotonic()
+    if now - _last_beat < HEARTBEAT_MIN_INTERVAL:
+        return False
+    _last_beat = now
+    return write_heartbeat(path, note)
+
+
+# ----------------------------------------------------------------------
+# Salvage
+# ----------------------------------------------------------------------
+
+def salvage_job_result(job: Any, snapshot_path: Union[str, Path]):
+    """Rebuild a ``salvaged`` result from a dead worker's sidecar.
+
+    Loads the last intact :class:`AnytimeSnapshot`, re-derives the
+    schedule of its placement from scratch on the reference engine,
+    and cross-checks it — recorded ``(L, M)`` must replay exactly and
+    the outcome must pass :func:`repro.resilience.validate.
+    validate_outcome`.  Returns a :class:`~repro.runner.jobs.JobResult`
+    with ``status == "ok"`` and ``completion == "salvaged"`` (the
+    binding and quality ride in ``extras``), or ``None`` when there is
+    no snapshot or it fails verification — the caller then falls back
+    to the ordinary crash-failure path.
+    """
+    from ..dfg.transform import bind_dfg
+    from ..runner.jobs import JobResult
+    from ..schedule.list_scheduler import list_schedule
+    from .validate import InvariantViolation, validate_outcome
+
+    snapshot = load_last_snapshot(snapshot_path)
+    if snapshot is None:
+        return None
+    try:
+        dfg = job.dfg()
+        datapath = job.datapath()
+        schedule = list_schedule(
+            bind_dfg(
+                dfg, snapshot.binding, interconnect=datapath.interconnect
+            ),
+            datapath,
+        )
+        validate_outcome(dfg, datapath, snapshot.binding, schedule)
+    except (InvariantViolation, KeyError, TypeError, ValueError):
+        return None
+    if (
+        schedule.latency != snapshot.latency
+        or schedule.num_transfers != snapshot.transfers
+    ):
+        return None
+    return JobResult(
+        key=job.cache_key(),
+        kernel=job.kernel,
+        algorithm=job.algorithm,
+        datapath_spec=job.datapath_spec,
+        status="ok",
+        completion="salvaged",
+        latency=snapshot.latency,
+        transfers=snapshot.transfers,
+        seconds=0.0,
+        worker="salvage",
+        evaluations=snapshot.evaluations,
+        extras={
+            "binding": dict(snapshot.binding),
+            "quality": list(snapshot.quality),
+            "salvaged": True,
+        },
+    )

@@ -41,6 +41,19 @@ Example plan::
 
     {"seed": 0, "dir": "/tmp/faults",
      "sites": {"executor.attempt": {"kind": "crash", "hits": [0]}}}
+
+Site inventory (grep for ``faults.fire`` / ``faults.perturb``):
+``executor.attempt`` (each job attempt), ``store.record`` /
+``store.record.write`` (run-store appends), ``cache.put.write`` /
+``cache.get.read`` (result cache), ``evalstore.load`` /
+``evalstore.append`` (eval-outcome store), ``anytime.snapshot`` (each
+best-so-far snapshot-sidecar line — ``torn``/``corrupt`` forge the
+exact crash debris salvage must survive, ``crash`` kills the worker
+mid-descent), ``watchdog.heartbeat`` (each worker heartbeat write —
+liveness is judged by file mtime, so corrupting the payload must not
+confuse the watchdog), and ``queue.expire`` (inside the service's
+queue-expiry path — an injected fault becomes an incident and the job
+still expires).
 """
 
 from __future__ import annotations

@@ -217,7 +217,7 @@ def run_jobs(
                         str(exc),
                         key=keys[i],
                     )
-        if cache is not None and result.ok:
+        if cache is not None and result.ok and _cacheable(result):
             try:
                 cache.put(keys[i], result.to_dict())
             except OSError as exc:
@@ -238,6 +238,26 @@ def run_jobs(
     return [r for r in results if r is not None]
 
 
+def _cacheable(result: JobResult) -> bool:
+    """Should a successful result enter the content-addressed cache?
+
+    ``complete`` results always cache.  ``deadline`` results cache only
+    when the deadline came from the job *config* (part of the cache
+    key) — an environment-propagated end-to-end deadline
+    (``REPRO_DEADLINE_AT``) is not in the key, so caching its partial
+    result would poison identical resubmits that have more time.
+    ``cancelled`` results are artifacts of an external signal and never
+    cache.
+    """
+    from ..resilience.anytime import DEADLINE_ENV
+
+    if result.completion == "complete":
+        return True
+    if result.completion == "deadline":
+        return DEADLINE_ENV not in os.environ
+    return False
+
+
 def _record_to_payload(record: Dict) -> Dict:
     """Project a run-store record back into a ``JobResult`` payload."""
     from .jobs import RESULT_SCHEMA
@@ -249,6 +269,7 @@ def _record_to_payload(record: Dict) -> Dict:
         "algorithm": record.get("algorithm", ""),
         "datapath_spec": record.get("datapath", ""),
         "status": record.get("status", "ok"),
+        "completion": record.get("completion", "complete"),
         "latency": record.get("latency"),
         "transfers": record.get("transfers"),
         "seconds": record.get("seconds", 0.0),

@@ -184,6 +184,17 @@ class JobResult:
     ``seconds`` is the algorithm's own wall-clock measurement.
     ``cached``/``attempts``/``worker`` are execution provenance, filled
     in by the runner rather than the algorithm.
+
+    ``status`` says whether the run *produced a result*: ``ok``,
+    ``failed``, ``quarantined`` (circuit breaker), ``expired`` (the
+    end-to-end deadline passed while the job sat in a service queue),
+    or ``shed`` (displaced under overload before dispatch).
+    ``completion`` qualifies an ``ok`` result: ``complete`` (natural
+    termination), ``deadline``/``cancelled`` (a budget or cooperative
+    cancel cut the search; the numbers are the legal best-so-far), or
+    ``salvaged`` (rebuilt from a dead worker's snapshot sidecar) —
+    the :data:`repro.resilience.anytime.RESULT_STATUSES` taxonomy.
+    Additive: pre-anytime cache blobs replay as ``complete``.
     """
 
     key: str
@@ -191,6 +202,7 @@ class JobResult:
     algorithm: str
     datapath_spec: str
     status: str = "ok"
+    completion: str = "complete"
     latency: Optional[int] = None
     transfers: Optional[int] = None
     seconds: float = 0.0
@@ -249,6 +261,7 @@ def execute_job(job: BindJob) -> JobResult:
         algorithm=job.algorithm,
         datapath_spec=job.datapath_spec,
         status="ok",
+        completion=out.status,
         latency=out.latency,
         transfers=out.transfers,
         seconds=out.seconds,

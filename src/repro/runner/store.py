@@ -125,6 +125,7 @@ class RunStore:
             "move_latency": job.move_latency,
             "config": [list(pair) for pair in job.config],
             "status": result.status,
+            "completion": result.completion,
             "latency": result.latency,
             "transfers": result.transfers,
             "seconds": result.seconds,

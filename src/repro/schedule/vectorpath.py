@@ -49,13 +49,14 @@ from __future__ import annotations
 
 import os
 import sys
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .fastpath import FastOutcome, SchedContext
 
 __all__ = [
     "VECTORPATH_ENV",
     "VECTOR_THRESHOLD_ENV",
+    "POLL_CYCLE_MASK",
     "VectorContext",
     "VectorUnsupported",
     "vectorpath_enabled",
@@ -76,6 +77,12 @@ VECTOR_THRESHOLD_ENV = "REPRO_VECTOR_THRESHOLD"
 #: scalar loop sits well below 32 candidates, and real descent rounds
 #: are 50-150 wide, so 32 keeps tiny tail batches on the cheap path.
 DEFAULT_VECTOR_THRESHOLD = 32
+
+#: The sweep loop invokes its cooperative-cancellation ``poll`` on
+#: cycles where ``cycle & POLL_CYCLE_MASK == 0`` — every 64 scheduled
+#: cycles, frequent enough for sub-second deadline responsiveness and
+#: far too cheap to measure against the masked array work per cycle.
+POLL_CYCLE_MASK = 63
 
 _FALSEY = ("0", "false", "no", "off")
 
@@ -286,7 +293,9 @@ class VectorContext:
     # Batch evaluation
     # ------------------------------------------------------------------
     def evaluate_batch(
-        self, placements: Sequence[Tuple[int, ...]]
+        self,
+        placements: Sequence[Tuple[int, ...]],
+        poll: Optional[Callable[[], None]] = None,
     ) -> List[FastOutcome]:
         """Evaluate every placement in one lock-step vectorized sweep.
 
@@ -296,6 +305,14 @@ class VectorContext:
         (an operation bound to a cluster with no matching FU) — callers
         degrade to the scalar engine, which reports the precise
         operation.
+
+        ``poll``, when given, is invoked every
+        :data:`POLL_CYCLE_MASK` + 1 scheduled cycles inside the sweep;
+        it may raise (``SearchCancelled``) to abandon the batch — the
+        cooperative-cancellation hook that keeps deadlines responsive
+        even when one batch sweep is the unit of work.  The poll never
+        alters the computation, so outcomes are unchanged whether or
+        not one is installed.
         """
         np = self.np
         L = len(placements)
@@ -613,6 +630,8 @@ class VectorContext:
                     f"{self.ctx.dfg.name + '+bound'!r}; resource model "
                     "is likely infeasible"
                 )
+            if poll is not None and (cycle & POLL_CYCLE_MASK) == 0:
+                poll()
             arrivals = buckets.pop(cycle, None)
             if arrivals is not None:
                 # Bucket arrays are pairwise disjoint and disjoint from

@@ -13,6 +13,7 @@ from typing import Callable, List, Optional, Tuple
 
 from ..core.binding import Binding
 from ..core.quality import QualityVector
+from ..resilience.anytime import SearchCancelled
 from .neighborhood import Neighborhood
 from .session import SearchSession
 
@@ -43,6 +44,7 @@ def steepest_descent(
     session.stats.begin_segment()
     best_out = session.evaluate(binding)
     best_q = quality(best_out)
+    session.note_best(binding, best_q, best_out)
     committed = 0
     while committed < max_iterations and not session.exhausted():
         round_best: Optional[Tuple[QualityVector, Binding, object]] = None
@@ -57,9 +59,13 @@ def steepest_descent(
             binding.rebind(*perturbation)
             for perturbation in neighborhood.round_batch(binding)
         ]
-        for candidate, out in zip(
-            candidates, session.evaluate_many(candidates)
-        ):
+        try:
+            outcomes = session.evaluate_many(candidates)
+        except SearchCancelled:
+            # A cooperative cancel (or in-sweep deadline) cut the
+            # round; the binding committed so far is legal — keep it.
+            break
+        for candidate, out in zip(candidates, outcomes):
             q = quality(out)
             if q < threshold:
                 round_best = (q, candidate, out)
@@ -69,5 +75,6 @@ def steepest_descent(
         best_q, binding, best_out = round_best
         history.append(best_q)
         session.stats.record_best(best_q)
+        session.note_best(binding, best_q, best_out)
         committed += 1
     return binding, best_q, best_out, committed

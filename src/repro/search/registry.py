@@ -187,6 +187,13 @@ class StrategyResult:
         extras: strategy-specific JSON scalars (``nodes_explored``,
             ``proven_optimal``, ``cut_size``, ``component_cap``, ...),
             surfaced on ``JobResult.extras`` and the run store.
+        status: how the search ended — ``complete`` (natural
+            termination), ``deadline`` (an evaluation budget or
+            wall-clock deadline cut it; the result is the legal
+            best-so-far), ``cancelled`` (a cooperative cancel cut it,
+            same guarantee), or ``salvaged`` (rebuilt from a dead
+            worker's snapshot sidecar; never produced by a strategy
+            itself).  Budget exhaustion is a *tag*, not an exception.
     """
 
     latency: int
@@ -195,6 +202,7 @@ class StrategyResult:
     binding: Optional[Dict[str, int]] = None
     stats: Dict[str, Any] = field(default_factory=dict)
     extras: Dict[str, Any] = field(default_factory=dict)
+    status: str = "complete"
 
 
 #: A strategy's run callable: ``(dfg, datapath, config) -> result``.
@@ -382,6 +390,7 @@ def _run_pcc(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
         binding=dict(result.binding),
         stats=session_stats(session),
         extras={"component_cap": result.component_cap},
+        status=session.result_status(),
     )
 
 
@@ -397,6 +406,7 @@ def _run_b_init(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
         binding=dict(result.binding),
         stats=session_stats(session),
         extras={"lpr": result.lpr, "reverse": result.reverse},
+        status=session.result_status(),
     )
 
 
@@ -417,6 +427,7 @@ def _run_b_iter(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
         seconds=result.init_seconds + result.iter_seconds,
         binding=dict(result.binding),
         stats=session_stats(session),
+        status=session.result_status(),
     )
 
 
@@ -451,6 +462,7 @@ def _run_pressure(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
         binding=dict(refined.binding),
         stats=session_stats(session),
         extras={"budget": budget, "qp_iterations": refined.iterations},
+        status=session.result_status(),
     )
 
 
@@ -491,6 +503,7 @@ def _run_tabu(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
         binding=dict(result.binding),
         stats=session_stats(session),
         extras={"steps": result.iterations},
+        status=session.result_status(),
     )
 
 
@@ -514,6 +527,7 @@ def _run_annealing(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
             "moves_tried": result.moves_tried,
             "moves_accepted": result.moves_accepted,
         },
+        status=session.result_status(),
     )
 
 
@@ -539,6 +553,7 @@ def _run_branch_and_bound(
             "nodes_explored": result.nodes_explored,
             "proven_optimal": result.proven_optimal,
         },
+        status=session.result_status(),
     )
 
 
@@ -642,6 +657,29 @@ def _run_debug_crash(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
     import os
 
     os._exit(17)
+
+
+def _run_debug_cancel(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    # A cooperative waiter: spins until the process-global cancel token
+    # fires (watchdog SIGTERM, client abort) or ``seconds`` elapse,
+    # then reports how it ended.  With ``heartbeat=False`` it also goes
+    # silent, so watchdog stall detection and the TERM -> cooperative
+    # return path are testable without a real slow search.
+    from ..resilience.anytime import global_token, maybe_heartbeat
+
+    deadline = time.monotonic() + float(config.get("seconds", 30.0))
+    beat = bool(config.get("heartbeat", True))
+    token = global_token()
+    while time.monotonic() < deadline and not token.cancelled:
+        if beat:
+            maybe_heartbeat("debug-cancel")
+        time.sleep(0.02)
+    return StrategyResult(
+        latency=0,
+        transfers=0,
+        seconds=0.0,
+        status="cancelled" if token.cancelled else "complete",
+    )
 
 
 _ITER_STARTS_FIELD = ConfigField(
@@ -787,4 +825,9 @@ register_strategy(Strategy(
 register_strategy(Strategy(
     name="debug-crash", run=_run_debug_crash, hidden=True, strict=False,
     description="failure injection: kills the worker process",
+))
+register_strategy(Strategy(
+    name="debug-cancel", run=_run_debug_cancel, hidden=True, strict=False,
+    description="failure injection: waits for a cooperative cancel "
+    "(optionally without heartbeats, to trip the watchdog)",
 ))

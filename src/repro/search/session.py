@@ -41,6 +41,15 @@ from ..core.evalcache import EvalStats, Evaluator
 from ..datapath.model import Datapath
 from ..dfg.graph import Dfg
 from ..dfg.transform import bind_dfg
+from ..resilience.anytime import (
+    SNAPSHOT_ENV,
+    AnytimeSnapshot,
+    Budget,
+    CancelToken,
+    SearchCancelled,
+    SnapshotWriter,
+    maybe_heartbeat,
+)
 from ..resilience.faults import perturb
 from ..resilience.validate import (
     InvariantViolation,
@@ -100,6 +109,8 @@ class SearchSession:
         deadline_seconds: Optional[float] = None,
         stats: Optional[SearchStats] = None,
         validate: Optional[bool] = None,
+        budget: Optional[Budget] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> None:
         self.dfg = dfg
         self.datapath = datapath
@@ -111,11 +122,32 @@ class SearchSession:
             self.evaluator = None
         self.stats = stats if stats is not None else SearchStats()
         self.rng = random.Random(seed)
+        # One end-to-end Budget: explicit arguments are merged with the
+        # environment's (``REPRO_DEADLINE_AT``, set by service workers
+        # from the client deadline), tightest bound wins, and the
+        # cancel token defaults to the process-global one so a SIGTERM
+        # cooperatively cancels every in-flight session.
+        if budget is None:
+            budget = Budget.from_env()
+        if max_evaluations is None:
+            max_evaluations = budget.max_evaluations
         self.max_evaluations = max_evaluations
+        remaining = budget.remaining_seconds()
+        bounds = [
+            b
+            for b in (deadline_seconds, remaining)
+            if b is not None
+        ]
         self._deadline: Optional[float] = (
-            time.perf_counter() + deadline_seconds
-            if deadline_seconds is not None
-            else None
+            time.perf_counter() + min(bounds) if bounds else None
+        )
+        self._cancel: Optional[CancelToken] = (
+            cancel if cancel is not None else budget.token
+        )
+        self.best_snapshot: Optional[AnytimeSnapshot] = None
+        snapshot_path = os.environ.get(SNAPSHOT_ENV, "").strip()
+        self._snapshot_writer: Optional[SnapshotWriter] = (
+            SnapshotWriter(snapshot_path) if snapshot_path else None
         )
         self.validate = (
             validation_enabled() if validate is None else validate
@@ -258,7 +290,13 @@ class SearchSession:
 
         order = sorted(range(len(bindings)), key=delta)
         results: list = [None] * len(bindings)
+        cancel = self._cancel
         for i in order:
+            if cancel is not None and cancel.cancelled:
+                self.stats.cancelled = True
+                raise SearchCancelled(
+                    "cooperative cancel during scalar batch"
+                )
             results[i] = self.evaluate(bindings[i])
         return results
 
@@ -304,7 +342,12 @@ class SearchSession:
             return None
         try:
             perturb("vectorpath.evaluate")
-            outcomes = vctx.evaluate_batch(missing)
+            outcomes = vctx.evaluate_batch(missing, poll=self._poll_cancel)
+        except SearchCancelled:
+            # A cooperative cancel or in-sweep deadline is not an
+            # engine error: surface it so the descent loop keeps its
+            # best-so-far instead of degrading the session to scalar.
+            raise
         except Exception as exc:  # noqa: BLE001 — degrade, never crash
             self._vector_disabled = True
             self.stats.record_incident(
@@ -366,12 +409,19 @@ class SearchSession:
     # Budgets and telemetry
     # ------------------------------------------------------------------
     def exhausted(self) -> bool:
-        """True when the evaluation budget or deadline has run out.
+        """True when the budget, deadline, or cancel token cut the search.
 
-        Strategies poll this at loop boundaries only — with neither
-        budget configured (the default) it is always False and the
-        search trajectory is untouched.
+        Strategies poll this at loop boundaries only — with no budget
+        configured and no cancellation (the default) it is always False
+        and the search trajectory is untouched.  Each poll also
+        refreshes the worker heartbeat (``REPRO_HEARTBEAT``, throttled,
+        no-op when unset), so round boundaries double as liveness
+        proof for the service watchdog.
         """
+        maybe_heartbeat("round")
+        if self._cancel is not None and self._cancel.cancelled:
+            self.stats.cancelled = True
+            return True
         if (
             self.max_evaluations is not None
             and self.stats.evaluations >= self.max_evaluations
@@ -385,6 +435,78 @@ class SearchSession:
             self.stats.deadline_exceeded = True
             return True
         return False
+
+    def _poll_cancel(self) -> None:
+        """In-sweep cancellation probe (vector engine cycle loop).
+
+        Unlike :meth:`exhausted` this is called *inside* one batch
+        sweep, where "stop" cannot mean "return a result" — it raises
+        :class:`SearchCancelled`, the descent loop catches it, and the
+        session's best-so-far stands.
+        """
+        if self._cancel is not None and self._cancel.cancelled:
+            self.stats.cancelled = True
+            raise SearchCancelled("cooperative cancel during batch sweep")
+        if (
+            self._deadline is not None
+            and time.perf_counter() > self._deadline
+        ):
+            self.stats.deadline_exceeded = True
+            raise SearchCancelled("deadline during batch sweep")
+
+    def result_status(self) -> str:
+        """How this session's search ended: the result-status tag.
+
+        ``cancelled`` when a cooperative cancel cut it, ``deadline``
+        when an evaluation budget or wall-clock deadline did, else
+        ``complete``.  Strategies stamp this onto their
+        ``StrategyResult`` — budget exhaustion is a *tag* on a legal
+        best-so-far result, never an exception.
+        """
+        if self.stats.cancelled:
+            return "cancelled"
+        if self.stats.deadline_exceeded or self.stats.budget_exhausted:
+            return "deadline"
+        return "complete"
+
+    def note_best(
+        self,
+        binding: Mapping[str, int],
+        quality: Sequence[int],
+        out: object,
+    ) -> None:
+        """Refresh the best-so-far snapshot from a committed binding.
+
+        Called by the descent loop at round boundaries (seed + every
+        commit).  The session keeps the best across *all* its descents
+        by ``(latency, transfers)`` — quality vectors from different
+        passes are not mutually comparable, ``(L, M)`` is — and appends
+        each improvement to the checksummed snapshot sidecar when
+        ``REPRO_SNAPSHOT`` names one, so a crash at any point leaves a
+        salvageable last-known-good placement.
+        """
+        latency = int(out.latency)
+        transfers = int(out.num_transfers)
+        prev = self.best_snapshot
+        if prev is not None and (latency, transfers) >= (
+            prev.latency,
+            prev.transfers,
+        ):
+            return
+        snapshot = AnytimeSnapshot(
+            binding=dict(binding),
+            quality=tuple(int(q) for q in quality),
+            latency=latency,
+            transfers=transfers,
+            evaluations=self.stats.evaluations,
+            stats={
+                "cache_hits": self.stats.cache_hits,
+                "cache_misses": self.stats.cache_misses,
+            },
+        )
+        self.best_snapshot = snapshot
+        if self._snapshot_writer is not None:
+            self._snapshot_writer.write(snapshot)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:

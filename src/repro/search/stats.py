@@ -48,6 +48,8 @@ class SearchStats:
             (``"b-init"``, ``"descend:qu"``, ...).
         budget_exhausted: an evaluation budget stopped the search.
         deadline_exceeded: a wall-clock deadline stopped the search.
+        cancelled: a cooperative cancel (SIGTERM, client abort) stopped
+            the search; the result is the legal best-so-far.
         incidents: structured records of caught invariant violations
             and degradations (see :mod:`repro.resilience.validate`);
             empty on a healthy run.
@@ -70,6 +72,7 @@ class SearchStats:
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     budget_exhausted: bool = False
     deadline_exceeded: bool = False
+    cancelled: bool = False
     incidents: List[Dict[str, str]] = field(default_factory=list)
     engine_batches: Dict[str, int] = field(default_factory=dict)
     engine_candidates: Dict[str, int] = field(default_factory=dict)
@@ -132,6 +135,7 @@ class SearchStats:
             },
             "budget_exhausted": self.budget_exhausted,
             "deadline_exceeded": self.deadline_exceeded,
+            "cancelled": self.cancelled,
             "incidents": [dict(i) for i in self.incidents],
             "engines": {
                 name: {

@@ -6,6 +6,13 @@ one connection per call, mirroring the server's ``Connection: close``
 protocol.  Non-2xx responses raise :class:`ServiceError` carrying the
 HTTP status and the server's one-line ``{"error": ...}`` message, so
 CLI surfaces print exactly what the service said.
+
+Overload cooperation: a 429 carries the server's ``Retry-After`` hint
+(surfaced as ``ServiceError.retry_after``), and :meth:`ServiceClient.
+submit` can absorb up to ``retries`` rounds of it — sleeping exactly
+the hinted (bounded) delay, deterministically, no jitter — before the
+error escapes to the caller.  End-to-end deadlines and quota identity
+travel as the ``X-Repro-Deadline`` / ``X-Repro-Client`` headers.
 """
 
 from __future__ import annotations
@@ -17,14 +24,29 @@ from typing import Any, Dict, Iterator, List, Optional
 
 __all__ = ["ServiceError", "ServiceClient"]
 
+#: Upper bound on one Retry-After sleep: a confused (or adversarial)
+#: server must not park the client for minutes.
+MAX_RETRY_AFTER = 10.0
+
 
 class ServiceError(RuntimeError):
-    """A non-2xx response from the service."""
+    """A non-2xx response from the service.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` is the server's backoff hint in seconds (from the
+    429 ``Retry-After`` header / ``retry_after`` body field), None for
+    every other failure.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 class ServiceClient:
@@ -53,17 +75,18 @@ class ServiceClient:
         path: str,
         payload: Optional[Dict[str, Any]] = None,
         timeout: Optional[float] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Any:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=timeout or self.timeout
         )
         try:
             body = None
-            headers = {}
+            request_headers = dict(headers or {})
             if payload is not None:
                 body = json.dumps(payload).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=body, headers=headers)
+                request_headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=request_headers)
             response = conn.getresponse()
             raw = response.read()
             try:
@@ -76,7 +99,16 @@ class ServiceClient:
                     if isinstance(data, dict)
                     else raw.decode("utf-8", "replace").strip()
                 )
-                raise ServiceError(response.status, message)
+                retry_after: Optional[float] = None
+                raw_retry = response.getheader("Retry-After")
+                if raw_retry is None and isinstance(data, dict):
+                    raw_retry = data.get("retry_after")
+                if raw_retry is not None:
+                    try:
+                        retry_after = float(raw_retry)
+                    except (TypeError, ValueError):
+                        retry_after = None
+                raise ServiceError(response.status, message, retry_after)
             return data
         finally:
             conn.close()
@@ -84,9 +116,44 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # API
     # ------------------------------------------------------------------
-    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
-        """POST a job spec; its job snapshot (maybe already terminal)."""
-        return self._request("POST", "/jobs", payload=spec)
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        *,
+        deadline: Optional[float] = None,
+        client: Optional[str] = None,
+        retries: int = 0,
+    ) -> Dict[str, Any]:
+        """POST a job spec; its job snapshot (maybe already terminal).
+
+        Args:
+            spec: the ``repro-bindspec/1`` object.
+            deadline: end-to-end budget in seconds, sent as
+                ``X-Repro-Deadline`` (overrides the spec's key).
+            client: quota identity, sent as ``X-Repro-Client``.
+            retries: rounds of 429 (shed/throttled/full-queue) to
+                absorb by sleeping the server's ``Retry-After`` hint
+                (clamped to :data:`MAX_RETRY_AFTER`) — deterministic,
+                no jitter, so tests and scripted sweeps are
+                reproducible.  Any other error raises immediately.
+        """
+        headers: Dict[str, str] = {}
+        if deadline is not None:
+            headers["X-Repro-Deadline"] = f"{float(deadline):g}"
+        if client is not None:
+            headers["X-Repro-Client"] = client
+        attempt = 0
+        while True:
+            try:
+                return self._request(
+                    "POST", "/jobs", payload=spec, headers=headers
+                )
+            except ServiceError as exc:
+                if exc.status != 429 or attempt >= retries:
+                    raise
+                attempt += 1
+                hint = exc.retry_after if exc.retry_after is not None else 1.0
+                time.sleep(min(max(0.05, hint), MAX_RETRY_AFTER))
 
     def job(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/jobs/{job_id}")

@@ -21,36 +21,73 @@ Life of a request (:meth:`submit`):
    included;
 4. an identical job already **in flight** coalesces onto the existing
    one instead of queueing a duplicate;
-5. otherwise the job is admitted to the bounded priority queue
+5. **admission control** (:class:`~repro.service.overload.
+   AdmissionController`): per-client token buckets throttle abusive
+   submitters, and CoDel-style queue-delay tracking sheds new
+   lowest-priority work under standing overload — both reject with
+   :class:`~repro.service.overload.RateLimited` (HTTP 429 +
+   ``Retry-After``).  A higher-priority arrival under overload instead
+   *displaces* the lowest-priority queued job (terminal ``shed``);
+6. otherwise the job is admitted to the bounded priority queue
    (:class:`~repro.service.queue.JobQueue`; at capacity the submit is
    rejected — backpressure, not buffering) and pumped to an idle
    worker when one frees up.
+
+**Deadlines are end-to-end**: a client deadline (header or spec key)
+starts ticking at admission.  A job still queued when it lapses is
+terminated as ``expired`` by the maintenance tick — before a worker is
+burned on it — and its content-hash leaves the in-flight table so an
+identical resubmit is accepted fresh.  At dispatch the *remaining*
+budget crosses into the worker as ``REPRO_DEADLINE_AT``, where the
+search session turns it into an anytime budget: the worker answers
+with its legal best-so-far binding tagged ``deadline`` rather than
+dying on ``SIGALRM``.  Every dispatch also carries a snapshot-sidecar
+path (``REPRO_SNAPSHOT``); if the worker is killed mid-descent — by
+the pool watchdog or anything else — :meth:`_on_result`'s crash path
+re-validates the last intact snapshot into a ``salvaged`` result
+instead of losing the work.
 
 Completion flows back through :meth:`_on_result` on the pool's
 collector thread: successes are recorded + cached and their latency
 sampled; in-worker failures and worker *crashes* both count toward the
 breaker, retry while budget remains, and quarantine at the threshold.
-Every transition appends a ``repro-service-event/1`` line to the run
-store, which is exactly what ``/jobs/{id}/events`` tails.
+Only ``complete`` results enter the shared result cache — a
+deadline-cut or salvaged partial must not answer a future identical
+submit that has more time.  Every transition appends a
+``repro-service-event/1`` line to the run store, which is exactly what
+``/jobs/{id}/events`` tails.
 
 Threading: one re-entrant lock guards all mutable state; a condition
 on it wakes :meth:`wait` callers on terminal transitions.  Callbacks
-arrive on the collector thread; HTTP handlers call in from the asyncio
-thread via ``run_in_executor``.
+arrive on the collector thread; a maintenance thread owns queue expiry
+and re-pumping; HTTP handlers call in from the asyncio thread via
+``run_in_executor``.
+
+Named fault-injection site: ``queue.expire`` (fires inside the expiry
+path; an injected fault is recorded as an incident and the job still
+expires — expiry is not allowed to wedge the queue).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from ..resilience import faults
+from ..resilience.anytime import (
+    DEADLINE_ENV,
+    SNAPSHOT_ENV,
+    salvage_job_result,
+)
 from ..runner.cache import ResultCache
 from ..runner.jobs import BindJob, JobResult
 from ..runner.store import RunStore
 from .metrics import Metrics
+from .overload import AdmissionController, RateLimited
 from .queue import JobQueue, QueueFull
 from .spec import SpecError, SubmitOptions, job_from_spec
 from .workers import WorkerPool
@@ -78,6 +115,8 @@ class JobRecord:
         "result",
         "attempts",
         "submitted_mono",
+        "deadline_epoch",
+        "expires_mono",
         "shard",
     )
 
@@ -90,6 +129,17 @@ class JobRecord:
         self.result: Optional[JobResult] = None
         self.attempts = 0
         self.submitted_mono = time.monotonic()
+        # End-to-end deadline, stamped at admission on both clocks: the
+        # wall clock crosses process boundaries to workers
+        # (REPRO_DEADLINE_AT), the monotonic clock drives queue expiry.
+        if options.deadline is not None:
+            self.deadline_epoch: Optional[float] = time.time() + options.deadline
+            self.expires_mono: Optional[float] = (
+                self.submitted_mono + options.deadline
+            )
+        else:
+            self.deadline_epoch = None
+            self.expires_mono = None
         # Warm-context affinity is per (DFG, machine), not per job key:
         # the same datapath under different algorithms shares a context.
         self.shard = int(
@@ -108,6 +158,8 @@ class JobRecord:
             "kernel": self.job.kernel,
             "algorithm": self.job.algorithm,
             "priority": self.options.priority,
+            "client": self.options.client,
+            "deadline": self.options.deadline,
             "attempts": self.attempts,
             "result": self.result.to_dict() if self.result is not None else None,
         }
@@ -131,6 +183,18 @@ class BindingService:
             specs that do not carry their own.
         eval_cache_dir: override for the shared eval-outcome store
             (benchmarks use this to measure warm vs. cold tiers).
+        target_delay: acceptable standing queue delay (seconds); queue
+            delays above it for a whole ``overload_interval`` flip the
+            admission controller into shedding mode.
+        overload_interval: CoDel estimator interval (seconds).
+        client_rate: per-client submissions/second quota (token
+            bucket); None disables quotas.
+        client_burst: per-client burst allowance.
+        stall_timeout: seconds a worker may run one job without
+            heartbeat progress before the watchdog escalates
+            (SIGTERM, then SIGKILL after ``term_grace``); None
+            disables the watchdog.
+        term_grace: grace between SIGTERM and SIGKILL (seconds).
     """
 
     def __init__(
@@ -143,6 +207,12 @@ class BindingService:
         max_attempts: int = 2,
         default_timeout: Optional[float] = 60.0,
         eval_cache_dir: Optional[Union[str, Path]] = None,
+        target_delay: float = 0.75,
+        overload_interval: float = 2.0,
+        client_rate: Optional[float] = None,
+        client_burst: float = 10.0,
+        stall_timeout: Optional[float] = 30.0,
+        term_grace: float = 2.0,
     ) -> None:
         self.state_dir = Path(state_dir)
         self.state_dir.mkdir(parents=True, exist_ok=True)
@@ -154,6 +224,13 @@ class BindingService:
         self.default_timeout = default_timeout
         self.metrics = Metrics()
         self.queue = JobQueue(limit=queue_limit)
+        self.admission = AdmissionController(
+            target_delay=target_delay,
+            interval=overload_interval,
+            client_rate=client_rate,
+            client_burst=client_burst,
+        )
+        self.snapshot_dir = self.state_dir / "snapshots"
         self.pool = WorkerPool(
             workers,
             self._on_result,
@@ -161,6 +238,10 @@ class BindingService:
                 "REPRO_EVAL_CACHE": str(evals),
                 "REPRO_WARM_CONTEXTS": "1",
             },
+            heartbeat_dir=self.state_dir / "heartbeats",
+            stall_timeout=stall_timeout,
+            term_grace=term_grace,
+            on_stall=self._on_stall,
         )
         self._lock = threading.RLock()
         self._done = threading.Condition(self._lock)
@@ -172,6 +253,8 @@ class BindingService:
         self._seq = 0
         self._draining = False
         self._started = False
+        self._maint_stop = threading.Event()
+        self._maintenance: Optional[threading.Thread] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -179,6 +262,12 @@ class BindingService:
     def start(self) -> None:
         if not self._started:
             self.pool.start()
+            self._maintenance = threading.Thread(
+                target=self._maintain,
+                name="repro-service-maintenance",
+                daemon=True,
+            )
+            self._maintenance.start()
             self._started = True
 
     def close(self, *, drain: bool = True, timeout: float = 30.0) -> None:
@@ -193,9 +282,23 @@ class BindingService:
                 if idle:
                     break
                 time.sleep(0.02)
+        self._maint_stop.set()
+        if self._maintenance is not None:
+            self._maintenance.join(timeout=2.0)
         if self._started:
             self.pool.shutdown()
         self.store.record_event("shutdown", "", detail={"drained": drain})
+
+    def _maintain(self) -> None:
+        """Maintenance tick: expire lapsed queued jobs, keep pumping.
+
+        Expiry cannot live on the submit/completion paths alone — a
+        deadline lapses silently while nothing else happens, and the
+        whole point is to shed it *before* a worker frees up.
+        """
+        while not self._maint_stop.wait(0.05):
+            self._expire_queued()
+            self._pump()
 
     def __enter__(self) -> "BindingService":
         self.start()
@@ -207,20 +310,49 @@ class BindingService:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, spec: Any) -> Dict[str, Any]:
+    def submit(
+        self,
+        spec: Any,
+        *,
+        deadline: Optional[float] = None,
+        client: Optional[str] = None,
+    ) -> Dict[str, Any]:
         """Admit one job spec; return its job snapshot.
+
+        ``deadline`` / ``client`` (from the ``X-Repro-Deadline`` /
+        ``X-Repro-Client`` headers) override the spec's own keys.
 
         Raises:
             SpecError: invalid spec (HTTP 400 / CLI exit 2).
             QueueFull: backpressure rejection (HTTP 429).
+            RateLimited: shed under overload or client over quota
+                (HTTP 429 with ``Retry-After``).
             ServiceClosed: the service is draining (HTTP 503).
         """
         job, options = job_from_spec(spec)  # SpecError propagates
+        if deadline is not None:
+            if deadline <= 0:
+                raise SpecError(f"deadline must be > 0, got {deadline!r}")
+            options = dataclasses.replace(options, deadline=float(deadline))
+        if client is not None and client.strip():
+            options = dataclasses.replace(options, client=client.strip())
         with self._lock:
             if self._draining:
                 raise ServiceClosed("service is draining; not accepting jobs")
             self.metrics.submitted += 1
             key = job.cache_key()
+
+            # Quotas fire before any per-job work: an over-quota client
+            # must not consume breaker/cache/queue state.
+            now = time.monotonic()
+            try:
+                self.admission.check_quota(options.client, now)
+            except RateLimited:
+                self.metrics.throttled += 1
+                self.store.record_event(
+                    "throttled", "", key=key, detail={"client": options.client}
+                )
+                raise
 
             # Circuit breaker: a persistently failing spec completes
             # instantly as quarantined instead of burning workers.
@@ -280,11 +412,28 @@ class BindingService:
                 self.store.record_event("deduped", live, key=key)
                 return self._jobs[live].snapshot()
 
+            # Standing overload (CoDel verdict on observed queue
+            # delays): shed the arrival — unless it outranks a queued
+            # job, in which case displace that one instead (break the
+            # cheapest promise, keep total admitted work constant).
+            if self.admission.overloaded():
+                displaced = self._displace_for(options.priority)
+                if not displaced:
+                    self.metrics.shed += 1
+                    self.store.record_event(
+                        "shed", "", key=key, detail={"arrival": True}
+                    )
+                    self.admission.check_shed(now)  # raises RateLimited
+
             # Admission under backpressure: a full queue sheds the new
             # submission before any state is published.
             record = self._admit(job, options)
             try:
-                self.queue.push(record.id, options.priority)
+                self.queue.push(
+                    record.id,
+                    options.priority,
+                    expires_at=record.expires_mono,
+                )
             except QueueFull:
                 del self._jobs[record.id]
                 self.metrics.rejected += 1
@@ -294,11 +443,62 @@ class BindingService:
                 "queued",
                 record.id,
                 key=key,
-                detail={"priority": options.priority},
+                detail={
+                    "priority": options.priority,
+                    "deadline": options.deadline,
+                    "client": options.client,
+                },
             )
         self._pump()
         with self._lock:
             return record.snapshot()
+
+    def _displace_for(self, priority: int) -> bool:
+        """Shed the lowest-priority queued job iff ``priority`` beats it.
+
+        Called under the lock while overloaded.  The displaced job
+        terminates as ``shed`` (its key leaves the in-flight table, so
+        a resubmit after the storm is accepted fresh).
+        """
+        lowest = self.queue.evict_lowest()
+        if lowest is None:
+            return False
+        victim_id, victim_priority = lowest
+        if victim_priority >= priority:
+            # The newcomer does not outrank anyone: put the victim
+            # back (force — it was already admitted) and shed the
+            # arrival instead.
+            victim = self._jobs[victim_id]
+            self.queue.push(
+                victim_id,
+                victim_priority,
+                force=True,
+                expires_at=victim.expires_mono,
+            )
+            return False
+        record = self._jobs[victim_id]
+        record.result = JobResult(
+            key=record.key,
+            kernel=record.job.kernel,
+            algorithm=record.job.algorithm,
+            datapath_spec=record.job.datapath_spec,
+            status="shed",
+            error=(
+                f"displaced from the queue under overload by a "
+                f"priority-{priority} arrival"
+            ),
+            attempts=0,
+            worker="admission",
+        )
+        self.metrics.shed += 1
+        self.admission.shed += 1
+        self.store.record(record.job, record.result)
+        self.store.record_event(
+            "shed", record.id, key=record.key,
+            detail={"priority": victim_priority, "displaced_by": priority},
+        )
+        self._finish(record)
+        return True
 
     def _admit(self, job: BindJob, options: SubmitOptions) -> JobRecord:
         self._seq += 1
@@ -312,10 +512,22 @@ class BindingService:
         )
 
     def _finish(self, record: JobRecord) -> None:
-        """Mark terminal, drop in-flight tracking, wake waiters."""
+        """Mark terminal, drop in-flight tracking, wake waiters.
+
+        Dropping the in-flight entry here — for *every* terminal path,
+        expiry and shedding included — is what keeps the content-hash
+        dedup table honest: an identical resubmit after any terminal
+        outcome is admitted fresh instead of coalescing onto a corpse.
+        """
         record.state = "done"
         self._inflight.pop(record.key, None)
         self.metrics.completed += 1
+        try:
+            # The snapshot sidecar has served its purpose (salvage);
+            # don't let a long-lived service accumulate one per job.
+            self._snapshot_path(record).unlink()
+        except OSError:
+            pass
         self._done.notify_all()
 
     # ------------------------------------------------------------------
@@ -347,6 +559,7 @@ class BindingService:
                 "status": "draining" if self._draining else "ok",
                 "workers": self.pool.size,
                 "queue_depth": self.queue.depth,
+                "overloaded": self.admission.overloaded(),
                 "uptime_seconds": time.time() - self.metrics.started_at,
             }
 
@@ -358,6 +571,12 @@ class BindingService:
                 "depth": self.queue.depth,
                 "limit": self.queue.limit,
                 "rejected": self.queue.rejected,
+            }
+            snap["overload"] = {
+                "overloaded": self.admission.overloaded(),
+                "target_delay": self.admission.target_delay,
+                "shed": self.admission.shed,
+                "throttled": self.admission.throttled,
             }
             snap["workers"] = {
                 "size": self.pool.size,
@@ -377,6 +596,55 @@ class BindingService:
     # ------------------------------------------------------------------
     # Dispatch + completion
     # ------------------------------------------------------------------
+    def _expire_queued(self) -> None:
+        """Terminate every queued job whose end-to-end deadline lapsed."""
+        with self._lock:
+            for job_id in self.queue.pop_expired(time.monotonic()):
+                record = self._jobs.get(job_id)
+                if record is not None and record.state == "queued":
+                    self._expire_record(record)
+
+    def _expire_record(self, record: JobRecord) -> None:
+        """One queued job's deadline lapsed before dispatch (lock held).
+
+        The ``queue.expire`` fault site fires here; an injected fault
+        becomes an incident but the job still expires — a failing
+        side-channel must not let dead jobs clog the queue (or, via
+        :meth:`_finish`, poison the in-flight dedup table against
+        identical resubmits).
+        """
+        try:
+            faults.fire("queue.expire")
+        except Exception as exc:
+            self.store.record_incident(
+                "service.queue",
+                "expire-fault",
+                f"{type(exc).__name__}: {exc}",
+                key=record.key,
+            )
+            self.metrics.incidents += 1
+        waited = time.monotonic() - record.submitted_mono
+        record.result = JobResult(
+            key=record.key,
+            kernel=record.job.kernel,
+            algorithm=record.job.algorithm,
+            datapath_spec=record.job.datapath_spec,
+            status="expired",
+            error=(
+                f"end-to-end deadline ({record.options.deadline:g}s) "
+                f"lapsed after {waited:.2f}s in queue"
+            ),
+            attempts=0,
+            worker="queue",
+        )
+        self.metrics.expired += 1
+        self.store.record(record.job, record.result)
+        self.store.record_event(
+            "expired", record.id, key=record.key,
+            detail={"queue_seconds": round(waited, 3)},
+        )
+        self._finish(record)
+
     def _pump(self) -> None:
         """Move queued jobs onto idle workers (callers hold no lock)."""
         with self._lock:
@@ -385,17 +653,52 @@ class BindingService:
                 if job_id is None:
                     return
                 record = self._jobs[job_id]
+                now = time.monotonic()
+                # The pop is the authoritative expiry check: the
+                # maintenance tick is best-effort and a deadline may
+                # lapse between its sweeps.
+                if (
+                    record.expires_mono is not None
+                    and now >= record.expires_mono
+                ):
+                    self._expire_record(record)
+                    continue
+                # Queue delay observed at dispatch is the overload
+                # controller's (and /metrics') sojourn signal.  Retries
+                # re-enter the queue, so later attempts measure their
+                # own wait — sojourn, not lifetime.
+                delay = now - record.submitted_mono
+                if record.attempts == 0:
+                    self.metrics.observe_queue_delay(delay)
+                    self.admission.note_queue_delay(delay, now)
                 timeout = (
                     record.options.timeout
                     if record.options.timeout is not None
                     else self.default_timeout
                 )
+                job_env = {SNAPSHOT_ENV: str(self._snapshot_path(record))}
+                if record.deadline_epoch is not None:
+                    remaining = record.deadline_epoch - time.time()
+                    job_env[DEADLINE_ENV] = repr(record.deadline_epoch)
+                    # The SIGALRM backstop trails the cooperative
+                    # deadline: the session should cut first and
+                    # return its best-so-far, the alarm only catches a
+                    # search that stopped polling.
+                    backstop = max(0.1, remaining) + 2.0
+                    timeout = (
+                        backstop if timeout is None else min(timeout, backstop)
+                    )
                 if not self.pool.dispatch(
-                    job_id, record.job, timeout, record.shard
+                    job_id, record.job, timeout, record.shard, job_env
                 ):
                     # Raced a worker death: requeue and let the next
                     # completion (or restart) pump again.
-                    self.queue.push(job_id, record.options.priority, force=True)
+                    self.queue.push(
+                        job_id,
+                        record.options.priority,
+                        force=True,
+                        expires_at=record.expires_mono,
+                    )
                     return
                 record.state = "running"
                 record.attempts += 1
@@ -405,6 +708,9 @@ class BindingService:
                     key=record.key,
                     detail={"attempt": record.attempts},
                 )
+
+    def _snapshot_path(self, record: JobRecord) -> Path:
+        return self.snapshot_dir / f"{record.id}.jsonl"
 
     def _on_result(
         self,
@@ -416,7 +722,11 @@ class BindingService:
         """Pool collector callback: success, in-worker error, or crash."""
         with self._lock:
             record = self._jobs.get(job_id)
-            if record is None:  # pragma: no cover - defensive
+            if record is None or record.state == "done":
+                # Unknown id, or a watchdog race: the worker posted
+                # its cooperative answer in the window where the kill
+                # already reported a crash (or vice versa).  First
+                # terminal outcome wins.
                 return
             if payload is not None and payload.get("format"):
                 result = JobResult.from_dict(payload)
@@ -437,16 +747,70 @@ class BindingService:
                     key=record.key,
                 )
                 self.metrics.incidents += 1
-                self._register_failure(record, "worker process crashed")
+                if not self._salvage(record, worker):
+                    self._register_failure(record, "worker process crashed")
             else:
                 self._register_failure(
                     record, str(payload.get("error") or "unknown worker error")
                 )
         self._pump()
 
+    def _salvage(self, record: JobRecord, worker: int) -> bool:
+        """Rebuild a crashed job's result from its snapshot sidecar.
+
+        The sidecar's last intact (checksummed) snapshot is replayed
+        through the real scheduler and validated before it is believed
+        — see :func:`repro.resilience.anytime.salvage_job_result`.  A
+        verified snapshot beats a retry: the search had provably made
+        progress, and a job that just killed a worker (watchdog stall,
+        OOM) is likely to do it again.  Returns False when there is
+        nothing trustworthy to salvage (then the normal crash-retry
+        path runs).
+        """
+        result = salvage_job_result(record.job, self._snapshot_path(record))
+        if result is None:
+            return False
+        result.attempts = record.attempts
+        result.worker = f"salvage:{worker}"
+        self.metrics.salvaged += 1
+        self.store.record_incident(
+            "service.watchdog",
+            "salvaged",
+            f"worker {worker} died mid-search; result rebuilt and "
+            "re-validated from the snapshot sidecar "
+            f"(latency {result.latency}, transfers {result.transfers})",
+            key=record.key,
+        )
+        self.metrics.incidents += 1
+        self.store.record_event(
+            "salvaged", record.id, key=record.key,
+            detail={"latency": result.latency, "transfers": result.transfers},
+        )
+        self._complete_ok(record, result)
+        return True
+
+    def _on_stall(self, worker: int, job_id: str, action: str) -> None:
+        """Watchdog escalation observer (collector thread)."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+            key = record.key if record is not None else ""
+            self.store.record_incident(
+                "service.watchdog",
+                f"worker-{action}",
+                f"worker {worker} showed no heartbeat progress on "
+                f"{job_id}; sent {action.upper()}",
+                key=key,
+            )
+            self.metrics.incidents += 1
+            self.store.record_event(
+                f"watchdog-{action}", job_id, key=key,
+                detail={"worker": worker},
+            )
+
     def _complete_ok(self, record: JobRecord, result: JobResult) -> None:
         record.result = result
         self.metrics.ok += 1
+        self.metrics.note_completion(result.completion)
         if result.eval_hits:
             self.metrics.eval_hits += result.eval_hits
         if result.eval_misses:
@@ -456,23 +820,32 @@ class BindingService:
             if engines:
                 self.metrics.record_engines(engines)
         self.store.record(record.job, result)
-        try:
-            self.cache.put(record.key, result.to_dict())
-        except OSError as exc:
-            # Degrade to uncached, exactly like the batch runner.
-            self.store.record_incident(
-                "service.cache",
-                "cache-write-failed",
-                f"{type(exc).__name__}: {exc}",
-                key=record.key,
-            )
-            self.metrics.incidents += 1
+        # Only complete results enter the content-addressed cache: a
+        # deadline/cancelled/salvaged best-so-far is legal but partial,
+        # and the deadline is not part of the cache key — caching it
+        # would answer a future identical submit that has more time.
+        if result.completion == "complete":
+            try:
+                self.cache.put(record.key, result.to_dict())
+            except OSError as exc:
+                # Degrade to uncached, exactly like the batch runner.
+                self.store.record_incident(
+                    "service.cache",
+                    "cache-write-failed",
+                    f"{type(exc).__name__}: {exc}",
+                    key=record.key,
+                )
+                self.metrics.incidents += 1
         self._observe(record)
         self.store.record_event(
             "completed",
             record.id,
             key=record.key,
-            detail={"status": result.status, "latency": result.latency},
+            detail={
+                "status": result.status,
+                "completion": result.completion,
+                "latency": result.latency,
+            },
         )
         self._finish(record)
 

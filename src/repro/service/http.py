@@ -19,22 +19,30 @@ run store tailed through :class:`~repro.service.stream.StoreTailer`,
 so a streaming client observes exactly what the durable JSONL artifact
 records — including nothing at all from torn or corrupted lines.
 
+Request headers steer admission without touching the job's cache key:
+``X-Repro-Deadline`` (end-to-end budget in seconds, overrides the
+spec's ``deadline`` key) and ``X-Repro-Client`` (quota identity,
+overrides ``client``).
+
 Error mapping (the service's exceptions are the protocol):
 
-* :class:`~repro.service.spec.SpecError`      -> 400 ``{"error": ...}``
-* unknown job id                              -> 404
-* :class:`~repro.service.queue.QueueFull`     -> 429
-* :class:`~repro.service.core.ServiceClosed`  -> 503
+* :class:`~repro.service.spec.SpecError`       -> 400 ``{"error": ...}``
+* unknown job id                               -> 404
+* :class:`~repro.service.queue.QueueFull`      -> 429 + ``Retry-After``
+* :class:`~repro.service.overload.RateLimited` -> 429 + ``Retry-After``
+* :class:`~repro.service.core.ServiceClosed`   -> 503
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import math
 from typing import Any, Dict, Optional
 
 from ..runner.store import EVENT_FORMAT
 from .core import BindingService, ServiceClosed
+from .overload import RateLimited
 from .queue import QueueFull
 from .spec import SpecError
 from .stream import StoreTailer
@@ -96,10 +104,10 @@ class ServiceHTTPServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            method, target, body = await self._read_request(reader)
+            method, target, body, headers = await self._read_request(reader)
             if method is None:
                 return
-            await self._route(method, target, body, writer)
+            await self._route(method, target, body, headers, writer)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-request/response
         except Exception as exc:  # never kill the server on one request
@@ -119,7 +127,7 @@ class ServiceHTTPServer:
         request_line = await asyncio.wait_for(reader.readline(), timeout=10.0)
         parts = request_line.decode("latin-1", "replace").split()
         if len(parts) < 2:
-            return None, None, b""
+            return None, None, b"", {}
         method, target = parts[0].upper(), parts[1]
         headers: Dict[str, str] = {}
         while True:
@@ -130,18 +138,24 @@ class ServiceHTTPServer:
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or "0")
         body = await reader.readexactly(length) if length else b""
-        return method, target, body
+        return method, target, body, headers
 
     def _send(
-        self, writer: asyncio.StreamWriter, status: int, payload: Any
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = (json.dumps(payload) + "\n").encode("utf-8")
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n\r\n"
         )
+        for name, value in (extra_headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        head += "Connection: close\r\n\r\n"
         writer.write(head.encode("latin-1") + body)
 
     # ------------------------------------------------------------------
@@ -152,6 +166,7 @@ class ServiceHTTPServer:
         method: str,
         target: str,
         body: bytes,
+        headers: Dict[str, str],
         writer: asyncio.StreamWriter,
     ) -> None:
         path = target.split("?", 1)[0].rstrip("/") or "/"
@@ -160,7 +175,7 @@ class ServiceHTTPServer:
         elif path == "/metrics" and method == "GET":
             self._send(writer, 200, self.service.metrics_snapshot())
         elif path == "/jobs" and method == "POST":
-            self._post_job(body, writer)
+            self._post_job(body, headers, writer)
         elif path == "/jobs" and method == "GET":
             self._send(writer, 200, {"jobs": self.service.jobs()})
         elif path.startswith("/jobs/") and method == "GET":
@@ -181,18 +196,58 @@ class ServiceHTTPServer:
             self._send(writer, 404, {"error": f"no route for {path}"})
         await writer.drain()
 
-    def _post_job(self, body: bytes, writer: asyncio.StreamWriter) -> None:
+    def _post_job(
+        self,
+        body: bytes,
+        headers: Dict[str, str],
+        writer: asyncio.StreamWriter,
+    ) -> None:
         try:
             spec = json.loads(body.decode("utf-8")) if body else None
         except (ValueError, UnicodeDecodeError):
             self._send(writer, 400, {"error": "request body is not valid JSON"})
             return
+        deadline: Optional[float] = None
+        raw_deadline = headers.get("x-repro-deadline", "").strip()
+        if raw_deadline:
+            try:
+                deadline = float(raw_deadline)
+            except ValueError:
+                self._send(
+                    writer,
+                    400,
+                    {
+                        "error": "X-Repro-Deadline expects seconds, got "
+                        f"{raw_deadline!r}"
+                    },
+                )
+                return
+        client = headers.get("x-repro-client", "").strip() or None
         try:
-            snapshot = self.service.submit(spec)
+            snapshot = self.service.submit(
+                spec, deadline=deadline, client=client
+            )
         except SpecError as exc:
             self._send(writer, 400, {"error": str(exc)})
+        except RateLimited as exc:
+            self._send(
+                writer,
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                extra_headers={
+                    "Retry-After": str(max(1, math.ceil(exc.retry_after)))
+                },
+            )
         except QueueFull as exc:
-            self._send(writer, 429, {"error": str(exc)})
+            # Backpressure is also a 429; the queue drains at worker
+            # speed, so one target-delay is an honest hint.
+            retry = max(1, math.ceil(self.service.admission.target_delay))
+            self._send(
+                writer,
+                429,
+                {"error": str(exc), "retry_after": retry},
+                extra_headers={"Retry-After": str(retry)},
+            )
         except ServiceClosed as exc:
             self._send(writer, 503, {"error": str(exc)})
         else:

@@ -57,6 +57,18 @@ class Metrics:
         self.retries = 0
         self.incidents = 0
         self.crashes = 0
+        # Overload-control and degradation counters: queued jobs whose
+        # end-to-end deadline lapsed before dispatch, submissions (or
+        # displaced queue entries) shed under standing overload,
+        # clients throttled by their token bucket, and results rebuilt
+        # from a dead worker's snapshot sidecar.
+        self.expired = 0
+        self.shed = 0
+        self.throttled = 0
+        self.salvaged = 0
+        # Terminal results tallied by their anytime completion tag
+        # (complete / deadline / cancelled / salvaged).
+        self.completions: Dict[str, int] = {}
         # Aggregated evaluation-memo counters from completed results:
         # the cross-worker OutcomeStore tier's effectiveness.
         self.eval_hits = 0
@@ -66,6 +78,7 @@ class Metrics:
         # "candidates": m}, "scalar": ..., "naive": ...}.
         self.engines: Dict[str, Dict[str, int]] = {}
         self._latency: Dict[str, Deque[float]] = {}
+        self._queue_delay: Deque[float] = deque(maxlen=WINDOW)
 
     def record_engines(self, engines: Dict[str, Dict[str, int]]) -> None:
         """Fold one completed result's per-engine batch counters in."""
@@ -75,6 +88,25 @@ class Metrics:
             )
             slot["batches"] += int(counters.get("batches", 0))
             slot["candidates"] += int(counters.get("candidates", 0))
+
+    def note_completion(self, completion: str) -> None:
+        """Tally one terminal result's anytime completion tag."""
+        self.completions[completion] = self.completions.get(completion, 0) + 1
+
+    def observe_queue_delay(self, seconds: float) -> None:
+        """Record one job's admission-to-dispatch queue delay."""
+        self._queue_delay.append(seconds)
+
+    def queue_delay_summary(self) -> Dict[str, float]:
+        """count/mean/p50/p95 of the queue-delay window (the signal
+        both the admission controller and the overload smoke watch)."""
+        samples = list(self._queue_delay)
+        return {
+            "count": len(samples),
+            "mean": sum(samples) / len(samples) if samples else 0.0,
+            "p50": percentile(samples, 50.0),
+            "p95": percentile(samples, 95.0),
+        }
 
     def observe_latency(self, strategy: str, seconds: float) -> None:
         """Record one request's submit-to-terminal latency."""
@@ -111,7 +143,13 @@ class Metrics:
                 "rejected": self.rejected,
                 "retries": self.retries,
                 "crashes": self.crashes,
+                "expired": self.expired,
+                "shed": self.shed,
+                "throttled": self.throttled,
+                "salvaged": self.salvaged,
             },
+            "completions": dict(sorted(self.completions.items())),
+            "queue_delay": self.queue_delay_summary(),
             "incidents": self.incidents,
             "eval_cache": {
                 "hits": self.eval_hits,

@@ -1,0 +1,160 @@
+"""Adaptive admission control: CoDel-style shedding + client quotas.
+
+Under sustained overload a bounded queue alone fails two ways: jobs
+that *are* admitted sit so long their deadlines expire before dispatch
+(work done for nobody), and one aggressive client can starve everyone
+else.  This module holds the service's two admission policies:
+
+* **Queue-delay shedding** (:class:`AdmissionController`) — the
+  controller watches the *standing* queue delay the way CoDel watches
+  sojourn time: transient bursts above the target delay are fine, but
+  once every observed delay over a full ``interval`` stays above
+  ``target_delay`` the queue has a standing backlog that extra
+  arrivals only deepen, so the service sheds new lowest-priority work
+  (429 + ``Retry-After``) until a dispatch sees the delay recover.
+* **Per-client token buckets** (:class:`TokenBucket`) — each client id
+  (the ``X-Repro-Client`` header, ``anonymous`` otherwise) gets a
+  refill-rate/burst budget; an empty bucket throttles that client with
+  an exact ``Retry-After`` without touching anyone else's traffic.
+
+Both reject by raising :class:`RateLimited`, which carries the
+``retry_after`` hint the HTTP layer turns into a header and the client
+honours with bounded deterministic backoff.  Everything here is
+wall-clock-parameterized (``now`` is always passed in) so tests drive
+it without sleeping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["RateLimited", "TokenBucket", "AdmissionController"]
+
+
+class RateLimited(RuntimeError):
+    """The submission was shed or throttled; retry after a delay."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = max(0.0, float(retry_after))
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` cap."""
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"token rate must be > 0, got {rate}")
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self.tokens = self.burst
+        self._last = now
+
+    def take(self, now: float) -> Optional[float]:
+        """Consume one token; ``None`` on success, else retry-after
+        seconds until a token will be available."""
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return None
+        return (1.0 - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """Queue-delay overload detection + per-client quotas.
+
+    Args:
+        target_delay: acceptable standing queue delay, seconds.  Queue
+            delays observed at dispatch feed :meth:`note_queue_delay`;
+            staying above the target for a whole ``interval`` flips the
+            controller into the overloaded state.
+        interval: how long the delay must stay above target before
+            shedding starts (CoDel's estimator interval); absorbs
+            bursts without shedding.
+        client_rate: per-client submissions/second; ``None`` disables
+            quotas entirely.
+        client_burst: per-client burst allowance (bucket capacity).
+    """
+
+    def __init__(
+        self,
+        target_delay: float = 0.75,
+        interval: float = 2.0,
+        client_rate: Optional[float] = None,
+        client_burst: float = 10.0,
+    ) -> None:
+        self.target_delay = float(target_delay)
+        self.interval = float(interval)
+        self.client_rate = client_rate
+        self.client_burst = float(client_burst)
+        self.shed = 0
+        self.throttled = 0
+        self._above_since: Optional[float] = None
+        self._overloaded = False
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    # ------------------------------------------------------------------
+    # Queue-delay shedding
+    # ------------------------------------------------------------------
+    def note_queue_delay(self, delay: float, now: float) -> None:
+        """Feed one observed queue delay (measured at dispatch)."""
+        if delay <= self.target_delay:
+            # One good sojourn resets the estimator — the standing
+            # backlog has drained below target.
+            self._above_since = None
+            self._overloaded = False
+            return
+        if self._above_since is None:
+            self._above_since = now
+        if now - self._above_since >= self.interval:
+            self._overloaded = True
+
+    def overloaded(self) -> bool:
+        """Whether new low-priority work should currently be shed."""
+        return self._overloaded
+
+    def retry_after(self) -> float:
+        """The deterministic backoff hint attached to shed rejections.
+
+        One estimator interval: long enough for the standing backlog
+        to visibly drain (or not), short enough that a client retrying
+        after it lands while capacity is fresh.
+        """
+        return max(self.target_delay, self.interval)
+
+    def check_shed(self, now: float) -> None:
+        """Raise :class:`RateLimited` when overloaded (books the shed)."""
+        if self._overloaded:
+            self.shed += 1
+            raise RateLimited(
+                "service overloaded (standing queue delay above "
+                f"{self.target_delay:.2f}s); retry later",
+                self.retry_after(),
+            )
+
+    # ------------------------------------------------------------------
+    # Per-client quotas
+    # ------------------------------------------------------------------
+    def check_quota(self, client: str, now: float) -> None:
+        """Charge one submission to ``client``'s bucket.
+
+        Raises :class:`RateLimited` with the exact refill time when the
+        bucket is empty; a no-op when quotas are disabled.
+        """
+        if self.client_rate is None:
+            return
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = TokenBucket(
+                self.client_rate, self.client_burst, now
+            )
+        wait = bucket.take(now)
+        if wait is not None:
+            self.throttled += 1
+            raise RateLimited(
+                f"client {client!r} exceeded its submission quota "
+                f"({self.client_rate:g}/s, burst {self.client_burst:g})",
+                wait,
+            )

@@ -10,6 +10,13 @@ the front end needs:
   it raises :class:`QueueFull`, which the HTTP layer maps to ``429``;
   retries of already-admitted jobs re-enter with ``force=True``, so a
   full queue sheds *new* load, never work in flight;
+* **expiry**: an entry may carry an absolute monotonic ``expires_at``;
+  :meth:`pop_expired` removes and returns every lapsed id so the
+  service can terminate them as ``expired`` without burning a worker
+  (deadlines keep ticking while a job queues);
+* **displacement**: :meth:`evict_lowest` removes the lowest-priority,
+  youngest entry — under overload the service sheds that one to make
+  room for a strictly higher-priority arrival;
 * **observability**: ``depth`` and the count of rejected pushes feed
   ``/metrics``.
 
@@ -24,6 +31,9 @@ import heapq
 from typing import List, Optional, Tuple
 
 __all__ = ["QueueFull", "JobQueue"]
+
+#: Heap entry: (-priority, seq, job_id, expires_at_monotonic_or_None).
+_Entry = Tuple[int, int, str, Optional[float]]
 
 
 class QueueFull(RuntimeError):
@@ -47,7 +57,7 @@ class JobQueue:
         self.limit = limit
         self.rejected = 0
         self._seq = 0
-        self._heap: List[Tuple[int, int, str]] = []
+        self._heap: List[_Entry] = []
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -57,21 +67,71 @@ class JobQueue:
         """Entries currently queued (the ``/metrics`` gauge)."""
         return len(self._heap)
 
-    def push(self, job_id: str, priority: int = 0, force: bool = False) -> None:
+    def push(
+        self,
+        job_id: str,
+        priority: int = 0,
+        force: bool = False,
+        expires_at: Optional[float] = None,
+    ) -> None:
         """Enqueue ``job_id``.
 
         Raises :class:`QueueFull` at capacity unless ``force`` (used
         for retries of jobs that were already admitted — backpressure
         rejects new work, not recovery of accepted work).
+        ``expires_at`` is an absolute ``time.monotonic()`` stamp after
+        which the entry is dead weight (see :meth:`pop_expired`).
         """
         if not force and self.limit > 0 and len(self._heap) >= self.limit:
             self.rejected += 1
             raise QueueFull(self.limit)
         self._seq += 1
-        heapq.heappush(self._heap, (-priority, self._seq, job_id))
+        heapq.heappush(self._heap, (-priority, self._seq, job_id, expires_at))
 
     def pop(self) -> Optional[str]:
         """Highest-priority oldest job id, or None when empty."""
         if not self._heap:
             return None
         return heapq.heappop(self._heap)[2]
+
+    def pop_expired(self, now: float) -> List[str]:
+        """Remove and return every entry whose deadline has lapsed.
+
+        O(n) scan + re-heapify — queues are small (bounded by
+        ``limit``) and this runs on the maintenance tick, off the
+        submit path.  Returned ids are in expiry-heap order; the
+        service terminates each as ``expired``.
+        """
+        expired = [
+            e for e in self._heap
+            if e[3] is not None and e[3] <= now
+        ]
+        if not expired:
+            return []
+        self._heap = [
+            e for e in self._heap
+            if e[3] is None or e[3] > now
+        ]
+        heapq.heapify(self._heap)
+        return [e[2] for e in expired]
+
+    def evict_lowest(self) -> Optional[Tuple[str, int]]:
+        """Remove the lowest-priority, youngest entry; ``(id, priority)``.
+
+        Displacement policy for overload: when a higher-priority job
+        arrives while the service is shedding, the cheapest queued
+        promise to break is the one that would have run last anyway.
+        Returns None on an empty queue.
+        """
+        if not self._heap:
+            return None
+        # Lowest priority = max of -priority; tie-break youngest (max seq).
+        idx = max(
+            range(len(self._heap)),
+            key=lambda i: (self._heap[i][0], self._heap[i][1]),
+        )
+        entry = self._heap[idx]
+        self._heap[idx] = self._heap[-1]
+        self._heap.pop()
+        heapq.heapify(self._heap)
+        return entry[2], -entry[0]

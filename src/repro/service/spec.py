@@ -9,7 +9,8 @@ A *spec* is the JSON object a client POSTs to ``/jobs`` (and the one
      "buses": 2, "move_latency": 1,
      "algorithm": "b-iter",
      "config": {"iter_starts": 1},
-     "priority": 0, "timeout": 30.0}
+     "priority": 0, "timeout": 30.0,
+     "deadline": 10.0, "client": "alice"}
 
 :func:`job_from_spec` turns a spec into exactly the
 :class:`~repro.runner.jobs.BindJob` the offline path would build —
@@ -53,6 +54,8 @@ _KNOWN_KEYS = frozenset(
         "config",
         "priority",
         "timeout",
+        "deadline",
+        "client",
     }
 )
 
@@ -73,10 +76,21 @@ class SubmitOptions:
         priority: higher runs sooner; ties drain in submission order.
         timeout: per-request wall-clock budget in seconds, enforced
             with ``SIGALRM`` in the worker (None = the server default).
+        deadline: *end-to-end* budget in seconds, measured from
+            admission: queue wait consumes it, a job still queued when
+            it lapses expires unstarted, and whatever remains at
+            dispatch becomes the search session's anytime budget
+            (``REPRO_DEADLINE_AT``) — the worker returns its legal
+            best-so-far binding tagged ``deadline`` instead of timing
+            out.  The ``X-Repro-Deadline`` header overrides this key.
+        client: quota identity for per-client token buckets (the
+            ``X-Repro-Client`` header overrides; default "anonymous").
     """
 
     priority: int = 0
     timeout: Optional[float] = None
+    deadline: Optional[float] = None
+    client: str = "anonymous"
 
 
 def _require_int(spec: Dict[str, Any], key: str, default: int) -> int:
@@ -149,11 +163,26 @@ def job_from_spec(spec: Any) -> Tuple[BindJob, SubmitOptions]:
         raise SpecError(str(exc)) from exc
 
     priority = _require_int(spec, "priority", 0)
-    timeout = spec.get("timeout")
-    if timeout is not None:
-        if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
-            raise SpecError(f"spec key 'timeout' expects a number, got {timeout!r}")
-        if timeout <= 0:
-            raise SpecError(f"spec key 'timeout' must be > 0, got {timeout!r}")
-        timeout = float(timeout)
-    return job, SubmitOptions(priority=priority, timeout=timeout)
+    timeout = _require_positive_number(spec, "timeout")
+    deadline = _require_positive_number(spec, "deadline")
+    client = spec.get("client", "anonymous")
+    if not isinstance(client, str) or not client:
+        raise SpecError(
+            f"spec key 'client' expects a non-empty string, got {client!r}"
+        )
+    return job, SubmitOptions(
+        priority=priority, timeout=timeout, deadline=deadline, client=client
+    )
+
+
+def _require_positive_number(
+    spec: Dict[str, Any], key: str
+) -> Optional[float]:
+    value = spec.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SpecError(f"spec key {key!r} expects a number, got {value!r}")
+    if value <= 0:
+        raise SpecError(f"spec key {key!r} must be > 0, got {value!r}")
+    return float(value)

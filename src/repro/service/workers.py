@@ -30,6 +30,20 @@ exactly the ways a *service* needs:
   and watches liveness: a worker that dies mid-job is restarted and
   the loss reported upward as a crash (the service decides retry vs.
   quarantine);
+* **anytime plumbing** — each dispatch may carry per-job environment
+  (``REPRO_DEADLINE_AT`` / ``REPRO_SNAPSHOT`` / ``REPRO_HEARTBEAT``)
+  that the worker installs for exactly that job; workers install the
+  cooperative SIGTERM handler (:func:`repro.resilience.anytime.
+  install_cancel_handler`), so a termination request surfaces as a
+  ``cancelled`` best-so-far result, after which the worker exits its
+  loop and the pool restarts it fresh;
+* **watchdog** — with ``stall_timeout`` set, the collector also
+  escalates on workers whose job outlives both its dispatch age and
+  its last heartbeat (file *mtime* — content-independent, so a corrupt
+  heartbeat payload can neither fake nor mask progress): first
+  SIGTERM (cooperative cancel), then after ``term_grace`` SIGKILL.
+  The kill flows through the normal dead-worker reaping, where the
+  service salvages the job's last snapshot;
 * **graceful drain** — shutdown can wait for in-flight jobs, then
   sends each worker a sentinel so it exits its loop cleanly.
 
@@ -45,7 +59,8 @@ import os
 import queue as queue_mod
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..runner.jobs import BindJob
 
@@ -54,24 +69,55 @@ __all__ = ["WorkerPool"]
 #: on_result(job_id, payload_or_None, worker_index, crashed).
 ResultCallback = Callable[[str, Optional[Dict[str, Any]], int, bool], None]
 
+#: on_stall(worker_index, job_id, action) with action "sigterm"|"sigkill".
+StallCallback = Callable[[int, str, str], None]
+
 
 def _service_worker_main(
     index: int, inbox: Any, outbox: Any, env: Dict[str, str]
 ) -> None:
     """Worker loop: env setup, then one job at a time until sentinel."""
     os.environ.update(env)
+    from ..resilience.anytime import (
+        HEARTBEAT_ENV,
+        global_token,
+        install_cancel_handler,
+        reset_global_token,
+        write_heartbeat,
+    )
     from ..runner.executor import attempt_job
 
+    # SIGTERM (watchdog escalation, orchestrator shutdown) becomes a
+    # cooperative cancel: the in-flight session cuts at the next poll
+    # and returns its best-so-far binding tagged "cancelled".
+    install_cancel_handler()
     while True:
         item = inbox.get()
         if item is None:
             break
-        job_id, job, timeout = item
+        job_id, job, timeout, job_env = item
+        job_env = dict(job_env or {})
+        os.environ.update(job_env)
+        heartbeat = job_env.get(HEARTBEAT_ENV)
+        if heartbeat:
+            # First beat at job start: the watchdog measures staleness
+            # from max(dispatch, last beat), so a long schedule-context
+            # build before the first round does not read as a stall.
+            write_heartbeat(heartbeat, f"start:{job_id}")
         try:
             payload = attempt_job(job, timeout).to_dict()
         except BaseException as exc:  # report in-band; the loop survives
             payload = {"error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            for key in job_env:
+                os.environ.pop(key, None)
         outbox.put((index, job_id, payload))
+        if global_token().cancelled:
+            # A termination request arrived mid-job; the payload above
+            # was the cooperative answer.  Exit so the pool replaces
+            # this process with a fresh (uncancelled) one.
+            reset_global_token()
+            break
 
 
 class WorkerPool:
@@ -85,6 +131,16 @@ class WorkerPool:
             ``None`` with ``crashed=True`` on a worker death.
         env: extra environment for workers (the service passes the
             shared eval-cache directory and the warm-context gate).
+        heartbeat_dir: directory for per-worker heartbeat files; when
+            set, every dispatch carries ``REPRO_HEARTBEAT`` pointing at
+            ``worker-<i>.hb`` and the watchdog can judge liveness.
+        stall_timeout: seconds a busy worker may go without progress
+            (max of dispatch time and heartbeat mtime) before the
+            watchdog escalates; None disables the watchdog.
+        term_grace: seconds between the cooperative SIGTERM and the
+            SIGKILL for a worker that ignores it.
+        on_stall: observer called (worker, job_id, action) from the
+            collector thread on each escalation step.
     """
 
     def __init__(
@@ -92,13 +148,22 @@ class WorkerPool:
         size: int,
         on_result: ResultCallback,
         env: Optional[Dict[str, str]] = None,
+        *,
+        heartbeat_dir: Optional[Union[str, Path]] = None,
+        stall_timeout: Optional[float] = None,
+        term_grace: float = 1.0,
+        on_stall: Optional[StallCallback] = None,
     ) -> None:
         if size < 1:
             raise ValueError(f"pool size must be >= 1, got {size}")
         self.size = size
         self.restarts = 0
+        self.stall_timeout = stall_timeout
+        self.term_grace = term_grace
         self._on_result = on_result
+        self._on_stall = on_stall
         self._env = dict(env or {})
+        self._heartbeat_dir = Path(heartbeat_dir) if heartbeat_dir else None
         self._ctx = multiprocessing.get_context()
         self._outbox = self._ctx.Queue()
         self._inboxes = [self._ctx.Queue() for _ in range(size)]
@@ -106,6 +171,8 @@ class WorkerPool:
         self._current: List[Optional[Tuple[str, BindJob, Optional[float]]]] = (
             [None] * size
         )
+        self._dispatched_at: List[float] = [0.0] * size
+        self._termed_at: List[Optional[float]] = [None] * size
         self._lock = threading.Lock()
         self._stopping = False
         self._collector: Optional[threading.Thread] = None
@@ -138,9 +205,11 @@ class WorkerPool:
                 index, job_id, payload = self._outbox.get(timeout=0.2)
             except queue_mod.Empty:
                 self._reap_dead()
+                self._check_stalls()
                 continue
             with self._lock:
                 self._current[index] = None
+                self._termed_at[index] = None
             self._on_result(job_id, payload, index, False)
 
     def _reap_dead(self) -> None:
@@ -154,12 +223,74 @@ class WorkerPool:
                     continue
                 entry = self._current[index]
                 self._current[index] = None
+                self._termed_at[index] = None
                 self.restarts += 1
                 self._spawn(index)
                 if entry is not None:
                     lost.append((entry[0], index))
         for job_id, index in lost:
             self._on_result(job_id, None, index, True)
+
+    # ------------------------------------------------------------------
+    # Watchdog
+    # ------------------------------------------------------------------
+    def heartbeat_path(self, index: int) -> Optional[Path]:
+        """The heartbeat file dispatches point worker ``index`` at."""
+        if self._heartbeat_dir is None:
+            return None
+        return self._heartbeat_dir / f"worker-{index}.hb"
+
+    def _progress_stamp(self, index: int, now: float) -> float:
+        """Latest evidence of progress: dispatch time or heartbeat mtime.
+
+        Liveness judges the file's *mtime*, never its content — a
+        torn or corrupted heartbeat write still proves the process was
+        alive to make it, and a forged payload cannot claim freshness
+        its timestamp does not have.
+        """
+        stamp = self._dispatched_at[index]
+        path = self.heartbeat_path(index)
+        if path is not None:
+            try:
+                # Heartbeats carry wall-clock mtimes; map the file age
+                # onto the monotonic clock the dispatch stamps use.
+                age = time.time() - path.stat().st_mtime
+                stamp = max(stamp, now - max(0.0, age))
+            except OSError:
+                pass
+        return stamp
+
+    def _check_stalls(self) -> None:
+        """SIGTERM, then SIGKILL, workers whose job shows no progress."""
+        if self.stall_timeout is None:
+            return
+        now = time.monotonic()
+        actions: List[Tuple[int, str, str]] = []
+        with self._lock:
+            if self._stopping:
+                return
+            for index, entry in enumerate(self._current):
+                if entry is None:
+                    continue
+                proc = self._procs[index]
+                if proc is None or not proc.is_alive():
+                    continue  # _reap_dead owns dead workers
+                if now - self._progress_stamp(index, now) <= self.stall_timeout:
+                    continue
+                termed = self._termed_at[index]
+                if termed is None:
+                    proc.terminate()
+                    self._termed_at[index] = now
+                    actions.append((index, entry[0], "sigterm"))
+                elif now - termed > self.term_grace:
+                    proc.kill()
+                    # One kill is enough; park the escalation so the
+                    # reap path (which clears this slot) takes over.
+                    self._termed_at[index] = float("inf")
+                    actions.append((index, entry[0], "sigkill"))
+        if self._on_stall is not None:
+            for index, job_id, action in actions:
+                self._on_stall(index, job_id, action)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -180,11 +311,15 @@ class WorkerPool:
         job: BindJob,
         timeout: Optional[float],
         shard_key: int,
+        job_env: Optional[Dict[str, str]] = None,
     ) -> bool:
         """Hand one job to an idle worker; False when all are busy.
 
         ``shard_key % size`` names the preferred (context-warm) worker;
-        any other idle worker is second choice.
+        any other idle worker is second choice.  ``job_env`` is extra
+        environment installed in the worker for this job only (deadline
+        epoch, snapshot sidecar path); the pool adds the heartbeat path
+        when it has a heartbeat directory.
         """
         with self._lock:
             if self._stopping:
@@ -196,8 +331,25 @@ class WorkerPool:
             for index in candidates:
                 proc = self._procs[index]
                 if self._current[index] is None and proc is not None and proc.is_alive():
+                    env = dict(job_env or {})
+                    heartbeat = self.heartbeat_path(index)
+                    if heartbeat is not None:
+                        from ..resilience.anytime import HEARTBEAT_ENV
+
+                        self._heartbeat_dir.mkdir(
+                            parents=True, exist_ok=True
+                        )
+                        # Remove the previous job's stale beat so this
+                        # job starts from its dispatch stamp alone.
+                        try:
+                            heartbeat.unlink()
+                        except OSError:
+                            pass
+                        env[HEARTBEAT_ENV] = str(heartbeat)
                     self._current[index] = (job_id, job, timeout)
-                    self._inboxes[index].put((job_id, job, timeout))
+                    self._dispatched_at[index] = time.monotonic()
+                    self._termed_at[index] = None
+                    self._inboxes[index].put((job_id, job, timeout, env))
                     return True
         return False
 

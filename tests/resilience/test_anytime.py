@@ -1,0 +1,274 @@
+"""Unit tests of the anytime substrate (repro.resilience.anytime).
+
+Budgets, cancel tokens, the checksummed snapshot sidecar, heartbeats,
+and salvage.  The contract under test everywhere: a deadline, cancel,
+or crash never yields a wrong answer — only a legal best-so-far one —
+and a torn or corrupted sidecar tail costs the final snapshot, never
+correctness or byte-stability of what is salvaged.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.driver import bind_initial
+from repro.core.iterative import iterative_improvement
+from repro.datapath.parse import parse_datapath
+from repro.kernels import load_kernel
+from repro.resilience.anytime import (
+    DEADLINE_ENV,
+    HEARTBEAT_FORMAT,
+    SNAPSHOT_FORMAT,
+    AnytimeSnapshot,
+    Budget,
+    CancelToken,
+    CountdownToken,
+    SnapshotWriter,
+    global_token,
+    load_last_snapshot,
+    read_heartbeat,
+    reset_global_token,
+    salvage_job_result,
+    write_heartbeat,
+)
+from repro.resilience.faults import injected
+from repro.runner import BindJob
+
+
+class TestCancelTokens:
+    def test_cancel_is_sticky_and_observable(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.cancel()
+        assert token.cancelled
+        assert token.cancelled  # idempotent
+
+    def test_countdown_token_cuts_after_exactly_k_polls(self):
+        token = CountdownToken(3)
+        assert [token.cancelled for _ in range(6)] == [
+            False, False, False, True, True, True,
+        ]
+
+    def test_countdown_zero_cuts_on_first_poll(self):
+        assert CountdownToken(0).cancelled is True
+
+    def test_reset_global_token_replaces_a_cancelled_one(self):
+        first = global_token()
+        first.cancel()
+        fresh = reset_global_token()
+        assert fresh is global_token()
+        assert fresh is not first
+        assert not fresh.cancelled
+
+
+class TestBudget:
+    def test_from_env_reads_absolute_deadline(self, monkeypatch):
+        monkeypatch.setenv(DEADLINE_ENV, "12345.5")
+        budget = Budget.from_env()
+        assert budget.deadline_epoch == 12345.5
+        assert budget.token is global_token()
+
+    def test_malformed_deadline_is_unbounded(self, monkeypatch):
+        monkeypatch.setenv(DEADLINE_ENV, "soon")
+        budget = Budget.from_env()
+        assert budget.deadline_epoch is None
+        assert budget.remaining_seconds() is None
+
+    def test_remaining_seconds_tracks_wall_clock(self):
+        budget = Budget(deadline_epoch=time.time() + 100.0)
+        remaining = budget.remaining_seconds()
+        assert 90.0 < remaining <= 100.0
+        assert Budget(deadline_epoch=time.time() - 5.0).remaining_seconds() < 0
+
+
+def _snapshot(latency=10, transfers=4, evaluations=7):
+    return AnytimeSnapshot(
+        binding={"op1": 0, "op2": 1},
+        quality=(latency, transfers),
+        latency=latency,
+        transfers=transfers,
+        evaluations=evaluations,
+        stats={"cache_hits": 3, "cache_misses": 4},
+    )
+
+
+class TestSnapshotSidecar:
+    def test_round_trip_through_dict(self):
+        snap = _snapshot()
+        clone = AnytimeSnapshot.from_dict(snap.to_dict())
+        assert clone == snap
+        assert snap.to_dict()["format"] == SNAPSHOT_FORMAT
+
+    def test_unknown_format_is_rejected(self):
+        data = _snapshot().to_dict()
+        data["format"] = "repro-snapshot/999"
+        with pytest.raises(ValueError):
+            AnytimeSnapshot.from_dict(data)
+
+    def test_load_returns_last_intact_line(self, tmp_path):
+        path = tmp_path / "side.jsonl"
+        writer = SnapshotWriter(path)
+        for latency in (12, 11, 10):
+            assert writer.write(_snapshot(latency=latency))
+        assert writer.written == 3
+        assert load_last_snapshot(path).latency == 10
+
+    def test_missing_or_empty_sidecar_is_none(self, tmp_path):
+        assert load_last_snapshot(tmp_path / "absent.jsonl") is None
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert load_last_snapshot(empty) is None
+
+    def test_truncation_at_every_offset_never_yields_garbage(self, tmp_path):
+        """A crash can tear the file anywhere; salvage must degrade to
+        the previous intact snapshot, never to a wrong or partial one."""
+        path = tmp_path / "side.jsonl"
+        writer = SnapshotWriter(path)
+        first, second = _snapshot(latency=12), _snapshot(latency=10)
+        writer.write(first)
+        data = path.read_bytes()
+        writer.write(second)
+        full = path.read_bytes()
+        torn = tmp_path / "torn.jsonl"
+        for cut in range(len(full) + 1):
+            torn.write_bytes(full[:cut])
+            loaded = load_last_snapshot(torn)
+            if cut < len(data):
+                assert loaded is None or loaded == first
+            elif cut < len(full) - 1:
+                assert loaded == first  # second line damaged -> skipped
+            else:
+                # Only the trailing newline (or nothing) is missing:
+                # the second line's JSON + checksum are intact.
+                assert loaded == second
+
+    def test_corrupt_tail_falls_back_to_previous_line(self, tmp_path):
+        path = tmp_path / "side.jsonl"
+        writer = SnapshotWriter(path)
+        writer.write(_snapshot(latency=12))
+        with injected({"anytime.snapshot": {"kind": "corrupt", "hits": [0]}}):
+            writer.write(_snapshot(latency=10))
+        assert load_last_snapshot(path).latency == 12
+
+    def test_torn_write_fault_is_survived(self, tmp_path):
+        path = tmp_path / "side.jsonl"
+        writer = SnapshotWriter(path)
+        writer.write(_snapshot(latency=12))
+        with injected({"anytime.snapshot": {"kind": "torn", "hits": [0]}}):
+            writer.write(_snapshot(latency=10))
+        assert load_last_snapshot(path).latency == 12
+
+
+class TestHeartbeat:
+    def test_write_then_read_round_trips(self, tmp_path):
+        path = tmp_path / "worker.hb"
+        assert write_heartbeat(path, "round")
+        payload = read_heartbeat(path)
+        assert payload["format"] == HEARTBEAT_FORMAT
+        assert payload["pid"] == os.getpid()
+        assert payload["note"] == "round"
+
+    def test_corrupt_payload_still_advances_mtime(self, tmp_path):
+        """Liveness is the file's mtime: a scribbled payload reads as
+        None but must never mask progress from the watchdog."""
+        path = tmp_path / "worker.hb"
+        write_heartbeat(path, "first")
+        before = path.stat().st_mtime_ns
+        time.sleep(0.01)
+        with injected({"watchdog.heartbeat": {"kind": "corrupt", "hits": [0]}}):
+            assert write_heartbeat(path, "second")
+        assert read_heartbeat(path) is None
+        assert path.stat().st_mtime_ns > before
+
+
+def _job():
+    return BindJob.make(
+        load_kernel("ewf"),
+        parse_datapath("|2,1|1,1|", num_buses=2, move_latency=1),
+        "b-iter",
+    )
+
+
+@pytest.fixture(scope="module")
+def improved():
+    """One real descent result: a legal binding with known (L, M)."""
+    job = _job()
+    dfg, dp = job.dfg(), job.datapath()
+    seed = bind_initial(dfg, dp)
+    result = iterative_improvement(dfg, dp, seed.binding)
+    return job, result
+
+
+class TestSalvage:
+    def _write(self, path, result, latency=None, transfers=None):
+        snap = AnytimeSnapshot(
+            binding=dict(result.binding),
+            quality=(result.schedule.latency, result.schedule.num_transfers),
+            latency=latency if latency is not None else result.schedule.latency,
+            transfers=(
+                transfers
+                if transfers is not None
+                else result.schedule.num_transfers
+            ),
+            evaluations=result.evaluations,
+        )
+        SnapshotWriter(path).write(snap)
+        return snap
+
+    def test_salvage_replays_snapshot_exactly(self, improved, tmp_path):
+        job, result = improved
+        path = tmp_path / "side.jsonl"
+        snap = self._write(path, result)
+        salvaged = salvage_job_result(job, path)
+        assert salvaged is not None
+        assert salvaged.status == "ok"
+        assert salvaged.completion == "salvaged"
+        assert salvaged.latency == snap.latency
+        assert salvaged.transfers == snap.transfers
+        assert salvaged.extras["binding"] == dict(result.binding)
+        assert salvaged.extras["salvaged"] is True
+
+    def test_salvage_is_byte_stable(self, improved, tmp_path):
+        """The acceptance bar: salvaging the same sidecar twice — and
+        salvaging a sidecar whose tail was torn off — produces the
+        byte-identical result."""
+        job, result = improved
+        intact = tmp_path / "intact.jsonl"
+        self._write(intact, result)
+        torn = tmp_path / "torn.jsonl"
+        self._write(torn, result)
+        with injected({"anytime.snapshot": {"kind": "torn", "hits": [0]}}):
+            # A damaged later line that salvage must skip over.
+            self._write(torn, result, latency=1, transfers=0)
+        dumps = [
+            json.dumps(salvage_job_result(job, p).to_dict(), sort_keys=True)
+            for p in (intact, intact, torn)
+        ]
+        assert dumps[0] == dumps[1] == dumps[2]
+
+    def test_mismatched_snapshot_is_rejected(self, improved, tmp_path):
+        """A snapshot whose recorded (L, M) does not replay is a lie —
+        salvage must refuse it rather than publish a wrong result."""
+        job, result = improved
+        path = tmp_path / "lying.jsonl"
+        self._write(path, result, latency=result.schedule.latency - 1)
+        assert salvage_job_result(job, path) is None
+
+    def test_unknown_operations_are_rejected(self, improved, tmp_path):
+        job, result = improved
+        snap = AnytimeSnapshot(
+            binding={"not-an-op": 0},
+            quality=(1,),
+            latency=1,
+            transfers=0,
+            evaluations=1,
+        )
+        path = tmp_path / "bogus.jsonl"
+        SnapshotWriter(path).write(snap)
+        assert salvage_job_result(job, path) is None
+
+    def test_no_sidecar_means_no_salvage(self, improved, tmp_path):
+        job, _ = improved
+        assert salvage_job_result(job, tmp_path / "never-written.jsonl") is None

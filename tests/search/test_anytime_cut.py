@@ -1,0 +1,140 @@
+"""Property: any deadline cut point yields a legal best-so-far result.
+
+Hypothesis drives a :class:`CountdownToken` — "the deadline fell at
+poll *k*" — through B-ITER on a Table 1 cell, on both the scalar and
+the vectorized batch engine.  Whatever ``k`` is, the cut search must
+return a binding that
+
+* is *legal*: its replayed schedule passes the checked invariants of
+  :func:`repro.resilience.validate.validate_outcome`;
+* sits on a *monotone prefix* of the uncut trajectory: the committed
+  quality history is exactly the first ``n`` entries of the fault-free
+  run's history (deterministic descent, cut at a round boundary);
+* keeps an honest status tag: ``cancelled`` when the token cut it,
+  and when the run actually finished, bit-identical numbers to the
+  uncut run under the ``complete`` tag;
+* leaves a strictly-improving snapshot sidecar whose last line
+  replays to exactly its recorded ``(L, M)`` — what salvage trusts.
+"""
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.driver import bind_initial
+from repro.core.iterative import iterative_improvement
+from repro.datapath.parse import parse_datapath
+from repro.kernels import load_kernel
+from repro.resilience.anytime import SNAPSHOT_ENV, CountdownToken
+from repro.resilience.validate import validate_outcome
+from repro.search import SearchSession
+
+GATES = ("0", "1")  # scalar engine / vectorized batch engine
+
+#: gate -> (seed binding, uncut history, uncut (L, M)); computed once
+#: per engine so every hypothesis example compares against one truth.
+_TRUTH = {}
+
+
+def _cell():
+    return load_kernel("arf"), parse_datapath("|1,1|1,1|", num_buses=2)
+
+
+def _with_gate(gate, fn):
+    previous = os.environ.get("REPRO_VECTORPATH")
+    os.environ["REPRO_VECTORPATH"] = gate
+    try:
+        return fn()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_VECTORPATH", None)
+        else:
+            os.environ["REPRO_VECTORPATH"] = previous
+
+
+def _truth(gate):
+    if gate not in _TRUTH:
+        def run():
+            dfg, dp = _cell()
+            seed = bind_initial(dfg, dp).binding
+            full = iterative_improvement(dfg, dp, seed)
+            return (
+                seed,
+                tuple(full.history),
+                (full.schedule.latency, full.schedule.num_transfers),
+            )
+
+        _TRUTH[gate] = _with_gate(gate, run)
+    return _TRUTH[gate]
+
+
+@pytest.mark.parametrize("gate", GATES)
+class TestDeadlineCutAnywhere:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(polls=st.integers(min_value=0, max_value=80))
+    def test_cut_at_any_poll_is_legal_and_a_prefix(self, gate, polls):
+        seed, full_history, full_lm = _truth(gate)
+        dfg, dp = _cell()
+        sidecar = Path(tempfile.mkdtemp()) / "side.jsonl"
+
+        def run():
+            os.environ[SNAPSHOT_ENV] = str(sidecar)
+            try:
+                token = CountdownToken(polls)
+                session = SearchSession(dfg, dp, fast=True, cancel=token)
+                result = iterative_improvement(dfg, dp, seed, session=session)
+                return token, session, result
+            finally:
+                os.environ.pop(SNAPSHOT_ENV, None)
+
+        token, session, result = _with_gate(gate, run)
+
+        # Legal: the returned binding's schedule passes every checked
+        # invariant, whatever round the cut landed on.
+        validate_outcome(dfg, dp, result.binding, result.schedule)
+
+        # Monotone prefix: the committed-quality trajectory of the cut
+        # run is exactly the head of the uncut run's trajectory.
+        assert result.history == full_history[: len(result.history)]
+
+        # Honest tag: the session reports how the search ended, and a
+        # run the token never cut reproduces the uncut numbers exactly.
+        status = session.result_status()
+        assert status in ("cancelled", "complete")
+        if status == "complete":
+            assert result.history == full_history
+            assert (
+                result.schedule.latency,
+                result.schedule.num_transfers,
+            ) == full_lm
+        else:
+            assert token.cancelled
+
+        # The best-so-far snapshot replays to its recorded (L, M) —
+        # the exact check salvage performs before trusting a sidecar.
+        snap = session.best_snapshot
+        assert snap is not None
+        replay = session.schedule(snap.binding)
+        assert (replay.latency, replay.num_transfers) == (
+            snap.latency,
+            snap.transfers,
+        )
+
+        # The sidecar trajectory is strictly improving in (L, M): each
+        # appended line dominated every line before it.
+        trail = [
+            (line["latency"], line["transfers"])
+            for line in map(json.loads, sidecar.read_text().splitlines())
+        ]
+        assert trail, "at least the seed snapshot is always written"
+        assert (snap.latency, snap.transfers) == trail[-1]
+        assert all(b < a for a, b in zip(trail, trail[1:]))

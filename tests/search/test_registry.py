@@ -111,7 +111,12 @@ class TestParity:
         hidden = set(strategy_names(include_hidden=True)) - set(
             strategy_names()
         )
-        assert hidden == {"debug-fail", "debug-sleep", "debug-crash"}
+        assert hidden == {
+            "debug-fail",
+            "debug-sleep",
+            "debug-crash",
+            "debug-cancel",
+        }
         for name in hidden:
             assert not get_strategy(name).strict
 

@@ -86,3 +86,58 @@ class TestServiceChaos:
         result = snapshot["result"]
         assert result["status"] == "ok"
         assert result["latency"] == baseline.latency
+
+    def test_crash_mid_descent_salvages_bit_identically(self, tmp_path):
+        """Chaos site ``anytime.snapshot``: the worker dies while
+        appending its second best-so-far snapshot.  The service must
+        salvage the first intact line into a ``salvaged`` result whose
+        binding replays to *exactly* the recorded (L, M) — the
+        acceptance bar for anytime degradation."""
+        from repro.dfg.transform import bind_dfg
+        from repro.schedule.list_scheduler import list_schedule
+
+        with injected(
+            {"anytime.snapshot": {"kind": "crash", "hits": [1]}},
+            dir=tmp_path / "faults",
+        ):
+            with BindingService(
+                tmp_path / "svc", workers=1, default_timeout=60.0
+            ) as service:
+                spec = dict(_spec(), algorithm="b-iter")
+                snapshot = service.submit(spec)
+                snapshot = service.wait(snapshot["id"], timeout=120.0)
+                metrics = service.metrics_snapshot()
+
+        result = snapshot["result"]
+        assert result["status"] == "ok"
+        assert result["completion"] == "salvaged"
+        assert result["extras"]["salvaged"] is True
+        assert metrics["jobs"]["crashes"] == 1
+        assert metrics["jobs"]["salvaged"] == 1
+        assert metrics["completions"]["salvaged"] == 1
+
+        # Bit-identical replay: schedule the salvaged binding from
+        # scratch on the reference engine.
+        dfg = load_kernel("ewf")
+        dp = parse_datapath("|2,1|1,1|", num_buses=2, move_latency=1)
+        schedule = list_schedule(
+            bind_dfg(dfg, result["extras"]["binding"], interconnect=dp.interconnect),
+            dp,
+        )
+        assert schedule.latency == result["latency"]
+        assert schedule.num_transfers == result["transfers"]
+
+    def test_corrupt_heartbeats_are_harmless(self, baseline, tmp_path):
+        """Chaos site ``watchdog.heartbeat``: scribbled heartbeat
+        payloads must neither fail the job nor confuse the watchdog
+        (liveness is mtime) — the result stays bit-identical."""
+        snapshot, metrics = _run_under_faults(
+            tmp_path,
+            {"watchdog.heartbeat": {"kind": "corrupt", "hits": [0, 1, 2, 3]}},
+        )
+        result = snapshot["result"]
+        assert result["status"] == "ok"
+        assert result["completion"] == "complete"
+        assert result["latency"] == baseline.latency
+        assert result["transfers"] == baseline.transfers
+        assert metrics["jobs"]["crashes"] == 0

@@ -9,6 +9,7 @@ import asyncio
 import http.client
 import json
 import threading
+import time
 
 import pytest
 
@@ -191,3 +192,91 @@ class TestEventStream:
         with pytest.raises(ServiceError) as excinfo:
             list(served.client.events("job-9999"))
         assert excinfo.value.status == 404
+
+
+class TestOverloadProtocol:
+    def test_quota_maps_to_429_with_retry_after(self, tmp_path):
+        """A throttled client gets 429, the machine-readable hint in
+        both the ``Retry-After`` header and the body, and the quota is
+        charged per client identity."""
+        box = _Served(tmp_path, client_rate=0.01, client_burst=1.0)
+        try:
+            box.client.submit(_spec(), client="alice")
+            with pytest.raises(ServiceError) as excinfo:
+                box.client.submit(
+                    _spec("debug-sleep", config={"seconds": 0.0}),
+                    client="alice",
+                )
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after is not None
+            assert excinfo.value.retry_after >= 1
+            assert "quota" in excinfo.value.message
+            # A different identity is untouched.
+            box.client.submit(_spec(), client="bob")
+            metrics = box.client.metrics()
+            assert metrics["jobs"]["throttled"] == 1
+        finally:
+            box.close()
+
+    def test_client_retries_honour_retry_after(self, tmp_path):
+        """Satellite: ``submit(retries=N)`` absorbs a 429 by sleeping
+        the server's hint — deterministic bounded backoff — and then
+        succeeds."""
+        box = _Served(tmp_path, client_rate=2.0, client_burst=1.0)
+        try:
+            box.client.submit(_spec(), client="carol")
+            t0 = time.monotonic()
+            snapshot = box.client.submit(
+                _spec("debug-sleep", config={"seconds": 0.0}),
+                client="carol",
+                retries=3,
+            )
+            elapsed = time.monotonic() - t0
+            assert snapshot["id"]
+            # The bucket refills at 2/s: one ~0.5s hint round-trip,
+            # bounded well below MAX_RETRY_AFTER.
+            assert 0.3 <= elapsed < 10.0
+        finally:
+            box.close()
+
+    def test_retries_exhausted_raises_the_429(self, tmp_path):
+        box = _Served(tmp_path, client_rate=0.01, client_burst=1.0)
+        try:
+            box.client.submit(_spec(), client="dave")
+            with pytest.raises(ServiceError) as excinfo:
+                box.client.submit(
+                    _spec("debug-sleep", config={"seconds": 0.0}),
+                    client="dave",
+                    retries=0,
+                )
+            assert excinfo.value.status == 429
+        finally:
+            box.close()
+
+    def test_malformed_deadline_header_maps_to_400(self, served):
+        with pytest.raises(ServiceError) as excinfo:
+            served.client._request(
+                "POST",
+                "/jobs",
+                payload=_spec(),
+                headers={"X-Repro-Deadline": "soon"},
+            )
+        assert excinfo.value.status == 400
+        assert "X-Repro-Deadline" in excinfo.value.message
+
+    def test_deadline_and_client_ride_the_headers(self, served):
+        snapshot = served.client.submit(
+            _spec(), deadline=120.0, client="erin"
+        )
+        done = served.client.wait(snapshot["id"], timeout=120.0)
+        assert done["deadline"] == 120.0
+        assert done["client"] == "erin"
+        assert done["result"]["status"] == "ok"
+        assert done["result"]["completion"] == "complete"
+
+    def test_health_reports_overload_state(self, served):
+        health = served.client.healthz()
+        assert health["overloaded"] is False
+        metrics = served.client.metrics()
+        assert metrics["overload"]["overloaded"] is False
+        assert "p95" in metrics["queue_delay"]

@@ -1,0 +1,297 @@
+"""Overload control, queue expiry, displacement, and the watchdog.
+
+The admission-control units (token bucket, CoDel-style verdict, queue
+expiry/eviction) run on injected clocks — no sleeps, no flakiness.
+The service-level tests use the hidden debug strategies to make real
+time behave: ``debug-sleep`` occupies a worker, ``debug-cancel``
+(heartbeat off) goes silent so the watchdog fires, and its SIGTERM
+surfaces as a cooperative ``cancelled`` result.
+"""
+
+import time
+
+import pytest
+
+from repro.resilience.faults import injected
+from repro.service import BindingService
+from repro.service.overload import AdmissionController, RateLimited, TokenBucket
+from repro.service.queue import JobQueue
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal_with_exact_wait(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0, now=0.0)
+        assert bucket.take(0.0) is None
+        assert bucket.take(0.0) is None
+        wait = bucket.take(0.0)
+        assert wait == pytest.approx(1.0)
+
+    def test_refill_restores_capacity(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0, now=0.0)
+        assert bucket.take(0.0) is None
+        assert bucket.take(0.0) is not None
+        assert bucket.take(0.6) is None  # 0.6s * 2/s = 1.2 tokens back
+
+    def test_refill_never_exceeds_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0, now=0.0)
+        for _ in range(2):
+            assert bucket.take(100.0) is None
+        assert bucket.take(100.0) is not None
+
+
+class TestAdmissionController:
+    def test_short_spikes_do_not_trip_overload(self):
+        ctl = AdmissionController(target_delay=0.5, interval=2.0)
+        ctl.note_queue_delay(3.0, now=10.0)
+        ctl.note_queue_delay(3.0, now=11.9)  # above, but < interval
+        assert not ctl.overloaded()
+
+    def test_standing_delay_trips_and_one_good_sojourn_resets(self):
+        ctl = AdmissionController(target_delay=0.5, interval=2.0)
+        ctl.note_queue_delay(3.0, now=10.0)
+        ctl.note_queue_delay(3.0, now=12.5)
+        assert ctl.overloaded()
+        ctl.note_queue_delay(0.1, now=13.0)  # one good sojourn
+        assert not ctl.overloaded()
+
+    def test_check_shed_raises_with_retry_hint(self):
+        ctl = AdmissionController(target_delay=0.5, interval=2.0)
+        ctl.check_shed(now=0.0)  # not overloaded: a no-op
+        ctl.note_queue_delay(3.0, now=10.0)
+        ctl.note_queue_delay(3.0, now=12.5)
+        with pytest.raises(RateLimited) as err:
+            ctl.check_shed(now=13.0)
+        assert err.value.retry_after >= ctl.target_delay
+        assert ctl.shed == 1
+
+    def test_quota_is_per_client(self):
+        ctl = AdmissionController(client_rate=1.0, client_burst=1.0)
+        ctl.check_quota("alice", now=0.0)
+        with pytest.raises(RateLimited) as err:
+            ctl.check_quota("alice", now=0.0)
+        assert err.value.retry_after > 0
+        ctl.check_quota("bob", now=0.0)  # a fresh bucket
+        ctl.check_quota("alice", now=2.0)  # refilled
+
+    def test_no_rate_means_no_quota(self):
+        ctl = AdmissionController(client_rate=None)
+        for _ in range(100):
+            ctl.check_quota("anyone", now=0.0)
+
+
+class TestQueueExpiryAndEviction:
+    def test_pop_expired_removes_only_lapsed_entries(self):
+        queue = JobQueue()
+        queue.push("a", 0, expires_at=10.0)
+        queue.push("b", 0, expires_at=50.0)
+        queue.push("c", 0)  # no deadline
+        assert queue.pop_expired(now=20.0) == ["a"]
+        assert queue.pop_expired(now=20.0) == []
+        assert queue.depth == 2
+        assert queue.pop() == "b"
+        assert queue.pop() == "c"
+
+    def test_evict_lowest_takes_lowest_priority_youngest(self):
+        queue = JobQueue()
+        queue.push("high", 5)
+        queue.push("low-old", 1)
+        queue.push("low-new", 1)
+        assert queue.evict_lowest() == ("low-new", 1)
+        assert queue.evict_lowest() == ("low-old", 1)
+        assert queue.evict_lowest() == ("high", 5)
+        assert queue.evict_lowest() is None
+        # The heap invariant survives the mid-heap removal.
+        queue.push("x", 0)
+        assert queue.pop() == "x"
+
+
+def _sleep_spec(seconds, tag=0):
+    return {
+        "kernel": "ewf",
+        "datapath": "|2,1|1,1|",
+        "algorithm": "debug-sleep",
+        "config": {"seconds": seconds},
+        "priority": tag,
+    }
+
+
+def _binit_spec(**extra):
+    spec = {"kernel": "ewf", "datapath": "|2,1|1,1|", "algorithm": "b-init"}
+    spec.update(extra)
+    return spec
+
+
+class TestQueueDeadlines:
+    def test_expired_job_does_not_poison_dedup(self, tmp_path):
+        """Satellite: a job that dies of old age *in the queue* must
+        release its content-hash in-flight slot — an identical resubmit
+        is admitted fresh and completes."""
+        with BindingService(
+            tmp_path / "svc", workers=1, default_timeout=60.0
+        ) as service:
+            # Occupy the only worker so the next job queues.
+            service.submit(_sleep_spec(1.2))
+            first = service.submit(_binit_spec(), deadline=0.3)
+            assert first["state"] != "done" or first["status"] == "expired"
+            done = service.wait(first["id"], timeout=10.0)
+            assert done["result"]["status"] == "expired"
+            assert "deadline" in done["result"]["error"]
+
+            second = service.submit(_binit_spec())
+            assert second["id"] != first["id"]
+            done = service.wait(second["id"], timeout=30.0)
+            assert done["result"]["status"] == "ok"
+            assert done["result"]["completion"] == "complete"
+
+            metrics = service.metrics_snapshot()
+            assert metrics["jobs"]["expired"] == 1
+            assert metrics["completions"].get("complete", 0) >= 1
+
+    def test_expiry_fault_still_expires_and_records_incident(self, tmp_path):
+        """Chaos site ``queue.expire``: an injected error inside the
+        expiry path becomes an incident; the job still expires and an
+        identical resubmit is still accepted."""
+        with injected(
+            {"queue.expire": {"kind": "error", "hits": [0]}},
+            dir=tmp_path / "faults",
+        ):
+            with BindingService(
+                tmp_path / "svc", workers=1, default_timeout=60.0
+            ) as service:
+                service.submit(_sleep_spec(1.2))
+                doomed = service.submit(_binit_spec(), deadline=0.3)
+                done = service.wait(doomed["id"], timeout=10.0)
+                assert done["result"]["status"] == "expired"
+                again = service.submit(_binit_spec())
+                assert again["id"] != doomed["id"]
+                done = service.wait(again["id"], timeout=30.0)
+                assert done["result"]["status"] == "ok"
+                metrics = service.metrics_snapshot()
+                assert metrics["incidents"] >= 1
+
+
+class TestDisplacement:
+    def test_overload_sheds_lowest_and_admits_higher_priority(self, tmp_path):
+        service = BindingService(
+            tmp_path / "svc", workers=1, default_timeout=60.0
+        )
+        service.start()
+        try:
+            # Occupy the worker, then queue a low-priority victim.
+            # (Distinct sleep durations = distinct content-hash keys;
+            # identical specs would coalesce in dedup before admission
+            # control ever saw them.)
+            service.submit(_sleep_spec(1.5, tag=0))
+            victim = service.submit(_sleep_spec(0.11, tag=1))
+            # Trip the CoDel verdict directly: standing queue delay.
+            now = time.monotonic()
+            service.admission.note_queue_delay(5.0, now - 10.0)
+            service.admission.note_queue_delay(5.0, now)
+            assert service.admission.overloaded()
+
+            # A higher-priority arrival displaces the queued victim...
+            vip = service.submit(_sleep_spec(0.12, tag=5))
+            shed = service.status(victim["id"])
+            assert shed["state"] == "done"
+            assert shed["result"]["status"] == "shed"
+            assert service.status(vip["id"])["state"] != "done"
+
+            # ...while an equal-or-lower one is shed with a hint.
+            with pytest.raises(RateLimited) as err:
+                service.submit(_sleep_spec(0.2, tag=1))
+            assert err.value.retry_after > 0
+
+            metrics = service.metrics_snapshot()
+            assert metrics["jobs"]["shed"] >= 2
+            assert metrics["overload"]["overloaded"] is True
+        finally:
+            service.close(drain=False)
+
+    def test_shed_victim_does_not_poison_dedup(self, tmp_path):
+        service = BindingService(
+            tmp_path / "svc", workers=1, default_timeout=60.0
+        )
+        service.start()
+        try:
+            service.submit(_sleep_spec(1.5, tag=0))
+            victim = service.submit(_sleep_spec(0.1, tag=1))
+            now = time.monotonic()
+            service.admission.note_queue_delay(5.0, now - 10.0)
+            service.admission.note_queue_delay(5.0, now)
+            service.submit(_sleep_spec(0.12, tag=5))  # displaces victim
+            assert service.status(victim["id"])["result"]["status"] == "shed"
+            # Recovery: once the verdict clears, the same spec re-enters.
+            service.admission.note_queue_delay(0.0, time.monotonic())
+            again = service.submit(_sleep_spec(0.1, tag=1))
+            assert again["id"] != victim["id"]
+            assert service.status(again["id"])["state"] != "done"
+        finally:
+            service.close(drain=False)
+
+
+def _cancel_spec(seconds, heartbeat):
+    return {
+        "kernel": "ewf",
+        "datapath": "|2,1|1,1|",
+        "algorithm": "debug-cancel",
+        "config": {"seconds": seconds, "heartbeat": heartbeat},
+    }
+
+
+class TestWatchdog:
+    def test_sigterm_surfaces_as_cooperative_cancelled_result(self, tmp_path):
+        """A silent worker draws a SIGTERM; the strategy honours the
+        global cancel token and returns tagged ``cancelled`` — a
+        degraded result, not a crash."""
+        with BindingService(
+            tmp_path / "svc",
+            workers=1,
+            default_timeout=60.0,
+            stall_timeout=0.5,
+            term_grace=5.0,
+        ) as service:
+            snapshot = service.submit(_cancel_spec(30.0, heartbeat=False))
+            done = service.wait(snapshot["id"], timeout=20.0)
+            assert done["result"]["status"] == "ok"
+            assert done["result"]["completion"] == "cancelled"
+            metrics = service.metrics_snapshot()
+            assert metrics["jobs"]["crashes"] == 0
+            assert metrics["incidents"] >= 1
+
+    def test_heartbeating_job_is_left_alone(self, tmp_path):
+        """Round-boundary heartbeats are liveness: a slow-but-alive
+        job must never be terminated by the watchdog."""
+        with BindingService(
+            tmp_path / "svc",
+            workers=1,
+            default_timeout=60.0,
+            stall_timeout=0.6,
+            term_grace=0.5,
+        ) as service:
+            snapshot = service.submit(_cancel_spec(1.5, heartbeat=True))
+            done = service.wait(snapshot["id"], timeout=20.0)
+            assert done["result"]["status"] == "ok"
+            assert done["result"]["completion"] == "complete"
+            metrics = service.metrics_snapshot()
+            assert metrics["jobs"]["crashes"] == 0
+            assert metrics["incidents"] == 0
+
+    def test_unresponsive_worker_is_killed_and_reaped(self, tmp_path):
+        """``debug-sleep`` ignores SIGTERM (no token polling): the
+        watchdog escalates to SIGKILL, the pool reaps and restarts the
+        worker, and with no snapshot to salvage the job fails."""
+        with BindingService(
+            tmp_path / "svc",
+            workers=1,
+            default_timeout=60.0,
+            max_attempts=1,
+            stall_timeout=0.4,
+            term_grace=0.4,
+        ) as service:
+            snapshot = service.submit(_sleep_spec(30.0))
+            done = service.wait(snapshot["id"], timeout=20.0)
+            assert done["result"]["status"] == "failed"
+            metrics = service.metrics_snapshot()
+            assert metrics["jobs"]["crashes"] >= 1
+            assert metrics["workers"]["restarts"] >= 1
+            assert metrics["jobs"]["salvaged"] == 0
