@@ -1,10 +1,18 @@
 """Shared helpers for the benchmark harness.
 
 Every benchmark regenerates one row (or one algorithm cell) of the
-paper's tables.  Timing comes from pytest-benchmark; the binding-quality
-results (``L/M`` and the improvement over PCC) are attached to each
-benchmark's ``extra_info`` so they appear in ``--benchmark-json`` dumps
-and the saved ``.benchmarks`` data.
+paper's tables.  Strategy calls dispatch through the registry
+(:func:`repro.search.registry.run_strategy`) — the same entry point the
+runner, the CLI, and the service use — so a benchmark cell measures
+exactly the configuration a ``repro sweep`` job would.  Multi-cell
+aggregates are declared as :class:`repro.tune.SweepSpec` grids
+(:func:`grid` / :func:`run_grid`) instead of hand-rolled loops over the
+core modules.
+
+Timing comes from pytest-benchmark; the binding-quality results
+(``L/M`` and the improvement over PCC) are attached to each benchmark's
+``extra_info`` so they appear in ``--benchmark-json`` dumps and the
+saved ``.benchmarks`` data.
 
 Slow cells (B-ITER on the 96-op DCT-DIT-2) run with
 ``benchmark.pedantic(rounds=1)`` — the paper's own numbers are
@@ -13,12 +21,15 @@ single-run CPU times as well.
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
+
 import pytest
 
-from repro.baselines.pcc import pcc_bind
-from repro.core.driver import bind, bind_initial
 from repro.datapath.parse import parse_datapath
 from repro.kernels.registry import load_kernel
+from repro.search.registry import run_strategy
+from repro.tune import SweepSpec, run_sweep
 
 # Cache kernels once per session: building them is cheap but the
 # benchmark harness asks for the same ones hundreds of times.
@@ -31,45 +42,119 @@ def kernel(name):
     return _KERNEL_CACHE[name]
 
 
-def bench_pcc(benchmark, kernel_name, spec, num_buses=2, move_latency=1):
+def datapath(spec, num_buses=2, move_latency=1):
+    return parse_datapath(spec, num_buses=num_buses, move_latency=move_latency)
+
+
+def bench_cell(
+    benchmark,
+    strategy,
+    kernel_name,
+    spec,
+    num_buses=2,
+    move_latency=1,
+    **config,
+):
+    """Benchmark one (strategy, kernel, machine) cell via the registry."""
     dfg = kernel(kernel_name)
-    dp = parse_datapath(spec, num_buses=num_buses, move_latency=move_latency)
+    dp = datapath(spec, num_buses=num_buses, move_latency=move_latency)
     result = benchmark.pedantic(
-        lambda: pcc_bind(dfg, dp), rounds=1, iterations=1
+        lambda: run_strategy(strategy, dfg, dp, **config),
+        rounds=1,
+        iterations=1,
     )
     benchmark.extra_info["L"] = result.latency
-    benchmark.extra_info["M"] = result.num_transfers
+    benchmark.extra_info["M"] = result.transfers
     benchmark.extra_info["cell"] = f"{kernel_name} {spec}"
     return result
 
 
-def bench_b_init(benchmark, kernel_name, spec, num_buses=2, move_latency=1):
-    dfg = kernel(kernel_name)
-    dp = parse_datapath(spec, num_buses=num_buses, move_latency=move_latency)
-    result = benchmark.pedantic(
-        lambda: bind_initial(dfg, dp), rounds=1, iterations=1
-    )
-    benchmark.extra_info["L"] = result.latency
-    benchmark.extra_info["M"] = result.num_transfers
-    benchmark.extra_info["cell"] = f"{kernel_name} {spec}"
-    return result
+# PCC reference points, memoized per machine: every table's improvement
+# column compares against the same baseline numbers.
+_PCC_CACHE = {}
 
 
-def bench_b_iter(benchmark, kernel_name, spec, num_buses=2, move_latency=1):
-    dfg = kernel(kernel_name)
-    dp = parse_datapath(spec, num_buses=num_buses, move_latency=move_latency)
-    result = benchmark.pedantic(
-        lambda: bind(dfg, dp), rounds=1, iterations=1
-    )
-    benchmark.extra_info["L"] = result.latency
-    benchmark.extra_info["M"] = result.num_transfers
-    benchmark.extra_info["cell"] = f"{kernel_name} {spec}"
-    return result
+def pcc_reference(kernel_name, spec, num_buses=2, move_latency=1):
+    """Memoized PCC ``(L, M)`` for the improvement columns."""
+    key = (kernel_name, spec, num_buses, move_latency)
+    if key not in _PCC_CACHE:
+        result = run_strategy(
+            "pcc",
+            kernel(kernel_name),
+            datapath(spec, num_buses=num_buses, move_latency=move_latency),
+        )
+        _PCC_CACHE[key] = (result.latency, result.transfers)
+    return _PCC_CACHE[key]
 
 
-def assert_row_shape(pcc_result, init_result, iter_result):
-    """The reproduction's headline invariants for one table row:
-    B-ITER can only match or beat its B-INIT starting points, and it
-    never loses to PCC (the paper's Table 1 property)."""
-    assert iter_result.latency <= init_result.latency
-    assert iter_result.latency <= pcc_result.latency
+def grid(**data):
+    """Declare a multi-cell benchmark grid in the ``repro.tune`` grammar."""
+    return SweepSpec.from_dict(data)
+
+
+def run_grid(spec):
+    """Execute a grid in-process; returns ``{label: {cell: (L, M)}}``."""
+    results = run_sweep(spec)
+    stride = len(spec.variants)
+    out = {v.label: {} for v in spec.variants}
+    for i, (kernel_name, machine) in enumerate(spec.cells):
+        cell = f"{kernel_name} {machine.spec}"
+        chunk = results[i * stride : (i + 1) * stride]
+        for variant, result in zip(spec.variants, chunk):
+            assert result.ok, (
+                f"{variant.label} failed on {cell}: {result.error}"
+            )
+            out[variant.label][cell] = (result.latency, result.transfers)
+    return out
+
+
+@contextmanager
+def fastpath_gate(enabled):
+    """Force the fast/naive engine choice for registry-built sessions."""
+    prior = os.environ.get("REPRO_FASTPATH")
+    os.environ["REPRO_FASTPATH"] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if prior is None:
+            del os.environ["REPRO_FASTPATH"]
+        else:
+            os.environ["REPRO_FASTPATH"] = prior
+
+
+def table1_tests(kernel_name, l_cp):
+    """The three Table 1 cell benchmarks for one kernel.
+
+    Bind the results as module globals::
+
+        test_pcc, test_b_init, test_b_iter = table1_tests("ewf", l_cp=14)
+    """
+    from repro.datapath.library import TABLE1_CONFIGS
+
+    specs = TABLE1_CONFIGS[kernel_name]
+
+    @pytest.mark.parametrize("spec", specs)
+    @pytest.mark.benchmark(group=f"table1-{kernel_name}-pcc")
+    def test_pcc(benchmark, spec):
+        result = bench_cell(benchmark, "pcc", kernel_name, spec)
+        assert result.latency >= l_cp
+
+    @pytest.mark.parametrize("spec", specs)
+    @pytest.mark.benchmark(group=f"table1-{kernel_name}-b-init")
+    def test_b_init(benchmark, spec):
+        result = bench_cell(benchmark, "b-init", kernel_name, spec)
+        assert result.latency >= l_cp
+
+    @pytest.mark.parametrize("spec", specs)
+    @pytest.mark.benchmark(group=f"table1-{kernel_name}-b-iter")
+    def test_b_iter(benchmark, spec):
+        result = bench_cell(benchmark, "b-iter", kernel_name, spec)
+        pcc_l, _ = pcc_reference(kernel_name, spec)
+        benchmark.extra_info["pcc_L"] = pcc_l
+        benchmark.extra_info["dL%"] = round(
+            100 * (pcc_l - result.latency) / pcc_l, 1
+        )
+        # the paper's headline property: B-ITER never loses to PCC
+        assert result.latency <= pcc_l
+
+    return test_pcc, test_b_init, test_b_iter

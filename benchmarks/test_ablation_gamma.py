@@ -3,16 +3,14 @@
 The paper: "better results are obtained when the data transfer penalty
 is given just a slightly larger priority over the serialization
 penalties" — alpha = beta = 1.0, gamma = 1.1.  This ablation sweeps
-gamma across {0.5, 1.0, 1.1, 2.0, 4.0} over several kernels and records
-the average latency per setting.
+gamma across {0.5, 1.0, 1.1, 2.0, 4.0} over several kernels — one
+``repro.tune`` grid per setting, dispatched through the registry — and
+records the average latency per setting.
 """
 
 import pytest
 
-from _helpers import kernel
-from repro.core.cost import CostParams
-from repro.core.driver import bind_initial
-from repro.datapath.parse import parse_datapath
+from _helpers import grid, run_grid
 
 GAMMAS = (0.5, 1.0, 1.1, 2.0, 4.0)
 CASES = [
@@ -26,21 +24,20 @@ CASES = [
 @pytest.mark.parametrize("gamma", GAMMAS)
 @pytest.mark.benchmark(group="ablation-gamma")
 def test_gamma_sweep(benchmark, gamma):
-    params = CostParams(gamma=gamma)
+    gamma_grid = grid(
+        cells=[list(case) for case in CASES],
+        strategies=[{"name": "b-init", "config": {"gamma": gamma}}],
+    )
+    label = f"b-init[gamma={gamma}]"
 
-    def run_all():
-        out = {}
-        for kernel_name, spec in CASES:
-            dfg = kernel(kernel_name)
-            dp = parse_datapath(spec, num_buses=2)
-            result = bind_initial(dfg, dp, params=params)
-            out[f"{kernel_name} {spec}"] = (result.latency, result.num_transfers)
-        return out
-
-    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: run_grid(gamma_grid)[label], rounds=1, iterations=1
+    )
     total_latency = sum(l for l, _ in results.values())
     total_moves = sum(m for _, m in results.values())
     benchmark.extra_info["gamma"] = gamma
     benchmark.extra_info["total_L"] = total_latency
     benchmark.extra_info["total_M"] = total_moves
-    benchmark.extra_info["cells"] = {k: f"{l}/{m}" for k, (l, m) in results.items()}
+    benchmark.extra_info["cells"] = {
+        k: f"{l}/{m}" for k, (l, m) in results.items()
+    }

@@ -1,17 +1,16 @@
 """Ablation A2 (paper Section 3.1.3): stretching the load-profile latency.
 
-B-INIT run only at ``L_PR = L_CP`` versus the driver's stretched sweep.
-The paper: "an increased profile latency L_PR > L_CP frequently leads to
-a better binding" when the achievable latency exceeds the critical path
-(i.e. on resource-constrained machines).
+B-INIT run only at ``L_PR = L_CP`` versus the default stretched sweep,
+both dispatched through the registry (``lpr`` config knob).  The paper:
+"an increased profile latency L_PR > L_CP frequently leads to a better
+binding" when the achievable latency exceeds the critical path (i.e. on
+resource-constrained machines).
 """
 
 import pytest
 
-from _helpers import kernel
-from repro.core.driver import bind_initial, default_lpr_values
-from repro.datapath.parse import parse_datapath
-from repro.dfg.timing import critical_path_length
+from _helpers import datapath, kernel
+from repro.search.registry import run_strategy
 
 CASES = [
     ("dct-dit-2", "|1,1|1,1|1,1|1,1|"),
@@ -24,24 +23,21 @@ CASES = [
 @pytest.mark.benchmark(group="ablation-lpr")
 def test_lpr_sweep_vs_fixed(benchmark, kernel_name, spec):
     dfg = kernel(kernel_name)
-    dp = parse_datapath(spec, num_buses=2)
-    lcp = critical_path_length(dfg, dp.registry)
+    dp = datapath(spec)
 
     def run_both():
-        fixed = bind_initial(dfg, dp, lpr_values=[lcp])
-        swept = bind_initial(dfg, dp)
+        fixed = run_strategy("b-init", dfg, dp, lpr="lcp")
+        swept = run_strategy("b-init", dfg, dp)
         return fixed, swept
 
     fixed, swept = benchmark.pedantic(run_both, rounds=1, iterations=1)
     benchmark.extra_info["cell"] = f"{kernel_name} {spec}"
     benchmark.extra_info["L_fixed"] = fixed.latency
     benchmark.extra_info["L_swept"] = swept.latency
-    benchmark.extra_info["sweep_points"] = len(
-        default_lpr_values(dfg, dp)
-    )
+    benchmark.extra_info["sweep_points"] = swept.extras["sweep_points"]
     # The sweep includes the fixed point, so it can only match or win.
     assert swept.latency <= fixed.latency
-    assert (swept.latency, swept.num_transfers) <= (
+    assert (swept.latency, swept.transfers) <= (
         fixed.latency,
-        fixed.num_transfers,
+        fixed.transfers,
     )

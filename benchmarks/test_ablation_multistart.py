@@ -1,6 +1,8 @@
 """Ablation A6: B-ITER multi-start and the share-aware transfer cost.
 
-Two reproduction-level design choices not spelled out in the paper:
+Two reproduction-level design choices not spelled out in the paper,
+both now plain registry config (``iter_starts`` on ``b-iter``,
+``share_aware`` on ``b-init``):
 
 * ``iter_starts`` — seeding B-ITER from every distinct B-INIT sweep
   candidate versus only the best one (the minimal reading of "the best
@@ -14,10 +16,8 @@ Two reproduction-level design choices not spelled out in the paper:
 
 import pytest
 
-from _helpers import kernel
-from repro.core.cost import CostParams
-from repro.core.driver import bind, bind_initial
-from repro.datapath.parse import parse_datapath
+from _helpers import bench_cell, datapath, grid, kernel, run_grid
+from repro.search.registry import run_strategy
 
 CASES = [
     ("dct-dit", "|2,1|2,1|1,1|"),
@@ -30,51 +30,48 @@ CASES = [
 @pytest.mark.parametrize("starts", [1, None])
 @pytest.mark.benchmark(group="ablation-multistart")
 def test_iter_starts(benchmark, kernel_name, spec, starts):
-    dfg = kernel(kernel_name)
-    dp = parse_datapath(spec, num_buses=2)
-    result = benchmark.pedantic(
-        lambda: bind(dfg, dp, iter_starts=starts), rounds=1, iterations=1
+    bench_cell(
+        benchmark, "b-iter", kernel_name, spec, iter_starts=starts
     )
     label = "all" if starts is None else str(starts)
     benchmark.extra_info["cell"] = f"{kernel_name} {spec} starts={label}"
-    benchmark.extra_info["L"] = result.latency
-    benchmark.extra_info["M"] = result.num_transfers
 
 
 @pytest.mark.parametrize("kernel_name,spec", CASES)
 @pytest.mark.benchmark(group="ablation-multistart-shape")
 def test_multistart_never_worse(benchmark, kernel_name, spec):
     dfg = kernel(kernel_name)
-    dp = parse_datapath(spec, num_buses=2)
+    dp = datapath(spec)
 
     def run_both():
-        return bind(dfg, dp, iter_starts=1), bind(dfg, dp)
+        return (
+            run_strategy("b-iter", dfg, dp, iter_starts=1),
+            run_strategy("b-iter", dfg, dp),
+        )
 
     single, multi = benchmark.pedantic(run_both, rounds=1, iterations=1)
     benchmark.extra_info["L_single"] = single.latency
     benchmark.extra_info["L_multi"] = multi.latency
-    assert (multi.latency, multi.num_transfers) <= (
+    assert (multi.latency, multi.transfers) <= (
         single.latency,
-        single.num_transfers,
+        single.transfers,
     )
 
 
 @pytest.mark.parametrize("share_aware", [True, False])
 @pytest.mark.benchmark(group="ablation-share-aware")
 def test_share_aware_trcost(benchmark, share_aware):
-    params = CostParams(share_aware=share_aware)
+    share_grid = grid(
+        cells=[list(case) for case in CASES],
+        strategies=[
+            {"name": "b-init", "config": {"share_aware": share_aware}},
+        ],
+    )
+    label = f"b-init[share_aware={share_aware}]"
 
-    def run_all():
-        total_latency = total_moves = 0
-        for kernel_name, spec in CASES:
-            dfg = kernel(kernel_name)
-            dp = parse_datapath(spec, num_buses=2)
-            result = bind_initial(dfg, dp, params=params)
-            total_latency += result.latency
-            total_moves += result.num_transfers
-        return total_latency, total_moves
-
-    latency, moves = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: run_grid(share_grid)[label], rounds=1, iterations=1
+    )
     benchmark.extra_info["share_aware"] = share_aware
-    benchmark.extra_info["total_L"] = latency
-    benchmark.extra_info["total_M"] = moves
+    benchmark.extra_info["total_L"] = sum(l for l, _ in results.values())
+    benchmark.extra_info["total_M"] = sum(m for _, m in results.values())

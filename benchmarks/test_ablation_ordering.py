@@ -3,41 +3,32 @@
 The paper argues the three-component (alap, mobility, consumers)
 lexicographic order beats the "simplest" pure-mobility order because the
 level-oriented traversal is what makes load estimation possible.  This
-ablation runs B-INIT with the paper's order, the mobility order, and a
-seeded random order on two kernels and records the latency each achieves.
+ablation runs B-INIT — through the registry, with the order declared as
+plain ``ordering``/``ordering_seed`` config — at the critical-path
+L_PR in the forward direction, the single sweep point the original
+ablation measured.
 """
 
 import pytest
 
-from _helpers import kernel
-from repro.core.initial import initial_binding
-from repro.core.ordering import make_ordering
-from repro.datapath.parse import parse_datapath
-from repro.dfg.transform import bind_dfg
-from repro.schedule.list_scheduler import list_schedule
+from _helpers import bench_cell, grid, run_grid
 
 CASES = [("dct-dit", "|2,1|2,1|1,1|"), ("ewf", "|2,1|1,1|")]
 ORDERINGS = ("paper", "mobility", "random")
 
-
-def _run(kernel_name, spec, ordering_name):
-    dfg = kernel(kernel_name)
-    dp = parse_datapath(spec, num_buses=2)
-    ordering = make_ordering(ordering_name, seed=1)
-    result = initial_binding(dfg, dp, ordering=ordering)
-    return list_schedule(bind_dfg(dfg, result.binding), dp)
+# One sweep point (L_PR = L_CP, forward) isolates the ordering effect.
+BASE = {"lpr": "lcp", "direction": "forward", "ordering_seed": 1}
 
 
 @pytest.mark.parametrize("kernel_name,spec", CASES)
 @pytest.mark.parametrize("ordering_name", ORDERINGS)
 @pytest.mark.benchmark(group="ablation-ordering")
 def test_ordering_ablation(benchmark, kernel_name, spec, ordering_name):
-    schedule = benchmark.pedantic(
-        _run, args=(kernel_name, spec, ordering_name), rounds=1, iterations=1
+    bench_cell(
+        benchmark, "b-init", kernel_name, spec,
+        ordering=ordering_name, **BASE,
     )
     benchmark.extra_info["cell"] = f"{kernel_name} {spec} {ordering_name}"
-    benchmark.extra_info["L"] = schedule.latency
-    benchmark.extra_info["M"] = schedule.num_transfers
 
 
 @pytest.mark.parametrize("kernel_name,spec", CASES)
@@ -45,9 +36,21 @@ def test_ordering_ablation(benchmark, kernel_name, spec, ordering_name):
 def test_paper_order_not_worse_than_alternatives(benchmark, kernel_name, spec):
     """The design-choice claim: the paper's order matches or beats the
     weaker orders (allowing one cycle of noise for the random order)."""
+    cell_grid = grid(
+        cells=[[kernel_name, spec]],
+        strategies=[
+            {"name": "b-init", "config": BASE,
+             "grid": {"ordering": list(ORDERINGS)}},
+        ],
+    )
+    cell = f"{kernel_name} {spec}"
 
     def run_all():
-        return {o: _run(kernel_name, spec, o).latency for o in ORDERINGS}
+        per_label = run_grid(cell_grid)
+        return {
+            o: per_label[f"b-init[ordering={o}]"][cell][0]
+            for o in ORDERINGS
+        }
 
     latencies = benchmark.pedantic(run_all, rounds=1, iterations=1)
     benchmark.extra_info.update(latencies)

@@ -1,6 +1,7 @@
 """Ablation A4 (paper Section 3.2, Figure 6): the B-ITER quality function.
 
-Compares four B-ITER drivers from the same initial binding:
+Compares four B-ITER quality specs from the best single initial
+binding (``iter_starts=1`` through the registry):
 
 * ``latency`` — the naive function the paper shows plateauing;
 * ``qm`` — (L, moves), better but still plateau-prone;
@@ -13,10 +14,7 @@ trailing Q_M pass trims transfers without giving latency back.
 
 import pytest
 
-from _helpers import kernel
-from repro.core.driver import bind_initial
-from repro.core.iterative import iterative_improvement
-from repro.datapath.parse import parse_datapath
+from _helpers import bench_cell, grid, run_grid
 
 CASES = [
     ("dct-dit", "|1,1|1,1|1,1|1,1|"),
@@ -29,40 +27,38 @@ QUALITIES = ("latency", "qm", "qu", "qu+qm")
 @pytest.mark.parametrize("quality", QUALITIES)
 @pytest.mark.benchmark(group="ablation-quality")
 def test_quality_function(benchmark, kernel_name, spec, quality):
-    dfg = kernel(kernel_name)
-    dp = parse_datapath(spec, num_buses=2)
-    init = bind_initial(dfg, dp)
-
-    result = benchmark.pedantic(
-        lambda: iterative_improvement(dfg, dp, init.binding, quality=quality),
-        rounds=1,
-        iterations=1,
+    result = bench_cell(
+        benchmark, "b-iter", kernel_name, spec,
+        iter_starts=1, quality=quality,
     )
     benchmark.extra_info["cell"] = f"{kernel_name} {spec} {quality}"
-    benchmark.extra_info["L"] = result.schedule.latency
-    benchmark.extra_info["M"] = result.schedule.num_transfers
-    benchmark.extra_info["iterations"] = result.iterations
+    benchmark.extra_info["iterations"] = result.extras["iterations"]
 
 
 @pytest.mark.benchmark(group="ablation-quality-shape")
 def test_qu_then_qm_dominates_in_aggregate(benchmark):
     """The paper's claim is about overall behaviour, not every single
     instance (hill climbs land in different basins per start), so the
-    shape assertion aggregates latency across the ablation cases:
-    the production ``qu+qm`` pipeline must match or beat the naive
-    latency cost and the pure variants in total."""
+    shape assertion aggregates latency across the ablation cases —
+    declared as one ``repro.tune`` grid over the quality spec: the
+    production ``qu+qm`` pipeline must match or beat the naive latency
+    cost and the pure variants in total."""
+    quality_grid = grid(
+        cells=[list(case) for case in CASES],
+        strategies=[
+            {"name": "b-iter", "config": {"iter_starts": 1},
+             "grid": {"quality": list(QUALITIES)}},
+        ],
+    )
 
     def run_all():
-        totals = {q: 0 for q in QUALITIES}
-        moves = {q: 0 for q in QUALITIES}
-        for kernel_name, spec in CASES:
-            dfg = kernel(kernel_name)
-            dp = parse_datapath(spec, num_buses=2)
-            init = bind_initial(dfg, dp)
-            for q in QUALITIES:
-                r = iterative_improvement(dfg, dp, init.binding, quality=q)
-                totals[q] += r.schedule.latency
-                moves[q] += r.schedule.num_transfers
+        per_label = run_grid(quality_grid)
+        totals = {}
+        moves = {}
+        for q in QUALITIES:
+            cells = per_label[f"b-iter[quality={q}]"]
+            totals[q] = sum(l for l, _ in cells.values())
+            moves[q] = sum(m for _, m in cells.values())
         return totals, moves
 
     totals, moves = benchmark.pedantic(run_all, rounds=1, iterations=1)

@@ -3,15 +3,15 @@
 The paper: "for some DFGs, especially the ones with smaller number of
 inputs and larger number of outputs, starting the binding process from
 the output nodes may be beneficial."  This ablation compares
-forward-only, reverse-only, and the driver's both-directions sweep on
-the output-heavy kernels (the DCTs) and a regular one (EWF).
+forward-only, reverse-only, and the default both-directions sweep —
+the ``direction`` registry knob — on the output-heavy kernels (the
+DCTs) and a regular one (EWF).
 """
 
 import pytest
 
-from _helpers import kernel
-from repro.core.driver import bind_initial
-from repro.datapath.parse import parse_datapath
+from _helpers import datapath, kernel
+from repro.search.registry import run_strategy
 
 CASES = [
     ("dct-dit-2", "|1,1|1,1|1,1|"),
@@ -24,19 +24,19 @@ CASES = [
 @pytest.mark.benchmark(group="ablation-reverse")
 def test_direction_sweep(benchmark, kernel_name, spec):
     dfg = kernel(kernel_name)
-    dp = parse_datapath(spec, num_buses=2)
+    dp = datapath(spec)
 
     def run_all():
-        forward = bind_initial(dfg, dp, directions=(False,))
-        reverse = bind_initial(dfg, dp, directions=(True,))
-        both = bind_initial(dfg, dp)
-        return forward, reverse, both
+        return {
+            d: run_strategy("b-init", dfg, dp, direction=d)
+            for d in ("forward", "reverse", "both")
+        }
 
-    forward, reverse, both = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
     benchmark.extra_info["cell"] = f"{kernel_name} {spec}"
-    benchmark.extra_info["L_forward"] = forward.latency
-    benchmark.extra_info["L_reverse"] = reverse.latency
-    benchmark.extra_info["L_both"] = both.latency
+    benchmark.extra_info["L_forward"] = results["forward"].latency
+    benchmark.extra_info["L_reverse"] = results["reverse"].latency
+    benchmark.extra_info["L_both"] = results["both"].latency
     # The combined sweep dominates each single direction.
-    assert both.latency <= forward.latency
-    assert both.latency <= reverse.latency
+    assert results["both"].latency <= results["forward"].latency
+    assert results["both"].latency <= results["reverse"].latency

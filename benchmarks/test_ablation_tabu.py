@@ -1,17 +1,15 @@
 """Ablation A7: the footnote-4 "more powerful variant" (tabu search).
 
-Compares plain steepest-descent B-ITER against the tabu walk (bounded
-sideways steps + visited-set memory) from the same initial bindings:
-does paying extra evaluations buy further cycles?
+Compares plain steepest-descent B-ITER (``iter_starts=1``, the best
+initial binding) against the tabu walk (bounded sideways steps +
+visited-set memory) seeded from the same B-INIT sweep, both dispatched
+through the registry: does paying extra evaluations buy further cycles?
 """
 
 import pytest
 
-from _helpers import kernel
-from repro.core.driver import bind_initial
-from repro.core.iterative import iterative_improvement
-from repro.core.tabu import tabu_improvement
-from repro.datapath.parse import parse_datapath
+from _helpers import bench_cell, datapath, kernel
+from repro.search.registry import run_strategy
 
 CASES = [
     ("dct-dif", "|2,1|2,1|"),
@@ -19,43 +17,35 @@ CASES = [
     ("ewf", "|1,1|1,1|1,1|"),
 ]
 
+VARIANTS = {"plain": ("b-iter", {"iter_starts": 1}), "tabu": ("tabu", {})}
+
 
 @pytest.mark.parametrize("kernel_name,spec", CASES)
-@pytest.mark.parametrize("variant", ["plain", "tabu"])
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
 @pytest.mark.benchmark(group="ablation-tabu")
 def test_improvement_variant(benchmark, kernel_name, spec, variant):
-    dfg = kernel(kernel_name)
-    dp = parse_datapath(spec, num_buses=2)
-    init = bind_initial(dfg, dp)
-
-    if variant == "plain":
-        run = lambda: iterative_improvement(dfg, dp, init.binding)
-    else:
-        run = lambda: tabu_improvement(dfg, dp, init.binding)
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    name, config = VARIANTS[variant]
+    result = bench_cell(benchmark, name, kernel_name, spec, **config)
     benchmark.extra_info["cell"] = f"{kernel_name} {spec} {variant}"
-    benchmark.extra_info["L"] = result.schedule.latency
-    benchmark.extra_info["M"] = result.schedule.num_transfers
-    benchmark.extra_info["evaluations"] = result.evaluations
+    benchmark.extra_info["evaluations"] = result.stats["evaluations"]
 
 
 @pytest.mark.parametrize("kernel_name,spec", CASES)
 @pytest.mark.benchmark(group="ablation-tabu-shape")
 def test_tabu_never_worse(benchmark, kernel_name, spec):
     dfg = kernel(kernel_name)
-    dp = parse_datapath(spec, num_buses=2)
-    init = bind_initial(dfg, dp)
+    dp = datapath(spec)
 
     def run_both():
         return (
-            iterative_improvement(dfg, dp, init.binding),
-            tabu_improvement(dfg, dp, init.binding),
+            run_strategy("b-iter", dfg, dp, iter_starts=1),
+            run_strategy("tabu", dfg, dp),
         )
 
     plain, tabu = benchmark.pedantic(run_both, rounds=1, iterations=1)
-    benchmark.extra_info["L_plain"] = plain.schedule.latency
-    benchmark.extra_info["L_tabu"] = tabu.schedule.latency
-    assert (tabu.schedule.latency, tabu.schedule.num_transfers) <= (
-        plain.schedule.latency,
-        plain.schedule.num_transfers,
+    benchmark.extra_info["L_plain"] = plain.latency
+    benchmark.extra_info["L_tabu"] = tabu.latency
+    assert (tabu.latency, tabu.transfers) <= (
+        plain.latency,
+        plain.transfers,
     )

@@ -21,14 +21,13 @@ import time
 import pytest
 
 from repro.core.binding import Binding
-from repro.core.driver import bind
 from repro.core.evalcache import Evaluator
 from repro.datapath.parse import parse_datapath
 from repro.dfg.transform import bind_dfg
-from repro.schedule.fastpath import SchedContext
 from repro.schedule.list_scheduler import list_schedule
+from repro.search.registry import run_strategy
 
-from _helpers import kernel
+from _helpers import fastpath_gate, kernel
 
 
 def _random_bindings(dfg, dp, count, seed=0):
@@ -89,14 +88,17 @@ def test_b_iter_driver(benchmark, kernel_name, spec, mode):
     dfg = kernel(kernel_name)
     dp = parse_datapath(spec, num_buses=2)
     fast = mode == "fast"
-    result = benchmark.pedantic(
-        lambda: bind(dfg, dp, fast=fast), rounds=1, iterations=1
-    )
+
+    def run():
+        with fastpath_gate(fast):
+            return run_strategy("b-iter", dfg, dp)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["cell"] = f"{kernel_name} {spec}"
     benchmark.extra_info["L"] = result.latency
-    benchmark.extra_info["M"] = result.num_transfers
-    benchmark.extra_info["eval_hits"] = result.eval_hits
-    benchmark.extra_info["evaluations"] = result.evaluations
+    benchmark.extra_info["M"] = result.transfers
+    benchmark.extra_info["eval_hits"] = result.stats["eval_hits"]
+    benchmark.extra_info["evaluations"] = result.stats["evaluations"]
 
 
 @pytest.mark.benchmark(group="b-init")
@@ -113,16 +115,14 @@ def test_initial_binding_sweep(benchmark, kernel_name, spec):
     standing overload count over one window instead of re-scanning
     every profile level per candidate cluster.
     """
-    from repro.core.driver import bind_initial
-
     dfg = kernel(kernel_name)
     dp = parse_datapath(spec, num_buses=2)
     result = benchmark.pedantic(
-        lambda: bind_initial(dfg, dp), rounds=3, iterations=1
+        lambda: run_strategy("b-init", dfg, dp), rounds=3, iterations=1
     )
     benchmark.extra_info["cell"] = f"{kernel_name} {spec}"
     benchmark.extra_info["L"] = result.latency
-    benchmark.extra_info["M"] = result.num_transfers
+    benchmark.extra_info["M"] = result.transfers
 
 
 def test_fastpath_speedup_smoke():
@@ -136,22 +136,24 @@ def test_fastpath_speedup_smoke():
     dfg = kernel("ewf")
     dp = parse_datapath("|2,1|1,1|", num_buses=2)
 
-    bind(dfg, dp, fast=True)  # warm imports/caches out of the timing
+    with fastpath_gate(True):
+        run_strategy("b-iter", dfg, dp)  # warm imports/caches
 
-    t0 = time.perf_counter()
-    fast = bind(dfg, dp, fast=True)
-    t_fast = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fast = run_strategy("b-iter", dfg, dp)
+        t_fast = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    naive = bind(dfg, dp, fast=False)
-    t_naive = time.perf_counter() - t0
+    with fastpath_gate(False):
+        t0 = time.perf_counter()
+        naive = run_strategy("b-iter", dfg, dp)
+        t_naive = time.perf_counter() - t0
 
-    assert (fast.latency, fast.num_transfers) == (
+    assert (fast.latency, fast.transfers) == (
         naive.latency,
-        naive.num_transfers,
+        naive.transfers,
     )
     assert fast.binding == naive.binding
-    assert fast.eval_hits > 0
+    assert fast.stats["eval_hits"] > 0
     speedup = t_naive / t_fast
     assert speedup >= 2.0, (
         f"fast path only {speedup:.2f}x faster than naive "

@@ -33,9 +33,9 @@ import pytest
 
 from _helpers import kernel
 from repro.core.binding import Binding
-from repro.core.driver import bind_initial
 from repro.datapath.parse import parse_datapath
 from repro.search.neighborhood import Neighborhood
+from repro.search.registry import run_strategy
 from repro.search.session import SearchSession
 
 # The 96-op DCT on a heterogeneous 3-cluster machine: the widest
@@ -64,7 +64,8 @@ def _round_of(dfg, dp, binding):
 def _descent_round_candidates():
     """The exact candidate batch of the first B-ITER descent round."""
     dfg, dp = _machine()
-    return dfg, dp, _round_of(dfg, dp, bind_initial(dfg, dp).binding)
+    base = Binding(run_strategy("b-init", dfg, dp).binding)
+    return dfg, dp, _round_of(dfg, dp, base)
 
 
 def _scattered_candidates():

@@ -1,16 +1,17 @@
 """Benchmarks on the extra (non-paper) kernels.
 
 Demonstrates the binder generalizing beyond the paper's seven kernels:
-every extra kernel on a standard 3-cluster machine, B-INIT and B-ITER,
-with latency checked against the instance-independent lower bound.
+every extra kernel on a standard 3-cluster machine, B-INIT and B-ITER
+through the registry, with latency checked against the
+instance-independent lower bound.
 """
 
 import pytest
 
-from repro.core.driver import bind, bind_initial
-from repro.datapath.parse import parse_datapath
+from _helpers import datapath
 from repro.kernels.extra import EXTRA_KERNELS
 from repro.schedule.bounds import latency_lower_bound
+from repro.search.registry import run_strategy
 
 SPEC = "|2,1|2,1|1,1|"
 
@@ -19,13 +20,13 @@ SPEC = "|2,1|2,1|1,1|"
 @pytest.mark.benchmark(group="extra-kernels-b-init")
 def test_b_init(benchmark, name):
     dfg = EXTRA_KERNELS[name]()
-    dp = parse_datapath(SPEC, num_buses=2)
+    dp = datapath(SPEC)
     result = benchmark.pedantic(
-        lambda: bind_initial(dfg, dp), rounds=1, iterations=1
+        lambda: run_strategy("b-init", dfg, dp), rounds=1, iterations=1
     )
     lb = latency_lower_bound(dfg, dp)
     benchmark.extra_info["L"] = result.latency
-    benchmark.extra_info["M"] = result.num_transfers
+    benchmark.extra_info["M"] = result.transfers
     benchmark.extra_info["lower_bound"] = lb
     assert result.latency >= lb
 
@@ -34,12 +35,14 @@ def test_b_init(benchmark, name):
 @pytest.mark.benchmark(group="extra-kernels-b-iter")
 def test_b_iter(benchmark, name):
     dfg = EXTRA_KERNELS[name]()
-    dp = parse_datapath(SPEC, num_buses=2)
+    dp = datapath(SPEC)
     result = benchmark.pedantic(
-        lambda: bind(dfg, dp, iter_starts=4), rounds=1, iterations=1
+        lambda: run_strategy("b-iter", dfg, dp, iter_starts=4),
+        rounds=1,
+        iterations=1,
     )
     lb = latency_lower_bound(dfg, dp)
     benchmark.extra_info["L"] = result.latency
-    benchmark.extra_info["M"] = result.num_transfers
+    benchmark.extra_info["M"] = result.transfers
     benchmark.extra_info["gap"] = result.latency - lb
     assert result.latency >= lb

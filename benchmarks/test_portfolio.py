@@ -1,0 +1,86 @@
+"""Portfolio racing vs. the best single strategy at equal eval budget.
+
+The portfolio meta-strategy races four registered strategies (PCC,
+B-INIT, single-start B-ITER, tabu) on one shared evaluation substrate
+under successive halving on the transfer-heaviest Table 1 kernel
+(DCT-DIT-2).  The acceptance property: with a fixed seed and a shared
+evaluation budget, the race returns an ``(L, M)`` at least as good as
+the best racer run alone at the same total budget — while charging a
+fraction of ``K x budget`` evaluations.
+
+Regenerate the committed dump with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_portfolio.py \
+        --benchmark-json=benchmarks/BENCH_portfolio.json -q
+"""
+
+import json
+
+import pytest
+
+from _helpers import datapath, kernel
+from repro.search.registry import get_strategy, run_strategy
+
+KERNEL = "dct-dit-2"
+SPEC = "|2,1|1,1|"
+RACERS = [
+    {"name": "pcc"},
+    {"name": "b-init"},
+    {"name": "b-iter", "config": {"iter_starts": 1}},
+    {"name": "tabu"},
+]
+BUDGET = 1200
+SEED = 0
+
+
+def _race(dfg, dp):
+    return run_strategy(
+        "portfolio", dfg, dp,
+        racers=json.dumps(RACERS), max_evals=BUDGET, seed=SEED,
+    )
+
+
+@pytest.mark.benchmark(group="portfolio-race")
+def test_portfolio_race(benchmark):
+    """One race: the wall clock of the whole rung schedule."""
+    dfg = kernel(KERNEL)
+    dp = datapath(SPEC)
+    result = benchmark.pedantic(
+        lambda: _race(dfg, dp), rounds=1, iterations=1
+    )
+    benchmark.extra_info["cell"] = f"{KERNEL} {SPEC}"
+    benchmark.extra_info["L"] = result.latency
+    benchmark.extra_info["M"] = result.transfers
+    benchmark.extra_info["winner"] = result.extras["winner"]
+    benchmark.extra_info["charged"] = result.extras["charged"]
+    benchmark.extra_info["rungs"] = result.extras["rungs"]
+    assert result.extras["charged"] <= BUDGET
+
+
+@pytest.mark.benchmark(group="portfolio-vs-single")
+def test_portfolio_matches_best_single(benchmark):
+    """The headline property: racing never loses to the best racer."""
+    dfg = kernel(KERNEL)
+    dp = datapath(SPEC)
+
+    def run_all():
+        race = _race(dfg, dp)
+        singles = {}
+        for spec in RACERS:
+            config = dict(spec.get("config") or {})
+            if "max_evals" in get_strategy(spec["name"]).field_names():
+                config["max_evals"] = BUDGET
+            single = run_strategy(spec["name"], dfg, dp, **config)
+            singles[spec["name"]] = (single.latency, single.transfers)
+        return race, singles
+
+    race, singles = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    best = min(singles.values())
+    benchmark.extra_info["cell"] = f"{KERNEL} {SPEC}"
+    benchmark.extra_info["winner"] = race.extras["winner"]
+    benchmark.extra_info["race"] = f"{race.latency}/{race.transfers}"
+    benchmark.extra_info["best_single"] = f"{best[0]}/{best[1]}"
+    benchmark.extra_info["singles"] = {
+        name: f"{l}/{m}" for name, (l, m) in singles.items()
+    }
+    assert (race.latency, race.transfers) <= best

@@ -4,25 +4,26 @@ Not a paper table — a supporting measurement for the complexity claims:
 B-INIT is near-linear per sweep point, PCC's improvement is quadratic-
 ish, and B-ITER's boundary perturbation dominates the budget.  Useful
 for users sizing the binder for bigger basic blocks than the paper's.
+All strategies dispatch through the registry.
 """
 
 import pytest
 
-from repro.baselines.pcc import pcc_bind
-from repro.core.driver import bind, bind_initial
-from repro.datapath.parse import parse_datapath
+from _helpers import datapath
 from repro.dfg.generators import random_layered_dfg
+from repro.search.registry import run_strategy
 
 SIZES = (25, 50, 100, 200)
+SPEC = "|2,1|2,1|1,1|"
 
 
 @pytest.mark.parametrize("size", SIZES)
 @pytest.mark.benchmark(group="scalability-b-init")
 def test_b_init_scaling(benchmark, size):
     dfg = random_layered_dfg(size, seed=size)
-    dp = parse_datapath("|2,1|2,1|1,1|", num_buses=2)
+    dp = datapath(SPEC)
     result = benchmark.pedantic(
-        lambda: bind_initial(dfg, dp), rounds=1, iterations=1
+        lambda: run_strategy("b-init", dfg, dp), rounds=1, iterations=1
     )
     benchmark.extra_info["ops"] = size
     benchmark.extra_info["L"] = result.latency
@@ -32,9 +33,9 @@ def test_b_init_scaling(benchmark, size):
 @pytest.mark.benchmark(group="scalability-pcc")
 def test_pcc_scaling(benchmark, size):
     dfg = random_layered_dfg(size, seed=size)
-    dp = parse_datapath("|2,1|2,1|1,1|", num_buses=2)
+    dp = datapath(SPEC)
     result = benchmark.pedantic(
-        lambda: pcc_bind(dfg, dp), rounds=1, iterations=1
+        lambda: run_strategy("pcc", dfg, dp), rounds=1, iterations=1
     )
     benchmark.extra_info["ops"] = size
     benchmark.extra_info["L"] = result.latency
@@ -44,9 +45,11 @@ def test_pcc_scaling(benchmark, size):
 @pytest.mark.benchmark(group="scalability-b-iter")
 def test_b_iter_scaling(benchmark, size):
     dfg = random_layered_dfg(size, seed=size)
-    dp = parse_datapath("|2,1|2,1|1,1|", num_buses=2)
+    dp = datapath(SPEC)
     result = benchmark.pedantic(
-        lambda: bind(dfg, dp, iter_starts=1), rounds=1, iterations=1
+        lambda: run_strategy("b-iter", dfg, dp, iter_starts=1),
+        rounds=1,
+        iterations=1,
     )
     benchmark.extra_info["ops"] = size
     benchmark.extra_info["L"] = result.latency

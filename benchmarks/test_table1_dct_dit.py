@@ -1,44 +1,11 @@
 """Table 1, DCT-DIT block: 48 ops, 1 component(s), L_CP = 7.
 
 Regenerates the 6 DCT-DIT rows of the paper's Table 1 (N_B = 2,
-lat(move) = 1): PCC vs B-INIT vs B-ITER, one benchmark per cell.  The
-``L``/``M`` results land in each benchmark's ``extra_info``.
+lat(move) = 1): PCC vs B-INIT vs B-ITER, one benchmark per cell,
+dispatched through the strategy registry.  The ``L``/``M`` results land
+in each benchmark's ``extra_info``.
 """
 
-import pytest
+from _helpers import table1_tests
 
-from _helpers import bench_b_init, bench_b_iter, bench_pcc, kernel
-from repro.baselines.pcc import pcc_bind
-from repro.datapath.library import TABLE1_CONFIGS
-from repro.datapath.parse import parse_datapath
-
-KERNEL = "dct-dit"
-SPECS = TABLE1_CONFIGS[KERNEL]
-L_CP = 7
-
-
-@pytest.mark.parametrize("spec", SPECS)
-@pytest.mark.benchmark(group=f"table1-{KERNEL}-pcc")
-def test_pcc(benchmark, spec):
-    result = bench_pcc(benchmark, KERNEL, spec)
-    assert result.latency >= L_CP
-
-
-@pytest.mark.parametrize("spec", SPECS)
-@pytest.mark.benchmark(group=f"table1-{KERNEL}-b-init")
-def test_b_init(benchmark, spec):
-    result = bench_b_init(benchmark, KERNEL, spec)
-    assert result.latency >= L_CP
-
-
-@pytest.mark.parametrize("spec", SPECS)
-@pytest.mark.benchmark(group=f"table1-{KERNEL}-b-iter")
-def test_b_iter(benchmark, spec):
-    result = bench_b_iter(benchmark, KERNEL, spec)
-    pcc = pcc_bind(kernel(KERNEL), parse_datapath(spec, num_buses=2))
-    benchmark.extra_info["pcc_L"] = pcc.latency
-    benchmark.extra_info["dL%"] = round(
-        100 * (pcc.latency - result.latency) / pcc.latency, 1
-    )
-    # the paper's headline property: B-ITER never loses to PCC
-    assert result.latency <= pcc.latency
+test_pcc, test_b_init, test_b_iter = table1_tests("dct-dit", l_cp=7)

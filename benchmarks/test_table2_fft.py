@@ -4,14 +4,13 @@ The paper's generality experiment: sweep N_B in {1, 2} and lat(move) in
 {1, 2} on a 5-cluster machine.  PCC's improvement phase does not model
 bus contention, so its solutions degrade most exactly where the bus is
 scarce or slow — B-INIT/B-ITER improvements concentrate on those rows.
+All cells dispatch through the strategy registry.
 """
 
 import pytest
 
-from _helpers import bench_b_init, bench_b_iter, bench_pcc, kernel
-from repro.baselines.pcc import pcc_bind
+from _helpers import bench_cell, pcc_reference
 from repro.datapath.library import TABLE2_DATAPATH_SPEC, TABLE2_SWEEP
-from repro.datapath.parse import parse_datapath
 
 KERNEL = "fft"
 
@@ -19,8 +18,8 @@ KERNEL = "fft"
 @pytest.mark.parametrize("num_buses,move_latency", TABLE2_SWEEP)
 @pytest.mark.benchmark(group="table2-pcc")
 def test_pcc(benchmark, num_buses, move_latency):
-    bench_pcc(
-        benchmark, KERNEL, TABLE2_DATAPATH_SPEC,
+    bench_cell(
+        benchmark, "pcc", KERNEL, TABLE2_DATAPATH_SPEC,
         num_buses=num_buses, move_latency=move_latency,
     )
 
@@ -28,8 +27,8 @@ def test_pcc(benchmark, num_buses, move_latency):
 @pytest.mark.parametrize("num_buses,move_latency", TABLE2_SWEEP)
 @pytest.mark.benchmark(group="table2-b-init")
 def test_b_init(benchmark, num_buses, move_latency):
-    bench_b_init(
-        benchmark, KERNEL, TABLE2_DATAPATH_SPEC,
+    bench_cell(
+        benchmark, "b-init", KERNEL, TABLE2_DATAPATH_SPEC,
         num_buses=num_buses, move_latency=move_latency,
     )
 
@@ -37,19 +36,19 @@ def test_b_init(benchmark, num_buses, move_latency):
 @pytest.mark.parametrize("num_buses,move_latency", TABLE2_SWEEP)
 @pytest.mark.benchmark(group="table2-b-iter")
 def test_b_iter(benchmark, num_buses, move_latency):
-    result = bench_b_iter(
-        benchmark, KERNEL, TABLE2_DATAPATH_SPEC,
+    result = bench_cell(
+        benchmark, "b-iter", KERNEL, TABLE2_DATAPATH_SPEC,
         num_buses=num_buses, move_latency=move_latency,
     )
-    dp = parse_datapath(
-        TABLE2_DATAPATH_SPEC, num_buses=num_buses, move_latency=move_latency
+    pcc_l, _ = pcc_reference(
+        KERNEL, TABLE2_DATAPATH_SPEC,
+        num_buses=num_buses, move_latency=move_latency,
     )
-    pcc = pcc_bind(kernel(KERNEL), dp)
-    benchmark.extra_info["pcc_L"] = pcc.latency
+    benchmark.extra_info["pcc_L"] = pcc_l
     benchmark.extra_info["dL%"] = round(
-        100 * (pcc.latency - result.latency) / pcc.latency, 1
+        100 * (pcc_l - result.latency) / pcc_l, 1
     )
-    assert result.latency <= pcc.latency
+    assert result.latency <= pcc_l
 
 
 @pytest.mark.benchmark(group="table2-shape")

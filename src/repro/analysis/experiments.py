@@ -30,7 +30,7 @@ from ..dfg.graph import Dfg
 from ..kernels.registry import load_kernel
 from ..runner import BindJob, JobResult, ProgressTracker, ResultCache, RunStore
 from ..runner.api import run_jobs
-from ..search.registry import get_strategy
+from ..search.registry import ConfigError, get_strategy
 from .metrics import AlgoCell, ComparisonRow, ExperimentRow
 
 __all__ = [
@@ -313,6 +313,16 @@ def run_comparison(
     for name in algorithms:
         get_strategy(name)  # fail fast on typos, before any job runs
     configs = configs or {}
+    for name, overrides in configs.items():
+        if name not in algorithms:
+            raise ConfigError(
+                f"config override for {name!r} matches no requested "
+                f"algorithm; requested: {sorted(algorithms)}"
+            )
+        try:
+            get_strategy(name).validate_config(overrides)
+        except (ConfigError, TypeError) as exc:
+            raise ConfigError(f"{name}: {exc}") from None
     jobs = [
         BindJob.make(
             load_kernel(kernel), datapath, name, **configs.get(name, {})

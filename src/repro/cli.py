@@ -259,6 +259,113 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument("--buses", type=int, default=2)
     _add_runner_args(p_dse)
 
+    p_race = sub.add_parser(
+        "race",
+        help="race strategies under one shared budget "
+        "(successive halving on one evaluation memo)",
+    )
+    p_race.add_argument(
+        "kernel", help="kernel name (see 'kernels') or a DFG JSON path"
+    )
+    p_race.add_argument(
+        "--datapath",
+        "-d",
+        default="|1,1|1,1|",
+        help="cluster spec (default: %(default)s)",
+    )
+    p_race.add_argument("--buses", type=int, default=2, help="N_B (default 2)")
+    p_race.add_argument(
+        "--move-latency", type=int, default=1, help="lat(move) (default 1)"
+    )
+    p_race.add_argument(
+        "--racers",
+        "-r",
+        required=True,
+        metavar="LIST",
+        help="comma-separated strategy names, or a JSON array of "
+        '{"name": ..., "config": {...}} objects',
+    )
+    p_race.add_argument(
+        "--budget",
+        type=_positive_int,
+        metavar="N",
+        help="total evaluation budget shared by every racer "
+        "(default: 2000)",
+    )
+    p_race.add_argument(
+        "--deadline",
+        type=float,
+        metavar="S",
+        help="wall-clock budget for the whole race, in seconds",
+    )
+    p_race.add_argument(
+        "--eta",
+        type=int,
+        default=2,
+        metavar="K",
+        help="halving factor between rungs (default: %(default)s)",
+    )
+    p_race.add_argument(
+        "--rung-evals",
+        type=_positive_int,
+        metavar="N",
+        help="per-racer allotment of the first rung (default: split "
+        "the budget evenly across rungs)",
+    )
+    p_race.add_argument(
+        "--seed", type=int, metavar="N", help="RNG seed for the racers"
+    )
+    p_race.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the racer list and rung plan without running",
+    )
+    p_race.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable result: winner, per-racer evals, rung log",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a declarative sweep spec (repro.tune SweepSpec JSON)",
+    )
+    p_sweep.add_argument(
+        "spec",
+        metavar="SPEC",
+        help="path to a SweepSpec JSON file, or '-' for stdin",
+    )
+    p_sweep.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="list the compiled jobs without running them",
+    )
+    p_sweep.add_argument(
+        "--budget",
+        type=_positive_int,
+        metavar="N",
+        help="inject max_evals=N into every variant whose strategy "
+        "takes an evaluation budget",
+    )
+    p_sweep.add_argument(
+        "--deadline",
+        type=float,
+        metavar="S",
+        help="inject deadline=S into every variant whose strategy "
+        "takes a wall-clock budget",
+    )
+    p_sweep.add_argument(
+        "--baseline",
+        metavar="LABEL",
+        help="variant label to compute dL%% against (default: first)",
+    )
+    p_sweep.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also export the summarized rows as JSON",
+    )
+    _add_runner_args(p_sweep)
+
     p_serve = sub.add_parser(
         "serve",
         help="run the binding service (job queue + warm workers + "
@@ -908,6 +1015,225 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_race(args: argparse.Namespace) -> int:
+    from .search.portfolio import (
+        DEFAULT_BUDGET,
+        parse_racers,
+        plan_rungs,
+        run_portfolio,
+    )
+
+    try:
+        dfg = _load(args.kernel)
+        dp = parse_datapath(
+            args.datapath, num_buses=args.buses, move_latency=args.move_latency
+        )
+        racers = parse_racers(args.racers)
+    except (OSError, KeyError, ValueError) as exc:
+        sys.exit(f"repro-bind: error: {exc}")
+    budget = args.budget if args.budget is not None else DEFAULT_BUDGET
+    try:
+        plan = plan_rungs(
+            len(racers), budget, eta=args.eta, rung_evals=args.rung_evals
+        )
+    except ValueError as exc:
+        sys.exit(f"repro-bind: error: {exc}")
+
+    if args.dry_run:
+        if args.json:
+            print(json.dumps({
+                "kernel": dfg.name,
+                "datapath": dp.spec(),
+                "budget": budget,
+                "eta": args.eta,
+                "racers": [
+                    {"label": r.label, "strategy": r.name,
+                     "config": r.config_dict()}
+                    for r in racers
+                ],
+                "rungs": [
+                    {"rung": rung.index, "survivors": rung.survivors,
+                     "increment": rung.increment}
+                    for rung in plan
+                ],
+            }, indent=2))
+            return 0
+        print(
+            f"race on {dfg.name} / {dp.spec()}: {len(racers)} racers, "
+            f"budget {budget}, eta {args.eta}"
+        )
+        for r in racers:
+            config = r.config_dict()
+            suffix = f"  {config}" if config else ""
+            print(f"  racer {r.label}: {r.name}{suffix}")
+        for rung in plan:
+            print(
+                f"  rung {rung.index}: {rung.survivors} survivor(s), "
+                f"+{rung.increment} evals each"
+            )
+        return 0
+
+    config = {"racers": args.racers, "max_evals": budget, "eta": args.eta}
+    if args.rung_evals is not None:
+        config["rung_evals"] = args.rung_evals
+    if args.seed is not None:
+        config["seed"] = args.seed
+    if args.deadline is not None:
+        config["deadline"] = args.deadline
+    try:
+        result = run_portfolio(dfg, dp, config)
+    except (ValueError, TypeError, RuntimeError) as exc:
+        sys.exit(f"repro-bind: error: {exc}")
+
+    per_racer = json.loads(result.extras["per_racer"])
+    rung_log = json.loads(result.extras["rung_log"])
+    if args.json:
+        print(json.dumps({
+            "kernel": dfg.name,
+            "datapath": dp.spec(),
+            "status": result.status,
+            "winner": result.extras["winner"],
+            "winner_strategy": result.extras["winner_strategy"],
+            "latency": result.latency,
+            "transfers": result.transfers,
+            "seconds": round(result.seconds, 4),
+            "budget": result.extras["budget"],
+            "charged": result.extras["charged"],
+            "per_racer": per_racer,
+            "rung_log": rung_log,
+            "trajectories": json.loads(result.extras["trajectories"]),
+        }, indent=2))
+        return 0
+    print(
+        f"{dfg.name} on {dp.spec()} (N_B={dp.num_buses}, "
+        f"lat(move)={dp.move_latency}): raced {len(per_racer)} strategies"
+    )
+    print(
+        f"  winner {result.extras['winner']}: L = {result.latency}, "
+        f"M = {result.transfers}, time = {result.seconds:.3f}s "
+        f"[{result.status}]"
+    )
+    print(
+        f"  budget {result.extras['budget']}, "
+        f"charged {result.extras['charged']} evaluations, "
+        f"{result.extras['rungs']} rung(s)"
+    )
+    for label in sorted(per_racer):
+        entry = per_racer[label]
+        best = entry["best"]
+        lm = f"{best[0]}/{best[1]}" if best else "-"
+        fate = (
+            "winner" if label == result.extras["winner"]
+            else entry["error"] or (
+                f"out at rung {entry['eliminated_at']}"
+                if entry["eliminated_at"] is not None else entry["status"]
+            )
+        )
+        print(
+            f"    {label:28s} {lm:>9s}  evals {entry['evaluations']:>6d}"
+            f"  rungs {entry['rungs']}  {fate}"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.tables import render_comparison
+    from .search.registry import get_strategy
+    from .tune import (
+        StrategyVariant,
+        SweepSpec,
+        run_sweep,
+        summarize_sweep,
+    )
+
+    try:
+        if args.spec == "-":
+            data = json.load(sys.stdin)
+        else:
+            with open(args.spec) as f:
+                data = json.load(f)
+        spec = SweepSpec.from_dict(data)
+    except (OSError, KeyError, ValueError) as exc:
+        sys.exit(f"repro-bind: error: {exc}")
+
+    if args.budget is not None or args.deadline is not None:
+        variants = []
+        for variant in spec.variants:
+            fields = get_strategy(variant.name).field_names()
+            config = variant.config_dict()
+            if args.budget is not None and "max_evals" in fields:
+                config.setdefault("max_evals", args.budget)
+            if args.deadline is not None and "deadline" in fields:
+                config.setdefault("deadline", args.deadline)
+            variants.append(
+                StrategyVariant(
+                    label=variant.label,
+                    name=variant.name,
+                    config=tuple(sorted(config.items())),
+                )
+            )
+        spec = SweepSpec(cells=spec.cells, variants=tuple(variants))
+
+    jobs = spec.compile()
+    if args.dry_run:
+        print(
+            f"{len(jobs)} jobs: {len(spec.cells)} cells x "
+            f"{len(spec.variants)} variants"
+        )
+        for job, (kernel, machine), variant in zip(
+            jobs,
+            (c for c in spec.cells for _ in spec.variants),
+            (v for _ in spec.cells for v in spec.variants),
+        ):
+            config = dict(job.config)
+            suffix = f"  {config}" if config else ""
+            print(
+                f"  {job.cache_key()[:12]}  {kernel:12s} "
+                f"{machine.spec:20s} {variant.label:32s} "
+                f"{job.algorithm}{suffix}"
+            )
+        return 0
+
+    results = run_sweep(spec, **_runner_kwargs(args))
+    rows = summarize_sweep(spec, results)
+    try:
+        print(render_comparison(rows, baseline=args.baseline))
+    except ValueError as exc:
+        sys.exit(f"repro-bind: error: {exc}")
+    failed = [r for r in results if not r.ok]
+    if failed:
+        print(f"{len(failed)} job(s) failed:")
+        for r in failed:
+            print(f"  {r.kernel} / {r.algorithm}: {r.error}")
+    if args.out:
+        payload = [
+            {
+                "kernel": row.kernel,
+                "datapath": row.datapath_spec,
+                "num_buses": row.num_buses,
+                "move_latency": row.move_latency,
+                "cells": {
+                    label: (
+                        {
+                            "L": cell.latency,
+                            "M": cell.transfers,
+                            "seconds": round(cell.seconds, 4),
+                        }
+                        if cell is not None
+                        else None
+                    )
+                    for label, cell in row.cells
+                },
+            }
+            for row in rows
+        ]
+        with open(args.out, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.out}")
+    return 1 if failed else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
@@ -1115,6 +1441,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_pressure(args)
     if args.command == "dse":
         return _cmd_dse(args)
+    if args.command == "race":
+        return _cmd_race(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "submit":

@@ -46,6 +46,7 @@ from .cost import CostParams
 from .initial import initial_binding
 from .iterative import IterativeResult, iterative_improvement
 from .loadprofile import ProfileSet
+from .ordering import OrderingFn
 
 __all__ = ["BindResult", "default_lpr_values", "bind_initial", "bind"]
 
@@ -145,6 +146,7 @@ def _sweep(
     directions: Sequence[bool],
     params: CostParams,
     session: SearchSession,
+    ordering: Optional[OrderingFn] = None,
 ) -> List[Tuple[Tuple[int, int], Binding, Callable[[], Schedule], int, bool]]:
     """Run every B-INIT configuration; return scored, deduped candidates.
 
@@ -177,6 +179,7 @@ def _sweep(
                 lpr=lpr,
                 reverse=reverse,
                 params=params,
+                ordering=ordering,
                 profiles=profiles,
             )
             if result.binding in seen:
@@ -201,6 +204,7 @@ def bind_initial(
     lpr_values: Optional[Sequence[int]] = None,
     directions: Sequence[bool] = (False, True),
     params: CostParams = CostParams(),
+    ordering: Optional[OrderingFn] = None,
     fast: Optional[bool] = None,
     session: Optional[SearchSession] = None,
 ) -> BindResult:
@@ -213,6 +217,9 @@ def bind_initial(
             :func:`default_lpr_values`.
         directions: binding directions to try (False = forward).
         params: cost-function weights.
+        ordering: override the greedy visit order for every sweep run
+            (see :func:`~repro.core.ordering.make_ordering`); default
+            keeps the paper's per-direction order.
         fast: use the shared fast-path evaluator (default: on, unless
             ``REPRO_FASTPATH=0``).
         session: a shared :class:`~repro.search.session.SearchSession`;
@@ -227,7 +234,8 @@ def bind_initial(
     session = _resolve_session(dfg, datapath, fast, session)
     with session.phase("b-init"):
         entries = _sweep(
-            dfg, datapath, lpr_values, directions, params, session
+            dfg, datapath, lpr_values, directions, params, session,
+            ordering=ordering,
         )
     _, binding, thunk, lpr, reverse = entries[0]
     schedule = thunk()
@@ -260,6 +268,7 @@ def bind(
     lpr_values: Optional[Sequence[int]] = None,
     directions: Sequence[bool] = (False, True),
     params: CostParams = CostParams(),
+    ordering: Optional[OrderingFn] = None,
     use_pairs: bool = True,
     quality: str = "qu+qm",
     iter_starts: Optional[int] = None,
@@ -282,7 +291,7 @@ def bind(
         dfg: the original DFG (no transfers).
         datapath: the clustered machine.
         improve: run the iterative-improvement phase (B-ITER).
-        lpr_values / directions / params: B-INIT sweep knobs.
+        lpr_values / directions / params / ordering: B-INIT sweep knobs.
         use_pairs / quality: B-ITER knobs (see
             :func:`~repro.core.iterative.iterative_improvement`).
         iter_starts: how many distinct B-INIT sweep candidates to seed
@@ -312,7 +321,8 @@ def bind(
     session = _resolve_session(dfg, datapath, fast, session)
     with session.phase("b-init"):
         entries = _sweep(
-            dfg, datapath, lpr_values, directions, params, session
+            dfg, datapath, lpr_values, directions, params, session,
+            ordering=ordering,
         )
     init_seconds = time.perf_counter() - t0
     _, init_binding, init_thunk, lpr, reverse = entries[0]

@@ -1,0 +1,510 @@
+"""Portfolio racing: successive halving over registered strategies.
+
+The paper's B-ITER is one point in a family of search configurations
+(orderings, quality weights, multistart widths, tabu tenures).  This
+module races N of them — any registered strategy config — under **one**
+budget on **one** shared evaluation substrate, hyperband-style:
+
+* the race runs in *rungs*; every surviving racer's cumulative
+  evaluation allotment grows at each rung;
+* at each rung boundary survivors are ranked by best-so-far ``(L, M)``
+  lexicographically and the losing ``1 - 1/eta`` fraction is killed;
+* the budget freed by the kills flows to the leaders — the final
+  survivor's last rung receives the whole remaining ledger.
+
+One :func:`~repro.search.registry.substrate_scope` spans the race, so
+every racer's internally-built :class:`~repro.search.session.
+SearchSession` adopts the portfolio's evaluator memo and cancel token.
+A racer "continued" at a higher rung is re-run from scratch with a
+larger ``max_evals``: the searches are deterministic, so the re-run
+replays its previous trajectory as a prefix — answered by the shared
+memo, at memo-lookup cost — and only the tail does new scheduling work.
+The budget ledger therefore charges each racer its *cumulative decision
+count*, not the sum over re-runs.
+
+Budget conservation is at the same granularity as the underlying
+sessions: a racer polls its budget at descent-round boundaries, so one
+rung can overshoot its allotment by at most one round.  Racers that
+finish a rung without exhausting it (natural convergence) are not
+re-run — their result cannot change.
+
+Cancellation (:class:`~repro.resilience.anytime.CancelToken`, PR 9) is
+honoured at every racer-run boundary *and* inside each racer via the
+shared token: a cut portfolio returns the best racer so far with an
+honest ``cancelled`` tag.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..datapath.model import Datapath
+from ..dfg.graph import Dfg
+from .registry import (
+    ConfigError,
+    StrategyResult,
+    get_strategy,
+    session_stats,
+    substrate_scope,
+)
+
+__all__ = [
+    "RacerSpec",
+    "Rung",
+    "parse_racers",
+    "plan_rungs",
+    "run_portfolio",
+    "DEFAULT_BUDGET",
+]
+
+#: Total evaluation-decision budget when the job config sets none.
+DEFAULT_BUDGET = 2000
+
+
+@dataclass(frozen=True)
+class RacerSpec:
+    """One entrant: a registered strategy name plus a fixed config."""
+
+    label: str
+    name: str
+    config: Tuple[Tuple[str, Any], ...] = ()
+
+    def config_dict(self) -> Dict[str, Any]:
+        return dict(self.config)
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One successive-halving rung of the race plan.
+
+    Attributes:
+        index: 0-based rung number.
+        survivors: racers entering this rung.
+        increment: per-survivor cumulative evaluation allotment *added*
+            at this rung (the execution clamps it to the remaining
+            ledger, and replaces the final rung's increment with the
+            whole remaining ledger — the reinvestment step).
+    """
+
+    index: int
+    survivors: int
+    increment: int
+
+
+def parse_racers(value: Any) -> Tuple[RacerSpec, ...]:
+    """Parse the ``racers`` config value into validated specs.
+
+    Accepts a comma-separated list of strategy names
+    (``"b-iter,tabu"``) or a JSON array whose items are names or
+    ``{"name": ..., "config": {...}, "label": ...}`` objects.  Every
+    name is resolved against the registry and every config validated
+    against its strategy's schema; duplicate labels are disambiguated
+    with ``#1``/``#2`` ordinals.  Raises ``ValueError`` on anything
+    malformed.
+    """
+    if isinstance(value, str):
+        text = value.strip()
+        if not text:
+            raise ValueError("portfolio needs a non-empty 'racers' list")
+        if text.startswith("["):
+            try:
+                items = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"racers is not valid JSON: {exc}")
+        else:
+            items = [part.strip() for part in text.split(",") if part.strip()]
+    elif value is None:
+        raise ValueError("portfolio needs a non-empty 'racers' list")
+    else:
+        items = list(value)
+    if not isinstance(items, list) or not items:
+        raise ValueError("portfolio needs a non-empty 'racers' list")
+
+    parsed: List[Tuple[Optional[str], str, Dict[str, Any]]] = []
+    for item in items:
+        if isinstance(item, str):
+            label, name, config = None, item, {}
+        elif isinstance(item, dict):
+            unknown = set(item) - {"name", "config", "label"}
+            if unknown:
+                raise ValueError(
+                    f"racer entry has unknown keys {sorted(unknown)}; "
+                    "allowed: name, config, label"
+                )
+            name = item.get("name")
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"racer entry {item!r} has no 'name'")
+            label = item.get("label")
+            config = item.get("config") or {}
+            if not isinstance(config, dict):
+                raise ValueError(f"racer {name!r}: config must be an object")
+        else:
+            raise ValueError(
+                f"racer entry {item!r} is neither a name nor an object"
+            )
+        if name == "portfolio":
+            raise ValueError("a portfolio cannot race itself")
+        strategy = get_strategy(name)  # raises with the known names
+        parsed.append((label, name, strategy.validate_config(config)))
+
+    bases = [label or name for label, name, _ in parsed]
+    total = Counter(bases)
+    seen: Counter = Counter()
+    specs = []
+    for base, (_, name, config) in zip(bases, parsed):
+        if total[base] > 1:
+            seen[base] += 1
+            base = f"{base}#{seen[base]}"
+        specs.append(
+            RacerSpec(
+                label=base,
+                name=name,
+                config=tuple(sorted(config.items())),
+            )
+        )
+    return tuple(specs)
+
+
+def plan_rungs(
+    n_racers: int,
+    budget: int,
+    eta: int = 2,
+    rung_evals: Optional[int] = None,
+) -> Tuple[Rung, ...]:
+    """The successive-halving schedule for ``n_racers`` under ``budget``.
+
+    Survivor counts follow ``n_{i+1} = ceil(n_i / eta)`` down to one.
+    With ``rung_evals`` set, rung *i* adds ``rung_evals * eta**i``
+    evaluations per survivor (the classic geometric ramp); otherwise
+    the budget is split evenly across rungs, each rung's share split
+    across its survivors.  Pure function — the CLI's ``--dry-run``
+    prints exactly this plan.
+    """
+    if n_racers < 1:
+        raise ValueError("need at least one racer")
+    if eta < 2:
+        raise ValueError("eta must be >= 2")
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    counts = [n_racers]
+    while counts[-1] > 1:
+        counts.append(-(-counts[-1] // eta))
+    rungs = []
+    for i, n in enumerate(counts):
+        if rung_evals is not None:
+            increment = rung_evals * eta**i
+        else:
+            increment = max(1, budget // (len(counts) * n))
+        rungs.append(Rung(index=i, survivors=n, increment=increment))
+    return tuple(rungs)
+
+
+@dataclass
+class _RacerState:
+    """Mutable per-racer bookkeeping across rungs."""
+
+    index: int
+    spec: RacerSpec
+    alive: bool = True
+    oneshot: bool = False
+    converged: bool = False
+    spent: int = 0  # cumulative decisions charged to the ledger
+    allocation: int = 0  # cumulative max_evals granted
+    rungs: int = 0  # rungs actually run
+    eliminated_at: Optional[int] = None
+    best: Optional[Tuple[int, int]] = None
+    binding: Optional[Dict[str, int]] = None
+    status: str = "pending"
+    error: Optional[str] = None
+    last: Optional[StrategyResult] = None
+    trajectory: List[List[int]] = field(default_factory=list)
+
+
+def _rank(states: List[_RacerState]) -> List[_RacerState]:
+    """Scored racers, best first: lexicographic ``(L, M)``, stable."""
+    scored = [s for s in states if s.best is not None]
+    return sorted(scored, key=lambda s: (s.best[0], s.best[1], s.index))
+
+
+def run_portfolio(
+    dfg: Dfg,
+    datapath: Datapath,
+    config: Dict[str, Any],
+    *,
+    cancel: Any = None,
+) -> StrategyResult:
+    """Race the configured strategies; return the winner's result.
+
+    See the module docstring for the algorithm.  ``cancel`` overrides
+    the process-global token (tests inject a
+    :class:`~repro.resilience.anytime.CountdownToken` here).
+    """
+    from ..resilience.anytime import Budget
+    from .session import SearchSession
+
+    try:
+        racers = parse_racers(config.get("racers"))
+    except ValueError as exc:
+        raise ConfigError(f"portfolio: {exc}") from None
+    eta = int(config.get("eta") or 2)
+    budget = int(config.get("max_evals") or DEFAULT_BUDGET)
+    rung_evals = config.get("rung_evals")
+    seed = config.get("seed")
+    deadline = config.get("deadline")
+
+    t0 = time.perf_counter()
+    env = Budget.from_env()
+    token = cancel if cancel is not None else env.token
+    bounds = [
+        b
+        for b in (deadline, env.remaining_seconds())
+        if b is not None
+    ]
+    deadline_at = time.perf_counter() + min(bounds) if bounds else None
+
+    # The parent session owns the shared evaluator (and the
+    # REPRO_EVAL_CACHE warm/persist hooks); racers adopt it through the
+    # substrate scope below.
+    parent = SearchSession(dfg, datapath, cancel=token)
+    plan = plan_rungs(
+        len(racers),
+        budget,
+        eta=eta,
+        rung_evals=int(rung_evals) if rung_evals is not None else None,
+    )
+    states = [_RacerState(index=i, spec=r) for i, r in enumerate(racers)]
+    charged = 0
+    stopped: Optional[str] = None
+    rung_log: List[Dict[str, Any]] = []
+
+    def advance(state: _RacerState, increment: int) -> int:
+        """Run one racer at its next allotment; return the ledger charge."""
+        strategy = get_strategy(state.spec.name)
+        fields = strategy.field_names()
+        child = state.spec.config_dict()
+        if "max_evals" in fields:
+            state.allocation += increment
+            child["max_evals"] = state.allocation
+        else:
+            state.oneshot = True
+            if state.rungs > 0:
+                return 0  # deterministic: a re-run cannot change
+        if state.rungs > 0 and state.converged:
+            return 0  # finished under its previous cap; ditto
+        if seed is not None and "seed" in fields and "seed" not in child:
+            child["seed"] = int(seed)
+        if deadline_at is not None and "deadline" in fields:
+            child["deadline"] = max(
+                0.0, deadline_at - time.perf_counter()
+            )
+        before = (
+            parent.evaluator.stats.evaluations
+            if parent.evaluator is not None
+            else None
+        )
+        run_t0 = time.perf_counter()
+        try:
+            result = strategy.run(
+                dfg, datapath, strategy.validate_config(child)
+            )
+        except Exception as exc:  # one dead racer must not kill the race
+            state.alive = False
+            state.status = "error"
+            state.error = f"{type(exc).__name__}: {exc}"
+            return 0
+        finally:
+            parent.stats.add_phase_seconds(
+                f"racer:{state.spec.label}",
+                time.perf_counter() - run_t0,
+            )
+        state.rungs += 1
+        state.last = result
+        state.status = result.status
+        search = (
+            (result.stats.get("search_stats") or {}) if result.stats else {}
+        )
+        decisions = search.get("evaluations")
+        if decisions is not None:
+            charge = max(0, int(decisions) - state.spent)
+            state.spent = max(state.spent, int(decisions))
+        elif before is not None:
+            charge = max(0, parent.evaluator.stats.evaluations - before)
+            state.spent += charge
+        else:
+            charge = 0
+        state.converged = (
+            result.status == "complete"
+            and not search.get("budget_exhausted")
+            and not search.get("deadline_exceeded")
+        )
+        key = (result.latency, result.transfers)
+        if state.best is None or key < state.best:
+            state.best = key
+            state.binding = (
+                dict(result.binding) if result.binding is not None else None
+            )
+        state.trajectory.append([state.spent, state.best[0], state.best[1]])
+        return charge
+
+    with substrate_scope(evaluator=parent.evaluator, cancel=token):
+        for i, rung in enumerate(plan):
+            runners = [s for s in states if s.alive]
+            if not runners:
+                break
+            final_rung = i + 1 == len(plan)
+            for state in runners:
+                # Salvageability: a stop signal only halts the race once
+                # some racer has produced a best-so-far.  Before that,
+                # the first racer runs anyway — its session shares the
+                # (already fired) token, so it is cut almost immediately
+                # and still returns a legal result to salvage.
+                have_result = any(s.best is not None for s in states)
+                if token is not None and token.cancelled and have_result:
+                    stopped = "cancelled"
+                    break
+                if (
+                    deadline_at is not None
+                    and time.perf_counter() >= deadline_at
+                    and have_result
+                ):
+                    stopped = "deadline"
+                    break
+                remaining = budget - charged
+                if remaining <= 0:
+                    stopped = "budget"
+                    break
+                increment = (
+                    remaining
+                    if final_rung
+                    else min(rung.increment, remaining)
+                )
+                charged += advance(state, increment)
+                if token is not None and token.cancelled:
+                    stopped = "cancelled"
+                    break
+            if stopped is not None:
+                break
+            ranked = _rank(states)
+            if not ranked:
+                break  # every racer errored out
+            survivors = plan[i + 1].survivors if not final_rung else 1
+            for loser in ranked[survivors:]:
+                if loser.alive:
+                    loser.alive = False
+                    loser.eliminated_at = i
+            rung_log.append({
+                "rung": i,
+                "increment": rung.increment,
+                "ranking": [
+                    [s.spec.label, s.best[0], s.best[1], s.spent]
+                    for s in ranked
+                ],
+                "eliminated": [
+                    s.spec.label
+                    for s in ranked[survivors:]
+                    if s.eliminated_at == i
+                ],
+            })
+
+    ranked = _rank(states)
+    if not ranked:
+        details = "; ".join(
+            f"{s.spec.label}: {s.error or s.status}" for s in states
+        )
+        raise RuntimeError(f"every portfolio racer failed ({details})")
+    winner = ranked[0]
+
+    # Snapshot/persist first: the salvage sidecar and the on-disk
+    # outcome store see the winner before the counters are rewritten
+    # (parent.evaluate below touches the parent's own counters).
+    if winner.binding is not None and winner.best is not None:
+        parent.note_best(
+            winner.binding,
+            winner.best,
+            parent.evaluate(winner.binding),
+        )
+    parent.persist()
+
+    # Fold the race into the parent session's telemetry: summed charged
+    # decisions, the winner's trajectory (so trajectory validation sees
+    # one legal search curve), per-racer accounting for /metrics.
+    stats = parent.stats
+    stats.evaluations = sum(s.spent for s in states)
+    if parent.evaluator is not None:
+        eval_totals = parent.evaluator.stats
+        stats.cache_hits = eval_totals.hits
+        stats.cache_misses = eval_totals.misses
+    winner_search = (
+        (winner.last.stats.get("search_stats") or {})
+        if winner.last is not None and winner.last.stats
+        else {}
+    )
+    stats.best_trajectory = [
+        (n, tuple(q)) for n, q in winner_search.get("best_trajectory", [])
+    ]
+    stats.segments = list(winner_search.get("segments", []))
+    for s in states:
+        stats.record_racer(
+            s.spec.label,
+            strategy=s.spec.name,
+            evaluations=s.spent,
+            rungs=s.rungs,
+            best_latency=s.best[0] if s.best is not None else None,
+            best_transfers=s.best[1] if s.best is not None else None,
+        )
+    stats.cancelled = stopped == "cancelled" or (
+        token is not None and token.cancelled
+    )
+    stats.deadline_exceeded = stopped == "deadline" or bool(
+        winner_search.get("deadline_exceeded")
+    )
+    stats.budget_exhausted = stopped == "budget" or bool(
+        winner_search.get("budget_exhausted")
+    )
+
+    per_racer = {
+        s.spec.label: {
+            "strategy": s.spec.name,
+            "evaluations": s.spent,
+            "allocation": s.allocation,
+            "rungs": s.rungs,
+            "best": list(s.best) if s.best is not None else None,
+            "status": s.status,
+            "error": s.error,
+            "eliminated_at": s.eliminated_at,
+        }
+        for s in states
+    }
+    trajectories = {s.spec.label: s.trajectory for s in states}
+    extras = {
+        "winner": winner.spec.label,
+        "winner_strategy": winner.spec.name,
+        "racers": len(states),
+        "rungs": len(rung_log),
+        "budget": budget,
+        "eta": eta,
+        "charged": charged,
+        "stopped": stopped,
+        "rung_log": json.dumps(
+            rung_log, sort_keys=True, separators=(",", ":")
+        ),
+        "per_racer": json.dumps(
+            per_racer, sort_keys=True, separators=(",", ":")
+        ),
+        "trajectories": json.dumps(
+            trajectories, sort_keys=True, separators=(",", ":")
+        ),
+    }
+    return StrategyResult(
+        latency=winner.best[0],
+        transfers=winner.best[1],
+        seconds=time.perf_counter() - t0,
+        binding=winner.binding,
+        stats=session_stats(parent),
+        extras=extras,
+        status=parent.result_status(),
+    )

@@ -37,12 +37,14 @@ pin that.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
     Dict,
     Iterator,
+    List,
     Mapping,
     Optional,
     Tuple,
@@ -61,6 +63,8 @@ __all__ = [
     "strategy_names",
     "iter_strategies",
     "run_strategy",
+    "session_stats",
+    "substrate_scope",
     "QUALITY_FIELD",
     "BUDGET_FIELDS",
     "SEED_FIELD",
@@ -334,13 +338,51 @@ def run_strategy(
 # Session plumbing shared by the built-in strategies.
 # ----------------------------------------------------------------------
 
-def _make_session(dfg: Dfg, datapath: Datapath, config: Mapping[str, Any]):
+@dataclass(frozen=True)
+class _Substrate:
+    """A shared evaluation substrate imposed on nested strategy runs."""
+
+    evaluator: Any = None
+    cancel: Any = None
+
+
+#: Stack of active substrates; the portfolio meta-strategy pushes one so
+#: every racer's internally-built session shares its evaluator memo and
+#: cancel token.  Sessions are only shareable across runs on the *same*
+#: ``(dfg, datapath)`` cell — the scope holder guarantees that.
+_SUBSTRATE: List[_Substrate] = []
+
+
+@contextmanager
+def substrate_scope(evaluator: Any = None, cancel: Any = None):
+    """Share ``evaluator``/``cancel`` with sessions built in this scope.
+
+    Every :func:`_make_session` call (and the tabu shim's explicit
+    session construction) inside the ``with`` block adopts the given
+    evaluator and cancel token instead of building fresh ones.  This is
+    how ``portfolio`` races N strategies on one memo under one budget
+    without threading a session parameter through every run callable.
+    """
+    _SUBSTRATE.append(_Substrate(evaluator=evaluator, cancel=cancel))
+    try:
+        yield
+    finally:
+        _SUBSTRATE.pop()
+
+
+def _make_session(
+    dfg: Dfg,
+    datapath: Datapath,
+    config: Mapping[str, Any],
+    evaluator: Any = None,
+):
     """One budgeted :class:`SearchSession` from a job config.
 
     ``max_evals``/``deadline`` map to the session's ``max_evaluations``
     / ``deadline_seconds``; absent (or None) keys leave the session
     unbudgeted, which is bit-identical to the historical unbudgeted
-    runs.
+    runs.  An active :func:`substrate_scope` supplies the evaluator and
+    cancel token; an explicit ``evaluator`` argument wins over both.
     """
     from .session import SearchSession
 
@@ -349,6 +391,14 @@ def _make_session(dfg: Dfg, datapath: Datapath, config: Mapping[str, Any]):
         kwargs["max_evaluations"] = int(config["max_evals"])
     if config.get("deadline") is not None:
         kwargs["deadline_seconds"] = float(config["deadline"])
+    if _SUBSTRATE:
+        substrate = _SUBSTRATE[-1]
+        if substrate.evaluator is not None:
+            kwargs["evaluator"] = substrate.evaluator
+        if substrate.cancel is not None:
+            kwargs["cancel"] = substrate.cancel
+    if evaluator is not None:
+        kwargs["evaluator"] = evaluator
     return SearchSession(dfg, datapath, **kwargs)
 
 
@@ -394,18 +444,87 @@ def _run_pcc(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
     )
 
 
+#: ``direction`` config value -> the driver's ``directions`` sequence.
+_DIRECTIONS = {
+    "both": (False, True),
+    "forward": (False,),
+    "reverse": (True,),
+}
+
+
+def _sweep_kwargs(
+    dfg: Dfg, datapath: Datapath, config: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Map declarative B-INIT sweep knobs onto driver keyword arguments.
+
+    Absent keys produce no kwargs, so a knob-less config is bit-identical
+    to the historical ``bind``/``bind_initial`` defaults.  The ``lpr``
+    key accepts ``"sweep"`` (the default full sweep), ``"lcp"`` (pin to
+    the critical-path length), or a positive integer rendered as a
+    string.
+    """
+    kwargs: Dict[str, Any] = {}
+    lpr = config.get("lpr")
+    if lpr is not None and lpr != "sweep":
+        if lpr == "lcp":
+            from ..schedule.bounds import latency_bounds
+
+            kwargs["lpr_values"] = [
+                latency_bounds(dfg, datapath).critical_path
+            ]
+        else:
+            kwargs["lpr_values"] = [int(lpr)]
+    direction = config.get("direction")
+    if direction is not None:
+        kwargs["directions"] = _DIRECTIONS[direction]
+    if (
+        config.get("gamma") is not None
+        or config.get("share_aware") is not None
+    ):
+        from ..core.cost import CostParams
+
+        defaults = CostParams()
+        kwargs["params"] = CostParams(
+            gamma=(
+                float(config["gamma"])
+                if config.get("gamma") is not None
+                else defaults.gamma
+            ),
+            share_aware=(
+                bool(config["share_aware"])
+                if config.get("share_aware") is not None
+                else defaults.share_aware
+            ),
+        )
+    if config.get("ordering") is not None:
+        from ..core.ordering import make_ordering
+
+        kwargs["ordering"] = make_ordering(
+            config["ordering"], seed=int(config.get("ordering_seed") or 0)
+        )
+    return kwargs
+
+
 def _run_b_init(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
-    from ..core.driver import bind_initial
+    from ..core.driver import bind_initial, default_lpr_values
 
     session = _make_session(dfg, datapath, config)
-    result = bind_initial(dfg, datapath, session=session)
+    sweep = _sweep_kwargs(dfg, datapath, config)
+    result = bind_initial(dfg, datapath, session=session, **sweep)
+    lpr_values = sweep.get("lpr_values")
+    if lpr_values is None:
+        lpr_values = default_lpr_values(dfg, datapath)
     return StrategyResult(
         latency=result.latency,
         transfers=result.num_transfers,
         seconds=result.init_seconds,
         binding=dict(result.binding),
         stats=session_stats(session),
-        extras={"lpr": result.lpr, "reverse": result.reverse},
+        extras={
+            "lpr": result.lpr,
+            "reverse": result.reverse,
+            "sweep_points": len(lpr_values),
+        },
         status=session.result_status(),
     )
 
@@ -420,13 +539,18 @@ def _run_b_iter(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
         iter_starts=config.get("iter_starts"),
         quality=config.get("quality") or "qu+qm",
         session=session,
+        **_sweep_kwargs(dfg, datapath, config),
     )
+    extras: Dict[str, Any] = {}
+    if result.iter_result is not None:
+        extras["iterations"] = result.iter_result.iterations
     return StrategyResult(
         latency=result.latency,
         transfers=result.num_transfers,
         seconds=result.init_seconds + result.iter_seconds,
         binding=dict(result.binding),
         stats=session_stats(session),
+        extras=extras,
         status=session.result_status(),
     )
 
@@ -475,18 +599,12 @@ def _run_tabu(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
     """
     from ..core.driver import bind_initial
     from ..core.tabu import tabu_improvement
-    from .session import SearchSession
 
     t0 = time.perf_counter()
-    seed_session = SearchSession(dfg, datapath)
+    seed_session = _make_session(dfg, datapath, {})
     seed = bind_initial(dfg, datapath, session=seed_session)
-    kwargs: Dict[str, Any] = {}
-    if config.get("max_evals") is not None:
-        kwargs["max_evaluations"] = int(config["max_evals"])
-    if config.get("deadline") is not None:
-        kwargs["deadline_seconds"] = float(config["deadline"])
-    session = SearchSession(
-        dfg, datapath, evaluator=seed_session.evaluator, **kwargs
+    session = _make_session(
+        dfg, datapath, config, evaluator=seed_session.evaluator
     )
     result = tabu_improvement(
         dfg,
@@ -690,6 +808,81 @@ _ITER_STARTS_FIELD = ConfigField(
     "(absent/None = all distinct candidates)",
 )
 
+
+def _check_choice(*choices: str) -> Callable[[str], None]:
+    def check(value: str) -> None:
+        if value not in choices:
+            raise ValueError(f"expected one of {', '.join(choices)}")
+
+    return check
+
+
+def _check_lpr(value: str) -> None:
+    if value in ("sweep", "lcp"):
+        return
+    if not value.isdigit() or int(value) < 1:
+        raise ValueError("expected 'sweep', 'lcp', or a positive integer")
+
+
+#: The declarative B-INIT sweep knobs shared by ``b-init``/``b-iter`` —
+#: what the A1/A2/A3/A5/A6 ablations vary, now expressible as plain job
+#: config instead of direct ``repro.core`` imports.
+SWEEP_FIELDS: Tuple[ConfigField, ...] = (
+    ConfigField(
+        "lpr",
+        str,
+        default="sweep",
+        help="L_PR stretch: 'sweep' (full §3.1.3 sweep), 'lcp' (pin to "
+        "the critical path), or a positive integer",
+        check=_check_lpr,
+    ),
+    ConfigField(
+        "direction",
+        str,
+        default="both",
+        help="binding direction(s) to sweep: both | forward | reverse",
+        check=_check_choice("both", "forward", "reverse"),
+    ),
+    ConfigField(
+        "ordering",
+        str,
+        help="greedy visit order override: paper | reverse | mobility "
+        "| random (default: the paper's per-direction order)",
+        check=_check_choice("paper", "reverse", "mobility", "random"),
+    ),
+    ConfigField(
+        "ordering_seed",
+        int,
+        default=0,
+        help="seed for ordering=random",
+    ),
+    ConfigField(
+        "gamma",
+        float,
+        default=1.1,
+        minimum=0.0,
+        help="transfer-cost overweight in the greedy cost function",
+    ),
+    ConfigField(
+        "share_aware",
+        bool,
+        default=True,
+        help="share-aware transfer-cost accounting (ablation A6)",
+    ),
+)
+
+
+def _check_racers(value: str) -> None:
+    from .portfolio import parse_racers
+
+    parse_racers(value)
+
+
+def _run_portfolio(dfg: Dfg, datapath: Datapath, config: Dict[str, Any]):
+    from .portfolio import run_portfolio
+
+    return run_portfolio(dfg, datapath, config)
+
 register_strategy(Strategy(
     name="pcc",
     run=_run_pcc,
@@ -704,7 +897,7 @@ register_strategy(Strategy(
 register_strategy(Strategy(
     name="b-init",
     run=_run_b_init,
-    schema=(),
+    schema=SWEEP_FIELDS,
     description="the driver's initial-binding sweep over L_PR stretch "
     "values and binding directions (paper §3.1)",
 ))
@@ -712,9 +905,37 @@ register_strategy(Strategy(
 register_strategy(Strategy(
     name="b-iter",
     run=_run_b_iter,
-    schema=(_ITER_STARTS_FIELD, QUALITY_FIELD) + BUDGET_FIELDS,
+    schema=(_ITER_STARTS_FIELD, QUALITY_FIELD) + SWEEP_FIELDS
+    + BUDGET_FIELDS,
     description="B-INIT sweep plus multi-start boundary-perturbation "
     "descent under a declarative quality spec (paper §3.2)",
+))
+
+register_strategy(Strategy(
+    name="portfolio",
+    run=_run_portfolio,
+    schema=(
+        ConfigField(
+            "racers",
+            str,
+            help="strategies to race: comma-separated names, or a JSON "
+            'array of names / {"name": ..., "config": {...}} objects',
+            check=_check_racers,
+        ),
+        ConfigField(
+            "eta", int, default=2, minimum=2,
+            help="halving factor: survivors per rung = ceil(n / eta)",
+        ),
+        ConfigField(
+            "rung_evals", int, minimum=1,
+            help="per-racer evaluation allotment of the first rung "
+            "(default: max_evals split evenly across rungs)",
+        ),
+        SEED_FIELD,
+    ) + BUDGET_FIELDS,
+    description="races registered strategy configs on one shared "
+    "evaluation substrate with successive halving, returning the best "
+    "racer's binding (meta-strategy)",
 ))
 
 register_strategy(Strategy(

@@ -60,6 +60,12 @@ class SearchStats:
         engine_candidates: candidates those batches carried, per
             engine; for ``"vector"`` this counts lanes actually
             scheduled (memo hits are planned out before packing).
+        racers: per-racer accounting of a portfolio race, keyed by
+            racer label; each value carries the racer's charged
+            evaluation decisions, rungs survived, and best ``(L, M)``.
+            Empty for every non-portfolio session, and omitted from
+            :meth:`as_dict` in that case so the historical stats shape
+            is untouched.
     """
 
     evaluations: int = 0
@@ -76,6 +82,7 @@ class SearchStats:
     incidents: List[Dict[str, str]] = field(default_factory=list)
     engine_batches: Dict[str, int] = field(default_factory=dict)
     engine_candidates: Dict[str, int] = field(default_factory=dict)
+    racers: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def record_engine_batch(self, engine: str, candidates: int) -> None:
         """Book one ``evaluate_many`` batch against its serving engine."""
@@ -120,9 +127,13 @@ class SearchStats:
             self.phase_seconds.get(phase, 0.0) + seconds
         )
 
+    def record_racer(self, label: str, **counters: Any) -> None:
+        """Merge per-racer portfolio counters under ``label``."""
+        self.racers.setdefault(label, {}).update(counters)
+
     def as_dict(self) -> Dict[str, Any]:
         """JSON-serializable form (runner store, CLI reporting)."""
-        return {
+        out = {
             "evaluations": self.evaluations,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
@@ -145,3 +156,9 @@ class SearchStats:
                 for name in sorted(self.engine_batches)
             },
         }
+        if self.racers:
+            out["racers"] = {
+                label: dict(counters)
+                for label, counters in sorted(self.racers.items())
+            }
+        return out

@@ -819,6 +819,9 @@ class BindingService:
             engines = result.search_stats.get("engines")
             if engines:
                 self.metrics.record_engines(engines)
+            racers = result.search_stats.get("racers")
+            if racers:
+                self.metrics.record_racers(racers)
         self.store.record(record.job, result)
         # Only complete results enter the content-addressed cache: a
         # deadline/cancelled/salvaged best-so-far is legal but partial,

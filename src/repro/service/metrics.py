@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Any, Deque, Dict, List
+from typing import Any, Deque, Dict, List, Optional
 
 __all__ = ["WINDOW", "Metrics", "percentile"]
 
@@ -77,6 +77,10 @@ class Metrics:
         # completed results' search stats: {"vector": {"batches": n,
         # "candidates": m}, "scalar": ..., "naive": ...}.
         self.engines: Dict[str, Dict[str, int]] = {}
+        # Per-racer accounting from completed portfolio results,
+        # aggregated by racer label: {"b-iter": {"races": n,
+        # "evaluations": m, "wins": k}, ...}.
+        self.racers: Dict[str, Dict[str, int]] = {}
         self._latency: Dict[str, Deque[float]] = {}
         self._queue_delay: Deque[float] = deque(maxlen=WINDOW)
 
@@ -88,6 +92,34 @@ class Metrics:
             )
             slot["batches"] += int(counters.get("batches", 0))
             slot["candidates"] += int(counters.get("candidates", 0))
+
+    def record_racers(self, racers: Dict[str, Dict[str, Any]]) -> None:
+        """Fold one portfolio result's per-racer counters in.
+
+        The winner is the racer whose best ``(L, M)`` leads the field
+        (lexicographic; first label wins ties), mirroring the
+        portfolio's own ranking.
+        """
+        best: Optional[tuple] = None
+        winner: Optional[str] = None
+        for label in sorted(racers):
+            counters = racers[label]
+            latency = counters.get("best_latency")
+            transfers = counters.get("best_transfers")
+            if latency is None:
+                continue
+            key = (latency, transfers if transfers is not None else 0)
+            if best is None or key < best:
+                best = key
+                winner = label
+        for label, counters in racers.items():
+            slot = self.racers.setdefault(
+                label, {"races": 0, "evaluations": 0, "wins": 0}
+            )
+            slot["races"] += 1
+            slot["evaluations"] += int(counters.get("evaluations", 0))
+            if label == winner:
+                slot["wins"] += 1
 
     def note_completion(self, completion: str) -> None:
         """Tally one terminal result's anytime completion tag."""
@@ -163,6 +195,10 @@ class Metrics:
             "engines": {
                 name: dict(counters)
                 for name, counters in sorted(self.engines.items())
+            },
+            "racers": {
+                label: dict(counters)
+                for label, counters in sorted(self.racers.items())
             },
             "latency": self.latency_summary(),
         }

@@ -1,0 +1,361 @@
+"""Declarative sweeps: one grammar replacing per-file sweep scripts.
+
+A :class:`SweepSpec` names the cells (kernels × datapaths, or an
+explicit cell list) and the strategy variants (fixed configs and/or
+config *grids*) of an experiment as plain dicts and lists::
+
+    spec = SweepSpec.from_dict({
+        "kernels": ["ewf", "arf"],
+        "datapaths": ["|2,1|1,1|", {"spec": "|1,1|1,1|", "buses": 1}],
+        "strategies": [
+            "pcc",
+            {"name": "b-iter", "config": {"iter_starts": 1}},
+            {"name": "b-init", "grid": {"gamma": [0.5, 1.1, 2.0]}},
+        ],
+    })
+
+``compile()`` expands that declaration into content-addressed
+:class:`~repro.runner.jobs.BindJob`s — every grid point validated
+against its strategy's schema up front, with one-line errors naming
+the offending variant — and :func:`run_sweep` executes them through
+:func:`~repro.runner.api.run_jobs` (parallel, cached, resumable,
+budget-capable: everything the experiment engine already does).
+:func:`summarize_sweep` groups the flat results back into
+:class:`~repro.analysis.metrics.ComparisonRow`s, one column per
+variant, ready for :func:`~repro.analysis.tables.render_comparison`.
+
+Expansion order is deterministic: cells in declaration order, variants
+in declaration order, grid keys sorted, grid values in declaration
+order — so job lists (and therefore cache keys and summaries) are
+stable across runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .analysis.metrics import AlgoCell, ComparisonRow
+from .datapath.model import Datapath
+from .datapath.parse import parse_datapath
+from .kernels.registry import load_kernel
+from .runner import BindJob, JobResult, ProgressTracker, ResultCache, RunStore
+from .runner.api import run_jobs
+from .search.registry import ConfigError, get_strategy
+
+__all__ = [
+    "DatapathSpec",
+    "StrategyVariant",
+    "SweepSpec",
+    "run_sweep",
+    "summarize_sweep",
+]
+
+
+@dataclass(frozen=True)
+class DatapathSpec:
+    """One machine in a sweep, as the parser arguments that build it."""
+
+    spec: str
+    num_buses: int = 2
+    move_latency: int = 1
+
+    def build(self) -> Datapath:
+        return parse_datapath(
+            self.spec,
+            num_buses=self.num_buses,
+            move_latency=self.move_latency,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec,
+            "buses": self.num_buses,
+            "move_latency": self.move_latency,
+        }
+
+
+@dataclass(frozen=True)
+class StrategyVariant:
+    """One column of the sweep: a strategy name plus a fixed config."""
+
+    label: str
+    name: str
+    config: Tuple[Tuple[str, Any], ...] = ()
+
+    def config_dict(self) -> Dict[str, Any]:
+        return dict(self.config)
+
+
+def _parse_datapath_entry(entry: Any) -> DatapathSpec:
+    if isinstance(entry, str):
+        return DatapathSpec(spec=entry)
+    if isinstance(entry, Mapping):
+        unknown = set(entry) - {"spec", "buses", "move_latency"}
+        if unknown:
+            raise ConfigError(
+                f"datapath entry has unknown keys {sorted(unknown)}; "
+                "allowed: spec, buses, move_latency"
+            )
+        if "spec" not in entry:
+            raise ConfigError(f"datapath entry {entry!r} has no 'spec'")
+        return DatapathSpec(
+            spec=entry["spec"],
+            num_buses=int(entry.get("buses", 2)),
+            move_latency=int(entry.get("move_latency", 1)),
+        )
+    raise ConfigError(
+        f"datapath entry {entry!r} is neither a spec string nor an object"
+    )
+
+
+def _variant_label(name: str, config: Mapping[str, Any]) -> str:
+    if not config:
+        return name
+    inner = ",".join(f"{k}={config[k]}" for k in sorted(config))
+    return f"{name}[{inner}]"
+
+
+def _expand_strategy_entry(entry: Any) -> List[StrategyVariant]:
+    """One ``strategies`` list entry -> its validated variants."""
+    if isinstance(entry, str):
+        name, base, grid, label = entry, {}, {}, None
+    elif isinstance(entry, Mapping):
+        unknown = set(entry) - {"name", "config", "grid", "label"}
+        if unknown:
+            raise ConfigError(
+                f"strategy entry has unknown keys {sorted(unknown)}; "
+                "allowed: name, config, grid, label"
+            )
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            raise ConfigError(f"strategy entry {entry!r} has no 'name'")
+        base = dict(entry.get("config") or {})
+        grid = dict(entry.get("grid") or {})
+        label = entry.get("label")
+    else:
+        raise ConfigError(
+            f"strategy entry {entry!r} is neither a name nor an object"
+        )
+    strategy = get_strategy(name)  # unknown names fail fast, with the list
+    overlap = set(base) & set(grid)
+    if overlap:
+        raise ConfigError(
+            f"strategy {name!r}: keys {sorted(overlap)} appear in both "
+            "config and grid"
+        )
+    if label is not None and grid:
+        raise ConfigError(
+            f"strategy {name!r}: an explicit label cannot cover a grid "
+            "(each grid point needs its own)"
+        )
+    points: List[Dict[str, Any]] = [{}]
+    if grid:
+        keys = sorted(grid)
+        for key in keys:
+            values = grid[key]
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ConfigError(
+                    f"strategy {name!r}: grid key {key!r} needs a "
+                    "non-empty list of values"
+                )
+        points = [
+            dict(zip(keys, combo))
+            for combo in itertools.product(*(grid[k] for k in keys))
+        ]
+    variants = []
+    for point in points:
+        config = {**base, **point}
+        try:
+            validated = strategy.validate_config(config)
+        except (ConfigError, TypeError) as exc:
+            raise ConfigError(
+                f"strategy {name!r} variant "
+                f"{_variant_label(name, config)}: {exc}"
+            ) from None
+        variants.append(
+            StrategyVariant(
+                label=label or _variant_label(name, point or config),
+                name=name,
+                config=tuple(sorted(validated.items())),
+            )
+        )
+    return variants
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: cells × validated strategy variants."""
+
+    cells: Tuple[Tuple[str, DatapathSpec], ...]
+    variants: Tuple[StrategyVariant, ...]
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        """Build a spec from the plain-dict grammar.
+
+        Keys: ``strategies`` (required) plus either ``kernels`` ×
+        ``datapaths`` (full cross product) or an explicit ``cells``
+        list of ``[kernel, datapath]`` pairs.  See the module
+        docstring for the entry shapes.
+        """
+        unknown = set(data) - {"kernels", "datapaths", "cells", "strategies"}
+        if unknown:
+            raise ConfigError(
+                f"sweep spec has unknown keys {sorted(unknown)}; "
+                "allowed: kernels, datapaths, cells, strategies"
+            )
+        if not data.get("strategies"):
+            raise ConfigError("sweep spec needs a non-empty 'strategies'")
+        explicit = data.get("cells")
+        if explicit is not None:
+            if data.get("kernels") or data.get("datapaths"):
+                raise ConfigError(
+                    "sweep spec takes either 'cells' or "
+                    "'kernels'+'datapaths', not both"
+                )
+            cells = []
+            for entry in explicit:
+                if isinstance(entry, Mapping):
+                    kernel = entry.get("kernel")
+                    datapath = entry.get("datapath")
+                elif isinstance(entry, (list, tuple)) and len(entry) == 2:
+                    kernel, datapath = entry
+                else:
+                    raise ConfigError(
+                        f"cell entry {entry!r} is not a "
+                        "[kernel, datapath] pair"
+                    )
+                if not isinstance(kernel, str) or not kernel:
+                    raise ConfigError(f"cell entry {entry!r} has no kernel")
+                cells.append((kernel, _parse_datapath_entry(datapath)))
+        else:
+            kernels = data.get("kernels")
+            datapaths = data.get("datapaths")
+            if not kernels or not datapaths:
+                raise ConfigError(
+                    "sweep spec needs 'kernels' and 'datapaths' "
+                    "(or an explicit 'cells' list)"
+                )
+            machines = [_parse_datapath_entry(d) for d in datapaths]
+            cells = [
+                (kernel, machine)
+                for kernel in kernels
+                for machine in machines
+            ]
+        for kernel, _ in cells:
+            load_kernel(kernel)  # unknown kernels fail before any job
+        variants = []
+        for entry in data["strategies"]:
+            variants.extend(_expand_strategy_entry(entry))
+        labels = [v.label for v in variants]
+        duplicates = {l for l in labels if labels.count(l) > 1}
+        if duplicates:
+            raise ConfigError(
+                f"duplicate variant labels {sorted(duplicates)}; "
+                "disambiguate with 'label' or distinct configs"
+            )
+        return cls(cells=tuple(cells), variants=tuple(variants))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Round-trippable plain-dict form (always explicit cells)."""
+        return {
+            "cells": [
+                [kernel, machine.to_dict()] for kernel, machine in self.cells
+            ],
+            "strategies": [
+                {
+                    "name": v.name,
+                    "label": v.label,
+                    "config": v.config_dict(),
+                }
+                for v in self.variants
+            ],
+        }
+
+    def compile(self) -> List[BindJob]:
+        """Expand into content-addressed jobs, cells outermost."""
+        return [
+            BindJob.make(
+                load_kernel(kernel),
+                machine.build(),
+                variant.name,
+                **variant.config_dict(),
+            )
+            for kernel, machine in self.cells
+            for variant in self.variants
+        ]
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    max_workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    store: Optional[RunStore] = None,
+    progress: Optional[Callable[[ProgressTracker], None]] = None,
+) -> List[JobResult]:
+    """Execute a compiled sweep; results in ``compile()`` order."""
+    return run_jobs(
+        spec.compile(),
+        max_workers=max_workers,
+        cache=cache,
+        store=store,
+        progress=progress,
+    )
+
+
+def summarize_sweep(
+    spec: SweepSpec, results: Sequence[JobResult]
+) -> List[ComparisonRow]:
+    """Group flat sweep results into one comparison row per cell.
+
+    A variant that failed on a cell (heterogeneous machine for
+    min-cut, a blown space cap) becomes a ``None`` cell, mirroring
+    :func:`~repro.analysis.experiments.run_comparison`.
+    """
+    stride = len(spec.variants)
+    if len(results) != stride * len(spec.cells):
+        raise ValueError(
+            f"expected {stride * len(spec.cells)} results "
+            f"({len(spec.cells)} cells x {stride} variants), "
+            f"got {len(results)}"
+        )
+    rows: List[ComparisonRow] = []
+    for i, (kernel, machine) in enumerate(spec.cells):
+        datapath = machine.build()
+        chunk = results[i * stride : (i + 1) * stride]
+        row_cells = []
+        for variant, result in zip(spec.variants, chunk):
+            if result.ok:
+                assert result.latency is not None
+                assert result.transfers is not None
+                cell = AlgoCell(
+                    result.latency,
+                    result.transfers,
+                    result.seconds,
+                    search_stats=result.search_stats,
+                )
+            else:
+                cell = None
+            row_cells.append((variant.label, cell))
+        rows.append(
+            ComparisonRow(
+                kernel=kernel,
+                datapath_spec=datapath.spec(),
+                num_buses=datapath.num_buses,
+                move_latency=datapath.move_latency,
+                cells=tuple(row_cells),
+            )
+        )
+    return rows

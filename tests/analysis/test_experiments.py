@@ -55,3 +55,69 @@ class TestTables:
         text = render_rows(rows, title="demo")
         assert text.startswith("demo")
         assert "PCC L/M" in text
+
+
+class TestRunComparisonOverrides:
+    def _cells(self):
+        return [("arf", parse_datapath("|1,1|1,1|", num_buses=2))]
+
+    def test_overrides_reach_the_strategy(self):
+        from repro.analysis.experiments import run_comparison
+
+        rows = run_comparison(
+            self._cells(),
+            ["b-init"],
+            configs={"b-init": {"direction": "forward"}},
+        )
+        cells = dict(rows[0].cells)
+        assert cells["b-init"] is not None
+        # The forward-only sweep visits fewer points than the default
+        # both-directions sweep on the same cell.
+        both = run_comparison(self._cells(), ["b-init"])
+        forward_stats = cells["b-init"].search_stats
+        both_stats = dict(both[0].cells)["b-init"].search_stats
+        assert (
+            forward_stats["evaluations"] < both_stats["evaluations"]
+        )
+
+    def test_override_for_unrequested_algorithm(self):
+        from repro.analysis.experiments import run_comparison
+        from repro.search.registry import ConfigError
+
+        with pytest.raises(ConfigError, match="matches no requested"):
+            run_comparison(
+                self._cells(), ["pcc"], configs={"b-init": {}}
+            )
+
+    def test_bad_override_is_one_line_error(self):
+        from repro.analysis.experiments import run_comparison
+        from repro.search.registry import ConfigError
+
+        with pytest.raises(ConfigError, match="b-init.*direction"):
+            run_comparison(
+                self._cells(),
+                ["b-init"],
+                configs={"b-init": {"direction": "sideways"}},
+            )
+
+    def test_portfolio_as_comparison_column(self):
+        from repro.analysis.experiments import run_comparison
+
+        rows = run_comparison(
+            self._cells(),
+            ["pcc", "portfolio"],
+            configs={
+                "portfolio": {
+                    "racers": "pcc,b-init",
+                    "max_evals": 200,
+                    "seed": 0,
+                }
+            },
+        )
+        cells = dict(rows[0].cells)
+        race, pcc = cells["portfolio"], cells["pcc"]
+        assert race is not None and pcc is not None
+        assert (race.latency, race.transfers) <= (
+            pcc.latency,
+            pcc.transfers,
+        )

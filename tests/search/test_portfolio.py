@@ -1,0 +1,310 @@
+"""Portfolio racing: plan math, determinism, conservation, salvage.
+
+Four layers of guarantees:
+
+* :func:`parse_racers` / :func:`plan_rungs` are pure and fussy — every
+  malformed entry dies with a one-line error before any binder runs;
+* the race is *deterministic*: same seed, same budget ⇒ identical
+  winner, rung log and per-racer trajectories, on both the scalar and
+  the vectorized evaluation engine;
+* the shared ledger is *conserved*: the charged decision count never
+  exceeds the configured budget (on a cell where every racer converges
+  under its allotment) and always equals the summed per-racer spend;
+* a cancel token falling at *any* poll still salvages a legal,
+  validated best-so-far — mirroring ``test_anytime_cut`` one level up.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.binding import Binding
+from repro.datapath.parse import parse_datapath
+from repro.dfg.transform import bind_dfg
+from repro.kernels import load_kernel
+from repro.resilience.anytime import CountdownToken
+from repro.resilience.validate import validate_outcome
+from repro.schedule.list_scheduler import list_schedule
+from repro.search.portfolio import (
+    Rung,
+    parse_racers,
+    plan_rungs,
+    run_portfolio,
+)
+from repro.search.registry import ConfigError, get_strategy, run_strategy
+
+GATES = ("0", "1")  # scalar engine / vectorized batch engine
+
+RACERS = json.dumps(
+    [
+        {"name": "pcc"},
+        {"name": "b-init"},
+        {"name": "b-iter", "config": {"iter_starts": 1}},
+    ]
+)
+BUDGET = 600
+SEED = 7
+
+
+def _cell():
+    return load_kernel("arf"), parse_datapath("|1,1|1,1|", num_buses=2)
+
+
+def _with_gate(gate, fn):
+    previous = os.environ.get("REPRO_VECTORPATH")
+    os.environ["REPRO_VECTORPATH"] = gate
+    try:
+        return fn()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_VECTORPATH", None)
+        else:
+            os.environ["REPRO_VECTORPATH"] = previous
+
+
+class TestParseRacers:
+    def test_comma_list(self):
+        specs = parse_racers("pcc, b-init")
+        assert [(s.label, s.name) for s in specs] == [
+            ("pcc", "pcc"),
+            ("b-init", "b-init"),
+        ]
+        assert all(s.config == () for s in specs)
+
+    def test_json_array_with_config_and_label(self):
+        specs = parse_racers(
+            '[{"name": "b-iter", "config": {"iter_starts": 2}, '
+            '"label": "wide"}, "pcc"]'
+        )
+        assert specs[0].label == "wide"
+        assert specs[0].name == "b-iter"
+        assert specs[0].config_dict() == {"iter_starts": 2}
+        assert specs[1].label == "pcc"
+
+    def test_duplicate_labels_get_ordinals(self):
+        specs = parse_racers(
+            '[{"name": "b-iter", "config": {"quality": "latency"}},'
+            ' {"name": "b-iter", "config": {"quality": "qu"}}]'
+        )
+        assert [s.label for s in specs] == ["b-iter#1", "b-iter#2"]
+
+    def test_python_list_accepted(self):
+        specs = parse_racers(["pcc", {"name": "tabu"}])
+        assert [s.name for s in specs] == ["pcc", "tabu"]
+
+    @pytest.mark.parametrize("value", ["", "   ", None, []])
+    def test_empty_rejected(self, value):
+        with pytest.raises(ValueError, match="non-empty 'racers'"):
+            parse_racers(value)
+
+    def test_self_nesting_rejected(self):
+        with pytest.raises(ValueError, match="cannot race itself"):
+            parse_racers("b-iter,portfolio")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(Exception, match="nosuch"):
+            parse_racers("nosuch")
+
+    def test_unknown_entry_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            parse_racers('[{"name": "pcc", "budget": 3}]')
+
+    def test_bad_config_rejected_by_schema(self):
+        with pytest.raises((ConfigError, ValueError), match="iter_starts"):
+            parse_racers('[{"name": "b-iter", "config": {"iter_starts": 0}}]')
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            parse_racers("[{not json")
+
+    def test_config_must_be_object(self):
+        with pytest.raises(ValueError, match="config must be an object"):
+            parse_racers('[{"name": "pcc", "config": [1]}]')
+
+
+class TestPlanRungs:
+    def test_even_split(self):
+        plan = plan_rungs(4, 900, eta=2)
+        assert [r.survivors for r in plan] == [4, 2, 1]
+        # budget // (len(rungs) * survivors), per rung
+        assert [r.increment for r in plan] == [75, 150, 300]
+        assert plan[0] == Rung(index=0, survivors=4, increment=75)
+
+    def test_geometric_ramp(self):
+        plan = plan_rungs(5, 10_000, eta=3, rung_evals=10)
+        assert [r.survivors for r in plan] == [5, 2, 1]
+        assert [r.increment for r in plan] == [10, 30, 90]
+
+    def test_single_racer_single_rung(self):
+        plan = plan_rungs(1, 100)
+        assert len(plan) == 1
+        assert plan[0].survivors == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one racer"):
+            plan_rungs(0, 100)
+        with pytest.raises(ValueError, match="eta"):
+            plan_rungs(3, 100, eta=1)
+        with pytest.raises(ValueError, match="budget"):
+            plan_rungs(3, 0)
+
+
+class TestPortfolioSchema:
+    def test_registered_with_schema(self):
+        strategy = get_strategy("portfolio")
+        fields = strategy.field_names()
+        for key in ("racers", "max_evals", "eta", "rung_evals", "seed"):
+            assert key in fields
+
+    def test_missing_racers_one_line_error(self):
+        dfg, dp = _cell()
+        with pytest.raises(ConfigError, match="non-empty 'racers'"):
+            run_portfolio(dfg, dp, {})
+
+    def test_bad_racer_one_line_error(self):
+        dfg, dp = _cell()
+        with pytest.raises(
+            (ConfigError, ValueError), match="cannot race itself"
+        ):
+            run_portfolio(dfg, dp, {"racers": "portfolio"})
+
+
+@pytest.mark.parametrize("gate", GATES)
+class TestPortfolioDeterminism:
+    def test_same_seed_same_race(self, gate):
+        dfg, dp = _cell()
+        config = {"racers": RACERS, "max_evals": BUDGET, "seed": SEED}
+
+        def run():
+            return run_portfolio(dfg, dp, config)
+
+        first = _with_gate(gate, run)
+        second = _with_gate(gate, run)
+        for key in (
+            "winner",
+            "winner_strategy",
+            "charged",
+            "rung_log",
+            "per_racer",
+            "trajectories",
+        ):
+            assert first.extras[key] == second.extras[key], key
+        assert (first.latency, first.transfers) == (
+            second.latency,
+            second.transfers,
+        )
+        assert first.binding == second.binding
+
+    def test_budget_conserved_and_accounted(self, gate):
+        dfg, dp = _cell()
+        config = {"racers": RACERS, "max_evals": BUDGET, "seed": SEED}
+        result = _with_gate(gate, lambda: run_portfolio(dfg, dp, config))
+
+        charged = result.extras["charged"]
+        per_racer = json.loads(result.extras["per_racer"])
+        # Conservation: the ledger never exceeds the configured budget
+        # on a cell where every racer converges under its allotment.
+        assert 0 < charged <= BUDGET
+        # Accounting: the ledger equals the summed per-racer spend, and
+        # that same total is what SearchStats reports downstream.
+        assert charged == sum(
+            entry["evaluations"] for entry in per_racer.values()
+        )
+        assert result.stats["search_stats"]["evaluations"] == charged
+        # Every racer label appears in the /metrics-bound accounting.
+        racers = result.stats["search_stats"]["racers"]
+        assert set(racers) == set(per_racer)
+        assert result.extras["winner"] in per_racer
+
+    def test_winner_beats_every_single_racer(self, gate):
+        """Acceptance: the race never loses to the best racer alone."""
+        dfg, dp = _cell()
+        config = {"racers": RACERS, "max_evals": BUDGET, "seed": SEED}
+        race = _with_gate(gate, lambda: run_portfolio(dfg, dp, config))
+
+        def singles():
+            out = []
+            for spec in json.loads(RACERS):
+                child = dict(spec.get("config") or {})
+                fields = get_strategy(spec["name"]).field_names()
+                if "max_evals" in fields:
+                    child["max_evals"] = BUDGET
+                if "seed" in fields:
+                    child["seed"] = SEED
+                single = run_strategy(spec["name"], dfg, dp, **child)
+                out.append((single.latency, single.transfers))
+            return out
+
+        best = min(_with_gate(gate, singles))
+        assert (race.latency, race.transfers) <= best
+
+    def test_trajectories_are_monotone(self, gate):
+        dfg, dp = _cell()
+        config = {"racers": RACERS, "max_evals": BUDGET, "seed": SEED}
+        result = _with_gate(gate, lambda: run_portfolio(dfg, dp, config))
+        trajectories = json.loads(result.extras["trajectories"])
+        assert trajectories
+        for label, points in trajectories.items():
+            lms = [(l, m) for _, l, m in points]
+            assert lms == sorted(lms, reverse=True) or all(
+                b <= a for a, b in zip(lms, lms[1:])
+            ), label
+
+
+@pytest.mark.parametrize("gate", GATES)
+class TestPortfolioCutAnywhere:
+    """A cancel token at any poll yields a legal, validated salvage."""
+
+    _TRUTH = {}
+
+    def _truth(self, gate):
+        if gate not in self._TRUTH:
+            dfg, dp = _cell()
+            config = {"racers": RACERS, "max_evals": BUDGET, "seed": SEED}
+            result = _with_gate(
+                gate, lambda: run_portfolio(dfg, dp, config)
+            )
+            self._TRUTH[gate] = (
+                result.extras["winner"],
+                (result.latency, result.transfers),
+            )
+        return self._TRUTH[gate]
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(polls=st.integers(min_value=0, max_value=200))
+    def test_cut_at_any_poll_is_legal(self, gate, polls):
+        full_winner, full_lm = self._truth(gate)
+        dfg, dp = _cell()
+        config = {"racers": RACERS, "max_evals": BUDGET, "seed": SEED}
+
+        def run():
+            token = CountdownToken(polls)
+            result = run_portfolio(dfg, dp, config, cancel=token)
+            return token, result
+
+        token, result = _with_gate(gate, run)
+
+        # Legal: whatever racer the cut landed in, the salvaged binding
+        # replays to a schedule that passes every checked invariant and
+        # matches the reported (L, M) exactly.
+        assert result.binding is not None
+        schedule = list_schedule(bind_dfg(dfg, Binding(result.binding)), dp)
+        validate_outcome(dfg, dp, result.binding, schedule)
+        assert (schedule.latency, schedule.num_transfers) == (
+            result.latency,
+            result.transfers,
+        )
+
+        # Honest tag: an uncut race reproduces the full-run numbers.
+        assert result.status in ("cancelled", "complete")
+        if result.status == "complete" and not token.cancelled:
+            assert result.extras["winner"] == full_winner
+            assert (result.latency, result.transfers) == full_lm
+        assert result.extras["charged"] <= BUDGET

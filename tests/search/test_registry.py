@@ -57,6 +57,7 @@ CORE_STRATEGIES = {
     ("repro.core.driver", "bind"): "b-iter",
     ("repro.core.tabu", "tabu_improvement"): "tabu",
     ("repro.core.pressure_aware", "pressure_aware_improvement"): "pressure",
+    ("repro.search.portfolio", "run_portfolio"): "portfolio",
 }
 
 
@@ -226,6 +227,7 @@ SMOKE_CONFIGS = {
     "b-iter": {"iter_starts": 1},
     "pressure": {"iter_starts": 1},
     "tabu": {"max_steps": 50},
+    "portfolio": {"racers": "pcc,b-init", "max_evals": 200, "seed": 0},
 }
 
 #: The canonical stats shape of session-backed strategies (the one

@@ -1,0 +1,167 @@
+"""CLI coverage for the tuning layer: ``race`` and ``sweep``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+RACERS = "pcc,b-init"
+
+
+class TestRace:
+    def test_dry_run_prints_plan(self, capsys):
+        rc = main([
+            "race", "arf", "-d", "|1,1|1,1|",
+            "--racers", RACERS, "--budget", "200", "--dry-run",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 racers" in out
+        assert "racer pcc" in out
+        assert "racer b-init" in out
+        assert "rung 0" in out
+
+    def test_dry_run_json(self, capsys):
+        rc = main([
+            "race", "arf", "--racers", RACERS,
+            "--budget", "200", "--dry-run", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["budget"] == 200
+        assert [r["strategy"] for r in payload["racers"]] == [
+            "pcc", "b-init",
+        ]
+        assert payload["rungs"][0]["survivors"] == 2
+        assert payload["rungs"][-1]["survivors"] == 1
+
+    def test_race_runs_and_reports(self, capsys):
+        rc = main([
+            "race", "arf", "-d", "|1,1|1,1|",
+            "--racers", RACERS, "--budget", "200", "--seed", "0",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "winner" in out
+        assert "charged" in out
+
+    def test_race_json_machine_readable(self, capsys):
+        rc = main([
+            "race", "arf", "-d", "|1,1|1,1|",
+            "--racers", RACERS, "--budget", "200", "--seed", "0",
+            "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kernel"] == "arf"
+        assert payload["winner"] in payload["per_racer"]
+        assert payload["charged"] <= payload["budget"]
+        assert isinstance(payload["rung_log"], list)
+        assert set(payload["trajectories"]) == set(payload["per_racer"])
+        assert payload["latency"] >= 1
+        assert payload["status"] in ("complete", "budget")
+
+    def test_bad_racer_is_one_line_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["race", "arf", "--racers", "nosuch"])
+        assert "error" in str(exc.value)
+        assert "Traceback" not in str(exc.value)
+
+    def test_self_nesting_is_one_line_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["race", "arf", "--racers", "portfolio"])
+        assert "cannot race itself" in str(exc.value)
+
+    def test_bad_budget_is_one_line_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["race", "arf", "--racers", RACERS, "--budget", "0"])
+        err = capsys.readouterr().err
+        assert "must be >= 1" in err
+        assert "Traceback" not in err
+
+
+class TestSweep:
+    def _write_spec(self, tmp_path, data):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_dry_run_lists_jobs(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path, {
+            "kernels": ["arf"],
+            "datapaths": ["|1,1|1,1|"],
+            "strategies": ["pcc", {"name": "b-init",
+                                   "grid": {"gamma": [0.5, 1.1]}}],
+        })
+        rc = main(["sweep", path, "--dry-run"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 jobs: 1 cells x 3 variants" in out
+        assert "b-init[gamma=0.5]" in out
+        assert "b-init[gamma=1.1]" in out
+
+    def test_sweep_renders_comparison(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path, {
+            "cells": [["arf", "|1,1|1,1|"]],
+            "strategies": ["pcc", "b-init"],
+        })
+        rc = main(["sweep", path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "arf" in out
+        assert "pcc" in out
+        assert "b-init" in out
+
+    def test_sweep_out_json(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path, {
+            "cells": [["arf", "|1,1|1,1|"]],
+            "strategies": ["b-init"],
+        })
+        out_path = tmp_path / "rows.json"
+        rc = main(["sweep", path, "--out", str(out_path)])
+        assert rc == 0
+        rows = json.loads(out_path.read_text())
+        assert rows[0]["kernel"] == "arf"
+        assert rows[0]["cells"]["b-init"]["L"] >= 1
+
+    def test_sweep_budget_flag_caps_strategies(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path, {
+            "cells": [["arf", "|1,1|1,1|"]],
+            "strategies": [{"name": "b-iter",
+                            "config": {"iter_starts": 1}}],
+        })
+        rc = main(["sweep", path, "--budget", "50", "--dry-run"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "'max_evals': 50" in out
+
+    def test_bad_spec_is_one_line_error(self, tmp_path):
+        path = self._write_spec(tmp_path, {"strategies": []})
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", path])
+        assert "non-empty 'strategies'" in str(exc.value)
+
+    def test_missing_file_is_one_line_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", str(tmp_path / "nope.json")])
+        assert "error" in str(exc.value)
+
+
+class TestStrategiesListing:
+    def test_portfolio_listed(self, capsys):
+        assert main(["strategies"]) == 0
+        assert "portfolio" in capsys.readouterr().out
+
+    def test_portfolio_schema_verbose(self, capsys):
+        assert main(["strategies", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "racers=<str>" in out
+        assert "eta=<int>" in out
+
+    def test_portfolio_schema_json(self, capsys):
+        assert main(["strategies", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        entry = next(s for s in payload if s["name"] == "portfolio")
+        fields = {f["name"] for f in entry["config"]}
+        assert {"racers", "eta", "max_evals"} <= fields

@@ -1,0 +1,221 @@
+"""The declarative sweep grammar: expansion, validation, summaries."""
+
+import pytest
+
+from repro.runner import ResultCache
+from repro.search.registry import ConfigError
+from repro.tune import (
+    DatapathSpec,
+    SweepSpec,
+    run_sweep,
+    summarize_sweep,
+)
+
+
+def _spec(**data):
+    return SweepSpec.from_dict(data)
+
+
+class TestFromDict:
+    def test_cross_product(self):
+        spec = _spec(
+            kernels=["ewf", "arf"],
+            datapaths=["|2,1|1,1|", {"spec": "|1,1|1,1|", "buses": 1}],
+            strategies=["pcc"],
+        )
+        assert [(k, m.spec) for k, m in spec.cells] == [
+            ("ewf", "|2,1|1,1|"),
+            ("ewf", "|1,1|1,1|"),
+            ("arf", "|2,1|1,1|"),
+            ("arf", "|1,1|1,1|"),
+        ]
+        assert spec.cells[1][1].num_buses == 1
+        assert spec.cells[0][1].num_buses == 2
+
+    def test_explicit_cells(self):
+        spec = _spec(
+            cells=[["ewf", "|2,1|1,1|"], {"kernel": "arf",
+                                          "datapath": {"spec": "|1,1|1,1|"}}],
+            strategies=["b-init"],
+        )
+        assert [k for k, _ in spec.cells] == ["ewf", "arf"]
+
+    def test_grid_expansion_sorted_keys(self):
+        spec = _spec(
+            cells=[["arf", "|1,1|1,1|"]],
+            strategies=[
+                {"name": "b-init", "grid": {"gamma": [0.5, 1.1],
+                                            "direction": ["forward"]}}
+            ],
+        )
+        assert [v.label for v in spec.variants] == [
+            "b-init[direction=forward,gamma=0.5]",
+            "b-init[direction=forward,gamma=1.1]",
+        ]
+
+    def test_base_config_merged_under_grid(self):
+        spec = _spec(
+            cells=[["arf", "|1,1|1,1|"]],
+            strategies=[
+                {"name": "b-iter", "config": {"iter_starts": 1},
+                 "grid": {"quality": ["latency", "qu"]}}
+            ],
+        )
+        for variant in spec.variants:
+            assert variant.config_dict()["iter_starts"] == 1
+        assert [v.label for v in spec.variants] == [
+            "b-iter[quality=latency]",
+            "b-iter[quality=qu]",
+        ]
+
+    def test_explicit_label(self):
+        spec = _spec(
+            cells=[["arf", "|1,1|1,1|"]],
+            strategies=[{"name": "b-iter", "config": {"iter_starts": 4},
+                         "label": "wide"}],
+        )
+        assert spec.variants[0].label == "wide"
+
+    def test_round_trip(self):
+        spec = _spec(
+            kernels=["arf"],
+            datapaths=["|1,1|1,1|"],
+            strategies=[{"name": "b-init", "grid": {"gamma": [0.5, 2.0]}}],
+        )
+        again = SweepSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_compile_order_and_keys_stable(self):
+        data = {
+            "kernels": ["ewf", "arf"],
+            "datapaths": ["|1,1|1,1|"],
+            "strategies": ["pcc", "b-init"],
+        }
+        first = [j.cache_key() for j in SweepSpec.from_dict(data).compile()]
+        second = [j.cache_key() for j in SweepSpec.from_dict(data).compile()]
+        assert first == second
+        assert len(first) == len(set(first)) == 4
+
+
+class TestFromDictErrors:
+    def test_missing_strategies(self):
+        with pytest.raises(ConfigError, match="non-empty 'strategies'"):
+            _spec(kernels=["ewf"], datapaths=["|1,1|1,1|"])
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(ConfigError, match="unknown keys"):
+            _spec(kernels=["ewf"], datapaths=["|1,1|1,1|"],
+                  strategies=["pcc"], budget=3)
+
+    def test_cells_and_kernels_conflict(self):
+        with pytest.raises(ConfigError, match="not both"):
+            _spec(cells=[["ewf", "|1,1|1,1|"]], kernels=["arf"],
+                  datapaths=["|1,1|1,1|"], strategies=["pcc"])
+
+    def test_missing_datapaths(self):
+        with pytest.raises(ConfigError, match="'kernels' and 'datapaths'"):
+            _spec(kernels=["ewf"], strategies=["pcc"])
+
+    def test_unknown_kernel_fails_fast(self):
+        with pytest.raises(KeyError, match="nosuch"):
+            _spec(kernels=["nosuch"], datapaths=["|1,1|1,1|"],
+                  strategies=["pcc"])
+
+    def test_unknown_strategy_fails_fast(self):
+        with pytest.raises(Exception, match="nosuch"):
+            _spec(kernels=["ewf"], datapaths=["|1,1|1,1|"],
+                  strategies=["nosuch"])
+
+    def test_bad_grid_value_names_variant(self):
+        with pytest.raises(ConfigError, match=r"b-init.*gamma"):
+            _spec(kernels=["ewf"], datapaths=["|1,1|1,1|"],
+                  strategies=[{"name": "b-init",
+                               "grid": {"gamma": ["not-a-float"]}}])
+
+    def test_config_grid_overlap(self):
+        with pytest.raises(ConfigError, match="both"):
+            _spec(kernels=["ewf"], datapaths=["|1,1|1,1|"],
+                  strategies=[{"name": "b-init",
+                               "config": {"gamma": 1.1},
+                               "grid": {"gamma": [0.5]}}])
+
+    def test_label_cannot_cover_grid(self):
+        with pytest.raises(ConfigError, match="label"):
+            _spec(kernels=["ewf"], datapaths=["|1,1|1,1|"],
+                  strategies=[{"name": "b-init", "label": "x",
+                               "grid": {"gamma": [0.5, 1.1]}}])
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate variant labels"):
+            _spec(kernels=["ewf"], datapaths=["|1,1|1,1|"],
+                  strategies=["pcc", "pcc"])
+
+    def test_empty_grid_values(self):
+        with pytest.raises(ConfigError, match="non-empty list"):
+            _spec(kernels=["ewf"], datapaths=["|1,1|1,1|"],
+                  strategies=[{"name": "b-init", "grid": {"gamma": []}}])
+
+
+class TestRunAndSummarize:
+    def test_sweep_to_comparison_rows(self):
+        spec = _spec(
+            cells=[["arf", "|1,1|1,1|"]],
+            strategies=["pcc", {"name": "b-iter",
+                                "config": {"iter_starts": 1}}],
+        )
+        results = run_sweep(spec)
+        assert all(r.ok for r in results)
+        rows = summarize_sweep(spec, results)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.kernel == "arf"
+        assert row.datapath_spec == "|1,1|1,1|"
+        labels = [label for label, _ in row.cells]
+        assert labels == ["pcc", "b-iter[iter_starts=1]"]
+        cells = dict(row.cells)
+        assert cells[labels[1]].latency <= cells["pcc"].latency
+
+    def test_portfolio_is_sweepable(self):
+        spec = _spec(
+            cells=[["arf", "|1,1|1,1|"]],
+            strategies=[{"name": "portfolio",
+                         "config": {"racers": "pcc,b-init",
+                                    "max_evals": 200, "seed": 0}}],
+        )
+        results = run_sweep(spec)
+        assert results[0].ok
+        rows = summarize_sweep(spec, results)
+        (label, cell), = rows[0].cells
+        assert label.startswith("portfolio[")
+        assert cell.search_stats.get("racers")
+
+    def test_sweep_results_cacheable(self, tmp_path):
+        spec = _spec(
+            cells=[["arf", "|1,1|1,1|"]],
+            strategies=["b-init"],
+        )
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_sweep(spec, cache=cache)
+        warm_cache = ResultCache(tmp_path / "cache")
+        warm = run_sweep(spec, cache=warm_cache)
+        assert warm_cache.stats.misses == 0
+        assert (cold[0].latency, cold[0].transfers) == (
+            warm[0].latency,
+            warm[0].transfers,
+        )
+
+    def test_summarize_length_mismatch(self):
+        spec = _spec(cells=[["arf", "|1,1|1,1|"]], strategies=["pcc"])
+        with pytest.raises(ValueError, match="expected 1 results"):
+            summarize_sweep(spec, [])
+
+    def test_datapath_spec_build(self):
+        machine = DatapathSpec(spec="|2,1|1,1|", num_buses=1, move_latency=2)
+        dp = machine.build()
+        assert dp.num_buses == 1
+        assert dp.move_latency == 2
+        assert machine.to_dict() == {
+            "spec": "|2,1|1,1|",
+            "buses": 1,
+            "move_latency": 2,
+        }
